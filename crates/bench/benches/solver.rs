@@ -1,0 +1,123 @@
+//! Substrate microbenchmarks: the CDCL SAT solver and the QF_BV
+//! bit-blaster that play the roles of SKETCH's backend and the Z3
+//! verification oracle. Not a figure from the paper — these bound how much
+//! of Chipmunk's synthesis time is solver overhead versus search-space
+//! size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use chipmunk_bv::{check_equiv, BvOp, Circuit};
+use chipmunk_sat::{Lit, SolveResult, Solver, Var};
+
+/// Pigeonhole principle: n pigeons into n-1 holes (UNSAT, resolution-hard).
+fn pigeonhole(n: usize) -> SolveResult {
+    let m = n - 1;
+    let mut s = Solver::new();
+    for _ in 0..n * m {
+        s.new_var();
+    }
+    let p = |i: usize, j: usize| Lit::pos(Var((i * m + j) as u32));
+    for i in 0..n {
+        s.add_clause((0..m).map(|j| p(i, j)));
+    }
+    for j in 0..m {
+        for i1 in 0..n {
+            for i2 in (i1 + 1)..n {
+                s.add_clause([!p(i1, j), !p(i2, j)]);
+            }
+        }
+    }
+    s.solve(&[])
+}
+
+/// A satisfiable pseudo-random 3-SAT instance at the easy side of the
+/// phase transition (clause/var ratio 3.8).
+fn random_3sat(num_vars: usize, seed: u64) -> SolveResult {
+    let mut s = Solver::new();
+    let vars: Vec<Var> = (0..num_vars).map(|_| s.new_var()).collect();
+    let mut state = seed;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 17
+    };
+    let num_clauses = num_vars * 38 / 10;
+    for _ in 0..num_clauses {
+        let lits: Vec<Lit> = (0..3)
+            .map(|_| {
+                let v = vars[(next() as usize) % num_vars];
+                Lit::new(v, next() & 1 == 1)
+            })
+            .collect();
+        s.add_clause(lits);
+    }
+    s.solve(&[])
+}
+
+fn bench_sat(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sat");
+    for n in [6usize, 7, 8] {
+        g.bench_with_input(BenchmarkId::new("pigeonhole_unsat", n), &n, |b, &n| {
+            b.iter(|| assert_eq!(pigeonhole(black_box(n)), SolveResult::Unsat));
+        });
+    }
+    for v in [100usize, 200] {
+        g.bench_with_input(BenchmarkId::new("random_3sat", v), &v, |b, &v| {
+            b.iter(|| black_box(random_3sat(black_box(v), 42)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_bv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bv_equivalence");
+    // x*y == y*x forced through the solver by breaking hash-consing with
+    // an added zero (commutativity of the blasted multiplier).
+    for width in [6u8, 8, 10] {
+        g.bench_with_input(BenchmarkId::new("mul_comm", width), &width, |b, &w| {
+            b.iter(|| {
+                let mut circ = Circuit::new(w);
+                let x = circ.input("x");
+                let y = circ.input("y");
+                let z = circ.input("z");
+                let xy = circ.binop(BvOp::Mul, x, y);
+                let yx = circ.binop(BvOp::Mul, y, x);
+                let yxz = circ.binop(BvOp::Add, yx, z);
+                let zero_z = circ.binop(BvOp::Sub, yxz, z);
+                assert!(check_equiv(&circ, xy, zero_z, None).is_none());
+            });
+        });
+    }
+    // Distributivity over a blasted multiplier is resolution-hard; keep it
+    // at a width where the proof finishes in well under a second.
+    for width in [5u8, 6] {
+        g.bench_with_input(
+            BenchmarkId::new("distributivity", width),
+            &width,
+            |b, &w| {
+                b.iter(|| {
+                    let mut circ = Circuit::new(w);
+                    let x = circ.input("x");
+                    let y = circ.input("y");
+                    let z = circ.input("z");
+                    let yz = circ.binop(BvOp::Add, y, z);
+                    let lhs = circ.binop(BvOp::Mul, x, yz);
+                    let xy = circ.binop(BvOp::Mul, x, y);
+                    let xz = circ.binop(BvOp::Mul, x, z);
+                    let rhs = circ.binop(BvOp::Add, xy, xz);
+                    assert!(check_equiv(&circ, lhs, rhs, None).is_none());
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sat, bench_bv
+}
+criterion_main!(benches);

@@ -1,0 +1,400 @@
+//! The 8 benchmark packet transactions of the paper's evaluation (§4,
+//! Table 2), written in this workspace's Domino dialect from the published
+//! descriptions, plus the stateful ALU template each was originally
+//! compiled with.
+//!
+//! Substitutions (documented in DESIGN.md):
+//!
+//! * **Hashes** (`flowlet`) are computed by PISA hash units outside the
+//!   ALU grid; `eliminate_hashes` turns each call into a read-only
+//!   metadata field before code generation, exactly what the grid sees.
+//! * **Per-flow arrays** (firewall, new-flow and reordering detection)
+//!   collapse to one register cell: the array *indexing* happens in the
+//!   match-action memory path, not the ALU grid that both code generators
+//!   target, so the collapsed program exercises the identical ALU
+//!   computation.
+//! * **Constants** are scaled into the immediate range (e.g. RTT bound 12,
+//!   flowlet gap 4) — both compilers share the same immediate width, so
+//!   the comparison is unaffected.
+
+use chipmunk_lang::{parse, passes, Program};
+use chipmunk_pisa::stateful::library;
+use chipmunk_pisa::StatefulAluSpec;
+
+/// Which library template a benchmark's original compilation used (the
+/// paper: "we used the stateful ALU that was used to generate code for the
+/// original program").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TemplateKind {
+    /// Unconditional read-add-write.
+    Raw,
+    /// Predicated read-add-write (else leaves state unchanged).
+    PredRaw,
+    /// Both branches update.
+    IfElseRaw,
+    /// Branching update with subtraction.
+    Sub,
+    /// Two-level nested predicates (the most expressive — and most
+    /// expensive to synthesize — library template).
+    NestedIfs,
+}
+
+impl TemplateKind {
+    /// Instantiate the template at an immediate width.
+    pub fn spec(self, imm_bits: u8) -> StatefulAluSpec {
+        match self {
+            TemplateKind::Raw => library::raw(imm_bits),
+            TemplateKind::PredRaw => library::pred_raw(imm_bits),
+            TemplateKind::IfElseRaw => library::if_else_raw(imm_bits),
+            TemplateKind::Sub => library::sub(imm_bits),
+            TemplateKind::NestedIfs => library::nested_ifs(imm_bits),
+        }
+    }
+}
+
+/// One benchmark program.
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// Display name (matches Table 2 of the paper).
+    pub name: &'static str,
+    /// Source text in the Domino dialect.
+    pub source: &'static str,
+    /// Citation tag from the paper.
+    pub citation: &'static str,
+    /// Stateful ALU template used for this program's grid.
+    pub template: TemplateKind,
+}
+
+impl Benchmark {
+    /// Parse and preprocess (hash elimination) the program.
+    pub fn program(&self) -> Program {
+        let mut p = parse(self.source)
+            .unwrap_or_else(|e| panic!("corpus program `{}` does not parse: {e}", self.name));
+        passes::eliminate_hashes(&mut p);
+        // Hash arguments feed the hash unit, not the grid: drop them so
+        // they do not occupy PHV containers.
+        passes::prune_unused_fields(&mut p);
+        p.name = self.name.to_string();
+        p
+    }
+}
+
+/// The 8 test programs (Table 2 order).
+pub fn corpus() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "rcp",
+            citation: "[63] Tai, Zhu, Dukkipati — RCP",
+            template: TemplateKind::IfElseRaw,
+            // Rate Control Protocol: accumulate traffic unconditionally,
+            // and RTT sum / packet count for packets with sane RTTs.
+            source: "state input_traffic; state sum_rtt; state num_pkts;
+                     input_traffic = input_traffic + pkt.size;
+                     if (pkt.rtt < 12) {
+                         sum_rtt = sum_rtt + pkt.rtt;
+                         num_pkts = num_pkts + 1;
+                     }",
+        },
+        Benchmark {
+            name: "stateful-firewall",
+            citation: "[26] Arashloo et al. — SNAP",
+            template: TemplateKind::PredRaw,
+            // Outbound traffic (dir == 0) establishes the flow; inbound is
+            // allowed only when established. (Per-flow cell collapsed.)
+            source: "state established;
+                     if (pkt.dir == 0) { established = 1; }
+                     pkt.allow = pkt.dir == 0 ? 1 : established;",
+        },
+        Benchmark {
+            name: "sampling",
+            citation: "[56] Sivaraman et al. — Packet Transactions (Fig. 2)",
+            template: TemplateKind::IfElseRaw,
+            source: "state count;
+                     if (count == 9) { count = 0; pkt.sample = 1; }
+                     else { count = count + 1; pkt.sample = 0; }",
+        },
+        Benchmark {
+            name: "blue-increase",
+            citation: "[35] Feng et al. — BLUE AQM",
+            template: TemplateKind::IfElseRaw,
+            // Timeout-gated increase of the marking probability.
+            source: "state p_mark; state last_update;
+                     if (pkt.now - last_update > 5) {
+                         p_mark = p_mark + 1;
+                         last_update = pkt.now;
+                     }
+                     pkt.mark = p_mark;",
+        },
+        Benchmark {
+            name: "blue-decrease",
+            citation: "[35] Feng et al. — BLUE AQM",
+            template: TemplateKind::Sub,
+            // Timeout-gated decrease (link-idle signal).
+            source: "state p_mark; state last_update;
+                     if (pkt.now - last_update > 5) {
+                         p_mark = p_mark - 1;
+                         last_update = pkt.now;
+                     }
+                     pkt.mark = p_mark;",
+        },
+        Benchmark {
+            name: "flowlet-switching",
+            citation: "[54] Sinha, Kandula, Katabi — flowlet switching",
+            template: TemplateKind::IfElseRaw,
+            // A new flowlet (inter-arrival gap >= 4) re-picks the next hop
+            // from the flow hash; packets inside a flowlet stick to it.
+            source: "state saved_hop; state last_time;
+                     int new_hop = hash(pkt.sport, pkt.dport) % 6;
+                     if (pkt.arrival - last_time >= 4) {
+                         saved_hop = new_hop;
+                     }
+                     last_time = pkt.arrival;
+                     pkt.next_hop = saved_hop;",
+        },
+        Benchmark {
+            name: "detect-new-flows",
+            citation: "[45] Narayana et al. — Marple",
+            template: TemplateKind::IfElseRaw,
+            // First-packet detection: flag fires once per (collapsed) flow.
+            source: "state seen;
+                     pkt.new_flow = seen == 0 ? 1 : 0;
+                     seen = 1;",
+        },
+        Benchmark {
+            name: "detect-reordering",
+            citation: "[45] Narayana et al. — Marple",
+            template: TemplateKind::IfElseRaw,
+            // A packet is reordered when its sequence number is below the
+            // expected one; the expectation then advances.
+            source: "state expected;
+                     pkt.reordered = expected > pkt.seq ? 1 : 0;
+                     expected = pkt.seq + 1;",
+        },
+    ]
+}
+
+/// Extension benchmarks beyond the paper's Table 2: programs that exercise
+/// template features the original eight do not (two-level predicates,
+/// saturating arithmetic). They demonstrate that the reproduction is a
+/// general system rather than a fixed-function harness; the experiment
+/// binaries accept them via `--program`.
+pub fn extensions() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "ext-two-level-meter",
+            citation: "extension: two-rate policer in the spirit of srTCM",
+            template: TemplateKind::NestedIfs,
+            // Two nested conditions on one register: tokens drain per
+            // packet and refill on a timer signal, with a floor and a cap.
+            source: "state tokens;
+                     if (pkt.refill == 1) {
+                         if (tokens < 12) { tokens = tokens + 3; }
+                         else { tokens = tokens; }
+                     } else {
+                         if (tokens > 0) { tokens = tokens - 1; }
+                         else { tokens = tokens; }
+                     }",
+        },
+        Benchmark {
+            name: "ext-saturating-counter",
+            citation: "extension: saturating congestion estimator",
+            // The else side nests a floor check, so the atom needs
+            // two-level predicates.
+            template: TemplateKind::NestedIfs,
+            // Saturate at zero on decrease; the mark flag reads the old
+            // value (pre-update), one atom total.
+            source: "state level;
+                     pkt.was_high = level > 11 ? 1 : 0;
+                     if (pkt.ecn == 1) { level = level + 2; }
+                     else { if (level > 0) { level = level - 1; } }",
+        },
+    ]
+}
+
+/// Look up one benchmark by name (Table 2 corpus plus extensions).
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    corpus()
+        .into_iter()
+        .chain(extensions())
+        .find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chipmunk_domino::{compile as domino_compile, DominoOptions};
+    use chipmunk_lang::{Interpreter, PacketState};
+    use chipmunk_pisa::StatelessAluSpec;
+
+    #[test]
+    fn corpus_has_eight_programs_with_unique_names() {
+        let c = corpus();
+        assert_eq!(c.len(), 8);
+        let mut names: Vec<_> = c.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn all_programs_parse_and_are_hash_free() {
+        for b in corpus() {
+            let p = b.program();
+            assert!(!p.stmts().iter().any(|s| s.contains_hash()), "{}", b.name);
+            assert!(!p.state_names().is_empty(), "{} should be stateful", b.name);
+        }
+    }
+
+    /// The paper's premise: the *original* 8 programs were written so that
+    /// Domino compiles them. Verify that, and differentially validate the
+    /// compiled pipelines.
+    #[test]
+    fn originals_compile_under_domino() {
+        for b in corpus() {
+            let prog = b.program();
+            let opts = DominoOptions {
+                width: 10,
+                stateless: StatelessAluSpec::banzai(4),
+                stateful: b.template.spec(4),
+            };
+            let out = domino_compile(&prog, &opts)
+                .unwrap_or_else(|e| panic!("Domino rejects original `{}`: {e}", b.name));
+            assert!(out.resources.stages_used >= 1, "{}", b.name);
+
+            let mut folded = prog.clone();
+            chipmunk_lang::passes::const_fold(&mut folded, 10);
+            let interp = Interpreter::new(&folded, 10);
+            let nf = prog.field_names().len();
+            let ns = prog.state_names().len();
+            let mut seed = 0xabcdu64;
+            for _ in 0..300 {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let inp = PacketState {
+                    fields: (0..nf).map(|k| (seed >> (4 * k)) & 0x3ff).collect(),
+                    states: (0..ns).map(|k| (seed >> (6 * k + 9)) & 0x3ff).collect(),
+                };
+                assert_eq!(
+                    out.exec(&inp),
+                    interp.exec(&inp),
+                    "{}: domino output diverges",
+                    b.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extensions_compile_under_domino_and_validate() {
+        for b in extensions() {
+            let prog = b.program();
+            let opts = DominoOptions {
+                width: 8,
+                stateless: StatelessAluSpec::banzai(4),
+                stateful: b.template.spec(4),
+            };
+            let out = domino_compile(&prog, &opts)
+                .unwrap_or_else(|e| panic!("Domino rejects extension `{}`: {e}", b.name));
+            let mut folded = prog.clone();
+            chipmunk_lang::passes::const_fold(&mut folded, 8);
+            let interp = Interpreter::new(&folded, 8);
+            let mut seed = 0x77u64;
+            for _ in 0..300 {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let inp = PacketState {
+                    fields: (0..prog.field_names().len())
+                        .map(|k| (seed >> (4 * k)) & 0xff)
+                        .collect(),
+                    states: (0..prog.state_names().len())
+                        .map(|k| (seed >> (6 * k + 9)) & 0xff)
+                        .collect(),
+                };
+                assert_eq!(out.exec(&inp), interp.exec(&inp), "{} diverges", b.name);
+            }
+        }
+    }
+
+    /// Regression test for hole-name aliasing: `nested_ifs` declares three
+    /// predicate groups whose holes must stay independent through the
+    /// sketch layer, or two-level programs become spuriously UNSAT.
+    #[test]
+    fn extensions_synthesize_under_chipmunk() {
+        use chipmunk::{compile as chipmunk_compile, CompilerOptions};
+        for b in extensions() {
+            // The saturating counter needs a 2-stage nested_ifs grid —
+            // minutes under an unoptimized build. Release runs (and the
+            // experiment binaries) cover it; debug covers the 1-stage meter,
+            // which is the hole-aliasing regression this test guards.
+            if cfg!(debug_assertions) && b.name == "ext-saturating-counter" {
+                continue;
+            }
+            let prog = b.program();
+            let mut opts = CompilerOptions::new(b.template.spec(4));
+            opts.stateless = StatelessAluSpec::banzai(4);
+            opts.max_stages = 2;
+            opts.cegis.verify_width = 6;
+            opts.cegis.screen_width = Some(5);
+            let out = chipmunk_compile(&prog, &opts)
+                .unwrap_or_else(|e| panic!("chipmunk rejects extension `{}`: {e}", b.name));
+            // The meter folds into one atom; the saturating counter's
+            // `was_high` flag tests a predicate the atom's output wire
+            // cannot also express, so it costs one stateless stage.
+            assert!(out.resources.stages_used <= 2, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn extension_names_do_not_collide_with_the_corpus() {
+        let mut names: Vec<&str> = corpus().iter().map(|b| b.name).collect();
+        names.extend(extensions().iter().map(|b| b.name));
+        let n = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+
+    #[test]
+    fn sampling_runs_as_expected_through_interpreter() {
+        let b = by_name("sampling").unwrap();
+        let p = b.program();
+        let interp = Interpreter::new(&p, 10);
+        let mut st = PacketState::zeroed(&p);
+        let mut fired = 0;
+        for _ in 0..40 {
+            st = interp.exec(&st);
+            fired += st.fields[0];
+        }
+        assert_eq!(fired, 4);
+    }
+
+    #[test]
+    fn flowlet_sticks_within_a_flowlet() {
+        let b = by_name("flowlet-switching").unwrap();
+        let p = b.program();
+        // Fields (first-use order after hash elimination):
+        let names = p.field_names();
+        let idx = |n: &str| {
+            names
+                .iter()
+                .position(|x| x == n)
+                .unwrap_or_else(|| panic!("missing field {n} in {names:?}"))
+        };
+        let interp = Interpreter::new(&p, 10);
+        let mut st = PacketState::zeroed(&p);
+        // Two closely-spaced packets with different hash values: the second
+        // must keep the first's hop. (The hash unit performs the `% 6`
+        // range reduction, so `hash_0` already carries the hop candidate.)
+        st.fields[idx("arrival")] = 100;
+        st.fields[idx("hash_0")] = 5;
+        st = interp.exec(&st);
+        let hop1 = st.fields[idx("next_hop")];
+        assert_eq!(hop1, 5);
+        st.fields[idx("arrival")] = 102; // gap 2 < 4
+        st.fields[idx("hash_0")] = 2;
+        st = interp.exec(&st);
+        assert_eq!(st.fields[idx("next_hop")], hop1, "hop must not flap");
+        st.fields[idx("arrival")] = 900; // new flowlet
+        st.fields[idx("hash_0")] = 2;
+        st = interp.exec(&st);
+        assert_eq!(st.fields[idx("next_hop")], 2);
+    }
+}

@@ -1,0 +1,27 @@
+//! # chipmunk-bench
+//!
+//! Benchmark corpus and experiment harness reproducing the paper's
+//! evaluation: the 8 test programs ([`corpus()`]), their seeded
+//! semantics-preserving mutations, and runners that regenerate **Table 2**
+//! (code-generation rate and time, Chipmunk vs Domino) and **Figure 5**
+//! (pipeline stages and max ALUs per stage), plus ablation benchmarks for
+//! the design choices called out in DESIGN.md.
+//!
+//! Regenerate the paper's results with:
+//!
+//! ```text
+//! cargo run -p chipmunk-bench --bin table2 --release
+//! cargo run -p chipmunk-bench --bin figure5 --release
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod experiments;
+pub mod workload;
+
+pub use corpus::{by_name, corpus, extensions, Benchmark, TemplateKind};
+pub use experiments::{
+    render_figure5, render_table2, run_experiments, ExperimentConfig, VariantOutcome,
+};
+pub use workload::Workload;

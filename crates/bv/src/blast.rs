@@ -1,0 +1,645 @@
+//! Tseitin bit-blasting of circuit terms into CNF.
+//!
+//! A [`Blaster`] instantiates circuit terms as vectors of SAT literals
+//! (LSB first) inside a borrowed [`Solver`]. Inputs may be *bound* before
+//! blasting:
+//!
+//! * to a constant ([`Binding::Const`]) — used by the CEGIS synthesis phase
+//!   to pin program inputs to counterexample values, and by the verification
+//!   phase to pin holes to a candidate solution;
+//! * to existing literals ([`Binding::Bits`]) — used to share one set of
+//!   hole literals across every counterexample instantiation inside a single
+//!   incremental solver.
+//!
+//! Unbound inputs get fresh literals on first use; they can be read back
+//! with [`Blaster::input_bits`] to decode models.
+//!
+//! Gate construction partially evaluates through constant literals so that
+//! a circuit instantiated with concrete inputs mostly collapses at blast
+//! time rather than burdening the solver.
+
+use std::collections::HashMap;
+
+use chipmunk_sat::{Lit, Solver};
+
+use crate::circuit::{mask, Circuit, InputId, Node, TermId};
+use crate::BvOp;
+
+/// How an input of a circuit is realized inside the solver.
+#[derive(Clone, Debug)]
+pub enum Binding {
+    /// The input is fixed to a constant value (masked to the input width).
+    Const(u64),
+    /// The input is wired to pre-existing literals, LSB first. The vector
+    /// length must equal the circuit width.
+    Bits(Vec<Lit>),
+}
+
+/// Allocate a literal that is constant-true in `solver`.
+///
+/// Share the returned literal across every [`Blaster`] working on the same
+/// solver so the unit clause is added only once.
+pub fn mk_true(solver: &mut Solver) -> Lit {
+    let v = solver.new_var();
+    let l = Lit::pos(v);
+    solver.add_clause([l]);
+    l
+}
+
+/// One instantiation of circuit terms into a SAT solver.
+pub struct Blaster<'s> {
+    solver: &'s mut Solver,
+    tru: Lit,
+    bindings: HashMap<InputId, Binding>,
+    realized: HashMap<InputId, Vec<Lit>>,
+    cache: HashMap<TermId, Vec<Lit>>,
+}
+
+impl<'s> Blaster<'s> {
+    /// Create a blaster over `solver`. `tru` must be a literal already
+    /// asserted true (see [`mk_true`]).
+    pub fn new(solver: &'s mut Solver, tru: Lit) -> Self {
+        Blaster {
+            solver,
+            tru,
+            bindings: HashMap::new(),
+            realized: HashMap::new(),
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Bind an input before blasting. Panics if the input was already used.
+    pub fn bind(&mut self, input: InputId, binding: Binding) {
+        assert!(
+            !self.realized.contains_key(&input),
+            "input {input:?} already realized; bind before blasting"
+        );
+        self.bindings.insert(input, binding);
+    }
+
+    /// The literals realizing an input (after blasting a term that uses it,
+    /// or after an explicit [`Blaster::bind`] with bits).
+    pub fn input_bits(&self, input: InputId) -> Option<&[Lit]> {
+        self.realized.get(&input).map(|v| v.as_slice())
+    }
+
+    /// Fresh unconstrained literals, LSB first.
+    pub fn fresh_bits(&mut self, width: u8) -> Vec<Lit> {
+        (0..width)
+            .map(|_| Lit::pos(self.solver.new_var()))
+            .collect()
+    }
+
+    /// The constant-true literal of this blaster.
+    pub fn true_lit(&self) -> Lit {
+        self.tru
+    }
+
+    /// Assert that a literal takes a fixed truth value.
+    pub fn assert_bit(&mut self, l: Lit, value: bool) {
+        self.solver.add_clause([if value { l } else { !l }]);
+    }
+
+    /// Assert that a width-1 term is true.
+    pub fn assert_term(&mut self, c: &Circuit, t: TermId) {
+        assert_eq!(c.term_width(t), 1, "assert_term takes a width-1 term");
+        let bits = self.blast(c, t);
+        self.solver.add_clause([bits[0]]);
+    }
+
+    /// Assert that at least one of the width-1 terms is true.
+    pub fn assert_any(&mut self, c: &Circuit, ts: &[TermId]) {
+        let lits: Vec<Lit> = ts
+            .iter()
+            .map(|&t| {
+                assert_eq!(c.term_width(t), 1);
+                self.blast(c, t)[0]
+            })
+            .collect();
+        self.solver.add_clause(lits);
+    }
+
+    /// Decode the value of a term from the solver's current model.
+    ///
+    /// Returns `None` if the term was not blasted or the model is absent.
+    pub fn model_value(&self, c: &Circuit, t: TermId) -> Option<u64> {
+        let bits = self.cache.get(&t)?;
+        self.decode(bits).map(|v| v & mask(c.term_width(t)))
+    }
+
+    /// Decode a literal vector against the current model.
+    pub fn decode(&self, bits: &[Lit]) -> Option<u64> {
+        let mut v = 0u64;
+        for (i, &l) in bits.iter().enumerate() {
+            let b = self
+                .lit_const(l)
+                .or_else(|| self.solver.lit_model_value(l))?;
+            if b {
+                v |= 1 << i;
+            }
+        }
+        Some(v)
+    }
+
+    /// Blast a term, returning its literals (LSB first).
+    pub fn blast(&mut self, c: &Circuit, t: TermId) -> Vec<Lit> {
+        if let Some(bits) = self.cache.get(&t) {
+            return bits.clone();
+        }
+        // Iterative post-order over the DAG.
+        let mut stack: Vec<(TermId, bool)> = vec![(t, false)];
+        while let Some((id, ready)) = stack.pop() {
+            if self.cache.contains_key(&id) {
+                continue;
+            }
+            if !ready {
+                stack.push((id, true));
+                match *c.node(id) {
+                    Node::Bin { a, b, .. } => {
+                        stack.push((a, false));
+                        stack.push((b, false));
+                    }
+                    Node::Not(x) | Node::ZExt(x) => stack.push((x, false)),
+                    Node::Mux { cond, t: tt, f } => {
+                        stack.push((cond, false));
+                        stack.push((tt, false));
+                        stack.push((f, false));
+                    }
+                    Node::Input(_) | Node::Const { .. } => {}
+                }
+                continue;
+            }
+            let bits = self.blast_node(c, id);
+            self.cache.insert(id, bits);
+        }
+        self.cache[&t].clone()
+    }
+
+    fn blast_node(&mut self, c: &Circuit, id: TermId) -> Vec<Lit> {
+        match *c.node(id) {
+            Node::Input(i) => self.realize_input(i, c.width()),
+            Node::Const { value, width } => self.const_bits(value, width),
+            Node::Not(x) => {
+                let xb = self.cache[&x].clone();
+                xb.into_iter().map(|l| !l).collect()
+            }
+            Node::ZExt(x) => {
+                let xb = self.cache[&x].clone();
+                let mut out = xb;
+                while out.len() < c.width() as usize {
+                    out.push(!self.tru);
+                }
+                out
+            }
+            Node::Mux { cond, t, f } => {
+                let s = self.cache[&cond][0];
+                let tb = self.cache[&t].clone();
+                let fb = self.cache[&f].clone();
+                tb.iter()
+                    .zip(fb.iter())
+                    .map(|(&a, &b)| self.mux_gate(s, a, b))
+                    .collect()
+            }
+            Node::Bin { op, a, b } => {
+                let ab = self.cache[&a].clone();
+                let bb = self.cache[&b].clone();
+                match op {
+                    BvOp::Add => self.add_vec(&ab, &bb, false),
+                    BvOp::Sub => {
+                        let nb: Vec<Lit> = bb.iter().map(|&l| !l).collect();
+                        self.add_vec(&ab, &nb, true)
+                    }
+                    BvOp::Mul => self.mul_vec(&ab, &bb),
+                    BvOp::UDiv => self.divrem_vec(&ab, &bb).0,
+                    BvOp::URem => self.divrem_vec(&ab, &bb).1,
+                    BvOp::And => self.zip_gate(&ab, &bb, |s, x, y| s.and_gate(x, y)),
+                    BvOp::Or => self.zip_gate(&ab, &bb, |s, x, y| s.or_gate(x, y)),
+                    BvOp::Xor => self.zip_gate(&ab, &bb, |s, x, y| s.xor_gate(x, y)),
+                    BvOp::Eq => vec![self.eq_vec(&ab, &bb)],
+                    BvOp::Ne => vec![!self.eq_vec(&ab, &bb)],
+                    BvOp::Ult => vec![self.ult_vec(&ab, &bb)],
+                    BvOp::Ule => vec![!self.ult_vec(&bb, &ab)],
+                    BvOp::Ugt => vec![self.ult_vec(&bb, &ab)],
+                    BvOp::Uge => vec![!self.ult_vec(&ab, &bb)],
+                }
+            }
+        }
+    }
+
+    fn realize_input(&mut self, i: InputId, width: u8) -> Vec<Lit> {
+        if let Some(bits) = self.realized.get(&i) {
+            return bits.clone();
+        }
+        let bits = match self.bindings.get(&i).cloned() {
+            Some(Binding::Const(v)) => self.const_bits(v, width),
+            Some(Binding::Bits(bits)) => {
+                assert_eq!(
+                    bits.len(),
+                    width as usize,
+                    "bound bits must match circuit width"
+                );
+                bits
+            }
+            None => self.fresh_bits(width),
+        };
+        self.realized.insert(i, bits.clone());
+        bits
+    }
+
+    fn const_bits(&self, value: u64, width: u8) -> Vec<Lit> {
+        (0..width)
+            .map(|k| {
+                if (value >> k) & 1 == 1 {
+                    self.tru
+                } else {
+                    !self.tru
+                }
+            })
+            .collect()
+    }
+
+    /// `Some(b)` if `l` is one of the constant literals.
+    fn lit_const(&self, l: Lit) -> Option<bool> {
+        if l == self.tru {
+            Some(true)
+        } else if l == !self.tru {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    fn lit_true(&self) -> Lit {
+        self.tru
+    }
+    fn lit_false(&self) -> Lit {
+        !self.tru
+    }
+
+    // ----- gates -----------------------------------------------------------
+
+    fn and_gate(&mut self, a: Lit, b: Lit) -> Lit {
+        match (self.lit_const(a), self.lit_const(b)) {
+            (Some(false), _) | (_, Some(false)) => return self.lit_false(),
+            (Some(true), _) => return b,
+            (_, Some(true)) => return a,
+            _ => {}
+        }
+        if a == b {
+            return a;
+        }
+        if a == !b {
+            return self.lit_false();
+        }
+        let o = Lit::pos(self.solver.new_var());
+        self.solver.add_clause([!a, !b, o]);
+        self.solver.add_clause([a, !o]);
+        self.solver.add_clause([b, !o]);
+        o
+    }
+
+    fn or_gate(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.and_gate(!a, !b)
+    }
+
+    fn xor_gate(&mut self, a: Lit, b: Lit) -> Lit {
+        match (self.lit_const(a), self.lit_const(b)) {
+            (Some(false), _) => return b,
+            (_, Some(false)) => return a,
+            (Some(true), _) => return !b,
+            (_, Some(true)) => return !a,
+            _ => {}
+        }
+        if a == b {
+            return self.lit_false();
+        }
+        if a == !b {
+            return self.lit_true();
+        }
+        let o = Lit::pos(self.solver.new_var());
+        self.solver.add_clause([!a, !b, !o]);
+        self.solver.add_clause([a, b, !o]);
+        self.solver.add_clause([a, !b, o]);
+        self.solver.add_clause([!a, b, o]);
+        o
+    }
+
+    fn mux_gate(&mut self, s: Lit, t: Lit, f: Lit) -> Lit {
+        match self.lit_const(s) {
+            Some(true) => return t,
+            Some(false) => return f,
+            None => {}
+        }
+        if t == f {
+            return t;
+        }
+        match (self.lit_const(t), self.lit_const(f)) {
+            (Some(true), Some(false)) => return s,
+            (Some(false), Some(true)) => return !s,
+            _ => {}
+        }
+        let o = Lit::pos(self.solver.new_var());
+        // s -> (o == t), !s -> (o == f)
+        self.solver.add_clause([!s, !t, o]);
+        self.solver.add_clause([!s, t, !o]);
+        self.solver.add_clause([s, !f, o]);
+        self.solver.add_clause([s, f, !o]);
+        // Redundant but propagation-friendly: t & f -> o, !t & !f -> !o
+        self.solver.add_clause([!t, !f, o]);
+        self.solver.add_clause([t, f, !o]);
+        o
+    }
+
+    fn full_adder(&mut self, a: Lit, b: Lit, cin: Lit) -> (Lit, Lit) {
+        let axb = self.xor_gate(a, b);
+        let sum = self.xor_gate(axb, cin);
+        let t1 = self.and_gate(a, b);
+        let t2 = self.and_gate(axb, cin);
+        let cout = self.or_gate(t1, t2);
+        (sum, cout)
+    }
+
+    fn add_vec(&mut self, a: &[Lit], b: &[Lit], carry_in: bool) -> Vec<Lit> {
+        debug_assert_eq!(a.len(), b.len());
+        let mut carry = if carry_in {
+            self.lit_true()
+        } else {
+            self.lit_false()
+        };
+        let mut out = Vec::with_capacity(a.len());
+        for i in 0..a.len() {
+            let (s, c) = self.full_adder(a[i], b[i], carry);
+            out.push(s);
+            carry = c;
+        }
+        out
+    }
+
+    fn mul_vec(&mut self, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+        let w = a.len();
+        let mut acc: Vec<Lit> = vec![self.lit_false(); w];
+        for (i, &bi) in b.iter().enumerate() {
+            if self.lit_const(bi) == Some(false) {
+                continue;
+            }
+            // Partial product: (a << i) & bi, truncated to w bits.
+            let mut pp: Vec<Lit> = vec![self.lit_false(); w];
+            for j in 0..w - i {
+                pp[i + j] = self.and_gate(a[j], bi);
+            }
+            acc = self.add_vec(&acc, &pp, false);
+        }
+        acc
+    }
+
+    /// Restoring division producing (quotient, remainder).
+    fn divrem_vec(&mut self, a: &[Lit], d: &[Lit]) -> (Vec<Lit>, Vec<Lit>) {
+        let w = a.len();
+        // Work with a (w+1)-bit remainder so the compare never overflows.
+        let f = self.lit_false();
+        let mut r: Vec<Lit> = vec![f; w + 1];
+        let dext: Vec<Lit> = d.iter().copied().chain(std::iter::once(f)).collect();
+        let mut q: Vec<Lit> = vec![f; w];
+        let d_is_zero = {
+            let zero = vec![f; w];
+            self.eq_vec(d, &zero)
+        };
+        for i in (0..w).rev() {
+            // r = (r << 1) | a[i]
+            let mut r2: Vec<Lit> = Vec::with_capacity(w + 1);
+            r2.push(a[i]);
+            r2.extend_from_slice(&r[..w]);
+            // q[i] = r2 >= dext
+            let ge = !self.ult_vec(&r2, &dext);
+            q[i] = ge;
+            // r = ge ? r2 - dext : r2
+            let nd: Vec<Lit> = dext.iter().map(|&l| !l).collect();
+            let diff = self.add_vec(&r2, &nd, true);
+            r = (0..w + 1)
+                .map(|k| self.mux_gate(ge, diff[k], r2[k]))
+                .collect();
+        }
+        // SMT-LIB: x/0 = all ones, x%0 = x.
+        let ones = vec![self.lit_true(); w];
+        let quot: Vec<Lit> = (0..w)
+            .map(|k| self.mux_gate(d_is_zero, ones[k], q[k]))
+            .collect();
+        let rem: Vec<Lit> = (0..w)
+            .map(|k| self.mux_gate(d_is_zero, a[k], r[k]))
+            .collect();
+        (quot, rem)
+    }
+
+    fn eq_vec(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
+        debug_assert_eq!(a.len(), b.len());
+        let mut acc = self.lit_true();
+        for i in 0..a.len() {
+            let x = self.xor_gate(a[i], b[i]);
+            acc = self.and_gate(acc, !x);
+        }
+        acc
+    }
+
+    /// a < b (unsigned).
+    fn ult_vec(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
+        debug_assert_eq!(a.len(), b.len());
+        let mut lt = self.lit_false();
+        for i in 0..a.len() {
+            // lt = (!a_i & b_i) | ((a_i == b_i) & lt)
+            let gt_bit = self.and_gate(!a[i], b[i]);
+            let eq_bit = {
+                let x = self.xor_gate(a[i], b[i]);
+                !x
+            };
+            let keep = self.and_gate(eq_bit, lt);
+            lt = self.or_gate(gt_bit, keep);
+        }
+        lt
+    }
+
+    fn zip_gate(
+        &mut self,
+        a: &[Lit],
+        b: &[Lit],
+        f: impl Fn(&mut Self, Lit, Lit) -> Lit,
+    ) -> Vec<Lit> {
+        debug_assert_eq!(a.len(), b.len());
+        (0..a.len()).map(|i| f(self, a[i], b[i])).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chipmunk_sat::SolveResult;
+
+    /// Exhaustively compare blasted semantics against the evaluator for a
+    /// binary operation at a small width.
+    fn exhaustive_binop(op: BvOp, width: u8) {
+        let mut c = Circuit::new(width);
+        let x = c.input("x");
+        let y = c.input("y");
+        let r = c.binop(op, x, y);
+        let m = mask(width);
+        for vx in 0..=m {
+            for vy in 0..=m {
+                let mut solver = Solver::new();
+                let tru = mk_true(&mut solver);
+                let mut b = Blaster::new(&mut solver, tru);
+                b.bind(c.input_id(x), Binding::Const(vx));
+                b.bind(c.input_id(y), Binding::Const(vy));
+                let bits = b.blast(&c, r);
+                assert_eq!(solver.solve(&[]), SolveResult::Sat);
+                let got = Blaster::new(&mut solver, tru).decode(&bits).unwrap();
+                let want = c.eval(r, &move |i| if i.0 == 0 { vx } else { vy });
+                assert_eq!(got, want, "{op:?}({vx},{vy}) at width {width}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_sub_exhaustive_w3() {
+        exhaustive_binop(BvOp::Add, 3);
+        exhaustive_binop(BvOp::Sub, 3);
+    }
+
+    #[test]
+    fn mul_exhaustive_w3() {
+        exhaustive_binop(BvOp::Mul, 3);
+    }
+
+    #[test]
+    fn div_rem_exhaustive_w3() {
+        exhaustive_binop(BvOp::UDiv, 3);
+        exhaustive_binop(BvOp::URem, 3);
+    }
+
+    #[test]
+    fn bitwise_exhaustive_w3() {
+        exhaustive_binop(BvOp::And, 3);
+        exhaustive_binop(BvOp::Or, 3);
+        exhaustive_binop(BvOp::Xor, 3);
+    }
+
+    #[test]
+    fn comparisons_exhaustive_w3() {
+        exhaustive_binop(BvOp::Eq, 3);
+        exhaustive_binop(BvOp::Ne, 3);
+        exhaustive_binop(BvOp::Ult, 3);
+        exhaustive_binop(BvOp::Ule, 3);
+        exhaustive_binop(BvOp::Ugt, 3);
+        exhaustive_binop(BvOp::Uge, 3);
+    }
+
+    #[test]
+    fn symbolic_inputs_solve_equation() {
+        // Find x such that x * 3 + 1 == 10 (mod 16)  => x == 3 or x == ...?
+        // 3x ≡ 9 (mod 16), gcd(3,16)=1 so x = 3 * 3^{-1}... 3*11=33≡1, so
+        // x = 9*11 mod 16 = 99 mod 16 = 3. Unique solution.
+        let mut c = Circuit::new(4);
+        let x = c.input("x");
+        let three = c.constant(3);
+        let one = c.constant(1);
+        let ten = c.constant(10);
+        let px = c.binop(BvOp::Mul, x, three);
+        let lhs = c.binop(BvOp::Add, px, one);
+        let eq = c.binop(BvOp::Eq, lhs, ten);
+        let mut solver = Solver::new();
+        let tru = mk_true(&mut solver);
+        let mut b = Blaster::new(&mut solver, tru);
+        b.assert_term(&c, eq);
+        let xbits = b.input_bits(c.input_id(x)).unwrap().to_vec();
+        assert_eq!(solver.solve(&[]), SolveResult::Sat);
+        let b = Blaster::new(&mut solver, tru);
+        let got = b.decode(&xbits).unwrap();
+        assert_eq!(got, 3);
+    }
+
+    #[test]
+    fn shared_bits_across_instantiations() {
+        // CEGIS-style: one hole h, constraints from two "counterexamples":
+        //   h + 1 == 5  and  h * 2 == 8   => h == 4.
+        let mut solver = Solver::new();
+        let tru = mk_true(&mut solver);
+        let mut proto = Blaster::new(&mut solver, tru);
+        let hole_bits = proto.fresh_bits(4);
+        drop(proto);
+
+        let mut c = Circuit::new(4);
+        let h = c.input("h");
+        let one = c.constant(1);
+        let five = c.constant(5);
+        let two = c.constant(2);
+        let eight = c.constant(8);
+        let s = c.binop(BvOp::Add, h, one);
+        let eq1 = c.binop(BvOp::Eq, s, five);
+        let p = c.binop(BvOp::Mul, h, two);
+        let eq2 = c.binop(BvOp::Eq, p, eight);
+
+        for eq in [eq1, eq2] {
+            let mut b = Blaster::new(&mut solver, tru);
+            b.bind(c.input_id(h), Binding::Bits(hole_bits.clone()));
+            b.assert_term(&c, eq);
+        }
+        assert_eq!(solver.solve(&[]), SolveResult::Sat);
+        let b = Blaster::new(&mut solver, tru);
+        assert_eq!(b.decode(&hole_bits).unwrap(), 4);
+    }
+
+    #[test]
+    fn unsat_when_contradictory() {
+        let mut c = Circuit::new(4);
+        let x = c.input("x");
+        let a = c.constant(1);
+        let b2 = c.constant(2);
+        let e1 = c.binop(BvOp::Eq, x, a);
+        let e2 = c.binop(BvOp::Eq, x, b2);
+        let mut solver = Solver::new();
+        let tru = mk_true(&mut solver);
+        let mut b = Blaster::new(&mut solver, tru);
+        b.assert_term(&c, e1);
+        b.assert_term(&c, e2);
+        assert_eq!(solver.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn mux_blast_selects() {
+        let mut c = Circuit::new(4);
+        let s = c.input("s");
+        let zero = c.constant(0);
+        let cond = c.binop(BvOp::Ne, s, zero);
+        let a = c.constant(10);
+        let b2 = c.constant(3);
+        let sel = c.mux(cond, a, b2);
+        for (sv, want) in [(0u64, 3u64), (7, 10)] {
+            let mut solver = Solver::new();
+            let tru = mk_true(&mut solver);
+            let mut b = Blaster::new(&mut solver, tru);
+            b.bind(c.input_id(s), Binding::Const(sv));
+            let bits = b.blast(&c, sel);
+            assert_eq!(solver.solve(&[]), SolveResult::Sat);
+            let dec = Blaster::new(&mut solver, tru).decode(&bits).unwrap();
+            assert_eq!(dec, want);
+        }
+    }
+
+    #[test]
+    fn constant_binding_costs_no_variables() {
+        let mut c = Circuit::new(8);
+        let x = c.input("x");
+        let y = c.input("y");
+        let s = c.binop(BvOp::Add, x, y);
+        let mut solver = Solver::new();
+        let tru = mk_true(&mut solver);
+        let before = solver.num_vars();
+        let mut b = Blaster::new(&mut solver, tru);
+        b.bind(c.input_id(x), Binding::Const(3));
+        b.bind(c.input_id(y), Binding::Const(4));
+        let bits = b.blast(&c, s);
+        // Fully-constant blasting should introduce zero fresh variables.
+        assert_eq!(solver.num_vars(), before);
+        assert_eq!(solver.solve(&[]), SolveResult::Sat);
+        let dec = Blaster::new(&mut solver, tru).decode(&bits).unwrap();
+        assert_eq!(dec, 7);
+    }
+}

@@ -1,0 +1,250 @@
+//! Bounded equivalence checking of circuit terms.
+//!
+//! This module is the "theorem prover" role of the workspace: the paper
+//! verifies candidate hole assignments over a wider input range with Z3;
+//! we decide the same QF_BV equivalence queries by bit-blasting to the
+//! chipmunk CDCL solver.
+
+use std::time::Instant;
+
+use chipmunk_sat::{SolveResult, Solver};
+
+use crate::blast::{mk_true, Blaster};
+use crate::circuit::{Circuit, InputId, TermId};
+
+/// A falsifying input assignment found by [`check_equiv`] /
+/// [`check_equiv_many`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Counterexample {
+    /// Value of every circuit input, indexed by [`InputId`].
+    pub inputs: Vec<u64>,
+}
+
+impl Counterexample {
+    /// Value of a specific input.
+    pub fn value(&self, i: InputId) -> u64 {
+        self.inputs[i.index()]
+    }
+}
+
+/// Check whether two terms of a circuit agree for **all** inputs.
+///
+/// Returns `None` when the terms are equivalent, `Some(cex)` with a
+/// distinguishing input otherwise. A `deadline` turns an exhausted search
+/// into a panic-free `None`-like state: to keep the API honest, deadline
+/// exhaustion is reported as a counterexample-free `None` is *not* correct,
+/// so this function instead panics on deadline exhaustion; use
+/// [`check_equiv_many`] (which returns a `Result`) when a deadline matters.
+pub fn check_equiv(
+    c: &Circuit,
+    a: TermId,
+    b: TermId,
+    deadline: Option<Instant>,
+) -> Option<Counterexample> {
+    match check_equiv_many(c, &[(a, b)], deadline) {
+        Ok(cex) => cex,
+        Err(TimedOut) => panic!("equivalence check exceeded its deadline"),
+    }
+}
+
+/// Error: the solver hit its deadline before deciding the query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimedOut;
+
+/// Check whether every pair of terms agrees for all inputs.
+///
+/// Used to compare the full output vector of a specification against the
+/// full output vector of a configured pipeline: state variables and packet
+/// fields must all match simultaneously, so the query is
+/// `∃ inputs. ∨_i (aᵢ ≠ bᵢ)`.
+///
+/// * `Ok(None)` — equivalent on the full input space of the circuit width.
+/// * `Ok(Some(cex))` — a distinguishing input assignment.
+/// * `Err(TimedOut)` — deadline exhausted before a decision.
+pub fn check_equiv_many(
+    c: &Circuit,
+    pairs: &[(TermId, TermId)],
+    deadline: Option<Instant>,
+) -> Result<Option<Counterexample>, TimedOut> {
+    let mut circuit = c.clone();
+    let diffs: Vec<TermId> = pairs
+        .iter()
+        .map(|&(a, b)| circuit.binop(crate::BvOp::Ne, a, b))
+        .collect();
+    // If every disequality folded to constant false, the terms are
+    // structurally equivalent and no solving is needed.
+    let mut nontrivial = Vec::new();
+    let mut trivially_diff = false;
+    for &d in &diffs {
+        match circuit.eval_if_const(d) {
+            Some(0) => {}
+            Some(_) => trivially_diff = true,
+            None => nontrivial.push(d),
+        }
+    }
+    if trivially_diff {
+        // Some pair differs on *every* input, so any assignment (here,
+        // all-zeros) is a counterexample.
+        return Ok(Some(Counterexample {
+            inputs: vec![0; circuit.num_inputs()],
+        }));
+    }
+    if nontrivial.is_empty() {
+        return Ok(None);
+    }
+
+    let mut solver = Solver::new();
+    solver.set_deadline(deadline);
+    let tru = mk_true(&mut solver);
+    let mut blaster = Blaster::new(&mut solver, tru);
+    blaster.assert_any(&circuit, &nontrivial);
+    // Realize any inputs the disequalities never touched so the model is
+    // total.
+    let input_bits: Vec<Vec<_>> = (0..circuit.num_inputs())
+        .map(|i| {
+            blaster
+                .input_bits(InputId(i as u32))
+                .map(|b| b.to_vec())
+                .unwrap_or_default()
+        })
+        .collect();
+    match solver.solve(&[]) {
+        SolveResult::Unsat => Ok(None),
+        SolveResult::Unknown => Err(TimedOut),
+        SolveResult::Sat => {
+            let decoder = Blaster::new(&mut solver, tru);
+            let inputs = input_bits
+                .iter()
+                .map(|bits| {
+                    if bits.is_empty() {
+                        0 // untouched input: any value distinguishes
+                    } else {
+                        decoder.decode(bits).expect("model is total")
+                    }
+                })
+                .collect();
+            Ok(Some(Counterexample { inputs }))
+        }
+    }
+}
+
+impl Circuit {
+    /// The constant value of a term if it folded to a constant.
+    pub fn eval_if_const(&self, t: TermId) -> Option<u64> {
+        match *self.node(t) {
+            crate::circuit::Node::Const { value, .. } => Some(value),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BvOp;
+
+    #[test]
+    fn x_times_5_equals_shift_add() {
+        // The paper's Figure 1: x*5 == (x<<2) + x. We have no shift op, so
+        // use x*4 + x, which is the same circuit.
+        let mut c = Circuit::new(8);
+        let x = c.input("x");
+        let five = c.constant(5);
+        let four = c.constant(4);
+        let lhs = c.binop(BvOp::Mul, x, five);
+        let x4 = c.binop(BvOp::Mul, x, four);
+        let rhs = c.binop(BvOp::Add, x4, x);
+        assert_eq!(check_equiv(&c, lhs, rhs, None), None);
+    }
+
+    #[test]
+    fn x_times_5_not_equals_x_times_4() {
+        // The paper's infeasible sketch: x*5 != x*4 (i.e. x<<2 alone).
+        let mut c = Circuit::new(8);
+        let x = c.input("x");
+        let five = c.constant(5);
+        let four = c.constant(4);
+        let lhs = c.binop(BvOp::Mul, x, five);
+        let rhs = c.binop(BvOp::Mul, x, four);
+        let cex = check_equiv(&c, lhs, rhs, None).expect("must differ");
+        let vx = cex.value(c.input_id(x));
+        assert_ne!((vx * 5) & 0xff, (vx * 4) & 0xff);
+    }
+
+    #[test]
+    fn structurally_equal_terms_short_circuit() {
+        let mut c = Circuit::new(8);
+        let x = c.input("x");
+        let y = c.input("y");
+        let a = c.binop(BvOp::Add, x, y);
+        let b = c.binop(BvOp::Add, y, x);
+        // Hash-consing makes these the same term; no solver call needed.
+        assert_eq!(a, b);
+        assert_eq!(check_equiv(&c, a, b, None), None);
+    }
+
+    #[test]
+    fn multi_output_equivalence() {
+        // (x+y, x-y) vs (y+x, x-y): equivalent on both outputs.
+        let mut c = Circuit::new(6);
+        let x = c.input("x");
+        let y = c.input("y");
+        let s1 = c.binop(BvOp::Add, x, y);
+        let d1 = c.binop(BvOp::Sub, x, y);
+        let s2 = c.binop(BvOp::Add, y, x);
+        let d2 = c.binop(BvOp::Sub, x, y);
+        assert_eq!(check_equiv_many(&c, &[(s1, s2), (d1, d2)], None), Ok(None));
+    }
+
+    #[test]
+    fn multi_output_finds_the_one_bad_output() {
+        // First outputs agree, second differ when y != 0.
+        let mut c = Circuit::new(6);
+        let x = c.input("x");
+        let y = c.input("y");
+        let s1 = c.binop(BvOp::Add, x, y);
+        let s2 = c.binop(BvOp::Add, y, x);
+        let d1 = c.binop(BvOp::Sub, x, y);
+        let d2 = c.binop(BvOp::Add, x, y);
+        let cex = check_equiv_many(&c, &[(s1, s2), (d1, d2)], None)
+            .unwrap()
+            .expect("differs");
+        let vy = cex.value(c.input_id(y));
+        let vx = cex.value(c.input_id(x));
+        let m = 63u64;
+        assert_ne!((vx.wrapping_sub(vy)) & m, (vx + vy) & m);
+    }
+
+    #[test]
+    fn constant_difference_reports_immediately() {
+        let mut c = Circuit::new(4);
+        let a = c.constant(1);
+        let b = c.constant(2);
+        let cex = check_equiv(&c, a, b, None).expect("constants differ");
+        assert_eq!(cex.inputs.len(), 0);
+    }
+
+    #[test]
+    fn timeout_is_reported() {
+        let mut c = Circuit::new(12);
+        let x = c.input("x");
+        let y = c.input("y");
+        let p1 = c.binop(BvOp::Mul, x, y);
+        let p2 = c.binop(BvOp::Mul, y, x);
+        // Same term after canonicalization — force a nontrivial query by
+        // comparing x*y with (y*x)+x-x written without folding away.
+        assert_eq!(p1, p2);
+        // Build something genuinely hard: x*y vs x*y with one operand
+        // replaced by a distinct input z constrained nowhere. x*y == x*z is
+        // falsifiable, so the solver must search; with an already-expired
+        // deadline it must give up.
+        let z = c.input("z");
+        let p3 = c.binop(BvOp::Mul, x, z);
+        let res = check_equiv_many(
+            &c,
+            &[(p1, p3)],
+            Some(Instant::now() - std::time::Duration::from_millis(1)),
+        );
+        assert_eq!(res, Err(TimedOut));
+    }
+}

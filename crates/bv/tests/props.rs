@@ -1,0 +1,117 @@
+//! Property tests for the bit-vector layer: circuit evaluation must match
+//! `u64` reference semantics, and the blaster must agree with the
+//! evaluator on random expression trees with symbolic inputs.
+
+use chipmunk_bv::{check_equiv, mk_true, Binding, Blaster, BvOp, Circuit, TermId};
+use chipmunk_sat::{SolveResult, Solver};
+use proptest::prelude::*;
+
+const OPS: &[BvOp] = &[
+    BvOp::Add,
+    BvOp::Sub,
+    BvOp::Mul,
+    BvOp::UDiv,
+    BvOp::URem,
+    BvOp::And,
+    BvOp::Or,
+    BvOp::Xor,
+];
+
+/// A random expression tree encoded as post-order instructions over a
+/// stack seeded with the two inputs.
+#[derive(Clone, Debug)]
+enum Step {
+    PushConst(u64),
+    PushX,
+    PushY,
+    Bin(usize),
+    Mux,
+}
+
+fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..64).prop_map(Step::PushConst),
+            Just(Step::PushX),
+            Just(Step::PushY),
+            (0..OPS.len()).prop_map(Step::Bin),
+            Just(Step::Mux),
+        ],
+        1..20,
+    )
+}
+
+fn build(c: &mut Circuit, x: TermId, y: TermId, steps: &[Step]) -> TermId {
+    let mut stack = vec![x, y];
+    for s in steps {
+        match s {
+            Step::PushConst(v) => stack.push(c.constant(*v)),
+            Step::PushX => stack.push(x),
+            Step::PushY => stack.push(y),
+            Step::Bin(i) => {
+                let b = stack.pop().unwrap_or(x);
+                let a = stack.pop().unwrap_or(y);
+                stack.push(c.binop(OPS[*i], a, b));
+            }
+            Step::Mux => {
+                let f = stack.pop().unwrap_or(x);
+                let t = stack.pop().unwrap_or(y);
+                let sel = stack.pop().unwrap_or(x);
+                let zero = c.constant(0);
+                let cond = c.binop(BvOp::Ne, sel, zero);
+                stack.push(c.mux(cond, t, f));
+            }
+        }
+    }
+    stack.pop().expect("seeded stack is never empty")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Blasting with constant bindings must reproduce the evaluator.
+    #[test]
+    fn blaster_matches_evaluator(
+        steps in arb_steps(),
+        vx in 0u64..64,
+        vy in 0u64..64,
+    ) {
+        let mut c = Circuit::new(6);
+        let x = c.input("x");
+        let y = c.input("y");
+        let root = build(&mut c, x, y, &steps);
+        let want = c.eval(root, &move |i| if i.0 == 0 { vx } else { vy });
+
+        let mut solver = Solver::new();
+        let tru = mk_true(&mut solver);
+        let mut b = Blaster::new(&mut solver, tru);
+        b.bind(c.input_id(x), Binding::Const(vx));
+        b.bind(c.input_id(y), Binding::Const(vy));
+        let bits = b.blast(&c, root);
+        prop_assert_eq!(solver.solve(&[]), SolveResult::Sat);
+        let got = Blaster::new(&mut solver, tru).decode(&bits).expect("model");
+        prop_assert_eq!(got, want);
+    }
+
+    /// The equivalence checker accepts hash-consing-invisible rewrites
+    /// (adding zero, multiplying by one) and rejects off-by-one variants.
+    #[test]
+    fn equiv_checker_is_sound_and_complete_on_identities(
+        steps in arb_steps(),
+    ) {
+        let mut c = Circuit::new(5);
+        let x = c.input("x");
+        let y = c.input("y");
+        let root = build(&mut c, x, y, &steps);
+        // `root + y - y` is equivalent; folding cannot collapse it because
+        // the intermediate wraps.
+        let plus = c.binop(BvOp::Add, root, y);
+        let same = c.binop(BvOp::Sub, plus, y);
+        prop_assert!(check_equiv(&c, root, same, None).is_none());
+        // `root + 1` differs on every input.
+        let one = c.constant(1);
+        let off = c.binop(BvOp::Add, root, one);
+        let cex = check_equiv(&c, root, off, None);
+        prop_assert!(cex.is_some());
+    }
+}

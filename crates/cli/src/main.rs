@@ -1,0 +1,351 @@
+//! `chipmunkc` — the command-line front end of the chipmunk-rs workspace.
+//!
+//! ```text
+//! chipmunkc compile  <file> [--template T] [--imm N] [--width W] [--max-stages K] [--timeout S] [--json]
+//! chipmunkc domino   <file> [--template T] [--imm N] [--width W]
+//! chipmunkc repair   <file> [--template T] [--imm N] [--depth D]
+//! chipmunkc mutate   <file> [--n N] [--seed S]
+//! chipmunkc superopt <file> [--imm N] [--width W] [--max-len L] [--full-alu]
+//! chipmunkc run      <file> [--template T] [--packets N] [--width W] [--trace CSV]
+//! ```
+//!
+//! `--trace` replays a CSV packet trace (header row = packet-field names;
+//! one packet per line) through the synthesized pipeline instead of random
+//! packets, cross-checking every output against the interpreter.
+//!
+//! `<file>` holds a packet transaction in the Domino dialect. Templates:
+//! `raw`, `pred_raw`, `if_else_raw` (default), `sub`, `nested_ifs`.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use chipmunk::{compile, CompilerOptions};
+use chipmunk_domino::{compile as domino_compile, DominoOptions};
+use chipmunk_lang::{parse, Interpreter, PacketState, Program};
+use chipmunk_pisa::{stateful::library, Pipeline, StatefulAluSpec, StatelessAluSpec};
+use chipmunk_repair::{suggest, RepairOptions};
+use chipmunk_superopt::{superoptimize, SuperoptOptions};
+
+struct Args {
+    flags: Vec<(String, String)>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    fn parse(raw: impl Iterator<Item = String>) -> Result<Args, String> {
+        let mut flags = Vec::new();
+        let mut positional = Vec::new();
+        let mut raw = raw.peekable();
+        while let Some(a) = raw.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                // Boolean flags take no value; everything else takes one.
+                if matches!(name, "json" | "full-alu") {
+                    flags.push((name.to_string(), String::new()));
+                } else {
+                    let v = raw
+                        .next()
+                        .ok_or_else(|| format!("--{name} needs a value"))?;
+                    flags.push((name.to_string(), v));
+                }
+            } else {
+                positional.push(a);
+            }
+        }
+        Ok(Args { flags, positional })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name}: bad value `{v}`")),
+        }
+    }
+}
+
+fn template(name: &str, imm: u8) -> Result<StatefulAluSpec, String> {
+    Ok(match name {
+        "raw" => library::raw(imm),
+        "pred_raw" => library::pred_raw(imm),
+        "if_else_raw" => library::if_else_raw(imm),
+        "sub" => library::sub(imm),
+        "nested_ifs" => library::nested_ifs(imm),
+        other => return Err(format!("unknown template `{other}`")),
+    })
+}
+
+fn load(path: &str) -> Result<Program, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse(&src).map_err(|e| format!("{path}:{e}"))
+}
+
+fn usage() -> String {
+    "usage: chipmunkc <compile|domino|repair|mutate|superopt|run> <file> [options]\n\
+     see `chipmunkc help` or the crate docs for options"
+        .to_string()
+}
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let cmd = match argv.next() {
+        Some(c) => c,
+        None => {
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let res = match cmd.as_str() {
+        "compile" => cmd_compile(&args),
+        "domino" => cmd_domino(&args),
+        "repair" => cmd_repair(&args),
+        "mutate" => cmd_mutate(&args),
+        "superopt" => cmd_superopt(&args),
+        "run" => cmd_run(&args),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    };
+    match res {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn file_arg(args: &Args) -> Result<&str, String> {
+    args.positional
+        .first()
+        .map(|s| s.as_str())
+        .ok_or_else(|| "missing <file> argument".to_string())
+}
+
+fn cmd_compile(args: &Args) -> Result<(), String> {
+    let prog = load(file_arg(args)?)?;
+    let imm: u8 = args.num("imm", 4)?;
+    let mut opts = CompilerOptions::new(template(
+        args.get("template").unwrap_or("if_else_raw"),
+        imm,
+    )?);
+    opts.stateless = StatelessAluSpec::banzai(imm);
+    opts.cegis.verify_width = args.num("width", 10)?;
+    opts.max_stages = args.num("max-stages", 4)?;
+    opts.timeout = Some(Duration::from_secs(args.num("timeout", 300)?));
+    let out = compile(&prog, &opts).map_err(|e| e.to_string())?;
+    eprintln!(
+        "compiled in {:.2?}: {} stage(s), max {} ALU(s)/stage, {} total ALU(s)",
+        out.elapsed,
+        out.resources.stages_used,
+        out.resources.max_alus_per_stage,
+        out.resources.total_alus
+    );
+    if args.has("json") {
+        let doc = serde_json::json!({
+            "grid": { "stages": out.grid.stages, "slots": out.grid.slots },
+            "resources": out.resources,
+            "field_to_container": out.decoded.field_to_container,
+            "pipeline": out.decoded.pipeline,
+        });
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&doc).expect("serializable")
+        );
+    }
+    Ok(())
+}
+
+fn cmd_domino(args: &Args) -> Result<(), String> {
+    let prog = load(file_arg(args)?)?;
+    let imm: u8 = args.num("imm", 4)?;
+    let opts = DominoOptions {
+        width: args.num("width", 10)?,
+        stateless: StatelessAluSpec::banzai(imm),
+        stateful: template(args.get("template").unwrap_or("if_else_raw"), imm)?,
+    };
+    let out = domino_compile(&prog, &opts).map_err(|e| e.to_string())?;
+    println!(
+        "compiled: {} stage(s), max {} ALU(s)/stage, {} total ALU(s)",
+        out.resources.stages_used, out.resources.max_alus_per_stage, out.resources.total_alus
+    );
+    Ok(())
+}
+
+fn cmd_repair(args: &Args) -> Result<(), String> {
+    let prog = load(file_arg(args)?)?;
+    let imm: u8 = args.num("imm", 4)?;
+    let mut opts = RepairOptions::new(DominoOptions {
+        width: args.num("width", 10)?,
+        stateless: StatelessAluSpec::banzai(imm),
+        stateful: template(args.get("template").unwrap_or("if_else_raw"), imm)?,
+    });
+    opts.max_depth = args.num("depth", 2)?;
+    match suggest(&prog, &opts) {
+        Ok(hint) => {
+            println!(
+                "repairable with {} rewrite(s) {:?} — suggested program:\n\n{}",
+                hint.steps.len(),
+                hint.steps,
+                hint.program
+            );
+            Ok(())
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn cmd_mutate(args: &Args) -> Result<(), String> {
+    let mut prog = load(file_arg(args)?)?;
+    chipmunk_lang::passes::eliminate_hashes(&mut prog);
+    let n: usize = args.num("n", 5)?;
+    let seed: u64 = args.num("seed", 2019)?;
+    for (i, m) in chipmunk_mutate::mutations(&prog, seed, n)
+        .iter()
+        .enumerate()
+    {
+        println!("// mutation {i}\n{m}");
+    }
+    Ok(())
+}
+
+fn cmd_superopt(args: &Args) -> Result<(), String> {
+    let prog = load(file_arg(args)?)?;
+    let imm: u8 = args.num("imm", 4)?;
+    let alu = if args.has("full-alu") {
+        StatelessAluSpec::banzai(imm)
+    } else {
+        StatelessAluSpec::arith_only(imm)
+    };
+    let mut opts = SuperoptOptions::new(alu);
+    opts.width = args.num("width", 8)?;
+    opts.max_len = args.num("max-len", 4)?;
+    let out = superoptimize(&prog, &opts).map_err(|e| e.to_string())?;
+    println!(
+        "optimal: {} instruction(s) (shorter lengths proven impossible)\n{}",
+        out.instrs.len(),
+        out.listing()
+    );
+    Ok(())
+}
+
+/// Parse a CSV packet trace: header = field names (any order, a subset is
+/// allowed — missing fields stay 0), one packet per row.
+fn load_trace(path: &str, prog: &Program) -> Result<Vec<Vec<u64>>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or_else(|| format!("{path}: empty trace"))?;
+    let cols: Vec<usize> = header
+        .split(',')
+        .map(|name| {
+            let name = name.trim();
+            prog.field_names()
+                .iter()
+                .position(|f| f == name)
+                .ok_or_else(|| format!("{path}: unknown field `{name}` in header"))
+        })
+        .collect::<Result<_, _>>()?;
+    let mut out = Vec::new();
+    for (ln, line) in lines.enumerate() {
+        let mut fields = vec![0u64; prog.field_names().len()];
+        for (ci, cell) in line.split(',').enumerate() {
+            let f = *cols
+                .get(ci)
+                .ok_or_else(|| format!("{path}:{}: too many columns", ln + 2))?;
+            fields[f] = cell
+                .trim()
+                .parse()
+                .map_err(|_| format!("{path}:{}: bad value `{}`", ln + 2, cell.trim()))?;
+        }
+        out.push(fields);
+    }
+    Ok(out)
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let prog = load(file_arg(args)?)?;
+    let imm: u8 = 4;
+    let mut opts = CompilerOptions::new(template(
+        args.get("template").unwrap_or("if_else_raw"),
+        imm,
+    )?);
+    opts.cegis.verify_width = args.num("width", 10)?;
+    opts.timeout = Some(Duration::from_secs(args.num("timeout", 300)?));
+    let out = compile(&prog, &opts).map_err(|e| e.to_string())?;
+    let mut hashfree = prog.clone();
+    if hashfree.stmts().iter().any(|s| s.contains_hash()) {
+        chipmunk_lang::passes::eliminate_hashes(&mut hashfree);
+    }
+    let width: u8 = args.num("width", 10)?;
+    let trace: Option<Vec<Vec<u64>>> = match args.get("trace") {
+        None => None,
+        Some(path) => Some(load_trace(path, &hashfree)?),
+    };
+    let n: usize = trace
+        .as_ref()
+        .map(|t| t.len())
+        .unwrap_or(args.num("packets", 10)?);
+    let mut pipe = Pipeline::new(
+        out.grid.clone(),
+        out.decoded.pipeline.clone(),
+        hashfree.state_names().len(),
+        width,
+    )
+    .map_err(|e| e.to_string())?;
+    let interp = Interpreter::new(&hashfree, width);
+    let mut st = PacketState::zeroed(&hashfree);
+    println!("pkt | {} | states", hashfree.field_names().join(" "));
+    let mut s = 0x5eedu64;
+    for k in 0..n {
+        match &trace {
+            Some(t) => st.fields.copy_from_slice(&t[k]),
+            None => {
+                // Random read-only inputs; written fields start at 0.
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                for (i, v) in st.fields.iter_mut().enumerate() {
+                    *v = (s >> (7 * i + 3)) & ((1 << width.min(10)) - 1);
+                }
+            }
+        }
+        let mut phv = vec![0u64; out.grid.slots];
+        for (f, &c) in out.decoded.field_to_container.iter().enumerate() {
+            phv[c] = st.fields[f];
+        }
+        let phv_out = pipe.exec(&phv);
+        st = interp.exec(&st);
+        let hw: Vec<u64> = out
+            .decoded
+            .field_to_container
+            .iter()
+            .map(|&c| phv_out[c])
+            .collect();
+        if hw != st.fields {
+            return Err(format!(
+                "packet {k}: hardware {hw:?} != spec {:?}",
+                st.fields
+            ));
+        }
+        println!("{k:>3} | {:?} | {:?}", hw, st.states);
+    }
+    eprintln!("hardware matched the specification on all {n} packets");
+    Ok(())
+}

@@ -1,0 +1,667 @@
+//! Counterexample-guided inductive synthesis (CEGIS).
+//!
+//! This is the paper's Figure 3 loop with its §3 "outer loop" twist:
+//!
+//! 1. **Synthesis phase** — an incremental SAT instance holds one literal
+//!    per hole bit. For every concrete test input we instantiate the sketch
+//!    circuit with the inputs as constants (Equation 2) and assert that its
+//!    outputs equal the reference interpreter's outputs. The spec side is
+//!    *executed*, not encoded — fixing the inputs turns `S(xᵢ)` into plain
+//!    constants, which is exactly why CEGIS beats solving the QBF directly
+//!    (§2.3).
+//! 2. **Verification phase** — the candidate hole assignment is checked
+//!    against the spec for *all* inputs (Equation 3) by bit-blasting the
+//!    equivalence query at the full semantic width (default 10 bits — the
+//!    role Z3 plays in the paper). An optional cheap *screening* pass at a
+//!    smaller width catches most bad candidates first; screening
+//!    counterexamples are only fed back if they also distinguish at full
+//!    width, which keeps the loop sound.
+//! 3. A failed verification yields a counterexample input that joins the
+//!    test set; synthesis failure (UNSAT) proves the sketch infeasible for
+//!    this grid.
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use chipmunk_bv::{Binding, Blaster, BvOp, Circuit, TermId};
+use chipmunk_lang::spec::compile_spec;
+use chipmunk_lang::{Interpreter, PacketState, Program};
+use chipmunk_pisa::Pipeline;
+use chipmunk_sat::{Lit, SolveResult, Solver};
+
+use crate::sketch::{DecodedConfig, Sketch};
+
+/// Options for one CEGIS run.
+#[derive(Clone, Copy, Debug)]
+pub struct CegisOptions {
+    /// Semantic width: the candidate must match the spec for all inputs of
+    /// this many bits (the paper verifies with Z3 at 10-bit integers).
+    pub verify_width: u8,
+    /// Width of the cheap screening verifier (the role of SKETCH's internal
+    /// 5-bit verification in the paper). `None` disables screening — the
+    /// decoupled-widths ablation.
+    pub screen_width: Option<u8>,
+    /// Initial concrete inputs are sampled from `[0, 2^synth_input_bits)`
+    /// (SKETCH's "small input range" idea).
+    pub synth_input_bits: u8,
+    /// Number of random initial inputs (plus the all-zeros input).
+    pub num_initial_inputs: usize,
+    /// Iteration cap (each iteration adds at least one counterexample).
+    pub max_iters: usize,
+    /// Wall-clock deadline for the whole run.
+    pub deadline: Option<Instant>,
+    /// Seed for initial-input sampling.
+    pub seed: u64,
+    /// Approximate synthesis (the paper's §5.2): when set, the candidate
+    /// only has to match the specification on inputs whose fields and
+    /// states are all below `2^domain_width`. Outside that domain the
+    /// synthesized pipeline may diverge — measure the divergence with
+    /// [`crate::approx::compile_approximate`]. `None` (the default)
+    /// demands exact equivalence over the full verification width.
+    pub domain_width: Option<u8>,
+}
+
+impl Default for CegisOptions {
+    fn default() -> Self {
+        CegisOptions {
+            verify_width: 10,
+            screen_width: Some(5),
+            synth_input_bits: 5,
+            num_initial_inputs: 4,
+            max_iters: 256,
+            deadline: None,
+            seed: 0xc0ffee,
+            domain_width: None,
+        }
+    }
+}
+
+/// Work counters for a CEGIS run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CegisStats {
+    /// Number of synthesis/verification iterations.
+    pub iterations: usize,
+    /// Counterexamples fed back (screen + full).
+    pub counterexamples: usize,
+    /// Counterexamples contributed by the screening verifier.
+    pub screen_counterexamples: usize,
+    /// Wall time in the synthesis SAT solver.
+    pub synth_time: Duration,
+    /// Wall time in the verification solvers.
+    pub verify_time: Duration,
+    /// Conflicts spent by the synthesis solver.
+    pub synth_conflicts: u64,
+}
+
+/// A successful synthesis result.
+#[derive(Clone, Debug)]
+pub struct Synthesized {
+    /// Decoded hardware configuration.
+    pub decoded: DecodedConfig,
+    /// Raw hole values, aligned with [`Sketch::holes`].
+    pub hole_values: Vec<u64>,
+    /// Work counters.
+    pub stats: CegisStats,
+}
+
+/// Why synthesis did not produce a configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SynthesisError {
+    /// No hole assignment satisfies all accumulated test inputs: the
+    /// program does not fit this grid.
+    Infeasible,
+    /// The deadline or iteration cap was exhausted.
+    Timeout,
+}
+
+impl std::fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthesisError::Infeasible => write!(f, "sketch is infeasible for this grid"),
+            SynthesisError::Timeout => write!(f, "synthesis timed out"),
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}
+
+/// Run CEGIS for `prog` against `sketch`.
+///
+/// The program must be hash-free
+/// ([`chipmunk_lang::passes::eliminate_hashes`]).
+pub fn synthesize(
+    prog: &Program,
+    sketch: &Sketch,
+    opts: &CegisOptions,
+) -> Result<Synthesized, SynthesisError> {
+    synthesize_with_cancel(prog, sketch, opts, None)
+}
+
+/// [`synthesize`] with a cooperative cancellation flag: when another
+/// thread sets it, the run stops at the next solver checkpoint and reports
+/// [`SynthesisError::Timeout`]. Used by the parallel grid-depth sweep so a
+/// shallow success can stop the deeper (often much slower) searches.
+pub fn synthesize_with_cancel(
+    prog: &Program,
+    sketch: &Sketch,
+    opts: &CegisOptions,
+    cancel: Option<Arc<AtomicBool>>,
+) -> Result<Synthesized, SynthesisError> {
+    let w = opts.verify_width;
+    assert!(
+        w >= sketch.max_hole_bits(),
+        "verify_width {w} is narrower than the sketch's widest hole ({} bits); \
+         selector codes would truncate",
+        sketch.max_hole_bits()
+    );
+    let num_fields = prog.field_names().len();
+    let num_states = prog.state_names().len();
+    let interp = Interpreter::new(prog, w);
+
+    // --- Build the sketch circuit once at the semantic width.
+    let mut circuit = Circuit::new(w);
+    let hole_terms: Vec<TermId> = sketch
+        .holes()
+        .iter()
+        .map(|hd| circuit.input(&format!("hole_{}", hd.name)))
+        .collect();
+    let field_terms: Vec<TermId> = prog
+        .field_names()
+        .iter()
+        .map(|n| circuit.input(&format!("pkt_{n}")))
+        .collect();
+    let state_terms: Vec<TermId> = prog
+        .state_names()
+        .iter()
+        .map(|n| circuit.input(&format!("state_{n}")))
+        .collect();
+    let sk_out = sketch.symbolic(&mut circuit, &hole_terms, &field_terms, &state_terms);
+
+    // --- Incremental synthesis solver with shared hole literals.
+    let mut solver = Solver::new();
+    solver.set_cancel_flag(cancel.clone());
+    let tru = chipmunk_bv::mk_true(&mut solver);
+    let hole_bits: Vec<Vec<Lit>> = {
+        let mut b = Blaster::new(&mut solver, tru);
+        sketch.fresh_hole_bits(&mut b)
+    };
+    // Allocation constraints involve only holes: assert once.
+    if !sk_out.constraints.is_empty() {
+        let mut b = Blaster::new(&mut solver, tru);
+        sketch.bind_holes(&circuit, &hole_terms, &hole_bits, &mut b);
+        // Fields/states are irrelevant to the constraints; bind to zero so
+        // the blaster never allocates fresh input literals here.
+        for &t in field_terms.iter().chain(state_terms.iter()) {
+            b.bind(circuit.input_id(t), Binding::Const(0));
+        }
+        for &ct in &sk_out.constraints {
+            b.assert_term(&circuit, ct);
+        }
+    }
+
+    let mut stats = CegisStats::default();
+    let add_input = |solver: &mut Solver, inp: &PacketState, stats: &mut CegisStats| {
+        let want = interp.exec(inp);
+        let mut b = Blaster::new(solver, tru);
+        sketch.bind_holes(&circuit, &hole_terms, &hole_bits, &mut b);
+        for (i, &t) in field_terms.iter().enumerate() {
+            b.bind(circuit.input_id(t), Binding::Const(inp.fields[i]));
+        }
+        for (i, &t) in state_terms.iter().enumerate() {
+            b.bind(circuit.input_id(t), Binding::Const(inp.states[i]));
+        }
+        for (outs, wants) in [
+            (&sk_out.field_outs, &want.fields),
+            (&sk_out.state_outs, &want.states),
+        ] {
+            for (k, &t) in outs.iter().enumerate() {
+                let bits = b.blast(&circuit, t);
+                for (bi, &lit) in bits.iter().enumerate() {
+                    let expect = (wants[k] >> bi) & 1 == 1;
+                    b.assert_bit(lit, expect);
+                }
+            }
+        }
+        stats.counterexamples += 1;
+    };
+
+    // --- Initial test inputs: all-zeros plus seeded random small values.
+    let input_bits = match opts.domain_width {
+        Some(d) => opts.synth_input_bits.min(d),
+        None => opts.synth_input_bits,
+    };
+    let small_mask = if input_bits >= w {
+        circuit.mask()
+    } else {
+        (1u64 << input_bits) - 1
+    };
+    let mut rng = SplitMix64(opts.seed);
+    let mut initial = vec![PacketState {
+        fields: vec![0; num_fields],
+        states: vec![0; num_states],
+    }];
+    for _ in 0..opts.num_initial_inputs {
+        initial.push(PacketState {
+            fields: (0..num_fields).map(|_| rng.next() & small_mask).collect(),
+            states: (0..num_states).map(|_| rng.next() & small_mask).collect(),
+        });
+    }
+    for inp in &initial {
+        add_input(&mut solver, inp, &mut stats);
+    }
+
+    // --- The CEGIS loop.
+    for _iter in 0..opts.max_iters {
+        stats.iterations += 1;
+        if cancel
+            .as_ref()
+            .is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed))
+        {
+            return Err(SynthesisError::Timeout);
+        }
+        if let Some(d) = opts.deadline {
+            if Instant::now() >= d {
+                return Err(SynthesisError::Timeout);
+            }
+        }
+        // Synthesis phase.
+        solver.set_deadline(opts.deadline);
+        let t0 = Instant::now();
+        let res = solver.solve(&[]);
+        stats.synth_time += t0.elapsed();
+        stats.synth_conflicts = solver.stats().conflicts;
+        let hole_values: Vec<u64> = match res {
+            SolveResult::Unsat => return Err(SynthesisError::Infeasible),
+            SolveResult::Unknown => return Err(SynthesisError::Timeout),
+            SolveResult::Sat => {
+                let dec = Blaster::new(&mut solver, tru);
+                hole_bits
+                    .iter()
+                    .map(|bits| dec.decode(bits).expect("model is total"))
+                    .collect()
+            }
+        };
+
+        // Screening verification at a small width (cheap), if enabled.
+        // The screen width is raised to the widest hole so selector codes
+        // survive; if that reaches the full width, screening is pointless.
+        let t1 = Instant::now();
+        if let Some(sw) = opts.screen_width {
+            let sw = sw.max(sketch.max_hole_bits());
+            if sw < w {
+                if let Some(cex) = verify_at(
+                    prog,
+                    sketch,
+                    &hole_values,
+                    sw,
+                    opts.domain_width,
+                    opts.deadline,
+                )? {
+                    // Only sound to feed back if it also distinguishes at
+                    // the full width.
+                    if distinguishes_at(prog, sketch, &hole_values, &cex, w) {
+                        stats.verify_time += t1.elapsed();
+                        stats.screen_counterexamples += 1;
+                        add_input(&mut solver, &cex, &mut stats);
+                        continue;
+                    }
+                }
+            }
+        }
+        // Full-width verification (the paper's Z3 role).
+        let cex = verify_at(
+            prog,
+            sketch,
+            &hole_values,
+            w,
+            opts.domain_width,
+            opts.deadline,
+        )?;
+        stats.verify_time += t1.elapsed();
+        match cex {
+            None => {
+                let decoded = sketch.decode(&hole_values);
+                return Ok(Synthesized {
+                    decoded,
+                    hole_values,
+                    stats,
+                });
+            }
+            Some(cex) => {
+                add_input(&mut solver, &cex, &mut stats);
+            }
+        }
+    }
+    Err(SynthesisError::Timeout)
+}
+
+/// Check a candidate hole assignment against the program at `width`;
+/// `Ok(Some(input))` is a distinguishing input. When `domain_width` is
+/// set, only inputs with every field and state below `2^domain_width` are
+/// quantified over (approximate synthesis, §5.2).
+pub fn verify_at(
+    prog: &Program,
+    sketch: &Sketch,
+    hole_values: &[u64],
+    width: u8,
+    domain_width: Option<u8>,
+    deadline: Option<Instant>,
+) -> Result<Option<PacketState>, SynthesisError> {
+    verify_at_inner(
+        prog,
+        sketch,
+        hole_values,
+        width,
+        domain_width,
+        deadline,
+        None,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn verify_at_inner(
+    prog: &Program,
+    sketch: &Sketch,
+    hole_values: &[u64],
+    width: u8,
+    domain_width: Option<u8>,
+    deadline: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
+) -> Result<Option<PacketState>, SynthesisError> {
+    let mut circuit = Circuit::new(width);
+    let hole_terms: Vec<TermId> = sketch
+        .holes()
+        .iter()
+        .map(|hd| circuit.input(&format!("hole_{}", hd.name)))
+        .collect();
+    let field_terms: Vec<TermId> = prog
+        .field_names()
+        .iter()
+        .map(|n| circuit.input(&format!("pkt_{n}")))
+        .collect();
+    let state_terms: Vec<TermId> = prog
+        .state_names()
+        .iter()
+        .map(|n| circuit.input(&format!("state_{n}")))
+        .collect();
+    let sk_out = sketch.symbolic(&mut circuit, &hole_terms, &field_terms, &state_terms);
+    let spec_out = compile_spec(prog, &mut circuit, &field_terms, &state_terms);
+
+    let mut diffs: Vec<TermId> = Vec::new();
+    for (a, b) in sk_out
+        .field_outs
+        .iter()
+        .zip(spec_out.field_outs.iter())
+        .chain(sk_out.state_outs.iter().zip(spec_out.state_outs.iter()))
+    {
+        diffs.push(circuit.binop(BvOp::Ne, *a, *b));
+    }
+    // Domain restriction: the counterexample must lie inside the domain.
+    let mut domain_constraints: Vec<TermId> = Vec::new();
+    if let Some(d) = domain_width {
+        if d < width {
+            let bound = circuit.constant(1u64 << d);
+            for &t in field_terms.iter().chain(state_terms.iter()) {
+                domain_constraints.push(circuit.binop(BvOp::Ult, t, bound));
+            }
+        }
+    }
+
+    let mut solver = Solver::new();
+    solver.set_deadline(deadline);
+    solver.set_cancel_flag(cancel);
+    let tru = chipmunk_bv::mk_true(&mut solver);
+    let mut b = Blaster::new(&mut solver, tru);
+    for (i, &t) in hole_terms.iter().enumerate() {
+        b.bind(circuit.input_id(t), Binding::Const(hole_values[i]));
+    }
+    b.assert_any(&circuit, &diffs);
+    for &dc in &domain_constraints {
+        b.assert_term(&circuit, dc);
+    }
+    // Realize all program inputs so the counterexample is total.
+    let field_bits: Vec<Vec<Lit>> = field_terms.iter().map(|&t| b.blast(&circuit, t)).collect();
+    let state_bits: Vec<Vec<Lit>> = state_terms.iter().map(|&t| b.blast(&circuit, t)).collect();
+
+    match solver.solve(&[]) {
+        SolveResult::Unsat => Ok(None),
+        SolveResult::Unknown => Err(SynthesisError::Timeout),
+        SolveResult::Sat => {
+            let dec = Blaster::new(&mut solver, tru);
+            let fields = field_bits
+                .iter()
+                .map(|bits| dec.decode(bits).expect("total model"))
+                .collect();
+            let states = state_bits
+                .iter()
+                .map(|bits| dec.decode(bits).expect("total model"))
+                .collect();
+            Ok(Some(PacketState { fields, states }))
+        }
+    }
+}
+
+/// Does `input` distinguish the candidate from the spec at `width`?
+/// (Concrete execution — used to validate screening counterexamples.)
+fn distinguishes_at(
+    prog: &Program,
+    sketch: &Sketch,
+    hole_values: &[u64],
+    input: &PacketState,
+    width: u8,
+) -> bool {
+    let want = Interpreter::new(prog, width).exec(input);
+    let got = exec_decoded(prog, sketch, &sketch.decode(hole_values), input, width);
+    got != want
+}
+
+/// Execute a decoded configuration on one packet, mapping program fields
+/// onto PHV containers and back.
+pub fn exec_decoded(
+    prog: &Program,
+    sketch: &Sketch,
+    decoded: &DecodedConfig,
+    input: &PacketState,
+    width: u8,
+) -> PacketState {
+    let grid = sketch.grid().clone();
+    let slots = grid.slots;
+    let num_states = prog.state_names().len();
+    let mut pipe = Pipeline::new(grid, decoded.pipeline.clone(), num_states, width)
+        .expect("decoded configs validate");
+    for (v, &val) in input.states.iter().enumerate() {
+        pipe.set_state(v, val);
+    }
+    let mut phv = vec![0u64; slots];
+    for (f, &c) in decoded.field_to_container.iter().enumerate() {
+        phv[c] = input.fields[f];
+    }
+    let phv_out = pipe.exec(&phv);
+    PacketState {
+        fields: decoded
+            .field_to_container
+            .iter()
+            .map(|&c| phv_out[c])
+            .collect(),
+        states: (0..num_states).map(|v| pipe.state(v)).collect(),
+    }
+}
+
+/// Differential validation of a synthesized configuration: run `samples`
+/// random packets through both the interpreter and the configured pipeline
+/// and report the first mismatch.
+pub fn validate_decoded(
+    prog: &Program,
+    sketch: &Sketch,
+    decoded: &DecodedConfig,
+    width: u8,
+    samples: usize,
+    seed: u64,
+) -> Option<PacketState> {
+    let interp = Interpreter::new(prog, width);
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
+    let mut rng = SplitMix64(seed);
+    let num_fields = prog.field_names().len();
+    let num_states = prog.state_names().len();
+    for _ in 0..samples {
+        let inp = PacketState {
+            fields: (0..num_fields).map(|_| rng.next() & mask).collect(),
+            states: (0..num_states).map(|_| rng.next() & mask).collect(),
+        };
+        let want = interp.exec(&inp);
+        let got = exec_decoded(prog, sketch, decoded, &inp, width);
+        if got != want {
+            return Some(inp);
+        }
+    }
+    None
+}
+
+/// Minimal deterministic RNG (SplitMix64) — keeps this crate free of the
+/// `rand` dependency while staying reproducible.
+pub(crate) struct SplitMix64(pub(crate) u64);
+
+impl SplitMix64 {
+    pub(crate) fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sketch::SketchOptions;
+    use chipmunk_pisa::stateful::library;
+    use chipmunk_pisa::GridSpec;
+
+    fn fast_opts() -> CegisOptions {
+        CegisOptions {
+            verify_width: 6,
+            screen_width: Some(3),
+            synth_input_bits: 3,
+            num_initial_inputs: 3,
+            max_iters: 64,
+            deadline: None,
+            seed: 42,
+            domain_width: None,
+        }
+    }
+
+    fn synth_ok(src: &str, grid: GridSpec, opts: &CegisOptions) -> Synthesized {
+        let prog = chipmunk_lang::parse(src).unwrap();
+        let sketch = Sketch::new(
+            grid,
+            prog.field_names().len(),
+            prog.state_names().len(),
+            SketchOptions::default(),
+        )
+        .unwrap();
+        let out = synthesize(&prog, &sketch, opts).expect("synthesis should succeed");
+        // Defense in depth: differential-validate the result.
+        assert_eq!(
+            validate_decoded(&prog, &sketch, &out.decoded, opts.verify_width, 500, 7),
+            None,
+            "synthesized config diverges from spec"
+        );
+        out
+    }
+
+    #[test]
+    fn synthesizes_identity_program() {
+        let g = GridSpec::new(1, 2, library::raw(2), 2);
+        synth_ok("pkt.y = pkt.x;", g, &fast_opts());
+    }
+
+    #[test]
+    fn synthesizes_increment() {
+        let g = GridSpec::new(1, 1, library::raw(2), 2);
+        synth_ok("pkt.x = pkt.x + 1;", g, &fast_opts());
+    }
+
+    #[test]
+    fn synthesizes_stateful_accumulator() {
+        // s += pkt.x; needs one raw stateful ALU.
+        let g = GridSpec::new(1, 2, library::raw(2), 2);
+        synth_ok("state s; s = s + pkt.x;", g, &fast_opts());
+    }
+
+    #[test]
+    fn synthesizes_sampling_with_if_else_raw() {
+        let g = GridSpec::new(2, 2, library::if_else_raw(3), 3);
+        let out = synth_ok(
+            "state count;
+             if (count == 5) { count = 0; pkt.sample = 1; }
+             else { count = count + 1; pkt.sample = 0; }",
+            g,
+            &fast_opts(),
+        );
+        assert!(out.stats.iterations >= 1);
+    }
+
+    #[test]
+    fn infeasible_when_grid_too_weak() {
+        // x*y is not expressible by add/sub ALUs on a 1-stage grid.
+        let prog = chipmunk_lang::parse("pkt.z = pkt.x * pkt.y;").unwrap();
+        let g = GridSpec::new(1, 3, library::raw(2), 2);
+        let sketch = Sketch::new(g, 3, 0, SketchOptions::default()).unwrap();
+        let err = synthesize(&prog, &sketch, &fast_opts()).unwrap_err();
+        assert_eq!(err, SynthesisError::Infeasible);
+    }
+
+    #[test]
+    fn deadline_yields_timeout() {
+        let prog = chipmunk_lang::parse("state s; s = s + pkt.x;").unwrap();
+        let g = GridSpec::new(2, 2, library::nested_ifs(3), 3);
+        let sketch = Sketch::new(g, 1, 1, SketchOptions::default()).unwrap();
+        let opts = CegisOptions {
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            ..fast_opts()
+        };
+        let err = synthesize(&prog, &sketch, &opts).unwrap_err();
+        assert_eq!(err, SynthesisError::Timeout);
+    }
+
+    #[test]
+    fn screening_disabled_still_works() {
+        let g = GridSpec::new(1, 1, library::raw(2), 2);
+        let opts = CegisOptions {
+            screen_width: None,
+            ..fast_opts()
+        };
+        synth_ok("pkt.x = pkt.x + 2;", g, &opts);
+    }
+
+    #[test]
+    fn non_canonical_field_allocation_synthesizes() {
+        let prog = chipmunk_lang::parse("pkt.y = pkt.x + 1;").unwrap();
+        let g = GridSpec::new(1, 2, library::raw(2), 2);
+        let sketch = Sketch::new(
+            g,
+            2,
+            0,
+            SketchOptions {
+                canonical_fields: false,
+            },
+        )
+        .unwrap();
+        let out = synthesize(&prog, &sketch, &fast_opts()).expect("succeeds");
+        // The allocation must be injective.
+        let mut seen = std::collections::HashSet::new();
+        for &c in &out.decoded.field_to_container {
+            assert!(seen.insert(c), "two fields share container {c}");
+        }
+        assert_eq!(
+            validate_decoded(&prog, &sketch, &out.decoded, 6, 300, 3),
+            None
+        );
+    }
+}

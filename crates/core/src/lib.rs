@@ -1,0 +1,47 @@
+//! # chipmunk
+//!
+//! A synthesis-based code generator for PISA packet-processing pipelines —
+//! a from-scratch Rust reproduction of *"Autogenerating Fast
+//! Packet-Processing Code Using Program Synthesis"* (HotNets 2019).
+//!
+//! Given a packet transaction (a `chipmunk-lang` program), a grid shape and
+//! ALU descriptions (`chipmunk-pisa`), the compiler:
+//!
+//! 1. generates a **sketch** — a symbolic pipeline whose hardware
+//!    configurations (Table 1 of the paper: ALU opcodes, mux controls,
+//!    packet-field and state-variable allocations, immediates) are *holes*
+//!    ([`Sketch`]);
+//! 2. runs **CEGIS** (counterexample-guided inductive synthesis) to fill
+//!    the holes so the pipeline is input-output equivalent to the program
+//!    ([`cegis`]), with a decoupled wide-width verification pass standing in
+//!    for the paper's Z3 outer loop;
+//! 3. searches grid sizes **smallest-first**, so the first success uses the
+//!    minimum number of pipeline stages ([`compile`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use chipmunk::{compile, CompilerOptions};
+//! use chipmunk_lang::parse;
+//!
+//! let prog = parse(
+//!     "state count;
+//!      if (count == 3) { count = 0; pkt.sample = 1; }
+//!      else { count = count + 1; pkt.sample = 0; }",
+//! ).unwrap();
+//! let opts = CompilerOptions::small_for_tests();
+//! let out = compile(&prog, &opts).expect("synthesis succeeds");
+//! assert_eq!(out.resources.stages_used, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod approx;
+pub mod cegis;
+mod search;
+pub mod sketch;
+
+pub use approx::{compile_approximate, ApproxOptions, ApproxOutcome};
+pub use cegis::{CegisOptions, CegisStats, SynthesisError, Synthesized};
+pub use search::{compile, CodegenError, CodegenSuccess, CompilerOptions};
+pub use sketch::{DecodedConfig, HoleDecl, Sketch, SketchOptions, SketchOutputs};

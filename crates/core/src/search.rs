@@ -1,0 +1,373 @@
+//! The compiler driver: grid-size search over CEGIS runs.
+//!
+//! PISA compilation is all-or-nothing (§1 of the paper): a program either
+//! fits a grid or it does not. The driver therefore tries grids with 1, 2,
+//! 3, … stages and returns the **first** success, which is automatically
+//! the minimal pipeline depth — the reason Chipmunk's Figure 5 stage counts
+//! beat Domino's and show no variance across mutations.
+
+use std::time::{Duration, Instant};
+
+use chipmunk_lang::Program;
+use chipmunk_pisa::{
+    grid::resources_of, GridSpec, ResourceUsage, StatefulAluSpec, StatelessAluSpec,
+};
+
+use crate::cegis::{synthesize, CegisOptions, CegisStats, SynthesisError, Synthesized};
+use crate::sketch::{DecodedConfig, Sketch, SketchOptions};
+
+/// Options for a full compilation.
+#[derive(Clone, Debug)]
+pub struct CompilerOptions {
+    /// Largest pipeline depth to try (Tofino has 12 stages; the paper's
+    /// benchmarks fit well under that).
+    pub max_stages: usize,
+    /// PHV containers / ALUs per stage. Defaults to
+    /// `max(#fields, #states, 1)` — the smallest grid the program can
+    /// occupy.
+    pub slots: Option<usize>,
+    /// Stateful ALU template for the (homogeneous) grid.
+    pub stateful: StatefulAluSpec,
+    /// Stateless ALU description.
+    pub stateless: StatelessAluSpec,
+    /// Sketch construction options (canonicalization).
+    pub sketch: SketchOptions,
+    /// CEGIS options (verification widths, input sampling, iteration cap).
+    pub cegis: CegisOptions,
+    /// Overall wall-clock budget for the whole search.
+    pub timeout: Option<Duration>,
+    /// Try all grid depths concurrently on OS threads and return the
+    /// shallowest success (the search-space symmetry of §3 makes the runs
+    /// independent).
+    pub parallel: bool,
+}
+
+impl CompilerOptions {
+    /// Paper-like defaults for a given stateful ALU template.
+    pub fn new(stateful: StatefulAluSpec) -> Self {
+        CompilerOptions {
+            max_stages: 6,
+            slots: None,
+            stateful,
+            stateless: StatelessAluSpec::banzai(4),
+            sketch: SketchOptions::default(),
+            cegis: CegisOptions::default(),
+            timeout: None,
+            parallel: false,
+        }
+    }
+
+    /// Small widths and grids for fast unit tests and doctests.
+    pub fn small_for_tests() -> Self {
+        let mut o = CompilerOptions::new(chipmunk_pisa::stateful::library::if_else_raw(3));
+        o.max_stages = 2;
+        o.stateless = StatelessAluSpec::banzai(3);
+        o.cegis = CegisOptions {
+            verify_width: 6,
+            screen_width: Some(3),
+            synth_input_bits: 3,
+            num_initial_inputs: 3,
+            max_iters: 64,
+            deadline: None,
+            seed: 42,
+            domain_width: None,
+        };
+        o
+    }
+}
+
+/// A successful compilation.
+#[derive(Clone, Debug)]
+pub struct CodegenSuccess {
+    /// The synthesized hardware configuration.
+    pub decoded: DecodedConfig,
+    /// Raw hole values (aligned with the winning sketch's hole layout).
+    pub hole_values: Vec<u64>,
+    /// The grid the program was fitted to.
+    pub grid: GridSpec,
+    /// Resource usage — the paper's Figure 5 metrics.
+    pub resources: ResourceUsage,
+    /// CEGIS work counters of the winning run.
+    pub stats: CegisStats,
+    /// Wall time of the whole search.
+    pub elapsed: Duration,
+    /// Grid depths attempted (sequential mode: failures before success).
+    pub stages_tried: usize,
+}
+
+/// Why compilation failed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CodegenError {
+    /// The program shape cannot fit any grid (too many fields/states for
+    /// the slot count).
+    TooLarge(String),
+    /// Synthesis proved the program infeasible for every grid depth up to
+    /// `max_stages`.
+    Infeasible,
+    /// The time budget or iteration caps were exhausted before a decision.
+    Timeout,
+}
+
+impl std::fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodegenError::TooLarge(m) => write!(f, "program too large: {m}"),
+            CodegenError::Infeasible => write!(f, "no grid up to max_stages fits the program"),
+            CodegenError::Timeout => write!(f, "compilation timed out"),
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+/// Compile a packet transaction to a PISA configuration.
+///
+/// Hash calls are eliminated automatically (each becomes a fresh read-only
+/// metadata field, as delivered by PISA hash units).
+pub fn compile(prog: &Program, opts: &CompilerOptions) -> Result<CodegenSuccess, CodegenError> {
+    let start = Instant::now();
+    let mut prog = prog.clone();
+    if prog.stmts().iter().any(|s| s.contains_hash()) {
+        chipmunk_lang::passes::eliminate_hashes(&mut prog);
+    }
+    let num_fields = prog.field_names().len();
+    let num_states = prog.state_names().len();
+    let slots = opts
+        .slots
+        .unwrap_or_else(|| num_fields.max(num_states).max(1));
+    if num_fields > slots || num_states > slots {
+        return Err(CodegenError::TooLarge(format!(
+            "{num_fields} fields / {num_states} states exceed {slots} slots"
+        )));
+    }
+    let deadline = opts.timeout.map(|t| start + t);
+    let cegis_opts = CegisOptions {
+        deadline: match (deadline, opts.cegis.deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        },
+        ..opts.cegis
+    };
+
+    let attempt = |stages: usize,
+                   cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>|
+     -> Result<(Synthesized, GridSpec), SynthesisError> {
+        let grid = GridSpec {
+            stages,
+            slots,
+            stateless: opts.stateless.clone(),
+            stateful: opts.stateful.clone(),
+        };
+        let sketch = Sketch::new(grid.clone(), num_fields, num_states, opts.sketch)
+            .map_err(|_| SynthesisError::Infeasible)?;
+        crate::cegis::synthesize_with_cancel(&prog, &sketch, &cegis_opts, cancel).map(|s| (s, grid))
+    };
+
+    if opts.parallel {
+        return compile_parallel(&attempt, opts.max_stages, start);
+    }
+
+    let mut saw_timeout = false;
+    for stages in 1..=opts.max_stages {
+        match attempt(stages, None) {
+            Ok((synthesized, grid)) => {
+                let resources = resources_of(&grid, &synthesized.decoded.pipeline);
+                return Ok(CodegenSuccess {
+                    decoded: synthesized.decoded,
+                    hole_values: synthesized.hole_values,
+                    grid,
+                    resources,
+                    stats: synthesized.stats,
+                    elapsed: start.elapsed(),
+                    stages_tried: stages,
+                });
+            }
+            Err(SynthesisError::Infeasible) => continue,
+            Err(SynthesisError::Timeout) => {
+                saw_timeout = true;
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    return Err(CodegenError::Timeout);
+                }
+                // Iteration cap without a global deadline: deeper grids may
+                // still succeed, keep going.
+            }
+        }
+    }
+    if saw_timeout {
+        Err(CodegenError::Timeout)
+    } else {
+        Err(CodegenError::Infeasible)
+    }
+}
+
+type AttemptFn<'a> = dyn Fn(
+        usize,
+        Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+    ) -> Result<(Synthesized, GridSpec), SynthesisError>
+    + Sync
+    + 'a;
+
+fn compile_parallel(
+    attempt: &AttemptFn<'_>,
+    max_stages: usize,
+    start: Instant,
+) -> Result<CodegenSuccess, CodegenError> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    // One cancellation flag per depth: a success at depth d stops every
+    // *deeper* search (their answer could not be preferred anyway), while
+    // shallower searches keep running so the result stays minimal.
+    let flags: Vec<Arc<AtomicBool>> = (0..max_stages)
+        .map(|_| Arc::new(AtomicBool::new(false)))
+        .collect();
+    let results: Vec<(usize, Result<(Synthesized, GridSpec), SynthesisError>)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (1..=max_stages)
+                .map(|stages| {
+                    let my_flag = flags[stages - 1].clone();
+                    let deeper: Vec<Arc<AtomicBool>> = flags[stages..].to_vec();
+                    scope.spawn(move || {
+                        let res = attempt(stages, Some(my_flag));
+                        if res.is_ok() {
+                            for f in &deeper {
+                                f.store(true, Ordering::Relaxed);
+                            }
+                        }
+                        (stages, res)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panics"))
+                .collect()
+        });
+    let mut saw_timeout = false;
+    let mut best: Option<(usize, Synthesized, GridSpec)> = None;
+    let mut cancelled_below_best = false;
+    for (stages, res) in results {
+        match res {
+            Ok((s, g)) => {
+                if best.as_ref().is_none_or(|(b, _, _)| stages < *b) {
+                    best = Some((stages, s, g));
+                }
+            }
+            Err(SynthesisError::Timeout) => {
+                saw_timeout = true;
+                if flags[stages - 1].load(Ordering::Relaxed) {
+                    cancelled_below_best = true;
+                }
+            }
+            Err(SynthesisError::Infeasible) => {}
+        }
+    }
+    // Cancelled runs were all deeper than some success, so they cannot
+    // affect minimality.
+    let _ = cancelled_below_best;
+    match best {
+        Some((stages, synthesized, grid)) => {
+            let resources = resources_of(&grid, &synthesized.decoded.pipeline);
+            Ok(CodegenSuccess {
+                decoded: synthesized.decoded,
+                hole_values: synthesized.hole_values,
+                grid,
+                resources,
+                stats: synthesized.stats,
+                elapsed: start.elapsed(),
+                stages_tried: stages,
+            })
+        }
+        None if saw_timeout => Err(CodegenError::Timeout),
+        None => Err(CodegenError::Infeasible),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cegis::validate_decoded;
+    use chipmunk_lang::parse;
+
+    #[test]
+    fn compiles_sampling_minimally() {
+        let prog = parse(
+            "state count;
+             if (count == 3) { count = 0; pkt.sample = 1; }
+             else { count = count + 1; pkt.sample = 0; }",
+        )
+        .unwrap();
+        let opts = CompilerOptions::small_for_tests();
+        let out = compile(&prog, &opts).expect("sampling fits");
+        assert_eq!(out.resources.stages_used, 1);
+        assert!(out.resources.max_alus_per_stage >= 1);
+        // Validate end-to-end.
+        let sketch = Sketch::new(
+            out.grid.clone(),
+            prog.field_names().len(),
+            prog.state_names().len(),
+            opts.sketch,
+        )
+        .unwrap();
+        assert_eq!(
+            validate_decoded(
+                &prog,
+                &sketch,
+                &out.decoded,
+                opts.cegis.verify_width,
+                400,
+                5
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn infeasible_program_reports_infeasible() {
+        let prog = parse("pkt.z = pkt.x * pkt.y;").unwrap();
+        let mut opts = CompilerOptions::small_for_tests();
+        opts.max_stages = 2;
+        assert_eq!(compile(&prog, &opts).unwrap_err(), CodegenError::Infeasible);
+    }
+
+    #[test]
+    fn too_many_fields_for_slots() {
+        let prog = parse("pkt.a = pkt.b + pkt.c; pkt.d = pkt.e;").unwrap();
+        let mut opts = CompilerOptions::small_for_tests();
+        opts.slots = Some(2);
+        assert!(matches!(
+            compile(&prog, &opts).unwrap_err(),
+            CodegenError::TooLarge(_)
+        ));
+    }
+
+    #[test]
+    fn global_timeout_is_respected() {
+        let prog = parse("state s; s = s + pkt.x; pkt.y = s;").unwrap();
+        let mut opts = CompilerOptions::small_for_tests();
+        opts.timeout = Some(Duration::from_nanos(1));
+        assert_eq!(compile(&prog, &opts).unwrap_err(), CodegenError::Timeout);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_depth() {
+        let prog = parse("state s; s = s + 1; pkt.out = s;").unwrap();
+        let mut seq = CompilerOptions::small_for_tests();
+        seq.max_stages = 3;
+        let a = compile(&prog, &seq).expect("sequential");
+        let mut par = seq.clone();
+        par.parallel = true;
+        let b = compile(&prog, &par).expect("parallel");
+        assert_eq!(a.grid.stages, b.grid.stages);
+    }
+
+    #[test]
+    fn hash_programs_compile_via_elimination() {
+        let prog = parse("state last; last = hash(pkt.a) ; pkt.out = last;").unwrap();
+        // hash(pkt.a) becomes a free metadata field; `last = field` fits raw.
+        let mut opts = CompilerOptions::small_for_tests();
+        opts.max_stages = 3;
+        opts.slots = Some(3);
+        compile(&prog, &opts).expect("hash program compiles");
+    }
+}

@@ -1,0 +1,41 @@
+//! # chipmunk-domino
+//!
+//! The baseline code generator: a reimplementation of the **Domino**
+//! compiler architecture (Sivaraman et al., SIGCOMM 2016) that the paper
+//! compares Chipmunk against. It is built from classical compiler passes —
+//! rewrite rules over the program structure — rather than search:
+//!
+//! 1. **Preprocessing** — hash elimination and width-aware constant
+//!    folding (`chipmunk-lang` passes).
+//! 2. **Branch removal** (if-conversion) — control flow becomes guarded,
+//!    straight-line assignments ([`tac`]).
+//! 3. **Flattening to three-address code** with SSA temporaries — each
+//!    operation is a candidate for one stateless ALU ([`tac`]).
+//! 4. **Codelet partitioning** — strongly-connected components of the
+//!    dependency graph that contain a state variable must execute inside a
+//!    single *atom* (stateful ALU), because a state update cannot wait for
+//!    a later pipeline stage ([`codelet`]).
+//! 5. **Template matching** — each stateful codelet is matched
+//!    *syntactically* against the stateful ALU template. The matcher is
+//!    deliberately rigid (no commutativity, no re-association, no algebraic
+//!    rewrites beyond two fixed normalizations): this is the documented
+//!    source of Domino's brittleness, where semantics-preserving rewrites
+//!    of a compilable program get rejected as "too expressive" — the
+//!    behaviour the paper's Table 2 measures ([`matcher`]).
+//! 6. **Pipeline scheduling** — longest-path stage assignment over the
+//!    codelet DAG, plus mapping of every remaining operation onto the
+//!    stateless ALU's opcode set ([`compile`]).
+//!
+//! The output carries the paper's Figure 5 metrics (pipeline depth, max
+//! ALUs per stage) and is executable ([`DominoOutput::exec`]) so the
+//! matcher's hole bindings are differentially validated against the
+//! reference interpreter.
+
+#![warn(missing_docs)]
+
+pub mod codelet;
+mod compile;
+pub mod matcher;
+pub mod tac;
+
+pub use compile::{compile, DominoError, DominoOptions, DominoOutput};

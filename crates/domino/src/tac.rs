@@ -1,0 +1,352 @@
+//! Branch removal and flattening to three-address code.
+//!
+//! After this pass the program is a list of SSA temporaries, each computed
+//! by exactly one operation over atomic operands. Control flow is gone:
+//! assignments that were conditional have become `guard ? value : old`
+//! select operations (if-conversion, Domino's "branch removal" pass).
+//!
+//! State variables are *not* SSA-renamed. A read before any write yields
+//! the atom [`Atom::StateOld`]; writes are recorded per state variable in
+//! program order, and reads after a write see the written temporary.
+
+use chipmunk_lang::{BinOp, Expr, LValue, Program, Stmt, UnOp};
+
+/// An atomic operand.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Atom {
+    /// Incoming packet field `i`.
+    Field(usize),
+    /// The value of state variable `s` before this packet's update.
+    StateOld(usize),
+    /// SSA temporary `t`.
+    Tmp(usize),
+    /// Integer constant.
+    Const(u64),
+}
+
+/// One three-address operation; its destination is the temporary with the
+/// operation's index in [`Tac::ops`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TacKind {
+    /// Unary operation.
+    Un(UnOp, Atom),
+    /// Binary operation.
+    Bin(BinOp, Atom, Atom),
+    /// `cond != 0 ? then : else`.
+    Ternary(Atom, Atom, Atom),
+}
+
+impl TacKind {
+    /// The operands read by this operation.
+    pub fn operands(&self) -> Vec<Atom> {
+        match self {
+            TacKind::Un(_, a) => vec![*a],
+            TacKind::Bin(_, a, b) => vec![*a, *b],
+            TacKind::Ternary(c, t, f) => vec![*c, *t, *f],
+        }
+    }
+}
+
+/// The flattened program.
+#[derive(Clone, Debug)]
+pub struct Tac {
+    /// Operations; `ops[t]` computes temporary `t`.
+    pub ops: Vec<TacKind>,
+    /// Final value of each packet field.
+    pub field_out: Vec<Atom>,
+    /// Temporaries written to each state variable, in program order
+    /// (empty = never written).
+    pub state_writes: Vec<Vec<usize>>,
+    /// Number of packet fields.
+    pub num_fields: usize,
+    /// Number of state variables.
+    pub num_states: usize,
+}
+
+impl Tac {
+    /// The final value of state variable `s`: the last written temporary,
+    /// or its old value if never written.
+    pub fn state_out(&self, s: usize) -> Atom {
+        match self.state_writes[s].last() {
+            Some(&t) => Atom::Tmp(t),
+            None => Atom::StateOld(s),
+        }
+    }
+}
+
+/// Lower a (hash-free) program to TAC with branch removal.
+///
+/// # Panics
+/// If the program still contains `hash(...)` calls.
+pub fn lower(prog: &Program) -> Tac {
+    let mut lw = Lowerer {
+        ops: Vec::new(),
+        fields: (0..prog.field_names().len()).map(Atom::Field).collect(),
+        states: (0..prog.state_names().len()).map(Atom::StateOld).collect(),
+        locals: vec![Atom::Const(0); prog.local_names().len()],
+        state_writes: vec![Vec::new(); prog.state_names().len()],
+    };
+    lw.stmts(prog.stmts(), &[]);
+    Tac {
+        ops: lw.ops,
+        field_out: lw.fields,
+        state_writes: lw.state_writes,
+        num_fields: prog.field_names().len(),
+        num_states: prog.state_names().len(),
+    }
+}
+
+struct Lowerer {
+    ops: Vec<TacKind>,
+    fields: Vec<Atom>,
+    states: Vec<Atom>,
+    locals: Vec<Atom>,
+    state_writes: Vec<Vec<usize>>,
+}
+
+impl Lowerer {
+    fn emit(&mut self, kind: TacKind) -> Atom {
+        // Local value numbering: reuse an identical existing op. This keeps
+        // shared subexpressions (like a branch condition used by several
+        // guarded assignments) as one temporary.
+        if let Some(i) = self.ops.iter().position(|k| *k == kind) {
+            return Atom::Tmp(i);
+        }
+        self.ops.push(kind);
+        Atom::Tmp(self.ops.len() - 1)
+    }
+
+    fn read(&self, lv: chipmunk_lang::ast::VarRef) -> Atom {
+        use chipmunk_lang::ast::VarRef;
+        match lv {
+            VarRef::Field(i) => self.fields[i],
+            VarRef::State(i) => self.states[i],
+            VarRef::Local(i) => self.locals[i],
+        }
+    }
+
+    fn write(&mut self, lv: LValue, a: Atom) {
+        match lv {
+            LValue::Field(i) => self.fields[i] = a,
+            LValue::Local(i) => self.locals[i] = a,
+            LValue::State(i) => {
+                let t = match a {
+                    Atom::Tmp(t) => t,
+                    // A write of a bare field/constant still needs an op to
+                    // anchor the codelet on; `1 ? a : a` is a pass-through
+                    // the matcher's constant-select normalization removes.
+                    other => {
+                        let k = TacKind::Ternary(Atom::Const(1), other, other);
+                        match self.emit(k) {
+                            Atom::Tmp(t) => t,
+                            _ => unreachable!(),
+                        }
+                    }
+                };
+                self.state_writes[i].push(t);
+                self.states[i] = Atom::Tmp(t);
+            }
+        }
+    }
+
+    fn stmts(&mut self, stmts: &[Stmt], guards: &[(Atom, bool)]) {
+        for s in stmts {
+            match s {
+                Stmt::Assign(lv, e) => {
+                    let mut v = self.expr(e);
+                    // Innermost guard first: each level wraps the value in a
+                    // polarity-directed select against the *pre-assignment*
+                    // version. No negations or conjunctions are ever
+                    // materialized, so nested control flow lowers to nested
+                    // selects — the shape atom templates expect.
+                    let old = self.read(lv.as_ref());
+                    for &(g, pol) in guards.iter().rev() {
+                        v = if pol {
+                            self.emit(TacKind::Ternary(g, v, old))
+                        } else {
+                            self.emit(TacKind::Ternary(g, old, v))
+                        };
+                    }
+                    self.write(*lv, v);
+                }
+                Stmt::If(c, t, f) => {
+                    let cv = self.expr(c);
+                    let mut gt = guards.to_vec();
+                    gt.push((cv, true));
+                    self.stmts(t, &gt);
+                    let mut gf = guards.to_vec();
+                    gf.push((cv, false));
+                    self.stmts(f, &gf);
+                }
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> Atom {
+        match e {
+            Expr::Int(v) => Atom::Const(*v),
+            Expr::Var(r) => self.read(*r),
+            Expr::Hash(_) => panic!("hash() must be eliminated before Domino lowering"),
+            Expr::Unary(op, x) => {
+                let xa = self.expr(x);
+                self.emit(TacKind::Un(*op, xa))
+            }
+            Expr::Binary(op, a, b) => {
+                let aa = self.expr(a);
+                let ba = self.expr(b);
+                self.emit(TacKind::Bin(*op, aa, ba))
+            }
+            Expr::Ternary(c, t, f) => {
+                let ca = self.expr(c);
+                let ta = self.expr(t);
+                let fa = self.expr(f);
+                self.emit(TacKind::Ternary(ca, ta, fa))
+            }
+        }
+    }
+}
+
+/// Reference evaluation of a full TAC program (used by tests and by the
+/// executor to cross-check member inlining).
+pub fn eval_tac(tac: &Tac, fields: &[u64], states: &[u64], mask: u64) -> (Vec<u64>, Vec<u64>) {
+    let mut tmp = vec![0u64; tac.ops.len()];
+    let atom = |a: Atom, tmp: &[u64]| -> u64 {
+        match a {
+            Atom::Field(i) => fields[i] & mask,
+            Atom::StateOld(s) => states[s] & mask,
+            Atom::Tmp(t) => tmp[t],
+            Atom::Const(v) => v & mask,
+        }
+    };
+    for (i, op) in tac.ops.iter().enumerate() {
+        tmp[i] = match op {
+            TacKind::Un(UnOp::Not, a) => (atom(*a, &tmp) == 0) as u64,
+            TacKind::Un(UnOp::Neg, a) => atom(*a, &tmp).wrapping_neg() & mask,
+            TacKind::Bin(op, a, b) => {
+                chipmunk_lang::eval_binop(*op, atom(*a, &tmp), atom(*b, &tmp), mask)
+            }
+            TacKind::Ternary(c, t, f) => {
+                if atom(*c, &tmp) != 0 {
+                    atom(*t, &tmp)
+                } else {
+                    atom(*f, &tmp)
+                }
+            }
+        };
+    }
+    let fouts = tac.field_out.iter().map(|&a| atom(a, &tmp)).collect();
+    let souts = (0..tac.num_states)
+        .map(|s| atom(tac.state_out(s), &tmp))
+        .collect();
+    (fouts, souts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chipmunk_lang::{parse, Interpreter, PacketState};
+
+    fn check_semantics(src: &str, width: u8) {
+        let prog = parse(src).unwrap();
+        let tac = lower(&prog);
+        let interp = Interpreter::new(&prog, width);
+        let mask = (1u64 << width) - 1;
+        let nf = prog.field_names().len();
+        let ns = prog.state_names().len();
+        let mut seed = 7u64;
+        for _ in 0..300 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let fields: Vec<u64> = (0..nf).map(|k| (seed >> (5 * k)) & mask).collect();
+            let states: Vec<u64> = (0..ns).map(|k| (seed >> (7 * k + 3)) & mask).collect();
+            let want = interp.exec(&PacketState {
+                fields: fields.clone(),
+                states: states.clone(),
+            });
+            let (fo, so) = eval_tac(&tac, &fields, &states, mask);
+            assert_eq!(fo, want.fields, "fields for {src}");
+            assert_eq!(so, want.states, "states for {src}");
+        }
+    }
+
+    #[test]
+    fn straightline_flattens() {
+        let prog = parse("pkt.y = pkt.x + 1;").unwrap();
+        let tac = lower(&prog);
+        assert_eq!(tac.ops.len(), 1);
+        assert_eq!(
+            tac.ops[0],
+            TacKind::Bin(BinOp::Add, Atom::Field(1), Atom::Const(1))
+        );
+        assert_eq!(tac.field_out[0], Atom::Tmp(0)); // y
+        assert_eq!(tac.field_out[1], Atom::Field(1)); // x untouched
+    }
+
+    #[test]
+    fn branch_removal_guards_assignments() {
+        check_semantics(
+            "state s; if (pkt.a > 2) { s = s + 1; pkt.b = 1; } else { pkt.b = 0; }",
+            5,
+        );
+    }
+
+    #[test]
+    fn nested_ifs_conjoin_guards() {
+        check_semantics(
+            "state s;
+             if (pkt.a) { if (pkt.b) { s = 1; } else { s = 2; } } else { s = 3; }",
+            4,
+        );
+    }
+
+    #[test]
+    fn sequential_field_updates() {
+        check_semantics(
+            "pkt.x = pkt.x + 1; pkt.y = pkt.x * 1; pkt.x = pkt.y + pkt.x;",
+            5,
+        );
+    }
+
+    #[test]
+    fn state_read_after_write_sees_new_value() {
+        check_semantics("state s; s = s + 1; pkt.out = s;", 5);
+    }
+
+    #[test]
+    fn multiple_state_writes_keep_order() {
+        check_semantics(
+            "state s; s = s + 1; if (pkt.a == 3) { s = 0; } pkt.out = s;",
+            4,
+        );
+    }
+
+    #[test]
+    fn value_numbering_shares_condition() {
+        let prog =
+            parse("state s; if (s == 3) { pkt.a = 1; pkt.b = 2; } else { pkt.a = 0; pkt.b = 0; }")
+                .unwrap();
+        let tac = lower(&prog);
+        // The comparison s == 3 must appear exactly once.
+        let eqs = tac
+            .ops
+            .iter()
+            .filter(|k| matches!(k, TacKind::Bin(BinOp::Eq, _, _)))
+            .count();
+        assert_eq!(eqs, 1);
+    }
+
+    #[test]
+    fn ternary_and_logic_semantics() {
+        check_semantics(
+            "pkt.m = pkt.a > pkt.b ? pkt.a : pkt.b; pkt.f = pkt.a == 1 && pkt.b != 2;",
+            4,
+        );
+    }
+
+    #[test]
+    fn state_write_of_plain_field_gets_anchor_op() {
+        let prog = parse("state s; s = pkt.x;").unwrap();
+        let tac = lower(&prog);
+        assert_eq!(tac.state_writes[0].len(), 1);
+        check_semantics("state s; s = pkt.x;", 4);
+    }
+}

@@ -1,0 +1,414 @@
+//! Abstract syntax for packet transactions.
+//!
+//! Identifier references are resolved during semantic analysis: an
+//! [`Expr::Var`] carries a [`VarRef`] that says whether it names a packet
+//! field, a state variable, or a local temporary. The [`Program`] records
+//! packet fields and state variables in order of declaration / first use;
+//! those orders define the canonical input ordering used by the spec
+//! compiler and both code generators.
+
+/// Binary operators, in Domino's C-like surface syntax.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinOp {
+    /// `+` (wrapping)
+    Add,
+    /// `-` (wrapping)
+    Sub,
+    /// `*` (wrapping)
+    Mul,
+    /// `/` unsigned division (SMT-LIB semantics on zero divisor)
+    Div,
+    /// `%` unsigned remainder (SMT-LIB semantics on zero divisor)
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<` (unsigned)
+    Lt,
+    /// `<=` (unsigned)
+    Le,
+    /// `>` (unsigned)
+    Gt,
+    /// `>=` (unsigned)
+    Ge,
+    /// `&&` (operands interpreted as booleans: nonzero is true)
+    And,
+    /// `||`
+    Or,
+    /// `&` bitwise and
+    BitAnd,
+    /// `|` bitwise or
+    BitOr,
+    /// `^` bitwise xor
+    BitXor,
+}
+
+impl BinOp {
+    /// Does the operator produce a 0/1 boolean?
+    pub fn is_predicate(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq
+                | BinOp::Ne
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::And
+                | BinOp::Or
+        )
+    }
+
+    /// Is `a op b == b op a` for all inputs?
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add
+                | BinOp::Mul
+                | BinOp::Eq
+                | BinOp::Ne
+                | BinOp::And
+                | BinOp::Or
+                | BinOp::BitAnd
+                | BinOp::BitOr
+                | BinOp::BitXor
+        )
+    }
+
+    /// Surface-syntax spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+            BinOp::BitAnd => "&",
+            BinOp::BitOr => "|",
+            BinOp::BitXor => "^",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum UnOp {
+    /// `!` logical not (nonzero becomes 0, zero becomes 1)
+    Not,
+    /// `-` arithmetic negation (wrapping)
+    Neg,
+}
+
+/// What an identifier refers to after name resolution.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum VarRef {
+    /// Packet field with dense index into [`Program::field_names`].
+    Field(usize),
+    /// State variable with dense index into [`Program::state_names`].
+    State(usize),
+    /// Local temporary with dense index into [`Program::local_names`].
+    Local(usize),
+}
+
+/// Expressions.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Expr {
+    /// Integer literal.
+    Int(u64),
+    /// Resolved variable reference.
+    Var(VarRef),
+    /// `hash(e₁, …, eₙ)`: an opaque hash over the arguments. Eliminated by
+    /// [`crate::passes::eliminate_hashes`] before code generation, exactly
+    /// as PISA hash units run outside the ALU grid.
+    Hash(Vec<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `cond ? then : else`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for binary nodes.
+    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Binary(op, Box::new(a), Box::new(b))
+    }
+
+    /// Number of AST nodes (used by mutation weighting and tests).
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Int(_) | Expr::Var(_) => 1,
+            Expr::Hash(args) => 1 + args.iter().map(Expr::size).sum::<usize>(),
+            Expr::Unary(_, e) => 1 + e.size(),
+            Expr::Binary(_, a, b) => 1 + a.size() + b.size(),
+            Expr::Ternary(c, t, f) => 1 + c.size() + t.size() + f.size(),
+        }
+    }
+
+    /// Does the expression (transitively) read the given reference?
+    pub fn reads(&self, r: VarRef) -> bool {
+        match self {
+            Expr::Int(_) => false,
+            Expr::Var(v) => *v == r,
+            Expr::Hash(args) => args.iter().any(|a| a.reads(r)),
+            Expr::Unary(_, e) => e.reads(r),
+            Expr::Binary(_, a, b) => a.reads(r) || b.reads(r),
+            Expr::Ternary(c, t, f) => c.reads(r) || t.reads(r) || f.reads(r),
+        }
+    }
+
+    /// Does the expression contain a `hash(...)` call?
+    pub fn contains_hash(&self) -> bool {
+        match self {
+            Expr::Int(_) | Expr::Var(_) => false,
+            Expr::Hash(_) => true,
+            Expr::Unary(_, e) => e.contains_hash(),
+            Expr::Binary(_, a, b) => a.contains_hash() || b.contains_hash(),
+            Expr::Ternary(c, t, f) => c.contains_hash() || t.contains_hash() || f.contains_hash(),
+        }
+    }
+}
+
+/// Assignment targets.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LValue {
+    /// `pkt.<field>`
+    Field(usize),
+    /// state variable
+    State(usize),
+    /// local temporary
+    Local(usize),
+}
+
+impl LValue {
+    /// The matching read-side reference.
+    pub fn as_ref(self) -> VarRef {
+        match self {
+            LValue::Field(i) => VarRef::Field(i),
+            LValue::State(i) => VarRef::State(i),
+            LValue::Local(i) => VarRef::Local(i),
+        }
+    }
+}
+
+/// Statements.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Stmt {
+    /// `lv = e;` — also used for `int tmp = e;` local definitions (the
+    /// definition point is recorded in [`Program::local_names`]).
+    Assign(LValue, Expr),
+    /// `if (c) { … } else { … }` (else branch may be empty).
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+}
+
+impl Stmt {
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            Stmt::Assign(_, e) => 1 + e.size(),
+            Stmt::If(c, t, f) => {
+                1 + c.size()
+                    + t.iter().map(Stmt::size).sum::<usize>()
+                    + f.iter().map(Stmt::size).sum::<usize>()
+            }
+        }
+    }
+
+    /// Does the statement (transitively) contain a `hash(...)` call?
+    pub fn contains_hash(&self) -> bool {
+        match self {
+            Stmt::Assign(_, e) => e.contains_hash(),
+            Stmt::If(c, t, f) => {
+                c.contains_hash()
+                    || t.iter().any(Stmt::contains_hash)
+                    || f.iter().any(Stmt::contains_hash)
+            }
+        }
+    }
+}
+
+/// A packet transaction: declarations plus a statement list executed
+/// atomically per packet.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Program {
+    pub(crate) fields: Vec<String>,
+    pub(crate) states: Vec<String>,
+    pub(crate) state_inits: Vec<u64>,
+    pub(crate) locals: Vec<String>,
+    pub(crate) stmts: Vec<Stmt>,
+    /// A human-readable name (set by the benchmark corpus; empty otherwise).
+    pub name: String,
+}
+
+impl Program {
+    /// Construct a program directly from resolved parts (used by passes and
+    /// the mutation engine; most callers should use [`crate::parse`]).
+    pub fn from_parts(
+        fields: Vec<String>,
+        states: Vec<String>,
+        state_inits: Vec<u64>,
+        locals: Vec<String>,
+        stmts: Vec<Stmt>,
+    ) -> Program {
+        assert_eq!(states.len(), state_inits.len());
+        Program {
+            fields,
+            states,
+            state_inits,
+            locals,
+            stmts,
+            name: String::new(),
+        }
+    }
+
+    /// Packet field names, in first-use order. This order is the canonical
+    /// PHV-container assignment used by the synthesizer (§3 of the paper).
+    pub fn field_names(&self) -> &[String] {
+        &self.fields
+    }
+
+    /// State variable names in declaration order (canonical stateful-ALU
+    /// row assignment).
+    pub fn state_names(&self) -> &[String] {
+        &self.states
+    }
+
+    /// Declared initial values of state variables (informational; the
+    /// equivalence check quantifies over all initial states).
+    pub fn state_inits(&self) -> &[u64] {
+        &self.state_inits
+    }
+
+    /// Local temporary names.
+    pub fn local_names(&self) -> &[String] {
+        &self.locals
+    }
+
+    /// The statement list.
+    pub fn stmts(&self) -> &[Stmt] {
+        &self.stmts
+    }
+
+    /// Mutable access for passes.
+    pub fn stmts_mut(&mut self) -> &mut Vec<Stmt> {
+        &mut self.stmts
+    }
+
+    /// Replace the field-name table (used by dead-field pruning; the
+    /// caller is responsible for having remapped every field index).
+    pub fn set_field_names(&mut self, names: Vec<String>) {
+        self.fields = names;
+    }
+
+    /// Add a fresh read-only packet field (used by hash elimination),
+    /// returning its index.
+    pub fn add_field(&mut self, name: impl Into<String>) -> usize {
+        self.fields.push(name.into());
+        self.fields.len() - 1
+    }
+
+    /// Add a fresh local temporary, returning its index.
+    pub fn add_local(&mut self, name: impl Into<String>) -> usize {
+        self.locals.push(name.into());
+        self.locals.len() - 1
+    }
+
+    /// Total AST size.
+    pub fn size(&self) -> usize {
+        self.stmts.iter().map(Stmt::size).sum()
+    }
+
+    /// The set of packet fields written anywhere in the program.
+    pub fn written_fields(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        fn walk(stmts: &[Stmt], out: &mut Vec<usize>) {
+            for s in stmts {
+                match s {
+                    Stmt::Assign(LValue::Field(i), _) => {
+                        if !out.contains(i) {
+                            out.push(*i);
+                        }
+                    }
+                    Stmt::Assign(_, _) => {}
+                    Stmt::If(_, t, f) => {
+                        walk(t, out);
+                        walk(f, out);
+                    }
+                }
+            }
+        }
+        walk(&self.stmts, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_size_counts_nodes() {
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::Int(1),
+            Expr::bin(BinOp::Mul, Expr::Var(VarRef::Field(0)), Expr::Int(2)),
+        );
+        assert_eq!(e.size(), 5);
+    }
+
+    #[test]
+    fn reads_detects_reference() {
+        let e = Expr::Ternary(
+            Box::new(Expr::Var(VarRef::State(0))),
+            Box::new(Expr::Int(1)),
+            Box::new(Expr::Var(VarRef::Field(2))),
+        );
+        assert!(e.reads(VarRef::State(0)));
+        assert!(e.reads(VarRef::Field(2)));
+        assert!(!e.reads(VarRef::Field(0)));
+    }
+
+    #[test]
+    fn written_fields_dedupes_and_recurses() {
+        let p = Program::from_parts(
+            vec!["a".into(), "b".into()],
+            vec![],
+            vec![],
+            vec![],
+            vec![
+                Stmt::Assign(LValue::Field(1), Expr::Int(0)),
+                Stmt::If(
+                    Expr::Int(1),
+                    vec![Stmt::Assign(LValue::Field(1), Expr::Int(2))],
+                    vec![Stmt::Assign(LValue::Field(0), Expr::Int(3))],
+                ),
+            ],
+        );
+        assert_eq!(p.written_fields(), vec![1, 0]);
+    }
+
+    #[test]
+    fn contains_hash_walks_structure() {
+        let s = Stmt::If(
+            Expr::Int(1),
+            vec![Stmt::Assign(
+                LValue::Local(0),
+                Expr::Hash(vec![Expr::Var(VarRef::Field(0))]),
+            )],
+            vec![],
+        );
+        assert!(s.contains_hash());
+        let s2 = Stmt::Assign(LValue::Local(0), Expr::Int(1));
+        assert!(!s2.contains_hash());
+    }
+}

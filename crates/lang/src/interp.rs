@@ -1,0 +1,319 @@
+//! The transactional reference interpreter.
+//!
+//! Packet transactions execute atomically: the interpreter consumes the
+//! incoming packet fields and the current switch state and produces the
+//! outgoing fields and the next state, exactly one packet at a time. Both
+//! code generators are judged against this semantics.
+//!
+//! All arithmetic is unsigned and wraps modulo `2^width`; division follows
+//! SMT-LIB (`x/0 = all-ones`, `x%0 = x`), matching `chipmunk-bv` so that
+//! interpretation and circuit evaluation agree bit-for-bit.
+
+use crate::ast::{BinOp, Expr, LValue, Program, Stmt, UnOp, VarRef};
+
+/// A packet/state snapshot: the input or output of one transaction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PacketState {
+    /// Packet field values, indexed like [`Program::field_names`].
+    pub fields: Vec<u64>,
+    /// State variable values, indexed like [`Program::state_names`].
+    pub states: Vec<u64>,
+}
+
+impl PacketState {
+    /// All-zero snapshot shaped for `p`.
+    pub fn zeroed(p: &Program) -> PacketState {
+        PacketState {
+            fields: vec![0; p.field_names().len()],
+            states: vec![0; p.state_names().len()],
+        }
+    }
+}
+
+/// Interpreter for a program at a fixed bit width.
+pub struct Interpreter<'p> {
+    program: &'p Program,
+    width: u8,
+}
+
+impl<'p> Interpreter<'p> {
+    /// Create an interpreter. `width` must be 1..=64.
+    pub fn new(program: &'p Program, width: u8) -> Self {
+        assert!((1..=64).contains(&width));
+        Interpreter { program, width }
+    }
+
+    fn mask(&self) -> u64 {
+        if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        }
+    }
+
+    /// Execute one transaction.
+    ///
+    /// # Panics
+    /// If the snapshot's shape does not match the program.
+    pub fn exec(&self, input: &PacketState) -> PacketState {
+        assert_eq!(input.fields.len(), self.program.field_names().len());
+        assert_eq!(input.states.len(), self.program.state_names().len());
+        let m = self.mask();
+        let mut env = Env {
+            fields: input.fields.iter().map(|v| v & m).collect(),
+            states: input.states.iter().map(|v| v & m).collect(),
+            locals: vec![0; self.program.local_names().len()],
+            mask: m,
+        };
+        exec_stmts(self.program.stmts(), &mut env);
+        PacketState {
+            fields: env.fields,
+            states: env.states,
+        }
+    }
+}
+
+struct Env {
+    fields: Vec<u64>,
+    states: Vec<u64>,
+    locals: Vec<u64>,
+    mask: u64,
+}
+
+impl Env {
+    fn read(&self, r: VarRef) -> u64 {
+        match r {
+            VarRef::Field(i) => self.fields[i],
+            VarRef::State(i) => self.states[i],
+            VarRef::Local(i) => self.locals[i],
+        }
+    }
+
+    fn write(&mut self, lv: LValue, v: u64) {
+        let v = v & self.mask;
+        match lv {
+            LValue::Field(i) => self.fields[i] = v,
+            LValue::State(i) => self.states[i] = v,
+            LValue::Local(i) => self.locals[i] = v,
+        }
+    }
+}
+
+fn exec_stmts(stmts: &[Stmt], env: &mut Env) {
+    for s in stmts {
+        match s {
+            Stmt::Assign(lv, e) => {
+                let v = eval(e, env);
+                env.write(*lv, v);
+            }
+            Stmt::If(c, t, f) => {
+                if eval(c, env) != 0 {
+                    exec_stmts(t, env);
+                } else {
+                    exec_stmts(f, env);
+                }
+            }
+        }
+    }
+}
+
+fn eval(e: &Expr, env: &Env) -> u64 {
+    let m = env.mask;
+    match e {
+        Expr::Int(v) => v & m,
+        Expr::Var(r) => env.read(*r),
+        Expr::Hash(args) => {
+            let vals: Vec<u64> = args.iter().map(|a| eval(a, env)).collect();
+            reference_hash(&vals) & m
+        }
+        Expr::Unary(UnOp::Not, x) => (eval(x, env) == 0) as u64,
+        Expr::Unary(UnOp::Neg, x) => eval(x, env).wrapping_neg() & m,
+        Expr::Binary(op, a, b) => {
+            let va = eval(a, env);
+            let vb = eval(b, env);
+            eval_binop(*op, va, vb, m)
+        }
+        Expr::Ternary(c, t, f) => {
+            if eval(c, env) != 0 {
+                eval(t, env)
+            } else {
+                eval(f, env)
+            }
+        }
+    }
+}
+
+/// The deterministic hash used when interpreting `hash(...)` directly.
+///
+/// After [`crate::passes::eliminate_hashes`], programs contain no hash
+/// calls and this function is irrelevant to code generation; it exists so
+/// un-preprocessed programs still have executable semantics (multiplicative
+/// mixing, Knuth's 2654435761).
+pub(crate) fn reference_hash(args: &[u64]) -> u64 {
+    let mut h: u64 = 0x9e3779b97f4a7c15;
+    for &a in args {
+        h = h.wrapping_mul(2654435761).wrapping_add(a).rotate_left(13);
+    }
+    h
+}
+
+/// Evaluate one binary operator under the language's semantics (unsigned,
+/// wrapping at the mask; SMT-LIB division; logical ops on nonzero-ness).
+/// Exposed so downstream compilers (e.g. the Domino baseline's TAC
+/// evaluator) share exactly these semantics.
+pub fn eval_binop(op: BinOp, a: u64, b: u64, m: u64) -> u64 {
+    match op {
+        BinOp::Add => a.wrapping_add(b) & m,
+        BinOp::Sub => a.wrapping_sub(b) & m,
+        BinOp::Mul => a.wrapping_mul(b) & m,
+        BinOp::Div => {
+            if b == 0 {
+                m
+            } else {
+                (a / b) & m
+            }
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                a
+            } else {
+                (a % b) & m
+            }
+        }
+        BinOp::Eq => (a == b) as u64,
+        BinOp::Ne => (a != b) as u64,
+        BinOp::Lt => (a < b) as u64,
+        BinOp::Le => (a <= b) as u64,
+        BinOp::Gt => (a > b) as u64,
+        BinOp::Ge => (a >= b) as u64,
+        BinOp::And => (a != 0 && b != 0) as u64,
+        BinOp::Or => (a != 0 || b != 0) as u64,
+        BinOp::BitAnd => a & b,
+        BinOp::BitOr => a | b,
+        BinOp::BitXor => a ^ b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn run(src: &str, fields: &[u64], states: &[u64], width: u8) -> PacketState {
+        let p = parse(src).unwrap();
+        let interp = Interpreter::new(&p, width);
+        interp.exec(&PacketState {
+            fields: fields.to_vec(),
+            states: states.to_vec(),
+        })
+    }
+
+    #[test]
+    fn sampling_counts_to_ten() {
+        let src = "state count = 0;\n\
+                   if (count == 9) { count = 0; pkt.sample = 1; }\n\
+                   else { count = count + 1; pkt.sample = 0; }";
+        let p = parse(src).unwrap();
+        let interp = Interpreter::new(&p, 8);
+        let mut st = PacketState {
+            fields: vec![0],
+            states: vec![0],
+        };
+        let mut samples = 0;
+        for _ in 0..30 {
+            st = interp.exec(&st);
+            samples += st.fields[0];
+        }
+        assert_eq!(samples, 3); // every 10th of 30 packets
+    }
+
+    #[test]
+    fn arithmetic_wraps_at_width() {
+        let out = run("pkt.x = pkt.x + 200;", &[100], &[], 8);
+        assert_eq!(out.fields[0], (100 + 200) % 256);
+        let out = run("pkt.x = pkt.x * 3;", &[200], &[], 8);
+        assert_eq!(out.fields[0], (200 * 3) % 256);
+        let out = run("pkt.x = 0 - 1;", &[0], &[], 5);
+        assert_eq!(out.fields[0], 31);
+    }
+
+    #[test]
+    fn division_by_zero_is_smtlib() {
+        let out = run("pkt.x = 7 / pkt.y; pkt.z = 7 % pkt.y;", &[0, 0, 0], &[], 4);
+        assert_eq!(out.fields[0], 15);
+        assert_eq!(out.fields[2], 7);
+    }
+
+    #[test]
+    fn logical_ops_produce_booleans() {
+        // First-use order (assignment targets count): a, x, y, b, c.
+        let out = run(
+            "pkt.a = pkt.x && pkt.y; pkt.b = pkt.x || pkt.y; pkt.c = !pkt.x;",
+            &[0, 5, 0, 0, 0],
+            &[],
+            8,
+        );
+        assert_eq!(out.fields[0], 0); // 5 && 0
+        assert_eq!(out.fields[3], 1); // 5 || 0
+        assert_eq!(out.fields[4], 0); // !5
+    }
+
+    #[test]
+    fn sequential_semantics_within_transaction() {
+        // Later statements see earlier writes.
+        let out = run("pkt.x = 1; pkt.y = pkt.x + 1;", &[9, 9], &[], 8);
+        assert_eq!(out.fields, vec![1, 2]);
+    }
+
+    #[test]
+    fn state_persists_only_through_returned_snapshot() {
+        let src = "state s; s = s + 1; pkt.out = s;";
+        let p = parse(src).unwrap();
+        let interp = Interpreter::new(&p, 8);
+        let s0 = PacketState {
+            fields: vec![0],
+            states: vec![0],
+        };
+        let s1 = interp.exec(&s0);
+        let s2 = interp.exec(&s1);
+        assert_eq!(s1.states, vec![1]);
+        assert_eq!(s2.states, vec![2]);
+        assert_eq!(s2.fields, vec![2]);
+    }
+
+    #[test]
+    fn locals_are_zero_initialized_per_packet() {
+        let src = "int t = 0; if (pkt.c) { t = 5; } pkt.out = t;";
+        let out = run(src, &[1, 0], &[], 8);
+        assert_eq!(out.fields[1], 5);
+        let out = run(src, &[0, 0], &[], 8);
+        assert_eq!(out.fields[1], 0);
+    }
+
+    #[test]
+    fn ternary_selects() {
+        // Field order: y (assignment target), then x.
+        let out = run("pkt.y = pkt.x > 3 ? 10 : 20;", &[0, 4], &[], 8);
+        assert_eq!(out.fields[0], 10);
+        let out = run("pkt.y = pkt.x > 3 ? 10 : 20;", &[0, 2], &[], 8);
+        assert_eq!(out.fields[0], 20);
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        // Field order: h, a, b.
+        let src = "pkt.h = hash(pkt.a, pkt.b);";
+        let o1 = run(src, &[0, 3, 4], &[], 16);
+        let o2 = run(src, &[0, 3, 4], &[], 16);
+        assert_eq!(o1, o2);
+        let o3 = run(src, &[0, 4, 3], &[], 16);
+        assert_ne!(o1.fields[0], o3.fields[0]); // order-sensitive mixing
+    }
+
+    #[test]
+    fn inputs_are_masked_on_entry() {
+        // Field order: y, x.
+        let out = run("pkt.y = pkt.x;", &[0, 0x1ff], &[], 8);
+        assert_eq!(out.fields[0], 0xff);
+    }
+}

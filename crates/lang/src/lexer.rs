@@ -1,0 +1,333 @@
+//! Hand-written lexer for the Domino dialect.
+
+use std::fmt;
+
+/// A token with its source position (1-based line and column).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub(crate) struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// Token kinds.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub(crate) enum TokenKind {
+    Int(u64),
+    Ident(String),
+    KwState,
+    KwInt,
+    KwIf,
+    KwElse,
+    KwPkt,
+    KwHash,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Semi,
+    Comma,
+    Dot,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    Amp,
+    Pipe,
+    Caret,
+    Bang,
+    Question,
+    Colon,
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TokenKind::*;
+        match self {
+            Int(v) => write!(f, "integer `{v}`"),
+            Ident(s) => write!(f, "identifier `{s}`"),
+            KwState => write!(f, "`state`"),
+            KwInt => write!(f, "`int`"),
+            KwIf => write!(f, "`if`"),
+            KwElse => write!(f, "`else`"),
+            KwPkt => write!(f, "`pkt`"),
+            KwHash => write!(f, "`hash`"),
+            LParen => write!(f, "`(`"),
+            RParen => write!(f, "`)`"),
+            LBrace => write!(f, "`{{`"),
+            RBrace => write!(f, "`}}`"),
+            Semi => write!(f, "`;`"),
+            Comma => write!(f, "`,`"),
+            Dot => write!(f, "`.`"),
+            Assign => write!(f, "`=`"),
+            Plus => write!(f, "`+`"),
+            Minus => write!(f, "`-`"),
+            Star => write!(f, "`*`"),
+            Slash => write!(f, "`/`"),
+            Percent => write!(f, "`%`"),
+            EqEq => write!(f, "`==`"),
+            NotEq => write!(f, "`!=`"),
+            Lt => write!(f, "`<`"),
+            Le => write!(f, "`<=`"),
+            Gt => write!(f, "`>`"),
+            Ge => write!(f, "`>=`"),
+            AndAnd => write!(f, "`&&`"),
+            OrOr => write!(f, "`||`"),
+            Amp => write!(f, "`&`"),
+            Pipe => write!(f, "`|`"),
+            Caret => write!(f, "`^`"),
+            Bang => write!(f, "`!`"),
+            Question => write!(f, "`?`"),
+            Colon => write!(f, "`:`"),
+            Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Lexing error: an unexpected character.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub(crate) struct LexError {
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+pub(crate) fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! tok {
+        ($kind:expr, $len:expr) => {{
+            tokens.push(Token {
+                kind: $kind,
+                line,
+                col,
+            });
+            i += $len;
+            col += $len as u32;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let next = if i + 1 < bytes.len() {
+            Some(bytes[i + 1] as char)
+        } else {
+            None
+        };
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            c if c.is_ascii_whitespace() => {
+                i += 1;
+                col += 1;
+            }
+            '/' if next == Some('/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if next == Some('*') => {
+                let (sl, sc) = (line, col);
+                i += 2;
+                col += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LexError {
+                            line: sl,
+                            col: sc,
+                            message: "unterminated block comment".into(),
+                        });
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        col += 2;
+                        break;
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let value: u64 = text.parse().map_err(|_| LexError {
+                    line,
+                    col,
+                    message: format!("integer literal `{text}` out of range"),
+                })?;
+                tokens.push(Token {
+                    kind: TokenKind::Int(value),
+                    line,
+                    col,
+                });
+                col += (i - start) as u32;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let kind = match text {
+                    "state" => TokenKind::KwState,
+                    "int" => TokenKind::KwInt,
+                    "if" => TokenKind::KwIf,
+                    "else" => TokenKind::KwElse,
+                    "pkt" => TokenKind::KwPkt,
+                    "hash" => TokenKind::KwHash,
+                    _ => TokenKind::Ident(text.to_string()),
+                };
+                tokens.push(Token { kind, line, col });
+                col += (i - start) as u32;
+            }
+            '(' => tok!(TokenKind::LParen, 1),
+            ')' => tok!(TokenKind::RParen, 1),
+            '{' => tok!(TokenKind::LBrace, 1),
+            '}' => tok!(TokenKind::RBrace, 1),
+            ';' => tok!(TokenKind::Semi, 1),
+            ',' => tok!(TokenKind::Comma, 1),
+            '.' => tok!(TokenKind::Dot, 1),
+            '?' => tok!(TokenKind::Question, 1),
+            ':' => tok!(TokenKind::Colon, 1),
+            '+' => tok!(TokenKind::Plus, 1),
+            '-' => tok!(TokenKind::Minus, 1),
+            '*' => tok!(TokenKind::Star, 1),
+            '/' => tok!(TokenKind::Slash, 1),
+            '%' => tok!(TokenKind::Percent, 1),
+            '^' => tok!(TokenKind::Caret, 1),
+            '=' if next == Some('=') => tok!(TokenKind::EqEq, 2),
+            '=' => tok!(TokenKind::Assign, 1),
+            '!' if next == Some('=') => tok!(TokenKind::NotEq, 2),
+            '!' => tok!(TokenKind::Bang, 1),
+            '<' if next == Some('=') => tok!(TokenKind::Le, 2),
+            '<' => tok!(TokenKind::Lt, 1),
+            '>' if next == Some('=') => tok!(TokenKind::Ge, 2),
+            '>' => tok!(TokenKind::Gt, 1),
+            '&' if next == Some('&') => tok!(TokenKind::AndAnd, 2),
+            '&' => tok!(TokenKind::Amp, 1),
+            '|' if next == Some('|') => tok!(TokenKind::OrOr, 2),
+            '|' => tok!(TokenKind::Pipe, 1),
+            other => {
+                return Err(LexError {
+                    line,
+                    col,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_assignment() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("pkt.x = 5;"),
+            vec![KwPkt, Dot, Ident("x".into()), Assign, Int(5), Semi, Eof]
+        );
+    }
+
+    #[test]
+    fn distinguishes_compound_operators() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("== = != ! <= < >= > && & || |"),
+            vec![EqEq, Assign, NotEq, Bang, Le, Lt, Ge, Gt, AndAnd, Amp, OrOr, Pipe, Eof]
+        );
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("state states if iffy int interval"),
+            vec![
+                KwState,
+                Ident("states".into()),
+                KwIf,
+                Ident("iffy".into()),
+                KwInt,
+                Ident("interval".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_line_and_block_comments() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("a // comment\n/* multi\nline */ b"),
+            vec![Ident("a".into()), Ident("b".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[1].col, 3);
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        let err = lex("a @ b").unwrap_err();
+        assert!(err.message.contains('@'));
+        assert_eq!(err.col, 3);
+    }
+
+    #[test]
+    fn rejects_unterminated_block_comment() {
+        let err = lex("/* nope").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn rejects_huge_integer() {
+        let err = lex("99999999999999999999999").unwrap_err();
+        assert!(err.message.contains("out of range"));
+    }
+}

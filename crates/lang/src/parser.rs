@@ -1,0 +1,602 @@
+//! Recursive-descent parser with inline name resolution.
+//!
+//! The grammar (C-subset, no loops or pointers — the restriction that makes
+//! packet programs tractable for synthesis, §1 of the paper):
+//!
+//! ```text
+//! program    := item*
+//! item       := state_decl | stmt
+//! state_decl := "state" IDENT ("=" INT)? ";"
+//! stmt       := local_decl | assign | if | block
+//! local_decl := "int" IDENT "=" expr ";"
+//! assign     := lvalue "=" expr ";"
+//! lvalue     := "pkt" "." IDENT | IDENT
+//! if         := "if" "(" expr ")" stmt ("else" stmt)?
+//! block      := "{" stmt* "}"
+//! expr       := or ("?" expr ":" expr)?
+//! or         := and ("||" and)*
+//! and        := bitor ("&&" bitor)*
+//! bitor      := bitxor ("|" bitxor)*
+//! bitxor     := bitand ("^" bitand)*
+//! bitand     := cmp ("&" cmp)*
+//! cmp        := add (("=="|"!="|"<"|"<="|">"|">=") add)?
+//! add        := mul (("+"|"-") mul)*
+//! mul        := unary (("*"|"/"|"%") unary)*
+//! unary      := ("!"|"-") unary | primary
+//! primary    := INT | lvalue | "(" expr ")" | "hash" "(" expr ("," expr)* ")"
+//! ```
+//!
+//! Name resolution is single-pass: `state` declarations introduce state
+//! variables, `int x = …` introduces locals, and `pkt.f` introduces packet
+//! fields on first use (first-use order is the canonical container order).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ast::{BinOp, Expr, LValue, Program, Stmt, UnOp, VarRef};
+use crate::lexer::{lex, Token, TokenKind};
+use crate::sema;
+
+/// A parse (or resolution, or semantic) error with source position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse and resolve a packet transaction.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src).map_err(|e| ParseError {
+        line: e.line,
+        col: e.col,
+        message: e.message,
+    })?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        fields: Vec::new(),
+        field_ids: HashMap::new(),
+        states: Vec::new(),
+        state_inits: Vec::new(),
+        state_ids: HashMap::new(),
+        locals: Vec::new(),
+        local_ids: HashMap::new(),
+    };
+    let stmts = p.program()?;
+    let prog = Program::from_parts(p.fields, p.states, p.state_inits, p.locals, stmts);
+    sema::check(&prog).map_err(|e| ParseError {
+        line: 0,
+        col: 0,
+        message: e.to_string(),
+    })?;
+    Ok(prog)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    fields: Vec<String>,
+    field_ids: HashMap<String, usize>,
+    states: Vec<String>,
+    state_inits: Vec<u64>,
+    state_ids: HashMap<String, usize>,
+    locals: Vec<String>,
+    local_ids: HashMap<String, usize>,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn here(&self) -> (u32, u32) {
+        let t = &self.tokens[self.pos];
+        (t.line, t.col)
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        let (line, col) = self.here();
+        ParseError {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<(), ParseError> {
+        if *self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kind}, found {}", self.peek())))
+        }
+    }
+
+    fn eat(&mut self, kind: TokenKind) -> bool {
+        if *self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn program(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        let mut stmts = Vec::new();
+        while *self.peek() != TokenKind::Eof {
+            if *self.peek() == TokenKind::KwState {
+                self.state_decl()?;
+            } else {
+                stmts.push(self.stmt()?);
+            }
+        }
+        Ok(stmts)
+    }
+
+    fn state_decl(&mut self) -> Result<(), ParseError> {
+        self.expect(TokenKind::KwState)?;
+        let name = self.ident()?;
+        if self.state_ids.contains_key(&name) {
+            return Err(self.err(format!("state variable `{name}` declared twice")));
+        }
+        let init = if self.eat(TokenKind::Assign) {
+            match self.bump() {
+                TokenKind::Int(v) => v,
+                other => {
+                    return Err(self.err(format!("expected integer initializer, found {other}")))
+                }
+            }
+        } else {
+            0
+        };
+        self.expect(TokenKind::Semi)?;
+        self.state_ids.insert(name.clone(), self.states.len());
+        self.states.push(name);
+        self.state_inits.push(init);
+        Ok(())
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            TokenKind::KwIf => self.if_stmt(),
+            TokenKind::LBrace => {
+                // A bare block groups statements; represent as if(1){...}
+                // would change semantics of analysis, so instead inline the
+                // block contents — a bare block has no binding effect here.
+                let stmts = self.block()?;
+                // Represent multi-statement blocks via a trivially-true if
+                // only when needed; a single statement unwraps.
+                match stmts.len() {
+                    1 => Ok(stmts.into_iter().next().expect("len checked")),
+                    _ => Ok(Stmt::If(Expr::Int(1), stmts, Vec::new())),
+                }
+            }
+            TokenKind::KwInt => {
+                self.bump();
+                let name = self.ident()?;
+                if self.local_ids.contains_key(&name) || self.state_ids.contains_key(&name) {
+                    return Err(self.err(format!("`{name}` is already defined")));
+                }
+                self.expect(TokenKind::Assign)?;
+                let e = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                let idx = self.locals.len();
+                self.local_ids.insert(name.clone(), idx);
+                self.locals.push(name);
+                Ok(Stmt::Assign(LValue::Local(idx), e))
+            }
+            TokenKind::KwPkt => {
+                let f = self.pkt_field()?;
+                self.expect(TokenKind::Assign)?;
+                let e = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Assign(LValue::Field(f), e))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                let lv = if let Some(&i) = self.state_ids.get(&name) {
+                    LValue::State(i)
+                } else if let Some(&i) = self.local_ids.get(&name) {
+                    LValue::Local(i)
+                } else {
+                    return Err(self.err(format!(
+                        "`{name}` is not declared; declare it with `state {name};` or `int {name} = …;`"
+                    )));
+                };
+                self.expect(TokenKind::Assign)?;
+                let e = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Assign(lv, e))
+            }
+            other => Err(self.err(format!("expected a statement, found {other}"))),
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(TokenKind::KwIf)?;
+        self.expect(TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(TokenKind::RParen)?;
+        let then_branch = self.stmt_or_block()?;
+        let else_branch = if self.eat(TokenKind::KwElse) {
+            self.stmt_or_block()?
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If(cond, then_branch, else_branch))
+    }
+
+    fn stmt_or_block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        if *self.peek() == TokenKind::LBrace {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while *self.peek() != TokenKind::RBrace {
+            if *self.peek() == TokenKind::Eof {
+                return Err(self.err("unterminated block: expected `}`"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.expect(TokenKind::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn pkt_field(&mut self) -> Result<usize, ParseError> {
+        self.expect(TokenKind::KwPkt)?;
+        self.expect(TokenKind::Dot)?;
+        let name = self.ident()?;
+        Ok(*self.field_ids.entry(name.clone()).or_insert_with(|| {
+            self.fields.push(name);
+            self.fields.len() - 1
+        }))
+    }
+
+    // ----- expressions ------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let cond = self.or_expr()?;
+        if self.eat(TokenKind::Question) {
+            let t = self.expr()?;
+            self.expect(TokenKind::Colon)?;
+            let f = self.expr()?;
+            Ok(Expr::Ternary(Box::new(cond), Box::new(t), Box::new(f)))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(TokenKind::OrOr) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::bin(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.bitor_expr()?;
+        while self.eat(TokenKind::AndAnd) {
+            let rhs = self.bitor_expr()?;
+            lhs = Expr::bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn bitor_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.bitxor_expr()?;
+        while self.eat(TokenKind::Pipe) {
+            let rhs = self.bitxor_expr()?;
+            lhs = Expr::bin(BinOp::BitOr, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn bitxor_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.bitand_expr()?;
+        while self.eat(TokenKind::Caret) {
+            let rhs = self.bitand_expr()?;
+            lhs = Expr::bin(BinOp::BitXor, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn bitand_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat(TokenKind::Amp) {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::bin(BinOp::BitAnd, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            TokenKind::EqEq => Some(BinOp::Eq),
+            TokenKind::NotEq => Some(BinOp::Ne),
+            TokenKind::Lt => Some(BinOp::Lt),
+            TokenKind::Le => Some(BinOp::Le),
+            TokenKind::Gt => Some(BinOp::Gt),
+            TokenKind::Ge => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.add_expr()?;
+            Ok(Expr::bin(op, lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Rem,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(TokenKind::Bang) {
+            let e = self.unary_expr()?;
+            Ok(Expr::Unary(UnOp::Not, Box::new(e)))
+        } else if self.eat(TokenKind::Minus) {
+            let e = self.unary_expr()?;
+            Ok(Expr::Unary(UnOp::Neg, Box::new(e)))
+        } else {
+            self.primary_expr()
+        }
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::KwPkt => {
+                let f = self.pkt_field()?;
+                Ok(Expr::Var(VarRef::Field(f)))
+            }
+            TokenKind::KwHash => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let mut args = vec![self.expr()?];
+                while self.eat(TokenKind::Comma) {
+                    args.push(self.expr()?);
+                }
+                self.expect(TokenKind::RParen)?;
+                Ok(Expr::Hash(args))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if let Some(&i) = self.state_ids.get(&name) {
+                    Ok(Expr::Var(VarRef::State(i)))
+                } else if let Some(&i) = self.local_ids.get(&name) {
+                    Ok(Expr::Var(VarRef::Local(i)))
+                } else {
+                    Err(self.err(format!("`{name}` is not declared")))
+                }
+            }
+            other => Err(self.err(format!("expected an expression, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::LValue;
+
+    #[test]
+    fn parses_sampling_program() {
+        let p = parse(
+            "state count = 0;\n\
+             if (count == 9) { count = 0; pkt.sample = 1; }\n\
+             else { count = count + 1; pkt.sample = 0; }",
+        )
+        .unwrap();
+        assert_eq!(p.state_names(), ["count"]);
+        assert_eq!(p.field_names(), ["sample"]);
+        assert_eq!(p.stmts().len(), 1);
+        match &p.stmts()[0] {
+            Stmt::If(_, t, f) => {
+                assert_eq!(t.len(), 2);
+                assert_eq!(f.len(), 2);
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn field_order_is_first_use() {
+        let p = parse("pkt.b = pkt.a + pkt.c; pkt.a = pkt.b;").unwrap();
+        assert_eq!(p.field_names(), ["b", "a", "c"]);
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse("pkt.x = 1 + 2 * 3;").unwrap();
+        // With constant folding not applied, tree should be Add(1, Mul(2,3)).
+        match &p.stmts()[0] {
+            Stmt::Assign(_, Expr::Binary(BinOp::Add, a, b)) => {
+                assert_eq!(**a, Expr::Int(1));
+                assert!(matches!(**b, Expr::Binary(BinOp::Mul, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_cmp_below_logic() {
+        let p = parse("pkt.x = pkt.a < 3 && pkt.b == 4;").unwrap();
+        match &p.stmts()[0] {
+            Stmt::Assign(_, Expr::Binary(BinOp::And, a, b)) => {
+                assert!(matches!(**a, Expr::Binary(BinOp::Lt, _, _)));
+                assert!(matches!(**b, Expr::Binary(BinOp::Eq, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ternary_parses_right_associative() {
+        let p = parse("pkt.x = pkt.a ? 1 : pkt.b ? 2 : 3;").unwrap();
+        match &p.stmts()[0] {
+            Stmt::Assign(_, Expr::Ternary(_, t, f)) => {
+                assert_eq!(**t, Expr::Int(1));
+                assert!(matches!(**f, Expr::Ternary(_, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn locals_resolve_and_shadowing_is_rejected() {
+        let p = parse("int t = 3; pkt.x = t + 1;").unwrap();
+        assert_eq!(p.local_names(), ["t"]);
+        assert!(matches!(
+            p.stmts()[0],
+            Stmt::Assign(LValue::Local(0), Expr::Int(3))
+        ));
+        let err = parse("state t; int t = 1;").unwrap_err();
+        assert!(err.message.contains("already defined"));
+    }
+
+    #[test]
+    fn undeclared_identifier_is_an_error() {
+        let err = parse("pkt.x = bogus;").unwrap_err();
+        assert!(err.message.contains("not declared"));
+        let err2 = parse("bogus = 3;").unwrap_err();
+        assert!(err2.message.contains("not declared"));
+    }
+
+    #[test]
+    fn duplicate_state_is_an_error() {
+        let err = parse("state s; state s;").unwrap_err();
+        assert!(err.message.contains("declared twice"));
+    }
+
+    #[test]
+    fn hash_call_parses() {
+        let p = parse("state last; last = hash(pkt.sport, pkt.dport) % 8;").unwrap();
+        match &p.stmts()[0] {
+            Stmt::Assign(LValue::State(0), Expr::Binary(BinOp::Rem, h, _)) => {
+                assert!(matches!(**h, Expr::Hash(ref args) if args.len() == 2));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_operators_nest() {
+        let p = parse("pkt.x = !!pkt.a; pkt.y = --pkt.b;").unwrap();
+        match &p.stmts()[0] {
+            Stmt::Assign(_, Expr::Unary(UnOp::Not, inner)) => {
+                assert!(matches!(**inner, Expr::Unary(UnOp::Not, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &p.stmts()[1] {
+            Stmt::Assign(_, Expr::Unary(UnOp::Neg, inner)) => {
+                assert!(matches!(**inner, Expr::Unary(UnOp::Neg, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_positions_point_at_token() {
+        let err = parse("pkt.x = ;").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert_eq!(err.col, 9);
+    }
+
+    #[test]
+    fn if_without_braces() {
+        let p = parse("state s; if (pkt.a > 2) s = 1; else s = 0;").unwrap();
+        match &p.stmts()[0] {
+            Stmt::If(_, t, f) => {
+                assert_eq!(t.len(), 1);
+                assert_eq!(f.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_blocks_inline() {
+        let p = parse("{ pkt.x = 1; pkt.y = 2; }").unwrap();
+        // Multi-statement bare block becomes if(1){…} to preserve grouping.
+        assert_eq!(p.stmts().len(), 1);
+        let p2 = parse("{ pkt.x = 1; }").unwrap();
+        assert!(matches!(p2.stmts()[0], Stmt::Assign(_, _)));
+    }
+}

@@ -1,0 +1,362 @@
+//! Source-to-source passes over packet transactions.
+//!
+//! * [`eliminate_hashes`] — replaces every `hash(...)` call with a fresh
+//!   read-only packet field. In PISA hardware (RMT/Banzai), hash units sit
+//!   *outside* the ALU grid and deliver their results as packet metadata;
+//!   modelling the hash value as a free input is exactly what the grid
+//!   observes. Both code generators require hash-free programs.
+//! * [`const_fold`] — width-aware constant folding and algebraic
+//!   simplification. Because arithmetic wraps at the target width, folding
+//!   is only sound for a *declared* width; callers pass the width they will
+//!   compile at.
+
+use crate::ast::{BinOp, Expr, Program, Stmt, UnOp, VarRef};
+use crate::interp::eval_binop;
+
+/// Replace each syntactic `hash(...)` occurrence with a fresh packet field.
+///
+/// Returns the names of the introduced fields. Each occurrence gets its own
+/// field: two textually identical calls could observe different argument
+/// values at different program points, so sharing would be unsound. The
+/// hash *arguments* are dropped — the hash output is an opaque function of
+/// them, and for code-generation equivalence the output is simply a free
+/// input (documented substitution; see DESIGN.md).
+pub fn eliminate_hashes(p: &mut Program) -> Vec<String> {
+    let mut introduced = Vec::new();
+    let mut counter = 0usize;
+    let mut stmts = std::mem::take(p.stmts_mut());
+    for s in &mut stmts {
+        rewrite_stmt(s, p, &mut counter, &mut introduced);
+    }
+    *p.stmts_mut() = stmts;
+    introduced
+}
+
+fn fresh_hash_field(p: &mut Program, counter: &mut usize, introduced: &mut Vec<String>) -> usize {
+    loop {
+        let name = format!("hash_{}", *counter);
+        *counter += 1;
+        if !p.field_names().iter().any(|f| *f == name) {
+            introduced.push(name.clone());
+            return p.add_field(name);
+        }
+    }
+}
+
+fn rewrite_stmt(s: &mut Stmt, p: &mut Program, counter: &mut usize, introduced: &mut Vec<String>) {
+    match s {
+        Stmt::Assign(_, e) => rewrite_expr(e, p, counter, introduced),
+        Stmt::If(c, t, f) => {
+            rewrite_expr(c, p, counter, introduced);
+            for st in t {
+                rewrite_stmt(st, p, counter, introduced);
+            }
+            for st in f {
+                rewrite_stmt(st, p, counter, introduced);
+            }
+        }
+    }
+}
+
+fn rewrite_expr(e: &mut Expr, p: &mut Program, counter: &mut usize, introduced: &mut Vec<String>) {
+    // `hash(...) % k` is one hash-unit invocation: real PISA hash units
+    // produce a value in a configured range, so the modulo never reaches
+    // the ALU grid.
+    if let Expr::Binary(crate::ast::BinOp::Rem, a, b) = e {
+        if matches!(**a, Expr::Hash(_)) && matches!(**b, Expr::Int(_)) {
+            let idx = fresh_hash_field(p, counter, introduced);
+            *e = Expr::Var(VarRef::Field(idx));
+            return;
+        }
+    }
+    match e {
+        Expr::Hash(_) => {
+            let idx = fresh_hash_field(p, counter, introduced);
+            *e = Expr::Var(VarRef::Field(idx));
+        }
+        Expr::Unary(_, x) => rewrite_expr(x, p, counter, introduced),
+        Expr::Binary(_, a, b) => {
+            rewrite_expr(a, p, counter, introduced);
+            rewrite_expr(b, p, counter, introduced);
+        }
+        Expr::Ternary(c, t, f) => {
+            rewrite_expr(c, p, counter, introduced);
+            rewrite_expr(t, p, counter, introduced);
+            rewrite_expr(f, p, counter, introduced);
+        }
+        Expr::Int(_) | Expr::Var(_) => {}
+    }
+}
+
+/// Remove packet fields that no statement reads or writes, remapping the
+/// indices of the remaining fields.
+///
+/// Hash elimination leaves the hash *arguments* (e.g. `pkt.sport`) unused —
+/// in hardware they feed the hash unit, not the ALU grid, so they do not
+/// occupy PHV containers. Returns the removed field names.
+pub fn prune_unused_fields(p: &mut Program) -> Vec<String> {
+    let n = p.field_names().len();
+    let mut used = vec![false; n];
+    fn scan_expr(e: &Expr, used: &mut [bool]) {
+        match e {
+            Expr::Var(VarRef::Field(i)) => used[*i] = true,
+            Expr::Var(_) | Expr::Int(_) => {}
+            Expr::Hash(args) => args.iter().for_each(|a| scan_expr(a, used)),
+            Expr::Unary(_, x) => scan_expr(x, used),
+            Expr::Binary(_, a, b) => {
+                scan_expr(a, used);
+                scan_expr(b, used);
+            }
+            Expr::Ternary(c, t, f) => {
+                scan_expr(c, used);
+                scan_expr(t, used);
+                scan_expr(f, used);
+            }
+        }
+    }
+    fn scan_stmts(stmts: &[Stmt], used: &mut [bool]) {
+        for s in stmts {
+            match s {
+                Stmt::Assign(lv, e) => {
+                    if let crate::ast::LValue::Field(i) = lv {
+                        used[*i] = true;
+                    }
+                    scan_expr(e, used);
+                }
+                Stmt::If(c, t, f) => {
+                    scan_expr(c, used);
+                    scan_stmts(t, used);
+                    scan_stmts(f, used);
+                }
+            }
+        }
+    }
+    scan_stmts(p.stmts(), &mut used);
+    if used.iter().all(|&u| u) {
+        return Vec::new();
+    }
+    let mut remap = vec![usize::MAX; n];
+    let mut kept = Vec::new();
+    let mut removed = Vec::new();
+    for (i, name) in p.field_names().to_vec().into_iter().enumerate() {
+        if used[i] {
+            remap[i] = kept.len();
+            kept.push(name);
+        } else {
+            removed.push(name);
+        }
+    }
+    fn remap_expr(e: &mut Expr, remap: &[usize]) {
+        match e {
+            Expr::Var(VarRef::Field(i)) => *i = remap[*i],
+            Expr::Var(_) | Expr::Int(_) => {}
+            Expr::Hash(args) => args.iter_mut().for_each(|a| remap_expr(a, remap)),
+            Expr::Unary(_, x) => remap_expr(x, remap),
+            Expr::Binary(_, a, b) => {
+                remap_expr(a, remap);
+                remap_expr(b, remap);
+            }
+            Expr::Ternary(c, t, f) => {
+                remap_expr(c, remap);
+                remap_expr(t, remap);
+                remap_expr(f, remap);
+            }
+        }
+    }
+    fn remap_stmts(stmts: &mut [Stmt], remap: &[usize]) {
+        for s in stmts {
+            match s {
+                Stmt::Assign(lv, e) => {
+                    if let crate::ast::LValue::Field(i) = lv {
+                        *i = remap[*i];
+                    }
+                    remap_expr(e, remap);
+                }
+                Stmt::If(c, t, f) => {
+                    remap_expr(c, remap);
+                    remap_stmts(t, remap);
+                    remap_stmts(f, remap);
+                }
+            }
+        }
+    }
+    let mut stmts = std::mem::take(p.stmts_mut());
+    remap_stmts(&mut stmts, &remap);
+    *p.stmts_mut() = stmts;
+    p.set_field_names(kept);
+    removed
+}
+
+/// Constant-fold a program at a declared bit width.
+///
+/// Folds constant subexpressions, applies safe identities (`x+0`, `x*1`,
+/// `x*0`, `x&&1`, …) and prunes `if` statements with constant conditions.
+pub fn const_fold(p: &mut Program, width: u8) {
+    assert!((1..=64).contains(&width));
+    let m = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
+    let mut stmts = std::mem::take(p.stmts_mut());
+    fold_stmts(&mut stmts, m);
+    *p.stmts_mut() = stmts;
+}
+
+fn fold_stmts(stmts: &mut Vec<Stmt>, m: u64) {
+    let mut out = Vec::with_capacity(stmts.len());
+    for mut s in stmts.drain(..) {
+        match &mut s {
+            Stmt::Assign(_, e) => {
+                fold_expr(e, m);
+                out.push(s);
+            }
+            Stmt::If(c, t, f) => {
+                fold_expr(c, m);
+                fold_stmts(t, m);
+                fold_stmts(f, m);
+                match c {
+                    Expr::Int(0) => out.extend(f.drain(..)),
+                    Expr::Int(_) => out.extend(t.drain(..)),
+                    _ => out.push(s),
+                }
+            }
+        }
+    }
+    *stmts = out;
+}
+
+fn fold_expr(e: &mut Expr, m: u64) {
+    match e {
+        Expr::Int(v) => *v &= m,
+        Expr::Var(_) => {}
+        Expr::Hash(args) => args.iter_mut().for_each(|a| fold_expr(a, m)),
+        Expr::Unary(op, x) => {
+            fold_expr(x, m);
+            if let Expr::Int(v) = **x {
+                *e = Expr::Int(match op {
+                    UnOp::Not => (v == 0) as u64,
+                    UnOp::Neg => v.wrapping_neg() & m,
+                });
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            fold_expr(a, m);
+            fold_expr(b, m);
+            if let (Expr::Int(va), Expr::Int(vb)) = (&**a, &**b) {
+                *e = Expr::Int(eval_binop(*op, *va, *vb, m));
+                return;
+            }
+            // Identities with a constant on either side.
+            let replacement = match (&**a, *op, &**b) {
+                (Expr::Int(0), BinOp::Add, _) => Some((**b).clone()),
+                (_, BinOp::Add | BinOp::Sub, Expr::Int(0)) => Some((**a).clone()),
+                (_, BinOp::Mul, Expr::Int(1)) => Some((**a).clone()),
+                (Expr::Int(1), BinOp::Mul, _) => Some((**b).clone()),
+                (_, BinOp::Mul, Expr::Int(0)) | (Expr::Int(0), BinOp::Mul, _) => Some(Expr::Int(0)),
+                (_, BinOp::BitOr | BinOp::BitXor, Expr::Int(0)) => Some((**a).clone()),
+                (Expr::Int(0), BinOp::BitOr | BinOp::BitXor, _) => Some((**b).clone()),
+                (_, BinOp::BitAnd, Expr::Int(0)) | (Expr::Int(0), BinOp::BitAnd, _) => {
+                    Some(Expr::Int(0))
+                }
+                _ => None,
+            };
+            if let Some(r) = replacement {
+                *e = r;
+            }
+        }
+        Expr::Ternary(c, t, f) => {
+            fold_expr(c, m);
+            fold_expr(t, m);
+            fold_expr(f, m);
+            if let Expr::Int(v) = **c {
+                *e = if v != 0 { (**t).clone() } else { (**f).clone() };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::LValue;
+    use crate::interp::{Interpreter, PacketState};
+    use crate::parse;
+
+    #[test]
+    fn hash_elimination_adds_fields() {
+        let mut p = parse("state s; s = hash(pkt.a, pkt.b) % 8;").unwrap();
+        let added = eliminate_hashes(&mut p);
+        assert_eq!(added, ["hash_0"]);
+        assert_eq!(p.field_names(), ["a", "b", "hash_0"]);
+        assert!(!p.stmts().iter().any(Stmt::contains_hash));
+    }
+
+    #[test]
+    fn hash_elimination_is_per_occurrence() {
+        let mut p = parse("pkt.x = hash(pkt.a) + hash(pkt.a);").unwrap();
+        let added = eliminate_hashes(&mut p);
+        assert_eq!(added.len(), 2);
+    }
+
+    #[test]
+    fn hash_field_names_avoid_collisions() {
+        let mut p = parse("pkt.hash_0 = 1; pkt.x = hash(pkt.a);").unwrap();
+        let added = eliminate_hashes(&mut p);
+        assert_eq!(added, ["hash_1"]);
+    }
+
+    #[test]
+    fn const_fold_folds_arithmetic_at_width() {
+        let mut p = parse("pkt.x = 200 + 100;").unwrap();
+        const_fold(&mut p, 8);
+        assert_eq!(p.stmts()[0], Stmt::Assign(LValue::Field(0), Expr::Int(44)));
+        let mut p = parse("pkt.x = 200 + 100;").unwrap();
+        const_fold(&mut p, 10);
+        assert_eq!(p.stmts()[0], Stmt::Assign(LValue::Field(0), Expr::Int(300)));
+    }
+
+    #[test]
+    fn const_fold_applies_identities() {
+        let mut p = parse("pkt.x = pkt.a + 0; pkt.y = pkt.b * 1; pkt.z = pkt.c * 0;").unwrap();
+        const_fold(&mut p, 8);
+        assert_eq!(
+            p.stmts()[0],
+            Stmt::Assign(LValue::Field(0), Expr::Var(VarRef::Field(1)))
+        );
+        assert_eq!(
+            p.stmts()[1],
+            Stmt::Assign(LValue::Field(2), Expr::Var(VarRef::Field(3)))
+        );
+        assert_eq!(p.stmts()[2], Stmt::Assign(LValue::Field(4), Expr::Int(0)));
+    }
+
+    #[test]
+    fn const_fold_prunes_constant_branches() {
+        let mut p = parse("state s; if (1) { s = 1; } else { s = 2; } if (0) { s = 9; }").unwrap();
+        const_fold(&mut p, 8);
+        assert_eq!(p.stmts().len(), 1);
+        assert_eq!(p.stmts()[0], Stmt::Assign(LValue::State(0), Expr::Int(1)));
+    }
+
+    #[test]
+    fn const_fold_preserves_semantics() {
+        let src = "state s;\n\
+                   if (pkt.a * 1 + 0 > 2 + 3) { s = s + (4 - 4) + pkt.b; } else { s = 0 * pkt.b; }\n\
+                   pkt.out = s;";
+        let original = parse(src).unwrap();
+        let mut folded = original.clone();
+        const_fold(&mut folded, 6);
+        let io = Interpreter::new(&original, 6);
+        let if_ = Interpreter::new(&folded, 6);
+        for a in 0..64u64 {
+            for b in [0u64, 1, 5, 63] {
+                let inp = PacketState {
+                    fields: vec![a, b, 0],
+                    states: vec![7],
+                };
+                assert_eq!(io.exec(&inp), if_.exec(&inp), "a={a} b={b}");
+            }
+        }
+    }
+}

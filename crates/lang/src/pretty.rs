@@ -1,0 +1,235 @@
+//! Pretty-printing back to surface syntax.
+//!
+//! The printer emits canonical source that re-parses to an equal program
+//! (`parse(prog.to_string()) == prog` up to field ordering, which the
+//! printer preserves by emitting statements unchanged). Mutated programs
+//! are persisted and reported through this printer.
+
+use std::fmt;
+
+use crate::ast::{BinOp, Expr, LValue, Program, Stmt, UnOp, VarRef};
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, init) in self.states.iter().zip(&self.state_inits) {
+            if *init == 0 {
+                writeln!(f, "state {name};")?;
+            } else {
+                writeln!(f, "state {name} = {init};")?;
+            }
+        }
+        let mut printer = Printer {
+            program: self,
+            out: f,
+            indent: 0,
+            defined_locals: vec![false; self.locals.len()],
+        };
+        printer.stmts(&self.stmts)
+    }
+}
+
+struct Printer<'a, 'f1, 'f2> {
+    program: &'a Program,
+    out: &'f1 mut fmt::Formatter<'f2>,
+    indent: usize,
+    defined_locals: Vec<bool>,
+}
+
+impl Printer<'_, '_, '_> {
+    fn pad(&mut self) -> fmt::Result {
+        for _ in 0..self.indent {
+            write!(self.out, "    ")?;
+        }
+        Ok(())
+    }
+
+    fn stmts(&mut self, stmts: &[Stmt]) -> fmt::Result {
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> fmt::Result {
+        match s {
+            Stmt::Assign(lv, e) => {
+                self.pad()?;
+                match lv {
+                    LValue::Field(i) => write!(self.out, "pkt.{}", self.program.fields[*i])?,
+                    LValue::State(i) => write!(self.out, "{}", self.program.states[*i])?,
+                    LValue::Local(i) => {
+                        if !self.defined_locals[*i] {
+                            self.defined_locals[*i] = true;
+                            write!(self.out, "int ")?;
+                        }
+                        write!(self.out, "{}", self.program.locals[*i])?;
+                    }
+                }
+                write!(self.out, " = ")?;
+                self.expr(e, 0)?;
+                writeln!(self.out, ";")
+            }
+            Stmt::If(c, t, f) => {
+                self.pad()?;
+                write!(self.out, "if (")?;
+                self.expr(c, 0)?;
+                writeln!(self.out, ") {{")?;
+                self.indent += 1;
+                self.stmts(t)?;
+                self.indent -= 1;
+                self.pad()?;
+                if f.is_empty() {
+                    writeln!(self.out, "}}")
+                } else {
+                    writeln!(self.out, "}} else {{")?;
+                    self.indent += 1;
+                    self.stmts(f)?;
+                    self.indent -= 1;
+                    self.pad()?;
+                    writeln!(self.out, "}}")
+                }
+            }
+        }
+    }
+
+    /// Precedence levels (higher binds tighter), mirroring the parser.
+    fn prec(e: &Expr) -> u8 {
+        match e {
+            Expr::Ternary(..) => 1,
+            Expr::Binary(op, ..) => match op {
+                BinOp::Or => 2,
+                BinOp::And => 3,
+                BinOp::BitOr => 4,
+                BinOp::BitXor => 5,
+                BinOp::BitAnd => 6,
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 7,
+                BinOp::Add | BinOp::Sub => 8,
+                BinOp::Mul | BinOp::Div | BinOp::Rem => 9,
+            },
+            Expr::Unary(..) => 10,
+            Expr::Int(_) | Expr::Var(_) | Expr::Hash(_) => 11,
+        }
+    }
+
+    fn expr(&mut self, e: &Expr, min_prec: u8) -> fmt::Result {
+        let my = Self::prec(e);
+        let parens = my < min_prec;
+        if parens {
+            write!(self.out, "(")?;
+        }
+        match e {
+            Expr::Int(v) => write!(self.out, "{v}")?,
+            Expr::Var(r) => match r {
+                VarRef::Field(i) => write!(self.out, "pkt.{}", self.program.fields[*i])?,
+                VarRef::State(i) => write!(self.out, "{}", self.program.states[*i])?,
+                VarRef::Local(i) => write!(self.out, "{}", self.program.locals[*i])?,
+            },
+            Expr::Hash(args) => {
+                write!(self.out, "hash(")?;
+                for (k, a) in args.iter().enumerate() {
+                    if k > 0 {
+                        write!(self.out, ", ")?;
+                    }
+                    self.expr(a, 0)?;
+                }
+                write!(self.out, ")")?;
+            }
+            Expr::Unary(op, x) => {
+                write!(
+                    self.out,
+                    "{}",
+                    match op {
+                        UnOp::Not => "!",
+                        UnOp::Neg => "-",
+                    }
+                )?;
+                self.expr(x, 10)?;
+            }
+            Expr::Binary(op, a, b) => {
+                // Left-associative operators re-parse correctly when the
+                // left child is at the same precedence; comparisons are
+                // non-associative in the grammar (a single optional
+                // comparison per level), so *both* children must be
+                // strictly tighter or parenthesized.
+                let non_assoc = matches!(
+                    op,
+                    BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+                );
+                self.expr(a, if non_assoc { my + 1 } else { my })?;
+                write!(self.out, " {} ", op.symbol())?;
+                self.expr(b, my + 1)?;
+            }
+            Expr::Ternary(c, t, f) => {
+                self.expr(c, 2)?;
+                write!(self.out, " ? ")?;
+                self.expr(t, 0)?;
+                write!(self.out, " : ")?;
+                self.expr(f, 1)?;
+            }
+        }
+        if parens {
+            write!(self.out, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse;
+
+    /// Round-trip: printing then re-parsing yields the same AST.
+    fn roundtrip(src: &str) {
+        let p1 = parse(src).unwrap();
+        let printed = p1.to_string();
+        let p2 = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        assert_eq!(p1, p2, "printed form:\n{printed}");
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        roundtrip("pkt.x = 1 + 2 * 3;");
+        roundtrip("pkt.x = (1 + 2) * 3;");
+        roundtrip("pkt.x = 1 - 2 - 3;");
+        roundtrip("pkt.x = 1 - (2 - 3);");
+    }
+
+    #[test]
+    fn roundtrip_logic_and_compare() {
+        roundtrip("pkt.x = pkt.a < 3 && pkt.b == 4 || !pkt.c;");
+        roundtrip("pkt.x = (pkt.a | pkt.b) & pkt.c ^ 3;");
+    }
+
+    #[test]
+    fn roundtrip_ternary() {
+        roundtrip("pkt.x = pkt.a ? 1 : pkt.b ? 2 : 3;");
+        roundtrip("pkt.x = (pkt.a ? 1 : 2) + 3;");
+    }
+
+    #[test]
+    fn roundtrip_if_else_and_states() {
+        roundtrip(
+            "state count = 0; state p = 3;\n\
+             if (count == 9) { count = 0; pkt.sample = 1; }\n\
+             else { count = count + 1; pkt.sample = 0; }",
+        );
+    }
+
+    #[test]
+    fn roundtrip_locals_and_hash() {
+        roundtrip("int t = hash(pkt.a, pkt.b); pkt.x = t % 4;");
+    }
+
+    #[test]
+    fn roundtrip_unary_nesting() {
+        roundtrip("pkt.x = !(pkt.a + 1); pkt.y = -pkt.b * 2;");
+    }
+
+    #[test]
+    fn roundtrip_nested_ifs() {
+        roundtrip(
+            "state s;\n\
+             if (pkt.a) { if (pkt.b) { s = 1; } } else { if (pkt.c) { s = 2; } else { s = 3; } }",
+        );
+    }
+}

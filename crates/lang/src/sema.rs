@@ -1,0 +1,145 @@
+//! Post-parse semantic checks.
+//!
+//! Name resolution already happens inside the parser; this module validates
+//! whole-program properties that need the complete AST.
+
+use std::fmt;
+
+use crate::ast::{Expr, LValue, Program, Stmt, VarRef};
+
+/// A semantic error.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SemaError {
+    /// The program contains no statements.
+    EmptyProgram,
+    /// A local temporary is read but never assigned on any path.
+    LocalNeverAssigned(String),
+    /// A `hash(...)` call appears in an assignment *target* position — not
+    /// representable (enforced structurally, kept for completeness).
+    HashArity,
+}
+
+impl fmt::Display for SemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SemaError::EmptyProgram => write!(f, "program has no statements"),
+            SemaError::LocalNeverAssigned(n) => {
+                write!(f, "local `{n}` is read but never assigned")
+            }
+            SemaError::HashArity => write!(f, "hash() needs at least one argument"),
+        }
+    }
+}
+
+impl std::error::Error for SemaError {}
+
+/// Validate a resolved program.
+pub(crate) fn check(p: &Program) -> Result<(), SemaError> {
+    if p.stmts().is_empty() {
+        return Err(SemaError::EmptyProgram);
+    }
+    // Every read local must be assigned somewhere.
+    let n = p.local_names().len();
+    let mut assigned = vec![false; n];
+    let mut read = vec![false; n];
+    collect(p.stmts(), &mut assigned, &mut read);
+    for i in 0..n {
+        if read[i] && !assigned[i] {
+            return Err(SemaError::LocalNeverAssigned(p.local_names()[i].clone()));
+        }
+    }
+    check_hash_arity(p.stmts())?;
+    Ok(())
+}
+
+fn collect(stmts: &[Stmt], assigned: &mut [bool], read: &mut [bool]) {
+    for s in stmts {
+        match s {
+            Stmt::Assign(lv, e) => {
+                mark_reads(e, read);
+                if let LValue::Local(i) = lv {
+                    assigned[*i] = true;
+                }
+            }
+            Stmt::If(c, t, f) => {
+                mark_reads(c, read);
+                collect(t, assigned, read);
+                collect(f, assigned, read);
+            }
+        }
+    }
+}
+
+fn mark_reads(e: &Expr, read: &mut [bool]) {
+    match e {
+        Expr::Int(_) => {}
+        Expr::Var(VarRef::Local(i)) => read[*i] = true,
+        Expr::Var(_) => {}
+        Expr::Hash(args) => args.iter().for_each(|a| mark_reads(a, read)),
+        Expr::Unary(_, x) => mark_reads(x, read),
+        Expr::Binary(_, a, b) => {
+            mark_reads(a, read);
+            mark_reads(b, read);
+        }
+        Expr::Ternary(c, t, f) => {
+            mark_reads(c, read);
+            mark_reads(t, read);
+            mark_reads(f, read);
+        }
+    }
+}
+
+fn check_hash_arity(stmts: &[Stmt]) -> Result<(), SemaError> {
+    fn expr(e: &Expr) -> Result<(), SemaError> {
+        match e {
+            Expr::Hash(args) if args.is_empty() => Err(SemaError::HashArity),
+            Expr::Hash(args) => args.iter().try_for_each(expr),
+            Expr::Unary(_, x) => expr(x),
+            Expr::Binary(_, a, b) => expr(a).and_then(|_| expr(b)),
+            Expr::Ternary(c, t, f) => expr(c).and_then(|_| expr(t)).and_then(|_| expr(f)),
+            Expr::Int(_) | Expr::Var(_) => Ok(()),
+        }
+    }
+    for s in stmts {
+        match s {
+            Stmt::Assign(_, e) => expr(e)?,
+            Stmt::If(c, t, f) => {
+                expr(c)?;
+                check_hash_arity(t)?;
+                check_hash_arity(f)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn empty_program_rejected() {
+        let err = parse("   ").unwrap_err();
+        assert!(err.message.contains("no statements"));
+    }
+
+    #[test]
+    fn local_read_implies_assignment_exists() {
+        // The parser's def-before-use ordering already guarantees this for
+        // straight-line code; the check still guards AST-level constructors.
+        let p = Program::from_parts(
+            vec!["x".into()],
+            vec![],
+            vec![],
+            vec!["t".into()],
+            vec![Stmt::Assign(LValue::Field(0), Expr::Var(VarRef::Local(0)))],
+        );
+        assert_eq!(check(&p), Err(SemaError::LocalNeverAssigned("t".into())));
+    }
+
+    #[test]
+    fn assigned_local_is_fine() {
+        assert!(parse("int t = 1; pkt.x = t;").is_ok());
+    }
+}

@@ -1,0 +1,351 @@
+//! Compiling packet transactions into `chipmunk-bv` circuits.
+//!
+//! The compiled circuit is the *specification* side of the CEGIS
+//! equivalence query (Equation 1 of the paper): a function from the
+//! incoming packet fields and current state to the outgoing fields and next
+//! state. The caller supplies the input terms (so the specification and the
+//! sketch share the very same inputs inside one circuit) and receives one
+//! output term per field and per state variable.
+//!
+//! Programs must be hash-free (run
+//! [`eliminate_hashes`](crate::passes::eliminate_hashes) first).
+
+use chipmunk_bv::{BvOp, Circuit, TermId};
+
+use crate::ast::{BinOp, Expr, LValue, Program, Stmt, UnOp, VarRef};
+
+/// The output terms of a compiled specification.
+#[derive(Clone, Debug)]
+pub struct SpecOutputs {
+    /// Final value of each packet field, indexed like
+    /// [`Program::field_names`].
+    pub field_outs: Vec<TermId>,
+    /// Final value of each state variable, indexed like
+    /// [`Program::state_names`].
+    pub state_outs: Vec<TermId>,
+}
+
+/// Compile `p` into `circuit`, reading packet fields from `field_ins` and
+/// state variables from `state_ins`.
+///
+/// # Panics
+/// * If the program still contains `hash(...)` calls.
+/// * If the input slices do not match the program shape.
+pub fn compile_spec(
+    p: &Program,
+    circuit: &mut Circuit,
+    field_ins: &[TermId],
+    state_ins: &[TermId],
+) -> SpecOutputs {
+    assert_eq!(field_ins.len(), p.field_names().len(), "field inputs");
+    assert_eq!(state_ins.len(), p.state_names().len(), "state inputs");
+    let zero = circuit.constant(0);
+    let mut env = Env {
+        fields: field_ins.to_vec(),
+        states: state_ins.to_vec(),
+        locals: vec![zero; p.local_names().len()],
+    };
+    exec_stmts(p.stmts(), circuit, &mut env);
+    SpecOutputs {
+        field_outs: env.fields,
+        state_outs: env.states,
+    }
+}
+
+#[derive(Clone)]
+struct Env {
+    fields: Vec<TermId>,
+    states: Vec<TermId>,
+    locals: Vec<TermId>,
+}
+
+impl Env {
+    fn read(&self, r: VarRef) -> TermId {
+        match r {
+            VarRef::Field(i) => self.fields[i],
+            VarRef::State(i) => self.states[i],
+            VarRef::Local(i) => self.locals[i],
+        }
+    }
+
+    fn write(&mut self, lv: LValue, t: TermId) {
+        match lv {
+            LValue::Field(i) => self.fields[i] = t,
+            LValue::State(i) => self.states[i] = t,
+            LValue::Local(i) => self.locals[i] = t,
+        }
+    }
+}
+
+fn exec_stmts(stmts: &[Stmt], c: &mut Circuit, env: &mut Env) {
+    for s in stmts {
+        match s {
+            Stmt::Assign(lv, e) => {
+                let t = compile_val(e, c, env);
+                env.write(*lv, t);
+            }
+            Stmt::If(cond, then_b, else_b) => {
+                let cb = compile_bool(cond, c, env);
+                let mut then_env = env.clone();
+                let mut else_env = env.clone();
+                exec_stmts(then_b, c, &mut then_env);
+                exec_stmts(else_b, c, &mut else_env);
+                // Phi-merge every slot; the circuit's mux simplifier drops
+                // merges where both arms are identical.
+                for i in 0..env.fields.len() {
+                    env.fields[i] = c.mux(cb, then_env.fields[i], else_env.fields[i]);
+                }
+                for i in 0..env.states.len() {
+                    env.states[i] = c.mux(cb, then_env.states[i], else_env.states[i]);
+                }
+                for i in 0..env.locals.len() {
+                    env.locals[i] = c.mux(cb, then_env.locals[i], else_env.locals[i]);
+                }
+            }
+        }
+    }
+}
+
+/// Compile an expression to a value-width term.
+fn compile_val(e: &Expr, c: &mut Circuit, env: &Env) -> TermId {
+    match e {
+        Expr::Int(v) => c.constant(*v),
+        Expr::Var(r) => env.read(*r),
+        Expr::Hash(_) => {
+            panic!("hash() reached the spec compiler; run passes::eliminate_hashes first")
+        }
+        Expr::Unary(UnOp::Not, x) => {
+            let b = compile_bool(x, c, env);
+            let nb = c.not(b);
+            c.zext(nb)
+        }
+        Expr::Unary(UnOp::Neg, x) => {
+            let v = compile_val(x, c, env);
+            let zero = c.constant(0);
+            c.binop(BvOp::Sub, zero, v)
+        }
+        Expr::Binary(op, a, b) => match bv_of(*op) {
+            OpKind::Value(bvop) => {
+                let va = compile_val(a, c, env);
+                let vb = compile_val(b, c, env);
+                c.binop(bvop, va, vb)
+            }
+            OpKind::Predicate(bvop) => {
+                let va = compile_val(a, c, env);
+                let vb = compile_val(b, c, env);
+                let p = c.binop(bvop, va, vb);
+                c.zext(p)
+            }
+            OpKind::Logical(is_and) => {
+                let ba = compile_bool(a, c, env);
+                let bb = compile_bool(b, c, env);
+                let p = c.binop(if is_and { BvOp::And } else { BvOp::Or }, ba, bb);
+                c.zext(p)
+            }
+        },
+        Expr::Ternary(cond, t, f) => {
+            let cb = compile_bool(cond, c, env);
+            let tv = compile_val(t, c, env);
+            let fv = compile_val(f, c, env);
+            c.mux(cb, tv, fv)
+        }
+    }
+}
+
+/// Compile an expression to a width-1 boolean (`expr != 0`), fusing
+/// predicate shapes to avoid `zext`/`!= 0` round trips.
+fn compile_bool(e: &Expr, c: &mut Circuit, env: &Env) -> TermId {
+    match e {
+        Expr::Int(v) => {
+            if *v != 0 {
+                c.tru()
+            } else {
+                c.fals()
+            }
+        }
+        Expr::Unary(UnOp::Not, x) => {
+            let b = compile_bool(x, c, env);
+            c.not(b)
+        }
+        Expr::Binary(op, a, b) => match bv_of(*op) {
+            OpKind::Predicate(bvop) => {
+                let va = compile_val(a, c, env);
+                let vb = compile_val(b, c, env);
+                c.binop(bvop, va, vb)
+            }
+            OpKind::Logical(is_and) => {
+                let ba = compile_bool(a, c, env);
+                let bb = compile_bool(b, c, env);
+                c.binop(if is_and { BvOp::And } else { BvOp::Or }, ba, bb)
+            }
+            OpKind::Value(_) => {
+                let v = compile_val(e, c, env);
+                let zero = c.constant(0);
+                c.binop(BvOp::Ne, v, zero)
+            }
+        },
+        _ => {
+            let v = compile_val(e, c, env);
+            let zero = c.constant(0);
+            c.binop(BvOp::Ne, v, zero)
+        }
+    }
+}
+
+enum OpKind {
+    Value(BvOp),
+    Predicate(BvOp),
+    Logical(bool), // true = and
+}
+
+fn bv_of(op: BinOp) -> OpKind {
+    match op {
+        BinOp::Add => OpKind::Value(BvOp::Add),
+        BinOp::Sub => OpKind::Value(BvOp::Sub),
+        BinOp::Mul => OpKind::Value(BvOp::Mul),
+        BinOp::Div => OpKind::Value(BvOp::UDiv),
+        BinOp::Rem => OpKind::Value(BvOp::URem),
+        BinOp::BitAnd => OpKind::Value(BvOp::And),
+        BinOp::BitOr => OpKind::Value(BvOp::Or),
+        BinOp::BitXor => OpKind::Value(BvOp::Xor),
+        BinOp::Eq => OpKind::Predicate(BvOp::Eq),
+        BinOp::Ne => OpKind::Predicate(BvOp::Ne),
+        BinOp::Lt => OpKind::Predicate(BvOp::Ult),
+        BinOp::Le => OpKind::Predicate(BvOp::Ule),
+        BinOp::Gt => OpKind::Predicate(BvOp::Ugt),
+        BinOp::Ge => OpKind::Predicate(BvOp::Uge),
+        BinOp::And => OpKind::Logical(true),
+        BinOp::Or => OpKind::Logical(false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{Interpreter, PacketState};
+    use crate::parse;
+    use chipmunk_bv::InputId;
+
+    /// Compile `src` at `width` and cross-check circuit evaluation against
+    /// the interpreter on the given inputs (or exhaustively when the input
+    /// space is small enough).
+    fn cross_check(src: &str, width: u8) {
+        let p = parse(src).unwrap();
+        let mut c = Circuit::new(width);
+        let field_ins: Vec<TermId> = p
+            .field_names()
+            .iter()
+            .map(|n| c.input(&format!("pkt_{n}")))
+            .collect();
+        let state_ins: Vec<TermId> = p
+            .state_names()
+            .iter()
+            .map(|n| c.input(&format!("state_{n}")))
+            .collect();
+        let outs = compile_spec(&p, &mut c, &field_ins, &state_ins);
+        let interp = Interpreter::new(&p, width);
+        let n_inputs = field_ins.len() + state_ins.len();
+        let space = 1u64 << (width as u64 * n_inputs as u64).min(16);
+        let samples: Vec<u64> = (0..space).collect();
+        let m = c.mask();
+        for seed in samples {
+            // Derive one value per input from the seed.
+            let vals: Vec<u64> = (0..n_inputs)
+                .map(|k| (seed >> (k as u64 * width as u64)) & m)
+                .collect();
+            let inp = PacketState {
+                fields: vals[..field_ins.len()].to_vec(),
+                states: vals[field_ins.len()..].to_vec(),
+            };
+            let want = interp.exec(&inp);
+            let vals2 = vals.clone();
+            let lookup = move |i: InputId| vals2[i.index()];
+            let all_outs: Vec<TermId> = outs
+                .field_outs
+                .iter()
+                .chain(outs.state_outs.iter())
+                .copied()
+                .collect();
+            let got = c.eval_many(&all_outs, &lookup);
+            let want_flat: Vec<u64> = want
+                .fields
+                .iter()
+                .chain(want.states.iter())
+                .copied()
+                .collect();
+            assert_eq!(got, want_flat, "seed={seed} src=\n{src}");
+        }
+    }
+
+    #[test]
+    fn straightline_arithmetic() {
+        cross_check("pkt.y = pkt.x * 3 + 1;", 4);
+    }
+
+    #[test]
+    fn sampling_program() {
+        cross_check(
+            "state count;\n\
+             if (count == 9) { count = 0; pkt.sample = 1; }\n\
+             else { count = count + 1; pkt.sample = 0; }",
+            4,
+        );
+    }
+
+    #[test]
+    fn nested_conditionals_and_logic() {
+        cross_check(
+            "state s;\n\
+             if (pkt.a > 2 && s < 3) { s = s + 1; } else { if (!pkt.a) { s = 0; } }",
+            3,
+        );
+    }
+
+    #[test]
+    fn ternary_and_locals() {
+        cross_check("int t = pkt.a > pkt.b ? pkt.a : pkt.b; pkt.max = t;", 4);
+    }
+
+    #[test]
+    fn division_and_remainder() {
+        cross_check("pkt.q = pkt.a / pkt.b; pkt.r = pkt.a % pkt.b;", 3);
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        cross_check("pkt.x = (pkt.a & pkt.b) | (pkt.a ^ 3);", 4);
+    }
+
+    #[test]
+    fn negation_and_not() {
+        cross_check("pkt.x = -pkt.a; pkt.y = !pkt.a; pkt.z = !!pkt.a;", 4);
+    }
+
+    #[test]
+    fn read_only_fields_pass_through() {
+        // Field order is first-use: y (target), then x.
+        let p = parse("pkt.y = pkt.x;").unwrap();
+        assert_eq!(p.field_names(), ["y", "x"]);
+        let mut c = Circuit::new(8);
+        let fy = c.input("y");
+        let fx = c.input("x");
+        let outs = compile_spec(&p, &mut c, &[fy, fx], &[]);
+        assert_eq!(outs.field_outs[0], fx); // y := x
+        assert_eq!(outs.field_outs[1], fx); // x never written: passes through
+    }
+
+    #[test]
+    #[should_panic(expected = "eliminate_hashes")]
+    fn hash_panics_without_elimination() {
+        let p = parse("pkt.y = hash(pkt.x);").unwrap();
+        let mut c = Circuit::new(8);
+        let fx = c.input("x");
+        let fy = c.input("y");
+        compile_spec(&p, &mut c, &[fx, fy], &[]);
+    }
+
+    #[test]
+    fn if_without_else_merges_with_input() {
+        cross_check("state s; if (pkt.a == 1) { s = s + 2; } pkt.out = s;", 3);
+    }
+}

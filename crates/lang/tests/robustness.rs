@@ -1,0 +1,125 @@
+//! Robustness properties of the frontend: the parser must never panic on
+//! arbitrary input, and the pretty-printer must be a parser inverse on
+//! every valid program.
+
+use chipmunk_lang::{parse, BinOp, Expr, LValue, Program, Stmt, UnOp, VarRef};
+use proptest::prelude::*;
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0u64..100).prop_map(Expr::Int),
+        (0usize..3).prop_map(|i| Expr::Var(VarRef::Field(i))),
+        (0usize..2).prop_map(|i| Expr::Var(VarRef::State(i))),
+    ];
+    leaf.prop_recursive(3, 20, 3, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div),
+                    Just(BinOp::Rem),
+                    Just(BinOp::Eq),
+                    Just(BinOp::Lt),
+                    Just(BinOp::Ge),
+                    Just(BinOp::And),
+                    Just(BinOp::Or),
+                    Just(BinOp::BitAnd),
+                    Just(BinOp::BitOr),
+                    Just(BinOp::BitXor),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, a, b)| Expr::bin(op, a, b)),
+            (prop_oneof![Just(UnOp::Not), Just(UnOp::Neg)], inner.clone())
+                .prop_map(|(op, x)| Expr::Unary(op, Box::new(x))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, f)| Expr::Ternary(
+                Box::new(c),
+                Box::new(t),
+                Box::new(f)
+            )),
+        ]
+    })
+}
+
+fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
+    let lv = prop_oneof![
+        (0usize..3).prop_map(LValue::Field),
+        (0usize..2).prop_map(LValue::State),
+    ];
+    if depth == 0 {
+        (lv, arb_expr())
+            .prop_map(|(l, e)| Stmt::Assign(l, e))
+            .boxed()
+    } else {
+        prop_oneof![
+            3 => (lv, arb_expr()).prop_map(|(l, e)| Stmt::Assign(l, e)),
+            1 => (
+                arb_expr(),
+                prop::collection::vec(arb_stmt(depth - 1), 1..3),
+                prop::collection::vec(arb_stmt(depth - 1), 0..2),
+            )
+                .prop_map(|(c, t, f)| Stmt::If(c, t, f)),
+        ]
+        .boxed()
+    }
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    prop::collection::vec(arb_stmt(2), 1..5).prop_map(|stmts| {
+        Program::from_parts(
+            vec!["a".into(), "b".into(), "c".into()],
+            vec!["s0".into(), "s1".into()],
+            vec![0, 0],
+            vec![],
+            stmts,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The parser returns a Result on arbitrary input — it never panics.
+    #[test]
+    fn parser_never_panics(src in ".{0,200}") {
+        let _ = parse(&src);
+    }
+
+    /// Domino-flavoured garbage (keywords, braces, operators in random
+    /// order) also parses or errors gracefully.
+    #[test]
+    fn parser_never_panics_on_tokeny_garbage(
+        tokens in prop::collection::vec(
+            prop_oneof![
+                Just("state"), Just("if"), Just("else"), Just("pkt"),
+                Just("int"), Just("hash"), Just("x"), Just("."), Just("="),
+                Just("=="), Just("("), Just(")"), Just("{"), Just("}"),
+                Just(";"), Just("+"), Just("?"), Just(":"), Just("7"),
+            ],
+            0..40,
+        )
+    ) {
+        let src = tokens.join(" ");
+        let _ = parse(&src);
+    }
+
+    /// Printing reaches a fixpoint after one parse: the parser renumbers
+    /// packet fields into first-use order (and drops unreferenced names),
+    /// so `parse ∘ print` normalizes — but printing the normalized program
+    /// must reproduce itself exactly, and the program shape must survive.
+    #[test]
+    fn pretty_printer_roundtrips(prog in arb_program()) {
+        let printed = prog.to_string();
+        let reparsed = parse(&printed);
+        prop_assert!(reparsed.is_ok(), "did not reparse:\n{}", printed);
+        let normalized = reparsed.unwrap();
+        prop_assert_eq!(normalized.stmts().len(), prog.stmts().len());
+        let printed2 = normalized.to_string();
+        let reparsed2 = parse(&printed2).expect("normalized form reparses");
+        prop_assert_eq!(&reparsed2, &normalized, "not a fixpoint:\n{}", printed2);
+        prop_assert_eq!(printed2, normalized.to_string());
+    }
+}

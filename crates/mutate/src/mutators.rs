@@ -1,0 +1,480 @@
+//! The individual semantics-preserving rewrites.
+//!
+//! Each mutator counts its candidate sites in a first traversal, picks one
+//! uniformly, and rewrites it in a second traversal, so site choice is
+//! unbiased and deterministic under the caller's RNG.
+
+use chipmunk_lang::{BinOp, Expr, Program, Stmt, UnOp};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The mutation classes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MutationKind {
+    /// `a ⊕ b → b ⊕ a` for commutative `⊕`.
+    CommuteOperands,
+    /// `a < b → b > a` (and the other comparison mirrors).
+    MirrorComparison,
+    /// `if (c) A else B → if (!c) B else A`.
+    NegateBranch,
+    /// `x = c ? t : f → if (c) x = t else x = f`.
+    TernaryToIf,
+    /// `if (c) x = t else x = f → x = c ? t : f` (single-assignment arms
+    /// writing the same lvalue).
+    IfToTernary,
+    /// `(a + b) + c → a + (b + c)`.
+    Reassociate,
+    /// `e → e + 0` or `e → e * 1`.
+    AddIdentity,
+    /// `k → (k-1) + 1` for a constant `k ≥ 1`.
+    DecomposeConstant,
+    /// `x = f(e); → int t = e; x = f(t);` — hoist a subexpression.
+    HoistSubexpr,
+    /// `if (c) … → if (!!c) …`.
+    DoubleNegate,
+}
+
+/// Every mutation kind, for uniform sampling.
+pub const ALL_KINDS: &[MutationKind] = &[
+    MutationKind::CommuteOperands,
+    MutationKind::MirrorComparison,
+    MutationKind::NegateBranch,
+    MutationKind::TernaryToIf,
+    MutationKind::IfToTernary,
+    MutationKind::Reassociate,
+    MutationKind::AddIdentity,
+    MutationKind::DecomposeConstant,
+    MutationKind::HoistSubexpr,
+    MutationKind::DoubleNegate,
+];
+
+/// Enumerate every program reachable from `prog` by one application of
+/// `kind` (one result per applicable site, in traversal order; kinds with
+/// an internal choice, like [`MutationKind::AddIdentity`], contribute one
+/// result per choice). Used by the systematic searches in
+/// `chipmunk-repair`; random mutation goes through [`apply`].
+pub fn enumerate(kind: MutationKind, prog: &Program) -> Vec<Program> {
+    let mut out = Vec::new();
+    match kind {
+        MutationKind::AddIdentity => {
+            for use_mul in [false, true] {
+                let mut site = 0;
+                loop {
+                    let mut cand = prog.clone();
+                    if !apply_at(kind, &mut cand, site, use_mul) {
+                        break;
+                    }
+                    out.push(cand);
+                    site += 1;
+                }
+            }
+        }
+        _ => {
+            let mut site = 0;
+            loop {
+                let mut cand = prog.clone();
+                if !apply_at(kind, &mut cand, site, false) {
+                    break;
+                }
+                out.push(cand);
+                site += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Apply one mutation of the given kind at a random site. Returns false if
+/// the program has no applicable site.
+pub fn apply(kind: MutationKind, prog: &mut Program, rng: &mut StdRng) -> bool {
+    let sites = count_sites(kind, prog);
+    if sites == 0 {
+        return false;
+    }
+    let site = rng.gen_range(0..sites);
+    let use_mul = rng.gen_bool(0.5);
+    apply_at(kind, prog, site, use_mul)
+}
+
+/// Number of applicable sites for `kind`.
+fn count_sites(kind: MutationKind, prog: &Program) -> usize {
+    // Cheap: probe sites until application fails.
+    let mut n = 0;
+    loop {
+        let mut cand = prog.clone();
+        if !apply_at(kind, &mut cand, n, false) {
+            return n;
+        }
+        n += 1;
+    }
+}
+
+/// Apply `kind` at the `site`-th applicable position (traversal order).
+/// `use_mul` selects the multiplicative identity for
+/// [`MutationKind::AddIdentity`]. Returns false when `site` is out of
+/// range.
+fn apply_at(kind: MutationKind, prog: &mut Program, site: usize, use_mul: bool) -> bool {
+    match kind {
+        MutationKind::CommuteOperands => rewrite_expr_site(
+            prog,
+            site,
+            |e| matches!(e, Expr::Binary(op, _, _) if op.is_commutative()),
+            |e| {
+                if let Expr::Binary(_, a, b) = e {
+                    std::mem::swap(a, b);
+                }
+            },
+        ),
+        MutationKind::MirrorComparison => rewrite_expr_site(
+            prog,
+            site,
+            |e| matches!(e, Expr::Binary(op, _, _) if mirror(*op).is_some()),
+            |e| {
+                if let Expr::Binary(op, a, b) = e {
+                    *op = mirror(*op).expect("filtered");
+                    std::mem::swap(a, b);
+                }
+            },
+        ),
+        MutationKind::Reassociate => rewrite_expr_site(
+            prog,
+            site,
+            |e| {
+                matches!(e, Expr::Binary(BinOp::Add, a, _)
+                    if matches!(**a, Expr::Binary(BinOp::Add, _, _)))
+            },
+            |e| {
+                // (a + b) + c  →  a + (b + c)
+                if let Expr::Binary(BinOp::Add, ab, c) = e {
+                    if let Expr::Binary(BinOp::Add, a, b) =
+                        std::mem::replace(ab.as_mut(), Expr::Int(0))
+                    {
+                        let c_owned = std::mem::replace(c.as_mut(), Expr::Int(0));
+                        **ab = *a;
+                        **c = Expr::Binary(BinOp::Add, b, Box::new(c_owned));
+                    }
+                }
+            },
+        ),
+        MutationKind::AddIdentity => {
+            rewrite_expr_site(
+                prog,
+                site,
+                // Keep identities off boolean sub-positions is unnecessary:
+                // e+0 and e*1 are identities for every value.
+                |e| !matches!(e, Expr::Int(_)),
+                move |e| {
+                    let inner = std::mem::replace(e, Expr::Int(0));
+                    *e = if use_mul {
+                        Expr::bin(BinOp::Mul, inner, Expr::Int(1))
+                    } else {
+                        Expr::bin(BinOp::Add, inner, Expr::Int(0))
+                    };
+                },
+            )
+        }
+        MutationKind::DecomposeConstant => rewrite_expr_site(
+            prog,
+            site,
+            |e| matches!(e, Expr::Int(v) if *v >= 1),
+            |e| {
+                if let Expr::Int(v) = *e {
+                    *e = Expr::bin(BinOp::Add, Expr::Int(v - 1), Expr::Int(1));
+                }
+            },
+        ),
+        MutationKind::NegateBranch => rewrite_stmt_site(
+            prog,
+            site,
+            |s| matches!(s, Stmt::If(_, _, f) if !f.is_empty()),
+            |s| {
+                if let Stmt::If(c, t, f) = s {
+                    let cond = std::mem::replace(c, Expr::Int(0));
+                    *c = Expr::Unary(UnOp::Not, Box::new(cond));
+                    std::mem::swap(t, f);
+                }
+            },
+        ),
+        MutationKind::DoubleNegate => rewrite_stmt_site(
+            prog,
+            site,
+            |s| matches!(s, Stmt::If(..)),
+            |s| {
+                if let Stmt::If(c, _, _) = s {
+                    let cond = std::mem::replace(c, Expr::Int(0));
+                    *c = Expr::Unary(UnOp::Not, Box::new(Expr::Unary(UnOp::Not, Box::new(cond))));
+                }
+            },
+        ),
+        MutationKind::TernaryToIf => rewrite_stmt_site(
+            prog,
+            site,
+            |s| matches!(s, Stmt::Assign(_, Expr::Ternary(..))),
+            |s| {
+                if let Stmt::Assign(lv, Expr::Ternary(c, t, f)) = s {
+                    *s = Stmt::If(
+                        (**c).clone(),
+                        vec![Stmt::Assign(*lv, (**t).clone())],
+                        vec![Stmt::Assign(*lv, (**f).clone())],
+                    );
+                }
+            },
+        ),
+        MutationKind::IfToTernary => rewrite_stmt_site(
+            prog,
+            site,
+            |s| {
+                matches!(s, Stmt::If(_, t, f)
+                    if t.len() == 1 && f.len() == 1
+                        && matches!((&t[0], &f[0]),
+                            (Stmt::Assign(lt, _), Stmt::Assign(lf, _)) if lt == lf))
+            },
+            |s| {
+                if let Stmt::If(c, t, f) = s {
+                    if let (Stmt::Assign(lv, te), Stmt::Assign(_, fe)) = (&t[0], &f[0]) {
+                        *s = Stmt::Assign(
+                            *lv,
+                            Expr::Ternary(
+                                Box::new(c.clone()),
+                                Box::new(te.clone()),
+                                Box::new(fe.clone()),
+                            ),
+                        );
+                    }
+                }
+            },
+        ),
+        MutationKind::HoistSubexpr => hoist_subexpr(prog, site),
+    }
+}
+
+fn mirror(op: BinOp) -> Option<BinOp> {
+    Some(match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Ge => BinOp::Le,
+        _ => return None,
+    })
+}
+
+/// Visit every expression node (post-order) in every statement.
+fn for_each_expr(stmts: &mut [Stmt], f: &mut impl FnMut(&mut Expr)) {
+    fn expr(e: &mut Expr, f: &mut impl FnMut(&mut Expr)) {
+        match e {
+            Expr::Int(_) | Expr::Var(_) => {}
+            Expr::Hash(args) => args.iter_mut().for_each(|a| expr(a, f)),
+            Expr::Unary(_, x) => expr(x, f),
+            Expr::Binary(_, a, b) => {
+                expr(a, f);
+                expr(b, f);
+            }
+            Expr::Ternary(c, t, fe) => {
+                expr(c, f);
+                expr(t, f);
+                expr(fe, f);
+            }
+        }
+        f(e);
+    }
+    for s in stmts {
+        match s {
+            Stmt::Assign(_, e) => expr(e, f),
+            Stmt::If(c, t, fe) => {
+                expr(c, f);
+                for_each_expr(t, f);
+                for_each_expr(fe, f);
+            }
+        }
+    }
+}
+
+/// Visit every statement node.
+fn for_each_stmt(stmts: &mut Vec<Stmt>, f: &mut impl FnMut(&mut Stmt)) {
+    let mut i = 0;
+    while i < stmts.len() {
+        // Recurse first so nested sites are visited; then the node itself.
+        if let Stmt::If(_, t, fe) = &mut stmts[i] {
+            for_each_stmt(t, f);
+            for_each_stmt(fe, f);
+        }
+        f(&mut stmts[i]);
+        i += 1;
+    }
+}
+
+/// Rewrite the `site`-th expression satisfying `pred` (traversal order);
+/// false if there are fewer applicable sites.
+fn rewrite_expr_site(
+    prog: &mut Program,
+    site: usize,
+    pred: impl Fn(&Expr) -> bool,
+    rewrite: impl Fn(&mut Expr),
+) -> bool {
+    let mut stmts = std::mem::take(prog.stmts_mut());
+    let mut seen = 0usize;
+    let mut hit = false;
+    for_each_expr(&mut stmts, &mut |e| {
+        if pred(e) {
+            if seen == site {
+                rewrite(e);
+                hit = true;
+            }
+            seen += 1;
+        }
+    });
+    *prog.stmts_mut() = stmts;
+    hit
+}
+
+/// Rewrite the `site`-th statement satisfying `pred` (traversal order);
+/// false if there are fewer applicable sites.
+fn rewrite_stmt_site(
+    prog: &mut Program,
+    site: usize,
+    pred: impl Fn(&Stmt) -> bool,
+    rewrite: impl Fn(&mut Stmt),
+) -> bool {
+    let mut stmts = std::mem::take(prog.stmts_mut());
+    let mut seen = 0usize;
+    let mut hit = false;
+    for_each_stmt(&mut stmts, &mut |s| {
+        if pred(s) {
+            if seen == site {
+                rewrite(s);
+                hit = true;
+            }
+            seen += 1;
+        }
+    });
+    *prog.stmts_mut() = stmts;
+    hit
+}
+
+/// Hoist the operand of a random top-level assignment's binary expression
+/// into a fresh local: `x = a ⊕ b; → int tN = a; x = tN ⊕ b;`.
+///
+/// Only applies to *top-level* assignments: hoisting out of a branch would
+/// change which statements execute (locals are harmless, but the rewrite is
+/// only identity-preserving when the hoisted expression is evaluated in the
+/// same guard context — top level keeps that trivially true).
+fn hoist_subexpr(prog: &mut Program, site: usize) -> bool {
+    let mut stmts = std::mem::take(prog.stmts_mut());
+    let sites: Vec<usize> = stmts
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| matches!(s, Stmt::Assign(_, Expr::Binary(..))))
+        .map(|(i, _)| i)
+        .collect();
+    if site >= sites.len() {
+        *prog.stmts_mut() = stmts;
+        return false;
+    }
+    let idx = sites[site];
+    // Fresh local name.
+    let mut n = prog.local_names().len();
+    let name = loop {
+        let cand = format!("hoist_{n}");
+        if !prog.local_names().iter().any(|l| *l == cand)
+            && !prog.state_names().iter().any(|l| *l == cand)
+        {
+            break cand;
+        }
+        n += 1;
+    };
+    let local = prog.add_local(name);
+    if let Stmt::Assign(_, Expr::Binary(_, a, _)) = &mut stmts[idx] {
+        let hoisted = std::mem::replace(a.as_mut(), Expr::Var(chipmunk_lang::VarRef::Local(local)));
+        stmts.insert(
+            idx,
+            Stmt::Assign(chipmunk_lang::LValue::Local(local), hoisted),
+        );
+    }
+    *prog.stmts_mut() = stmts;
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::equivalent;
+    use chipmunk_lang::parse;
+    use rand::SeedableRng;
+
+    /// Apply `kind` at several seeds; every application must preserve
+    /// semantics. Returns whether it ever applied.
+    fn check_kind(kind: MutationKind, src: &str) -> bool {
+        let prog = parse(src).unwrap();
+        let mut any = false;
+        for seed in 0..12u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut cand = prog.clone();
+            if apply(kind, &mut cand, &mut rng) {
+                any = true;
+                assert!(
+                    equivalent(&prog, &cand, 5, 500),
+                    "{kind:?} broke semantics:\noriginal:\n{prog}\nmutated:\n{cand}"
+                );
+            }
+        }
+        any
+    }
+
+    const RICH: &str = "state s;
+        pkt.p = pkt.a + 7;
+        if (pkt.a + 1 < pkt.b + pkt.c + 2) { s = s + 3; pkt.o = s > 1 ? 4 : 5; }
+        else { pkt.o = 0; }";
+
+    #[test]
+    fn each_kind_preserves_semantics() {
+        for &k in ALL_KINDS {
+            // IfToTernary has no site in RICH (its arms hold two
+            // statements); ternary_roundtrip_kinds covers it.
+            let applied = check_kind(k, RICH);
+            if k != MutationKind::IfToTernary {
+                assert!(applied, "{k:?} never applied to RICH");
+            }
+        }
+    }
+
+    #[test]
+    fn ternary_roundtrip_kinds() {
+        assert!(check_kind(
+            MutationKind::TernaryToIf,
+            "pkt.x = pkt.a ? 1 : 2;"
+        ));
+        assert!(check_kind(
+            MutationKind::IfToTernary,
+            "state s; if (pkt.a) { s = 1; } else { s = 2; }",
+        ));
+    }
+
+    #[test]
+    fn commute_actually_changes_ast() {
+        let prog = parse("pkt.x = pkt.a + pkt.b;").unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut cand = prog.clone();
+        assert!(apply(MutationKind::CommuteOperands, &mut cand, &mut rng));
+        assert_ne!(prog, cand);
+    }
+
+    #[test]
+    fn hoist_adds_local_at_top_level_only() {
+        let prog = parse("pkt.x = pkt.a + pkt.b;").unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut cand = prog.clone();
+        assert!(apply(MutationKind::HoistSubexpr, &mut cand, &mut rng));
+        assert_eq!(cand.local_names().len(), 1);
+        assert_eq!(cand.stmts().len(), 2);
+        assert!(equivalent(&prog, &cand, 6, 200));
+    }
+
+    #[test]
+    fn inapplicable_kind_returns_false() {
+        let prog = parse("pkt.x = 0;").unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut cand = prog.clone();
+        assert!(!apply(MutationKind::NegateBranch, &mut cand, &mut rng));
+        assert_eq!(cand, prog);
+    }
+}

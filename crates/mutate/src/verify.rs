@@ -1,0 +1,126 @@
+//! Equivalence checking between a program and its mutation.
+//!
+//! Two layers:
+//! 1. a **complete** SAT-based check at a small width: both programs are
+//!    compiled to `chipmunk-bv` circuits over shared inputs and their
+//!    outputs are compared for *all* inputs of that width;
+//! 2. seeded random differential testing through the reference interpreter
+//!    at 10 bits, guarding against width-specific coincidences.
+
+use chipmunk_bv::{check_equiv_many, Circuit, TermId};
+use chipmunk_lang::spec::compile_spec;
+use chipmunk_lang::{Interpreter, PacketState, Program};
+
+/// Are `a` and `b` input-output equivalent?
+///
+/// `sat_width` is the bit width of the complete check (keep it small: the
+/// query is exponential in principle, tiny in practice); `samples` random
+/// inputs are additionally checked at 10 bits. Programs must have the same
+/// field and state interface (mutations never change it).
+pub fn equivalent(a: &Program, b: &Program, sat_width: u8, samples: usize) -> bool {
+    assert_eq!(a.field_names().len(), b.field_names().len());
+    assert_eq!(a.state_names().len(), b.state_names().len());
+
+    // Complete check at sat_width.
+    let mut c = Circuit::new(sat_width);
+    let fields: Vec<TermId> = a
+        .field_names()
+        .iter()
+        .map(|n| c.input(&format!("pkt_{n}")))
+        .collect();
+    let states: Vec<TermId> = a
+        .state_names()
+        .iter()
+        .map(|n| c.input(&format!("state_{n}")))
+        .collect();
+    let oa = compile_spec(a, &mut c, &fields, &states);
+    let ob = compile_spec(b, &mut c, &fields, &states);
+    let pairs: Vec<(TermId, TermId)> = oa
+        .field_outs
+        .iter()
+        .zip(ob.field_outs.iter())
+        .chain(oa.state_outs.iter().zip(ob.state_outs.iter()))
+        .map(|(&x, &y)| (x, y))
+        .collect();
+    match check_equiv_many(&c, &pairs, None) {
+        Ok(None) => {}
+        Ok(Some(_)) => return false,
+        Err(_) => unreachable!("no deadline was set"),
+    }
+
+    // Differential sampling at 10 bits.
+    let wide = 10u8;
+    let ia = Interpreter::new(a, wide);
+    let ib = Interpreter::new(b, wide);
+    let mask = (1u64 << wide) - 1;
+    let nf = a.field_names().len();
+    let ns = a.state_names().len();
+    let mut seed = 0x5eed_0123_4567_89abu64;
+    for _ in 0..samples {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_mul(2654435761).wrapping_add(11);
+            (s >> 13) & mask
+        };
+        let inp = PacketState {
+            fields: (0..nf).map(|_| next()).collect(),
+            states: (0..ns).map(|_| next()).collect(),
+        };
+        if ia.exec(&inp) != ib.exec(&inp) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chipmunk_lang::parse;
+
+    #[test]
+    fn identical_programs_are_equivalent() {
+        let p = parse("state s; s = s + 1;").unwrap();
+        assert!(equivalent(&p, &p.clone(), 5, 100));
+    }
+
+    #[test]
+    fn commuted_add_is_equivalent() {
+        let a = parse("pkt.x = pkt.a + pkt.b;").unwrap();
+        let b = parse("pkt.x = pkt.b + pkt.a;").unwrap();
+        // NOTE: field order differs! a: [x,a,b], b: [x,b,a] — build b with
+        // the same textual field order to share the interface.
+        let b2 = parse("pkt.x = 0; pkt.x = pkt.a + 0 + pkt.b;").unwrap();
+        assert!(equivalent(&a, &b2, 5, 100));
+        let _ = b;
+    }
+
+    #[test]
+    fn different_semantics_detected_by_sat() {
+        let a = parse("pkt.x = pkt.a + 1;").unwrap();
+        let b = parse("pkt.x = pkt.a + 2;").unwrap();
+        assert!(!equivalent(&a, &b, 5, 0));
+    }
+
+    #[test]
+    fn subtle_difference_detected() {
+        // Differ only when a == 31 at 5 bits (wrap).
+        let a = parse("pkt.x = pkt.a + 1;").unwrap();
+        let b = parse("pkt.x = pkt.a < 31 ? pkt.a + 1 : pkt.a + 1;").unwrap();
+        assert!(equivalent(&a, &b, 5, 100));
+        let c = parse("pkt.x = pkt.a < 31 ? pkt.a + 1 : 7;").unwrap();
+        assert!(!equivalent(&a, &c, 5, 0));
+    }
+
+    #[test]
+    fn state_differences_detected() {
+        let a = parse("state s; s = s + 1;").unwrap();
+        let b = parse("state s; s = s + 1; s = s + 0;").unwrap();
+        assert!(equivalent(&a, &b, 5, 100));
+        let c = parse("state s; s = s + 1; s = s + 1;").unwrap();
+        assert!(!equivalent(&a, &c, 5, 0));
+    }
+}

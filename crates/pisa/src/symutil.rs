@@ -1,0 +1,52 @@
+//! Shared helpers for symbolic (circuit) construction.
+
+use chipmunk_bv::{BvOp, Circuit, TermId};
+
+/// Select among `options` by the value of `sel` (a value-width term):
+/// returns `options[sel]`, defaulting to the **last** option when `sel`
+/// exceeds the range. This is the circuit analogue of a hardware mux whose
+/// control lines have more codes than inputs.
+pub(crate) fn select_chain(c: &mut Circuit, sel: TermId, options: &[TermId]) -> TermId {
+    assert!(!options.is_empty());
+    let mut acc = options[options.len() - 1];
+    for (i, &opt) in options.iter().enumerate().rev().skip(1) {
+        let idx = c.constant(i as u64);
+        let is_i = c.binop(BvOp::Eq, sel, idx);
+        acc = c.mux(is_i, opt, acc);
+    }
+    acc
+}
+
+/// Concrete analogue of [`select_chain`].
+pub(crate) fn select_concrete<T: Copy>(sel: u64, options: &[T]) -> T {
+    let i = (sel as usize).min(options.len() - 1);
+    options[i]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chipmunk_bv::InputId;
+
+    #[test]
+    fn select_chain_matches_concrete() {
+        let mut c = Circuit::new(4);
+        let sel = c.input("sel");
+        let opts: Vec<TermId> = (0..3).map(|i| c.constant(10 + i)).collect();
+        let out = select_chain(&mut c, sel, &opts);
+        for s in 0..16u64 {
+            let got = c.eval(out, &move |_: InputId| s);
+            let want = 10 + select_concrete(s, &[0u64, 1, 2]);
+            assert_eq!(got, want, "sel={s}");
+        }
+    }
+
+    #[test]
+    fn single_option_is_constant() {
+        let mut c = Circuit::new(4);
+        let sel = c.input("sel");
+        let only = c.constant(7);
+        let out = select_chain(&mut c, sel, &[only]);
+        assert_eq!(out, only);
+    }
+}

@@ -1,0 +1,226 @@
+//! # chipmunk-repair
+//!
+//! Program-repair hints — a working prototype of the paper's §5.3
+//! ("Synthesizing Program Repairs"): *"Small, localized rewrites of the
+//! program source code can serve as useful hints to fix many issues.
+//! Examples include suggesting edits to a program to fit it into a switch
+//! pipeline."*
+//!
+//! Given a program the classical Domino compiler rejects, [`suggest`]
+//! searches the space of small, **semantics-preserving** rewrites (the
+//! same rewrite classes as `chipmunk-mutate`, enumerated exhaustively per
+//! site instead of sampled) breadth-first, and returns the first rewrite
+//! chain that compiles. Because every rewrite step preserves semantics by
+//! construction — and the result is re-verified with a complete SAT
+//! equivalence check — the hint is safe to apply verbatim.
+//!
+//! The semantic-distance measure the paper asks for falls out naturally:
+//! the number of rewrite steps (`RepairHint::steps`) is the edit distance
+//! in rewrite space, and [`suggest`] returns a minimal-distance repair.
+//!
+//! ```
+//! use chipmunk_domino::DominoOptions;
+//! use chipmunk_lang::parse;
+//! use chipmunk_pisa::stateful::library;
+//! use chipmunk_repair::{suggest, RepairOptions};
+//!
+//! // Domino rejects the commuted accumulation `1 + s`…
+//! let rejected = parse("state s; s = 1 + s;").unwrap();
+//! let opts = RepairOptions::new(DominoOptions::new(library::raw(4)));
+//! let hint = suggest(&rejected, &opts).expect("repairable");
+//! // …and the hint is the canonical form a developer should write.
+//! assert_eq!(hint.steps.len(), 1);
+//! assert!(hint.program.to_string().contains("s + 1"));
+//! ```
+
+#![warn(missing_docs)]
+
+use std::collections::HashSet;
+
+use chipmunk_domino::{compile as domino_compile, DominoError, DominoOptions};
+use chipmunk_lang::Program;
+use chipmunk_mutate::{enumerate, equivalent, MutationKind, ALL_KINDS};
+use chipmunk_pisa::ResourceUsage;
+
+/// Search configuration.
+#[derive(Clone, Debug)]
+pub struct RepairOptions {
+    /// Target compiler configuration (hardware description).
+    pub domino: DominoOptions,
+    /// Maximum rewrite-chain length (semantic distance bound). Depth 2
+    /// covers a few thousand candidates on benchmark-sized programs.
+    pub max_depth: usize,
+    /// Cap on candidate programs examined, a safety valve for large
+    /// programs.
+    pub max_candidates: usize,
+}
+
+impl RepairOptions {
+    /// Defaults: depth 2, 20 000 candidates.
+    pub fn new(domino: DominoOptions) -> Self {
+        RepairOptions {
+            domino,
+            max_depth: 2,
+            max_candidates: 20_000,
+        }
+    }
+}
+
+/// A repair suggestion.
+#[derive(Clone, Debug)]
+pub struct RepairHint {
+    /// The rewritten, compiling program — print it to show the developer.
+    pub program: Program,
+    /// The rewrite classes applied, in order (the "semantic distance" is
+    /// `steps.len()`).
+    pub steps: Vec<MutationKind>,
+    /// Resources the repaired program uses.
+    pub resources: ResourceUsage,
+}
+
+/// Why no hint was produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RepairError {
+    /// The program already compiles — nothing to repair. Carries its
+    /// resource usage.
+    AlreadyCompiles(ResourceUsage),
+    /// No rewrite chain within the depth/candidate budget compiles. Carries
+    /// the original rejection.
+    NoRepairFound(DominoError),
+}
+
+impl std::fmt::Display for RepairError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RepairError::AlreadyCompiles(_) => write!(f, "program already compiles"),
+            RepairError::NoRepairFound(e) => {
+                write!(
+                    f,
+                    "no repair found within the search budget (rejection: {e})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RepairError {}
+
+/// Search for a minimal semantics-preserving rewrite chain that makes
+/// `prog` compile under the given Domino configuration.
+pub fn suggest(prog: &Program, opts: &RepairOptions) -> Result<RepairHint, RepairError> {
+    let original_error = match domino_compile(prog, &opts.domino) {
+        Ok(out) => return Err(RepairError::AlreadyCompiles(out.resources)),
+        Err(e) => e,
+    };
+
+    // Breadth-first over rewrite chains: depth k is fully explored before
+    // depth k+1, so the first hit has minimal semantic distance.
+    let mut seen: HashSet<String> = HashSet::new();
+    seen.insert(prog.to_string());
+    let mut frontier: Vec<(Program, Vec<MutationKind>)> = vec![(prog.clone(), Vec::new())];
+    let mut examined = 0usize;
+
+    for _depth in 0..opts.max_depth {
+        let mut next = Vec::new();
+        for (base, steps) in &frontier {
+            for &kind in ALL_KINDS {
+                for cand in enumerate(kind, base) {
+                    if !seen.insert(cand.to_string()) {
+                        continue;
+                    }
+                    examined += 1;
+                    if examined > opts.max_candidates {
+                        return Err(RepairError::NoRepairFound(original_error));
+                    }
+                    let mut chain = steps.clone();
+                    chain.push(kind);
+                    if let Ok(out) = domino_compile(&cand, &opts.domino) {
+                        // Belt and braces: the rewrite classes preserve
+                        // semantics by construction, but a hint shown to a
+                        // developer must be *proven* equivalent.
+                        debug_assert!(equivalent(prog, &cand, 5, 200));
+                        if equivalent(prog, &cand, 5, 50) {
+                            return Ok(RepairHint {
+                                program: cand,
+                                steps: chain,
+                                resources: out.resources,
+                            });
+                        }
+                        continue;
+                    }
+                    next.push((cand, chain));
+                }
+            }
+        }
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    Err(RepairError::NoRepairFound(original_error))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chipmunk_lang::parse;
+    use chipmunk_pisa::stateful::library;
+
+    fn opts(t: chipmunk_pisa::StatefulAluSpec) -> RepairOptions {
+        RepairOptions::new(DominoOptions::new(t))
+    }
+
+    #[test]
+    fn commuted_accumulation_repairs_in_one_step() {
+        let prog = parse("state s; s = 1 + s;").unwrap();
+        let hint = suggest(&prog, &opts(library::raw(4))).expect("repairable");
+        assert_eq!(hint.steps, vec![MutationKind::CommuteOperands]);
+        assert!(equivalent(&prog, &hint.program, 6, 300));
+    }
+
+    #[test]
+    fn mirrored_comparison_repairs() {
+        // The predicate reads the atom's own state, so it must match the
+        // template syntactically: `3 > s` has the constant on the wrong
+        // side and is rejected; the hint mirrors it to `s < 3`.
+        let prog = parse("state s; if (3 > s) { s = s + 1; }").unwrap();
+        let hint = suggest(&prog, &opts(library::pred_raw(4))).expect("repairable");
+        assert!(hint.steps.contains(&MutationKind::MirrorComparison));
+        assert!(equivalent(&prog, &hint.program, 6, 300));
+        assert!(hint.program.to_string().contains("s < 3"));
+    }
+
+    #[test]
+    fn already_compiling_program_is_reported() {
+        let prog = parse("state s; s = s + 1;").unwrap();
+        match suggest(&prog, &opts(library::raw(4))) {
+            Err(RepairError::AlreadyCompiles(r)) => assert_eq!(r.stages_used, 1),
+            other => panic!("expected AlreadyCompiles, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn genuinely_inexpressible_programs_report_no_repair() {
+        // Multiplication of two packet fields has no encoding on this
+        // hardware; no syntactic rewrite can fix that.
+        let prog = parse("pkt.z = pkt.x * pkt.y;").unwrap();
+        let mut o = opts(library::raw(4));
+        o.max_depth = 2;
+        o.max_candidates = 2_000;
+        match suggest(&prog, &o) {
+            Err(RepairError::NoRepairFound(e)) => {
+                assert!(matches!(e, DominoError::UnsupportedOp(_)));
+            }
+            other => panic!("expected NoRepairFound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hints_have_minimal_distance() {
+        // A two-problem program needs two steps; a one-problem program
+        // must get a one-step hint even though longer chains also work.
+        let prog = parse("state s; s = 1 + s;").unwrap();
+        let hint = suggest(&prog, &opts(library::raw(4))).expect("repairable");
+        assert_eq!(hint.steps.len(), 1);
+    }
+}

@@ -1,0 +1,72 @@
+//! The Luby restart sequence.
+//!
+//! The sequence 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ... is the
+//! theoretically optimal universal restart strategy (Luby, Sinclair,
+//! Zuckerman 1993) and is what modern CDCL solvers schedule restarts by.
+
+/// Returns the `i`-th element (1-based) of the Luby sequence.
+pub(crate) fn luby(mut i: u64) -> u64 {
+    debug_assert!(i >= 1);
+    loop {
+        // k = floor(log2(i + 1)).
+        let k = 63 - (i + 1).leading_zeros() as u64;
+        if i + 1 == 1u64 << k {
+            // i is the last index of a complete block of size 2^k - 1.
+            return 1u64 << (k - 1);
+        }
+        // Recurse into the tail: drop the largest complete block.
+        i -= (1u64 << k) - 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_prefix() {
+        let expected = [
+            1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2,
+            4, 8, 16,
+        ];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(luby(i as u64 + 1), e, "luby({})", i + 1);
+        }
+    }
+
+    #[test]
+    fn values_are_powers_of_two() {
+        for i in 1..=2000u64 {
+            assert!(luby(i).is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn block_maxima_grow() {
+        // The max over the first 2^k - 1 entries is 2^(k-1).
+        let mut max = 0;
+        let mut seen_at = vec![];
+        for i in 1..=1023u64 {
+            let v = luby(i);
+            if v > max {
+                max = v;
+                seen_at.push((i, v));
+            }
+        }
+        assert_eq!(
+            seen_at,
+            vec![
+                (1, 1),
+                (3, 2),
+                (7, 4),
+                (15, 8),
+                (31, 16),
+                (63, 32),
+                (127, 64),
+                (255, 128),
+                (511, 256),
+                (1023, 512)
+            ]
+        );
+    }
+}

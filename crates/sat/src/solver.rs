@@ -1,0 +1,979 @@
+//! The CDCL search engine.
+//!
+//! The architecture follows the MiniSat lineage: a single trail of assigned
+//! literals with per-literal reason clauses, two-watched-literal propagation,
+//! first-UIP conflict analysis, VSIDS decision ordering, phase saving, Luby
+//! restarts, and LBD-driven learnt-clause database reduction.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::heap::ActivityHeap;
+use crate::luby::luby;
+use crate::{LBool, Lit, Var};
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; query it with [`Solver::value`].
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+    /// The search gave up because a conflict budget or deadline was hit.
+    Unknown,
+}
+
+/// Counters describing the work a solver has performed.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct SolverStats {
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses currently in the database.
+    pub learnts: u64,
+    /// Number of learnt clauses deleted by database reduction.
+    pub deleted: u64,
+}
+
+const REASON_NONE: u32 = u32::MAX;
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    deleted: bool,
+    activity: f32,
+    lbd: u32,
+}
+
+#[derive(Clone, Copy)]
+struct Watcher {
+    clause: u32,
+    blocker: Lit,
+}
+
+/// A CDCL SAT solver over clauses of [`Lit`]s.
+///
+/// Clauses may be added at any time between `solve` calls (incremental
+/// strengthening, as used by the CEGIS synthesis loop), and `solve` accepts
+/// a slice of assumption literals that are treated as temporary top-level
+/// decisions.
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watcher>>,
+
+    assign: Vec<LBool>,
+    reason: Vec<u32>,
+    level: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: ActivityHeap,
+    saved_phase: Vec<bool>,
+
+    cla_inc: f32,
+    num_learnts: usize,
+    max_learnts: f64,
+
+    seen: Vec<bool>,
+    analyze_stack: Vec<Lit>,
+    analyze_clear: Vec<Lit>,
+
+    ok: bool,
+    model: Vec<LBool>,
+
+    conflict_budget: Option<u64>,
+    deadline: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
+
+    stats: SolverStats,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Create an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            reason: Vec::new(),
+            level: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            heap: ActivityHeap::new(),
+            saved_phase: Vec::new(),
+            cla_inc: 1.0,
+            num_learnts: 0,
+            max_learnts: 0.0,
+            seen: Vec::new(),
+            analyze_stack: Vec::new(),
+            analyze_clear: Vec::new(),
+            ok: true,
+            model: Vec::new(),
+            conflict_budget: None,
+            deadline: None,
+            cancel: None,
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// Allocate a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assign.len() as u32);
+        self.assign.push(LBool::Undef);
+        self.reason.push(REASON_NONE);
+        self.level.push(0);
+        self.activity.push(0.0);
+        self.saved_phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.grow();
+        self.heap.insert(v, &self.activity);
+        v
+    }
+
+    /// Number of variables allocated so far.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of clauses currently alive (original + learnt).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.deleted).count()
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> SolverStats {
+        SolverStats {
+            learnts: self.num_learnts as u64,
+            ..self.stats
+        }
+    }
+
+    /// Limit the number of conflicts a single `solve` call may spend
+    /// (`None` = unlimited). When exhausted, `solve` returns
+    /// [`SolveResult::Unknown`].
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.conflict_budget = budget;
+    }
+
+    /// Give `solve` a wall-clock deadline (`None` = unlimited). The deadline
+    /// is checked at every restart boundary and every 1024 conflicts.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// Install a cooperative cancellation flag, polled at the same points
+    /// as the deadline. When another thread sets it, `solve` returns
+    /// [`SolveResult::Unknown`] — the mechanism behind the parallel
+    /// grid-depth sweep, where a success at a shallow depth cancels the
+    /// deeper searches.
+    pub fn set_cancel_flag(&mut self, cancel: Option<Arc<AtomicBool>>) {
+        self.cancel = cancel;
+    }
+
+    fn cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Relaxed))
+    }
+
+    /// Add a clause (a disjunction of literals).
+    ///
+    /// Returns `false` if the solver is already known to be unsatisfiable at
+    /// the top level (either before this call or because of it).
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> bool {
+        if !self.ok {
+            return false;
+        }
+        debug_assert_eq!(self.decision_level(), 0, "clauses are added at level 0");
+        let mut lits: Vec<Lit> = lits.into_iter().collect();
+        lits.sort_unstable();
+        lits.dedup();
+        // Tautology / level-0 simplification.
+        let mut simplified = Vec::with_capacity(lits.len());
+        for (i, &l) in lits.iter().enumerate() {
+            debug_assert!(
+                l.var().index() < self.num_vars(),
+                "literal {l:?} references an unallocated variable"
+            );
+            if i + 1 < lits.len() && lits[i + 1] == !l {
+                return true; // p | !p: trivially satisfied
+            }
+            match self.lit_value(l) {
+                LBool::True => return true, // already satisfied at level 0
+                LBool::False => {}          // drop falsified literal
+                LBool::Undef => simplified.push(l),
+            }
+        }
+        match simplified.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(simplified[0], REASON_NONE);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                self.attach_clause(simplified, false, 0);
+                true
+            }
+        }
+    }
+
+    /// Solve under the given assumption literals.
+    ///
+    /// On [`SolveResult::Sat`] the model can be read with [`Solver::value`].
+    /// The internal trail is reset, so the solver can be reused (with more
+    /// clauses or different assumptions) afterwards.
+    pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        self.model.clear();
+        self.max_learnts = (self.clause_count_hint() as f64 * 0.3).max(2000.0);
+        let budget_start = self.stats.conflicts;
+
+        let mut restart_idx: u64 = 1;
+        loop {
+            if self.cancelled() {
+                self.cancel_until(0);
+                return SolveResult::Unknown;
+            }
+            if let Some(deadline) = self.deadline {
+                if Instant::now() >= deadline {
+                    self.cancel_until(0);
+                    return SolveResult::Unknown;
+                }
+            }
+            let conflict_limit = 64 * luby(restart_idx);
+            match self.search(conflict_limit, assumptions, budget_start) {
+                Some(res) => {
+                    self.cancel_until(0);
+                    return res;
+                }
+                None => {
+                    // Restart.
+                    self.stats.restarts += 1;
+                    restart_idx += 1;
+                    self.cancel_until(0);
+                }
+            }
+        }
+    }
+
+    /// The value of `v` in the most recent satisfying model.
+    ///
+    /// Returns `None` if the last solve was not SAT or `v` was irrelevant
+    /// (never constrained nor decided — the solver assigns every variable,
+    /// so in practice this is `Some` for all variables after a SAT result).
+    pub fn value(&self, v: Var) -> Option<bool> {
+        self.model.get(v.index()).and_then(|l| l.to_option())
+    }
+
+    /// The value of a literal in the most recent model.
+    pub fn lit_model_value(&self, l: Lit) -> Option<bool> {
+        self.value(l.var()).map(|b| b ^ l.is_neg())
+    }
+
+    // ----- internals -------------------------------------------------------
+
+    fn clause_count_hint(&self) -> usize {
+        self.clauses.len() - self.num_learnts
+    }
+
+    #[inline]
+    fn lit_value(&self, l: Lit) -> LBool {
+        let v = self.assign[l.var().index()];
+        if l.is_neg() {
+            v.negate()
+        } else {
+            v
+        }
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> u32 {
+        debug_assert!(lits.len() >= 2);
+        let idx = self.clauses.len() as u32;
+        let w0 = Watcher {
+            clause: idx,
+            blocker: lits[1],
+        };
+        let w1 = Watcher {
+            clause: idx,
+            blocker: lits[0],
+        };
+        self.watches[(!lits[0]).code()].push(w0);
+        self.watches[(!lits[1]).code()].push(w1);
+        if learnt {
+            self.num_learnts += 1;
+        }
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            deleted: false,
+            activity: 0.0,
+            lbd,
+        });
+        idx
+    }
+
+    #[inline]
+    fn unchecked_enqueue(&mut self, l: Lit, reason: u32) {
+        debug_assert_eq!(self.lit_value(l), LBool::Undef);
+        let vi = l.var().index();
+        self.assign[vi] = LBool::from_bool(!l.is_neg());
+        self.reason[vi] = reason;
+        self.level[vi] = self.decision_level();
+        self.trail.push(l);
+    }
+
+    /// Unit propagation. Returns the index of a conflicting clause, if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut i = 0;
+            let mut conflict = None;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                // Blocker shortcut: clause already satisfied.
+                if self.lit_value(w.blocker) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                let cidx = w.clause as usize;
+                if self.clauses[cidx].deleted {
+                    ws.swap_remove(i);
+                    continue;
+                }
+                // Normalize: make sure lits[1] is the false watched literal !p.
+                {
+                    let c = &mut self.clauses[cidx];
+                    if c.lits[0] == !p {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], !p);
+                }
+                let first = self.clauses[cidx].lits[0];
+                if first != w.blocker && self.lit_value(first) == LBool::True {
+                    ws[i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let len = self.clauses[cidx].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[cidx].lits[k];
+                    if self.lit_value(lk) != LBool::False {
+                        self.clauses[cidx].lits.swap(1, k);
+                        self.watches[(!lk).code()].push(Watcher {
+                            clause: w.clause,
+                            blocker: first,
+                        });
+                        ws.swap_remove(i);
+                        continue 'watchers;
+                    }
+                }
+                // No new watch: clause is unit or conflicting.
+                ws[i].blocker = first;
+                if self.lit_value(first) == LBool::False {
+                    conflict = Some(w.clause);
+                    self.qhead = self.trail.len();
+                    // Keep the remaining watchers; abort propagation.
+                    break;
+                } else {
+                    self.unchecked_enqueue(first, w.clause);
+                    i += 1;
+                }
+            }
+            // Put back the (possibly shrunk) watcher list, preserving any
+            // watchers appended for p while we were iterating (none are,
+            // because new watches always go to other literals' lists — but a
+            // learnt unit enqueue above may watch !p again via attach; be
+            // safe and merge).
+            let appended = std::mem::replace(&mut self.watches[p.code()], ws);
+            self.watches[p.code()].extend(appended);
+            if let Some(c) = conflict {
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in self.activity.iter_mut() {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.update(v, &self.activity);
+    }
+
+    fn decay_var_activity(&mut self) {
+        self.var_inc /= 0.95;
+    }
+
+    fn bump_clause(&mut self, cidx: usize) {
+        let c = &mut self.clauses[cidx];
+        if !c.learnt {
+            return;
+        }
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            for cl in self.clauses.iter_mut().filter(|cl| cl.learnt) {
+                cl.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    fn decay_clause_activity(&mut self) {
+        self.cla_inc /= 0.999;
+    }
+
+    /// First-UIP conflict analysis.
+    ///
+    /// Returns the learnt clause (with the asserting literal first) and the
+    /// backtrack level.
+    fn analyze(&mut self, mut conflict: u32) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // placeholder for UIP
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut trail_idx = self.trail.len();
+
+        loop {
+            self.bump_clause(conflict as usize);
+            let start = usize::from(p.is_some());
+            // Collect literals from the reason/conflict clause.
+            let lits: Vec<Lit> = self.clauses[conflict as usize].lits[start..].to_vec();
+            for q in lits {
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Walk the trail backwards to the next seen literal.
+            loop {
+                trail_idx -= 1;
+                if self.seen[self.trail[trail_idx].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[trail_idx];
+            self.seen[pl.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !pl;
+                break;
+            }
+            p = Some(pl);
+            conflict = self.reason[pl.var().index()];
+            debug_assert_ne!(conflict, REASON_NONE);
+        }
+
+        // Recursive clause minimization: drop literals implied by the rest.
+        self.analyze_clear.clear();
+        for &l in &learnt {
+            self.seen[l.var().index()] = true;
+            self.analyze_clear.push(l);
+        }
+        let mut j = 1;
+        for i in 1..learnt.len() {
+            let l = learnt[i];
+            if self.reason[l.var().index()] == REASON_NONE || !self.lit_redundant(l) {
+                learnt[j] = l;
+                j += 1;
+            }
+        }
+        learnt.truncate(j);
+        for &l in &self.analyze_clear.clone() {
+            self.seen[l.var().index()] = false;
+        }
+
+        // Find backtrack level = second-highest level in the clause.
+        let bt_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()]
+        };
+        (learnt, bt_level)
+    }
+
+    /// Is `l` implied by the other (seen) literals of the learnt clause?
+    fn lit_redundant(&mut self, l: Lit) -> bool {
+        self.analyze_stack.clear();
+        self.analyze_stack.push(l);
+        let top = self.analyze_clear.len();
+        while let Some(p) = self.analyze_stack.pop() {
+            let r = self.reason[p.var().index()];
+            debug_assert_ne!(r, REASON_NONE);
+            let lits: Vec<Lit> = self.clauses[r as usize].lits[1..].to_vec();
+            for q in lits {
+                let vi = q.var().index();
+                if !self.seen[vi] && self.level[vi] > 0 {
+                    if self.reason[vi] != REASON_NONE {
+                        self.seen[vi] = true;
+                        self.analyze_stack.push(q);
+                        self.analyze_clear.push(q);
+                    } else {
+                        // Hit a decision: l is not redundant. Undo marks made
+                        // during this check.
+                        for &cl in &self.analyze_clear[top..] {
+                            self.seen[cl.var().index()] = false;
+                        }
+                        self.analyze_clear.truncate(top);
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn compute_lbd(&self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits.iter().map(|l| self.level[l.var().index()]).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    fn cancel_until(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let lim = self.trail_lim[level as usize];
+        for i in (lim..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let vi = l.var().index();
+            self.saved_phase[vi] = !l.is_neg();
+            self.assign[vi] = LBool::Undef;
+            self.reason[vi] = REASON_NONE;
+            self.heap.insert(l.var(), &self.activity);
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.heap.pop_max(&self.activity) {
+            if self.assign[v.index()] == LBool::Undef {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn reduce_db(&mut self) {
+        // Collect candidate learnt clauses (not locked as reasons, lbd > 2).
+        let locked: Vec<u32> = self
+            .trail
+            .iter()
+            .map(|l| self.reason[l.var().index()])
+            .filter(|&r| r != REASON_NONE)
+            .collect();
+        let mut cand: Vec<usize> = (0..self.clauses.len())
+            .filter(|&i| {
+                let c = &self.clauses[i];
+                c.learnt
+                    && !c.deleted
+                    && c.lbd > 2
+                    && c.lits.len() > 2
+                    && !locked.contains(&(i as u32))
+            })
+            .collect();
+        cand.sort_by(|&a, &b| {
+            let ca = &self.clauses[a];
+            let cb = &self.clauses[b];
+            cb.lbd
+                .cmp(&ca.lbd)
+                .then(ca.activity.partial_cmp(&cb.activity).unwrap())
+        });
+        let to_delete = cand.len() / 2;
+        for &i in cand.iter().take(to_delete) {
+            self.clauses[i].deleted = true;
+            self.num_learnts -= 1;
+            self.stats.deleted += 1;
+        }
+        self.max_learnts *= 1.1;
+    }
+
+    /// Search for up to `conflict_limit` conflicts.
+    ///
+    /// `Some(result)` ends the solve; `None` requests a restart.
+    fn search(
+        &mut self,
+        conflict_limit: u64,
+        assumptions: &[Lit],
+        budget_start: u64,
+    ) -> Option<SolveResult> {
+        let mut conflicts_here: u64 = 0;
+        loop {
+            if let Some(cidx) = self.propagate() {
+                // Conflict.
+                self.stats.conflicts += 1;
+                conflicts_here += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return Some(SolveResult::Unsat);
+                }
+                let (learnt, bt) = self.analyze(cidx);
+                // Never backtrack past the assumptions: if the asserting
+                // level would strip an assumption, re-deciding will restore
+                // it, so plain backtracking is still sound; we simply cancel.
+                self.cancel_until(bt);
+                if learnt.len() == 1 {
+                    self.unchecked_enqueue(learnt[0], REASON_NONE);
+                } else {
+                    let lbd = self.compute_lbd(&learnt);
+                    let l0 = learnt[0];
+                    let idx = self.attach_clause(learnt, true, lbd);
+                    self.bump_clause(idx as usize);
+                    self.unchecked_enqueue(l0, idx);
+                }
+                self.decay_var_activity();
+                self.decay_clause_activity();
+
+                if let Some(budget) = self.conflict_budget {
+                    if self.stats.conflicts - budget_start >= budget {
+                        return Some(SolveResult::Unknown);
+                    }
+                }
+                if conflicts_here.is_multiple_of(1024) {
+                    if self.cancelled() {
+                        return Some(SolveResult::Unknown);
+                    }
+                    if let Some(deadline) = self.deadline {
+                        if Instant::now() >= deadline {
+                            return Some(SolveResult::Unknown);
+                        }
+                    }
+                }
+                if conflicts_here >= conflict_limit {
+                    return None; // restart
+                }
+            } else {
+                // No conflict.
+                if self.num_learnts as f64 > self.max_learnts {
+                    self.reduce_db();
+                }
+                // Apply assumptions in order, then branch.
+                let mut next_decision: Option<Lit> = None;
+                for &a in assumptions {
+                    match self.lit_value(a) {
+                        LBool::True => continue,
+                        LBool::False => return Some(SolveResult::Unsat),
+                        LBool::Undef => {
+                            next_decision = Some(a);
+                            break;
+                        }
+                    }
+                }
+                let decision = match next_decision {
+                    Some(a) => a,
+                    None => match self.pick_branch_var() {
+                        Some(v) => {
+                            self.stats.decisions += 1;
+                            Lit::new(v, self.saved_phase[v.index()])
+                        }
+                        None => {
+                            // All variables assigned: model found.
+                            self.model = self.assign.clone();
+                            return Some(SolveResult::Sat);
+                        }
+                    },
+                };
+                self.trail_lim.push(self.trail.len());
+                self.unchecked_enqueue(decision, REASON_NONE);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(i: i32) -> Lit {
+        // DIMACS-style: positive i => Lit::pos(Var(i-1))
+        let v = Var(i.unsigned_abs() - 1);
+        if i > 0 {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        }
+    }
+
+    fn solver_with_vars(n: usize) -> Solver {
+        let mut s = Solver::new();
+        for _ in 0..n {
+            s.new_var();
+        }
+        s
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn unit_clause_forces_value() {
+        let mut s = solver_with_vars(1);
+        s.add_clause([lit(1)]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert_eq!(s.value(Var(0)), Some(true));
+    }
+
+    #[test]
+    fn contradictory_units_are_unsat() {
+        let mut s = solver_with_vars(1);
+        s.add_clause([lit(1)]);
+        assert!(!s.add_clause([lit(-1)]));
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn tautological_clause_is_ignored() {
+        let mut s = solver_with_vars(2);
+        assert!(s.add_clause([lit(1), lit(-1), lit(2)]));
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn simple_implication_chain() {
+        // x1 & (x1 -> x2) & (x2 -> x3)
+        let mut s = solver_with_vars(3);
+        s.add_clause([lit(1)]);
+        s.add_clause([lit(-1), lit(2)]);
+        s.add_clause([lit(-2), lit(3)]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert_eq!(s.value(Var(2)), Some(true));
+    }
+
+    #[test]
+    fn xor_chain_unsat() {
+        // Odd cycle of XORs is unsatisfiable: encode x1^x2, x2^x3, x3^x1 all true.
+        let mut s = solver_with_vars(3);
+        for (a, b) in [(1, 2), (2, 3), (3, 1)] {
+            s.add_clause([lit(a), lit(b)]);
+            s.add_clause([lit(-a), lit(-b)]);
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_flip_result() {
+        // (a | b) is SAT, but unsat under assumptions !a, !b.
+        let mut s = solver_with_vars(2);
+        s.add_clause([lit(1), lit(2)]);
+        assert_eq!(s.solve(&[lit(-1), lit(-2)]), SolveResult::Unsat);
+        // Solver stays usable.
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert_eq!(s.solve(&[lit(-1)]), SolveResult::Sat);
+        assert_eq!(s.value(Var(1)), Some(true));
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = solver_with_vars(3);
+        s.add_clause([lit(1), lit(2)]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        s.add_clause([lit(-1)]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert_eq!(s.value(Var(1)), Some(true));
+        s.add_clause([lit(-2)]);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // p(i,j): pigeon i in hole j. 3 pigeons, 2 holes.
+        let mut s = solver_with_vars(6);
+        let p = |i: usize, j: usize| lit((i * 2 + j + 1) as i32);
+        for i in 0..3 {
+            s.add_clause([p(i, 0), p(i, 1)]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause([!p(i1, j), !p(i2, j)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_5_into_4_unsat() {
+        let n = 5usize;
+        let m = 4usize;
+        let mut s = solver_with_vars(n * m);
+        let p = |i: usize, j: usize| Lit::pos(Var((i * m + j) as u32));
+        for i in 0..n {
+            s.add_clause((0..m).map(|j| p(i, j)));
+        }
+        for j in 0..m {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause([!p(i1, j), !p(i2, j)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn php_4_into_4_sat_is_permutation() {
+        let n = 4usize;
+        let mut s = solver_with_vars(n * n);
+        let p = |i: usize, j: usize| Lit::pos(Var((i * n + j) as u32));
+        for i in 0..n {
+            s.add_clause((0..n).map(|j| p(i, j)));
+        }
+        for j in 0..n {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause([!p(i1, j), !p(i2, j)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        // Each pigeon sits in at least one hole, each hole holds at most one.
+        for i in 0..n {
+            let holes: Vec<usize> = (0..n)
+                .filter(|&j| s.lit_model_value(p(i, j)) == Some(true))
+                .collect();
+            assert!(!holes.is_empty(), "pigeon {i} unplaced");
+        }
+    }
+
+    #[test]
+    fn conflict_budget_returns_unknown() {
+        // A hard instance with a tiny budget should give Unknown.
+        let n = 8usize;
+        let m = 7usize;
+        let mut s = solver_with_vars(n * m);
+        let p = |i: usize, j: usize| Lit::pos(Var((i * m + j) as u32));
+        for i in 0..n {
+            s.add_clause((0..m).map(|j| p(i, j)));
+        }
+        for j in 0..m {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause([!p(i1, j), !p(i2, j)]);
+                }
+            }
+        }
+        s.set_conflict_budget(Some(5));
+        assert_eq!(s.solve(&[]), SolveResult::Unknown);
+        s.set_conflict_budget(None);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn deadline_in_past_returns_unknown() {
+        let mut s = solver_with_vars(2);
+        s.add_clause([lit(1), lit(2)]);
+        s.set_deadline(Some(Instant::now() - std::time::Duration::from_secs(1)));
+        assert_eq!(s.solve(&[]), SolveResult::Unknown);
+        s.set_deadline(None);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn model_satisfies_all_clauses() {
+        // Random-ish structured instance; verify the returned model.
+        let mut s = solver_with_vars(10);
+        let clauses: Vec<Vec<i32>> = vec![
+            vec![1, 2, -3],
+            vec![-1, 4],
+            vec![3, -4, 5],
+            vec![-5, 6, 7],
+            vec![-6, -7],
+            vec![8, 9],
+            vec![-8, 10],
+            vec![-9, -10, 1],
+            vec![2, 5, 9],
+        ];
+        for c in &clauses {
+            s.add_clause(c.iter().map(|&i| lit(i)));
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        for c in &clauses {
+            assert!(
+                c.iter().any(|&i| s.lit_model_value(lit(i)) == Some(true)),
+                "clause {c:?} not satisfied"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = solver_with_vars(6);
+        let p = |i: usize, j: usize| Lit::pos(Var((i * 2 + j) as u32));
+        for i in 0..3 {
+            s.add_clause([p(i, 0), p(i, 1)]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause([!p(i1, j), !p(i2, j)]);
+                }
+            }
+        }
+        s.solve(&[]);
+        let st = s.stats();
+        assert!(st.propagations > 0);
+        assert!(st.conflicts > 0);
+    }
+}

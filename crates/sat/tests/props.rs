@@ -1,0 +1,93 @@
+//! Property tests: the CDCL solver must agree with brute-force enumeration
+//! on every small random formula, under every usage pattern (one-shot,
+//! with assumptions, incremental clause addition).
+
+use chipmunk_sat::{Lit, SolveResult, Solver, Var};
+use proptest::prelude::*;
+
+/// A clause is a nonempty vector of (var, polarity) over `num_vars`.
+fn arb_cnf(num_vars: usize) -> impl Strategy<Value = Vec<Vec<(usize, bool)>>> {
+    prop::collection::vec(
+        prop::collection::vec((0..num_vars, any::<bool>()), 1..4),
+        1..30,
+    )
+}
+
+fn brute_force_sat(num_vars: usize, cnf: &[Vec<(usize, bool)>], fixed: &[(usize, bool)]) -> bool {
+    'outer: for m in 0u32..(1 << num_vars) {
+        let val = |v: usize| (m >> v) & 1 == 1;
+        for &(v, pol) in fixed {
+            if val(v) != pol {
+                continue 'outer;
+            }
+        }
+        if cnf.iter().all(|c| c.iter().any(|&(v, pol)| val(v) == pol)) {
+            return true;
+        }
+    }
+    false
+}
+
+fn build(num_vars: usize, cnf: &[Vec<(usize, bool)>]) -> (Solver, Vec<Var>) {
+    let mut s = Solver::new();
+    let vars: Vec<Var> = (0..num_vars).map(|_| s.new_var()).collect();
+    for c in cnf {
+        s.add_clause(c.iter().map(|&(v, pol)| Lit::new(vars[v], pol)));
+    }
+    (s, vars)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// One-shot solving matches brute force, and SAT models really satisfy
+    /// the formula.
+    #[test]
+    fn matches_brute_force(cnf in arb_cnf(8)) {
+        let want = brute_force_sat(8, &cnf, &[]);
+        let (mut s, vars) = build(8, &cnf);
+        match s.solve(&[]) {
+            SolveResult::Sat => {
+                prop_assert!(want);
+                for c in &cnf {
+                    prop_assert!(c.iter().any(|&(v, pol)| {
+                        s.value(vars[v]) == Some(pol)
+                    }), "model does not satisfy {c:?}");
+                }
+            }
+            SolveResult::Unsat => prop_assert!(!want),
+            SolveResult::Unknown => prop_assert!(false, "no budget was set"),
+        }
+    }
+
+    /// Solving under assumptions matches brute force with those variables
+    /// fixed — and never pollutes later unassumed solves.
+    #[test]
+    fn assumptions_match_brute_force(
+        cnf in arb_cnf(7),
+        a0 in any::<bool>(),
+        a1 in any::<bool>(),
+    ) {
+        let (mut s, vars) = build(7, &cnf);
+        let assumptions = [Lit::new(vars[0], a0), Lit::new(vars[1], a1)];
+        let want = brute_force_sat(7, &cnf, &[(0, a0), (1, a1)]);
+        let got = s.solve(&assumptions);
+        prop_assert_eq!(got == SolveResult::Sat, want);
+        // The solver must remain reusable and unconstrained afterwards.
+        let want_free = brute_force_sat(7, &cnf, &[]);
+        prop_assert_eq!(s.solve(&[]) == SolveResult::Sat, want_free);
+    }
+
+    /// Incremental clause addition behaves as if the formula had been
+    /// given up front.
+    #[test]
+    fn incremental_matches_oneshot(cnf in arb_cnf(7)) {
+        let (mut s, vars) = build(7, &cnf[..cnf.len() / 2]);
+        let _ = s.solve(&[]);
+        for c in &cnf[cnf.len() / 2..] {
+            s.add_clause(c.iter().map(|&(v, pol)| Lit::new(vars[v], pol)));
+        }
+        let want = brute_force_sat(7, &cnf, &[]);
+        prop_assert_eq!(s.solve(&[]) == SolveResult::Sat, want);
+    }
+}

@@ -1,0 +1,42 @@
+//! Program-repair hints (the paper's §5.3): when the classical compiler
+//! rejects a program as "too expressive", search for a small
+//! semantics-preserving rewrite that fits — and show it to the developer.
+//!
+//! Run with: `cargo run --example repair_hints --release`
+
+use chipmunk_domino::{compile as domino_compile, DominoOptions};
+use chipmunk_lang::parse;
+use chipmunk_pisa::stateful::library;
+use chipmunk_repair::{suggest, RepairOptions};
+
+fn main() {
+    // A developer writes a flow-size accumulator in a natural but
+    // matcher-hostile style: constant on the left of the comparison AND a
+    // commuted accumulation.
+    let prog = parse(
+        "state total;
+         if (8 > pkt.bytes) { total = pkt.bytes + total; }
+         pkt.running = total;",
+    )
+    .expect("parses");
+    println!("developer's program:\n{prog}");
+
+    let domino = DominoOptions::new(library::pred_raw(4));
+    match domino_compile(&prog, &domino) {
+        Ok(_) => println!("(unexpectedly compiled)"),
+        Err(e) => println!("Domino rejects it: {e}\n"),
+    }
+
+    println!("searching for a minimal semantics-preserving repair …");
+    let hint = suggest(&prog, &RepairOptions::new(domino)).expect("repairable");
+    println!(
+        "repair found: {} rewrite step(s) {:?}\n",
+        hint.steps.len(),
+        hint.steps
+    );
+    println!("suggested program (verified equivalent):\n{}", hint.program);
+    println!(
+        "compiles to {} pipeline stage(s), max {} ALU(s)/stage",
+        hint.resources.stages_used, hint.resources.max_alus_per_stage
+    );
+}

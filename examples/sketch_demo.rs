@@ -1,0 +1,141 @@
+//! The paper's Figure 1, mechanically: a specification `x * 5`, a feasible
+//! sketch `(x << ??) + x` and an infeasible sketch `x << ??`, solved with
+//! the workspace's own CEGIS machinery (hole literals shared across
+//! counterexample instantiations in one incremental SAT solver).
+//!
+//! Run with: `cargo run --example sketch_demo`
+
+use chipmunk_bv::{check_equiv_many, mk_true, Binding, Blaster, BvOp, Circuit, TermId};
+use chipmunk_sat::{SolveResult, Solver};
+
+const WIDTH: u8 = 8;
+
+/// spec(x) = x * 5
+fn spec(c: &mut Circuit, x: TermId) -> TermId {
+    let five = c.constant(5);
+    c.binop(BvOp::Mul, x, five)
+}
+
+/// x << h, expressed as x * 2^h with a 2-bit hole h (so h in 0..=3),
+/// optionally adding x afterwards. Shifting by a hole is a mux over the
+/// four shifted variants — exactly how a sketch encodes `x << ??(2)`.
+fn shifted(c: &mut Circuit, x: TermId, hole: TermId, add_x: bool) -> TermId {
+    let variants: Vec<TermId> = (0..4u64)
+        .map(|k| {
+            let m = c.constant(1 << k);
+            c.binop(BvOp::Mul, x, m)
+        })
+        .collect();
+    let mut acc = variants[3];
+    for k in (0..3u64).rev() {
+        let kk = c.constant(k);
+        let is_k = c.binop(BvOp::Eq, hole, kk);
+        acc = c.mux(is_k, variants[k as usize], acc);
+    }
+    if add_x {
+        c.binop(BvOp::Add, acc, x)
+    } else {
+        acc
+    }
+}
+
+/// Run CEGIS: find a value for the 2-bit hole making sketch ≡ spec, or
+/// prove there is none.
+fn cegis(add_x: bool) -> Result<(u64, usize), usize> {
+    let mut c = Circuit::new(WIDTH);
+    let x = c.input("x");
+    let h = c.input("h");
+    let _spec_term = spec(&mut c, x); // the spec is re-evaluated per test input
+    let p = shifted(&mut c, x, h, add_x);
+
+    let mut solver = Solver::new();
+    let tru = mk_true(&mut solver);
+    let hole_bits = {
+        let mut b = Blaster::new(&mut solver, tru);
+        b.fresh_bits(2)
+    };
+
+    let test_inputs_seed: Vec<u64> = vec![0, 1, 2]; // SKETCH's small test suite
+    let mut test_inputs = test_inputs_seed;
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        // Synthesis phase: holes must reproduce spec on every test input.
+        for &xv in &test_inputs {
+            let mut b = Blaster::new(&mut solver, tru);
+            let mut padded = hole_bits.clone();
+            while padded.len() < WIDTH as usize {
+                padded.push(!tru);
+            }
+            b.bind(c.input_id(h), Binding::Bits(padded));
+            b.bind(c.input_id(x), Binding::Const(xv));
+            let want = (xv * 5) & 0xff;
+            let bits = b.blast(&c, p);
+            for (i, &l) in bits.iter().enumerate() {
+                b.assert_bit(l, (want >> i) & 1 == 1);
+            }
+        }
+        test_inputs.clear(); // constraints are now inside the solver
+        match solver.solve(&[]) {
+            SolveResult::Unsat => return Err(iterations),
+            SolveResult::Unknown => unreachable!("no budget set"),
+            SolveResult::Sat => {}
+        }
+        let hv = Blaster::new(&mut solver, tru)
+            .decode(&hole_bits)
+            .expect("model");
+
+        // Verification phase: does the candidate work for all x?
+        let mut vc = Circuit::new(WIDTH);
+        let vx = vc.input("x");
+        let vh = vc.constant(hv);
+        let vs = spec(&mut vc, vx);
+        // Re-build sketch with the hole as a constant.
+        let vp = {
+            let variants: Vec<TermId> = (0..4u64)
+                .map(|k| {
+                    let m = vc.constant(1 << k);
+                    vc.binop(BvOp::Mul, vx, m)
+                })
+                .collect();
+            let mut acc = variants[3];
+            for k in (0..3u64).rev() {
+                let kk = vc.constant(k);
+                let is_k = vc.binop(BvOp::Eq, vh, kk);
+                acc = vc.mux(is_k, variants[k as usize], acc);
+            }
+            if add_x {
+                vc.binop(BvOp::Add, acc, vx)
+            } else {
+                acc
+            }
+        };
+        match check_equiv_many(&vc, &[(vs, vp)], None).expect("no deadline") {
+            None => return Ok((hv, iterations)),
+            Some(cex) => test_inputs.push(cex.value(vc.input_id(vx))),
+        }
+    }
+}
+
+fn main() {
+    println!("spec:    int spec(x) {{ return x * 5; }}          (8-bit)\n");
+
+    println!("sketch1: return (x << ??(2)) + x;");
+    match cegis(true) {
+        Ok((h, it)) => println!("  feasible: hole = {h}  ({it} CEGIS iteration(s)) ✔\n"),
+        Err(it) => println!("  UNSAT after {it} iteration(s)?! (should not happen)\n"),
+    }
+
+    println!("sketch2: return x << ??(2);");
+    match cegis(false) {
+        Ok((h, _)) => println!("  hole = {h}?! (should be infeasible)\n"),
+        Err(it) => {
+            println!("  infeasible: no hole value works — proven in {it} CEGIS iteration(s) ✔\n")
+        }
+    }
+
+    println!(
+        "This is Figure 1 of the paper: the feasible sketch completes with\n\
+         ?? = 2 (x*4 + x == x*5), the infeasible one is rejected outright."
+    );
+}

@@ -1,0 +1,76 @@
+//! Superoptimizing straightline ALU code (the paper's §5.1): search for
+//! the provably shortest instruction sequence implementing a packet
+//! computation — including strength reductions and common-subexpression
+//! tricks no peephole pass would find.
+//!
+//! Run with: `cargo run --example superoptimizer --release`
+
+use chipmunk_lang::parse;
+use chipmunk_pisa::StatelessAluSpec;
+use chipmunk_superopt::{superoptimize, SuperoptOptions};
+
+fn show(title: &str, src: &str, opts: &SuperoptOptions) {
+    let spec = parse(src).expect("parses");
+    println!("── {title}\n   spec: {}", src.trim());
+    match superoptimize(&spec, opts) {
+        Ok(out) => {
+            println!(
+                "   optimal length: {} instruction(s) (lengths 1..={} proven impossible, {} CEGIS iters)",
+                out.instrs.len(),
+                out.infeasible_below,
+                out.iterations
+            );
+            for line in out.listing().lines() {
+                println!("     {line}");
+            }
+        }
+        Err(e) => println!("   {e}"),
+    }
+    println!();
+}
+
+fn main() {
+    // An adder-only machine (no multiplier — just like the PISA stateless
+    // ALU): multiplication by constants must become shift-add chains.
+    let adders = SuperoptOptions {
+        alu: StatelessAluSpec::arith_only(4),
+        width: 8,
+        ..SuperoptOptions::new(StatelessAluSpec::arith_only(4))
+    };
+
+    show(
+        "strength reduction: x*5 with adds only",
+        "pkt.out = pkt.x * 5;",
+        &adders,
+    );
+    show(
+        "common subexpressions: 2x + 2y",
+        "pkt.out = pkt.x + pkt.x + pkt.y + pkt.y;",
+        &adders,
+    );
+    show(
+        "algebraic collapse: (x + y) - y",
+        "pkt.out = pkt.x + pkt.y - pkt.y;",
+        &adders,
+    );
+
+    // The full Banzai ALU: conditionals become single predicated ops.
+    let banzai = SuperoptOptions {
+        alu: StatelessAluSpec::banzai(4),
+        width: 8,
+        max_len: 3,
+        ..SuperoptOptions::new(StatelessAluSpec::banzai(4))
+    };
+    show(
+        "predication: saturating bump",
+        "pkt.out = pkt.x < 9 ? pkt.x + 1 : pkt.x;",
+        &banzai,
+    );
+
+    println!(
+        "Iterative deepening makes every answer optimal: each shorter length\n\
+         is proven UNSAT before the next is tried — the paper's minimum\n\
+         instruction-count objective, delivered by the same CEGIS machinery\n\
+         that compiles pipelines."
+    );
+}

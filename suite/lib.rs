@@ -1,0 +1,16 @@
+//! Umbrella crate for the chipmunk-rs workspace: re-exports every member
+//! crate for use by the repository-level examples and integration tests.
+//!
+//! Library users should depend on the individual crates (`chipmunk`,
+//! `chipmunk-lang`, `chipmunk-pisa`, …) directly.
+
+pub use chipmunk;
+pub use chipmunk_bench as bench;
+pub use chipmunk_bv as bv;
+pub use chipmunk_domino as domino;
+pub use chipmunk_lang as lang;
+pub use chipmunk_mutate as mutate;
+pub use chipmunk_pisa as pisa;
+pub use chipmunk_repair as repair;
+pub use chipmunk_sat as sat;
+pub use chipmunk_superopt as superopt;
