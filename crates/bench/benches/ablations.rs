@@ -10,12 +10,13 @@
 //!   versus an arithmetic-only subset, on a program the subset can express.
 //! * **D — verification width sweep**: how the semantic width scales
 //!   synthesis time.
+//! * **E — sequential versus parallel grid-depth search**.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use chipmunk::{cegis, CegisOptions, Sketch, SketchOptions};
 use chipmunk_bench::by_name;
+use chipmunk_bench::harness::Bench;
 use chipmunk_lang::parse;
 use chipmunk_pisa::{stateful::library, GridSpec, StatelessAluSpec};
 
@@ -32,61 +33,53 @@ fn cegis_opts(width: u8, screen: Option<u8>) -> CegisOptions {
     }
 }
 
-/// A — canonical versus free packet-field allocation.
-fn ablation_canonicalization(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_canonicalization");
+fn main() {
+    let bench = Bench::from_env();
+
+    // A — canonical versus free packet-field allocation.
+    let mut g = bench.group("ablation_canonicalization");
     g.sample_size(10);
     let prog = parse("pkt.y = pkt.x + 2; pkt.z = pkt.x ^ pkt.y;").expect("parses");
     for (label, canonical) in [("canonical", true), ("indicator_matrix", false)] {
-        g.bench_function(BenchmarkId::from_parameter(label), |b| {
-            b.iter(|| {
-                let grid = GridSpec::new(2, 3, library::raw(3), 3);
-                let sketch = Sketch::new(
-                    grid,
-                    3,
-                    0,
-                    SketchOptions {
-                        canonical_fields: canonical,
-                    },
-                )
-                .expect("sketch builds");
-                let out = cegis::synthesize(black_box(&prog), &sketch, &cegis_opts(7, Some(5)))
-                    .expect("feasible");
-                black_box(out.hole_values)
-            });
+        g.bench(label, || {
+            let grid = GridSpec::new(2, 3, library::raw(3), 3);
+            let sketch = Sketch::new(
+                grid,
+                3,
+                0,
+                SketchOptions {
+                    canonical_fields: canonical,
+                },
+            )
+            .expect("sketch builds");
+            let out = cegis::synthesize(black_box(&prog), &sketch, &cegis_opts(7, Some(5)))
+                .expect("feasible");
+            black_box(out.hole_values)
         });
     }
-    g.finish();
-}
 
-/// B — screening verifier on/off.
-fn ablation_screening(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_screening");
+    // B — screening verifier on/off.
+    let mut g = bench.group("ablation_screening");
     g.sample_size(10);
     let b_ = by_name("blue-increase").expect("corpus");
     let prog = b_.program();
     for (label, screen) in [("screen_at_5", Some(5u8)), ("full_width_only", None)] {
-        g.bench_function(BenchmarkId::from_parameter(label), |bch| {
-            bch.iter(|| {
-                let grid = GridSpec {
-                    stages: 2,
-                    slots: 2,
-                    stateless: StatelessAluSpec::banzai(4),
-                    stateful: b_.template.spec(4),
-                };
-                let sketch = Sketch::new(grid, 2, 2, SketchOptions::default()).expect("builds");
-                let out = cegis::synthesize(black_box(&prog), &sketch, &cegis_opts(10, screen))
-                    .expect("feasible");
-                black_box(out.stats.iterations)
-            });
+        g.bench(label, || {
+            let grid = GridSpec {
+                stages: 2,
+                slots: 2,
+                stateless: StatelessAluSpec::banzai(4),
+                stateful: b_.template.spec(4),
+            };
+            let sketch = Sketch::new(grid, 2, 2, SketchOptions::default()).expect("builds");
+            let out = cegis::synthesize(black_box(&prog), &sketch, &cegis_opts(10, screen))
+                .expect("feasible");
+            black_box(out.stats.iterations)
         });
     }
-    g.finish();
-}
 
-/// C — full versus restricted stateless opcode set.
-fn ablation_opcode_restriction(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_opcode_restriction");
+    // C — full versus restricted stateless opcode set.
+    let mut g = bench.group("ablation_opcode_restriction");
     g.sample_size(10);
     // Pure arithmetic program: expressible by the restricted ALU.
     let prog = parse("pkt.y = pkt.x + 3; pkt.z = pkt.y - pkt.x;").expect("parses");
@@ -94,81 +87,57 @@ fn ablation_opcode_restriction(c: &mut Criterion) {
         ("banzai_full", StatelessAluSpec::banzai(3)),
         ("arith_only", StatelessAluSpec::arith_only(3)),
     ] {
-        g.bench_function(BenchmarkId::from_parameter(label), |b| {
-            b.iter(|| {
-                let grid = GridSpec {
-                    stages: 2,
-                    slots: 3,
-                    stateless: spec.clone(),
-                    stateful: library::raw(3),
-                };
-                let sketch = Sketch::new(grid, 3, 0, SketchOptions::default()).expect("builds");
-                let out = cegis::synthesize(black_box(&prog), &sketch, &cegis_opts(7, Some(5)))
-                    .expect("feasible");
-                black_box(out.hole_values)
-            });
+        g.bench(label, || {
+            let grid = GridSpec {
+                stages: 2,
+                slots: 3,
+                stateless: spec.clone(),
+                stateful: library::raw(3),
+            };
+            let sketch = Sketch::new(grid, 3, 0, SketchOptions::default()).expect("builds");
+            let out = cegis::synthesize(black_box(&prog), &sketch, &cegis_opts(7, Some(5)))
+                .expect("feasible");
+            black_box(out.hole_values)
         });
     }
-    g.finish();
-}
 
-/// D — semantic width sweep on sampling.
-fn ablation_width_sweep(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_width_sweep");
+    // D — semantic width sweep on sampling.
+    let mut g = bench.group("ablation_width_sweep");
     g.sample_size(10);
     let b_ = by_name("sampling").expect("corpus");
     let prog = b_.program();
     for width in [6u8, 8, 10] {
-        g.bench_with_input(BenchmarkId::from_parameter(width), &width, |bch, &w| {
-            bch.iter(|| {
-                let grid = GridSpec {
-                    stages: 1,
-                    slots: 1,
-                    stateless: StatelessAluSpec::banzai(4),
-                    stateful: b_.template.spec(4),
-                };
-                let sketch = Sketch::new(grid, 1, 1, SketchOptions::default()).expect("builds");
-                let out = cegis::synthesize(black_box(&prog), &sketch, &cegis_opts(w, Some(5)))
-                    .expect("feasible");
-                black_box(out.stats.counterexamples)
-            });
+        g.bench(width, || {
+            let grid = GridSpec {
+                stages: 1,
+                slots: 1,
+                stateless: StatelessAluSpec::banzai(4),
+                stateful: b_.template.spec(4),
+            };
+            let sketch = Sketch::new(grid, 1, 1, SketchOptions::default()).expect("builds");
+            let out = cegis::synthesize(black_box(&prog), &sketch, &cegis_opts(width, Some(5)))
+                .expect("feasible");
+            black_box(out.stats.counterexamples)
         });
     }
-    g.finish();
-}
 
-/// E — sequential versus parallel grid-depth search. Sequential stops at
-/// the first (minimal) depth; parallel launches every depth at once and
-/// keeps the shallowest success — it wins when early depths are
-/// infeasible and their UNSAT proofs are slow.
-fn ablation_parallel_sweep(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_parallel_sweep");
+    // E — sequential versus parallel grid-depth search. Sequential stops at
+    // the first (minimal) depth; parallel launches every depth at once and
+    // keeps the shallowest success — it wins when early depths are
+    // infeasible and their UNSAT proofs are slow.
+    let mut g = bench.group("ablation_parallel_sweep");
     g.sample_size(10);
     let b_ = by_name("blue-increase").expect("corpus");
     let prog = b_.program();
     for (label, parallel) in [("sequential", false), ("parallel", true)] {
-        g.bench_function(BenchmarkId::from_parameter(label), |bch| {
-            bch.iter(|| {
-                let mut opts = chipmunk::CompilerOptions::new(b_.template.spec(4));
-                opts.stateless = StatelessAluSpec::banzai(4);
-                opts.max_stages = 3;
-                opts.cegis = cegis_opts(8, Some(5));
-                opts.parallel = parallel;
-                let out = chipmunk::compile(black_box(&prog), &opts).expect("feasible");
-                black_box(out.resources)
-            });
+        g.bench(label, || {
+            let mut opts = chipmunk::CompilerOptions::new(b_.template.spec(4));
+            opts.stateless = StatelessAluSpec::banzai(4);
+            opts.max_stages = 3;
+            opts.cegis = cegis_opts(8, Some(5));
+            opts.parallel = parallel;
+            let out = chipmunk::compile(black_box(&prog), &opts).expect("feasible");
+            black_box(out.resources)
         });
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default();
-    targets = ablation_canonicalization,
-        ablation_screening,
-        ablation_opcode_restriction,
-        ablation_width_sweep,
-        ablation_parallel_sweep
-}
-criterion_main!(benches);

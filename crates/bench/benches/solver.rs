@@ -4,9 +4,9 @@
 //! of Chipmunk's synthesis time is solver overhead versus search-space
 //! size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use chipmunk_bench::harness::Bench;
 use chipmunk_bv::{check_equiv, BvOp, Circuit};
 use chipmunk_sat::{Lit, SolveResult, Solver, Var};
 
@@ -56,68 +56,53 @@ fn random_3sat(num_vars: usize, seed: u64) -> SolveResult {
     s.solve(&[])
 }
 
-fn bench_sat(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sat");
+fn main() {
+    let bench = Bench::from_env();
+
+    let mut g = bench.group("sat");
+    g.sample_size(10);
     for n in [6usize, 7, 8] {
-        g.bench_with_input(BenchmarkId::new("pigeonhole_unsat", n), &n, |b, &n| {
-            b.iter(|| assert_eq!(pigeonhole(black_box(n)), SolveResult::Unsat));
+        g.bench(format!("pigeonhole_unsat/{n}"), || {
+            assert_eq!(pigeonhole(black_box(n)), SolveResult::Unsat)
         });
     }
     for v in [100usize, 200] {
-        g.bench_with_input(BenchmarkId::new("random_3sat", v), &v, |b, &v| {
-            b.iter(|| black_box(random_3sat(black_box(v), 42)));
+        g.bench(format!("random_3sat/{v}"), || {
+            black_box(random_3sat(black_box(v), 42))
         });
     }
-    g.finish();
-}
 
-fn bench_bv(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bv_equivalence");
+    let mut g = bench.group("bv_equivalence");
+    g.sample_size(10);
     // x*y == y*x forced through the solver by breaking hash-consing with
     // an added zero (commutativity of the blasted multiplier).
     for width in [6u8, 8, 10] {
-        g.bench_with_input(BenchmarkId::new("mul_comm", width), &width, |b, &w| {
-            b.iter(|| {
-                let mut circ = Circuit::new(w);
-                let x = circ.input("x");
-                let y = circ.input("y");
-                let z = circ.input("z");
-                let xy = circ.binop(BvOp::Mul, x, y);
-                let yx = circ.binop(BvOp::Mul, y, x);
-                let yxz = circ.binop(BvOp::Add, yx, z);
-                let zero_z = circ.binop(BvOp::Sub, yxz, z);
-                assert!(check_equiv(&circ, xy, zero_z, None).is_none());
-            });
+        g.bench(format!("mul_comm/{width}"), || {
+            let mut circ = Circuit::new(width);
+            let x = circ.input("x");
+            let y = circ.input("y");
+            let z = circ.input("z");
+            let xy = circ.binop(BvOp::Mul, x, y);
+            let yx = circ.binop(BvOp::Mul, y, x);
+            let yxz = circ.binop(BvOp::Add, yx, z);
+            let zero_z = circ.binop(BvOp::Sub, yxz, z);
+            assert!(check_equiv(&circ, xy, zero_z, None).is_none());
         });
     }
     // Distributivity over a blasted multiplier is resolution-hard; keep it
     // at a width where the proof finishes in well under a second.
     for width in [5u8, 6] {
-        g.bench_with_input(
-            BenchmarkId::new("distributivity", width),
-            &width,
-            |b, &w| {
-                b.iter(|| {
-                    let mut circ = Circuit::new(w);
-                    let x = circ.input("x");
-                    let y = circ.input("y");
-                    let z = circ.input("z");
-                    let yz = circ.binop(BvOp::Add, y, z);
-                    let lhs = circ.binop(BvOp::Mul, x, yz);
-                    let xy = circ.binop(BvOp::Mul, x, y);
-                    let xz = circ.binop(BvOp::Mul, x, z);
-                    let rhs = circ.binop(BvOp::Add, xy, xz);
-                    assert!(check_equiv(&circ, lhs, rhs, None).is_none());
-                });
-            },
-        );
+        g.bench(format!("distributivity/{width}"), || {
+            let mut circ = Circuit::new(width);
+            let x = circ.input("x");
+            let y = circ.input("y");
+            let z = circ.input("z");
+            let yz = circ.binop(BvOp::Add, y, z);
+            let lhs = circ.binop(BvOp::Mul, x, yz);
+            let xy = circ.binop(BvOp::Mul, x, y);
+            let xz = circ.binop(BvOp::Mul, x, z);
+            let rhs = circ.binop(BvOp::Add, xy, xz);
+            assert!(check_equiv(&circ, lhs, rhs, None).is_none());
+        });
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_sat, bench_bv
-}
-criterion_main!(benches);

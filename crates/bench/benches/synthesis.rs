@@ -4,10 +4,10 @@
 //! here microseconds, since our substrate is native Rust rather than
 //! an LLVM-based toolchain).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use chipmunk::{compile as chipmunk_compile, CegisOptions, CompilerOptions};
+use chipmunk_bench::harness::Bench;
 use chipmunk_bench::{by_name, corpus};
 use chipmunk_domino::{compile as domino_compile, DominoOptions};
 use chipmunk_pisa::StatelessAluSpec;
@@ -28,27 +28,24 @@ fn chipmunk_opts(b: &chipmunk_bench::Benchmark, width: u8) -> CompilerOptions {
     }
 }
 
-fn bench_chipmunk(c: &mut Criterion) {
-    let mut g = c.benchmark_group("chipmunk_compile");
+fn main() {
+    let bench = Bench::from_env();
+
+    let mut g = bench.group("chipmunk_compile");
     g.sample_size(10);
     // The fast half of the corpus; flowlet and BLUE run via the table2
     // binary (tens of seconds each would dominate the bench wall time).
     for name in ["sampling", "detect-new-flows", "stateful-firewall", "rcp"] {
         let b = by_name(name).expect("corpus");
         let prog = b.program();
-        g.bench_with_input(BenchmarkId::from_parameter(name), &prog, |bench, prog| {
-            bench.iter(|| {
-                let out =
-                    chipmunk_compile(black_box(prog), &chipmunk_opts(&b, 8)).expect("compiles");
-                black_box(out.resources)
-            });
+        g.bench(name, || {
+            let out = chipmunk_compile(black_box(&prog), &chipmunk_opts(&b, 8)).expect("compiles");
+            black_box(out.resources)
         });
     }
-    g.finish();
-}
 
-fn bench_domino(c: &mut Criterion) {
-    let mut g = c.benchmark_group("domino_compile");
+    let mut g = bench.group("domino_compile");
+    g.sample_size(10);
     for b in corpus() {
         let prog = b.program();
         let opts = DominoOptions {
@@ -56,19 +53,9 @@ fn bench_domino(c: &mut Criterion) {
             stateless: StatelessAluSpec::banzai(4),
             stateful: b.template.spec(4),
         };
-        g.bench_with_input(BenchmarkId::from_parameter(b.name), &prog, |bench, prog| {
-            bench.iter(|| {
-                let out = domino_compile(black_box(prog), &opts).expect("compiles");
-                black_box(out.resources)
-            });
+        g.bench(b.name, || {
+            let out = domino_compile(black_box(&prog), &opts).expect("compiles");
+            black_box(out.resources)
         });
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default();
-    targets = bench_chipmunk, bench_domino
-}
-criterion_main!(benches);

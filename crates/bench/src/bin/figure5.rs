@@ -4,7 +4,9 @@
 //! Usage: same flags as `table2`; `--load PATH` reuses a JSON produced by
 //! `table2 --json PATH` instead of re-running the sweep.
 
-use chipmunk_bench::{render_figure5, run_experiments, ExperimentConfig, VariantOutcome};
+use chipmunk_bench::{
+    outcomes_from_json_str, render_figure5, run_experiments, ExperimentConfig, VariantOutcome,
+};
 
 fn main() {
     let mut cfg = ExperimentConfig::default();
@@ -26,11 +28,12 @@ fn main() {
             "--threads" => cfg.threads = val("--threads").parse().expect("threads"),
             "--program" => cfg.programs.push(val("--program")),
             "--load" => load = Some(val("--load")),
+            "--trace" => chipmunk_trace::init_jsonl(&val("--trace")).expect("open trace file"),
             other => panic!("unknown argument `{other}`"),
         }
     }
     let outcomes: Vec<VariantOutcome> = match load {
-        Some(path) => serde_json::from_str(&std::fs::read_to_string(&path).expect("read json"))
+        Some(path) => outcomes_from_json_str(&std::fs::read_to_string(&path).expect("read json"))
             .expect("parse json"),
         None => {
             eprintln!(
@@ -40,5 +43,6 @@ fn main() {
             run_experiments(&cfg)
         }
     };
+    chipmunk_trace::flush();
     println!("{}", render_figure5(&outcomes));
 }

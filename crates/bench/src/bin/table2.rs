@@ -4,8 +4,9 @@
 //! Usage:
 //!   table2 [--seed S] [--mutations N] [--timeout SECS] [--width BITS]
 //!          [--max-stages K] [--program NAME]... [--threads T] [--json PATH]
+//!          [--trace PATH.jsonl]
 
-use chipmunk_bench::{render_table2, run_experiments, ExperimentConfig};
+use chipmunk_bench::{outcomes_to_json, render_table2, run_experiments, ExperimentConfig};
 
 fn parse_args() -> (ExperimentConfig, Option<String>) {
     let mut cfg = ExperimentConfig::default();
@@ -27,6 +28,7 @@ fn parse_args() -> (ExperimentConfig, Option<String>) {
             "--threads" => cfg.threads = val("--threads").parse().expect("threads"),
             "--program" => cfg.programs.push(val("--program")),
             "--json" => json = Some(val("--json")),
+            "--trace" => chipmunk_trace::init_jsonl(&val("--trace")).expect("open trace file"),
             other => panic!("unknown argument `{other}`"),
         }
     }
@@ -40,12 +42,9 @@ fn main() {
         cfg.mutations_per_program, cfg.verify_width, cfg.timeout_secs
     );
     let outcomes = run_experiments(&cfg);
+    chipmunk_trace::flush();
     if let Some(path) = json {
-        std::fs::write(
-            &path,
-            serde_json::to_string_pretty(&outcomes).expect("serialize"),
-        )
-        .expect("write json");
+        std::fs::write(&path, outcomes_to_json(&outcomes).to_pretty()).expect("write json");
         eprintln!("wrote {path}");
     }
     println!("{}", render_table2(&outcomes));

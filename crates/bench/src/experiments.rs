@@ -13,12 +13,12 @@ use chipmunk_domino::{compile as domino_compile, DominoOptions};
 use chipmunk_lang::Program;
 use chipmunk_mutate::mutations;
 use chipmunk_pisa::StatelessAluSpec;
-use serde::{Deserialize, Serialize};
+use chipmunk_trace::json::Json;
 
 use crate::corpus::{corpus, Benchmark};
 
 /// Configuration of one experiment sweep.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ExperimentConfig {
     /// Mutation seed (the paper's 10 mutations per program are seeded
     /// deterministically per program from this).
@@ -63,7 +63,7 @@ impl Default for ExperimentConfig {
 }
 
 /// One compiler's outcome on one program variant.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CompilerOutcome {
     /// Did code generation succeed?
     pub success: bool,
@@ -80,7 +80,7 @@ pub struct CompilerOutcome {
 }
 
 /// Outcome of one (program, variant) cell.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct VariantOutcome {
     /// Benchmark name.
     pub program: String,
@@ -90,6 +90,109 @@ pub struct VariantOutcome {
     pub chipmunk: CompilerOutcome,
     /// The classical baseline.
     pub domino: CompilerOutcome,
+}
+
+fn opt_usize(v: Option<usize>) -> Json {
+    match v {
+        Some(n) => Json::from(n),
+        None => Json::Null,
+    }
+}
+
+fn get_opt_usize(v: &Json, key: &str) -> Result<Option<usize>, String> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(n) => n
+            .as_u64()
+            .map(|x| Some(x as usize))
+            .ok_or_else(|| format!("non-integer field `{key}`")),
+    }
+}
+
+impl CompilerOutcome {
+    /// Serialize to JSON (same wire format serde used to emit, so existing
+    /// `results_table2.json` files keep parsing).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("success", Json::from(self.success)),
+            ("stages", opt_usize(self.stages)),
+            ("max_alus", opt_usize(self.max_alus)),
+            ("total_alus", opt_usize(self.total_alus)),
+            ("seconds", Json::from(self.seconds)),
+            (
+                "error",
+                match &self.error {
+                    Some(e) => Json::from(e.as_str()),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(CompilerOutcome {
+            success: v
+                .get("success")
+                .and_then(Json::as_bool)
+                .ok_or("missing `success`")?,
+            stages: get_opt_usize(v, "stages")?,
+            max_alus: get_opt_usize(v, "max_alus")?,
+            total_alus: get_opt_usize(v, "total_alus")?,
+            seconds: v
+                .get("seconds")
+                .and_then(Json::as_f64)
+                .ok_or("missing `seconds`")?,
+            error: match v.get("error") {
+                None | Some(Json::Null) => None,
+                Some(e) => Some(e.as_str().ok_or("non-string `error`")?.to_string()),
+            },
+        })
+    }
+}
+
+impl VariantOutcome {
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("program", Json::from(self.program.as_str())),
+            ("variant", Json::from(self.variant)),
+            ("chipmunk", self.chipmunk.to_json()),
+            ("domino", self.domino.to_json()),
+        ])
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(VariantOutcome {
+            program: v
+                .get("program")
+                .and_then(Json::as_str)
+                .ok_or("missing `program`")?
+                .to_string(),
+            variant: v
+                .get("variant")
+                .and_then(Json::as_u64)
+                .ok_or("missing `variant`")? as usize,
+            chipmunk: CompilerOutcome::from_json(v.get("chipmunk").ok_or("missing `chipmunk`")?)?,
+            domino: CompilerOutcome::from_json(v.get("domino").ok_or("missing `domino`")?)?,
+        })
+    }
+}
+
+/// Serialize a sweep's outcomes as a JSON array.
+pub fn outcomes_to_json(outcomes: &[VariantOutcome]) -> Json {
+    Json::Arr(outcomes.iter().map(|o| o.to_json()).collect())
+}
+
+/// Parse a sweep result file (what `table2 --json` writes).
+pub fn outcomes_from_json_str(text: &str) -> Result<Vec<VariantOutcome>, String> {
+    let v = Json::parse(text).map_err(|e| e.to_string())?;
+    v.as_arr()
+        .ok_or("expected a JSON array of outcomes")?
+        .iter()
+        .map(VariantOutcome::from_json)
+        .collect()
 }
 
 fn run_domino(b: &Benchmark, prog: &Program, cfg: &ExperimentConfig) -> CompilerOutcome {
@@ -451,8 +554,8 @@ mod tests {
                 outcome(true, 4, 2, 0.002),
             ),
         ];
-        let json = serde_json::to_string(&data).expect("serializes");
-        let back: Vec<VariantOutcome> = serde_json::from_str(&json).expect("parses");
+        let json = outcomes_to_json(&data).to_compact();
+        let back: Vec<VariantOutcome> = outcomes_from_json_str(&json).expect("parses");
         assert_eq!(back.len(), 2);
         assert_eq!(back[0].program, "p");
         assert_eq!(back[0].chipmunk.stages, Some(1));

@@ -1,0 +1,85 @@
+//! A minimal benchmark harness for the workspace's `harness = false` bench
+//! targets (the build environment has no crates.io access, so no
+//! criterion). Mirrors the subset of criterion's CLI the benches relied
+//! on: an optional substring filter, `--test`/`--quick` for a single
+//! smoke-test iteration, and per-group sample counts.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Re-exported so benches don't need their own `std::hint` import.
+pub use std::hint::black_box as bb;
+
+/// Top-level harness state, constructed once per bench binary.
+pub struct Bench {
+    filter: Option<String>,
+    quick: bool,
+}
+
+impl Bench {
+    /// Parse the bench binary's CLI. Non-flag arguments are substring
+    /// filters on `group/name`; `--test` and `--quick` run each benchmark
+    /// once (what `cargo test --benches` wants); other flags cargo passes
+    /// through (e.g. `--bench`) are ignored.
+    pub fn from_env() -> Bench {
+        let mut filter = None;
+        let mut quick = false;
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--test" | "--quick" => quick = true,
+                s if s.starts_with('-') => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Bench { filter, quick }
+    }
+
+    /// Start a named benchmark group.
+    pub fn group(&self, name: &'static str) -> Group<'_> {
+        Group {
+            bench: self,
+            name,
+            samples: 10,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a sample count.
+pub struct Group<'a> {
+    bench: &'a Bench,
+    name: &'static str,
+    samples: usize,
+}
+
+impl Group<'_> {
+    /// Set how many timed samples each benchmark in this group collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Run one benchmark: a warmup call, then the configured number of
+    /// timed calls; prints min/mean/max.
+    pub fn bench<R>(&mut self, id: impl std::fmt::Display, mut f: impl FnMut() -> R) {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.bench.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let samples = if self.bench.quick { 1 } else { self.samples };
+        black_box(f()); // warmup
+        let mut times: Vec<Duration> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            black_box(f());
+            times.push(t0.elapsed());
+        }
+        let min = times.iter().min().copied().unwrap_or_default();
+        let max = times.iter().max().copied().unwrap_or_default();
+        let mean = times.iter().sum::<Duration>() / samples as u32;
+        println!(
+            "{full:<48} {samples:>3} × [min {min:>10.2?}  mean {mean:>10.2?}  max {max:>10.2?}]"
+        );
+    }
+}

@@ -18,10 +18,12 @@
 
 pub mod corpus;
 pub mod experiments;
+pub mod harness;
 pub mod workload;
 
 pub use corpus::{by_name, corpus, extensions, Benchmark, TemplateKind};
 pub use experiments::{
-    render_figure5, render_table2, run_experiments, ExperimentConfig, VariantOutcome,
+    outcomes_from_json_str, outcomes_to_json, render_figure5, render_table2, run_experiments,
+    CompilerOutcome, ExperimentConfig, VariantOutcome,
 };
 pub use workload::Workload;

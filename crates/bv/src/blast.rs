@@ -171,6 +171,7 @@ impl<'s> Blaster<'s> {
             }
             let bits = self.blast_node(c, id);
             self.cache.insert(id, bits);
+            chipmunk_trace::counter_add!("bv.blast.terms", 1);
         }
         self.cache[&t].clone()
     }
@@ -295,6 +296,8 @@ impl<'s> Blaster<'s> {
         self.solver.add_clause([!a, !b, o]);
         self.solver.add_clause([a, !o]);
         self.solver.add_clause([b, !o]);
+        chipmunk_trace::counter_add!("bv.blast.gates", 1);
+        chipmunk_trace::counter_add!("bv.blast.clauses", 3);
         o
     }
 
@@ -321,6 +324,8 @@ impl<'s> Blaster<'s> {
         self.solver.add_clause([a, b, !o]);
         self.solver.add_clause([a, !b, o]);
         self.solver.add_clause([!a, b, o]);
+        chipmunk_trace::counter_add!("bv.blast.gates", 1);
+        chipmunk_trace::counter_add!("bv.blast.clauses", 4);
         o
     }
 
@@ -347,6 +352,8 @@ impl<'s> Blaster<'s> {
         // Redundant but propagation-friendly: t & f -> o, !t & !f -> !o
         self.solver.add_clause([!t, !f, o]);
         self.solver.add_clause([t, f, !o]);
+        chipmunk_trace::counter_add!("bv.blast.gates", 1);
+        chipmunk_trace::counter_add!("bv.blast.clauses", 6);
         o
     }
 

@@ -414,13 +414,8 @@ pub(crate) fn eval_binop(op: BvOp, a: u64, b: u64, width: u8) -> u64 {
         BvOp::Add => a.wrapping_add(b) & m,
         BvOp::Sub => a.wrapping_sub(b) & m,
         BvOp::Mul => a.wrapping_mul(b) & m,
-        BvOp::UDiv => {
-            if b == 0 {
-                m // SMT-LIB: x / 0 = all ones
-            } else {
-                (a / b) & m
-            }
-        }
+        // SMT-LIB: x / 0 = all ones
+        BvOp::UDiv => a.checked_div(b).map_or(m, |v| v & m),
         BvOp::URem => {
             if b == 0 {
                 a // SMT-LIB: x % 0 = x

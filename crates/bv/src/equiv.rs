@@ -66,6 +66,32 @@ pub fn check_equiv_many(
     pairs: &[(TermId, TermId)],
     deadline: Option<Instant>,
 ) -> Result<Option<Counterexample>, TimedOut> {
+    let mut sp = chipmunk_trace::span!(
+        "bv.check_equiv",
+        pairs = pairs.len(),
+        terms = c.num_nodes(),
+        width = c.width(),
+    );
+    let res = check_equiv_many_impl(c, pairs, deadline);
+    if chipmunk_trace::enabled() {
+        sp.record(
+            "result",
+            match &res {
+                Ok(None) => "equiv",
+                Ok(Some(_)) => "cex",
+                Err(TimedOut) => "timeout",
+            },
+        );
+        chipmunk_trace::counter_add!("bv.equiv_checks", 1);
+    }
+    res
+}
+
+fn check_equiv_many_impl(
+    c: &Circuit,
+    pairs: &[(TermId, TermId)],
+    deadline: Option<Instant>,
+) -> Result<Option<Counterexample>, TimedOut> {
     let mut circuit = c.clone();
     let diffs: Vec<TermId> = pairs
         .iter()

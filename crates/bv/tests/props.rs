@@ -1,10 +1,11 @@
-//! Property tests for the bit-vector layer: circuit evaluation must match
-//! `u64` reference semantics, and the blaster must agree with the
-//! evaluator on random expression trees with symbolic inputs.
+//! Randomized tests for the bit-vector layer: circuit evaluation must
+//! match `u64` reference semantics, and the blaster must agree with the
+//! evaluator on random expression trees with symbolic inputs. Seeded, so
+//! every run checks the same 200-tree corpus.
 
 use chipmunk_bv::{check_equiv, mk_true, Binding, Blaster, BvOp, Circuit, TermId};
 use chipmunk_sat::{SolveResult, Solver};
-use proptest::prelude::*;
+use chipmunk_trace::rng::Xoshiro256;
 
 const OPS: &[BvOp] = &[
     BvOp::Add,
@@ -28,17 +29,17 @@ enum Step {
     Mux,
 }
 
-fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0u64..64).prop_map(Step::PushConst),
-            Just(Step::PushX),
-            Just(Step::PushY),
-            (0..OPS.len()).prop_map(Step::Bin),
-            Just(Step::Mux),
-        ],
-        1..20,
-    )
+fn random_steps(rng: &mut Xoshiro256) -> Vec<Step> {
+    let n = rng.gen_range(1, 19);
+    (0..n)
+        .map(|_| match rng.gen_usize(5) {
+            0 => Step::PushConst(rng.gen_u64_below(64)),
+            1 => Step::PushX,
+            2 => Step::PushY,
+            3 => Step::Bin(rng.gen_usize(OPS.len())),
+            _ => Step::Mux,
+        })
+        .collect()
 }
 
 fn build(c: &mut Circuit, x: TermId, y: TermId, steps: &[Step]) -> TermId {
@@ -66,16 +67,14 @@ fn build(c: &mut Circuit, x: TermId, y: TermId, steps: &[Step]) -> TermId {
     stack.pop().expect("seeded stack is never empty")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
-
-    /// Blasting with constant bindings must reproduce the evaluator.
-    #[test]
-    fn blaster_matches_evaluator(
-        steps in arb_steps(),
-        vx in 0u64..64,
-        vy in 0u64..64,
-    ) {
+/// Blasting with constant bindings must reproduce the evaluator.
+#[test]
+fn blaster_matches_evaluator() {
+    let mut rng = Xoshiro256::seed_from_u64(0xb7_0001);
+    for case in 0..200 {
+        let steps = random_steps(&mut rng);
+        let vx = rng.gen_u64_below(64);
+        let vy = rng.gen_u64_below(64);
         let mut c = Circuit::new(6);
         let x = c.input("x");
         let y = c.input("y");
@@ -88,17 +87,19 @@ proptest! {
         b.bind(c.input_id(x), Binding::Const(vx));
         b.bind(c.input_id(y), Binding::Const(vy));
         let bits = b.blast(&c, root);
-        prop_assert_eq!(solver.solve(&[]), SolveResult::Sat);
+        assert_eq!(solver.solve(&[]), SolveResult::Sat, "case {case}");
         let got = Blaster::new(&mut solver, tru).decode(&bits).expect("model");
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}: {steps:?} on ({vx}, {vy})");
     }
+}
 
-    /// The equivalence checker accepts hash-consing-invisible rewrites
-    /// (adding zero, multiplying by one) and rejects off-by-one variants.
-    #[test]
-    fn equiv_checker_is_sound_and_complete_on_identities(
-        steps in arb_steps(),
-    ) {
+/// The equivalence checker accepts hash-consing-invisible rewrites (adding
+/// zero, multiplying by one) and rejects off-by-one variants.
+#[test]
+fn equiv_checker_is_sound_and_complete_on_identities() {
+    let mut rng = Xoshiro256::seed_from_u64(0xb7_0002);
+    for case in 0..200 {
+        let steps = random_steps(&mut rng);
         let mut c = Circuit::new(5);
         let x = c.input("x");
         let y = c.input("y");
@@ -107,11 +108,16 @@ proptest! {
         // the intermediate wraps.
         let plus = c.binop(BvOp::Add, root, y);
         let same = c.binop(BvOp::Sub, plus, y);
-        prop_assert!(check_equiv(&c, root, same, None).is_none());
+        assert!(
+            check_equiv(&c, root, same, None).is_none(),
+            "case {case}: rejected an identity: {steps:?}"
+        );
         // `root + 1` differs on every input.
         let one = c.constant(1);
         let off = c.binop(BvOp::Add, root, one);
-        let cex = check_equiv(&c, root, off, None);
-        prop_assert!(cex.is_some());
+        assert!(
+            check_equiv(&c, root, off, None).is_some(),
+            "case {case}: accepted an off-by-one: {steps:?}"
+        );
     }
 }

@@ -1,17 +1,25 @@
 //! `chipmunkc` — the command-line front end of the chipmunk-rs workspace.
 //!
 //! ```text
-//! chipmunkc compile  <file> [--template T] [--imm N] [--width W] [--max-stages K] [--timeout S] [--json]
+//! chipmunkc compile  <file> [--template T] [--imm N] [--width W] [--max-stages K] [--timeout S] [--json] [--trace OUT.jsonl]
 //! chipmunkc domino   <file> [--template T] [--imm N] [--width W]
 //! chipmunkc repair   <file> [--template T] [--imm N] [--depth D]
 //! chipmunkc mutate   <file> [--n N] [--seed S]
 //! chipmunkc superopt <file> [--imm N] [--width W] [--max-len L] [--full-alu]
 //! chipmunkc run      <file> [--template T] [--packets N] [--width W] [--trace CSV]
+//! chipmunkc trace-report <file.jsonl>
 //! ```
 //!
-//! `--trace` replays a CSV packet trace (header row = packet-field names;
-//! one packet per line) through the synthesized pipeline instead of random
-//! packets, cross-checking every output against the interpreter.
+//! `compile --trace OUT.jsonl` records a structured execution trace of the
+//! whole synthesis stack (CEGIS iterations, SAT solves, bit-blasting,
+//! grid-size escalation) as JSON Lines; `trace-report` renders a per-phase
+//! time and work breakdown from such a file. Setting the `CHIPMUNK_TRACE`
+//! environment variable (a path, or `stderr`) enables the same tracing for
+//! every subcommand.
+//!
+//! `run --trace` replays a CSV packet trace (header row = packet-field
+//! names; one packet per line) through the synthesized pipeline instead of
+//! random packets, cross-checking every output against the interpreter.
 //!
 //! `<file>` holds a packet transaction in the Domino dialect. Templates:
 //! `raw`, `pred_raw`, `if_else_raw` (default), `sub`, `nested_ifs`.
@@ -25,6 +33,7 @@ use chipmunk_lang::{parse, Interpreter, PacketState, Program};
 use chipmunk_pisa::{stateful::library, Pipeline, StatefulAluSpec, StatelessAluSpec};
 use chipmunk_repair::{suggest, RepairOptions};
 use chipmunk_superopt::{superoptimize, SuperoptOptions};
+use chipmunk_trace::json::Json;
 
 struct Args {
     flags: Vec<(String, String)>,
@@ -91,7 +100,7 @@ fn load(path: &str) -> Result<Program, String> {
 }
 
 fn usage() -> String {
-    "usage: chipmunkc <compile|domino|repair|mutate|superopt|run> <file> [options]\n\
+    "usage: chipmunkc <compile|domino|repair|mutate|superopt|run|trace-report> <file> [options]\n\
      see `chipmunkc help` or the crate docs for options"
         .to_string()
 }
@@ -119,6 +128,7 @@ fn main() -> ExitCode {
         "mutate" => cmd_mutate(&args),
         "superopt" => cmd_superopt(&args),
         "run" => cmd_run(&args),
+        "trace-report" => cmd_trace_report(&args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -142,6 +152,9 @@ fn file_arg(args: &Args) -> Result<&str, String> {
 }
 
 fn cmd_compile(args: &Args) -> Result<(), String> {
+    if let Some(path) = args.get("trace") {
+        chipmunk_trace::init_jsonl(path).map_err(|e| format!("--trace {path}: {e}"))?;
+    }
     let prog = load(file_arg(args)?)?;
     let imm: u8 = args.num("imm", 4)?;
     let mut opts = CompilerOptions::new(template(
@@ -152,7 +165,9 @@ fn cmd_compile(args: &Args) -> Result<(), String> {
     opts.cegis.verify_width = args.num("width", 10)?;
     opts.max_stages = args.num("max-stages", 4)?;
     opts.timeout = Some(Duration::from_secs(args.num("timeout", 300)?));
-    let out = compile(&prog, &opts).map_err(|e| e.to_string())?;
+    let out = compile(&prog, &opts);
+    chipmunk_trace::flush();
+    let out = out.map_err(|e| e.to_string())?;
     eprintln!(
         "compiled in {:.2?}: {} stage(s), max {} ALU(s)/stage, {} total ALU(s)",
         out.elapsed,
@@ -161,17 +176,37 @@ fn cmd_compile(args: &Args) -> Result<(), String> {
         out.resources.total_alus
     );
     if args.has("json") {
-        let doc = serde_json::json!({
-            "grid": { "stages": out.grid.stages, "slots": out.grid.slots },
-            "resources": out.resources,
-            "field_to_container": out.decoded.field_to_container,
-            "pipeline": out.decoded.pipeline,
-        });
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&doc).expect("serializable")
-        );
+        let doc = Json::obj([
+            (
+                "grid",
+                Json::obj([
+                    ("stages", Json::from(out.grid.stages)),
+                    ("slots", Json::from(out.grid.slots)),
+                ]),
+            ),
+            ("resources", out.resources.to_json()),
+            (
+                "field_to_container",
+                Json::Arr(
+                    out.decoded
+                        .field_to_container
+                        .iter()
+                        .map(|&c| Json::from(c))
+                        .collect(),
+                ),
+            ),
+            ("pipeline", out.decoded.pipeline.to_json()),
+        ]);
+        println!("{}", doc.to_pretty());
     }
+    Ok(())
+}
+
+fn cmd_trace_report(args: &Args) -> Result<(), String> {
+    let path = file_arg(args)?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let report = chipmunk_trace::report::summarize(&text);
+    print!("{}", report.render());
     Ok(())
 }
 

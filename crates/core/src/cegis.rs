@@ -90,6 +90,9 @@ pub struct CegisStats {
     pub synth_time: Duration,
     /// Wall time in the verification solvers.
     pub verify_time: Duration,
+    /// Total wall time of the run. Invariant:
+    /// `synth_time + verify_time <= total_time`.
+    pub total_time: Duration,
     /// Conflicts spent by the synthesis solver.
     pub synth_conflicts: u64,
 }
@@ -155,8 +158,16 @@ pub fn synthesize_with_cancel(
          selector codes would truncate",
         sketch.max_hole_bits()
     );
+    let run_start = Instant::now();
     let num_fields = prog.field_names().len();
     let num_states = prog.state_names().len();
+    let mut run_span = chipmunk_trace::span!(
+        "cegis.run",
+        holes = sketch.holes().len(),
+        fields = num_fields,
+        states = num_states,
+        verify_width = w,
+    );
     let interp = Interpreter::new(prog, w);
 
     // --- Build the sketch circuit once at the semantic width.
@@ -201,7 +212,7 @@ pub fn synthesize_with_cancel(
     }
 
     let mut stats = CegisStats::default();
-    let add_input = |solver: &mut Solver, inp: &PacketState, stats: &mut CegisStats| {
+    let add_input = |solver: &mut Solver, inp: &PacketState| {
         let want = interp.exec(inp);
         let mut b = Blaster::new(solver, tru);
         sketch.bind_holes(&circuit, &hole_terms, &hole_bits, &mut b);
@@ -223,7 +234,6 @@ pub fn synthesize_with_cancel(
                 }
             }
         }
-        stats.counterexamples += 1;
     };
 
     // --- Initial test inputs: all-zeros plus seeded random small values.
@@ -248,32 +258,49 @@ pub fn synthesize_with_cancel(
         });
     }
     for inp in &initial {
-        add_input(&mut solver, inp, &mut stats);
+        add_input(&mut solver, inp);
     }
 
     // --- The CEGIS loop.
-    for _iter in 0..opts.max_iters {
+    for iter in 0..opts.max_iters {
         stats.iterations += 1;
         if cancel
             .as_ref()
             .is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed))
         {
+            chipmunk_trace::event!("cegis.cancelled", iter = iter);
             return Err(SynthesisError::Timeout);
         }
         if let Some(d) = opts.deadline {
             if Instant::now() >= d {
+                chipmunk_trace::event!("cegis.deadline", iter = iter, phase = "synth");
                 return Err(SynthesisError::Timeout);
             }
         }
         // Synthesis phase.
         solver.set_deadline(opts.deadline);
         let t0 = Instant::now();
+        let mut synth_sp = chipmunk_trace::span!("cegis.synth", iter = iter);
         let res = solver.solve(&[]);
+        if chipmunk_trace::enabled() {
+            synth_sp.record(
+                "result",
+                match res {
+                    SolveResult::Sat => "sat",
+                    SolveResult::Unsat => "unsat",
+                    SolveResult::Unknown => "unknown",
+                },
+            );
+        }
+        drop(synth_sp);
         stats.synth_time += t0.elapsed();
         stats.synth_conflicts = solver.stats().conflicts;
         let hole_values: Vec<u64> = match res {
             SolveResult::Unsat => return Err(SynthesisError::Infeasible),
-            SolveResult::Unknown => return Err(SynthesisError::Timeout),
+            SolveResult::Unknown => {
+                chipmunk_trace::event!("cegis.deadline", iter = iter, phase = "synth");
+                return Err(SynthesisError::Timeout);
+            }
             SolveResult::Sat => {
                 let dec = Blaster::new(&mut solver, tru);
                 hole_bits
@@ -287,6 +314,7 @@ pub fn synthesize_with_cancel(
         // The screen width is raised to the widest hole so selector codes
         // survive; if that reaches the full width, screening is pointless.
         let t1 = Instant::now();
+        let mut verify_sp = chipmunk_trace::span!("cegis.verify", iter = iter);
         if let Some(sw) = opts.screen_width {
             let sw = sw.max(sketch.max_hole_bits());
             if sw < w {
@@ -302,8 +330,13 @@ pub fn synthesize_with_cancel(
                     // the full width.
                     if distinguishes_at(prog, sketch, &hole_values, &cex, w) {
                         stats.verify_time += t1.elapsed();
+                        stats.counterexamples += 1;
                         stats.screen_counterexamples += 1;
-                        add_input(&mut solver, &cex, &mut stats);
+                        verify_sp.record("result", "cex");
+                        verify_sp.record("provenance", "screen");
+                        drop(verify_sp);
+                        chipmunk_trace::event!("cegis.cex", iter = iter, provenance = "screen");
+                        add_input(&mut solver, &cex);
                         continue;
                     }
                 }
@@ -321,6 +354,14 @@ pub fn synthesize_with_cancel(
         stats.verify_time += t1.elapsed();
         match cex {
             None => {
+                verify_sp.record("result", "equiv");
+                drop(verify_sp);
+                stats.total_time = run_start.elapsed();
+                if chipmunk_trace::enabled() {
+                    run_span.record("result", "ok");
+                    run_span.record("iterations", stats.iterations as u64);
+                    run_span.record("counterexamples", stats.counterexamples as u64);
+                }
                 let decoded = sketch.decode(&hole_values);
                 return Ok(Synthesized {
                     decoded,
@@ -329,10 +370,16 @@ pub fn synthesize_with_cancel(
                 });
             }
             Some(cex) => {
-                add_input(&mut solver, &cex, &mut stats);
+                stats.counterexamples += 1;
+                verify_sp.record("result", "cex");
+                verify_sp.record("provenance", "full");
+                drop(verify_sp);
+                chipmunk_trace::event!("cegis.cex", iter = iter, provenance = "full");
+                add_input(&mut solver, &cex);
             }
         }
     }
+    chipmunk_trace::event!("cegis.iter_cap", max_iters = opts.max_iters);
     Err(SynthesisError::Timeout)
 }
 
@@ -605,6 +652,30 @@ mod tests {
             &fast_opts(),
         );
         assert!(out.stats.iterations >= 1);
+    }
+
+    #[test]
+    fn stats_time_accounting_is_consistent() {
+        let g = GridSpec::new(2, 2, library::if_else_raw(3), 3);
+        let out = synth_ok(
+            "state count;
+             if (count == 5) { count = 0; pkt.sample = 1; }
+             else { count = count + 1; pkt.sample = 0; }",
+            g,
+            &fast_opts(),
+        );
+        let s = out.stats;
+        assert!(
+            s.synth_time + s.verify_time <= s.total_time,
+            "phase times exceed total: synth {:?} + verify {:?} > total {:?}",
+            s.synth_time,
+            s.verify_time,
+            s.total_time,
+        );
+        // Every iteration but the successful last one feeds back exactly
+        // one counterexample; initial inputs are not counterexamples.
+        assert_eq!(s.iterations, s.counterexamples + 1);
+        assert!(s.screen_counterexamples <= s.counterexamples);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use chipmunk_pisa::{
     grid::resources_of, GridSpec, ResourceUsage, StatefulAluSpec, StatelessAluSpec,
 };
 
-use crate::cegis::{synthesize, CegisOptions, CegisStats, SynthesisError, Synthesized};
+use crate::cegis::{CegisOptions, CegisStats, SynthesisError, Synthesized};
 use crate::sketch::{DecodedConfig, Sketch, SketchOptions};
 
 /// Options for a full compilation.
@@ -126,6 +126,11 @@ impl std::error::Error for CodegenError {}
 /// metadata field, as delivered by PISA hash units).
 pub fn compile(prog: &Program, opts: &CompilerOptions) -> Result<CodegenSuccess, CodegenError> {
     let start = Instant::now();
+    let mut search_sp = chipmunk_trace::span!(
+        "search.compile",
+        max_stages = opts.max_stages,
+        parallel = opts.parallel,
+    );
     let mut prog = prog.clone();
     if prog.stmts().iter().any(|s| s.contains_hash()) {
         chipmunk_lang::passes::eliminate_hashes(&mut prog);
@@ -158,9 +163,21 @@ pub fn compile(prog: &Program, opts: &CompilerOptions) -> Result<CodegenSuccess,
             stateless: opts.stateless.clone(),
             stateful: opts.stateful.clone(),
         };
+        let mut sp = chipmunk_trace::span!("search.grid", stages = stages, slots = slots);
         let sketch = Sketch::new(grid.clone(), num_fields, num_states, opts.sketch)
             .map_err(|_| SynthesisError::Infeasible)?;
-        crate::cegis::synthesize_with_cancel(&prog, &sketch, &cegis_opts, cancel).map(|s| (s, grid))
+        let res = crate::cegis::synthesize_with_cancel(&prog, &sketch, &cegis_opts, cancel);
+        if chipmunk_trace::enabled() {
+            sp.record(
+                "result",
+                match &res {
+                    Ok(_) => "ok",
+                    Err(SynthesisError::Infeasible) => "infeasible",
+                    Err(SynthesisError::Timeout) => "timeout",
+                },
+            );
+        }
+        res.map(|s| (s, grid))
     };
 
     if opts.parallel {
@@ -172,6 +189,8 @@ pub fn compile(prog: &Program, opts: &CompilerOptions) -> Result<CodegenSuccess,
         match attempt(stages, None) {
             Ok((synthesized, grid)) => {
                 let resources = resources_of(&grid, &synthesized.decoded.pipeline);
+                search_sp.record("result", "ok");
+                search_sp.record("stages", stages as u64);
                 return Ok(CodegenSuccess {
                     decoded: synthesized.decoded,
                     hole_values: synthesized.hole_values,
@@ -200,10 +219,9 @@ pub fn compile(prog: &Program, opts: &CompilerOptions) -> Result<CodegenSuccess,
     }
 }
 
-type AttemptFn<'a> = dyn Fn(
-        usize,
-        Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
-    ) -> Result<(Synthesized, GridSpec), SynthesisError>
+type AttemptResult = Result<(Synthesized, GridSpec), SynthesisError>;
+
+type AttemptFn<'a> = dyn Fn(usize, Option<std::sync::Arc<std::sync::atomic::AtomicBool>>) -> AttemptResult
     + Sync
     + 'a;
 
@@ -221,28 +239,27 @@ fn compile_parallel(
     let flags: Vec<Arc<AtomicBool>> = (0..max_stages)
         .map(|_| Arc::new(AtomicBool::new(false)))
         .collect();
-    let results: Vec<(usize, Result<(Synthesized, GridSpec), SynthesisError>)> =
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (1..=max_stages)
-                .map(|stages| {
-                    let my_flag = flags[stages - 1].clone();
-                    let deeper: Vec<Arc<AtomicBool>> = flags[stages..].to_vec();
-                    scope.spawn(move || {
-                        let res = attempt(stages, Some(my_flag));
-                        if res.is_ok() {
-                            for f in &deeper {
-                                f.store(true, Ordering::Relaxed);
-                            }
+    let results: Vec<(usize, AttemptResult)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (1..=max_stages)
+            .map(|stages| {
+                let my_flag = flags[stages - 1].clone();
+                let deeper: Vec<Arc<AtomicBool>> = flags[stages..].to_vec();
+                scope.spawn(move || {
+                    let res = attempt(stages, Some(my_flag));
+                    if res.is_ok() {
+                        for f in &deeper {
+                            f.store(true, Ordering::Relaxed);
                         }
-                        (stages, res)
-                    })
+                    }
+                    (stages, res)
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("no panics"))
-                .collect()
-        });
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panics"))
+            .collect()
+    });
     let mut saw_timeout = false;
     let mut best: Option<(usize, Synthesized, GridSpec)> = None;
     let mut cancelled_below_best = false;

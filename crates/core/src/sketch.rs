@@ -336,9 +336,9 @@ impl Sketch {
             // Output muxes: values 0..w-1 select stateful ALU outputs; the
             // last value selects the container's own stateless ALU.
             let mut next: Vec<TermId> = Vec::with_capacity(w);
-            for j in 0..w {
+            for (j, &d) in dest.iter().enumerate() {
                 let mut options = salu_out.clone();
-                options.push(dest[j]);
+                options.push(d);
                 next.push(select(c, h(format!("stage{s}_omux{j}")), &options));
             }
             containers = next;

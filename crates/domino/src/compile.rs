@@ -100,6 +100,7 @@ pub struct DominoOutput {
 
 /// Compile a packet transaction with the classical Domino pipeline.
 pub fn compile(prog: &Program, opts: &DominoOptions) -> Result<DominoOutput, DominoError> {
+    let mut sp = chipmunk_trace::span!("domino.compile", atom = opts.stateful.name.as_str());
     // Preprocess: hashes become metadata fields, constants fold at width.
     let mut prog = prog.clone();
     if prog.stmts().iter().any(|s| s.contains_hash()) {
@@ -108,7 +109,9 @@ pub fn compile(prog: &Program, opts: &DominoOptions) -> Result<DominoOutput, Dom
     passes::const_fold(&mut prog, opts.width);
 
     let tac = lower(&prog);
+    chipmunk_trace::event!("domino.lower", ops = tac.ops.len());
     let mut codelets = partition(&tac).map_err(DominoError::CoupledStates)?;
+    chipmunk_trace::event!("domino.partition", states = tac.num_states);
 
     // --- Copy elimination: trivial selects alias to their operand.
     let mut alias: Vec<Option<Atom>> = vec![None; tac.ops.len()];
@@ -192,6 +195,10 @@ pub fn compile(prog: &Program, opts: &DominoOptions) -> Result<DominoOutput, Dom
         }
     }
 
+    chipmunk_trace::event!(
+        "domino.absorb",
+        absorbed = codelets.member_of.iter().filter(|m| m.is_some()).count(),
+    );
     // --- Improvement phase: Banzai atoms compute packet outputs inside
     // their branches (e.g. sampling's `pkt.sample` assignment lives in the
     // same atom as the counter update). Greedily absorb each atom's
@@ -304,6 +311,7 @@ pub fn compile(prog: &Program, opts: &DominoOptions) -> Result<DominoOutput, Dom
         }
     }
 
+    chipmunk_trace::event!("domino.dce", live = live.iter().filter(|&&l| l).count());
     // --- Map external stateless operations onto the stateless ALU.
     let mut nodes = Vec::new();
     let mut alus = Vec::new();
@@ -412,6 +420,10 @@ pub fn compile(prog: &Program, opts: &DominoOptions) -> Result<DominoOutput, Dom
         total_alus: alus.iter().sum(),
     };
 
+    if chipmunk_trace::enabled() {
+        sp.record("stages", resources.stages_used as u64);
+        sp.record("alus", resources.total_alus as u64);
+    }
     Ok(DominoOutput {
         tac,
         codelets,

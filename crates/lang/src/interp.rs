@@ -166,13 +166,7 @@ pub fn eval_binop(op: BinOp, a: u64, b: u64, m: u64) -> u64 {
         BinOp::Add => a.wrapping_add(b) & m,
         BinOp::Sub => a.wrapping_sub(b) & m,
         BinOp::Mul => a.wrapping_mul(b) & m,
-        BinOp::Div => {
-            if b == 0 {
-                m
-            } else {
-                (a / b) & m
-            }
-        }
+        BinOp::Div => a.checked_div(b).map_or(m, |v| v & m),
         BinOp::Rem => {
             if b == 0 {
                 a

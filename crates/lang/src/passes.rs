@@ -36,7 +36,7 @@ fn fresh_hash_field(p: &mut Program, counter: &mut usize, introduced: &mut Vec<S
     loop {
         let name = format!("hash_{}", *counter);
         *counter += 1;
-        if !p.field_names().iter().any(|f| *f == name) {
+        if !p.field_names().contains(&name) {
             introduced.push(name.clone());
             return p.add_field(name);
         }
@@ -216,8 +216,8 @@ fn fold_stmts(stmts: &mut Vec<Stmt>, m: u64) {
                 fold_stmts(t, m);
                 fold_stmts(f, m);
                 match c {
-                    Expr::Int(0) => out.extend(f.drain(..)),
-                    Expr::Int(_) => out.extend(t.drain(..)),
+                    Expr::Int(0) => out.append(f),
+                    Expr::Int(_) => out.append(t),
                     _ => out.push(s),
                 }
             }

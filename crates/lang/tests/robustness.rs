@@ -1,125 +1,146 @@
 //! Robustness properties of the frontend: the parser must never panic on
 //! arbitrary input, and the pretty-printer must be a parser inverse on
-//! every valid program.
+//! every valid program. Seeded random corpora, 256 cases per property.
 
 use chipmunk_lang::{parse, BinOp, Expr, LValue, Program, Stmt, UnOp, VarRef};
-use proptest::prelude::*;
+use chipmunk_trace::rng::Xoshiro256;
 
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (0u64..100).prop_map(Expr::Int),
-        (0usize..3).prop_map(|i| Expr::Var(VarRef::Field(i))),
-        (0usize..2).prop_map(|i| Expr::Var(VarRef::State(i))),
-    ];
-    leaf.prop_recursive(3, 20, 3, |inner| {
-        prop_oneof![
-            (
-                prop_oneof![
-                    Just(BinOp::Add),
-                    Just(BinOp::Sub),
-                    Just(BinOp::Mul),
-                    Just(BinOp::Div),
-                    Just(BinOp::Rem),
-                    Just(BinOp::Eq),
-                    Just(BinOp::Lt),
-                    Just(BinOp::Ge),
-                    Just(BinOp::And),
-                    Just(BinOp::Or),
-                    Just(BinOp::BitAnd),
-                    Just(BinOp::BitOr),
-                    Just(BinOp::BitXor),
-                ],
-                inner.clone(),
-                inner.clone()
-            )
-                .prop_map(|(op, a, b)| Expr::bin(op, a, b)),
-            (prop_oneof![Just(UnOp::Not), Just(UnOp::Neg)], inner.clone())
-                .prop_map(|(op, x)| Expr::Unary(op, Box::new(x))),
-            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, f)| Expr::Ternary(
-                Box::new(c),
-                Box::new(t),
-                Box::new(f)
-            )),
-        ]
-    })
-}
+const BINOPS: &[BinOp] = &[
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Div,
+    BinOp::Rem,
+    BinOp::Eq,
+    BinOp::Lt,
+    BinOp::Ge,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::BitAnd,
+    BinOp::BitOr,
+    BinOp::BitXor,
+];
 
-fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
-    let lv = prop_oneof![
-        (0usize..3).prop_map(LValue::Field),
-        (0usize..2).prop_map(LValue::State),
-    ];
-    if depth == 0 {
-        (lv, arb_expr())
-            .prop_map(|(l, e)| Stmt::Assign(l, e))
-            .boxed()
+fn random_expr(rng: &mut Xoshiro256, depth: u32) -> Expr {
+    let leaf = depth == 0 || rng.gen_bool(0.4);
+    if leaf {
+        match rng.gen_usize(3) {
+            0 => Expr::Int(rng.gen_u64_below(100)),
+            1 => Expr::Var(VarRef::Field(rng.gen_usize(3))),
+            _ => Expr::Var(VarRef::State(rng.gen_usize(2))),
+        }
     } else {
-        prop_oneof![
-            3 => (lv, arb_expr()).prop_map(|(l, e)| Stmt::Assign(l, e)),
-            1 => (
-                arb_expr(),
-                prop::collection::vec(arb_stmt(depth - 1), 1..3),
-                prop::collection::vec(arb_stmt(depth - 1), 0..2),
-            )
-                .prop_map(|(c, t, f)| Stmt::If(c, t, f)),
-        ]
-        .boxed()
+        match rng.gen_usize(3) {
+            0 => Expr::bin(
+                *rng.choose(BINOPS),
+                random_expr(rng, depth - 1),
+                random_expr(rng, depth - 1),
+            ),
+            1 => Expr::Unary(
+                if rng.gen_bool(0.5) {
+                    UnOp::Not
+                } else {
+                    UnOp::Neg
+                },
+                Box::new(random_expr(rng, depth - 1)),
+            ),
+            _ => Expr::Ternary(
+                Box::new(random_expr(rng, depth - 1)),
+                Box::new(random_expr(rng, depth - 1)),
+                Box::new(random_expr(rng, depth - 1)),
+            ),
+        }
     }
 }
 
-fn arb_program() -> impl Strategy<Value = Program> {
-    prop::collection::vec(arb_stmt(2), 1..5).prop_map(|stmts| {
-        Program::from_parts(
-            vec!["a".into(), "b".into(), "c".into()],
-            vec!["s0".into(), "s1".into()],
-            vec![0, 0],
-            vec![],
-            stmts,
-        )
-    })
+fn random_lvalue(rng: &mut Xoshiro256) -> LValue {
+    if rng.gen_bool(0.6) {
+        LValue::Field(rng.gen_usize(3))
+    } else {
+        LValue::State(rng.gen_usize(2))
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The parser returns a Result on arbitrary input — it never panics.
-    #[test]
-    fn parser_never_panics(src in ".{0,200}") {
-        let _ = parse(&src);
-    }
-
-    /// Domino-flavoured garbage (keywords, braces, operators in random
-    /// order) also parses or errors gracefully.
-    #[test]
-    fn parser_never_panics_on_tokeny_garbage(
-        tokens in prop::collection::vec(
-            prop_oneof![
-                Just("state"), Just("if"), Just("else"), Just("pkt"),
-                Just("int"), Just("hash"), Just("x"), Just("."), Just("="),
-                Just("=="), Just("("), Just(")"), Just("{"), Just("}"),
-                Just(";"), Just("+"), Just("?"), Just(":"), Just("7"),
-            ],
-            0..40,
+fn random_stmt(rng: &mut Xoshiro256, depth: u32) -> Stmt {
+    if depth == 0 || rng.gen_bool(0.75) {
+        Stmt::Assign(random_lvalue(rng), random_expr(rng, 3))
+    } else {
+        let then_len = rng.gen_range(1, 2);
+        let else_len = rng.gen_usize(2);
+        Stmt::If(
+            random_expr(rng, 3),
+            (0..then_len).map(|_| random_stmt(rng, depth - 1)).collect(),
+            (0..else_len).map(|_| random_stmt(rng, depth - 1)).collect(),
         )
-    ) {
-        let src = tokens.join(" ");
+    }
+}
+
+fn random_program(rng: &mut Xoshiro256) -> Program {
+    let n = rng.gen_range(1, 4);
+    Program::from_parts(
+        vec!["a".into(), "b".into(), "c".into()],
+        vec!["s0".into(), "s1".into()],
+        vec![0, 0],
+        vec![],
+        (0..n).map(|_| random_stmt(rng, 2)).collect(),
+    )
+}
+
+/// The parser returns a Result on arbitrary input — it never panics.
+#[test]
+fn parser_never_panics() {
+    // A character pool mixing ASCII structure, digits, and multi-byte
+    // UTF-8, to stress the lexer's slicing.
+    let pool: Vec<char> = ('\u{20}'..'\u{7f}')
+        .chain(['\n', '\t', 'é', 'λ', '→', '😀', '\u{0}'])
+        .collect();
+    let mut rng = Xoshiro256::seed_from_u64(0x1a46_0001);
+    for _ in 0..256 {
+        let len = rng.gen_usize(201);
+        let src: String = (0..len).map(|_| *rng.choose(&pool)).collect();
         let _ = parse(&src);
     }
+}
 
-    /// Printing reaches a fixpoint after one parse: the parser renumbers
-    /// packet fields into first-use order (and drops unreferenced names),
-    /// so `parse ∘ print` normalizes — but printing the normalized program
-    /// must reproduce itself exactly, and the program shape must survive.
-    #[test]
-    fn pretty_printer_roundtrips(prog in arb_program()) {
+/// Domino-flavoured garbage (keywords, braces, operators in random order)
+/// also parses or errors gracefully.
+#[test]
+fn parser_never_panics_on_tokeny_garbage() {
+    const TOKENS: &[&str] = &[
+        "state", "if", "else", "pkt", "int", "hash", "x", ".", "=", "==", "(", ")", "{", "}", ";",
+        "+", "?", ":", "7",
+    ];
+    let mut rng = Xoshiro256::seed_from_u64(0x1a46_0002);
+    for _ in 0..256 {
+        let n = rng.gen_usize(40);
+        let src = (0..n)
+            .map(|_| *rng.choose(TOKENS))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = parse(&src);
+    }
+}
+
+/// Printing reaches a fixpoint after one parse: the parser renumbers
+/// packet fields into first-use order (and drops unreferenced names), so
+/// `parse ∘ print` normalizes — but printing the normalized program must
+/// reproduce itself exactly, and the program shape must survive.
+#[test]
+fn pretty_printer_roundtrips() {
+    let mut rng = Xoshiro256::seed_from_u64(0x1a46_0003);
+    for case in 0..256 {
+        let prog = random_program(&mut rng);
         let printed = prog.to_string();
         let reparsed = parse(&printed);
-        prop_assert!(reparsed.is_ok(), "did not reparse:\n{}", printed);
+        assert!(reparsed.is_ok(), "case {case}: did not reparse:\n{printed}");
         let normalized = reparsed.unwrap();
-        prop_assert_eq!(normalized.stmts().len(), prog.stmts().len());
+        assert_eq!(normalized.stmts().len(), prog.stmts().len(), "case {case}");
         let printed2 = normalized.to_string();
         let reparsed2 = parse(&printed2).expect("normalized form reparses");
-        prop_assert_eq!(&reparsed2, &normalized, "not a fixpoint:\n{}", printed2);
-        prop_assert_eq!(printed2, normalized.to_string());
+        assert_eq!(
+            &reparsed2, &normalized,
+            "case {case}: not a fixpoint:\n{printed2}"
+        );
+        assert_eq!(printed2, normalized.to_string(), "case {case}");
     }
 }

@@ -32,8 +32,7 @@ pub use mutators::{apply, enumerate, MutationKind, ALL_KINDS};
 pub use verify::equivalent;
 
 use chipmunk_lang::Program;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use chipmunk_trace::rng::Xoshiro256;
 
 /// Generate `n` verified, pairwise-distinct, semantics-preserving mutations
 /// of `prog` (which must be hash-free; run
@@ -45,17 +44,17 @@ pub fn mutations(prog: &Program, seed: u64, n: usize) -> Vec<Program> {
         !prog.stmts().iter().any(|s| s.contains_hash()),
         "eliminate hashes before mutating"
     );
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256::seed_from_u64(seed);
     let mut out: Vec<Program> = Vec::with_capacity(n);
     let mut attempts = 0;
     while out.len() < n && attempts < n * 400 {
         attempts += 1;
         // Chain 1–3 random mutators.
-        let rounds = rng.gen_range(1..=3);
+        let rounds = rng.gen_range(1, 3);
         let mut cand = prog.clone();
         let mut applied = 0;
         for _ in 0..rounds {
-            let kind = ALL_KINDS[rng.gen_range(0..ALL_KINDS.len())];
+            let kind = *rng.choose(ALL_KINDS);
             if mutators::apply(kind, &mut cand, &mut rng) {
                 applied += 1;
             }

@@ -5,8 +5,7 @@
 //! unbiased and deterministic under the caller's RNG.
 
 use chipmunk_lang::{BinOp, Expr, Program, Stmt, UnOp};
-use rand::rngs::StdRng;
-use rand::Rng;
+use chipmunk_trace::rng::Xoshiro256;
 
 /// The mutation classes.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -86,12 +85,12 @@ pub fn enumerate(kind: MutationKind, prog: &Program) -> Vec<Program> {
 
 /// Apply one mutation of the given kind at a random site. Returns false if
 /// the program has no applicable site.
-pub fn apply(kind: MutationKind, prog: &mut Program, rng: &mut StdRng) -> bool {
+pub fn apply(kind: MutationKind, prog: &mut Program, rng: &mut Xoshiro256) -> bool {
     let sites = count_sites(kind, prog);
     if sites == 0 {
         return false;
     }
-    let site = rng.gen_range(0..sites);
+    let site = rng.gen_usize(sites);
     let use_mul = rng.gen_bool(0.5);
     apply_at(kind, prog, site, use_mul)
 }
@@ -290,7 +289,7 @@ fn for_each_expr(stmts: &mut [Stmt], f: &mut impl FnMut(&mut Expr)) {
 }
 
 /// Visit every statement node.
-fn for_each_stmt(stmts: &mut Vec<Stmt>, f: &mut impl FnMut(&mut Stmt)) {
+fn for_each_stmt(stmts: &mut [Stmt], f: &mut impl FnMut(&mut Stmt)) {
     let mut i = 0;
     while i < stmts.len() {
         // Recurse first so nested sites are visited; then the node itself.
@@ -375,9 +374,7 @@ fn hoist_subexpr(prog: &mut Program, site: usize) -> bool {
     let mut n = prog.local_names().len();
     let name = loop {
         let cand = format!("hoist_{n}");
-        if !prog.local_names().iter().any(|l| *l == cand)
-            && !prog.state_names().iter().any(|l| *l == cand)
-        {
+        if !prog.local_names().contains(&cand) && !prog.state_names().contains(&cand) {
             break cand;
         }
         n += 1;
@@ -399,7 +396,6 @@ mod tests {
     use super::*;
     use crate::verify::equivalent;
     use chipmunk_lang::parse;
-    use rand::SeedableRng;
 
     /// Apply `kind` at several seeds; every application must preserve
     /// semantics. Returns whether it ever applied.
@@ -407,7 +403,7 @@ mod tests {
         let prog = parse(src).unwrap();
         let mut any = false;
         for seed in 0..12u64 {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Xoshiro256::seed_from_u64(seed);
             let mut cand = prog.clone();
             if apply(kind, &mut cand, &mut rng) {
                 any = true;
@@ -452,7 +448,7 @@ mod tests {
     #[test]
     fn commute_actually_changes_ast() {
         let prog = parse("pkt.x = pkt.a + pkt.b;").unwrap();
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Xoshiro256::seed_from_u64(0);
         let mut cand = prog.clone();
         assert!(apply(MutationKind::CommuteOperands, &mut cand, &mut rng));
         assert_ne!(prog, cand);
@@ -461,7 +457,7 @@ mod tests {
     #[test]
     fn hoist_adds_local_at_top_level_only() {
         let prog = parse("pkt.x = pkt.a + pkt.b;").unwrap();
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Xoshiro256::seed_from_u64(0);
         let mut cand = prog.clone();
         assert!(apply(MutationKind::HoistSubexpr, &mut cand, &mut rng));
         assert_eq!(cand.local_names().len(), 1);
@@ -472,7 +468,7 @@ mod tests {
     #[test]
     fn inapplicable_kind_returns_false() {
         let prog = parse("pkt.x = 0;").unwrap();
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Xoshiro256::seed_from_u64(0);
         let mut cand = prog.clone();
         assert!(!apply(MutationKind::NegateBranch, &mut cand, &mut rng));
         assert_eq!(cand, prog);

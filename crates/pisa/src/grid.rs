@@ -5,13 +5,11 @@
 //! [`Pipeline`] executes the configured grid one packet at a time at a
 //! chosen bit width.
 
-use serde::{Deserialize, Serialize};
-
 use crate::stateful::StatefulAluSpec;
 use crate::stateless::{eval_alu, StatelessAluSpec};
 
 /// Shape and ALU types of a simulated switch.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct GridSpec {
     /// Number of pipeline stages (the x axis of the grid).
     pub stages: usize,
@@ -40,7 +38,7 @@ impl GridSpec {
 
 /// Configuration of one stateless ALU instance (Table 1: opcode, input mux
 /// controls, immediate operand).
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct StatelessConfig {
     /// Opcode, encoded as an index into [`StatelessAluSpec::ops`]
     /// (out-of-range clamps to the last opcode, like the hardware mux).
@@ -55,7 +53,7 @@ pub struct StatelessConfig {
 
 /// Configuration of one stateful ALU instance (Table 1: state-variable
 /// allocation, input mux controls, template holes).
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct StatefulConfig {
     /// Which program state variable this ALU holds, if any. In canonical
     /// allocation, slot `i` may only hold state variable `i` (Figure 4 of
@@ -69,7 +67,7 @@ pub struct StatefulConfig {
 
 /// Output-mux selection for one container (Table 1: where a container's
 /// next value comes from).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum OutMuxSel {
     /// The container's own stateless ALU output ("destination").
     Stateless,
@@ -78,7 +76,7 @@ pub enum OutMuxSel {
 }
 
 /// Configuration of one pipeline stage.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct StageConfig {
     /// One stateless ALU per slot.
     pub stateless: Vec<StatelessConfig>,
@@ -89,7 +87,7 @@ pub struct StageConfig {
 }
 
 /// A complete hardware configuration for a [`GridSpec`].
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct PipelineConfig {
     /// Per-stage configuration, length = `GridSpec::stages`.
     pub stages: Vec<StageConfig>,
@@ -166,7 +164,7 @@ impl PipelineConfig {
 
 /// Resource usage extracted from a configuration, the metric of the paper's
 /// Figure 5.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct ResourceUsage {
     /// Number of pipeline stages that perform useful work.
     pub stages_used: usize,
@@ -329,6 +327,205 @@ pub fn resources_of(spec: &GridSpec, config: &PipelineConfig) -> ResourceUsage {
         stages_used,
         max_alus_per_stage: max_alus,
         total_alus: total,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON (de)serialization. Hand-rolled on chipmunk_trace::json; the wire
+// format matches what serde used to emit so existing result files parse.
+// ---------------------------------------------------------------------------
+
+use chipmunk_trace::json::Json;
+
+fn get_u64(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field `{key}`"))
+}
+
+fn get_usize(v: &Json, key: &str) -> Result<usize, String> {
+    Ok(get_u64(v, key)? as usize)
+}
+
+fn get_arr<'a>(v: &'a Json, key: &str) -> Result<&'a [Json], String> {
+    v.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing or non-array field `{key}`"))
+}
+
+impl StatelessConfig {
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("opcode", Json::from(self.opcode)),
+            ("imm", Json::from(self.imm)),
+            ("mux_a", Json::from(self.mux_a)),
+            ("mux_b", Json::from(self.mux_b)),
+        ])
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(StatelessConfig {
+            opcode: get_u64(v, "opcode")?,
+            imm: get_u64(v, "imm")?,
+            mux_a: get_usize(v, "mux_a")?,
+            mux_b: get_usize(v, "mux_b")?,
+        })
+    }
+}
+
+impl StatefulConfig {
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "state_var",
+                match self.state_var {
+                    Some(v) => Json::from(v),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "pkt_muxes",
+                Json::Arr(self.pkt_muxes.iter().map(|&m| Json::from(m)).collect()),
+            ),
+            (
+                "holes",
+                Json::Arr(self.holes.iter().map(|&h| Json::from(h)).collect()),
+            ),
+        ])
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let state_var = match v.get("state_var") {
+            None | Some(Json::Null) => None,
+            Some(sv) => Some(
+                sv.as_u64()
+                    .ok_or_else(|| "non-integer `state_var`".to_string())? as usize,
+            ),
+        };
+        let pkt_muxes = get_arr(v, "pkt_muxes")?
+            .iter()
+            .map(|m| m.as_u64().map(|x| x as usize))
+            .collect::<Option<Vec<_>>>()
+            .ok_or_else(|| "non-integer pkt mux".to_string())?;
+        let holes = get_arr(v, "holes")?
+            .iter()
+            .map(Json::as_u64)
+            .collect::<Option<Vec<_>>>()
+            .ok_or_else(|| "non-integer hole".to_string())?;
+        Ok(StatefulConfig {
+            state_var,
+            pkt_muxes,
+            holes,
+        })
+    }
+}
+
+impl OutMuxSel {
+    /// Serialize to JSON (externally tagged, like serde's enum encoding).
+    pub fn to_json(&self) -> Json {
+        match self {
+            OutMuxSel::Stateless => Json::from("Stateless"),
+            OutMuxSel::Stateful(k) => Json::obj([("Stateful", Json::from(*k))]),
+        }
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        if v.as_str() == Some("Stateless") {
+            return Ok(OutMuxSel::Stateless);
+        }
+        if let Some(k) = v.get("Stateful").and_then(Json::as_u64) {
+            return Ok(OutMuxSel::Stateful(k as usize));
+        }
+        Err(format!("invalid out-mux selection: {v}"))
+    }
+}
+
+impl StageConfig {
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "stateless",
+                Json::Arr(self.stateless.iter().map(|s| s.to_json()).collect()),
+            ),
+            (
+                "stateful",
+                Json::Arr(self.stateful.iter().map(|s| s.to_json()).collect()),
+            ),
+            (
+                "out_mux",
+                Json::Arr(self.out_mux.iter().map(|s| s.to_json()).collect()),
+            ),
+        ])
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(StageConfig {
+            stateless: get_arr(v, "stateless")?
+                .iter()
+                .map(StatelessConfig::from_json)
+                .collect::<Result<_, _>>()?,
+            stateful: get_arr(v, "stateful")?
+                .iter()
+                .map(StatefulConfig::from_json)
+                .collect::<Result<_, _>>()?,
+            out_mux: get_arr(v, "out_mux")?
+                .iter()
+                .map(OutMuxSel::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+impl PipelineConfig {
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj([(
+            "stages",
+            Json::Arr(self.stages.iter().map(|s| s.to_json()).collect()),
+        )])
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(PipelineConfig {
+            stages: get_arr(v, "stages")?
+                .iter()
+                .map(StageConfig::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+
+    /// Parse a configuration from JSON text.
+    pub fn from_json_str(text: &str) -> Result<Self, String> {
+        let v = Json::parse(text).map_err(|e| e.to_string())?;
+        Self::from_json(&v)
+    }
+}
+
+impl ResourceUsage {
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("stages_used", Json::from(self.stages_used)),
+            ("max_alus_per_stage", Json::from(self.max_alus_per_stage)),
+            ("total_alus", Json::from(self.total_alus)),
+        ])
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(ResourceUsage {
+            stages_used: get_usize(v, "stages_used")?,
+            max_alus_per_stage: get_usize(v, "max_alus_per_stage")?,
+            total_alus: get_usize(v, "total_alus")?,
+        })
     }
 }
 

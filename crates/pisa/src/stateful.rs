@@ -18,13 +18,12 @@
 //! `nested_ifs`.
 
 use chipmunk_bv::{BvOp, Circuit, TermId};
-use serde::{Deserialize, Serialize};
 
 use crate::stateless::bits_for;
 use crate::symutil::{select_chain, select_concrete};
 
 /// Relational operators selectable inside templates.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum RelOp {
     /// `==`
     Eq,
@@ -65,7 +64,7 @@ impl RelOp {
 }
 
 /// Value-producing template expressions.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum AluExpr {
     /// The ALU's state register (value before this packet).
     State,
@@ -104,18 +103,20 @@ pub enum AluExpr {
 
 impl AluExpr {
     /// Boxed-addition helper.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(a: AluExpr, b: AluExpr) -> AluExpr {
         AluExpr::Add(Box::new(a), Box::new(b))
     }
 
     /// Boxed-subtraction helper.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(a: AluExpr, b: AluExpr) -> AluExpr {
         AluExpr::Sub(Box::new(a), Box::new(b))
     }
 }
 
 /// Predicate template expressions.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum AluPred {
     /// A fixed relational comparison.
     Rel {
@@ -150,7 +151,7 @@ pub enum AluPred {
 }
 
 /// A stateful ALU description: its holes and its behaviour template.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct StatefulAluSpec {
     /// Template name (e.g. `"if_else_raw"`).
     pub name: String,

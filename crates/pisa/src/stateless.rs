@@ -13,14 +13,13 @@
 //! for the synthesis-speed heuristic discussed in §3.
 
 use chipmunk_bv::{BvOp, Circuit, TermId};
-use serde::{Deserialize, Serialize};
 
 use crate::symutil::select_chain;
 
 /// One stateless ALU operation over operands `a`, `b` and immediate `imm`.
 ///
 /// Predicates produce 0/1. Logical operations treat nonzero as true.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum StatelessOp {
     /// `a + b`
     Add,
@@ -112,7 +111,7 @@ impl StatelessOp {
 }
 
 /// Configuration-time description of the stateless ALU hardware.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct StatelessAluSpec {
     /// Opcodes the ALU supports, in hole-encoding order.
     pub ops: Vec<StatelessOp>,

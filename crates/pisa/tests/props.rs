@@ -1,12 +1,13 @@
-//! Property tests for the PISA simulator: configurations survive JSON
+//! Randomized tests for the PISA simulator: configurations survive JSON
 //! round-trips, execution is deterministic and width-masked, and resource
-//! accounting stays within physical bounds.
+//! accounting stays within physical bounds. Seeded, so every run checks
+//! the same 128-configuration corpus.
 
 use chipmunk_pisa::stateful::library;
 use chipmunk_pisa::{
     GridSpec, OutMuxSel, Pipeline, PipelineConfig, StageConfig, StatefulConfig, StatelessConfig,
 };
-use proptest::prelude::*;
+use chipmunk_trace::rng::Xoshiro256;
 
 const STAGES: usize = 2;
 const SLOTS: usize = 2;
@@ -15,72 +16,66 @@ fn grid() -> GridSpec {
     GridSpec::new(STAGES, SLOTS, library::if_else_raw(3), 3)
 }
 
-prop_compose! {
-    fn arb_stateless()(opcode in 0u64..32, imm in 0u64..8, mux_a in 0..SLOTS, mux_b in 0..SLOTS)
-        -> StatelessConfig
-    {
-        StatelessConfig { opcode, imm, mux_a, mux_b }
+fn random_stateless(rng: &mut Xoshiro256) -> StatelessConfig {
+    StatelessConfig {
+        opcode: rng.gen_u64_below(32),
+        imm: rng.gen_u64_below(8),
+        mux_a: rng.gen_usize(SLOTS),
+        mux_b: rng.gen_usize(SLOTS),
     }
 }
 
-fn arb_config(num_states: usize) -> impl Strategy<Value = PipelineConfig> {
+fn random_config(rng: &mut Xoshiro256, num_states: usize) -> PipelineConfig {
     let nh = library::if_else_raw(3).holes.len();
     // Which stage hosts each state variable (canonical rows).
-    let stage_of: Vec<_> = (0..num_states).map(|_| 0..STAGES).collect();
-    (
-        stage_of,
-        prop::collection::vec(arb_stateless(), STAGES * SLOTS),
-        prop::collection::vec(0u64..16, STAGES * SLOTS * nh),
-        prop::collection::vec(0usize..SLOTS + 2, STAGES * SLOTS),
-        prop::collection::vec(0usize..SLOTS, STAGES * SLOTS * 2),
-    )
-        .prop_map(move |(stage_of, stateless, holes, omux, pkt_muxes)| {
-            let stages = (0..STAGES)
-                .map(|s| StageConfig {
-                    stateless: stateless[s * SLOTS..(s + 1) * SLOTS].to_vec(),
-                    stateful: (0..SLOTS)
-                        .map(|j| StatefulConfig {
-                            state_var: (j < stage_of.len() && stage_of[j] == s).then_some(j),
-                            pkt_muxes: (0..2).map(|k| pkt_muxes[(s * SLOTS + j) * 2 + k]).collect(),
-                            holes: (0..nh).map(|k| holes[(s * SLOTS + j) * nh + k]).collect(),
-                        })
-                        .collect(),
-                    out_mux: (0..SLOTS)
-                        .map(|j| {
-                            let v = omux[s * SLOTS + j];
-                            if v < SLOTS {
-                                OutMuxSel::Stateful(v)
-                            } else {
-                                OutMuxSel::Stateless
-                            }
-                        })
-                        .collect(),
+    let stage_of: Vec<usize> = (0..num_states).map(|_| rng.gen_usize(STAGES)).collect();
+    let stages = (0..STAGES)
+        .map(|s| StageConfig {
+            stateless: (0..SLOTS).map(|_| random_stateless(rng)).collect(),
+            stateful: (0..SLOTS)
+                .map(|j| StatefulConfig {
+                    state_var: (j < stage_of.len() && stage_of[j] == s).then_some(j),
+                    pkt_muxes: (0..2).map(|_| rng.gen_usize(SLOTS)).collect(),
+                    holes: (0..nh).map(|_| rng.gen_u64_below(16)).collect(),
                 })
-                .collect();
-            PipelineConfig { stages }
+                .collect(),
+            out_mux: (0..SLOTS)
+                .map(|_| {
+                    let v = rng.gen_usize(SLOTS + 2);
+                    if v < SLOTS {
+                        OutMuxSel::Stateful(v)
+                    } else {
+                        OutMuxSel::Stateless
+                    }
+                })
+                .collect(),
         })
+        .collect();
+    PipelineConfig { stages }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Serde JSON round-trip is the identity on configurations.
-    #[test]
-    fn config_roundtrips_through_json(cfg in arb_config(2)) {
-        let json = serde_json::to_string(&cfg).expect("serializes");
-        let back: PipelineConfig = serde_json::from_str(&json).expect("parses");
-        prop_assert_eq!(cfg, back);
+/// The JSON round-trip is the identity on configurations.
+#[test]
+fn config_roundtrips_through_json() {
+    let mut rng = Xoshiro256::seed_from_u64(0x9154_0001);
+    for case in 0..128 {
+        let cfg = random_config(&mut rng, 2);
+        let json = cfg.to_json().to_compact();
+        let back = PipelineConfig::from_json_str(&json).expect("parses");
+        assert_eq!(cfg, back, "case {case}: {json}");
     }
+}
 
-    /// Execution is deterministic, masked to the width, and state updates
-    /// are reproducible from the same seed state.
-    #[test]
-    fn execution_is_deterministic_and_masked(
-        cfg in arb_config(2),
-        phv in prop::collection::vec(0u64..1024, SLOTS),
-        s0 in 0u64..1024,
-        s1 in 0u64..1024,
-    ) {
+/// Execution is deterministic, masked to the width, and state updates are
+/// reproducible from the same seed state.
+#[test]
+fn execution_is_deterministic_and_masked() {
+    let mut rng = Xoshiro256::seed_from_u64(0x9154_0002);
+    for case in 0..128 {
+        let cfg = random_config(&mut rng, 2);
+        let phv: Vec<u64> = (0..SLOTS).map(|_| rng.gen_u64_below(1024)).collect();
+        let s0 = rng.gen_u64_below(1024);
+        let s1 = rng.gen_u64_below(1024);
         let width = 6u8;
         let mask = (1u64 << width) - 1;
         let run = || {
@@ -92,21 +87,25 @@ proptest! {
         };
         let (o1, a1, b1) = run();
         let (o2, a2, b2) = run();
-        prop_assert_eq!(&o1, &o2);
-        prop_assert_eq!((a1, b1), (a2, b2));
+        assert_eq!(&o1, &o2, "case {case}");
+        assert_eq!((a1, b1), (a2, b2), "case {case}");
         for v in o1 {
-            prop_assert!(v <= mask);
+            assert!(v <= mask, "case {case}: unmasked output {v}");
         }
-        prop_assert!(a1 <= mask && b1 <= mask);
+        assert!(a1 <= mask && b1 <= mask, "case {case}: unmasked state");
     }
+}
 
-    /// Resource accounting never exceeds the physical grid.
-    #[test]
-    fn resources_within_bounds(cfg in arb_config(2)) {
+/// Resource accounting never exceeds the physical grid.
+#[test]
+fn resources_within_bounds() {
+    let mut rng = Xoshiro256::seed_from_u64(0x9154_0003);
+    for case in 0..128 {
+        let cfg = random_config(&mut rng, 2);
         let g = grid();
         let r = chipmunk_pisa::grid::resources_of(&g, &cfg);
-        prop_assert!(r.stages_used <= g.stages);
-        prop_assert!(r.max_alus_per_stage <= 2 * g.slots);
-        prop_assert!(r.total_alus <= 2 * g.slots * g.stages);
+        assert!(r.stages_used <= g.stages, "case {case}");
+        assert!(r.max_alus_per_stage <= 2 * g.slots, "case {case}");
+        assert!(r.total_alus <= 2 * g.slots * g.stages, "case {case}");
     }
 }

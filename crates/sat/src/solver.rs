@@ -250,6 +250,45 @@ impl Solver {
     /// The internal trail is reset, so the solver can be reused (with more
     /// clauses or different assumptions) afterwards.
     pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
+        let mut sp = chipmunk_trace::span!(
+            "sat.solve",
+            vars = self.num_vars(),
+            clauses = self.clause_count_hint(),
+            assumptions = assumptions.len(),
+        );
+        let before = self.stats;
+        let res = self.solve_impl(assumptions);
+        if chipmunk_trace::enabled() {
+            let d = |a: u64, b: u64| a.saturating_sub(b);
+            sp.record(
+                "result",
+                match res {
+                    SolveResult::Sat => "sat",
+                    SolveResult::Unsat => "unsat",
+                    SolveResult::Unknown => "unknown",
+                },
+            );
+            sp.record("conflicts", d(self.stats.conflicts, before.conflicts));
+            sp.record("decisions", d(self.stats.decisions, before.decisions));
+            sp.record(
+                "propagations",
+                d(self.stats.propagations, before.propagations),
+            );
+            sp.record("restarts", d(self.stats.restarts, before.restarts));
+            chipmunk_trace::counter_add!(
+                "sat.conflicts",
+                d(self.stats.conflicts, before.conflicts)
+            );
+            chipmunk_trace::counter_add!(
+                "sat.propagations",
+                d(self.stats.propagations, before.propagations)
+            );
+            chipmunk_trace::counter_add!("sat.solves", 1);
+        }
+        res
+    }
+
+    fn solve_impl(&mut self, assumptions: &[Lit]) -> SolveResult {
         if !self.ok {
             return SolveResult::Unsat;
         }
@@ -643,6 +682,11 @@ impl Solver {
             self.stats.deleted += 1;
         }
         self.max_learnts *= 1.1;
+        chipmunk_trace::event!(
+            "sat.reduce_db",
+            deleted = to_delete,
+            learnts = self.num_learnts,
+        );
     }
 
     /// Search for up to `conflict_limit` conflicts.

@@ -1,16 +1,22 @@
-//! Property tests: the CDCL solver must agree with brute-force enumeration
-//! on every small random formula, under every usage pattern (one-shot,
-//! with assumptions, incremental clause addition).
+//! Randomized tests: the CDCL solver must agree with brute-force
+//! enumeration on every small random formula, under every usage pattern
+//! (one-shot, with assumptions, incremental clause addition). Seeded, so
+//! every run checks the same 300-formula corpus.
 
 use chipmunk_sat::{Lit, SolveResult, Solver, Var};
-use proptest::prelude::*;
+use chipmunk_trace::rng::Xoshiro256;
 
 /// A clause is a nonempty vector of (var, polarity) over `num_vars`.
-fn arb_cnf(num_vars: usize) -> impl Strategy<Value = Vec<Vec<(usize, bool)>>> {
-    prop::collection::vec(
-        prop::collection::vec((0..num_vars, any::<bool>()), 1..4),
-        1..30,
-    )
+fn random_cnf(rng: &mut Xoshiro256, num_vars: usize) -> Vec<Vec<(usize, bool)>> {
+    let num_clauses = rng.gen_range(1, 29);
+    (0..num_clauses)
+        .map(|_| {
+            let len = rng.gen_range(1, 3);
+            (0..len)
+                .map(|_| (rng.gen_usize(num_vars), rng.gen_bool(0.5)))
+                .collect()
+        })
+        .collect()
 }
 
 fn brute_force_sat(num_vars: usize, cnf: &[Vec<(usize, bool)>], fixed: &[(usize, bool)]) -> bool {
@@ -37,57 +43,77 @@ fn build(num_vars: usize, cnf: &[Vec<(usize, bool)>]) -> (Solver, Vec<Var>) {
     (s, vars)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(300))]
-
-    /// One-shot solving matches brute force, and SAT models really satisfy
-    /// the formula.
-    #[test]
-    fn matches_brute_force(cnf in arb_cnf(8)) {
+/// One-shot solving matches brute force, and SAT models really satisfy
+/// the formula.
+#[test]
+fn matches_brute_force() {
+    let mut rng = Xoshiro256::seed_from_u64(0x5a7_0001);
+    for case in 0..300 {
+        let cnf = random_cnf(&mut rng, 8);
         let want = brute_force_sat(8, &cnf, &[]);
         let (mut s, vars) = build(8, &cnf);
         match s.solve(&[]) {
             SolveResult::Sat => {
-                prop_assert!(want);
+                assert!(want, "case {case}: solver SAT, brute force UNSAT: {cnf:?}");
                 for c in &cnf {
-                    prop_assert!(c.iter().any(|&(v, pol)| {
-                        s.value(vars[v]) == Some(pol)
-                    }), "model does not satisfy {c:?}");
+                    assert!(
+                        c.iter().any(|&(v, pol)| s.value(vars[v]) == Some(pol)),
+                        "case {case}: model does not satisfy {c:?}"
+                    );
                 }
             }
-            SolveResult::Unsat => prop_assert!(!want),
-            SolveResult::Unknown => prop_assert!(false, "no budget was set"),
+            SolveResult::Unsat => {
+                assert!(!want, "case {case}: solver UNSAT, brute force SAT: {cnf:?}")
+            }
+            SolveResult::Unknown => panic!("case {case}: no budget was set"),
         }
     }
+}
 
-    /// Solving under assumptions matches brute force with those variables
-    /// fixed — and never pollutes later unassumed solves.
-    #[test]
-    fn assumptions_match_brute_force(
-        cnf in arb_cnf(7),
-        a0 in any::<bool>(),
-        a1 in any::<bool>(),
-    ) {
+/// Solving under assumptions matches brute force with those variables
+/// fixed — and never pollutes later unassumed solves.
+#[test]
+fn assumptions_match_brute_force() {
+    let mut rng = Xoshiro256::seed_from_u64(0x5a7_0002);
+    for case in 0..300 {
+        let cnf = random_cnf(&mut rng, 7);
+        let (a0, a1) = (rng.gen_bool(0.5), rng.gen_bool(0.5));
         let (mut s, vars) = build(7, &cnf);
         let assumptions = [Lit::new(vars[0], a0), Lit::new(vars[1], a1)];
         let want = brute_force_sat(7, &cnf, &[(0, a0), (1, a1)]);
         let got = s.solve(&assumptions);
-        prop_assert_eq!(got == SolveResult::Sat, want);
+        assert_eq!(
+            got == SolveResult::Sat,
+            want,
+            "case {case}: under assumptions ({a0}, {a1}): {cnf:?}"
+        );
         // The solver must remain reusable and unconstrained afterwards.
         let want_free = brute_force_sat(7, &cnf, &[]);
-        prop_assert_eq!(s.solve(&[]) == SolveResult::Sat, want_free);
+        assert_eq!(
+            s.solve(&[]) == SolveResult::Sat,
+            want_free,
+            "case {case}: free solve after assumptions: {cnf:?}"
+        );
     }
+}
 
-    /// Incremental clause addition behaves as if the formula had been
-    /// given up front.
-    #[test]
-    fn incremental_matches_oneshot(cnf in arb_cnf(7)) {
+/// Incremental clause addition behaves as if the formula had been given up
+/// front.
+#[test]
+fn incremental_matches_oneshot() {
+    let mut rng = Xoshiro256::seed_from_u64(0x5a7_0003);
+    for case in 0..300 {
+        let cnf = random_cnf(&mut rng, 7);
         let (mut s, vars) = build(7, &cnf[..cnf.len() / 2]);
         let _ = s.solve(&[]);
         for c in &cnf[cnf.len() / 2..] {
             s.add_clause(c.iter().map(|&(v, pol)| Lit::new(vars[v], pol)));
         }
         let want = brute_force_sat(7, &cnf, &[]);
-        prop_assert_eq!(s.solve(&[]) == SolveResult::Sat, want);
+        assert_eq!(
+            s.solve(&[]) == SolveResult::Sat,
+            want,
+            "case {case}: incremental: {cnf:?}"
+        );
     }
 }

@@ -1,0 +1,669 @@
+//! A minimal JSON value tree, writer, and parser.
+//!
+//! The sandbox this workspace builds in has no crates.io access, so the
+//! usual `serde`/`serde_json` pair is replaced by this hand-rolled module.
+//! It covers exactly what the workspace needs: emitting trace events and
+//! experiment results as JSON, and reading them back (`figure5 --load`,
+//! `chipmunkc trace-report`).
+//!
+//! Numbers keep their integer-ness: `u64` and `i64` round-trip exactly
+//! (floats go through Rust's shortest-round-trip `Display`), which matters
+//! for hole values and counters that do not fit in an `f64` mantissa.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer (parser only produces this for values < 0).
+    I64(i64),
+    /// A floating-point number. Non-finite values serialize as `null`.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Key order is preserved; keys are not deduplicated.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build an object from key/value pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Look up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(v) => Some(*v),
+            Json::I64(v) => u64::try_from(*v).ok(),
+            Json::F64(v) if v.fract() == 0.0 && *v >= 0.0 && *v <= u64::MAX as f64 => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a signed integer, if it is one.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::U64(v) => i64::try_from(*v).ok(),
+            Json::I64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a float (integers coerce).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::U64(v) => Some(*v as f64),
+            Json::I64(v) => Some(*v as f64),
+            Json::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Is this `null`?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// Serialize compactly (single line).
+    pub fn to_compact(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s, None, 0);
+        s
+    }
+
+    /// Serialize with two-space indentation.
+    pub fn to_pretty(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s, Some(2), 0);
+        s
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::U64(v) => out.push_str(&v.to_string()),
+            Json::I64(v) => out.push_str(&v.to_string()),
+            Json::F64(v) => {
+                if v.is_finite() {
+                    // Rust's Display is shortest-round-trip; ensure the
+                    // token stays a JSON number (Display never emits `inf`
+                    // here because we checked finiteness).
+                    let s = v.to_string();
+                    out.push_str(&s);
+                    // `1` would re-parse as an integer, which is fine for
+                    // every consumer in this workspace.
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => escape_into(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, it) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    it.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    escape_into(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a complete JSON document (trailing whitespace allowed).
+    pub fn parse(text: &str) -> Result<Json, ParseError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(v)
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_compact())
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::U64(v)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::U64(v as u64)
+    }
+}
+impl From<u8> for Json {
+    fn from(v: u8) -> Json {
+        Json::U64(v as u64)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::U64(v as u64)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        if v >= 0 {
+            Json::U64(v as u64)
+        } else {
+            Json::I64(v)
+        }
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::F64(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(v: Option<T>) -> Json {
+        match v {
+            Some(x) => x.into(),
+            None => Json::Null,
+        }
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Json {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Append the JSON string literal for `s` (quotes included) to `out`.
+pub fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(n) = indent {
+        out.push('\n');
+        for _ in 0..n * depth {
+            out.push(' ');
+        }
+    }
+}
+
+/// A parse failure: byte offset plus message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure in the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "json parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: msg.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => {
+                if self.literal("null") {
+                    Ok(Json::Null)
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b't') => {
+                if self.literal("true") {
+                    Ok(Json::Bool(true))
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b'f') => {
+                if self.literal("false") {
+                    Ok(Json::Bool(false))
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(self.err("expected `,` or `]`")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut pairs = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let val = self.value(depth + 1)?;
+                    pairs.push((key, val));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(pairs));
+                        }
+                        _ => return Err(self.err("expected `,` or `}`")),
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number tokens are ASCII");
+        if !is_float {
+            if text.starts_with('-') {
+                if let Ok(v) = text.parse::<i64>() {
+                    if v == 0 {
+                        return Ok(Json::U64(0));
+                    }
+                    return Ok(Json::I64(v));
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::U64(v));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(v) => Ok(Json::F64(v)),
+            Err(_) => Err(ParseError {
+                offset: start,
+                message: format!("bad number `{text}`"),
+            }),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let ch = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair: require \uXXXX low half.
+                                if !self.literal("\\u") {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let c = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                                char::from_u32(c).ok_or_else(|| self.err("bad surrogate pair"))?
+                            } else {
+                                char::from_u32(hi).ok_or_else(|| self.err("bad \\u escape"))?
+                            };
+                            out.push(ch);
+                            continue; // hex4 already advanced
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is &str, so this
+                    // is always valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let ch = rest.chars().next().expect("peeked non-empty");
+                    if (ch as u32) < 0x20 {
+                        return Err(self.err("raw control character in string"));
+                    }
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let txt = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("bad \\u escape"))?;
+        let v = u32::from_str_radix(txt, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_chars_quotes_and_backslashes() {
+        let mut s = String::new();
+        escape_into(&mut s, "a\"b\\c\nd\te\r\u{08}\u{0c}\u{01}");
+        assert_eq!(s, r#""a\"b\\c\nd\te\r\b\f\u0001""#);
+    }
+
+    #[test]
+    fn escapes_preserve_utf8() {
+        let v = Json::Str("παϰέτο 🐿 done".into());
+        let text = v.to_compact();
+        assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn roundtrips_every_scalar() {
+        for v in [
+            Json::Null,
+            Json::Bool(true),
+            Json::Bool(false),
+            Json::U64(0),
+            Json::U64(u64::MAX),
+            Json::I64(-1),
+            Json::I64(i64::MIN),
+            Json::F64(1.5),
+            Json::F64(-0.001220703125),
+            Json::Str(String::new()),
+            Json::Str("\\\"\n".into()),
+        ] {
+            let text = v.to_compact();
+            assert_eq!(Json::parse(&text).unwrap(), v, "text = {text}");
+        }
+    }
+
+    #[test]
+    fn u64_max_survives_exactly() {
+        // 2^64 - 1 is not representable in f64; the integer path must win.
+        let text = u64::MAX.to_string();
+        assert_eq!(Json::parse(&text).unwrap().as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn parses_nested_structures_and_whitespace() {
+        let v = Json::parse(r#" { "a" : [ 1 , 2.5 , { "b" : null } ] , "c" : "x" , "d" : -3 } "#)
+            .unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[0].as_u64(), Some(1));
+        assert_eq!(v.get("c").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("d").unwrap().as_i64(), Some(-3));
+    }
+
+    #[test]
+    fn parses_unicode_escapes_and_surrogate_pairs() {
+        let v = Json::parse(r#""\u0041\u00e9\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str(), Some("Aé😀"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "\"unterminated",
+            "nul",
+            "{\"a\":}",
+            "01x",
+            "\"\\q\"",
+            "\"\u{01}\"",
+            "1 2",
+            "\"\\ud800x\"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        let deep = "[".repeat(100_000) + &"]".repeat(100_000);
+        assert!(Json::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn pretty_output_reparses() {
+        let v = Json::obj([
+            ("name", Json::from("cegis.synth")),
+            ("fields", Json::obj([("iter", Json::from(3u64))])),
+            ("xs", Json::from(vec![1u64, 2, 3])),
+        ]);
+        assert_eq!(Json::parse(&v.to_pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn nonfinite_floats_serialize_as_null() {
+        assert_eq!(Json::F64(f64::NAN).to_compact(), "null");
+        assert_eq!(Json::F64(f64::INFINITY).to_compact(), "null");
+    }
+}

@@ -1,0 +1,206 @@
+//! Process-wide counters and histograms.
+//!
+//! Counters are `static` atomics registered once per call site via the
+//! [`counter_add!`](crate::counter_add) macro, so the hot-path cost with
+//! tracing disabled is one relaxed load and a branch. Snapshots are
+//! appended to the trace on [`crate::flush`] as `kind = "counter"` records
+//! and aggregated by `chipmunkc trace-report`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A monotonically increasing counter.
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A zeroed counter, usable in `static` position.
+    pub const fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Counter::new()
+    }
+}
+
+/// A power-of-two-bucketed histogram of `u64` samples (bucket `k` counts
+/// values with bit length `k`, i.e. `v == 0 → bucket 0`, otherwise
+/// `bucket = 64 - v.leading_zeros()`).
+pub struct Histogram {
+    buckets: [AtomicU64; 65],
+}
+
+impl Histogram {
+    /// An empty histogram, usable in `static` position.
+    #[allow(clippy::declare_interior_mutable_const)]
+    pub const fn new() -> Self {
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            buckets: [ZERO; 65],
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let b = (64 - v.leading_zeros()) as usize;
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bucket counts (index = bit length of the sample).
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.snapshot().iter().sum()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+static COUNTERS: Mutex<Vec<(&'static str, &'static Counter)>> = Mutex::new(Vec::new());
+static HISTOGRAMS: Mutex<Vec<(&'static str, &'static Histogram)>> = Mutex::new(Vec::new());
+
+/// Register a counter for inclusion in snapshots. Idempotent per name;
+/// the macro layer guarantees one registration per call site.
+pub fn register_counter(name: &'static str, c: &'static Counter) {
+    let mut v = COUNTERS.lock().expect("metrics registry");
+    if !v.iter().any(|(n, _)| *n == name) {
+        v.push((name, c));
+    }
+}
+
+/// Register a histogram for inclusion in snapshots.
+pub fn register_histogram(name: &'static str, h: &'static Histogram) {
+    let mut v = HISTOGRAMS.lock().expect("metrics registry");
+    if !v.iter().any(|(n, _)| *n == name) {
+        v.push((name, h));
+    }
+}
+
+/// All registered counters with their current values, sorted by name.
+pub fn counter_snapshot() -> Vec<(&'static str, u64)> {
+    let mut out: Vec<(&'static str, u64)> = COUNTERS
+        .lock()
+        .expect("metrics registry")
+        .iter()
+        .map(|(n, c)| (*n, c.get()))
+        .collect();
+    out.sort_unstable_by_key(|(n, _)| *n);
+    out
+}
+
+/// All registered histograms with their bucket snapshots, sorted by name.
+pub fn histogram_snapshot() -> Vec<(&'static str, Vec<u64>)> {
+    let mut out: Vec<(&'static str, Vec<u64>)> = HISTOGRAMS
+        .lock()
+        .expect("metrics registry")
+        .iter()
+        .map(|(n, h)| (*n, h.snapshot()))
+        .collect();
+    out.sort_unstable_by_key(|(n, _)| *n);
+    out
+}
+
+/// Bump a named counter when tracing is enabled.
+///
+/// ```
+/// chipmunk_trace::counter_add!("sat.conflicts", 3);
+/// ```
+#[macro_export]
+macro_rules! counter_add {
+    ($name:literal, $n:expr) => {{
+        if $crate::enabled() {
+            static C: $crate::metrics::Counter = $crate::metrics::Counter::new();
+            static REG: ::std::sync::Once = ::std::sync::Once::new();
+            REG.call_once(|| $crate::metrics::register_counter($name, &C));
+            C.add($n as u64);
+        }
+    }};
+}
+
+/// Record a sample in a named histogram when tracing is enabled.
+#[macro_export]
+macro_rules! histogram_record {
+    ($name:literal, $v:expr) => {{
+        if $crate::enabled() {
+            static H: $crate::metrics::Histogram = $crate::metrics::Histogram::new();
+            static REG: ::std::sync::Once = ::std::sync::Once::new();
+            REG.call_once(|| $crate::metrics::register_histogram($name, &H));
+            H.record($v as u64);
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        static C: Counter = Counter::new();
+        register_counter("test.counter.alpha", &C);
+        C.add(2);
+        C.add(3);
+        let snap = counter_snapshot();
+        let (_, v) = snap
+            .iter()
+            .find(|(n, _)| *n == "test.counter.alpha")
+            .expect("registered");
+        assert!(*v >= 5);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let h = Histogram::new();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 1
+        h.record(2); // bucket 2
+        h.record(3); // bucket 2
+        h.record(1 << 40); // bucket 41
+        let snap = h.snapshot();
+        assert_eq!(snap[0], 1);
+        assert_eq!(snap[1], 1);
+        assert_eq!(snap[2], 2);
+        assert_eq!(snap[41], 1);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn duplicate_registration_is_ignored() {
+        static C: Counter = Counter::new();
+        register_counter("test.counter.dup", &C);
+        register_counter("test.counter.dup", &C);
+        let n = counter_snapshot()
+            .iter()
+            .filter(|(n, _)| *n == "test.counter.dup")
+            .count();
+        assert_eq!(n, 1);
+    }
+}

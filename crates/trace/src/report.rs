@@ -1,0 +1,248 @@
+//! Offline aggregation of JSONL traces for `chipmunkc trace-report`.
+//!
+//! Reads the event stream produced by the JSONL sink and folds it into a
+//! per-span breakdown (count, total/mean/max duration, summed numeric
+//! close fields), event counts, and final counter/histogram values.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregate statistics for one span name.
+#[derive(Debug, Default, Clone)]
+pub struct SpanAgg {
+    /// Number of `close` records seen.
+    pub count: u64,
+    /// Sum of `dur_us` over all closes.
+    pub total_us: u64,
+    /// Maximum single `dur_us`.
+    pub max_us: u64,
+    /// Numeric `close` fields summed across all closes (e.g. conflicts).
+    pub work: BTreeMap<String, u64>,
+}
+
+/// A fully aggregated trace.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Per-span aggregates keyed by span name.
+    pub spans: BTreeMap<String, SpanAgg>,
+    /// Point-event counts keyed by event name.
+    pub events: BTreeMap<String, u64>,
+    /// Final counter values (last snapshot wins).
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram bucket lists `(bit_length, count)` (last snapshot wins).
+    pub histograms: BTreeMap<String, Vec<(u64, u64)>>,
+    /// Spans opened but never closed (crash / deadline truncation).
+    pub unclosed: u64,
+    /// Lines that failed to parse (reported, not fatal).
+    pub malformed: u64,
+}
+
+/// Parse and aggregate one JSONL trace.
+pub fn summarize(text: &str) -> Report {
+    let mut rep = Report::default();
+    let mut open_ids: Vec<u64> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Ok(v) = Json::parse(line) else {
+            rep.malformed += 1;
+            continue;
+        };
+        let kind = v.get("kind").and_then(Json::as_str).unwrap_or("");
+        let span = v.get("span").and_then(Json::as_str).unwrap_or("?");
+        match kind {
+            "open" => {
+                if let Some(id) = v.get("id").and_then(Json::as_u64) {
+                    open_ids.push(id);
+                }
+            }
+            "close" => {
+                if let Some(id) = v.get("id").and_then(Json::as_u64) {
+                    if let Some(pos) = open_ids.iter().rposition(|&x| x == id) {
+                        open_ids.remove(pos);
+                    }
+                }
+                let dur = v.get("dur_us").and_then(Json::as_u64).unwrap_or(0);
+                let agg = rep.spans.entry(span.to_string()).or_default();
+                agg.count += 1;
+                agg.total_us += dur;
+                agg.max_us = agg.max_us.max(dur);
+                if let Some(Json::Obj(fields)) = v.get("fields") {
+                    for (k, fv) in fields {
+                        if let Some(n) = fv.as_u64() {
+                            *agg.work.entry(k.clone()).or_insert(0) += n;
+                        }
+                    }
+                }
+            }
+            "event" => {
+                *rep.events.entry(span.to_string()).or_insert(0) += 1;
+            }
+            "counter" => {
+                let val = v
+                    .get("fields")
+                    .and_then(|f| f.get("value"))
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0);
+                rep.counters.insert(span.to_string(), val);
+            }
+            "histogram" => {
+                let buckets = v
+                    .get("fields")
+                    .and_then(|f| f.get("buckets"))
+                    .and_then(Json::as_arr)
+                    .map(|arr| {
+                        arr.iter()
+                            .filter_map(|pair| {
+                                let p = pair.as_arr()?;
+                                Some((p.first()?.as_u64()?, p.get(1)?.as_u64()?))
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                    .unwrap_or_default();
+                rep.histograms.insert(span.to_string(), buckets);
+            }
+            _ => rep.malformed += 1,
+        }
+    }
+    rep.unclosed = open_ids.len() as u64;
+    rep
+}
+
+fn ms(us: u64) -> String {
+    format!("{:.3}", us as f64 / 1000.0)
+}
+
+impl Report {
+    /// Render the human-readable breakdown table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            let name_w = self.spans.keys().map(|s| s.len()).max().unwrap_or(4).max(4);
+            let _ = writeln!(
+                out,
+                "{:<name_w$}  {:>7}  {:>12}  {:>10}  {:>10}  work",
+                "span", "count", "total(ms)", "mean(ms)", "max(ms)"
+            );
+            // Sort by total time descending: the expensive phases first.
+            let mut rows: Vec<(&String, &SpanAgg)> = self.spans.iter().collect();
+            rows.sort_by_key(|&(_, a)| std::cmp::Reverse(a.total_us));
+            for (name, a) in rows {
+                let mean = a.total_us.checked_div(a.count).unwrap_or(0);
+                let work = a
+                    .work
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                let _ = writeln!(
+                    out,
+                    "{name:<name_w$}  {:>7}  {:>12}  {:>10}  {:>10}  {work}",
+                    a.count,
+                    ms(a.total_us),
+                    ms(mean),
+                    ms(a.max_us)
+                );
+            }
+        }
+        if !self.events.is_empty() {
+            let _ = writeln!(out, "\nevents:");
+            for (name, n) in &self.events {
+                let _ = writeln!(out, "  {name:<40} {n:>8}");
+            }
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "\ncounters:");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<40} {v:>12}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(out, "\nhistograms (bucket = sample bit length):");
+            for (name, buckets) in &self.histograms {
+                let total: u64 = buckets.iter().map(|(_, c)| c).sum();
+                let body = buckets
+                    .iter()
+                    .map(|(bit, c)| format!("2^{bit}:{c}"))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                let _ = writeln!(out, "  {name:<40} n={total} {body}");
+            }
+        }
+        if self.unclosed > 0 {
+            let _ = writeln!(
+                out,
+                "\nwarning: {} span(s) opened but never closed (truncated trace?)",
+                self.unclosed
+            );
+        }
+        if self.malformed > 0 {
+            let _ = writeln!(out, "warning: {} malformed line(s) skipped", self.malformed);
+        }
+        if out.is_empty() {
+            out.push_str("empty trace\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+{"ts_us":1,"kind":"open","span":"cegis.run","id":1}
+{"ts_us":2,"kind":"open","span":"cegis.synth","id":2,"parent":1,"fields":{"iter":0}}
+{"ts_us":52,"kind":"close","span":"cegis.synth","id":2,"dur_us":50,"fields":{"conflicts":7}}
+{"ts_us":53,"kind":"event","span":"cegis.cex","parent":1,"fields":{"source":"screen"}}
+{"ts_us":60,"kind":"open","span":"cegis.synth","id":3,"parent":1,"fields":{"iter":1}}
+{"ts_us":90,"kind":"close","span":"cegis.synth","id":3,"dur_us":30,"fields":{"conflicts":5}}
+{"ts_us":99,"kind":"close","span":"cegis.run","id":1,"dur_us":98}
+{"ts_us":100,"kind":"counter","span":"sat.propagations","fields":{"value":1234}}
+{"ts_us":100,"kind":"histogram","span":"bv.clause_len","fields":{"buckets":[[2,10],[3,4]]}}
+"#;
+
+    #[test]
+    fn aggregates_spans_events_counters() {
+        let rep = summarize(SAMPLE);
+        let synth = &rep.spans["cegis.synth"];
+        assert_eq!(synth.count, 2);
+        assert_eq!(synth.total_us, 80);
+        assert_eq!(synth.max_us, 50);
+        assert_eq!(synth.work["conflicts"], 12);
+        assert_eq!(rep.spans["cegis.run"].count, 1);
+        assert_eq!(rep.events["cegis.cex"], 1);
+        assert_eq!(rep.counters["sat.propagations"], 1234);
+        assert_eq!(rep.histograms["bv.clause_len"], vec![(2, 10), (3, 4)]);
+        assert_eq!(rep.unclosed, 0);
+        assert_eq!(rep.malformed, 0);
+    }
+
+    #[test]
+    fn render_contains_expensive_span_first() {
+        let rep = summarize(SAMPLE);
+        let text = rep.render();
+        let run_pos = text.find("cegis.run").expect("run row");
+        let synth_pos = text.find("cegis.synth").expect("synth row");
+        assert!(run_pos < synth_pos, "rows sorted by total time:\n{text}");
+        assert!(text.contains("conflicts=12"));
+        assert!(text.contains("sat.propagations"));
+    }
+
+    #[test]
+    fn tolerates_truncation_and_garbage() {
+        let text = "{\"ts_us\":1,\"kind\":\"open\",\"span\":\"a\",\"id\":9}\nnot json\n";
+        let rep = summarize(text);
+        assert_eq!(rep.unclosed, 1);
+        assert_eq!(rep.malformed, 1);
+        assert!(rep.render().contains("never closed"));
+    }
+
+    #[test]
+    fn empty_trace_renders() {
+        assert_eq!(summarize("").render(), "empty trace\n");
+    }
+}

@@ -14,3 +14,4 @@ pub use chipmunk_pisa as pisa;
 pub use chipmunk_repair as repair;
 pub use chipmunk_sat as sat;
 pub use chipmunk_superopt as superopt;
+pub use chipmunk_trace as trace;

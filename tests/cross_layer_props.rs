@@ -1,111 +1,120 @@
-//! Cross-crate property tests: randomly generated packet transactions must
-//! mean the same thing to every layer of the stack —
+//! Cross-crate randomized tests: randomly generated packet transactions
+//! must mean the same thing to every layer of the stack —
 //!
 //! * the reference interpreter (`chipmunk-lang`),
 //! * the compiled specification circuit (`chipmunk-bv` evaluation),
 //! * the Domino lowering's three-address form (`chipmunk-domino`),
 //!
 //! and the mutation engine must only ever emit equivalent programs.
+//! Seeded, so every run checks the same 96-program corpus per property.
 
 use chipmunk_suite::bv::{Circuit, TermId};
 use chipmunk_suite::lang::spec::compile_spec;
 use chipmunk_suite::lang::{
     BinOp, Expr, Interpreter, LValue, PacketState, Program, Stmt, UnOp, VarRef,
 };
-use proptest::prelude::*;
+use chipmunk_suite::trace::rng::Xoshiro256;
 
 const NUM_FIELDS: usize = 2;
 const NUM_STATES: usize = 2;
 const WIDTH: u8 = 6;
 
+const BINOPS: &[BinOp] = &[
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Eq,
+    BinOp::Ne,
+    BinOp::Lt,
+    BinOp::Ge,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::BitXor,
+];
+
 /// Random expressions over 2 fields, 2 states, small constants.
-fn arb_expr(depth: u32) -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (0u64..16).prop_map(Expr::Int),
-        (0..NUM_FIELDS).prop_map(|i| Expr::Var(VarRef::Field(i))),
-        (0..NUM_STATES).prop_map(|i| Expr::Var(VarRef::State(i))),
-    ];
-    leaf.prop_recursive(depth, 24, 3, |inner| {
-        prop_oneof![
-            (
-                prop_oneof![
-                    Just(BinOp::Add),
-                    Just(BinOp::Sub),
-                    Just(BinOp::Mul),
-                    Just(BinOp::Eq),
-                    Just(BinOp::Ne),
-                    Just(BinOp::Lt),
-                    Just(BinOp::Ge),
-                    Just(BinOp::And),
-                    Just(BinOp::Or),
-                    Just(BinOp::BitXor),
-                ],
-                inner.clone(),
-                inner.clone()
-            )
-                .prop_map(|(op, a, b)| Expr::bin(op, a, b)),
-            (prop_oneof![Just(UnOp::Not), Just(UnOp::Neg)], inner.clone())
-                .prop_map(|(op, x)| Expr::Unary(op, Box::new(x))),
-            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, f)| Expr::Ternary(
-                Box::new(c),
-                Box::new(t),
-                Box::new(f)
-            )),
-        ]
-    })
-}
-
-fn arb_lvalue() -> impl Strategy<Value = LValue> {
-    prop_oneof![
-        (0..NUM_FIELDS).prop_map(LValue::Field),
-        (0..NUM_STATES).prop_map(LValue::State),
-    ]
-}
-
-fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
-    let assign = (arb_lvalue(), arb_expr(2)).prop_map(|(lv, e)| Stmt::Assign(lv, e));
-    if depth == 0 {
-        assign.boxed()
+fn random_expr(rng: &mut Xoshiro256, depth: u32) -> Expr {
+    if depth == 0 || rng.gen_bool(0.4) {
+        match rng.gen_usize(3) {
+            0 => Expr::Int(rng.gen_u64_below(16)),
+            1 => Expr::Var(VarRef::Field(rng.gen_usize(NUM_FIELDS))),
+            _ => Expr::Var(VarRef::State(rng.gen_usize(NUM_STATES))),
+        }
     } else {
-        prop_oneof![
-            3 => (arb_lvalue(), arb_expr(2)).prop_map(|(lv, e)| Stmt::Assign(lv, e)),
-            1 => (
-                arb_expr(1),
-                prop::collection::vec(arb_stmt(depth - 1), 1..3),
-                prop::collection::vec(arb_stmt(depth - 1), 0..3),
-            )
-                .prop_map(|(c, t, f)| Stmt::If(c, t, f)),
-        ]
-        .boxed()
+        match rng.gen_usize(3) {
+            0 => Expr::bin(
+                *rng.choose(BINOPS),
+                random_expr(rng, depth - 1),
+                random_expr(rng, depth - 1),
+            ),
+            1 => Expr::Unary(
+                if rng.gen_bool(0.5) {
+                    UnOp::Not
+                } else {
+                    UnOp::Neg
+                },
+                Box::new(random_expr(rng, depth - 1)),
+            ),
+            _ => Expr::Ternary(
+                Box::new(random_expr(rng, depth - 1)),
+                Box::new(random_expr(rng, depth - 1)),
+                Box::new(random_expr(rng, depth - 1)),
+            ),
+        }
     }
 }
 
-fn arb_program() -> impl Strategy<Value = Program> {
-    prop::collection::vec(arb_stmt(2), 1..5).prop_map(|stmts| {
-        Program::from_parts(
-            vec!["f0".into(), "f1".into()],
-            vec!["s0".into(), "s1".into()],
-            vec![0, 0],
-            vec![],
-            stmts,
+fn random_lvalue(rng: &mut Xoshiro256) -> LValue {
+    if rng.gen_bool(0.5) {
+        LValue::Field(rng.gen_usize(NUM_FIELDS))
+    } else {
+        LValue::State(rng.gen_usize(NUM_STATES))
+    }
+}
+
+fn random_stmt(rng: &mut Xoshiro256, depth: u32) -> Stmt {
+    if depth == 0 || rng.gen_bool(0.75) {
+        Stmt::Assign(random_lvalue(rng), random_expr(rng, 2))
+    } else {
+        let then_len = rng.gen_range(1, 2);
+        let else_len = rng.gen_usize(3);
+        Stmt::If(
+            random_expr(rng, 1),
+            (0..then_len).map(|_| random_stmt(rng, depth - 1)).collect(),
+            (0..else_len).map(|_| random_stmt(rng, depth - 1)).collect(),
         )
-    })
+    }
 }
 
-fn arb_input() -> impl Strategy<Value = PacketState> {
-    (
-        prop::collection::vec(0u64..(1 << WIDTH), NUM_FIELDS),
-        prop::collection::vec(0u64..(1 << WIDTH), NUM_STATES),
+fn random_program(rng: &mut Xoshiro256) -> Program {
+    let n = rng.gen_range(1, 4);
+    Program::from_parts(
+        vec!["f0".into(), "f1".into()],
+        vec!["s0".into(), "s1".into()],
+        vec![0, 0],
+        vec![],
+        (0..n).map(|_| random_stmt(rng, 2)).collect(),
     )
-        .prop_map(|(fields, states)| PacketState { fields, states })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+fn random_input(rng: &mut Xoshiro256) -> PacketState {
+    PacketState {
+        fields: (0..NUM_FIELDS)
+            .map(|_| rng.gen_u64_below(1 << WIDTH))
+            .collect(),
+        states: (0..NUM_STATES)
+            .map(|_| rng.gen_u64_below(1 << WIDTH))
+            .collect(),
+    }
+}
 
-    /// Interpreter and compiled specification circuit agree bit-for-bit.
-    #[test]
-    fn interpreter_matches_spec_circuit(prog in arb_program(), inp in arb_input()) {
+/// Interpreter and compiled specification circuit agree bit-for-bit.
+#[test]
+fn interpreter_matches_spec_circuit() {
+    let mut rng = Xoshiro256::seed_from_u64(0xc055_0001);
+    for case in 0..96 {
+        let prog = random_program(&mut rng);
+        let inp = random_input(&mut rng);
         let interp = Interpreter::new(&prog, WIDTH);
         let want = interp.exec(&inp);
 
@@ -113,34 +122,59 @@ proptest! {
         let fields: Vec<TermId> = (0..NUM_FIELDS).map(|i| c.input(&format!("f{i}"))).collect();
         let states: Vec<TermId> = (0..NUM_STATES).map(|i| c.input(&format!("s{i}"))).collect();
         let outs = compile_spec(&prog, &mut c, &fields, &states);
-        let env: Vec<u64> = inp.fields.iter().chain(inp.states.iter()).copied().collect();
+        let env: Vec<u64> = inp
+            .fields
+            .iter()
+            .chain(inp.states.iter())
+            .copied()
+            .collect();
         let lookup = move |i: chipmunk_suite::bv::InputId| env[i.0 as usize];
-        let roots: Vec<TermId> = outs.field_outs.iter().chain(outs.state_outs.iter()).copied().collect();
+        let roots: Vec<TermId> = outs
+            .field_outs
+            .iter()
+            .chain(outs.state_outs.iter())
+            .copied()
+            .collect();
         let got = c.eval_many(&roots, &lookup);
-        let want_flat: Vec<u64> = want.fields.iter().chain(want.states.iter()).copied().collect();
-        prop_assert_eq!(got, want_flat);
+        let want_flat: Vec<u64> = want
+            .fields
+            .iter()
+            .chain(want.states.iter())
+            .copied()
+            .collect();
+        assert_eq!(got, want_flat, "case {case}:\n{prog}");
     }
+}
 
-    /// Interpreter and the Domino lowering's TAC evaluation agree.
-    #[test]
-    fn interpreter_matches_domino_tac(prog in arb_program(), inp in arb_input()) {
+/// Interpreter and the Domino lowering's TAC evaluation agree.
+#[test]
+fn interpreter_matches_domino_tac() {
+    let mut rng = Xoshiro256::seed_from_u64(0xc055_0002);
+    for case in 0..96 {
+        let prog = random_program(&mut rng);
+        let inp = random_input(&mut rng);
         let interp = Interpreter::new(&prog, WIDTH);
         let want = interp.exec(&inp);
         let tac = chipmunk_suite::domino::tac::lower(&prog);
         let mask = (1u64 << WIDTH) - 1;
         let (fo, so) = chipmunk_suite::domino::tac::eval_tac(&tac, &inp.fields, &inp.states, mask);
-        prop_assert_eq!(fo, want.fields);
-        prop_assert_eq!(so, want.states);
+        assert_eq!(fo, want.fields, "case {case}:\n{prog}");
+        assert_eq!(so, want.states, "case {case}:\n{prog}");
     }
+}
 
-    /// Every generated mutation of a random program is equivalent to it.
-    #[test]
-    fn mutations_are_always_equivalent(prog in arb_program(), seed in 0u64..1000) {
+/// Every generated mutation of a random program is equivalent to it.
+#[test]
+fn mutations_are_always_equivalent() {
+    let mut rng = Xoshiro256::seed_from_u64(0xc055_0003);
+    for case in 0..96 {
+        let prog = random_program(&mut rng);
+        let seed = rng.gen_u64_below(1000);
         let muts = chipmunk_suite::mutate::mutations(&prog, seed, 2);
         for m in muts {
-            prop_assert!(
+            assert!(
                 chipmunk_suite::mutate::equivalent(&prog, &m, 5, 100),
-                "mutation diverged:\n{}", m
+                "case {case}: mutation diverged:\n{m}"
             );
         }
     }
