@@ -3,11 +3,14 @@
 //! ```text
 //! chipmunkc compile  <file> [--template T] [--imm N] [--width W] [--max-stages K] [--timeout S] [--json] [--trace OUT.jsonl]
 //! chipmunkc domino   <file> [--template T] [--imm N] [--width W]
-//! chipmunkc repair   <file> [--template T] [--imm N] [--depth D]
+//! chipmunkc repair   <file> [--template T] [--imm N] [--depth D] [--trace OUT.jsonl]
 //! chipmunkc mutate   <file> [--n N] [--seed S]
-//! chipmunkc superopt <file> [--imm N] [--width W] [--max-len L] [--full-alu]
+//! chipmunkc superopt <file> [--imm N] [--width W] [--max-len L] [--full-alu] [--trace OUT.jsonl]
 //! chipmunkc run      <file> [--template T] [--packets N] [--width W] [--trace CSV]
 //! chipmunkc trace-report <file.jsonl>
+//! chipmunkc serve    [--addr H:P] [--workers N] [--queue-cap N] [--cache-dir DIR] [--trace OUT.jsonl]
+//! chipmunkc submit   <file> [--addr H:P] [--template T] [--imm N] [--width W] [--max-stages K] [--timeout S] [--parallel] [--json]
+//! chipmunkc submit   --status | --stats | --shutdown | --shutdown-now [--addr H:P]
 //! ```
 //!
 //! `compile --trace OUT.jsonl` records a structured execution trace of the
@@ -48,7 +51,16 @@ impl Args {
         while let Some(a) = raw.next() {
             if let Some(name) = a.strip_prefix("--") {
                 // Boolean flags take no value; everything else takes one.
-                if matches!(name, "json" | "full-alu") {
+                if matches!(
+                    name,
+                    "json"
+                        | "full-alu"
+                        | "parallel"
+                        | "status"
+                        | "stats"
+                        | "shutdown"
+                        | "shutdown-now"
+                ) {
                     flags.push((name.to_string(), String::new()));
                 } else {
                     let v = raw
@@ -100,7 +112,7 @@ fn load(path: &str) -> Result<Program, String> {
 }
 
 fn usage() -> String {
-    "usage: chipmunkc <compile|domino|repair|mutate|superopt|run|trace-report> <file> [options]\n\
+    "usage: chipmunkc <compile|domino|repair|mutate|superopt|run|trace-report|serve|submit> <file> [options]\n\
      see `chipmunkc help` or the crate docs for options"
         .to_string()
 }
@@ -129,12 +141,17 @@ fn main() -> ExitCode {
         "superopt" => cmd_superopt(&args),
         "run" => cmd_run(&args),
         "trace-report" => cmd_trace_report(&args),
+        "serve" => cmd_serve(&args),
+        "submit" => cmd_submit(&args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
         }
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     };
+    // Every subcommand can trace (via `CHIPMUNK_TRACE` or `--trace`);
+    // drain the buffered sink exactly once on the way out.
+    chipmunk_trace::flush();
     match res {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -202,6 +219,108 @@ fn cmd_compile(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Default address shared by `serve` and `submit`.
+const SERVE_ADDR: &str = "127.0.0.1:7919";
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    if let Some(path) = args.get("trace") {
+        chipmunk_trace::init_jsonl(path).map_err(|e| format!("--trace {path}: {e}"))?;
+    }
+    let config = chipmunk_serve::ServerConfig {
+        addr: args.get("addr").unwrap_or(SERVE_ADDR).to_string(),
+        workers: args.num(
+            "workers",
+            chipmunk_serve::ServerConfig::default().workers.max(1),
+        )?,
+        queue_capacity: args.num("queue-cap", 64)?,
+        cache_dir: args.get("cache-dir").map(std::path::PathBuf::from),
+    };
+    let handle =
+        chipmunk_serve::start(&config).map_err(|e| format!("bind {}: {e}", config.addr))?;
+    eprintln!(
+        "chipmunk-serve listening on {} ({} worker(s), queue {} deep, cache {})",
+        handle.local_addr(),
+        config.workers,
+        config.queue_capacity,
+        config
+            .cache_dir
+            .as_deref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| "in-memory".to_string()),
+    );
+    handle.join();
+    chipmunk_trace::flush();
+    eprintln!("chipmunk-serve stopped");
+    Ok(())
+}
+
+fn cmd_submit(args: &Args) -> Result<(), String> {
+    let addr = args.get("addr").unwrap_or(SERVE_ADDR);
+    let mut client = chipmunk_serve::Client::connect(addr)
+        .map_err(|e| format!("connect {addr}: {e} (is `chipmunkc serve` running?)"))?;
+    let response = if args.has("status") {
+        client.status()
+    } else if args.has("stats") {
+        client.stats()
+    } else if args.has("shutdown") || args.has("shutdown-now") {
+        client.shutdown(args.has("shutdown-now"))
+    } else {
+        let path = file_arg(args)?;
+        let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let mut options = vec![
+            ("imm", Json::from(args.num::<u8>("imm", 4)?)),
+            ("width", Json::from(args.num::<u8>("width", 10)?)),
+            (
+                "max_stages",
+                Json::from(args.num::<usize>("max-stages", 4)?),
+            ),
+            (
+                "timeout_ms",
+                Json::from(args.num::<u64>("timeout", 300)? * 1000),
+            ),
+            (
+                "template",
+                Json::from(args.get("template").unwrap_or("if_else_raw")),
+            ),
+            ("parallel", Json::Bool(args.has("parallel"))),
+        ];
+        if let Some(slots) = args.get("slots") {
+            let n: usize = slots
+                .parse()
+                .map_err(|_| format!("--slots: bad value `{slots}`"))?;
+            options.push(("slots", Json::from(n)));
+        }
+        client.compile(&source, Json::obj(options))
+    }
+    .map_err(|e| format!("{addr}: {e}"))?;
+    if response.get("ok").and_then(Json::as_bool) != Some(true) {
+        return Err(format!(
+            "server: {} ({})",
+            response
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap_or("request failed"),
+            response
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown"),
+        ));
+    }
+    if let Some(cached) = response.get("cached").and_then(Json::as_bool) {
+        eprintln!(
+            "{} in {} ms (queued {} ms), key {}",
+            if cached { "cache hit" } else { "compiled" },
+            response.get("synth_ms").and_then(Json::as_u64).unwrap_or(0),
+            response.get("wait_ms").and_then(Json::as_u64).unwrap_or(0),
+            response.get("key").and_then(Json::as_str).unwrap_or("?"),
+        );
+    }
+    if args.has("json") || response.get("cached").is_none() {
+        println!("{}", response.to_pretty());
+    }
+    Ok(())
+}
+
 fn cmd_trace_report(args: &Args) -> Result<(), String> {
     let path = file_arg(args)?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -227,6 +346,9 @@ fn cmd_domino(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_repair(args: &Args) -> Result<(), String> {
+    if let Some(path) = args.get("trace") {
+        chipmunk_trace::init_jsonl(path).map_err(|e| format!("--trace {path}: {e}"))?;
+    }
     let prog = load(file_arg(args)?)?;
     let imm: u8 = args.num("imm", 4)?;
     let mut opts = RepairOptions::new(DominoOptions {
@@ -264,6 +386,9 @@ fn cmd_mutate(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_superopt(args: &Args) -> Result<(), String> {
+    if let Some(path) = args.get("trace") {
+        chipmunk_trace::init_jsonl(path).map_err(|e| format!("--trace {path}: {e}"))?;
+    }
     let prog = load(file_arg(args)?)?;
     let imm: u8 = args.num("imm", 4)?;
     let alu = if args.has("full-alu") {

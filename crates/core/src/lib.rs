@@ -37,11 +37,13 @@
 #![warn(missing_docs)]
 
 pub mod approx;
+pub mod cache;
 pub mod cegis;
 mod search;
 pub mod sketch;
 
 pub use approx::{compile_approximate, ApproxOptions, ApproxOutcome};
+pub use cache::{cache_key, canonical_text};
 pub use cegis::{CegisOptions, CegisStats, SynthesisError, Synthesized};
-pub use search::{compile, CodegenError, CodegenSuccess, CompilerOptions};
+pub use search::{compile, compile_with_cancel, CodegenError, CodegenSuccess, CompilerOptions};
 pub use sketch::{DecodedConfig, HoleDecl, Sketch, SketchOptions, SketchOutputs};

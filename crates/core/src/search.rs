@@ -125,6 +125,20 @@ impl std::error::Error for CodegenError {}
 /// Hash calls are eliminated automatically (each becomes a fresh read-only
 /// metadata field, as delivered by PISA hash units).
 pub fn compile(prog: &Program, opts: &CompilerOptions) -> Result<CodegenSuccess, CodegenError> {
+    compile_with_cancel(prog, opts, None)
+}
+
+/// [`compile`] with a cooperative cancellation flag. When another thread
+/// sets the flag, the search stops at the next solver checkpoint and
+/// reports [`CodegenError::Timeout`] — the serving layer uses this for
+/// per-job timeouts and abortive shutdown. Works in both sequential and
+/// parallel mode (in parallel mode a monitor fans the external flag out to
+/// every per-depth flag).
+pub fn compile_with_cancel(
+    prog: &Program,
+    opts: &CompilerOptions,
+    cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+) -> Result<CodegenSuccess, CodegenError> {
     let start = Instant::now();
     let mut search_sp = chipmunk_trace::span!(
         "search.compile",
@@ -141,6 +155,7 @@ pub fn compile(prog: &Program, opts: &CompilerOptions) -> Result<CodegenSuccess,
         .slots
         .unwrap_or_else(|| num_fields.max(num_states).max(1));
     if num_fields > slots || num_states > slots {
+        search_sp.record("result", "too_large");
         return Err(CodegenError::TooLarge(format!(
             "{num_fields} fields / {num_states} states exceed {slots} slots"
         )));
@@ -181,12 +196,34 @@ pub fn compile(prog: &Program, opts: &CompilerOptions) -> Result<CodegenSuccess,
     };
 
     if opts.parallel {
-        return compile_parallel(&attempt, opts.max_stages, start);
+        let res = compile_parallel(&attempt, opts.max_stages, start, cancel);
+        match &res {
+            Ok(s) => {
+                search_sp.record("result", "ok");
+                search_sp.record("stages", s.stages_tried as u64);
+            }
+            Err(e) => search_sp.record(
+                "result",
+                match e {
+                    CodegenError::TooLarge(_) => "too_large",
+                    CodegenError::Infeasible => "infeasible",
+                    CodegenError::Timeout => "timeout",
+                },
+            ),
+        }
+        return res;
     }
 
     let mut saw_timeout = false;
     for stages in 1..=opts.max_stages {
-        match attempt(stages, None) {
+        if cancel
+            .as_ref()
+            .is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed))
+        {
+            search_sp.record("result", "timeout");
+            return Err(CodegenError::Timeout);
+        }
+        match attempt(stages, cancel.clone()) {
             Ok((synthesized, grid)) => {
                 let resources = resources_of(&grid, &synthesized.decoded.pipeline);
                 search_sp.record("result", "ok");
@@ -205,6 +242,7 @@ pub fn compile(prog: &Program, opts: &CompilerOptions) -> Result<CodegenSuccess,
             Err(SynthesisError::Timeout) => {
                 saw_timeout = true;
                 if deadline.is_some_and(|d| Instant::now() >= d) {
+                    search_sp.record("result", "timeout");
                     return Err(CodegenError::Timeout);
                 }
                 // Iteration cap without a global deadline: deeper grids may
@@ -213,8 +251,10 @@ pub fn compile(prog: &Program, opts: &CompilerOptions) -> Result<CodegenSuccess,
         }
     }
     if saw_timeout {
+        search_sp.record("result", "timeout");
         Err(CodegenError::Timeout)
     } else {
+        search_sp.record("result", "infeasible");
         Err(CodegenError::Infeasible)
     }
 }
@@ -229,6 +269,7 @@ fn compile_parallel(
     attempt: &AttemptFn<'_>,
     max_stages: usize,
     start: Instant,
+    cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
 ) -> Result<CodegenSuccess, CodegenError> {
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
@@ -239,7 +280,25 @@ fn compile_parallel(
     let flags: Vec<Arc<AtomicBool>> = (0..max_stages)
         .map(|_| Arc::new(AtomicBool::new(false)))
         .collect();
-    let results: Vec<(usize, AttemptResult)> = std::thread::scope(|scope| {
+    let done = Arc::new(AtomicBool::new(false));
+    let mut results: Vec<(usize, AttemptResult)> = std::thread::scope(|scope| {
+        // The SAT solver polls one flag per run, so an external cancel is
+        // fanned out to every per-depth flag by a small monitor thread.
+        if let Some(external) = cancel.clone() {
+            let flags = flags.clone();
+            let done = done.clone();
+            scope.spawn(move || {
+                while !done.load(Ordering::Relaxed) {
+                    if external.load(Ordering::Relaxed) {
+                        for f in &flags {
+                            f.store(true, Ordering::Relaxed);
+                        }
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            });
+        }
         let handles: Vec<_> = (1..=max_stages)
             .map(|stages| {
                 let my_flag = flags[stages - 1].clone();
@@ -255,33 +314,41 @@ fn compile_parallel(
                 })
             })
             .collect();
-        handles
+        let out = handles
             .into_iter()
             .map(|h| h.join().expect("no panics"))
-            .collect()
+            .collect();
+        done.store(true, Ordering::Relaxed);
+        out
     });
+    // Walk shallowest-first so both the chosen success and the failure
+    // classification are deterministic regardless of thread finish order.
+    // (Join order already yields this; the sort pins the invariant.)
+    results.sort_by_key(|(stages, _)| *stages);
+    let externally_cancelled = cancel.as_ref().is_some_and(|c| c.load(Ordering::Relaxed));
     let mut saw_timeout = false;
     let mut best: Option<(usize, Synthesized, GridSpec)> = None;
-    let mut cancelled_below_best = false;
     for (stages, res) in results {
         match res {
             Ok((s, g)) => {
-                if best.as_ref().is_none_or(|(b, _, _)| stages < *b) {
+                if best.is_none() {
                     best = Some((stages, s, g));
                 }
             }
             Err(SynthesisError::Timeout) => {
-                saw_timeout = true;
-                if flags[stages - 1].load(Ordering::Relaxed) {
-                    cancelled_below_best = true;
+                // A depth whose flag was raised reports Timeout as an
+                // artifact of the cancellation, not of budget exhaustion;
+                // counting it would make the diagnostic depend on how far
+                // that thread got before noticing the flag. Cancellation is
+                // only triggered by a shallower success (which wins anyway)
+                // or by the external flag (reported separately below).
+                if !flags[stages - 1].load(Ordering::Relaxed) {
+                    saw_timeout = true;
                 }
             }
             Err(SynthesisError::Infeasible) => {}
         }
     }
-    // Cancelled runs were all deeper than some success, so they cannot
-    // affect minimality.
-    let _ = cancelled_below_best;
     match best {
         Some((stages, synthesized, grid)) => {
             let resources = resources_of(&grid, &synthesized.decoded.pipeline);
@@ -295,7 +362,7 @@ fn compile_parallel(
                 stages_tried: stages,
             })
         }
-        None if saw_timeout => Err(CodegenError::Timeout),
+        None if saw_timeout || externally_cancelled => Err(CodegenError::Timeout),
         None => Err(CodegenError::Infeasible),
     }
 }
@@ -376,6 +443,40 @@ mod tests {
         par.parallel = true;
         let b = compile(&prog, &par).expect("parallel");
         assert_eq!(a.grid.stages, b.grid.stages);
+    }
+
+    #[test]
+    fn parallel_failure_diagnostics_match_sequential() {
+        // An infeasible program must produce the same diagnostic in both
+        // modes, every run — the parallel sweep must not let thread finish
+        // order (or cancellation artifacts) leak into the error.
+        let prog = parse("pkt.z = pkt.x * pkt.y;").unwrap();
+        let mut seq = CompilerOptions::small_for_tests();
+        seq.max_stages = 2;
+        let expected = compile(&prog, &seq).unwrap_err();
+        assert_eq!(expected, CodegenError::Infeasible);
+        let mut par = seq.clone();
+        par.parallel = true;
+        for run in 0..4 {
+            assert_eq!(compile(&prog, &par).unwrap_err(), expected, "run {run}");
+        }
+    }
+
+    #[test]
+    fn external_cancel_stops_both_modes() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let prog = parse("state s; s = s + pkt.x; pkt.y = s;").unwrap();
+        let mut opts = CompilerOptions::small_for_tests();
+        for parallel in [false, true] {
+            opts.parallel = parallel;
+            let cancel = Arc::new(AtomicBool::new(true));
+            assert_eq!(
+                compile_with_cancel(&prog, &opts, Some(cancel)).unwrap_err(),
+                CodegenError::Timeout,
+                "parallel={parallel}"
+            );
+        }
     }
 
     #[test]

@@ -9,8 +9,14 @@
 //!   simplification. Because arithmetic wraps at the target width, folding
 //!   is only sound for a *declared* width; callers pass the width they will
 //!   compile at.
+//! * [`canonicalize`] — a semantics-preserving normal form that maps the
+//!   small rewrites of `chipmunk-mutate` back to one representative, so
+//!   content-addressed caches (the `chipmunk-serve` result cache) hit on
+//!   mutated-but-equivalent programs.
 
-use crate::ast::{BinOp, Expr, Program, Stmt, UnOp, VarRef};
+use std::cmp::Ordering;
+
+use crate::ast::{BinOp, Expr, LValue, Program, Stmt, UnOp, VarRef};
 use crate::interp::eval_binop;
 
 /// Replace each syntactic `hash(...)` occurrence with a fresh packet field.
@@ -276,6 +282,292 @@ fn fold_expr(e: &mut Expr, m: u64) {
     }
 }
 
+/// Rewrite a program into a canonical, semantics-preserving normal form at
+/// a declared bit width.
+///
+/// Two programs that differ only by the small syntactic rewrites of
+/// `chipmunk-mutate` (commuted operands, mirrored comparisons, negated
+/// branches, ternary⇄if conversion, re-association, added identities,
+/// decomposed constants, hoisted subexpressions, double negation)
+/// canonicalize to the same source text, which is what makes
+/// content-addressed compilation caches hit on mutants. Every individual
+/// rewrite preserves input–output semantics at the given width, so the
+/// canonical program is a sound stand-in for the original in any
+/// width-`width` compilation.
+///
+/// The normal form is a fixpoint of:
+///
+/// * [`const_fold`] (folds `(k-1)+1`, strips `e+0` / `e*1`, prunes
+///   constant branches),
+/// * `!!c → c` in `if` and ternary condition position (truthiness),
+/// * `if (!c) A else B → if (c) B else A`,
+/// * `a > b → b < a`, `a >= b → b <= a` (only `<` / `<=` survive),
+/// * operand sorting under commutative operators, with full `+`-chain
+///   flattening (modular `+` is associative and commutative at any width),
+/// * `if (c) { x = t; } else { x = f; } → x = c ? t : f` for single
+///   assignments to the same lvalue, and
+/// * inlining of single-use locals defined immediately before their only
+///   use (the inverse of subexpression hoisting).
+pub fn canonicalize(p: &mut Program, width: u8) {
+    // Each round strictly shrinks or reorders toward the normal form; the
+    // cap only guards against a rewrite cycle slipping in later.
+    for _ in 0..16 {
+        let before = p.to_string();
+        const_fold(p, width);
+        let mut stmts = std::mem::take(p.stmts_mut());
+        canon_stmts(p, &mut stmts);
+        *p.stmts_mut() = stmts;
+        inline_single_use_locals(p);
+        if p.to_string() == before {
+            break;
+        }
+    }
+}
+
+/// A stable structural total order on expressions, used to pick the
+/// canonical operand order under commutative operators.
+///
+/// Variables order by *name*, not by dense index: two parses of
+/// semantically identical sources can number fields differently (indices
+/// follow first use), and the canonical form must not depend on that.
+fn expr_cmp(p: &Program, a: &Expr, b: &Expr) -> Ordering {
+    fn rank(e: &Expr) -> u8 {
+        match e {
+            Expr::Int(_) => 0,
+            Expr::Var(_) => 1,
+            Expr::Hash(_) => 2,
+            Expr::Unary(..) => 3,
+            Expr::Binary(..) => 4,
+            Expr::Ternary(..) => 5,
+        }
+    }
+    fn var_key<'a>(p: &'a Program, r: &VarRef) -> (u8, &'a str) {
+        match r {
+            VarRef::Field(i) => (0, p.field_names()[*i].as_str()),
+            VarRef::State(i) => (1, p.state_names()[*i].as_str()),
+            VarRef::Local(i) => (2, p.local_names()[*i].as_str()),
+        }
+    }
+    rank(a).cmp(&rank(b)).then_with(|| match (a, b) {
+        (Expr::Int(x), Expr::Int(y)) => x.cmp(y),
+        (Expr::Var(x), Expr::Var(y)) => var_key(p, x).cmp(&var_key(p, y)),
+        (Expr::Hash(x), Expr::Hash(y)) => x.len().cmp(&y.len()).then_with(|| {
+            x.iter()
+                .zip(y)
+                .map(|(u, v)| expr_cmp(p, u, v))
+                .fold(Ordering::Equal, Ordering::then)
+        }),
+        (Expr::Unary(ox, x), Expr::Unary(oy, y)) => (*ox as u8)
+            .cmp(&(*oy as u8))
+            .then_with(|| expr_cmp(p, x, y)),
+        (Expr::Binary(ox, xa, xb), Expr::Binary(oy, ya, yb)) => (*ox as u8)
+            .cmp(&(*oy as u8))
+            .then_with(|| expr_cmp(p, xa, ya))
+            .then_with(|| expr_cmp(p, xb, yb)),
+        (Expr::Ternary(xc, xt, xf), Expr::Ternary(yc, yt, yf)) => expr_cmp(p, xc, yc)
+            .then_with(|| expr_cmp(p, xt, yt))
+            .then_with(|| expr_cmp(p, xf, yf)),
+        _ => Ordering::Equal,
+    })
+}
+
+/// Strip `!!…` prefixes in a truthiness position (if / ternary condition):
+/// `!!c` and `c` decide branches identically even though their *values*
+/// differ (`!!5 == 1`).
+fn strip_double_not(c: &mut Expr) {
+    while let Expr::Unary(UnOp::Not, inner) = c {
+        if let Expr::Unary(UnOp::Not, inner2) = inner.as_mut() {
+            *c = std::mem::replace(inner2.as_mut(), Expr::Int(0));
+        } else {
+            break;
+        }
+    }
+}
+
+/// Flatten a maximal `+` tree into its leaves (wrapping `+` is associative
+/// and commutative at every width, so any re-association/permutation of
+/// the leaves is semantics-preserving).
+fn flatten_add(e: Expr, leaves: &mut Vec<Expr>) {
+    match e {
+        Expr::Binary(BinOp::Add, a, b) => {
+            flatten_add(*a, leaves);
+            flatten_add(*b, leaves);
+        }
+        other => leaves.push(other),
+    }
+}
+
+fn canon_expr(p: &Program, e: &mut Expr) {
+    // Children first so parent-level decisions see canonical operands.
+    match e {
+        Expr::Int(_) | Expr::Var(_) => {}
+        Expr::Hash(args) => args.iter_mut().for_each(|a| canon_expr(p, a)),
+        Expr::Unary(_, x) => canon_expr(p, x),
+        Expr::Binary(_, a, b) => {
+            canon_expr(p, a);
+            canon_expr(p, b);
+        }
+        Expr::Ternary(c, t, f) => {
+            strip_double_not(c);
+            canon_expr(p, c);
+            canon_expr(p, t);
+            canon_expr(p, f);
+        }
+    }
+    if let Expr::Binary(op, a, b) = e {
+        // Mirror `>` / `>=` so only `<` / `<=` survive.
+        if let Some(m) = match op {
+            BinOp::Gt => Some(BinOp::Lt),
+            BinOp::Ge => Some(BinOp::Le),
+            _ => None,
+        } {
+            *op = m;
+            std::mem::swap(a, b);
+        }
+    }
+    if matches!(e, Expr::Binary(BinOp::Add, _, _)) {
+        let mut leaves = Vec::new();
+        flatten_add(std::mem::replace(e, Expr::Int(0)), &mut leaves);
+        leaves.sort_by(|a, b| expr_cmp(p, a, b));
+        let mut it = leaves.into_iter();
+        let mut acc = it.next().expect("an Add has at least two leaves");
+        for l in it {
+            acc = Expr::bin(BinOp::Add, acc, l);
+        }
+        *e = acc;
+    } else if let Expr::Binary(op, a, b) = e {
+        if op.is_commutative() && expr_cmp(p, a, b) == Ordering::Greater {
+            std::mem::swap(a, b);
+        }
+    }
+}
+
+fn canon_stmts(p: &Program, stmts: &mut [Stmt]) {
+    for s in stmts {
+        match s {
+            Stmt::Assign(_, e) => canon_expr(p, e),
+            Stmt::If(c, t, f) => {
+                strip_double_not(c);
+                // `if (!c) A else B` ≡ `if (c) B else A` (only when an else
+                // branch exists — swapping with an empty arm would drop A).
+                if matches!(c, Expr::Unary(UnOp::Not, _)) && !f.is_empty() {
+                    let cond = std::mem::replace(c, Expr::Int(0));
+                    if let Expr::Unary(UnOp::Not, inner) = cond {
+                        *c = *inner;
+                        std::mem::swap(t, f);
+                    }
+                }
+                canon_expr(p, c);
+                canon_stmts(p, t);
+                canon_stmts(p, f);
+                // `if (c) { x = t; } else { x = f; }` → `x = c ? t : f`.
+                let collapsed = match (&t[..], &f[..]) {
+                    ([Stmt::Assign(lt, te)], [Stmt::Assign(lf, fe)]) if lt == lf => {
+                        Some(Stmt::Assign(
+                            *lt,
+                            Expr::Ternary(
+                                Box::new(c.clone()),
+                                Box::new(te.clone()),
+                                Box::new(fe.clone()),
+                            ),
+                        ))
+                    }
+                    _ => None,
+                };
+                if let Some(repl) = collapsed {
+                    *s = repl;
+                }
+            }
+        }
+    }
+}
+
+/// Inline a local that is (a) assigned exactly once, by a top-level
+/// statement, (b) read exactly once, in the right-hand side of the
+/// *immediately following* top-level assignment, and (c) not self-
+/// referential. Nothing executes between definition and use and the use
+/// statement evaluates its RHS before writing, so substitution is exact —
+/// this is precisely the shape `HoistSubexpr` produces.
+fn inline_single_use_locals(p: &mut Program) {
+    fn count_reads(stmts: &[Stmt], r: VarRef) -> usize {
+        fn expr(e: &Expr, r: VarRef) -> usize {
+            match e {
+                Expr::Int(_) => 0,
+                Expr::Var(v) => (*v == r) as usize,
+                Expr::Hash(args) => args.iter().map(|a| expr(a, r)).sum(),
+                Expr::Unary(_, x) => expr(x, r),
+                Expr::Binary(_, a, b) => expr(a, r) + expr(b, r),
+                Expr::Ternary(c, t, f) => expr(c, r) + expr(t, r) + expr(f, r),
+            }
+        }
+        stmts
+            .iter()
+            .map(|s| match s {
+                Stmt::Assign(_, e) => expr(e, r),
+                Stmt::If(c, t, f) => expr(c, r) + count_reads(t, r) + count_reads(f, r),
+            })
+            .sum()
+    }
+    fn count_writes(stmts: &[Stmt], lv: LValue) -> usize {
+        stmts
+            .iter()
+            .map(|s| match s {
+                Stmt::Assign(l, _) => (*l == lv) as usize,
+                Stmt::If(_, t, f) => count_writes(t, lv) + count_writes(f, lv),
+            })
+            .sum()
+    }
+    fn substitute(e: &mut Expr, r: VarRef, with: &Expr) {
+        match e {
+            Expr::Var(v) if *v == r => *e = with.clone(),
+            Expr::Int(_) | Expr::Var(_) => {}
+            Expr::Hash(args) => args.iter_mut().for_each(|a| substitute(a, r, with)),
+            Expr::Unary(_, x) => substitute(x, r, with),
+            Expr::Binary(_, a, b) => {
+                substitute(a, r, with);
+                substitute(b, r, with);
+            }
+            Expr::Ternary(c, t, f) => {
+                substitute(c, r, with);
+                substitute(t, r, with);
+                substitute(f, r, with);
+            }
+        }
+    }
+
+    let mut stmts = std::mem::take(p.stmts_mut());
+    let mut i = 0;
+    while i + 1 < stmts.len() {
+        let inlinable = match (&stmts[i], &stmts[i + 1]) {
+            (Stmt::Assign(LValue::Local(l), def), Stmt::Assign(_, rhs)) => {
+                let r = VarRef::Local(*l);
+                !def.reads(r)
+                    && count_writes(&stmts, LValue::Local(*l)) == 1
+                    && count_reads(&stmts, r) == 1
+                    && {
+                        // The single read must be in the next statement.
+                        let mut probe = rhs.clone();
+                        substitute(&mut probe, r, &Expr::Int(0));
+                        probe != *rhs
+                    }
+            }
+            _ => false,
+        };
+        if inlinable {
+            if let Stmt::Assign(LValue::Local(l), def) = stmts.remove(i) {
+                if let Stmt::Assign(_, rhs) = &mut stmts[i] {
+                    substitute(rhs, VarRef::Local(l), &def);
+                }
+            }
+            // Re-examine from the same index: chains of hoists collapse.
+            i = i.saturating_sub(1);
+        } else {
+            i += 1;
+        }
+    }
+    *p.stmts_mut() = stmts;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -337,6 +629,132 @@ mod tests {
         const_fold(&mut p, 8);
         assert_eq!(p.stmts().len(), 1);
         assert_eq!(p.stmts()[0], Stmt::Assign(LValue::State(0), Expr::Int(1)));
+    }
+
+    /// Canonical text of a source string at width 8.
+    fn canon(src: &str) -> String {
+        let mut p = parse(src).unwrap();
+        canonicalize(&mut p, 8);
+        p.to_string()
+    }
+
+    #[test]
+    fn canonicalize_sorts_commutative_operands_by_name() {
+        assert_eq!(
+            canon("pkt.x = pkt.b + pkt.a;"),
+            canon("pkt.x = pkt.a + pkt.b;")
+        );
+        assert_eq!(
+            canon("pkt.x = pkt.b * pkt.a;"),
+            canon("pkt.x = pkt.a * pkt.b;")
+        );
+        // Name-based, not index-based: first-use order differs between the
+        // two sources, the canonical text must not.
+        assert_eq!(
+            canon("pkt.x = pkt.b | pkt.a; pkt.y = pkt.a;"),
+            canon("pkt.x = pkt.a | pkt.b; pkt.y = pkt.a;"),
+        );
+    }
+
+    #[test]
+    fn canonicalize_mirrors_comparisons() {
+        assert_eq!(
+            canon("state s; if (3 > s) { s = s + 1; }"),
+            canon("state s; if (s < 3) { s = s + 1; }"),
+        );
+        assert_eq!(canon("pkt.x = pkt.a >= 2;"), canon("pkt.x = 2 <= pkt.a;"));
+    }
+
+    #[test]
+    fn canonicalize_reassociates_and_flattens_add_chains() {
+        assert_eq!(
+            canon("pkt.x = pkt.a + (pkt.b + pkt.c);"),
+            canon("pkt.x = (pkt.c + pkt.a) + pkt.b;"),
+        );
+    }
+
+    #[test]
+    fn canonicalize_strips_identities_and_decomposed_constants() {
+        assert_eq!(canon("pkt.x = pkt.a + 0;"), canon("pkt.x = pkt.a;"));
+        assert_eq!(canon("pkt.x = pkt.a * 1;"), canon("pkt.x = pkt.a;"));
+        assert_eq!(
+            canon("state s; s = s + (2 + 1);"),
+            canon("state s; s = s + 3;")
+        );
+    }
+
+    #[test]
+    fn canonicalize_normalizes_branch_shape() {
+        // Negated branch.
+        assert_eq!(
+            canon("state s; if (!(pkt.a < 2)) { s = 1; } else { s = 2; }"),
+            canon("state s; if (pkt.a < 2) { s = 2; } else { s = 1; }"),
+        );
+        // Double negation in condition position.
+        assert_eq!(
+            canon("state s; if (!!(pkt.a < 2)) { s = 1; } else { s = 2; }"),
+            canon("state s; if (pkt.a < 2) { s = 1; } else { s = 2; }"),
+        );
+        // Ternary ⇄ if round-trip collapses to the ternary form.
+        assert_eq!(
+            canon("state s; if (pkt.a < 2) { s = 1; } else { s = 2; }"),
+            canon("state s; s = pkt.a < 2 ? 1 : 2;"),
+        );
+    }
+
+    #[test]
+    fn canonicalize_inlines_hoisted_single_use_locals() {
+        assert_eq!(
+            canon("int t = pkt.a; pkt.x = t + pkt.b;"),
+            canon("pkt.x = pkt.a + pkt.b;"),
+        );
+        // Chained hoists collapse too.
+        assert_eq!(
+            canon("int u = pkt.a; int t = u; pkt.x = t + pkt.b;"),
+            canon("pkt.x = pkt.a + pkt.b;"),
+        );
+        // A local used twice stays put (inlining would duplicate work and
+        // is not the inverse of any hoist).
+        let twice = canon("int t = pkt.a + 1; pkt.x = t; pkt.y = t;");
+        assert!(twice.contains("int t"), "{twice}");
+    }
+
+    #[test]
+    fn canonicalize_preserves_semantics_on_a_rich_program() {
+        let src = "state s;\n\
+                   int t = pkt.b + pkt.a;\n\
+                   pkt.p = t + 0;\n\
+                   if (!!(2 + 3 > pkt.a + 1)) { s = 1 + s; pkt.o = s > 1 ? 4 : 5; }\n\
+                   else { pkt.o = 0; }";
+        let original = parse(src).unwrap();
+        let mut canonical = original.clone();
+        canonicalize(&mut canonical, 6);
+        let io = Interpreter::new(&original, 6);
+        let ic = Interpreter::new(&canonical, 6);
+        for a in 0..64u64 {
+            for b in [0u64, 1, 5, 63] {
+                let inp = PacketState {
+                    fields: vec![0, b, a, 0],
+                    states: vec![7],
+                };
+                assert_eq!(io.exec(&inp), ic.exec(&inp), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent() {
+        for src in [
+            "state s; if (3 > s) { s = 1 + s; pkt.o = 1; } else { pkt.o = 0; }",
+            "int t = pkt.b + pkt.a; pkt.x = t + 0;",
+            "pkt.x = pkt.a ? 1 : 2;",
+        ] {
+            let mut once = parse(src).unwrap();
+            canonicalize(&mut once, 8);
+            let text1 = once.to_string();
+            canonicalize(&mut once, 8);
+            assert_eq!(once.to_string(), text1, "not idempotent on {src}");
+        }
     }
 
     #[test]

@@ -108,8 +108,16 @@ impl std::error::Error for RepairError {}
 /// Search for a minimal semantics-preserving rewrite chain that makes
 /// `prog` compile under the given Domino configuration.
 pub fn suggest(prog: &Program, opts: &RepairOptions) -> Result<RepairHint, RepairError> {
+    let mut search_sp = chipmunk_trace::span!(
+        "repair.suggest",
+        max_depth = opts.max_depth,
+        max_candidates = opts.max_candidates,
+    );
     let original_error = match domino_compile(prog, &opts.domino) {
-        Ok(out) => return Err(RepairError::AlreadyCompiles(out.resources)),
+        Ok(out) => {
+            search_sp.record("result", "already_compiles");
+            return Err(RepairError::AlreadyCompiles(out.resources));
+        }
         Err(e) => e,
     };
 
@@ -129,25 +137,42 @@ pub fn suggest(prog: &Program, opts: &RepairOptions) -> Result<RepairHint, Repai
                         continue;
                     }
                     examined += 1;
+                    chipmunk_trace::counter_add!("repair.candidates.examined", 1);
                     if examined > opts.max_candidates {
+                        search_sp.record("result", "budget_exhausted");
+                        search_sp.record("examined", examined as u64);
                         return Err(RepairError::NoRepairFound(original_error));
                     }
                     let mut chain = steps.clone();
                     chain.push(kind);
+                    let mut cand_sp = chipmunk_trace::span!(
+                        "repair.candidate",
+                        kind = format!("{kind:?}"),
+                        depth = chain.len(),
+                    );
                     if let Ok(out) = domino_compile(&cand, &opts.domino) {
                         // Belt and braces: the rewrite classes preserve
                         // semantics by construction, but a hint shown to a
                         // developer must be *proven* equivalent.
                         debug_assert!(equivalent(prog, &cand, 5, 200));
                         if equivalent(prog, &cand, 5, 50) {
+                            cand_sp.record("result", "accepted");
+                            chipmunk_trace::counter_add!("repair.candidates.accepted", 1);
+                            search_sp.record("result", "ok");
+                            search_sp.record("examined", examined as u64);
+                            search_sp.record("distance", chain.len() as u64);
                             return Ok(RepairHint {
                                 program: cand,
                                 steps: chain,
                                 resources: out.resources,
                             });
                         }
+                        cand_sp.record("result", "rejected_inequivalent");
+                        chipmunk_trace::counter_add!("repair.candidates.rejected", 1);
                         continue;
                     }
+                    cand_sp.record("result", "rejected_uncompilable");
+                    chipmunk_trace::counter_add!("repair.candidates.rejected", 1);
                     next.push((cand, chain));
                 }
             }
@@ -157,6 +182,8 @@ pub fn suggest(prog: &Program, opts: &RepairOptions) -> Result<RepairHint, Repai
             break;
         }
     }
+    search_sp.record("result", "no_repair");
+    search_sp.record("examined", examined as u64);
     Err(RepairError::NoRepairFound(original_error))
 }
 

@@ -1,0 +1,190 @@
+//! The two-tier compilation result cache.
+//!
+//! Tier 1 is an in-memory map from content hash (see
+//! [`chipmunk::cache_key`]) to the serialized result document. Tier 2 is
+//! an append-only JSONL file `results.jsonl` under the server's
+//! `--cache-dir`, loaded into tier 1 at startup — so a restarted daemon
+//! keeps its warm cache. Each line is `{"key":"<16 hex>","result":{…}}`.
+//!
+//! Only *successful* compilations are cached: failures may be budget
+//! artifacts (timeouts) and are cheap to re-derive when they are not
+//! (the infeasibility proof re-runs).
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use chipmunk_trace::json::Json;
+
+/// A content-addressed result store: in-memory map + optional JSONL file.
+pub struct ResultCache {
+    mem: Mutex<HashMap<String, Json>>,
+    disk: Option<Mutex<File>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// Open a cache. With a directory, existing entries in
+    /// `dir/results.jsonl` are loaded and new entries appended; without,
+    /// the cache is memory-only.
+    pub fn open(dir: Option<&Path>) -> std::io::Result<ResultCache> {
+        let mut mem = HashMap::new();
+        let disk = match dir {
+            None => None,
+            Some(dir) => {
+                std::fs::create_dir_all(dir)?;
+                let path = dir.join("results.jsonl");
+                if let Ok(f) = File::open(&path) {
+                    for line in BufReader::new(f).lines() {
+                        let line = line?;
+                        // Tolerate torn/corrupt lines (e.g. a crash mid-append):
+                        // skip them rather than refusing to start.
+                        if let Ok(doc) = Json::parse(&line) {
+                            if let (Some(key), Some(result)) =
+                                (doc.get("key").and_then(Json::as_str), doc.get("result"))
+                            {
+                                mem.insert(key.to_string(), result.clone());
+                            }
+                        }
+                    }
+                }
+                let f = OpenOptions::new().create(true).append(true).open(&path)?;
+                Some(Mutex::new(f))
+            }
+        };
+        Ok(ResultCache {
+            mem: Mutex::new(mem),
+            disk,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// Look up a key, updating the hit/miss counters.
+    pub fn get(&self, key: &str) -> Option<Json> {
+        let found = self.peek(key);
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            chipmunk_trace::counter_add!("serve.cache.hit", 1);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            chipmunk_trace::counter_add!("serve.cache.miss", 1);
+        }
+        found
+    }
+
+    /// Look up a key without touching the counters (used by workers
+    /// re-checking after a queue wait, so one logical request counts once).
+    pub fn peek(&self, key: &str) -> Option<Json> {
+        self.mem.lock().expect("cache poisoned").get(key).cloned()
+    }
+
+    /// Store a result under `key`, in memory and (if configured) on disk.
+    pub fn put(&self, key: &str, result: &Json) {
+        let fresh = self
+            .mem
+            .lock()
+            .expect("cache poisoned")
+            .insert(key.to_string(), result.clone())
+            .is_none();
+        if !fresh {
+            return;
+        }
+        if let Some(disk) = &self.disk {
+            let line = Json::obj([("key", Json::from(key)), ("result", result.clone())]);
+            let mut f = disk.lock().expect("cache file poisoned");
+            // A failed append degrades to memory-only; not fatal.
+            let _ = writeln!(f, "{}", line.to_compact());
+            let _ = f.flush();
+        }
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.mem.lock().expect("cache poisoned").len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counted lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Counted lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("chipmunk-serve-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn memory_only_cache_round_trips() {
+        let c = ResultCache::open(None).unwrap();
+        assert_eq!(c.get("k1"), None);
+        let doc = Json::obj([("stages", Json::from(2u64))]);
+        c.put("k1", &doc);
+        assert_eq!(c.get("k1"), Some(doc));
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+    }
+
+    #[test]
+    fn disk_cache_survives_reopen() {
+        let dir = tmpdir("reopen");
+        let doc = Json::obj([("stages", Json::from(3u64))]);
+        {
+            let c = ResultCache::open(Some(&dir)).unwrap();
+            c.put("deadbeef00000000", &doc);
+        }
+        let c = ResultCache::open(Some(&dir)).unwrap();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.peek("deadbeef00000000"), Some(doc));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_lines_are_skipped_on_load() {
+        let dir = tmpdir("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("results.jsonl"),
+            "{\"key\":\"aa\",\"result\":{\"v\":1}}\nnot json\n{\"nokey\":true}\n",
+        )
+        .unwrap();
+        let c = ResultCache::open(Some(&dir)).unwrap();
+        assert_eq!(c.len(), 1);
+        assert!(c.peek("aa").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_puts_write_one_disk_line() {
+        let dir = tmpdir("dedup");
+        let doc = Json::obj([("v", Json::from(1u64))]);
+        {
+            let c = ResultCache::open(Some(&dir)).unwrap();
+            c.put("k", &doc);
+            c.put("k", &doc);
+        }
+        let text = std::fs::read_to_string(dir.join("results.jsonl")).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

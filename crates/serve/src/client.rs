@@ -1,0 +1,75 @@
+//! A tiny blocking client for the serve protocol.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use chipmunk_trace::json::Json;
+
+/// One connection to a chipmunk-serve daemon. Requests run in lockstep:
+/// write a line, read a line.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Send one request document and read the matching response line.
+    pub fn request(&mut self, doc: &Json) -> std::io::Result<Json> {
+        let mut line = doc.to_compact();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Json::parse(response.trim_end()).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad response: {e}"),
+            )
+        })
+    }
+
+    /// Submit a program for compilation. `options` is the request's
+    /// `options` object (pass `Json::Obj(vec![])` for server defaults).
+    pub fn compile(&mut self, program: &str, options: Json) -> std::io::Result<Json> {
+        self.request(&Json::obj([
+            ("op", Json::from("compile")),
+            ("program", Json::from(program)),
+            ("options", options),
+        ]))
+    }
+
+    /// Probe liveness and queue occupancy.
+    pub fn status(&mut self) -> std::io::Result<Json> {
+        self.request(&Json::obj([("op", Json::from("status"))]))
+    }
+
+    /// Fetch the counter snapshot.
+    pub fn stats(&mut self) -> std::io::Result<Json> {
+        self.request(&Json::obj([("op", Json::from("stats"))]))
+    }
+
+    /// Ask the server to stop (`abort` cancels in-flight work).
+    pub fn shutdown(&mut self, abort: bool) -> std::io::Result<Json> {
+        self.request(&Json::obj([
+            ("op", Json::from("shutdown")),
+            ("mode", Json::from(if abort { "abort" } else { "drain" })),
+        ]))
+    }
+}

@@ -1,0 +1,50 @@
+//! # chipmunk-serve
+//!
+//! A long-running compilation daemon for the chipmunk synthesis stack.
+//!
+//! Chipmunk-style queries are expensive (CEGIS over bit-blasted SAT) and
+//! highly repetitive: the paper's evaluation alone re-compiles every
+//! benchmark under ten semantics-preserving mutations, all of which reduce
+//! to the *same* synthesis problem. This crate turns the one-shot CLI into
+//! a service shaped for that workload:
+//!
+//! * a **bounded job queue** with typed backpressure ([`queue`]),
+//! * a fixed-size **worker pool** running
+//!   [`chipmunk::compile_with_cancel`] with per-job timeouts and
+//!   cancellation-based abortive shutdown ([`server`]),
+//! * a **two-tier content-addressed result cache** — in-memory plus an
+//!   on-disk JSONL store — keyed by [`chipmunk::cache_key`], the hash of
+//!   the *canonicalized* program and every semantics-relevant option, so
+//!   mutants of one benchmark are cache hits ([`cache`]),
+//! * a **newline-delimited JSON protocol** over TCP, using the workspace's
+//!   own zero-dependency JSON module ([`protocol`], [`client`]).
+//!
+//! The whole path is instrumented with `chipmunk-trace`: queue depth and
+//! wait time, cache hits/misses, and per-job synthesis time all land in
+//! the same JSONL trace stream as the underlying CEGIS spans.
+//!
+//! ```no_run
+//! use chipmunk_serve::{server, Client};
+//! use chipmunk_trace::json::Json;
+//!
+//! let handle = server::start(&server::ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(handle.local_addr()).unwrap();
+//! let resp = client.compile("pkt.x = pkt.a;", Json::Obj(vec![])).unwrap();
+//! assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+//! client.shutdown(false).unwrap();
+//! handle.join();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use cache::ResultCache;
+pub use client::Client;
+pub use protocol::{JobOptions, Request};
+pub use queue::{Bounded, PushError};
+pub use server::{start, ServerConfig, ServerHandle};

@@ -1,0 +1,310 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request per line, one response line per request, in order; a client
+//! may pipeline several requests on one connection. Grammar (each `<…>`
+//! a single line):
+//!
+//! ```text
+//! request  := compile | status | stats | shutdown
+//! compile  := {"op":"compile","program":<string>,"options":<options>?}
+//! status   := {"op":"status"}
+//! stats    := {"op":"stats"}
+//! shutdown := {"op":"shutdown","mode":"drain"|"abort"?}
+//! options  := {"template":<string>?,"imm":<int>?,"width":<int>?,
+//!              "screen_width":<int>?,"synth_input_bits":<int>?,
+//!              "num_initial_inputs":<int>?,"max_iters":<int>?,"seed":<int>?,
+//!              "max_stages":<int>?,"slots":<int>?,"timeout_ms":<int>?,
+//!              "parallel":<bool>?}
+//! ```
+//!
+//! Responses always carry `"ok"`: successes are `{"ok":true,…}`, failures
+//! `{"ok":false,"error":<code>,"message":<string>}` with codes `parse`,
+//! `bad_request`, `too_large`, `infeasible`, `timeout`, `queue_full`,
+//! `shutting_down`.
+
+use chipmunk::{CodegenError, CodegenSuccess, CompilerOptions};
+use chipmunk_pisa::{stateful::library, StatefulAluSpec, StatelessAluSpec};
+use chipmunk_trace::json::Json;
+
+/// A decoded client request.
+#[derive(Debug)]
+pub enum Request {
+    /// Compile a packet transaction (source text) under the given options.
+    Compile {
+        /// Domino-dialect source of the program.
+        program: String,
+        /// Knobs; anything omitted takes the server default.
+        options: JobOptions,
+    },
+    /// Liveness + queue occupancy probe.
+    Status,
+    /// Counter snapshot (cache hits/misses, synth time, rejects, …).
+    Stats,
+    /// Stop the server: `abort = false` drains queued jobs first,
+    /// `abort = true` cancels in-flight synthesis and fails queued jobs.
+    Shutdown {
+        /// Cancel in-flight work instead of draining.
+        abort: bool,
+    },
+}
+
+/// Per-job compilation knobs, mirroring `chipmunkc compile` flags.
+#[derive(Clone, Debug, Default)]
+pub struct JobOptions {
+    /// Stateful ALU template name (`raw`, `pred_raw`, `if_else_raw`, …).
+    pub template: Option<String>,
+    /// Immediate-operand bit width for both ALU kinds.
+    pub imm: Option<u8>,
+    /// CEGIS verification width.
+    pub width: Option<u8>,
+    /// Screening-verifier width (`None` keeps the default).
+    pub screen_width: Option<u8>,
+    /// Initial-input sampling width.
+    pub synth_input_bits: Option<u8>,
+    /// Number of random initial inputs.
+    pub num_initial_inputs: Option<usize>,
+    /// CEGIS iteration cap.
+    pub max_iters: Option<usize>,
+    /// Sampling seed.
+    pub seed: Option<u64>,
+    /// Deepest grid to try.
+    pub max_stages: Option<usize>,
+    /// PHV containers / ALUs per stage.
+    pub slots: Option<usize>,
+    /// Per-job wall-clock budget in milliseconds.
+    pub timeout_ms: Option<u64>,
+    /// Run the grid-depth sweep on parallel threads.
+    pub parallel: Option<bool>,
+}
+
+fn alu_template(name: &str, imm: u8) -> Result<StatefulAluSpec, String> {
+    Ok(match name {
+        "raw" => library::raw(imm),
+        "pred_raw" => library::pred_raw(imm),
+        "if_else_raw" => library::if_else_raw(imm),
+        "sub" => library::sub(imm),
+        "nested_ifs" => library::nested_ifs(imm),
+        other => return Err(format!("unknown template `{other}`")),
+    })
+}
+
+fn get_num<T: TryFrom<u64>>(obj: &Json, key: &str) -> Result<Option<T>, String> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => {
+            let n = v
+                .as_u64()
+                .ok_or_else(|| format!("`{key}` must be a non-negative integer"))?;
+            T::try_from(n)
+                .map(Some)
+                .map_err(|_| format!("`{key}` out of range"))
+        }
+    }
+}
+
+impl JobOptions {
+    /// Decode from the `options` object of a compile request.
+    pub fn from_json(obj: &Json) -> Result<JobOptions, String> {
+        if !matches!(obj, Json::Obj(_)) {
+            return Err("`options` must be an object".to_string());
+        }
+        let template = match obj.get("template") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(v.as_str().ok_or("`template` must be a string")?.to_string()),
+        };
+        let parallel = match obj.get("parallel") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(v.as_bool().ok_or("`parallel` must be a bool")?),
+        };
+        Ok(JobOptions {
+            template,
+            imm: get_num(obj, "imm")?,
+            width: get_num(obj, "width")?,
+            screen_width: get_num(obj, "screen_width")?,
+            synth_input_bits: get_num(obj, "synth_input_bits")?,
+            num_initial_inputs: get_num(obj, "num_initial_inputs")?,
+            max_iters: get_num(obj, "max_iters")?,
+            seed: get_num(obj, "seed")?,
+            max_stages: get_num(obj, "max_stages")?,
+            slots: get_num(obj, "slots")?,
+            timeout_ms: get_num(obj, "timeout_ms")?,
+            parallel,
+        })
+    }
+
+    /// Materialize full [`CompilerOptions`], filling gaps with the same
+    /// defaults as `chipmunkc compile`.
+    pub fn to_compiler_options(&self) -> Result<CompilerOptions, String> {
+        let imm = self.imm.unwrap_or(4);
+        let template = self.template.as_deref().unwrap_or("if_else_raw");
+        let mut opts = CompilerOptions::new(alu_template(template, imm)?);
+        opts.stateless = StatelessAluSpec::banzai(imm);
+        opts.cegis.verify_width = self.width.unwrap_or(10);
+        if let Some(w) = self.screen_width {
+            opts.cegis.screen_width = Some(w);
+        }
+        if let Some(b) = self.synth_input_bits {
+            opts.cegis.synth_input_bits = b;
+        }
+        if let Some(n) = self.num_initial_inputs {
+            opts.cegis.num_initial_inputs = n;
+        }
+        if let Some(n) = self.max_iters {
+            opts.cegis.max_iters = n;
+        }
+        if let Some(s) = self.seed {
+            opts.cegis.seed = s;
+        }
+        opts.max_stages = self.max_stages.unwrap_or(4);
+        opts.slots = self.slots;
+        opts.timeout = Some(std::time::Duration::from_millis(
+            self.timeout_ms.unwrap_or(300_000),
+        ));
+        opts.parallel = self.parallel.unwrap_or(false);
+        Ok(opts)
+    }
+}
+
+/// Parse one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let doc = Json::parse(line).map_err(|e| e.to_string())?;
+    let op = doc
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or("missing `op` field")?;
+    match op {
+        "compile" => {
+            let program = doc
+                .get("program")
+                .and_then(Json::as_str)
+                .ok_or("compile needs a `program` string")?
+                .to_string();
+            let options = match doc.get("options") {
+                None | Some(Json::Null) => JobOptions::default(),
+                Some(o) => JobOptions::from_json(o)?,
+            };
+            Ok(Request::Compile { program, options })
+        }
+        "status" => Ok(Request::Status),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => {
+            let abort = match doc.get("mode").and_then(Json::as_str) {
+                None | Some("drain") => false,
+                Some("abort") => true,
+                Some(other) => return Err(format!("unknown shutdown mode `{other}`")),
+            };
+            Ok(Request::Shutdown { abort })
+        }
+        other => Err(format!("unknown op `{other}`")),
+    }
+}
+
+/// Build a failure response line.
+pub fn error_response(code: &str, message: &str) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(false)),
+        ("error", Json::from(code)),
+        ("message", Json::from(message)),
+    ])
+}
+
+/// The error code a [`CodegenError`] maps to on the wire.
+pub fn codegen_error_code(e: &CodegenError) -> &'static str {
+    match e {
+        CodegenError::TooLarge(_) => "too_large",
+        CodegenError::Infeasible => "infeasible",
+        CodegenError::Timeout => "timeout",
+    }
+}
+
+/// Serialize a successful compilation: the decoded configuration in the
+/// same shape as `chipmunkc compile --json`.
+pub fn result_doc(out: &CodegenSuccess) -> Json {
+    Json::obj([
+        (
+            "grid",
+            Json::obj([
+                ("stages", Json::from(out.grid.stages)),
+                ("slots", Json::from(out.grid.slots)),
+            ]),
+        ),
+        ("resources", out.resources.to_json()),
+        (
+            "field_to_container",
+            Json::Arr(
+                out.decoded
+                    .field_to_container
+                    .iter()
+                    .map(|&c| Json::from(c))
+                    .collect(),
+            ),
+        ),
+        ("pipeline", out.decoded.pipeline.to_json()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_compile_request() {
+        let line = r#"{"op":"compile","program":"pkt.x = pkt.a;","options":{"template":"raw","imm":3,"width":6,"max_stages":2,"timeout_ms":5000,"parallel":true}}"#;
+        match parse_request(line).unwrap() {
+            Request::Compile { program, options } => {
+                assert_eq!(program, "pkt.x = pkt.a;");
+                assert_eq!(options.template.as_deref(), Some("raw"));
+                let co = options.to_compiler_options().unwrap();
+                assert_eq!(co.cegis.verify_width, 6);
+                assert_eq!(co.max_stages, 2);
+                assert_eq!(co.timeout, Some(std::time::Duration::from_secs(5)));
+                assert!(co.parallel);
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_control_requests() {
+        assert!(matches!(
+            parse_request(r#"{"op":"status"}"#).unwrap(),
+            Request::Status
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"stats"}"#).unwrap(),
+            Request::Stats
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"shutdown"}"#).unwrap(),
+            Request::Shutdown { abort: false }
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"shutdown","mode":"abort"}"#).unwrap(),
+            Request::Shutdown { abort: true }
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            "not json",
+            r#"{"program":"x"}"#,
+            r#"{"op":"fry"}"#,
+            r#"{"op":"compile"}"#,
+            r#"{"op":"compile","program":"x","options":{"imm":-1}}"#,
+            r#"{"op":"compile","program":"x","options":{"template":7}}"#,
+            r#"{"op":"shutdown","mode":"later"}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn unknown_template_is_a_bad_request() {
+        let o = JobOptions {
+            template: Some("quantum".into()),
+            ..JobOptions::default()
+        };
+        assert!(o.to_compiler_options().is_err());
+    }
+}

@@ -1,0 +1,217 @@
+//! A bounded MPMC job queue with explicit backpressure.
+//!
+//! `std::sync::mpsc` has no bounded multi-consumer variant, so the queue is
+//! the classic `Mutex<VecDeque>` + `Condvar` pair. Two properties matter
+//! for the server:
+//!
+//! * **Backpressure is a value, not a wait.** [`Bounded::try_push`] never
+//!   blocks; a full queue returns [`PushError::Full`] carrying the job
+//!   back, so the connection handler can answer the client with a typed
+//!   `queue_full` error immediately instead of holding the socket hostage.
+//! * **Shutdown is observable.** [`Bounded::close`] stops new pushes but
+//!   lets consumers drain what is already queued; [`Bounded::pop`] returns
+//!   `None` only once the queue is both closed and empty, which is the
+//!   worker-thread exit condition.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused. Both variants hand the item back to the caller.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity — backpressure; retry later or give up.
+    Full(T),
+    /// The queue was closed — the server is shutting down.
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer FIFO.
+pub struct Bounded<T> {
+    inner: Mutex<Inner<T>>,
+    nonempty: Condvar,
+    capacity: usize,
+}
+
+impl<T> Bounded<T> {
+    /// A queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Bounded<T> {
+        Bounded {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            nonempty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueue without blocking. Fails with the item when full or closed.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut g = self.inner.lock().expect("queue poisoned");
+        if g.closed {
+            return Err(PushError::Closed(item));
+        }
+        if g.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        g.items.push_back(item);
+        drop(g);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue, blocking while the queue is empty but open. Returns `None`
+    /// once the queue is closed **and** drained — the consumer exit signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut g = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.nonempty.wait(g).expect("queue poisoned");
+        }
+    }
+
+    /// Remove every queued item at once without closing the queue. Used by
+    /// abortive shutdown to answer queued jobs with an error instead of
+    /// compiling them.
+    pub fn drain_now(&self) -> Vec<T> {
+        let mut g = self.inner.lock().expect("queue poisoned");
+        g.items.drain(..).collect()
+    }
+
+    /// Refuse all future pushes and wake every blocked consumer.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.nonempty.notify_all();
+    }
+
+    /// Items currently waiting (not including jobs being executed).
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").items.len()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Has [`close`](Bounded::close) been called?
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().expect("queue poisoned").closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = Bounded::new(4);
+        for i in 0..4 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.depth(), 4);
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn full_queue_returns_the_item() {
+        let q = Bounded::new(2);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        match q.try_push("c") {
+            Err(PushError::Full("c")) => {}
+            other => panic!("expected Full, got {other:?}"),
+        }
+        // Popping frees a slot.
+        assert_eq!(q.pop(), Some("a"));
+        q.try_push("c").unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let q = Bounded::new(4);
+        q.try_push(1).unwrap();
+        q.close();
+        match q.try_push(2) {
+            Err(PushError::Closed(2)) => {}
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(Bounded::<u32>::new(1));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let q = q.clone();
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        // Give the consumers a moment to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_pass_everything_through() {
+        let q = Arc::new(Bounded::new(8));
+        let total = 200u64;
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    for i in 0..total / 4 {
+                        let mut item = p * 1000 + i;
+                        loop {
+                            match q.try_push(item) {
+                                Ok(()) => break,
+                                Err(PushError::Full(back)) => {
+                                    item = back;
+                                    std::thread::yield_now();
+                                }
+                                Err(PushError::Closed(_)) => panic!("closed early"),
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    let mut n = 0u64;
+                    while q.pop().is_some() {
+                        n += 1;
+                    }
+                    n
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let consumed: u64 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(consumed, total);
+    }
+}

@@ -1,0 +1,421 @@
+//! The compilation daemon: accept loop, worker pool, shutdown machinery.
+//!
+//! Thread structure:
+//!
+//! ```text
+//! accept loop ──spawns──▶ connection handler (one per client)
+//!                             │  cache.get → answer immediately, or
+//!                             │  queue.try_push(Job{reply: mpsc::Sender})
+//!                             ▼
+//!                      bounded job queue  ◀── backpressure: Full → typed error
+//!                             │
+//!                  worker pool (N threads) — compile_with_cancel(...)
+//!                             │
+//!                     job.reply.send(response) ──▶ handler writes the line
+//! ```
+//!
+//! Shutdown (`drain`): stop accepting, close the queue, let workers finish
+//! what is queued, then exit. Shutdown (`abort`): additionally raise the
+//! shared cancellation flag — in-flight CEGIS runs stop at the next solver
+//! checkpoint — and fail all still-queued jobs with `shutting_down`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use chipmunk::{cache_key, compile_with_cancel, CompilerOptions};
+use chipmunk_lang::{parse, Program};
+use chipmunk_trace::json::Json;
+
+use crate::cache::ResultCache;
+use crate::protocol::{codegen_error_code, error_response, parse_request, result_doc, Request};
+use crate::queue::{Bounded, PushError};
+
+/// Server construction knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads. `0` is allowed (jobs queue but never run) — useful
+    /// for deterministic backpressure tests.
+    pub workers: usize,
+    /// Bounded queue capacity; pushes beyond it get `queue_full`.
+    pub queue_capacity: usize,
+    /// Directory for the on-disk cache tier (`None` = memory-only).
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+                .min(4),
+            queue_capacity: 64,
+            cache_dir: None,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Stats {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    rejected_full: AtomicU64,
+    synth_ms_total: AtomicU64,
+    synth_ms_max: AtomicU64,
+    wait_ms_total: AtomicU64,
+}
+
+struct Job {
+    program: Program,
+    opts: CompilerOptions,
+    key: String,
+    reply: mpsc::Sender<Json>,
+    enqueued: Instant,
+}
+
+struct Shared {
+    queue: Bounded<Job>,
+    cache: ResultCache,
+    stats: Stats,
+    stopping: AtomicBool,
+    abort: Arc<AtomicBool>,
+    in_flight: AtomicUsize,
+    workers: usize,
+    addr: SocketAddr,
+}
+
+/// A running server: its address plus the threads to join.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actual bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Trigger shutdown programmatically (same as a `shutdown` request).
+    pub fn shutdown(&self, abort: bool) {
+        begin_shutdown(&self.shared, abort);
+    }
+
+    /// Block until the accept loop and every worker have exited.
+    pub fn join(self) {
+        let _ = self.accept.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Bind, spawn the worker pool and the accept loop, and return immediately.
+pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        queue: Bounded::new(config.queue_capacity),
+        cache: ResultCache::open(config.cache_dir.as_deref())?,
+        stats: Stats::default(),
+        stopping: AtomicBool::new(false),
+        abort: Arc::new(AtomicBool::new(false)),
+        in_flight: AtomicUsize::new(0),
+        workers: config.workers,
+        addr,
+    });
+    let workers = (0..config.workers)
+        .map(|i| {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name(format!("chipmunk-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker")
+        })
+        .collect();
+    let accept = {
+        let shared = shared.clone();
+        std::thread::Builder::new()
+            .name("chipmunk-accept".to_string())
+            .spawn(move || accept_loop(listener, &shared))
+            .expect("spawn accept loop")
+    };
+    Ok(ServerHandle {
+        shared,
+        accept,
+        workers,
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.stopping.load(Ordering::Relaxed) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let shared = shared.clone();
+        // Connection handlers are detached: they end when the client
+        // disconnects, and any pending reply channel they hold is answered
+        // by the draining workers before those exit.
+        let _ = std::thread::Builder::new()
+            .name("chipmunk-conn".to_string())
+            .spawn(move || handle_connection(stream, &shared));
+    }
+}
+
+fn begin_shutdown(shared: &Arc<Shared>, abort: bool) {
+    if shared.stopping.swap(true, Ordering::SeqCst) {
+        return; // already shutting down
+    }
+    if abort {
+        shared.abort.store(true, Ordering::SeqCst);
+        for job in shared.queue.drain_now() {
+            let _ = job
+                .reply
+                .send(error_response("shutting_down", "job aborted by shutdown"));
+        }
+    }
+    shared.queue.close();
+    // Wake the accept loop out of `accept()` with a throwaway connection.
+    let _ = TcpStream::connect(shared.addr);
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => return,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match parse_request(&line) {
+            Err(e) => error_response("parse", &e),
+            Ok(Request::Status) => status_response(shared),
+            Ok(Request::Stats) => stats_response(shared),
+            Ok(Request::Shutdown { abort }) => {
+                // Answer first, then trigger: the ack must not race the
+                // listener teardown.
+                let mode = if abort { "abort" } else { "drain" };
+                let ack = Json::obj([("ok", Json::Bool(true)), ("stopping", Json::from(mode))]);
+                if write_line(&mut writer, &ack).is_err() {
+                    return;
+                }
+                begin_shutdown(shared, abort);
+                continue;
+            }
+            Ok(Request::Compile { program, options }) => handle_compile(shared, &program, &options),
+        };
+        if write_line(&mut writer, &response).is_err() {
+            return;
+        }
+    }
+}
+
+fn handle_compile(
+    shared: &Arc<Shared>,
+    source: &str,
+    options: &crate::protocol::JobOptions,
+) -> Json {
+    let program = match parse(source) {
+        Ok(p) => p,
+        Err(e) => return error_response("parse", &format!("program: {e}")),
+    };
+    let opts = match options.to_compiler_options() {
+        Ok(o) => o,
+        Err(e) => return error_response("bad_request", &e),
+    };
+    let key = cache_key(&program, &opts);
+    if let Some(result) = shared.cache.get(&key) {
+        return success_response(&key, true, 0, 0, result);
+    }
+    if shared.stopping.load(Ordering::Relaxed) {
+        return error_response("shutting_down", "server is shutting down");
+    }
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let job = Job {
+        program,
+        opts,
+        key,
+        reply: reply_tx,
+        enqueued: Instant::now(),
+    };
+    match shared.queue.try_push(job) {
+        Ok(()) => {}
+        Err(PushError::Full(_)) => {
+            shared.stats.rejected_full.fetch_add(1, Ordering::Relaxed);
+            chipmunk_trace::counter_add!("serve.queue.rejected", 1);
+            return error_response(
+                "queue_full",
+                &format!(
+                    "queue at capacity ({}); retry later",
+                    shared.queue.capacity()
+                ),
+            );
+        }
+        Err(PushError::Closed(_)) => {
+            return error_response("shutting_down", "server is shutting down");
+        }
+    }
+    shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+    chipmunk_trace::histogram_record!("serve.queue.depth", shared.queue.depth() as u64);
+    match reply_rx.recv() {
+        Ok(response) => response,
+        // Workers are gone (abortive shutdown raced the enqueue).
+        Err(_) => error_response("shutting_down", "server stopped before the job ran"),
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        let wait_ms = job.enqueued.elapsed().as_millis() as u64;
+        shared
+            .stats
+            .wait_ms_total
+            .fetch_add(wait_ms, Ordering::Relaxed);
+        chipmunk_trace::histogram_record!("serve.queue.wait_ms", wait_ms);
+        if shared.abort.load(Ordering::Relaxed) {
+            let _ = job
+                .reply
+                .send(error_response("shutting_down", "job aborted by shutdown"));
+            continue;
+        }
+        // A twin of this job may have been compiled while it queued.
+        if let Some(result) = shared.cache.peek(&job.key) {
+            let _ = job
+                .reply
+                .send(success_response(&job.key, true, 0, wait_ms, result));
+            continue;
+        }
+        shared.in_flight.fetch_add(1, Ordering::Relaxed);
+        let mut sp = chipmunk_trace::span!("serve.job", key = job.key.as_str(), wait_ms = wait_ms,);
+        let started = Instant::now();
+        let res = compile_with_cancel(&job.program, &job.opts, Some(shared.abort.clone()));
+        let synth_ms = started.elapsed().as_millis() as u64;
+        shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+        chipmunk_trace::histogram_record!("serve.job.synth_ms", synth_ms);
+        shared
+            .stats
+            .synth_ms_total
+            .fetch_add(synth_ms, Ordering::Relaxed);
+        shared
+            .stats
+            .synth_ms_max
+            .fetch_max(synth_ms, Ordering::Relaxed);
+        let response = match res {
+            Ok(out) => {
+                shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                sp.record("result", "ok");
+                let result = result_doc(&out);
+                shared.cache.put(&job.key, &result);
+                success_response(&job.key, false, synth_ms, wait_ms, result)
+            }
+            Err(e) => {
+                shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                let code = if shared.abort.load(Ordering::Relaxed) {
+                    "shutting_down"
+                } else {
+                    codegen_error_code(&e)
+                };
+                sp.record("result", code);
+                error_response(code, &e.to_string())
+            }
+        };
+        let _ = job.reply.send(response);
+    }
+}
+
+fn success_response(key: &str, cached: bool, synth_ms: u64, wait_ms: u64, result: Json) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("cached", Json::Bool(cached)),
+        ("key", Json::from(key)),
+        ("synth_ms", Json::from(synth_ms)),
+        ("wait_ms", Json::from(wait_ms)),
+        ("result", result),
+    ])
+}
+
+fn status_response(shared: &Shared) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        (
+            "state",
+            Json::from(if shared.stopping.load(Ordering::Relaxed) {
+                "stopping"
+            } else {
+                "running"
+            }),
+        ),
+        ("queue_depth", Json::from(shared.queue.depth())),
+        ("queue_capacity", Json::from(shared.queue.capacity())),
+        ("workers", Json::from(shared.workers)),
+        (
+            "in_flight",
+            Json::from(shared.in_flight.load(Ordering::Relaxed)),
+        ),
+        ("cache_entries", Json::from(shared.cache.len())),
+    ])
+}
+
+fn stats_response(shared: &Shared) -> Json {
+    let s = &shared.stats;
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("submitted", Json::from(s.submitted.load(Ordering::Relaxed))),
+        ("completed", Json::from(s.completed.load(Ordering::Relaxed))),
+        ("failed", Json::from(s.failed.load(Ordering::Relaxed))),
+        (
+            "rejected_full",
+            Json::from(s.rejected_full.load(Ordering::Relaxed)),
+        ),
+        ("cache_hits", Json::from(shared.cache.hits())),
+        ("cache_misses", Json::from(shared.cache.misses())),
+        ("cache_entries", Json::from(shared.cache.len())),
+        ("queue_depth", Json::from(shared.queue.depth())),
+        (
+            "synth_ms_total",
+            Json::from(s.synth_ms_total.load(Ordering::Relaxed)),
+        ),
+        (
+            "synth_ms_max",
+            Json::from(s.synth_ms_max.load(Ordering::Relaxed)),
+        ),
+        (
+            "wait_ms_total",
+            Json::from(s.wait_ms_total.load(Ordering::Relaxed)),
+        ),
+    ])
+}
+
+fn write_line(w: &mut TcpStream, doc: &Json) -> std::io::Result<()> {
+    let mut line = doc.to_compact();
+    line.push('\n');
+    w.write_all(line.as_bytes())?;
+    w.flush()
+}
+
+/// Resolve a user-supplied address string early, for friendlier CLI errors.
+pub fn resolve_addr(addr: &str) -> std::io::Result<SocketAddr> {
+    addr.to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))
+}

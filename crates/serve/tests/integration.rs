@@ -1,0 +1,198 @@
+//! End-to-end tests: real TCP server on an ephemeral port, real client.
+
+use chipmunk_serve::{server, Client, ServerConfig};
+use chipmunk_trace::json::Json;
+
+/// Small widths so a debug-build CEGIS run finishes in well under a second.
+fn fast_options() -> Json {
+    Json::obj([
+        ("imm", Json::from(3u64)),
+        ("width", Json::from(6u64)),
+        ("screen_width", Json::from(3u64)),
+        ("synth_input_bits", Json::from(3u64)),
+        ("num_initial_inputs", Json::from(3u64)),
+        ("max_iters", Json::from(64u64)),
+        ("seed", Json::from(42u64)),
+        ("max_stages", Json::from(2u64)),
+        ("timeout_ms", Json::from(60_000u64)),
+    ])
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("chipmunk-serve-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn ok(resp: &Json) -> bool {
+    resp.get("ok").and_then(Json::as_bool) == Some(true)
+}
+
+#[test]
+fn round_trip_cache_hits_and_stats() {
+    let dir = tmpdir("roundtrip");
+    let handle = server::start(&ServerConfig {
+        workers: 2,
+        queue_capacity: 8,
+        cache_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = handle.local_addr();
+    let mut client = Client::connect(addr).expect("client connects");
+
+    // First submission: a real synthesis run.
+    let base = "state s; s = s + 1; pkt.out = s;";
+    let first = client.compile(base, fast_options()).unwrap();
+    assert!(ok(&first), "first compile failed: {first}");
+    assert_eq!(first.get("cached").and_then(Json::as_bool), Some(false));
+    let key = first.get("key").and_then(Json::as_str).unwrap().to_string();
+    let result = first.get("result").unwrap().clone();
+    assert!(result.get("pipeline").is_some());
+
+    // Identical resubmission: a cache hit with the identical decoded config.
+    let second = client.compile(base, fast_options()).unwrap();
+    assert!(ok(&second), "second compile failed: {second}");
+    assert_eq!(second.get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(second.get("key").and_then(Json::as_str), Some(key.as_str()));
+    assert_eq!(second.get("result").unwrap(), &result);
+
+    // A semantics-preserving mutant (commuted operand, added identity):
+    // canonicalization maps it to the same key, so it also hits.
+    let mutant = "state s; s = 1 + s; pkt.out = s + 0;";
+    let third = client.compile(mutant, fast_options()).unwrap();
+    assert!(ok(&third), "mutant compile failed: {third}");
+    assert_eq!(third.get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(third.get("key").and_then(Json::as_str), Some(key.as_str()));
+    assert_eq!(third.get("result").unwrap(), &result);
+
+    // Status reflects the pool configuration.
+    let status = client.status().unwrap();
+    assert!(ok(&status));
+    assert_eq!(status.get("state").and_then(Json::as_str), Some("running"));
+    assert_eq!(status.get("workers").and_then(Json::as_u64), Some(2));
+    assert_eq!(status.get("queue_capacity").and_then(Json::as_u64), Some(8));
+
+    // Stats: one real job, two cache hits, synth time accounted.
+    let stats = client.stats().unwrap();
+    assert!(ok(&stats));
+    assert_eq!(stats.get("submitted").and_then(Json::as_u64), Some(1));
+    assert_eq!(stats.get("completed").and_then(Json::as_u64), Some(1));
+    assert_eq!(stats.get("failed").and_then(Json::as_u64), Some(0));
+    assert_eq!(stats.get("cache_misses").and_then(Json::as_u64), Some(1));
+    assert_eq!(stats.get("cache_hits").and_then(Json::as_u64), Some(2));
+    assert_eq!(stats.get("cache_entries").and_then(Json::as_u64), Some(1));
+    let synth_total = stats.get("synth_ms_total").and_then(Json::as_u64).unwrap();
+    let synth_max = stats.get("synth_ms_max").and_then(Json::as_u64).unwrap();
+    assert!(synth_max <= synth_total);
+
+    // Graceful shutdown drains and the threads actually exit.
+    let ack = client.shutdown(false).unwrap();
+    assert!(ok(&ack));
+    assert_eq!(ack.get("stopping").and_then(Json::as_str), Some("drain"));
+    handle.join();
+
+    // A restarted server reloads the on-disk tier: still a hit.
+    let handle = server::start(&ServerConfig {
+        workers: 1,
+        queue_capacity: 8,
+        cache_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    let warm = client.compile(base, fast_options()).unwrap();
+    assert!(ok(&warm), "warm compile failed: {warm}");
+    assert_eq!(warm.get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(warm.get("result").unwrap(), &result);
+    client.shutdown(false).unwrap();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn full_queue_gets_typed_backpressure_and_abort_fails_queued_jobs() {
+    // No workers: jobs queue forever, making the full/abort path
+    // deterministic.
+    let handle = server::start(&ServerConfig {
+        workers: 0,
+        queue_capacity: 1,
+        cache_dir: None,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.local_addr();
+
+    // The first job occupies the only queue slot; its handler blocks
+    // waiting for a worker, so run it on a helper thread.
+    let blocked = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.compile("pkt.x = pkt.a;", fast_options()).unwrap()
+    });
+    // Wait until the job is actually queued.
+    let mut control = Client::connect(addr).unwrap();
+    loop {
+        let status = control.status().unwrap();
+        if status.get("queue_depth").and_then(Json::as_u64) == Some(1) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+
+    // The second job is refused with a typed error, not a hang.
+    let mut c2 = Client::connect(addr).unwrap();
+    let refused = c2.compile("pkt.y = pkt.b;", fast_options()).unwrap();
+    assert_eq!(refused.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        refused.get("error").and_then(Json::as_str),
+        Some("queue_full")
+    );
+
+    // Abortive shutdown fails the queued job instead of running it.
+    let ack = control.shutdown(true).unwrap();
+    assert_eq!(ack.get("stopping").and_then(Json::as_str), Some("abort"));
+    let aborted = blocked.join().unwrap();
+    assert_eq!(aborted.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        aborted.get("error").and_then(Json::as_str),
+        Some("shutting_down")
+    );
+    handle.join();
+}
+
+#[test]
+fn compile_errors_are_reported_not_fatal() {
+    let handle = server::start(&ServerConfig {
+        workers: 1,
+        queue_capacity: 4,
+        cache_dir: None,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    // Unparseable program.
+    let bad = client.compile("pkt.x = = 3;", fast_options()).unwrap();
+    assert_eq!(bad.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(bad.get("error").and_then(Json::as_str), Some("parse"));
+
+    // Malformed request line.
+    let garbage = client.request(&Json::from("just a string")).unwrap();
+    assert_eq!(garbage.get("error").and_then(Json::as_str), Some("parse"));
+
+    // Infeasible program (multiplication has no ALU support at this size).
+    let infeasible = client
+        .compile("pkt.z = pkt.x * pkt.y;", fast_options())
+        .unwrap();
+    assert_eq!(infeasible.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        infeasible.get("error").and_then(Json::as_str),
+        Some("infeasible")
+    );
+
+    // The connection and server survive all of it.
+    let alive = client.compile("pkt.x = pkt.a;", fast_options()).unwrap();
+    assert!(ok(&alive), "server wedged: {alive}");
+    client.shutdown(false).unwrap();
+    handle.join();
+}

@@ -189,6 +189,8 @@ pub fn superoptimize(
         spec.state_names().is_empty(),
         "superoptimization targets stateless code; stateful programs go through `chipmunk`"
     );
+    let mut run_sp =
+        chipmunk_trace::span!("superopt.run", max_len = opts.max_len, width = opts.width,);
     let out_field = *spec
         .written_fields()
         .first()
@@ -198,20 +200,37 @@ pub fn superoptimize(
 
     for len in 1..=opts.max_len {
         if opts.deadline.is_some_and(|d| Instant::now() >= d) {
+            run_sp.record("result", "timeout");
             return Err(SuperoptError::Timeout);
         }
-        match cegis_at_len(spec, out_field, num_inputs, len, opts, &mut iterations)? {
+        let mut len_sp = chipmunk_trace::span!("superopt.len", len = len);
+        let found = cegis_at_len(spec, out_field, num_inputs, len, opts, &mut iterations);
+        len_sp.record(
+            "result",
+            match &found {
+                Ok(Some(_)) => "ok",
+                Ok(None) => "infeasible",
+                Err(_) => "timeout",
+            },
+        );
+        drop(len_sp);
+        match found? {
             Some(instrs) => {
+                run_sp.record("result", "ok");
+                run_sp.record("optimal_len", len as u64);
+                run_sp.record("iterations", iterations as u64);
                 return Ok(SuperoptResult {
                     instrs,
                     num_inputs,
                     infeasible_below: len - 1,
                     iterations,
-                })
+                });
             }
             None => continue,
         }
     }
+    run_sp.record("result", "infeasible");
+    run_sp.record("iterations", iterations as u64);
     Err(SuperoptError::Infeasible)
 }
 
@@ -322,6 +341,7 @@ fn cegis_at_len(
             .map(|bits| dec.decode(bits).expect("total model"))
             .collect();
         let instrs = decode(&hv, num_inputs, len, &opts.alu);
+        let mut cand_sp = chipmunk_trace::span!("superopt.candidate", len = len);
 
         // Verify: candidate vs spec for all inputs at width w.
         let mut vc = Circuit::new(w);
@@ -347,9 +367,15 @@ fn cegis_at_len(
         vb.assert_term(&vc, diff);
         let in_bits: Vec<Vec<Lit>> = vins.iter().map(|&t| vb.blast(&vc, t)).collect();
         match vsolver.solve(&[]) {
-            SolveResult::Unsat => return Ok(Some(instrs)),
+            SolveResult::Unsat => {
+                cand_sp.record("result", "accepted");
+                chipmunk_trace::counter_add!("superopt.candidates.accepted", 1);
+                return Ok(Some(instrs));
+            }
             SolveResult::Unknown => return Err(SuperoptError::Timeout),
             SolveResult::Sat => {
+                cand_sp.record("result", "rejected_counterexample");
+                chipmunk_trace::counter_add!("superopt.candidates.rejected", 1);
                 let vdec = Blaster::new(&mut vsolver, vtru);
                 let cex: Vec<u64> = in_bits
                     .iter()
