@@ -8,7 +8,7 @@
 //! chipmunkc superopt <file> [--imm N] [--width W] [--max-len L] [--full-alu] [--trace OUT.jsonl]
 //! chipmunkc run      <file> [--template T] [--packets N] [--width W] [--trace CSV]
 //! chipmunkc trace-report <file.jsonl>
-//! chipmunkc serve    [--addr H:P] [--workers N] [--queue-cap N] [--cache-dir DIR] [--trace OUT.jsonl]
+//! chipmunkc serve    [--addr H:P] [--workers N] [--queue-cap N] [--cache-dir DIR] [--max-conns N] [--idle-timeout S] [--trace OUT.jsonl]
 //! chipmunkc submit   <file> [--addr H:P] [--template T] [--imm N] [--width W] [--max-stages K] [--timeout S] [--parallel] [--json]
 //! chipmunkc submit   --status | --stats | --shutdown | --shutdown-now [--addr H:P]
 //! ```
@@ -30,7 +30,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use chipmunk::{compile, CompilerOptions};
+use chipmunk::{compile, layout_names, CompilerOptions};
 use chipmunk_domino::{compile as domino_compile, DominoOptions};
 use chipmunk_lang::{parse, Interpreter, PacketState, Program};
 use chipmunk_pisa::{stateful::library, Pipeline, StatefulAluSpec, StatelessAluSpec};
@@ -193,6 +193,11 @@ fn cmd_compile(args: &Args) -> Result<(), String> {
         out.resources.total_alus
     );
     if args.has("json") {
+        // `fields` / `states` name the indices of `field_to_container`
+        // (hash calls add metadata fields, so this can be longer than the
+        // source's field list) — same shape as a serve result document.
+        let (fields, states) = layout_names(&prog);
+        let names = |ns: Vec<String>| Json::Arr(ns.into_iter().map(Json::from).collect());
         let doc = Json::obj([
             (
                 "grid",
@@ -202,6 +207,8 @@ fn cmd_compile(args: &Args) -> Result<(), String> {
                 ]),
             ),
             ("resources", out.resources.to_json()),
+            ("fields", names(fields)),
+            ("states", names(states)),
             (
                 "field_to_container",
                 Json::Arr(
@@ -226,14 +233,18 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     if let Some(path) = args.get("trace") {
         chipmunk_trace::init_jsonl(path).map_err(|e| format!("--trace {path}: {e}"))?;
     }
+    let defaults = chipmunk_serve::ServerConfig::default();
     let config = chipmunk_serve::ServerConfig {
         addr: args.get("addr").unwrap_or(SERVE_ADDR).to_string(),
-        workers: args.num(
-            "workers",
-            chipmunk_serve::ServerConfig::default().workers.max(1),
-        )?,
+        workers: args.num("workers", defaults.workers.max(1))?,
         queue_capacity: args.num("queue-cap", 64)?,
         cache_dir: args.get("cache-dir").map(std::path::PathBuf::from),
+        max_connections: args.num("max-conns", defaults.max_connections)?,
+        // 0 = wait forever; anything else is a per-socket idle deadline.
+        idle_timeout: match args.num("idle-timeout", 60u64)? {
+            0 => None,
+            secs => Some(Duration::from_secs(secs)),
+        },
     };
     let handle =
         chipmunk_serve::start(&config).map_err(|e| format!("bind {}: {e}", config.addr))?;

@@ -52,6 +52,25 @@ pub fn canonical_text(prog: &Program, width: u8) -> String {
     p.to_string()
 }
 
+/// The field and state names a compilation of `prog` is laid out over, in
+/// index order: the submitted program's names after hash elimination (each
+/// hash call appends a fresh metadata field, exactly as [`crate::compile`]
+/// does internally). `CodegenSuccess::decoded.field_to_container` is
+/// indexed by this field list.
+///
+/// Index order is *requester-local*: [`canonical_text`] (and therefore
+/// [`cache_key`]) orders by name, so two programs can share a key while
+/// numbering their fields differently. A result cache keyed by
+/// [`cache_key`] must carry these name lists alongside the result and
+/// remap indices by name when serving a different submitter.
+pub fn layout_names(prog: &Program) -> (Vec<String>, Vec<String>) {
+    let mut p = prog.clone();
+    if p.stmts().iter().any(|s| s.contains_hash()) {
+        chipmunk_lang::passes::eliminate_hashes(&mut p);
+    }
+    (p.field_names().to_vec(), p.state_names().to_vec())
+}
+
 /// Content hash of a compilation query, as a 16-hex-digit string.
 pub fn cache_key(prog: &Program, opts: &CompilerOptions) -> String {
     let mut desc = String::new();
@@ -127,6 +146,31 @@ mod tests {
         let mut deeper = opts.clone();
         deeper.max_stages += 1;
         assert_ne!(cache_key(&a, &opts), cache_key(&a, &deeper));
+    }
+
+    #[test]
+    fn key_equal_programs_can_still_number_fields_differently() {
+        // Canonical text orders by *name*, so these two commuted programs
+        // share a key — but their first-use field numbering differs. This
+        // is exactly why cached results must carry their name lists and be
+        // remapped per requester (see chipmunk-serve).
+        let opts = CompilerOptions::small_for_tests();
+        let a = parse("pkt.x = pkt.b | pkt.a; pkt.y = pkt.a;").unwrap();
+        let b = parse("pkt.x = pkt.a | pkt.b; pkt.y = pkt.a;").unwrap();
+        assert_eq!(cache_key(&a, &opts), cache_key(&b, &opts));
+        let (fa, sa) = layout_names(&a);
+        let (fb, sb) = layout_names(&b);
+        assert_eq!(fa, ["x", "b", "a", "y"]);
+        assert_eq!(fb, ["x", "a", "b", "y"]);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn layout_names_include_hash_metadata_fields() {
+        let p = parse("state s; s = hash(pkt.a, pkt.b) % 8; pkt.out = s;").unwrap();
+        let (fields, states) = layout_names(&p);
+        assert_eq!(fields, ["a", "b", "out", "hash_0"]);
+        assert_eq!(states, ["s"]);
     }
 
     #[test]

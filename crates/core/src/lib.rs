@@ -43,7 +43,7 @@ mod search;
 pub mod sketch;
 
 pub use approx::{compile_approximate, ApproxOptions, ApproxOutcome};
-pub use cache::{cache_key, canonical_text};
+pub use cache::{cache_key, canonical_text, layout_names};
 pub use cegis::{CegisOptions, CegisStats, SynthesisError, Synthesized};
 pub use search::{compile, compile_with_cancel, CodegenError, CodegenSuccess, CompilerOptions};
 pub use sketch::{DecodedConfig, HoleDecl, Sketch, SketchOptions, SketchOutputs};

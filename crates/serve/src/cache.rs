@@ -66,7 +66,16 @@ impl ResultCache {
 
     /// Look up a key, updating the hit/miss counters.
     pub fn get(&self, key: &str) -> Option<Json> {
-        let found = self.peek(key);
+        self.get_adapted(key, Some)
+    }
+
+    /// Look up a key and pass the stored document through `adapt` — a
+    /// lookup only counts as a hit if `adapt` accepts it. The serving
+    /// layer uses this to remap a cached result into the requester's own
+    /// field numbering; an entry that cannot be remapped (legacy line,
+    /// hash collision) is a miss and the job recompiles.
+    pub fn get_adapted(&self, key: &str, adapt: impl FnOnce(Json) -> Option<Json>) -> Option<Json> {
+        let found = self.peek(key).and_then(adapt);
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             chipmunk_trace::counter_add!("serve.cache.hit", 1);

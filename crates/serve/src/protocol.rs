@@ -20,7 +20,14 @@
 //! Responses always carry `"ok"`: successes are `{"ok":true,…}`, failures
 //! `{"ok":false,"error":<code>,"message":<string>}` with codes `parse`,
 //! `bad_request`, `too_large`, `infeasible`, `timeout`, `queue_full`,
-//! `shutting_down`.
+//! `busy` (connection limit reached — sent once on accept, then the
+//! connection closes), `shutting_down`.
+//!
+//! A compile success's `result` object carries `fields` and `states`
+//! name arrays naming the indices of `field_to_container` — always in the
+//! *requester's* first-use order, even when the result is served from
+//! cache on behalf of a differently-numbered equivalent program (see
+//! [`remap_result`]).
 
 use chipmunk::{CodegenError, CodegenSuccess, CompilerOptions};
 use chipmunk_pisa::{stateful::library, StatefulAluSpec, StatelessAluSpec};
@@ -219,7 +226,14 @@ pub fn codegen_error_code(e: &CodegenError) -> &'static str {
 
 /// Serialize a successful compilation: the decoded configuration in the
 /// same shape as `chipmunkc compile --json`.
-pub fn result_doc(out: &CodegenSuccess) -> Json {
+///
+/// `fields` / `states` are the compiled program's name lists in index
+/// order (see [`chipmunk::layout_names`]); they make the document
+/// self-describing, which is what lets a cache hit be remapped to a
+/// requester whose program numbers the same names differently
+/// ([`remap_result`]).
+pub fn result_doc(out: &CodegenSuccess, fields: &[String], states: &[String]) -> Json {
+    let names = |ns: &[String]| Json::Arr(ns.iter().map(|n| Json::from(n.as_str())).collect());
     Json::obj([
         (
             "grid",
@@ -229,6 +243,8 @@ pub fn result_doc(out: &CodegenSuccess) -> Json {
             ]),
         ),
         ("resources", out.resources.to_json()),
+        ("fields", names(fields)),
+        ("states", names(states)),
         (
             "field_to_container",
             Json::Arr(
@@ -241,6 +257,76 @@ pub fn result_doc(out: &CodegenSuccess) -> Json {
         ),
         ("pipeline", out.decoded.pipeline.to_json()),
     ])
+}
+
+fn str_arr<'a>(doc: &'a Json, key: &str) -> Option<Vec<&'a str>> {
+    doc.get(key)?
+        .as_arr()?
+        .iter()
+        .map(Json::as_str)
+        .collect::<Option<Vec<_>>>()
+}
+
+/// Adapt a cached result document to a requester's own field numbering.
+///
+/// The cache key hashes the *canonicalized* program, which orders
+/// operands by field **name** — so two submitters can share a key while
+/// numbering fields differently (indices follow first use). The cached
+/// `field_to_container` is in the producer's index space; serving it
+/// verbatim would mis-wire the requester's fields into the wrong PHV
+/// containers. This permutes it into the requester's index space by
+/// matching names. The pipeline document itself needs no rewrite: it
+/// lives in container space, which is absolute hardware state.
+///
+/// State order cannot differ between key-equal programs (declarations
+/// print at the top of the canonical text in index order), and field name
+/// *sets* cannot differ either — so any mismatch here means the entry is
+/// not actually equivalent (legacy cache line or an FNV collision).
+/// Returns `None` in that case; callers treat it as a miss and recompile.
+pub fn remap_result(cached: &Json, fields: &[String], states: &[String]) -> Option<Json> {
+    let cached_fields = str_arr(cached, "fields")?;
+    let cached_states = str_arr(cached, "states")?;
+    if cached_states.len() != states.len()
+        || cached_states.iter().zip(states).any(|(a, b)| a != b)
+        || cached_fields.len() != fields.len()
+    {
+        return None;
+    }
+    if cached_fields.iter().zip(fields).all(|(a, b)| a == b) {
+        return Some(cached.clone());
+    }
+    let f2c = cached
+        .get("field_to_container")?
+        .as_arr()?
+        .iter()
+        .map(Json::as_u64)
+        .collect::<Option<Vec<_>>>()?;
+    if f2c.len() != cached_fields.len() {
+        return None;
+    }
+    let remapped: Vec<Json> = fields
+        .iter()
+        .map(|name| {
+            let producer_idx = cached_fields.iter().position(|c| c == name)?;
+            Some(Json::from(f2c[producer_idx]))
+        })
+        .collect::<Option<_>>()?;
+    let Json::Obj(pairs) = cached else {
+        return None;
+    };
+    Some(Json::Obj(
+        pairs
+            .iter()
+            .map(|(k, v)| {
+                let v = match k.as_str() {
+                    "fields" => Json::Arr(fields.iter().map(|n| Json::from(n.as_str())).collect()),
+                    "field_to_container" => Json::Arr(remapped.clone()),
+                    _ => v.clone(),
+                };
+                (k.clone(), v)
+            })
+            .collect(),
+    ))
 }
 
 #[cfg(test)]
@@ -297,6 +383,85 @@ mod tests {
         ] {
             assert!(parse_request(bad).is_err(), "accepted: {bad}");
         }
+    }
+
+    fn cached_doc(fields: &[&str], states: &[&str], f2c: &[u64]) -> Json {
+        Json::obj([
+            ("grid", Json::obj([("stages", Json::from(1u64))])),
+            (
+                "fields",
+                Json::Arr(fields.iter().map(|&n| Json::from(n)).collect()),
+            ),
+            (
+                "states",
+                Json::Arr(states.iter().map(|&n| Json::from(n)).collect()),
+            ),
+            (
+                "field_to_container",
+                Json::Arr(f2c.iter().map(|&c| Json::from(c)).collect()),
+            ),
+            ("pipeline", Json::obj([("stages", Json::Arr(vec![]))])),
+        ])
+    }
+
+    fn names(ns: &[&str]) -> Vec<String> {
+        ns.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn remap_is_identity_for_matching_orders() {
+        let doc = cached_doc(&["x", "a", "b"], &["s"], &[0, 1, 2]);
+        let out = remap_result(&doc, &names(&["x", "a", "b"]), &names(&["s"])).unwrap();
+        assert_eq!(out, doc);
+    }
+
+    #[test]
+    fn remap_permutes_field_to_container_by_name() {
+        // Producer numbered x,b,a,y (first use in `pkt.x = pkt.b | pkt.a;
+        // pkt.y = pkt.a;`); canonical mode pinned field i to container i.
+        let doc = cached_doc(&["x", "b", "a", "y"], &[], &[0, 1, 2, 3]);
+        // Requester submitted the commuted form: numbering x,a,b,y.
+        let out = remap_result(&doc, &names(&["x", "a", "b", "y"]), &names(&[])).unwrap();
+        let f2c: Vec<u64> = out
+            .get("field_to_container")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_u64().unwrap())
+            .collect();
+        // Requester's a (their index 1) lives where the producer put a
+        // (container 2), and vice versa for b.
+        assert_eq!(f2c, [0, 2, 1, 3]);
+        let fields: Vec<&str> = out
+            .get("fields")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_str().unwrap())
+            .collect();
+        assert_eq!(fields, ["x", "a", "b", "y"]);
+        // Container-space sections pass through untouched.
+        assert_eq!(out.get("pipeline"), doc.get("pipeline"));
+        assert_eq!(out.get("grid"), doc.get("grid"));
+    }
+
+    #[test]
+    fn remap_rejects_non_equivalent_entries() {
+        let doc = cached_doc(&["x", "a"], &["s"], &[0, 1]);
+        // Different name set (collision or corruption): miss.
+        assert!(remap_result(&doc, &names(&["x", "z"]), &names(&["s"])).is_none());
+        // Different field count: miss.
+        assert!(remap_result(&doc, &names(&["x", "a", "b"]), &names(&["s"])).is_none());
+        // Different state order: miss.
+        assert!(remap_result(&doc, &names(&["x", "a"]), &names(&["t"])).is_none());
+        // Legacy entry without name lists: miss.
+        let legacy = Json::obj([(
+            "field_to_container",
+            Json::Arr(vec![Json::from(0u64), Json::from(1u64)]),
+        )]);
+        assert!(remap_result(&legacy, &names(&["x", "a"]), &names(&[])).is_none());
     }
 
     #[test]

@@ -25,14 +25,16 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use chipmunk::{cache_key, compile_with_cancel, CompilerOptions};
+use chipmunk::{cache_key, compile_with_cancel, layout_names, CompilerOptions};
 use chipmunk_lang::{parse, Program};
 use chipmunk_trace::json::Json;
 
 use crate::cache::ResultCache;
-use crate::protocol::{codegen_error_code, error_response, parse_request, result_doc, Request};
+use crate::protocol::{
+    codegen_error_code, error_response, parse_request, remap_result, result_doc, Request,
+};
 use crate::queue::{Bounded, PushError};
 
 /// Server construction knobs.
@@ -47,6 +49,16 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Directory for the on-disk cache tier (`None` = memory-only).
     pub cache_dir: Option<PathBuf>,
+    /// Concurrent connection handlers. A connection accepted beyond this
+    /// is answered with one `busy` error line and closed, so idle or slow
+    /// clients cannot exhaust threads (the bounded queue already protects
+    /// compute).
+    pub max_connections: usize,
+    /// Per-socket read deadline: a connection whose client sends nothing
+    /// for this long is dropped (`None` = wait forever). Does not bound
+    /// compilation itself — a handler waiting on a worker's reply is not
+    /// reading.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +71,8 @@ impl Default for ServerConfig {
                 .min(4),
             queue_capacity: 64,
             cache_dir: None,
+            max_connections: 64,
+            idle_timeout: Some(Duration::from_secs(60)),
         }
     }
 }
@@ -69,6 +83,7 @@ struct Stats {
     completed: AtomicU64,
     failed: AtomicU64,
     rejected_full: AtomicU64,
+    rejected_busy: AtomicU64,
     synth_ms_total: AtomicU64,
     synth_ms_max: AtomicU64,
     wait_ms_total: AtomicU64,
@@ -78,6 +93,10 @@ struct Job {
     program: Program,
     opts: CompilerOptions,
     key: String,
+    /// Field / state names in the submitter's index order (the layout
+    /// `compile` will use) — cached results are remapped through these.
+    fields: Vec<String>,
+    states: Vec<String>,
     reply: mpsc::Sender<Json>,
     enqueued: Instant,
 }
@@ -89,8 +108,21 @@ struct Shared {
     stopping: AtomicBool,
     abort: Arc<AtomicBool>,
     in_flight: AtomicUsize,
+    conns: AtomicUsize,
+    max_conns: usize,
+    idle_timeout: Option<Duration>,
     workers: usize,
     addr: SocketAddr,
+}
+
+/// Decrements the live-connection count when a handler exits (or when its
+/// thread failed to spawn and the closure is dropped unrun).
+struct ConnGuard(Arc<Shared>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.conns.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 /// A running server: its address plus the threads to join.
@@ -131,6 +163,9 @@ pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
         stopping: AtomicBool::new(false),
         abort: Arc::new(AtomicBool::new(false)),
         in_flight: AtomicUsize::new(0),
+        conns: AtomicUsize::new(0),
+        max_conns: config.max_connections,
+        idle_timeout: config.idle_timeout,
         workers: config.workers,
         addr,
     });
@@ -162,17 +197,29 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
         if shared.stopping.load(Ordering::Relaxed) {
             break;
         }
-        let stream = match stream {
+        let mut stream = match stream {
             Ok(s) => s,
             Err(_) => continue,
         };
-        let shared = shared.clone();
+        let _ = stream.set_read_timeout(shared.idle_timeout);
+        if shared.conns.load(Ordering::Relaxed) >= shared.max_conns {
+            shared.stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
+            chipmunk_trace::counter_add!("serve.conn.rejected", 1);
+            let _ = write_line(
+                &mut stream,
+                &error_response("busy", "connection limit reached; retry later"),
+            );
+            continue;
+        }
+        shared.conns.fetch_add(1, Ordering::Relaxed);
+        let guard = ConnGuard(shared.clone());
         // Connection handlers are detached: they end when the client
-        // disconnects, and any pending reply channel they hold is answered
-        // by the draining workers before those exit.
+        // disconnects (or its idle timeout expires), and any pending reply
+        // channel they hold is answered by the draining workers before
+        // those exit.
         let _ = std::thread::Builder::new()
             .name("chipmunk-conn".to_string())
-            .spawn(move || handle_connection(stream, &shared));
+            .spawn(move || handle_connection(stream, &guard.0));
     }
 }
 
@@ -244,7 +291,15 @@ fn handle_compile(
         Err(e) => return error_response("bad_request", &e),
     };
     let key = cache_key(&program, &opts);
-    if let Some(result) = shared.cache.get(&key) {
+    // The key equates programs whose canonical *texts* match, which is
+    // name-based — the requester may number the same fields differently
+    // from whoever populated the entry, so hits are remapped by name (an
+    // entry that cannot be remapped counts as a miss and recompiles).
+    let (fields, states) = layout_names(&program);
+    if let Some(result) = shared
+        .cache
+        .get_adapted(&key, |cached| remap_result(&cached, &fields, &states))
+    {
         return success_response(&key, true, 0, 0, result);
     }
     if shared.stopping.load(Ordering::Relaxed) {
@@ -255,6 +310,8 @@ fn handle_compile(
         program,
         opts,
         key,
+        fields,
+        states,
         reply: reply_tx,
         enqueued: Instant::now(),
     };
@@ -299,7 +356,11 @@ fn worker_loop(shared: &Arc<Shared>) {
             continue;
         }
         // A twin of this job may have been compiled while it queued.
-        if let Some(result) = shared.cache.peek(&job.key) {
+        if let Some(result) = shared
+            .cache
+            .peek(&job.key)
+            .and_then(|cached| remap_result(&cached, &job.fields, &job.states))
+        {
             let _ = job
                 .reply
                 .send(success_response(&job.key, true, 0, wait_ms, result));
@@ -324,7 +385,7 @@ fn worker_loop(shared: &Arc<Shared>) {
             Ok(out) => {
                 shared.stats.completed.fetch_add(1, Ordering::Relaxed);
                 sp.record("result", "ok");
-                let result = result_doc(&out);
+                let result = result_doc(&out, &job.fields, &job.states);
                 shared.cache.put(&job.key, &result);
                 success_response(&job.key, false, synth_ms, wait_ms, result)
             }
@@ -372,6 +433,11 @@ fn status_response(shared: &Shared) -> Json {
             "in_flight",
             Json::from(shared.in_flight.load(Ordering::Relaxed)),
         ),
+        (
+            "connections",
+            Json::from(shared.conns.load(Ordering::Relaxed)),
+        ),
+        ("max_connections", Json::from(shared.max_conns)),
         ("cache_entries", Json::from(shared.cache.len())),
     ])
 }
@@ -386,6 +452,10 @@ fn stats_response(shared: &Shared) -> Json {
         (
             "rejected_full",
             Json::from(s.rejected_full.load(Ordering::Relaxed)),
+        ),
+        (
+            "rejected_busy",
+            Json::from(s.rejected_busy.load(Ordering::Relaxed)),
         ),
         ("cache_hits", Json::from(shared.cache.hits())),
         ("cache_misses", Json::from(shared.cache.misses())),

@@ -110,6 +110,159 @@ fn round_trip_cache_hits_and_stats() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The requester's `fields` array names the indices of its
+/// `field_to_container`; returns the portable name → container map.
+fn field_containers(result: &Json) -> std::collections::BTreeMap<String, u64> {
+    let names = result.get("fields").unwrap().as_arr().unwrap();
+    let conts = result.get("field_to_container").unwrap().as_arr().unwrap();
+    assert_eq!(names.len(), conts.len());
+    names
+        .iter()
+        .zip(conts)
+        .map(|(n, c)| (n.as_str().unwrap().to_string(), c.as_u64().unwrap()))
+        .collect()
+}
+
+#[test]
+fn cache_hits_are_remapped_to_the_requesters_field_numbering() {
+    let handle = server::start(&ServerConfig {
+        workers: 1,
+        queue_capacity: 8,
+        cache_dir: None,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    // First-use order x, b, a, y.
+    let base = "pkt.x = pkt.b + pkt.a; pkt.y = pkt.a;";
+    let first = client.compile(base, fast_options()).unwrap();
+    assert!(ok(&first), "base compile failed: {first}");
+    let result = first.get("result").unwrap();
+    let fields: Vec<&str> = result
+        .get("fields")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_str().unwrap())
+        .collect();
+    assert_eq!(fields, ["x", "b", "a", "y"]);
+
+    // The commuted mutant numbers its fields x, a, b, y — same canonical
+    // text, same key, but the producer's field_to_container is in a
+    // different index space. The hit must come back remapped so that each
+    // *name* still maps to the container the producer wired it to.
+    let mutant = "pkt.x = pkt.a + pkt.b; pkt.y = pkt.a;";
+    let second = client.compile(mutant, fast_options()).unwrap();
+    assert!(ok(&second), "mutant compile failed: {second}");
+    assert_eq!(second.get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        second.get("key").and_then(Json::as_str),
+        first.get("key").and_then(Json::as_str)
+    );
+    let remapped = second.get("result").unwrap();
+    let fields: Vec<&str> = remapped
+        .get("fields")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_str().unwrap())
+        .collect();
+    assert_eq!(fields, ["x", "a", "b", "y"], "requester's own numbering");
+    assert_eq!(
+        field_containers(result),
+        field_containers(remapped),
+        "every field name must keep its producer-assigned container"
+    );
+    // The pipeline itself is container-space hardware state: untouched.
+    assert_eq!(result.get("pipeline"), remapped.get("pipeline"));
+    assert_eq!(result.get("grid"), remapped.get("grid"));
+
+    client.shutdown(false).unwrap();
+    handle.join();
+}
+
+#[test]
+fn excess_connections_get_a_busy_error_and_slots_are_reclaimed() {
+    use std::io::BufRead;
+
+    let handle = server::start(&ServerConfig {
+        workers: 0,
+        queue_capacity: 1,
+        cache_dir: None,
+        max_connections: 2,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.local_addr();
+
+    // Two round-trips prove both handlers are accepted and live.
+    let mut c1 = Client::connect(addr).unwrap();
+    let mut c2 = Client::connect(addr).unwrap();
+    assert!(ok(&c1.status().unwrap()));
+    assert!(ok(&c2.status().unwrap()));
+
+    // The third connection is answered with one busy line and closed —
+    // read it raw, without sending anything.
+    let third = std::net::TcpStream::connect(addr).unwrap();
+    let mut line = String::new();
+    std::io::BufReader::new(third).read_line(&mut line).unwrap();
+    let refused = Json::parse(line.trim_end()).unwrap();
+    assert_eq!(refused.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(refused.get("error").and_then(Json::as_str), Some("busy"));
+
+    let stats = c1.stats().unwrap();
+    assert_eq!(stats.get("rejected_busy").and_then(Json::as_u64), Some(1));
+
+    // Closing a client frees its slot (the handler notices EOF and exits);
+    // a fresh connection is then served again.
+    drop(c2);
+    let mut served = false;
+    for _ in 0..200 {
+        if let Ok(mut c) = Client::connect(addr) {
+            if c.status().is_ok_and(|s| ok(&s)) {
+                served = true;
+                break;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(served, "freed connection slot was never reused");
+
+    c1.shutdown(true).unwrap();
+    handle.join();
+}
+
+#[test]
+fn idle_connections_are_dropped_after_the_read_timeout() {
+    let handle = server::start(&ServerConfig {
+        workers: 0,
+        queue_capacity: 1,
+        cache_dir: None,
+        idle_timeout: Some(std::time::Duration::from_millis(100)),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.local_addr();
+
+    // An active client inside the deadline works normally.
+    let mut idle = Client::connect(addr).unwrap();
+    assert!(ok(&idle.status().unwrap()));
+
+    // …but after sitting silent past the deadline, the server has hung up.
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    assert!(
+        idle.status().is_err(),
+        "idle connection survived the read timeout"
+    );
+
+    let mut control = Client::connect(addr).unwrap();
+    control.shutdown(true).unwrap();
+    handle.join();
+}
+
 #[test]
 fn full_queue_gets_typed_backpressure_and_abort_fails_queued_jobs() {
     // No workers: jobs queue forever, making the full/abort path
