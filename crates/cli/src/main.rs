@@ -8,9 +8,11 @@
 //! chipmunkc superopt <file> [--imm N] [--width W] [--max-len L] [--full-alu] [--trace OUT.jsonl]
 //! chipmunkc run      <file> [--template T] [--packets N] [--width W] [--trace CSV]
 //! chipmunkc trace-report <file.jsonl>
-//! chipmunkc serve    [--addr H:P] [--workers N] [--queue-cap N] [--cache-dir DIR] [--max-conns N] [--idle-timeout S] [--trace OUT.jsonl]
+//! chipmunkc serve    [--addr H:P] [--workers N] [--queue-cap N] [--cache-dir DIR] [--cache-max-entries N] [--max-conns N] [--idle-timeout S] [--trace OUT.jsonl]
 //! chipmunkc submit   <file> [--addr H:P] [--template T] [--imm N] [--width W] [--max-stages K] [--timeout S] [--parallel] [--json]
+//! chipmunkc submit   --batch <file>... [--addr H:P] [shared compile flags] [--json]
 //! chipmunkc submit   --status | --stats | --shutdown | --shutdown-now [--addr H:P]
+//! chipmunkc cache    [--stats | --compact | --clear] [--addr H:P]
 //! ```
 //!
 //! `compile --trace OUT.jsonl` records a structured execution trace of the
@@ -23,6 +25,14 @@
 //! `run --trace` replays a CSV packet trace (header row = packet-field
 //! names; one packet per line) through the synthesized pipeline instead of
 //! random packets, cross-checking every output against the interpreter.
+//!
+//! `submit --batch` pipelines every listed file over one connection —
+//! each request carries an `id`, responses stream back in completion
+//! order, and the results are reassembled into input order — so a whole
+//! mutation suite costs one round of connection setup. `cache` inspects
+//! or maintains the running server's result cache (`--compact` rewrites
+//! `results.jsonl` down to the retained entries; `--clear` empties both
+//! tiers).
 //!
 //! `<file>` holds a packet transaction in the Domino dialect. Templates:
 //! `raw`, `pred_raw`, `if_else_raw` (default), `sub`, `nested_ifs`.
@@ -60,6 +70,9 @@ impl Args {
                         | "stats"
                         | "shutdown"
                         | "shutdown-now"
+                        | "batch"
+                        | "compact"
+                        | "clear"
                 ) {
                     flags.push((name.to_string(), String::new()));
                 } else {
@@ -112,7 +125,7 @@ fn load(path: &str) -> Result<Program, String> {
 }
 
 fn usage() -> String {
-    "usage: chipmunkc <compile|domino|repair|mutate|superopt|run|trace-report|serve|submit> <file> [options]\n\
+    "usage: chipmunkc <compile|domino|repair|mutate|superopt|run|trace-report|serve|submit|cache> <file> [options]\n\
      see `chipmunkc help` or the crate docs for options"
         .to_string()
 }
@@ -143,6 +156,7 @@ fn main() -> ExitCode {
         "trace-report" => cmd_trace_report(&args),
         "serve" => cmd_serve(&args),
         "submit" => cmd_submit(&args),
+        "cache" => cmd_cache(&args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -239,6 +253,11 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         workers: args.num("workers", defaults.workers.max(1))?,
         queue_capacity: args.num("queue-cap", 64)?,
         cache_dir: args.get("cache-dir").map(std::path::PathBuf::from),
+        // 0 = unbounded; anything else is an LRU entry cap on both tiers.
+        cache_max_entries: match args.num("cache-max-entries", 0usize)? {
+            0 => None,
+            n => Some(n),
+        },
         max_connections: args.num("max-conns", defaults.max_connections)?,
         // 0 = wait forever; anything else is a per-socket idle deadline.
         idle_timeout: match args.num("idle-timeout", 60u64)? {
@@ -265,8 +284,135 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// The `options` object shared by single and batch submissions.
+fn submit_options(args: &Args) -> Result<Json, String> {
+    let mut options = vec![
+        ("imm", Json::from(args.num::<u8>("imm", 4)?)),
+        ("width", Json::from(args.num::<u8>("width", 10)?)),
+        (
+            "max_stages",
+            Json::from(args.num::<usize>("max-stages", 4)?),
+        ),
+        (
+            "timeout_ms",
+            Json::from(args.num::<u64>("timeout", 300)? * 1000),
+        ),
+        (
+            "template",
+            Json::from(args.get("template").unwrap_or("if_else_raw")),
+        ),
+        ("parallel", Json::Bool(args.has("parallel"))),
+    ];
+    if let Some(slots) = args.get("slots") {
+        let n: usize = slots
+            .parse()
+            .map_err(|_| format!("--slots: bad value `{slots}`"))?;
+        options.push(("slots", Json::from(n)));
+    }
+    Ok(Json::obj(options))
+}
+
+/// Pipeline every listed file over one connection: send all requests up
+/// front (id = input index), then collect responses — which may arrive in
+/// completion order, e.g. cache hits first — and reassemble by id.
+fn cmd_submit_batch(args: &Args, addr: &str) -> Result<(), String> {
+    if args.positional.is_empty() {
+        return Err("submit --batch needs at least one <file>".to_string());
+    }
+    let options = submit_options(args)?;
+    let mut client = chipmunk_serve::Client::connect(addr)
+        .map_err(|e| format!("connect {addr}: {e} (is `chipmunkc serve` running?)"))?;
+    for (i, path) in args.positional.iter().enumerate() {
+        let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        client
+            .send_compile(Json::from(i as u64), &source, options.clone())
+            .map_err(|e| format!("{addr}: {e}"))?;
+    }
+    let mut responses: Vec<Option<Json>> = vec![None; args.positional.len()];
+    for _ in 0..responses.len() {
+        let resp = client.recv().map_err(|e| format!("{addr}: {e}"))?;
+        let id = resp
+            .get("id")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("response without a usable id: {resp}"))?;
+        let slot = responses
+            .get_mut(id as usize)
+            .ok_or_else(|| format!("response for unknown id {id}"))?;
+        if slot.replace(resp).is_some() {
+            return Err(format!("two responses for id {id}"));
+        }
+    }
+    let mut failures = 0usize;
+    for (path, resp) in args.positional.iter().zip(&responses) {
+        let resp = resp.as_ref().expect("all ids accounted for");
+        if resp.get("ok").and_then(Json::as_bool) == Some(true) {
+            let cached = resp.get("cached").and_then(Json::as_bool) == Some(true);
+            eprintln!(
+                "{path}: {} in {} ms (queued {} ms), key {}",
+                if cached { "cache hit" } else { "compiled" },
+                resp.get("synth_ms").and_then(Json::as_u64).unwrap_or(0),
+                resp.get("wait_ms").and_then(Json::as_u64).unwrap_or(0),
+                resp.get("key").and_then(Json::as_str).unwrap_or("?"),
+            );
+        } else {
+            failures += 1;
+            eprintln!(
+                "{path}: error: {} ({})",
+                resp.get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("request failed"),
+                resp.get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown"),
+            );
+        }
+    }
+    if args.has("json") {
+        let all: Vec<Json> = responses.into_iter().map(Option::unwrap).collect();
+        println!("{}", Json::Arr(all).to_pretty());
+    }
+    if failures > 0 {
+        return Err(format!(
+            "{failures} of {} submissions failed",
+            args.positional.len()
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_cache(args: &Args) -> Result<(), String> {
+    let addr = args.get("addr").unwrap_or(SERVE_ADDR);
+    let action = match (args.has("compact"), args.has("clear")) {
+        (true, true) => return Err("pick one of --compact / --clear".to_string()),
+        (true, false) => "compact",
+        (false, true) => "clear",
+        (false, false) => "stats",
+    };
+    let mut client = chipmunk_serve::Client::connect(addr)
+        .map_err(|e| format!("connect {addr}: {e} (is `chipmunkc serve` running?)"))?;
+    let response = client.cache(action).map_err(|e| format!("{addr}: {e}"))?;
+    if response.get("ok").and_then(Json::as_bool) != Some(true) {
+        return Err(format!(
+            "server: {} ({})",
+            response
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap_or("request failed"),
+            response
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown"),
+        ));
+    }
+    println!("{}", response.to_pretty());
+    Ok(())
+}
+
 fn cmd_submit(args: &Args) -> Result<(), String> {
     let addr = args.get("addr").unwrap_or(SERVE_ADDR);
+    if args.has("batch") {
+        return cmd_submit_batch(args, addr);
+    }
     let mut client = chipmunk_serve::Client::connect(addr)
         .map_err(|e| format!("connect {addr}: {e} (is `chipmunkc serve` running?)"))?;
     let response = if args.has("status") {
@@ -278,30 +424,8 @@ fn cmd_submit(args: &Args) -> Result<(), String> {
     } else {
         let path = file_arg(args)?;
         let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        let mut options = vec![
-            ("imm", Json::from(args.num::<u8>("imm", 4)?)),
-            ("width", Json::from(args.num::<u8>("width", 10)?)),
-            (
-                "max_stages",
-                Json::from(args.num::<usize>("max-stages", 4)?),
-            ),
-            (
-                "timeout_ms",
-                Json::from(args.num::<u64>("timeout", 300)? * 1000),
-            ),
-            (
-                "template",
-                Json::from(args.get("template").unwrap_or("if_else_raw")),
-            ),
-            ("parallel", Json::Bool(args.has("parallel"))),
-        ];
-        if let Some(slots) = args.get("slots") {
-            let n: usize = slots
-                .parse()
-                .map_err(|_| format!("--slots: bad value `{slots}`"))?;
-            options.push(("slots", Json::from(n)));
-        }
-        client.compile(&source, Json::obj(options))
+        let options = submit_options(args)?;
+        client.compile(&source, options)
     }
     .map_err(|e| format!("{addr}: {e}"))?;
     if response.get("ok").and_then(Json::as_bool) != Some(true) {

@@ -1,38 +1,153 @@
 //! The two-tier compilation result cache.
 //!
-//! Tier 1 is an in-memory map from content hash (see
+//! Tier 1 is an in-memory LRU map from content hash (see
 //! [`chipmunk::cache_key`]) to the serialized result document. Tier 2 is
 //! an append-only JSONL file `results.jsonl` under the server's
 //! `--cache-dir`, loaded into tier 1 at startup — so a restarted daemon
 //! keeps its warm cache. Each line is `{"key":"<16 hex>","result":{…}}`.
 //!
+//! **Bounds.** With `max_entries` set, tier 1 holds at most that many
+//! results; inserting past the bound evicts the least-recently-used entry
+//! (every `get`/`peek` is a use). The disk tier stays append-only between
+//! compactions, so it can temporarily hold lines for evicted keys;
+//! [`ResultCache::compact`] rewrites `results.jsonl` from the retained
+//! in-memory set — dropping evicted, duplicate, and corrupt lines — by
+//! writing a temp file and renaming it over the old one, so a crash
+//! mid-compaction keeps the previous file intact. Compaction runs at
+//! startup when loading found anything worth dropping, automatically when
+//! the file grows past twice the entry bound, and on demand (the `cache`
+//! protocol op).
+//!
+//! **Write conflicts.** `put` is first-write-wins: a duplicate `put`
+//! under an existing key changes neither tier, so memory and disk cannot
+//! diverge when two workers race to finish twin jobs.
+//!
 //! Only *successful* compilations are cached: failures may be budget
 //! artifacts (timeouts) and are cheap to re-derive when they are not
 //! (the infeasibility proof re-runs).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Write};
-use std::path::Path;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use chipmunk_trace::json::Json;
 
-/// A content-addressed result store: in-memory map + optional JSONL file.
+/// One retained result plus its recency stamp.
+struct Entry {
+    result: Json,
+    /// Monotonic use stamp; the smallest stamp is the LRU victim.
+    tick: u64,
+}
+
+/// Tier 1: the map plus an LRU index (`tick → key`, ticks are unique).
+struct Mem {
+    map: HashMap<String, Entry>,
+    lru: BTreeMap<u64, String>,
+    next_tick: u64,
+}
+
+impl Mem {
+    fn new() -> Mem {
+        Mem {
+            map: HashMap::new(),
+            lru: BTreeMap::new(),
+            next_tick: 0,
+        }
+    }
+
+    /// Move `key`'s stamp to most-recent. No-op for unknown keys.
+    fn touch(&mut self, key: &str) {
+        if let Some(e) = self.map.get_mut(key) {
+            self.lru.remove(&e.tick);
+            e.tick = self.next_tick;
+            self.lru.insert(e.tick, key.to_string());
+            self.next_tick += 1;
+        }
+    }
+
+    /// Insert if absent (first-write-wins). Returns whether it inserted.
+    fn insert_fresh(&mut self, key: &str, result: &Json) -> bool {
+        if self.map.contains_key(key) {
+            return false;
+        }
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        self.map.insert(
+            key.to_string(),
+            Entry {
+                result: result.clone(),
+                tick,
+            },
+        );
+        self.lru.insert(tick, key.to_string());
+        true
+    }
+
+    /// Drop LRU entries until at most `max` remain; returns how many went.
+    fn evict_to(&mut self, max: usize) -> u64 {
+        let mut evicted = 0;
+        while self.map.len() > max {
+            let Some((&tick, _)) = self.lru.iter().next() else {
+                break;
+            };
+            let key = self.lru.remove(&tick).expect("lru index entry");
+            self.map.remove(&key);
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+/// Tier 2: the JSONL file, its path (for compaction), and its line count.
+struct Disk {
+    path: PathBuf,
+    file: Mutex<File>,
+    /// Lines currently in `results.jsonl`, valid or not — the figure
+    /// compaction shrinks back to `len()`.
+    lines: AtomicU64,
+}
+
+/// A content-addressed result store: in-memory LRU map + optional JSONL
+/// file.
 pub struct ResultCache {
-    mem: Mutex<HashMap<String, Json>>,
-    disk: Option<Mutex<File>>,
+    mem: Mutex<Mem>,
+    disk: Option<Disk>,
+    /// Tier-1 entry bound (`None` = unbounded).
+    max_entries: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    compactions: AtomicU64,
 }
 
 impl ResultCache {
-    /// Open a cache. With a directory, existing entries in
-    /// `dir/results.jsonl` are loaded and new entries appended; without,
-    /// the cache is memory-only.
+    /// Open an unbounded cache (see [`ResultCache::open_bounded`]).
     pub fn open(dir: Option<&Path>) -> std::io::Result<ResultCache> {
-        let mut mem = HashMap::new();
+        ResultCache::open_bounded(dir, None)
+    }
+
+    /// Open a cache holding at most `max_entries` results (`None` =
+    /// unbounded). With a directory, existing entries in
+    /// `dir/results.jsonl` are loaded — first occurrence of a key wins,
+    /// matching `put` — and new entries appended; without, the cache is
+    /// memory-only. Corrupt lines (a crash mid-append) are skipped; an
+    /// *unreadable* line (I/O error, broken encoding) stops the load but
+    /// keeps everything parsed so far, and the file still opens for
+    /// append. If loading dropped anything — corrupt or unreadable lines,
+    /// duplicate keys, entries past the bound — the file is compacted
+    /// immediately so the damage is not reloaded forever.
+    pub fn open_bounded(
+        dir: Option<&Path>,
+        max_entries: Option<usize>,
+    ) -> std::io::Result<ResultCache> {
+        let mut mem = Mem::new();
+        let mut raw_lines = 0u64;
+        let mut load_evictions = 0u64;
+        // Does the file hold anything the retained set does not?
+        let mut dirty = false;
         let disk = match dir {
             None => None,
             Some(dir) => {
@@ -40,28 +155,64 @@ impl ResultCache {
                 let path = dir.join("results.jsonl");
                 if let Ok(f) = File::open(&path) {
                     for line in BufReader::new(f).lines() {
-                        let line = line?;
-                        // Tolerate torn/corrupt lines (e.g. a crash mid-append):
-                        // skip them rather than refusing to start.
+                        let line = match line {
+                            Ok(l) => l,
+                            // An unreadable line breaks the reader's
+                            // position guarantees: stop loading, keep what
+                            // parsed, and let compaction rewrite the file.
+                            Err(_) => {
+                                dirty = true;
+                                break;
+                            }
+                        };
+                        raw_lines += 1;
+                        // Tolerate torn/corrupt lines (e.g. a crash
+                        // mid-append): skip them rather than refusing to
+                        // start.
+                        let mut ok = false;
                         if let Ok(doc) = Json::parse(&line) {
                             if let (Some(key), Some(result)) =
                                 (doc.get("key").and_then(Json::as_str), doc.get("result"))
                             {
-                                mem.insert(key.to_string(), result.clone());
+                                // First-write-wins, like `put`: a
+                                // duplicate line is dead weight.
+                                ok = mem.insert_fresh(key, result);
                             }
+                        }
+                        if !ok {
+                            dirty = true;
+                        }
+                    }
+                    if let Some(max) = max_entries {
+                        load_evictions = mem.evict_to(max);
+                        if load_evictions > 0 {
+                            dirty = true;
                         }
                     }
                 }
                 let f = OpenOptions::new().create(true).append(true).open(&path)?;
-                Some(Mutex::new(f))
+                Some(Disk {
+                    path,
+                    file: Mutex::new(f),
+                    lines: AtomicU64::new(raw_lines),
+                })
             }
         };
-        Ok(ResultCache {
+        let cache = ResultCache {
             mem: Mutex::new(mem),
             disk,
+            max_entries,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
-        })
+            evictions: AtomicU64::new(load_evictions),
+            compactions: AtomicU64::new(0),
+        };
+        if dirty {
+            // Startup compaction: best-effort (a failure leaves the old
+            // file, which is exactly what we loaded from).
+            let _ = cache.compact();
+        }
+        Ok(cache)
     }
 
     /// Look up a key, updating the hit/miss counters.
@@ -86,40 +237,124 @@ impl ResultCache {
         found
     }
 
-    /// Look up a key without touching the counters (used by workers
-    /// re-checking after a queue wait, so one logical request counts once).
+    /// Look up a key without touching the hit/miss counters (used by
+    /// workers re-checking after a queue wait, so one logical request
+    /// counts once). Still refreshes the entry's LRU recency.
     pub fn peek(&self, key: &str) -> Option<Json> {
-        self.mem.lock().expect("cache poisoned").get(key).cloned()
+        let mut mem = self.mem.lock().expect("cache poisoned");
+        mem.touch(key);
+        mem.map.get(key).map(|e| e.result.clone())
     }
 
     /// Store a result under `key`, in memory and (if configured) on disk.
+    ///
+    /// First-write-wins: if the key is already present, *neither* tier
+    /// changes — replacing only the memory tier would make a restart
+    /// silently revert the answer, and key-equal results are equivalent
+    /// by construction, so the first one is as good as any.
     pub fn put(&self, key: &str, result: &Json) {
-        let fresh = self
-            .mem
-            .lock()
-            .expect("cache poisoned")
-            .insert(key.to_string(), result.clone())
-            .is_none();
-        if !fresh {
-            return;
+        let evicted = {
+            let mut mem = self.mem.lock().expect("cache poisoned");
+            if !mem.insert_fresh(key, result) {
+                return;
+            }
+            match self.max_entries {
+                Some(max) => mem.evict_to(max),
+                None => 0,
+            }
+        };
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            chipmunk_trace::counter_add!("serve.cache.evicted", evicted);
         }
         if let Some(disk) = &self.disk {
             let line = Json::obj([("key", Json::from(key)), ("result", result.clone())]);
-            let mut f = disk.lock().expect("cache file poisoned");
-            // A failed append degrades to memory-only; not fatal.
-            let _ = writeln!(f, "{}", line.to_compact());
-            let _ = f.flush();
+            {
+                let mut f = disk.file.lock().expect("cache file poisoned");
+                // A failed append degrades to memory-only; not fatal.
+                let _ = writeln!(f, "{}", line.to_compact());
+                let _ = f.flush();
+            }
+            let lines = disk.lines.fetch_add(1, Ordering::Relaxed) + 1;
+            // Auto-compact once evictions have left the file mostly dead
+            // weight, so a bounded cache also bounds the disk (at roughly
+            // twice the entry bound). The slack keeps tiny bounds from
+            // compacting on every put.
+            if let Some(max) = self.max_entries {
+                if lines > (2 * max as u64).max(16) {
+                    let _ = self.compact();
+                }
+            }
         }
+    }
+
+    /// Rewrite `results.jsonl` to exactly the retained in-memory entries
+    /// (in LRU order, oldest first), dropping evicted / duplicate /
+    /// corrupt lines. Crash-safe: the new contents go to a temp file
+    /// which is renamed over the old one, so an interrupted compaction
+    /// keeps the previous file. Returns `(lines_before, lines_after)`;
+    /// memory-only caches return `(0, 0)` without touching anything.
+    pub fn compact(&self) -> std::io::Result<(u64, u64)> {
+        let Some(disk) = &self.disk else {
+            return Ok((0, 0));
+        };
+        // Lock order everywhere: mem before disk.
+        let mem = self.mem.lock().expect("cache poisoned");
+        let mut file = disk.file.lock().expect("cache file poisoned");
+        let before = disk.lines.load(Ordering::Relaxed);
+        let tmp_path = disk.path.with_extension("jsonl.tmp");
+        let mut after = 0u64;
+        {
+            let tmp = File::create(&tmp_path)?;
+            let mut w = BufWriter::new(tmp);
+            for key in mem.lru.values() {
+                let entry = &mem.map[key];
+                let line = Json::obj([
+                    ("key", Json::from(key.as_str())),
+                    ("result", entry.result.clone()),
+                ]);
+                writeln!(w, "{}", line.to_compact())?;
+                after += 1;
+            }
+            w.flush()?;
+            w.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+        }
+        std::fs::rename(&tmp_path, &disk.path)?;
+        // The old append handle points at the unlinked file; swap in one
+        // for the fresh file.
+        *file = OpenOptions::new().append(true).open(&disk.path)?;
+        disk.lines.store(after, Ordering::Relaxed);
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        chipmunk_trace::counter_add!("serve.cache.compacted", 1);
+        Ok((before, after))
+    }
+
+    /// Drop every entry from both tiers. Returns how many entries went.
+    pub fn clear(&self) -> std::io::Result<u64> {
+        let dropped = {
+            let mut mem = self.mem.lock().expect("cache poisoned");
+            let n = mem.map.len() as u64;
+            mem.map.clear();
+            mem.lru.clear();
+            n
+        };
+        self.compact()?;
+        Ok(dropped)
     }
 
     /// Number of cached results.
     pub fn len(&self) -> usize {
-        self.mem.lock().expect("cache poisoned").len()
+        self.mem.lock().expect("cache poisoned").map.len()
     }
 
     /// Is the cache empty?
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The configured entry bound (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.max_entries
     }
 
     /// Counted lookups that found an entry.
@@ -130,6 +365,27 @@ impl ResultCache {
     /// Counted lookups that found nothing.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted to keep the cache under its bound (including any
+    /// dropped while loading an over-bound file at startup).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Completed compaction passes (startup, automatic, and on-demand).
+    pub fn compactions(&self) -> u64 {
+        self.compactions.load(Ordering::Relaxed)
+    }
+
+    /// Lines currently in `results.jsonl` (0 for memory-only caches).
+    /// Exceeds [`len`](ResultCache::len) by the evicted / duplicate /
+    /// corrupt lines a compaction would drop.
+    pub fn disk_lines(&self) -> u64 {
+        self.disk
+            .as_ref()
+            .map(|d| d.lines.load(Ordering::Relaxed))
+            .unwrap_or(0)
     }
 }
 
@@ -144,6 +400,10 @@ mod tests {
         d
     }
 
+    fn doc(v: u64) -> Json {
+        Json::obj([("v", Json::from(v))])
+    }
+
     #[test]
     fn memory_only_cache_round_trips() {
         let c = ResultCache::open(None).unwrap();
@@ -152,6 +412,10 @@ mod tests {
         c.put("k1", &doc);
         assert_eq!(c.get("k1"), Some(doc));
         assert_eq!((c.hits(), c.misses()), (1, 1));
+        // Compaction and clear are safe without a disk tier.
+        assert_eq!(c.compact().unwrap(), (0, 0));
+        assert_eq!(c.clear().unwrap(), 1);
+        assert!(c.is_empty());
     }
 
     #[test]
@@ -180,6 +444,34 @@ mod tests {
         let c = ResultCache::open(Some(&dir)).unwrap();
         assert_eq!(c.len(), 1);
         assert!(c.peek("aa").is_some());
+        // The startup pass compacted the garbage away.
+        assert_eq!(c.disk_lines(), 1);
+        let text = std::fs::read_to_string(dir.join("results.jsonl")).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Satellite regression: a mid-file *read* error (not just a corrupt
+    /// line) must not abort `open` — keep what parsed, stay appendable.
+    #[test]
+    fn unreadable_line_stops_the_load_but_not_the_cache() {
+        let dir = tmpdir("unreadable");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut bytes = b"{\"key\":\"aa\",\"result\":{\"v\":1}}\n".to_vec();
+        bytes.extend(b"\xff\xfe\xff broken utf-8 \xff\n");
+        bytes.extend(b"{\"key\":\"bb\",\"result\":{\"v\":2}}\n");
+        std::fs::write(dir.join("results.jsonl"), &bytes).unwrap();
+        let c = ResultCache::open(Some(&dir)).unwrap();
+        // Loading stopped at the unreadable line; the prefix survived.
+        assert_eq!(c.len(), 1);
+        assert!(c.peek("aa").is_some());
+        // …and the cache still accepts and persists fresh entries.
+        c.put("cc", &doc(3));
+        drop(c);
+        let c = ResultCache::open(Some(&dir)).unwrap();
+        assert_eq!(c.len(), 2);
+        assert!(c.peek("aa").is_some());
+        assert!(c.peek("cc").is_some());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -194,6 +486,149 @@ mod tests {
         }
         let text = std::fs::read_to_string(dir.join("results.jsonl")).unwrap();
         assert_eq!(text.lines().count(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Satellite regression: a duplicate `put` must not replace the
+    /// in-memory value while skipping the disk append — that leaves the
+    /// tiers disagreeing until a restart silently reverts the answer.
+    /// First write wins in *both* tiers.
+    #[test]
+    fn duplicate_put_leaves_both_tiers_agreeing() {
+        let dir = tmpdir("fww");
+        {
+            let c = ResultCache::open(Some(&dir)).unwrap();
+            c.put("k", &doc(1));
+            c.put("k", &doc(2)); // racing twin: ignored everywhere
+            assert_eq!(c.peek("k"), Some(doc(1)));
+        }
+        let c = ResultCache::open(Some(&dir)).unwrap();
+        assert_eq!(c.peek("k"), Some(doc(1)), "restart must agree with memory");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Racing duplicate puts from many threads: whatever value won, both
+    /// tiers agree on it after a reopen.
+    #[test]
+    fn racing_duplicate_puts_keep_tiers_consistent() {
+        let dir = tmpdir("race");
+        let winner = {
+            let c = std::sync::Arc::new(ResultCache::open(Some(&dir)).unwrap());
+            let threads: Vec<_> = (0..8)
+                .map(|i| {
+                    let c = c.clone();
+                    std::thread::spawn(move || c.put("k", &doc(i)))
+                })
+                .collect();
+            for t in threads {
+                t.join().unwrap();
+            }
+            c.peek("k").unwrap()
+        };
+        let c = ResultCache::open(Some(&dir)).unwrap();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.peek("k"), Some(winner));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_eviction_respects_recency() {
+        let c = ResultCache::open_bounded(None, Some(2)).unwrap();
+        c.put("a", &doc(1));
+        c.put("b", &doc(2));
+        assert!(c.get("a").is_some()); // refresh a: b is now LRU
+        c.put("c", &doc(3)); // evicts b
+        assert_eq!(c.evictions(), 1);
+        assert!(c.peek("a").is_some());
+        assert!(c.peek("b").is_none());
+        assert!(c.peek("c").is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn compaction_drops_evicted_entries_from_disk() {
+        let dir = tmpdir("compact");
+        {
+            let c = ResultCache::open_bounded(Some(&dir), Some(2)).unwrap();
+            for (i, k) in ["a", "b", "c", "d"].iter().enumerate() {
+                c.put(k, &doc(i as u64));
+            }
+            assert_eq!(c.len(), 2);
+            assert_eq!(c.evictions(), 2);
+            assert_eq!(c.disk_lines(), 4); // appends accumulate…
+            let (before, after) = c.compact().unwrap();
+            assert_eq!((before, after), (4, 2)); // …until compaction
+            assert_eq!(c.disk_lines(), 2);
+            assert!(c.compactions() >= 1);
+            // The fresh append handle still works post-rename.
+            c.put("e", &doc(9));
+            assert_eq!(c.disk_lines(), 3);
+        }
+        let c = ResultCache::open_bounded(Some(&dir), Some(3)).unwrap();
+        assert_eq!(c.len(), 3);
+        assert!(c.peek("a").is_none());
+        assert!(c.peek("b").is_none());
+        for k in ["c", "d", "e"] {
+            assert!(c.peek(k).is_some(), "lost retained key {k}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn startup_compaction_shrinks_an_over_bound_file() {
+        let dir = tmpdir("startbound");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut text = String::new();
+        for i in 0..5 {
+            text.push_str(&format!("{{\"key\":\"k{i}\",\"result\":{{\"v\":{i}}}}}\n"));
+        }
+        text.push_str("{\"key\":\"k0\",\"result\":{\"v\":99}}\n"); // duplicate
+        std::fs::write(dir.join("results.jsonl"), text).unwrap();
+        let c = ResultCache::open_bounded(Some(&dir), Some(3)).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.evictions(), 2);
+        assert_eq!(c.disk_lines(), 3);
+        // First occurrence of k0 won, but k0/k1 were the LRU victims.
+        assert!(c.peek("k0").is_none());
+        for k in ["k2", "k3", "k4"] {
+            assert!(c.peek(k).is_some(), "lost retained key {k}");
+        }
+        let text = std::fs::read_to_string(dir.join("results.jsonl")).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clear_empties_both_tiers() {
+        let dir = tmpdir("clear");
+        {
+            let c = ResultCache::open(Some(&dir)).unwrap();
+            c.put("a", &doc(1));
+            c.put("b", &doc(2));
+            assert_eq!(c.clear().unwrap(), 2);
+            assert!(c.is_empty());
+            assert_eq!(c.disk_lines(), 0);
+        }
+        let c = ResultCache::open(Some(&dir)).unwrap();
+        assert!(c.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn auto_compaction_bounds_the_disk_tier() {
+        let dir = tmpdir("autocompact");
+        let c = ResultCache::open_bounded(Some(&dir), Some(4)).unwrap();
+        for i in 0..200u64 {
+            c.put(&format!("k{i}"), &doc(i));
+        }
+        assert_eq!(c.len(), 4);
+        // The file never grows far past 2 × bound (plus the slack floor).
+        assert!(
+            c.disk_lines() <= 17,
+            "disk tier unbounded: {} lines",
+            c.disk_lines()
+        );
+        assert!(c.compactions() >= 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

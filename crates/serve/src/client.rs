@@ -5,8 +5,13 @@ use std::net::{TcpStream, ToSocketAddrs};
 
 use chipmunk_trace::json::Json;
 
-/// One connection to a chipmunk-serve daemon. Requests run in lockstep:
-/// write a line, read a line.
+/// One connection to a chipmunk-serve daemon.
+///
+/// The lockstep helpers ([`request`](Client::request) and friends) write
+/// a line and read a line. For pipelining, use [`send`](Client::send) to
+/// queue any number of requests — each tagged with a client-chosen `id` —
+/// and [`recv`](Client::recv) to collect the responses; compile responses
+/// arrive in completion order, so match them by the echoed `id`.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
@@ -23,12 +28,16 @@ impl Client {
         })
     }
 
-    /// Send one request document and read the matching response line.
-    pub fn request(&mut self, doc: &Json) -> std::io::Result<Json> {
+    /// Write one request line without waiting for the response.
+    pub fn send(&mut self, doc: &Json) -> std::io::Result<()> {
         let mut line = doc.to_compact();
         line.push('\n');
         self.writer.write_all(line.as_bytes())?;
-        self.writer.flush()?;
+        self.writer.flush()
+    }
+
+    /// Read the next response line, whichever request it answers.
+    pub fn recv(&mut self) -> std::io::Result<Json> {
         let mut response = String::new();
         let n = self.reader.read_line(&mut response)?;
         if n == 0 {
@@ -45,11 +54,28 @@ impl Client {
         })
     }
 
+    /// Send one request document and read the matching response line.
+    pub fn request(&mut self, doc: &Json) -> std::io::Result<Json> {
+        self.send(doc)?;
+        self.recv()
+    }
+
     /// Submit a program for compilation. `options` is the request's
     /// `options` object (pass `Json::Obj(vec![])` for server defaults).
     pub fn compile(&mut self, program: &str, options: Json) -> std::io::Result<Json> {
         self.request(&Json::obj([
             ("op", Json::from("compile")),
+            ("program", Json::from(program)),
+            ("options", options),
+        ]))
+    }
+
+    /// Queue a compile request tagged with `id` without waiting; pair
+    /// with [`recv`](Client::recv) and match responses by the echoed id.
+    pub fn send_compile(&mut self, id: Json, program: &str, options: Json) -> std::io::Result<()> {
+        self.send(&Json::obj([
+            ("op", Json::from("compile")),
+            ("id", id),
             ("program", Json::from(program)),
             ("options", options),
         ]))
@@ -63,6 +89,14 @@ impl Client {
     /// Fetch the counter snapshot.
     pub fn stats(&mut self) -> std::io::Result<Json> {
         self.request(&Json::obj([("op", Json::from("stats"))]))
+    }
+
+    /// Run a cache maintenance action: `"stats"`, `"compact"`, `"clear"`.
+    pub fn cache(&mut self, action: &str) -> std::io::Result<Json> {
+        self.request(&Json::obj([
+            ("op", Json::from("cache")),
+            ("action", Json::from(action)),
+        ]))
     }
 
     /// Ask the server to stop (`abort` cancels in-flight work).

@@ -12,12 +12,16 @@
 //! * a fixed-size **worker pool** running
 //!   [`chipmunk::compile_with_cancel`] with per-job timeouts and
 //!   cancellation-based abortive shutdown ([`server`]),
-//! * a **two-tier content-addressed result cache** — in-memory plus an
-//!   on-disk JSONL store — keyed by [`chipmunk::cache_key`], the hash of
-//!   the *canonicalized* program and every semantics-relevant option, so
-//!   mutants of one benchmark are cache hits ([`cache`]),
+//! * a **two-tier content-addressed result cache** — a bounded in-memory
+//!   LRU plus an on-disk JSONL store with crash-safe compaction — keyed by
+//!   [`chipmunk::cache_key`], the hash of the *canonicalized* program and
+//!   every semantics-relevant option, so mutants of one benchmark are
+//!   cache hits ([`cache`]),
 //! * a **newline-delimited JSON protocol** over TCP, using the workspace's
-//!   own zero-dependency JSON module ([`protocol`], [`client`]).
+//!   own zero-dependency JSON module ([`protocol`], [`client`]). Requests
+//!   carry optional client-chosen `id`s, and each connection is handled by
+//!   a reader/writer thread pair, so one socket can pipeline many compiles
+//!   and receive responses in completion order.
 //!
 //! The whole path is instrumented with `chipmunk-trace`: queue depth and
 //! wait time, cache hits/misses, and per-job synthesis time all land in
@@ -45,6 +49,6 @@ pub mod server;
 
 pub use cache::ResultCache;
 pub use client::Client;
-pub use protocol::{JobOptions, Request};
+pub use protocol::{CacheAction, Incoming, JobOptions, Request};
 pub use queue::{Bounded, PushError};
 pub use server::{start, ServerConfig, ServerHandle};

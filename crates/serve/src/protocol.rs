@@ -1,15 +1,16 @@
 //! The newline-delimited JSON wire protocol.
 //!
-//! One request per line, one response line per request, in order; a client
-//! may pipeline several requests on one connection. Grammar (each `<…>`
-//! a single line):
+//! One request per line, one response line per request; a client may
+//! pipeline many requests on one connection. Grammar (each `<…>` a
+//! single line):
 //!
 //! ```text
-//! request  := compile | status | stats | shutdown
-//! compile  := {"op":"compile","program":<string>,"options":<options>?}
-//! status   := {"op":"status"}
-//! stats    := {"op":"stats"}
-//! shutdown := {"op":"shutdown","mode":"drain"|"abort"?}
+//! request  := compile | status | stats | cache | shutdown
+//! compile  := {"op":"compile","id":<scalar>?,"program":<string>,"options":<options>?}
+//! status   := {"op":"status","id":<scalar>?}
+//! stats    := {"op":"stats","id":<scalar>?}
+//! cache    := {"op":"cache","id":<scalar>?,"action":"stats"|"compact"|"clear"?}
+//! shutdown := {"op":"shutdown","id":<scalar>?,"mode":"drain"|"abort"?}
 //! options  := {"template":<string>?,"imm":<int>?,"width":<int>?,
 //!              "screen_width":<int>?,"synth_input_bits":<int>?,
 //!              "num_initial_inputs":<int>?,"max_iters":<int>?,"seed":<int>?,
@@ -17,11 +18,22 @@
 //!              "parallel":<bool>?}
 //! ```
 //!
+//! **Pipelining and ordering.** A request may carry a client-chosen `id`
+//! (any JSON scalar — string or number), echoed verbatim as the `id`
+//! field of its response line. Control responses (`status`, `stats`,
+//! `cache`, `shutdown`, and every request-level error) are written in
+//! request order, but `compile` responses stream back **in completion
+//! order** — a cache hit overtakes a synthesis run submitted before it.
+//! Clients pipelining more than one compile on a connection must match
+//! responses by `id`; a lockstep client (one request outstanding) needs
+//! no ids and sees the classic one-in-one-out behavior.
+//!
 //! Responses always carry `"ok"`: successes are `{"ok":true,…}`, failures
 //! `{"ok":false,"error":<code>,"message":<string>}` with codes `parse`,
 //! `bad_request`, `too_large`, `infeasible`, `timeout`, `queue_full`,
 //! `busy` (connection limit reached — sent once on accept, then the
-//! connection closes), `shutting_down`.
+//! connection closes), `io` (a cache maintenance action hit the disk),
+//! `shutting_down`.
 //!
 //! A compile success's `result` object carries `fields` and `states`
 //! name arrays naming the indices of `field_to_container` — always in the
@@ -47,12 +59,77 @@ pub enum Request {
     Status,
     /// Counter snapshot (cache hits/misses, synth time, rejects, …).
     Stats,
+    /// Inspect or maintain the result cache.
+    Cache {
+        /// What to do to the cache.
+        action: CacheAction,
+    },
     /// Stop the server: `abort = false` drains queued jobs first,
     /// `abort = true` cancels in-flight synthesis and fails queued jobs.
     Shutdown {
         /// Cancel in-flight work instead of draining.
         abort: bool,
     },
+}
+
+/// The maintenance verb of a `cache` request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheAction {
+    /// Report entry counts, bounds, evictions, disk lines, compactions.
+    Stats,
+    /// Rewrite `results.jsonl` down to the retained entries.
+    Compact,
+    /// Drop every entry from both tiers.
+    Clear,
+}
+
+/// One parsed request line: the echoed `id` (if any) plus the decoded
+/// request or the error to answer with. The `id` is extracted even when
+/// decoding fails, so a pipelining client can match the error to its
+/// request — only a line that is not a JSON object at all has no `id`.
+pub struct Incoming {
+    /// Client-chosen correlation token, echoed verbatim in the response.
+    pub id: Option<Json>,
+    /// The request, or the message for a `parse` / `bad_request` error.
+    pub request: Result<Request, String>,
+}
+
+/// Parse one request line, keeping the `id` separate from the outcome.
+pub fn parse_line(line: &str) -> Incoming {
+    let doc = match Json::parse(line) {
+        Ok(d) => d,
+        Err(e) => {
+            return Incoming {
+                id: None,
+                request: Err(e.to_string()),
+            }
+        }
+    };
+    let id = match doc.get("id") {
+        None | Some(Json::Null) => None,
+        Some(v @ (Json::Str(_) | Json::U64(_) | Json::I64(_))) => Some(v.clone()),
+        Some(_) => {
+            return Incoming {
+                id: None,
+                request: Err("`id` must be a string or an integer".to_string()),
+            }
+        }
+    };
+    Incoming {
+        id,
+        request: decode_request(&doc),
+    }
+}
+
+/// Echo `id` (when present) as the first field of a response object.
+pub fn with_id(response: Json, id: Option<Json>) -> Json {
+    match (response, id) {
+        (Json::Obj(mut pairs), Some(id)) => {
+            pairs.insert(0, ("id".to_string(), id));
+            Json::Obj(pairs)
+        }
+        (response, _) => response,
+    }
 }
 
 /// Per-job compilation knobs, mirroring `chipmunkc compile` flags.
@@ -172,9 +249,13 @@ impl JobOptions {
     }
 }
 
-/// Parse one request line.
+/// Parse one request line (convenience wrapper over [`parse_line`] that
+/// drops the `id`).
 pub fn parse_request(line: &str) -> Result<Request, String> {
-    let doc = Json::parse(line).map_err(|e| e.to_string())?;
+    parse_line(line).request
+}
+
+fn decode_request(doc: &Json) -> Result<Request, String> {
     let op = doc
         .get("op")
         .and_then(Json::as_str)
@@ -194,6 +275,15 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         }
         "status" => Ok(Request::Status),
         "stats" => Ok(Request::Stats),
+        "cache" => {
+            let action = match doc.get("action").and_then(Json::as_str) {
+                None | Some("stats") => CacheAction::Stats,
+                Some("compact") => CacheAction::Compact,
+                Some("clear") => CacheAction::Clear,
+                Some(other) => return Err(format!("unknown cache action `{other}`")),
+            };
+            Ok(Request::Cache { action })
+        }
         "shutdown" => {
             let abort = match doc.get("mode").and_then(Json::as_str) {
                 None | Some("drain") => false,
@@ -380,9 +470,54 @@ mod tests {
             r#"{"op":"compile","program":"x","options":{"imm":-1}}"#,
             r#"{"op":"compile","program":"x","options":{"template":7}}"#,
             r#"{"op":"shutdown","mode":"later"}"#,
+            r#"{"op":"cache","action":"defrost"}"#,
+            r#"{"op":"status","id":[1,2]}"#,
         ] {
             assert!(parse_request(bad).is_err(), "accepted: {bad}");
         }
+    }
+
+    #[test]
+    fn parses_cache_requests() {
+        for (line, want) in [
+            (r#"{"op":"cache"}"#, CacheAction::Stats),
+            (r#"{"op":"cache","action":"stats"}"#, CacheAction::Stats),
+            (r#"{"op":"cache","action":"compact"}"#, CacheAction::Compact),
+            (r#"{"op":"cache","action":"clear"}"#, CacheAction::Clear),
+        ] {
+            match parse_request(line).unwrap() {
+                Request::Cache { action } => assert_eq!(action, want, "{line}"),
+                other => panic!("wrong request for {line}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ids_are_extracted_and_echoed() {
+        // String and integer ids survive; a missing or null id is absent.
+        let inc = parse_line(r#"{"op":"status","id":"job-7"}"#);
+        assert_eq!(inc.id, Some(Json::from("job-7")));
+        assert!(matches!(inc.request, Ok(Request::Status)));
+        let inc = parse_line(r#"{"op":"stats","id":42}"#);
+        assert_eq!(inc.id, Some(Json::from(42u64)));
+        let inc = parse_line(r#"{"op":"stats","id":null}"#);
+        assert_eq!(inc.id, None);
+
+        // The id is recovered even when the request itself is bad, so the
+        // error can be matched to its request.
+        let inc = parse_line(r#"{"op":"fry","id":9}"#);
+        assert_eq!(inc.id, Some(Json::from(9u64)));
+        assert!(inc.request.is_err());
+
+        // with_id prepends the echo; no id leaves the response untouched.
+        let resp = with_id(
+            Json::obj([("ok", Json::Bool(true))]),
+            Some(Json::from(9u64)),
+        );
+        assert_eq!(resp.get("id"), Some(&Json::from(9u64)));
+        assert_eq!(resp.to_compact(), r#"{"id":9,"ok":true}"#);
+        let bare = with_id(Json::obj([("ok", Json::Bool(true))]), None);
+        assert_eq!(bare.get("id"), None);
     }
 
     fn cached_doc(fields: &[&str], states: &[&str], f2c: &[u64]) -> Json {

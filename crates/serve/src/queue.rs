@@ -14,6 +14,7 @@
 //!   worker-thread exit condition.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 
 /// Why a push was refused. Both variants hand the item back to the caller.
@@ -35,6 +36,7 @@ pub struct Bounded<T> {
     inner: Mutex<Inner<T>>,
     nonempty: Condvar,
     capacity: usize,
+    waiters: AtomicUsize,
 }
 
 impl<T> Bounded<T> {
@@ -47,6 +49,7 @@ impl<T> Bounded<T> {
             }),
             nonempty: Condvar::new(),
             capacity: capacity.max(1),
+            waiters: AtomicUsize::new(0),
         }
     }
 
@@ -76,7 +79,13 @@ impl<T> Bounded<T> {
             if g.closed {
                 return None;
             }
-            g = self.nonempty.wait(g).expect("queue poisoned");
+            // The waiter count is bumped while still holding the lock, so
+            // an observer who acquires it and reads N knows N consumers
+            // have committed to the (atomic) release-and-wait below.
+            self.waiters.fetch_add(1, Ordering::Relaxed);
+            let waited = self.nonempty.wait(g);
+            self.waiters.fetch_sub(1, Ordering::Relaxed);
+            g = waited.expect("queue poisoned");
         }
     }
 
@@ -107,6 +116,17 @@ impl<T> Bounded<T> {
     /// Has [`close`](Bounded::close) been called?
     pub fn is_closed(&self) -> bool {
         self.inner.lock().expect("queue poisoned").closed
+    }
+
+    /// Consumers currently blocked in [`pop`](Bounded::pop) waiting for an
+    /// item. Observability only (tests use it as a readiness handshake:
+    /// each waiter registers before releasing the queue lock to wait, so
+    /// after acquiring the lock once this count is trustworthy).
+    pub fn waiters(&self) -> usize {
+        // Taking the lock orders this read after any in-progress
+        // register-then-wait sequence.
+        let _g = self.inner.lock().expect("queue poisoned");
+        self.waiters.load(Ordering::Relaxed)
     }
 }
 
@@ -163,8 +183,19 @@ mod tests {
                 std::thread::spawn(move || q.pop())
             })
             .collect();
-        // Give the consumers a moment to block, then close.
-        std::thread::sleep(std::time::Duration::from_millis(20));
+        // Readiness handshake instead of a timing-based sleep: wait (with
+        // a generous bound) until all three consumers are registered as
+        // blocked in `pop`, so `close` provably exercises the wakeup path
+        // even on a slow CI machine.
+        let mut ready = false;
+        for _ in 0..2000 {
+            if q.waiters() == 3 {
+                ready = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(ready, "consumers never blocked on the empty queue");
         q.close();
         for h in handles {
             assert_eq!(h.join().unwrap(), None);

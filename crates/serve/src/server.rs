@@ -1,25 +1,36 @@
 //! The compilation daemon: accept loop, worker pool, shutdown machinery.
 //!
-//! Thread structure:
+//! Thread structure (per connection, the handler is split so one socket
+//! can carry many jobs in flight):
 //!
 //! ```text
-//! accept loop ──spawns──▶ connection handler (one per client)
-//!                             │  cache.get → answer immediately, or
-//!                             │  queue.try_push(Job{reply: mpsc::Sender})
-//!                             ▼
-//!                      bounded job queue  ◀── backpressure: Full → typed error
-//!                             │
-//!                  worker pool (N threads) — compile_with_cancel(...)
-//!                             │
-//!                     job.reply.send(response) ──▶ handler writes the line
+//! accept loop ──spawns──▶ reader (parse + cache-check + enqueue;
+//!                         never blocks on a worker)
+//!                             │ fast paths (cache hit, control ops,
+//!                             │ typed errors) answer immediately ─┐
+//!                             │ queue.try_push(Job{reply})        │
+//!                             ▼                                   │
+//!                      bounded job queue  ◀── backpressure        │
+//!                             │                                   │
+//!                  worker pool (N threads) — compile_with_cancel  │
+//!                             │                                   │
+//!                     job.reply.send(response) ──▶ per-connection │
+//!                                                 reply channel ◀─┘
+//!                                                     │
+//!                                          writer thread → socket
 //! ```
+//!
+//! Every response is tagged with the request's client-chosen `id` (when
+//! given), so compile responses may stream back in completion order and
+//! still be matched up; control responses keep request order because the
+//! reader answers them inline through the same channel.
 //!
 //! Shutdown (`drain`): stop accepting, close the queue, let workers finish
 //! what is queued, then exit. Shutdown (`abort`): additionally raise the
 //! shared cancellation flag — in-flight CEGIS runs stop at the next solver
 //! checkpoint — and fail all still-queued jobs with `shutting_down`.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -33,7 +44,8 @@ use chipmunk_trace::json::Json;
 
 use crate::cache::ResultCache;
 use crate::protocol::{
-    codegen_error_code, error_response, parse_request, remap_result, result_doc, Request,
+    codegen_error_code, error_response, parse_line, remap_result, result_doc, with_id, CacheAction,
+    Incoming, Request,
 };
 use crate::queue::{Bounded, PushError};
 
@@ -49,15 +61,19 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Directory for the on-disk cache tier (`None` = memory-only).
     pub cache_dir: Option<PathBuf>,
+    /// Result-cache entry bound; past it the least-recently-used entry is
+    /// evicted (`None` = unbounded). Applies to both tiers: the JSONL
+    /// file is compacted down to the retained set.
+    pub cache_max_entries: Option<usize>,
     /// Concurrent connection handlers. A connection accepted beyond this
     /// is answered with one `busy` error line and closed, so idle or slow
     /// clients cannot exhaust threads (the bounded queue already protects
     /// compute).
     pub max_connections: usize,
     /// Per-socket read deadline: a connection whose client sends nothing
-    /// for this long is dropped (`None` = wait forever). Does not bound
-    /// compilation itself — a handler waiting on a worker's reply is not
-    /// reading.
+    /// for this long **and has no job in flight** is dropped (`None` =
+    /// wait forever). Does not bound compilation itself — a client
+    /// silently waiting for its pipelined jobs is not idle.
     pub idle_timeout: Option<Duration>,
 }
 
@@ -71,22 +87,50 @@ impl Default for ServerConfig {
                 .min(4),
             queue_capacity: 64,
             cache_dir: None,
+            cache_max_entries: None,
             max_connections: 64,
             idle_timeout: Some(Duration::from_secs(60)),
         }
     }
 }
 
+/// Job-flow counters. Conservation invariant: once the server quiesces,
+/// `submitted == completed + failed + drained` — every queued job is
+/// answered exactly once (a worker serving a queued twin from cache
+/// counts as `completed`, and also bumps `served_cached`).
 #[derive(Default)]
 struct Stats {
     submitted: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
+    /// Queued jobs failed by abortive shutdown instead of running.
+    drained: AtomicU64,
+    /// Responses served from the result cache: the reader's fast path
+    /// plus the worker's after-the-wait re-check. Fast-path serves never
+    /// count as `submitted` (they are not queued).
+    served_cached: AtomicU64,
     rejected_full: AtomicU64,
     rejected_busy: AtomicU64,
     synth_ms_total: AtomicU64,
     synth_ms_max: AtomicU64,
     wait_ms_total: AtomicU64,
+}
+
+/// Where a job's single response goes: the owning connection's reply
+/// channel. Consuming `send` ties the request `id` to the response and
+/// releases the connection's in-flight slot, so the reader's idle-timeout
+/// check sees the reply strictly after it is on the channel.
+struct ReplyHandle {
+    tx: mpsc::Sender<Json>,
+    pending: Arc<AtomicUsize>,
+    id: Option<Json>,
+}
+
+impl ReplyHandle {
+    fn send(self, response: Json) {
+        let _ = self.tx.send(with_id(response, self.id));
+        self.pending.fetch_sub(1, Ordering::Release);
+    }
 }
 
 struct Job {
@@ -97,7 +141,7 @@ struct Job {
     /// `compile` will use) — cached results are remapped through these.
     fields: Vec<String>,
     states: Vec<String>,
-    reply: mpsc::Sender<Json>,
+    reply: ReplyHandle,
     enqueued: Instant,
 }
 
@@ -115,13 +159,14 @@ struct Shared {
     addr: SocketAddr,
 }
 
-/// Decrements the live-connection count when a handler exits (or when its
-/// thread failed to spawn and the closure is dropped unrun).
+/// Decrements the live-connection count when the last thread of a
+/// connection exits (or when its thread failed to spawn and the closure
+/// is dropped unrun).
 struct ConnGuard(Arc<Shared>);
 
 impl Drop for ConnGuard {
     fn drop(&mut self) {
-        self.0.conns.fetch_sub(1, Ordering::Relaxed);
+        self.0.conns.fetch_sub(1, Ordering::Release);
     }
 }
 
@@ -158,7 +203,7 @@ pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
     let shared = Arc::new(Shared {
         queue: Bounded::new(config.queue_capacity),
-        cache: ResultCache::open(config.cache_dir.as_deref())?,
+        cache: ResultCache::open_bounded(config.cache_dir.as_deref(), config.cache_max_entries)?,
         stats: Stats::default(),
         stopping: AtomicBool::new(false),
         abort: Arc::new(AtomicBool::new(false)),
@@ -202,7 +247,16 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
             Err(_) => continue,
         };
         let _ = stream.set_read_timeout(shared.idle_timeout);
-        if shared.conns.load(Ordering::Relaxed) >= shared.max_conns {
+        // Reserve a connection slot in one atomic step: a separate
+        // load-then-increment lets two simultaneous accepts both pass the
+        // check and exceed the cap.
+        let reserved = shared
+            .conns
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < shared.max_conns).then_some(n + 1)
+            })
+            .is_ok();
+        if !reserved {
             shared.stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
             chipmunk_trace::counter_add!("serve.conn.rejected", 1);
             let _ = write_line(
@@ -211,7 +265,6 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
             );
             continue;
         }
-        shared.conns.fetch_add(1, Ordering::Relaxed);
         let guard = ConnGuard(shared.clone());
         // Connection handlers are detached: they end when the client
         // disconnects (or its idle timeout expires), and any pending reply
@@ -219,7 +272,7 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
         // those exit.
         let _ = std::thread::Builder::new()
             .name("chipmunk-conn".to_string())
-            .spawn(move || handle_connection(stream, &guard.0));
+            .spawn(move || handle_connection(stream, guard));
     }
 }
 
@@ -229,9 +282,13 @@ fn begin_shutdown(shared: &Arc<Shared>, abort: bool) {
     }
     if abort {
         shared.abort.store(true, Ordering::SeqCst);
-        for job in shared.queue.drain_now() {
-            let _ = job
-                .reply
+        let drained = shared.queue.drain_now();
+        shared
+            .stats
+            .drained
+            .fetch_add(drained.len() as u64, Ordering::Relaxed);
+        for job in drained {
+            job.reply
                 .send(error_response("shutting_down", "job aborted by shutdown"));
         }
     }
@@ -240,55 +297,140 @@ fn begin_shutdown(shared: &Arc<Shared>, abort: bool) {
     let _ = TcpStream::connect(shared.addr);
 }
 
-fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
-    let mut writer = match stream.try_clone() {
+/// One connection: a reader (this thread) and a writer thread joined by a
+/// reply channel. The reader never blocks on a worker, so the socket can
+/// carry any number of jobs in flight; the writer streams responses back
+/// as they are produced.
+fn handle_connection(stream: TcpStream, guard: ConnGuard) {
+    let shared = guard.0.clone();
+    let writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = match line {
-            Ok(l) => l,
-            Err(_) => return,
-        };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let response = match parse_request(&line) {
-            Err(e) => error_response("parse", &e),
-            Ok(Request::Status) => status_response(shared),
-            Ok(Request::Stats) => stats_response(shared),
-            Ok(Request::Shutdown { abort }) => {
-                // Answer first, then trigger: the ack must not race the
-                // listener teardown.
-                let mode = if abort { "abort" } else { "drain" };
-                let ack = Json::obj([("ok", Json::Bool(true)), ("stopping", Json::from(mode))]);
-                if write_line(&mut writer, &ack).is_err() {
-                    return;
+    let (tx, rx) = mpsc::channel::<Json>();
+    // The writer owns the connection slot: it is the last thread to touch
+    // the socket (workers may still be finishing this connection's jobs
+    // after the reader sees EOF), so the slot frees only when every
+    // accepted job has been answered or dropped.
+    let spawned = std::thread::Builder::new()
+        .name("chipmunk-conn-write".to_string())
+        .spawn(move || {
+            let _guard = guard;
+            let mut writer = writer;
+            while let Ok(doc) = rx.recv() {
+                if write_line(&mut writer, &doc).is_err() {
+                    // Client gone: stop writing, but keep draining so
+                    // worker sends land somewhere until their handles drop.
+                    for _ in rx.iter() {}
+                    break;
                 }
-                begin_shutdown(shared, abort);
-                continue;
             }
-            Ok(Request::Compile { program, options }) => handle_compile(shared, &program, &options),
-        };
-        if write_line(&mut writer, &response).is_err() {
-            return;
+        });
+    if spawned.is_err() {
+        return;
+    }
+    let pending = Arc::new(AtomicUsize::new(0));
+    read_loop(stream, &shared, &tx, &pending);
+    // Dropping `tx` lets the writer exit once the last in-flight job
+    // (each holds a Sender clone) has replied.
+}
+
+fn read_loop(
+    mut stream: TcpStream,
+    shared: &Arc<Shared>,
+    tx: &mpsc::Sender<Json>,
+    pending: &Arc<AtomicUsize>,
+) {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 8192];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break, // EOF
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = buf.drain(..=pos).collect();
+                    let line = String::from_utf8_lossy(&line[..pos]);
+                    handle_line(line.trim(), shared, tx, pending);
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // The idle deadline fired. A client waiting on in-flight
+                // jobs is not idle — keep reading; replies are written by
+                // the writer thread regardless.
+                if pending.load(Ordering::Acquire) == 0 {
+                    break;
+                }
+            }
+            Err(_) => break,
         }
+    }
+    // A final unterminated line is still a request (`lines()` semantics).
+    if !buf.is_empty() {
+        let line = String::from_utf8_lossy(&buf).to_string();
+        handle_line(line.trim(), shared, tx, pending);
     }
 }
 
-fn handle_compile(
+fn handle_line(
+    line: &str,
+    shared: &Arc<Shared>,
+    tx: &mpsc::Sender<Json>,
+    pending: &Arc<AtomicUsize>,
+) {
+    if line.is_empty() {
+        return;
+    }
+    let Incoming { id, request } = parse_line(line);
+    let response = match request {
+        Err(e) => error_response("parse", &e),
+        Ok(Request::Status) => status_response(shared),
+        Ok(Request::Stats) => stats_response(shared),
+        Ok(Request::Cache { action }) => cache_response(shared, action),
+        Ok(Request::Shutdown { abort }) => {
+            // Queue the ack first, then trigger: channel FIFO guarantees
+            // the client sees the ack even as the server tears down.
+            let mode = if abort { "abort" } else { "drain" };
+            let ack = Json::obj([("ok", Json::Bool(true)), ("stopping", Json::from(mode))]);
+            let _ = tx.send(with_id(ack, id));
+            begin_shutdown(shared, abort);
+            return;
+        }
+        Ok(Request::Compile { program, options }) => {
+            start_compile(shared, &program, &options, tx, pending, id);
+            return;
+        }
+    };
+    let _ = tx.send(with_id(response, id));
+}
+
+/// The reader-side half of a compile: parse, check the cache, enqueue.
+/// Fast paths (cache hit, bad request, backpressure) answer immediately
+/// through the reply channel; an enqueued job answers later through its
+/// [`ReplyHandle`] when a worker finishes it.
+fn start_compile(
     shared: &Arc<Shared>,
     source: &str,
     options: &crate::protocol::JobOptions,
-) -> Json {
+    tx: &mpsc::Sender<Json>,
+    pending: &Arc<AtomicUsize>,
+    id: Option<Json>,
+) {
+    let answer = |resp: Json, id: Option<Json>| {
+        let _ = tx.send(with_id(resp, id));
+    };
     let program = match parse(source) {
         Ok(p) => p,
-        Err(e) => return error_response("parse", &format!("program: {e}")),
+        Err(e) => return answer(error_response("parse", &format!("program: {e}")), id),
     };
     let opts = match options.to_compiler_options() {
         Ok(o) => o,
-        Err(e) => return error_response("bad_request", &e),
+        Err(e) => return answer(error_response("bad_request", &e), id),
     };
     let key = cache_key(&program, &opts);
     // The key equates programs whose canonical *texts* match, which is
@@ -300,44 +442,49 @@ fn handle_compile(
         .cache
         .get_adapted(&key, |cached| remap_result(&cached, &fields, &states))
     {
-        return success_response(&key, true, 0, 0, result);
+        shared.stats.served_cached.fetch_add(1, Ordering::Relaxed);
+        return answer(success_response(&key, true, 0, 0, result), id);
     }
     if shared.stopping.load(Ordering::Relaxed) {
-        return error_response("shutting_down", "server is shutting down");
+        return answer(
+            error_response("shutting_down", "server is shutting down"),
+            id,
+        );
     }
-    let (reply_tx, reply_rx) = mpsc::channel();
+    // Reserve the in-flight slot before the push: the matching decrement
+    // runs in `ReplyHandle::send`, on whichever path answers the job.
+    pending.fetch_add(1, Ordering::AcqRel);
     let job = Job {
         program,
         opts,
         key,
         fields,
         states,
-        reply: reply_tx,
+        reply: ReplyHandle {
+            tx: tx.clone(),
+            pending: pending.clone(),
+            id,
+        },
         enqueued: Instant::now(),
     };
     match shared.queue.try_push(job) {
-        Ok(()) => {}
-        Err(PushError::Full(_)) => {
+        Ok(()) => {
+            shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+            chipmunk_trace::histogram_record!("serve.queue.depth", shared.queue.depth() as u64);
+        }
+        Err(PushError::Full(job)) => {
             shared.stats.rejected_full.fetch_add(1, Ordering::Relaxed);
             chipmunk_trace::counter_add!("serve.queue.rejected", 1);
-            return error_response(
+            let capacity = shared.queue.capacity();
+            job.reply.send(error_response(
                 "queue_full",
-                &format!(
-                    "queue at capacity ({}); retry later",
-                    shared.queue.capacity()
-                ),
-            );
+                &format!("queue at capacity ({capacity}); retry later"),
+            ));
         }
-        Err(PushError::Closed(_)) => {
-            return error_response("shutting_down", "server is shutting down");
+        Err(PushError::Closed(job)) => {
+            job.reply
+                .send(error_response("shutting_down", "server is shutting down"));
         }
-    }
-    shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
-    chipmunk_trace::histogram_record!("serve.queue.depth", shared.queue.depth() as u64);
-    match reply_rx.recv() {
-        Ok(response) => response,
-        // Workers are gone (abortive shutdown raced the enqueue).
-        Err(_) => error_response("shutting_down", "server stopped before the job ran"),
     }
 }
 
@@ -350,8 +497,10 @@ fn worker_loop(shared: &Arc<Shared>) {
             .fetch_add(wait_ms, Ordering::Relaxed);
         chipmunk_trace::histogram_record!("serve.queue.wait_ms", wait_ms);
         if shared.abort.load(Ordering::Relaxed) {
-            let _ = job
-                .reply
+            // Popped after the abort drain: still a drained job, so the
+            // conservation invariant holds.
+            shared.stats.drained.fetch_add(1, Ordering::Relaxed);
+            job.reply
                 .send(error_response("shutting_down", "job aborted by shutdown"));
             continue;
         }
@@ -361,8 +510,9 @@ fn worker_loop(shared: &Arc<Shared>) {
             .peek(&job.key)
             .and_then(|cached| remap_result(&cached, &job.fields, &job.states))
         {
-            let _ = job
-                .reply
+            shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+            shared.stats.served_cached.fetch_add(1, Ordering::Relaxed);
+            job.reply
                 .send(success_response(&job.key, true, 0, wait_ms, result));
             continue;
         }
@@ -400,7 +550,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                 error_response(code, &e.to_string())
             }
         };
-        let _ = job.reply.send(response);
+        job.reply.send(response);
     }
 }
 
@@ -449,6 +599,11 @@ fn stats_response(shared: &Shared) -> Json {
         ("submitted", Json::from(s.submitted.load(Ordering::Relaxed))),
         ("completed", Json::from(s.completed.load(Ordering::Relaxed))),
         ("failed", Json::from(s.failed.load(Ordering::Relaxed))),
+        ("drained", Json::from(s.drained.load(Ordering::Relaxed))),
+        (
+            "served_cached",
+            Json::from(s.served_cached.load(Ordering::Relaxed)),
+        ),
         (
             "rejected_full",
             Json::from(s.rejected_full.load(Ordering::Relaxed)),
@@ -460,6 +615,9 @@ fn stats_response(shared: &Shared) -> Json {
         ("cache_hits", Json::from(shared.cache.hits())),
         ("cache_misses", Json::from(shared.cache.misses())),
         ("cache_entries", Json::from(shared.cache.len())),
+        ("evictions", Json::from(shared.cache.evictions())),
+        ("disk_lines", Json::from(shared.cache.disk_lines())),
+        ("compactions", Json::from(shared.cache.compactions())),
         ("queue_depth", Json::from(shared.queue.depth())),
         (
             "synth_ms_total",
@@ -476,7 +634,39 @@ fn stats_response(shared: &Shared) -> Json {
     ])
 }
 
+fn cache_response(shared: &Shared, action: CacheAction) -> Json {
+    let cache = &shared.cache;
+    match action {
+        CacheAction::Stats => Json::obj([
+            ("ok", Json::Bool(true)),
+            ("entries", Json::from(cache.len())),
+            (
+                "capacity",
+                cache.capacity().map(Json::from).unwrap_or(Json::Null),
+            ),
+            ("hits", Json::from(cache.hits())),
+            ("misses", Json::from(cache.misses())),
+            ("evictions", Json::from(cache.evictions())),
+            ("disk_lines", Json::from(cache.disk_lines())),
+            ("compactions", Json::from(cache.compactions())),
+        ]),
+        CacheAction::Compact => match cache.compact() {
+            Ok((before, after)) => Json::obj([
+                ("ok", Json::Bool(true)),
+                ("lines_before", Json::from(before)),
+                ("lines_after", Json::from(after)),
+            ]),
+            Err(e) => error_response("io", &format!("compaction failed: {e}")),
+        },
+        CacheAction::Clear => match cache.clear() {
+            Ok(cleared) => Json::obj([("ok", Json::Bool(true)), ("cleared", Json::from(cleared))]),
+            Err(e) => error_response("io", &format!("clear failed: {e}")),
+        },
+    }
+}
+
 fn write_line(w: &mut TcpStream, doc: &Json) -> std::io::Result<()> {
+    use std::io::Write;
     let mut line = doc.to_compact();
     line.push('\n');
     w.write_all(line.as_bytes())?;

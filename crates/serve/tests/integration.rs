@@ -184,6 +184,359 @@ fn cache_hits_are_remapped_to_the_requesters_field_numbering() {
     handle.join();
 }
 
+/// Tentpole acceptance: one connection carries many jobs in flight.
+/// 16 compile requests — half hits on a pre-warmed key, half fresh — go
+/// out before any response is read; every response comes back tagged with
+/// its request's `id` (completion order, so out-of-order is expected and
+/// allowed) and reassembles correctly.
+#[test]
+fn pipelined_requests_are_matched_by_id() {
+    let handle = server::start(&ServerConfig {
+        workers: 2,
+        queue_capacity: 32,
+        cache_dir: None,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    // Warm the cache with the program the even-numbered requests repeat.
+    let warm = "state s; s = s + 1; pkt.out = s;";
+    let first = client.compile(warm, fast_options()).unwrap();
+    assert!(ok(&first), "warm compile failed: {first}");
+
+    // Pipeline all 16 before reading anything: evens re-submit the warm
+    // program (served from cache by the reader, overtaking the fresh
+    // synthesis runs), odds are distinct fresh programs.
+    let n = 16u64;
+    let program = |i: u64| {
+        if i.is_multiple_of(2) {
+            warm.to_string()
+        } else {
+            format!("pkt.x = pkt.a{i};")
+        }
+    };
+    for i in 0..n {
+        client
+            .send_compile(Json::from(i), &program(i), fast_options())
+            .unwrap();
+    }
+    let mut seen: Vec<Option<Json>> = vec![None; n as usize];
+    let mut arrival_ids = Vec::new();
+    for _ in 0..n {
+        let resp = client.recv().unwrap();
+        let id = resp
+            .get("id")
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("response without id: {resp}"));
+        arrival_ids.push(id);
+        assert!(
+            seen[id as usize].replace(resp).is_none(),
+            "duplicate response for id {id}"
+        );
+    }
+    for (i, resp) in seen.iter().enumerate() {
+        let resp = resp.as_ref().expect("every id answered exactly once");
+        assert!(ok(resp), "request {i} failed: {resp}");
+        assert!(resp.get("result").and_then(|r| r.get("pipeline")).is_some());
+        if i.is_multiple_of(2) {
+            assert_eq!(
+                resp.get("cached").and_then(Json::as_bool),
+                Some(true),
+                "warm resubmission {i} missed the cache"
+            );
+            assert_eq!(
+                resp.get("key").and_then(Json::as_str),
+                first.get("key").and_then(Json::as_str)
+            );
+        }
+    }
+    // Not asserted (scheduling-dependent), but overwhelmingly the cache
+    // hits overtake the fresh compiles — record it for debugging.
+    eprintln!("arrival order: {arrival_ids:?}");
+
+    let stats = client.stats().unwrap();
+    // Evens (and the warm-up's twin-coalesced serves, if any) were served
+    // from cache; every queued job is conserved.
+    assert!(stats.get("served_cached").and_then(Json::as_u64).unwrap() >= n / 2);
+    let submitted = stats.get("submitted").and_then(Json::as_u64).unwrap();
+    let completed = stats.get("completed").and_then(Json::as_u64).unwrap();
+    let failed = stats.get("failed").and_then(Json::as_u64).unwrap();
+    let drained = stats.get("drained").and_then(Json::as_u64).unwrap();
+    assert_eq!(submitted, completed + failed + drained);
+
+    client.shutdown(false).unwrap();
+    handle.join();
+}
+
+/// Tentpole acceptance: the cache bound evicts LRU entries, the on-demand
+/// compaction shrinks `results.jsonl` to exactly the retained set, and a
+/// restarted server serves the retained entries warm.
+#[test]
+fn bounded_cache_evicts_compacts_and_restarts_with_retained_entries() {
+    let dir = tmpdir("bounded");
+    let programs = [
+        "pkt.p0 = pkt.a;",
+        "pkt.p1 = pkt.a;",
+        "pkt.p2 = pkt.a;",
+        "pkt.p3 = pkt.a;",
+    ];
+    let mut keys = Vec::new();
+    {
+        let handle = server::start(&ServerConfig {
+            workers: 1,
+            queue_capacity: 8,
+            cache_dir: Some(dir.clone()),
+            cache_max_entries: Some(2),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let mut client = Client::connect(handle.local_addr()).unwrap();
+        for p in &programs {
+            let resp = client.compile(p, fast_options()).unwrap();
+            assert!(ok(&resp), "compile failed: {resp}");
+            assert_eq!(resp.get("cached").and_then(Json::as_bool), Some(false));
+            keys.push(resp.get("key").and_then(Json::as_str).unwrap().to_string());
+        }
+        // Past the bound: two entries retained, two evicted, and the
+        // append-only disk tier still carries all four lines.
+        let cs = client.cache("stats").unwrap();
+        assert!(ok(&cs));
+        assert_eq!(cs.get("entries").and_then(Json::as_u64), Some(2));
+        assert_eq!(cs.get("capacity").and_then(Json::as_u64), Some(2));
+        assert_eq!(cs.get("evictions").and_then(Json::as_u64), Some(2));
+        assert_eq!(cs.get("disk_lines").and_then(Json::as_u64), Some(4));
+
+        // Evicted entries really are misses now (and recompiling them
+        // re-evicts the then-LRU entries — not asserted further here).
+        let again = client.compile(programs[0], fast_options()).unwrap();
+        assert!(ok(&again));
+        assert_eq!(again.get("cached").and_then(Json::as_bool), Some(false));
+
+        // On-demand compaction rewrites the file down to the retained set.
+        let compacted = client.cache("compact").unwrap();
+        assert!(ok(&compacted), "compact failed: {compacted}");
+        assert_eq!(
+            compacted.get("lines_before").and_then(Json::as_u64),
+            Some(5)
+        );
+        assert_eq!(compacted.get("lines_after").and_then(Json::as_u64), Some(2));
+
+        client.shutdown(false).unwrap();
+        handle.join();
+    }
+
+    // The compacted file holds exactly the two retained keys: p3 and the
+    // re-compiled p0 (the recompile evicted p2, after p0/p1 went earlier).
+    let text = std::fs::read_to_string(dir.join("results.jsonl")).unwrap();
+    let retained: Vec<&str> = text
+        .lines()
+        .map(|l| {
+            Json::parse(l)
+                .unwrap()
+                .get("key")
+                .and_then(Json::as_str)
+                .unwrap()
+                .to_string()
+        })
+        .map(|s| {
+            keys.iter()
+                .position(|k| *k == s)
+                .map(|i| ["p0", "p1", "p2", "p3"][i])
+                .unwrap()
+        })
+        .collect();
+    let mut sorted = retained.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, ["p0", "p3"], "retained set after compaction");
+
+    // A restarted server reloads only the retained entries and serves
+    // them warm.
+    let handle = server::start(&ServerConfig {
+        workers: 1,
+        queue_capacity: 8,
+        cache_dir: Some(dir.clone()),
+        cache_max_entries: Some(2),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    let status = client.status().unwrap();
+    assert_eq!(status.get("cache_entries").and_then(Json::as_u64), Some(2));
+    for p in [programs[0], programs[3]] {
+        let resp = client.compile(p, fast_options()).unwrap();
+        assert!(ok(&resp));
+        assert_eq!(
+            resp.get("cached").and_then(Json::as_bool),
+            Some(true),
+            "retained entry {p} not served warm"
+        );
+    }
+    client.shutdown(false).unwrap();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite regression: reserving a connection slot is one atomic step,
+/// so a stampede of simultaneous connects can never exceed the cap. All
+/// admitted clients hold their slots until every attempt has resolved, so
+/// exactly `max_connections` of them are served.
+#[test]
+fn connection_cap_holds_under_a_stampede() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Barrier};
+
+    let handle = server::start(&ServerConfig {
+        workers: 0,
+        queue_capacity: 1,
+        cache_dir: None,
+        max_connections: 4,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.local_addr();
+
+    let total = 32;
+    let served = Arc::new(AtomicUsize::new(0));
+    let busy = Arc::new(AtomicUsize::new(0));
+    // +1 so the main thread can observe "everyone resolved" before any
+    // admitted client releases its slot.
+    let resolved = Arc::new(Barrier::new(total + 1));
+    let threads: Vec<_> = (0..total)
+        .map(|_| {
+            let (served, busy, resolved) = (served.clone(), busy.clone(), resolved.clone());
+            std::thread::spawn(move || {
+                // Keep the connection alive until the barrier — dropping
+                // it early would recycle the slot mid-stampede.
+                let mut conn = Client::connect(addr).ok();
+                let outcome = conn.as_mut().and_then(|c| c.status().ok());
+                match outcome {
+                    Some(resp) if ok(&resp) => served.fetch_add(1, Ordering::Relaxed),
+                    Some(resp) => {
+                        assert_eq!(resp.get("error").and_then(Json::as_str), Some("busy"));
+                        busy.fetch_add(1, Ordering::Relaxed)
+                    }
+                    // Hard connect/read failure (shouldn't happen locally).
+                    None => busy.fetch_add(1, Ordering::Relaxed),
+                };
+                resolved.wait(); // hold the slot (or the refusal) here
+                drop(conn);
+            })
+        })
+        .collect();
+    resolved.wait();
+    let (served, busy) = (served.load(Ordering::Relaxed), busy.load(Ordering::Relaxed));
+    assert_eq!(served + busy, total, "an attempt vanished");
+    assert_eq!(
+        served, 4,
+        "cap violated or slots lost: {served} served, {busy} busy"
+    );
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    // Slots are reclaimed afterwards; one of them shuts the server down.
+    let mut control = None;
+    for _ in 0..200 {
+        if let Ok(mut c) = Client::connect(addr) {
+            if c.status().is_ok_and(|s| ok(&s)) {
+                control = Some(c);
+                break;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    control
+        .expect("no slot reclaimed after the stampede")
+        .shutdown(true)
+        .unwrap();
+    handle.join();
+}
+
+/// Satellite regression: the job-flow counters conserve every submitted
+/// job (`submitted == completed + failed + drained`) and cache-hit serves
+/// are visible through `served_cached`.
+#[test]
+fn stats_conserve_jobs_across_completion_failure_and_drain() {
+    // Phase 1: a live worker — completions, a failure, and a fast-path
+    // cache serve.
+    let handle = server::start(&ServerConfig {
+        workers: 1,
+        queue_capacity: 8,
+        cache_dir: None,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    let fresh = client.compile("pkt.x = pkt.a;", fast_options()).unwrap();
+    assert!(ok(&fresh), "fresh compile failed: {fresh}");
+    let hit = client.compile("pkt.x = pkt.a;", fast_options()).unwrap();
+    assert_eq!(hit.get("cached").and_then(Json::as_bool), Some(true));
+    let infeasible = client
+        .compile("pkt.z = pkt.x * pkt.y;", fast_options())
+        .unwrap();
+    assert_eq!(
+        infeasible.get("error").and_then(Json::as_str),
+        Some("infeasible")
+    );
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get("submitted").and_then(Json::as_u64), Some(2));
+    assert_eq!(stats.get("completed").and_then(Json::as_u64), Some(1));
+    assert_eq!(stats.get("failed").and_then(Json::as_u64), Some(1));
+    assert_eq!(stats.get("drained").and_then(Json::as_u64), Some(0));
+    assert_eq!(stats.get("served_cached").and_then(Json::as_u64), Some(1));
+    client.shutdown(false).unwrap();
+    handle.join();
+
+    // Phase 2: no workers — pipelined jobs sit in the queue until an
+    // abortive shutdown drains them; they must land in `drained`, not
+    // vanish.
+    let handle = server::start(&ServerConfig {
+        workers: 0,
+        queue_capacity: 8,
+        cache_dir: None,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut submitter = Client::connect(handle.local_addr()).unwrap();
+    for i in 0..3u64 {
+        submitter
+            .send_compile(Json::from(i), &format!("pkt.x = pkt.a{i};"), fast_options())
+            .unwrap();
+    }
+    let mut control = Client::connect(handle.local_addr()).unwrap();
+    loop {
+        let status = control.status().unwrap();
+        if status.get("queue_depth").and_then(Json::as_u64) == Some(3) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let ack = control.shutdown(true).unwrap();
+    assert!(ok(&ack));
+    // All three pipelined jobs come back failed with `shutting_down`,
+    // each tagged with its id.
+    let mut ids = Vec::new();
+    for _ in 0..3 {
+        let resp = submitter.recv().unwrap();
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            resp.get("error").and_then(Json::as_str),
+            Some("shutting_down")
+        );
+        ids.push(resp.get("id").and_then(Json::as_u64).unwrap());
+    }
+    ids.sort_unstable();
+    assert_eq!(ids, [0, 1, 2]);
+    // The stopping server still answers stats on the live connection.
+    let stats = control.stats().unwrap();
+    assert_eq!(stats.get("submitted").and_then(Json::as_u64), Some(3));
+    assert_eq!(stats.get("completed").and_then(Json::as_u64), Some(0));
+    assert_eq!(stats.get("failed").and_then(Json::as_u64), Some(0));
+    assert_eq!(stats.get("drained").and_then(Json::as_u64), Some(3));
+    handle.join();
+}
+
 #[test]
 fn excess_connections_get_a_busy_error_and_slots_are_reclaimed() {
     use std::io::BufRead;
