@@ -312,39 +312,62 @@ fn submit_options(args: &Args) -> Result<Json, String> {
     Ok(Json::obj(options))
 }
 
+/// The retry policy for `submit` commands: bounded exponential backoff
+/// with full jitter, tunable via `--retries` (0 disables). The jitter
+/// seed mixes in the process id so concurrent suite runs bounced by the
+/// same busy window fan out instead of reconnecting in lockstep.
+fn retry_policy(args: &Args) -> Result<chipmunk_serve::RetryPolicy, String> {
+    let mut policy = chipmunk_serve::RetryPolicy::default();
+    policy.max_retries = args.num("retries", policy.max_retries)?;
+    policy.seed ^= u64::from(std::process::id());
+    Ok(policy)
+}
+
 /// Pipeline every listed file over one connection: send all requests up
 /// front (id = input index), then collect responses — which may arrive in
 /// completion order, e.g. cache hits first — and reassemble by id.
+/// Every file gets a per-file outcome (an unreadable file or a failed
+/// compile does not abort the rest), and any failure makes the exit
+/// status non-zero with a summary.
 fn cmd_submit_batch(args: &Args, addr: &str) -> Result<(), String> {
     if args.positional.is_empty() {
         return Err("submit --batch needs at least one <file>".to_string());
     }
     let options = submit_options(args)?;
-    let mut client = chipmunk_serve::Client::connect(addr)
-        .map_err(|e| format!("connect {addr}: {e} (is `chipmunkc serve` running?)"))?;
+    // Read everything up front; a poisoned file becomes that file's
+    // outcome instead of stopping the suite at first failure.
+    let mut outcomes: Vec<Option<Json>> = Vec::with_capacity(args.positional.len());
+    let mut programs: Vec<String> = Vec::new();
+    let mut submitted_idx: Vec<usize> = Vec::new();
     for (i, path) in args.positional.iter().enumerate() {
-        let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        client
-            .send_compile(Json::from(i as u64), &source, options.clone())
-            .map_err(|e| format!("{addr}: {e}"))?;
+        match std::fs::read_to_string(path) {
+            Ok(source) => {
+                outcomes.push(None);
+                programs.push(source);
+                submitted_idx.push(i);
+            }
+            Err(e) => outcomes.push(Some(Json::obj([
+                ("ok", Json::Bool(false)),
+                ("error", Json::from("io")),
+                ("message", Json::from(format!("{path}: {e}").as_str())),
+            ]))),
+        }
     }
-    let mut responses: Vec<Option<Json>> = vec![None; args.positional.len()];
-    for _ in 0..responses.len() {
-        let resp = client.recv().map_err(|e| format!("{addr}: {e}"))?;
-        let id = resp
-            .get("id")
-            .and_then(Json::as_u64)
-            .ok_or_else(|| format!("response without a usable id: {resp}"))?;
-        let slot = responses
-            .get_mut(id as usize)
-            .ok_or_else(|| format!("response for unknown id {id}"))?;
-        if slot.replace(resp).is_some() {
-            return Err(format!("two responses for id {id}"));
+    if !programs.is_empty() {
+        let mut client = chipmunk_serve::RetryingClient::new(addr, retry_policy(args)?);
+        let responses = client
+            .pipeline(&programs, &options)
+            .map_err(|e| format!("{addr}: {e} (is `chipmunkc serve` running?)"))?;
+        if client.retries() > 0 {
+            eprintln!("(retried {} transient failure(s))", client.retries());
+        }
+        for (slot, resp) in submitted_idx.into_iter().zip(responses) {
+            outcomes[slot] = Some(resp);
         }
     }
     let mut failures = 0usize;
-    for (path, resp) in args.positional.iter().zip(&responses) {
-        let resp = resp.as_ref().expect("all ids accounted for");
+    for (path, resp) in args.positional.iter().zip(&outcomes) {
+        let resp = resp.as_ref().expect("every file has an outcome");
         if resp.get("ok").and_then(Json::as_bool) == Some(true) {
             let cached = resp.get("cached").and_then(Json::as_bool) == Some(true);
             eprintln!(
@@ -368,7 +391,7 @@ fn cmd_submit_batch(args: &Args, addr: &str) -> Result<(), String> {
         }
     }
     if args.has("json") {
-        let all: Vec<Json> = responses.into_iter().map(Option::unwrap).collect();
+        let all: Vec<Json> = outcomes.into_iter().map(Option::unwrap).collect();
         println!("{}", Json::Arr(all).to_pretty());
     }
     if failures > 0 {
@@ -413,21 +436,39 @@ fn cmd_submit(args: &Args) -> Result<(), String> {
     if args.has("batch") {
         return cmd_submit_batch(args, addr);
     }
-    let mut client = chipmunk_serve::Client::connect(addr)
-        .map_err(|e| format!("connect {addr}: {e} (is `chipmunkc serve` running?)"))?;
-    let response = if args.has("status") {
-        client.status()
-    } else if args.has("stats") {
-        client.stats()
-    } else if args.has("shutdown") || args.has("shutdown-now") {
-        client.shutdown(args.has("shutdown-now"))
+    let response = if args.has("status")
+        || args.has("stats")
+        || args.has("shutdown")
+        || args.has("shutdown-now")
+    {
+        // Control ops are not retried: probing or stopping a server that
+        // is down should say so immediately.
+        let mut client = chipmunk_serve::Client::connect(addr)
+            .map_err(|e| format!("connect {addr}: {e} (is `chipmunkc serve` running?)"))?;
+        if args.has("status") {
+            client.status()
+        } else if args.has("stats") {
+            client.stats()
+        } else {
+            client.shutdown(args.has("shutdown-now"))
+        }
+        .map_err(|e| format!("{addr}: {e}"))?
     } else {
+        // Compiles are idempotent under the content-addressed cache, so
+        // transient failures (busy, queue_full, a reset connection) are
+        // retried with jittered backoff.
         let path = file_arg(args)?;
         let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         let options = submit_options(args)?;
-        client.compile(&source, options)
-    }
-    .map_err(|e| format!("{addr}: {e}"))?;
+        let mut client = chipmunk_serve::RetryingClient::new(addr, retry_policy(args)?);
+        let resp = client
+            .compile(&source, &options)
+            .map_err(|e| format!("{addr}: {e} (is `chipmunkc serve` running?)"))?;
+        if client.retries() > 0 {
+            eprintln!("(retried {} transient failure(s))", client.retries());
+        }
+        resp
+    };
     if response.get("ok").and_then(Json::as_bool) != Some(true) {
         return Err(format!(
             "server: {} ({})",

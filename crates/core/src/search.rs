@@ -106,6 +106,11 @@ pub enum CodegenError {
     Infeasible,
     /// The time budget or iteration caps were exhausted before a decision.
     Timeout,
+    /// A search thread panicked. Carries the (truncated) panic message.
+    /// This is a compiler defect surfaced as data instead of an unwinding
+    /// thread, so the serving layer can answer the client and keep the
+    /// worker alive.
+    Internal(String),
 }
 
 impl std::fmt::Display for CodegenError {
@@ -114,6 +119,7 @@ impl std::fmt::Display for CodegenError {
             CodegenError::TooLarge(m) => write!(f, "program too large: {m}"),
             CodegenError::Infeasible => write!(f, "no grid up to max_stages fits the program"),
             CodegenError::Timeout => write!(f, "compilation timed out"),
+            CodegenError::Internal(m) => write!(f, "internal compiler error: {m}"),
         }
     }
 }
@@ -208,6 +214,7 @@ pub fn compile_with_cancel(
                     CodegenError::TooLarge(_) => "too_large",
                     CodegenError::Infeasible => "infeasible",
                     CodegenError::Timeout => "timeout",
+                    CodegenError::Internal(_) => "internal",
                 },
             ),
         }
@@ -281,7 +288,9 @@ fn compile_parallel(
         .map(|_| Arc::new(AtomicBool::new(false)))
         .collect();
     let done = Arc::new(AtomicBool::new(false));
-    let mut results: Vec<(usize, AttemptResult)> = std::thread::scope(|scope| {
+    // Outer Err = the depth's thread panicked (message); inner result is
+    // the ordinary attempt outcome.
+    let mut results: Vec<(usize, Result<AttemptResult, String>)> = std::thread::scope(|scope| {
         // The SAT solver polls one flag per run, so an external cancel is
         // fanned out to every per-depth flag by a small monitor thread.
         if let Some(external) = cancel.clone() {
@@ -304,8 +313,16 @@ fn compile_parallel(
                 let my_flag = flags[stages - 1].clone();
                 let deeper: Vec<Arc<AtomicBool>> = flags[stages..].to_vec();
                 scope.spawn(move || {
-                    let res = attempt(stages, Some(my_flag));
-                    if res.is_ok() {
+                    // Isolate panics per depth: one depth blowing up must
+                    // not unwind through `std::thread::scope` and abort the
+                    // whole search (or, in a serve worker, kill the
+                    // worker). A panicked depth is reported as data and
+                    // classified below.
+                    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        attempt(stages, Some(my_flag))
+                    }))
+                    .map_err(|payload| panic_text(payload.as_ref()));
+                    if matches!(res, Ok(Ok(_))) {
                         for f in &deeper {
                             f.store(true, Ordering::Relaxed);
                         }
@@ -316,7 +333,7 @@ fn compile_parallel(
             .collect();
         let out = handles
             .into_iter()
-            .map(|h| h.join().expect("no panics"))
+            .map(|h| h.join().expect("depth threads isolate panics"))
             .collect();
         done.store(true, Ordering::Relaxed);
         out
@@ -327,15 +344,16 @@ fn compile_parallel(
     results.sort_by_key(|(stages, _)| *stages);
     let externally_cancelled = cancel.as_ref().is_some_and(|c| c.load(Ordering::Relaxed));
     let mut saw_timeout = false;
+    let mut panicked: Option<(usize, String)> = None;
     let mut best: Option<(usize, Synthesized, GridSpec)> = None;
     for (stages, res) in results {
         match res {
-            Ok((s, g)) => {
+            Ok(Ok((s, g))) => {
                 if best.is_none() {
                     best = Some((stages, s, g));
                 }
             }
-            Err(SynthesisError::Timeout) => {
+            Ok(Err(SynthesisError::Timeout)) => {
                 // A depth whose flag was raised reports Timeout as an
                 // artifact of the cancellation, not of budget exhaustion;
                 // counting it would make the diagnostic depend on how far
@@ -346,7 +364,12 @@ fn compile_parallel(
                     saw_timeout = true;
                 }
             }
-            Err(SynthesisError::Infeasible) => {}
+            Ok(Err(SynthesisError::Infeasible)) => {}
+            Err(msg) => {
+                if panicked.is_none() {
+                    panicked = Some((stages, msg));
+                }
+            }
         }
     }
     match best {
@@ -362,8 +385,37 @@ fn compile_parallel(
                 stages_tried: stages,
             })
         }
+        // A panicked depth trumps Infeasible: with that depth undecided,
+        // infeasibility up to max_stages is unproven. Timeout/cancel keep
+        // their meaning — the caller's budget ran out either way.
         None if saw_timeout || externally_cancelled => Err(CodegenError::Timeout),
-        None => Err(CodegenError::Infeasible),
+        None => match panicked {
+            Some((stages, msg)) => Err(CodegenError::Internal(format!(
+                "search thread for depth {stages} panicked: {msg}"
+            ))),
+            None => Err(CodegenError::Infeasible),
+        },
+    }
+}
+
+/// Short, bounded rendering of a `catch_unwind` payload.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    const MAX: usize = 200;
+    let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    };
+    if msg.len() > MAX {
+        let mut cut = MAX;
+        while !msg.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        format!("{}…", &msg[..cut])
+    } else {
+        msg
     }
 }
 
@@ -404,6 +456,38 @@ mod tests {
             ),
             None
         );
+    }
+
+    #[test]
+    fn parallel_sweep_isolates_panicking_depth() {
+        // One depth blowing up must neither abort the sweep nor be
+        // reported as Infeasible (that depth is undecided).
+        let attempt: &AttemptFn<'_> = &|stages, _flag| {
+            if stages == 2 {
+                panic!("injected depth-2 panic");
+            }
+            Err(SynthesisError::Infeasible)
+        };
+        let err = compile_parallel(attempt, 3, Instant::now(), None).unwrap_err();
+        match err {
+            CodegenError::Internal(msg) => {
+                assert!(msg.contains("depth 2"), "msg: {msg}");
+                assert!(msg.contains("injected depth-2 panic"), "msg: {msg}");
+            }
+            other => panic!("expected Internal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_panic_does_not_mask_timeout() {
+        let attempt: &AttemptFn<'_> = &|stages, _flag| {
+            if stages == 1 {
+                panic!("injected depth-1 panic");
+            }
+            Err(SynthesisError::Timeout)
+        };
+        let err = compile_parallel(attempt, 2, Instant::now(), None).unwrap_err();
+        assert_eq!(err, CodegenError::Timeout);
     }
 
     #[test]

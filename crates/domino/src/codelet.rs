@@ -140,7 +140,7 @@ mod tests {
 
     fn codelets(src: &str) -> (Tac, Codelets) {
         let prog = parse(src).unwrap();
-        let tac = lower(&prog);
+        let tac = lower(&prog).unwrap();
         let c = partition(&tac).unwrap();
         (tac, c)
     }
@@ -215,7 +215,7 @@ mod tests {
         // depends on old b, i.e. b's atom? No — old values don't create
         // dependencies on atoms… verify the partition simply succeeds here.
         let prog = parse("state a; state b; a = b; b = a;").unwrap();
-        let tac = lower(&prog);
+        let tac = lower(&prog).unwrap();
         assert!(partition(&tac).is_ok());
     }
 

@@ -108,7 +108,7 @@ pub fn compile(prog: &Program, opts: &DominoOptions) -> Result<DominoOutput, Dom
     }
     passes::const_fold(&mut prog, opts.width);
 
-    let tac = lower(&prog);
+    let tac = lower(&prog).map_err(DominoError::UnsupportedOp)?;
     chipmunk_trace::event!("domino.lower", ops = tac.ops.len());
     let mut codelets = partition(&tac).map_err(DominoError::CoupledStates)?;
     chipmunk_trace::event!("domino.partition", states = tac.num_states);

@@ -76,9 +76,16 @@ impl Tac {
 
 /// Lower a (hash-free) program to TAC with branch removal.
 ///
-/// # Panics
-/// If the program still contains `hash(...)` calls.
-pub fn lower(prog: &Program) -> Tac {
+/// # Errors
+/// If the program still contains `hash(...)` calls — run
+/// [`chipmunk_lang::passes::eliminate_hashes`] first. Rejected up front
+/// as a typed error because loaded files reach this entry point directly.
+pub fn lower(prog: &Program) -> Result<Tac, String> {
+    if prog.stmts().iter().any(|s| s.contains_hash()) {
+        return Err(
+            "program contains hash(...); run eliminate_hashes before Domino lowering".to_string(),
+        );
+    }
     let mut lw = Lowerer {
         ops: Vec::new(),
         fields: (0..prog.field_names().len()).map(Atom::Field).collect(),
@@ -87,13 +94,13 @@ pub fn lower(prog: &Program) -> Tac {
         state_writes: vec![Vec::new(); prog.state_names().len()],
     };
     lw.stmts(prog.stmts(), &[]);
-    Tac {
+    Ok(Tac {
         ops: lw.ops,
         field_out: lw.fields,
         state_writes: lw.state_writes,
         num_fields: prog.field_names().len(),
         num_states: prog.state_names().len(),
-    }
+    })
 }
 
 struct Lowerer {
@@ -186,7 +193,9 @@ impl Lowerer {
         match e {
             Expr::Int(v) => Atom::Const(*v),
             Expr::Var(r) => self.read(*r),
-            Expr::Hash(_) => panic!("hash() must be eliminated before Domino lowering"),
+            // `lower` rejects hash-bearing programs up front with a typed
+            // error, so this arm is invariant-unreachable.
+            Expr::Hash(_) => unreachable!("lower() rejects hash-bearing programs before this"),
             Expr::Unary(op, x) => {
                 let xa = self.expr(x);
                 self.emit(TacKind::Un(*op, xa))
@@ -246,9 +255,24 @@ mod tests {
     use super::*;
     use chipmunk_lang::{parse, Interpreter, PacketState};
 
+    #[test]
+    fn hash_bearing_program_is_a_typed_error_not_a_panic() {
+        // A hash-bearing file fed straight to `lower` (without the
+        // eliminate_hashes preprocessing `compile` does) must come back
+        // as Err, never unwind.
+        let prog = parse("pkt.x = hash(pkt.a, pkt.b);").unwrap();
+        let err = lower(&prog).unwrap_err();
+        assert!(err.contains("eliminate_hashes"), "err: {err}");
+        // The sanctioned path still works: eliminating hashes first makes
+        // the same program lowerable.
+        let mut prog = parse("pkt.x = hash(pkt.a, pkt.b);").unwrap();
+        chipmunk_lang::passes::eliminate_hashes(&mut prog);
+        assert!(lower(&prog).is_ok());
+    }
+
     fn check_semantics(src: &str, width: u8) {
         let prog = parse(src).unwrap();
-        let tac = lower(&prog);
+        let tac = lower(&prog).unwrap();
         let interp = Interpreter::new(&prog, width);
         let mask = (1u64 << width) - 1;
         let nf = prog.field_names().len();
@@ -271,7 +295,7 @@ mod tests {
     #[test]
     fn straightline_flattens() {
         let prog = parse("pkt.y = pkt.x + 1;").unwrap();
-        let tac = lower(&prog);
+        let tac = lower(&prog).unwrap();
         assert_eq!(tac.ops.len(), 1);
         assert_eq!(
             tac.ops[0],
@@ -324,7 +348,7 @@ mod tests {
         let prog =
             parse("state s; if (s == 3) { pkt.a = 1; pkt.b = 2; } else { pkt.a = 0; pkt.b = 0; }")
                 .unwrap();
-        let tac = lower(&prog);
+        let tac = lower(&prog).unwrap();
         // The comparison s == 3 must appear exactly once.
         let eqs = tac
             .ops
@@ -345,7 +369,7 @@ mod tests {
     #[test]
     fn state_write_of_plain_field_gets_anchor_op() {
         let prog = parse("state s; s = pkt.x;").unwrap();
-        let tac = lower(&prog);
+        let tac = lower(&prog).unwrap();
         assert_eq!(tac.state_writes[0].len(), 1);
         check_semantics("state s; s = pkt.x;", 4);
     }

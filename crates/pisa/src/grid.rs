@@ -190,14 +190,18 @@ impl Pipeline {
     /// seed them).
     ///
     /// # Errors
-    /// If the configuration does not validate against the grid.
+    /// If `width` is outside `1..=64` (it reaches here straight from
+    /// untrusted CLI/request input) or the configuration does not
+    /// validate against the grid.
     pub fn new(
         spec: GridSpec,
         config: PipelineConfig,
         num_states: usize,
         width: u8,
     ) -> Result<Pipeline, String> {
-        assert!((1..=64).contains(&width));
+        if !(1..=64).contains(&width) {
+            return Err(format!("word width {width} out of range 1..=64"));
+        }
         config.validate(&spec, num_states)?;
         Ok(Pipeline {
             spec,
@@ -564,6 +568,20 @@ mod tests {
 
     fn grid(stages: usize, slots: usize) -> GridSpec {
         GridSpec::new(stages, slots, library::raw(2), 2)
+    }
+
+    #[test]
+    fn out_of_range_width_is_a_typed_error_not_a_panic() {
+        // `width` arrives straight from `chipmunkc run --width N`; a bad
+        // value must surface as Err, never an assert.
+        for bad in [0u8, 65, 255] {
+            let spec = grid(1, 1);
+            let config = PipelineConfig {
+                stages: vec![passthrough_stage(1, &spec)],
+            };
+            let err = Pipeline::new(spec, config, 0, bad).unwrap_err();
+            assert!(err.contains("out of range"), "width {bad}: {err}");
+        }
     }
 
     #[test]

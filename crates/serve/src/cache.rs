@@ -22,6 +22,15 @@
 //! under an existing key changes neither tier, so memory and disk cannot
 //! diverge when two workers race to finish twin jobs.
 //!
+//! **Degraded mode.** A disk error (ENOSPC, short write, failed rename)
+//! never propagates into the serving path: the cache detaches its disk
+//! tier and keeps serving from memory, counting the error
+//! ([`ResultCache::disk_errors`]) and reporting
+//! [`degraded`](ResultCache::degraded) in stats. Every
+//! [`REATTACH_EVERY`]th put while degraded retries a full rewrite of the
+//! retained set (a compaction); the first success re-attaches the disk
+//! tier with nothing lost — every entry still lives in tier 1.
+//!
 //! Only *successful* compilations are cached: failures may be budget
 //! artifacts (timeouts) and are cheap to re-derive when they are not
 //! (the infeasibility proof re-runs).
@@ -30,10 +39,25 @@ use std::collections::{BTreeMap, HashMap};
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use chipmunk_trace::json::Json;
+
+use crate::faults::{self, FaultKind};
+
+/// While degraded, every this-many-th `put` retries re-attaching the
+/// disk tier via a full compaction.
+pub const REATTACH_EVERY: u64 = 16;
+
+/// One injection point covers every disk operation of the cache tier.
+fn injected_io_fault() -> Option<std::io::Error> {
+    if faults::armed() && faults::fired(FaultKind::CacheIo) {
+        Some(std::io::Error::other("injected cache_io fault"))
+    } else {
+        None
+    }
+}
 
 /// One retained result plus its recency stamp.
 struct Entry {
@@ -108,6 +132,22 @@ struct Disk {
     /// Lines currently in `results.jsonl`, valid or not — the figure
     /// compaction shrinks back to `len()`.
     lines: AtomicU64,
+    /// Disk tier detached after an I/O error; appends are skipped and a
+    /// periodic compaction retry re-attaches it.
+    degraded: AtomicBool,
+    /// I/O errors absorbed by the disk tier (appends and compactions).
+    disk_errors: AtomicU64,
+    /// Puts skipped while degraded, for the re-attach cadence.
+    degraded_puts: AtomicU64,
+}
+
+impl Disk {
+    fn note_error(&self) {
+        self.disk_errors.fetch_add(1, Ordering::Relaxed);
+        if !self.degraded.swap(true, Ordering::Relaxed) {
+            chipmunk_trace::counter_add!("serve.cache.degraded", 1);
+        }
+    }
 }
 
 /// A content-addressed result store: in-memory LRU map + optional JSONL
@@ -195,6 +235,9 @@ impl ResultCache {
                     path,
                     file: Mutex::new(f),
                     lines: AtomicU64::new(raw_lines),
+                    degraded: AtomicBool::new(false),
+                    disk_errors: AtomicU64::new(0),
+                    degraded_puts: AtomicU64::new(0),
                 })
             }
         };
@@ -268,12 +311,32 @@ impl ResultCache {
             chipmunk_trace::counter_add!("serve.cache.evicted", evicted);
         }
         if let Some(disk) = &self.disk {
+            if disk.degraded.load(Ordering::Relaxed) {
+                // Memory-only degraded mode: skip the append (the entry is
+                // safe in tier 1) and periodically probe for recovery with
+                // a full rewrite — success re-attaches the tier with every
+                // retained entry on disk, including ones put while
+                // degraded.
+                let n = disk.degraded_puts.fetch_add(1, Ordering::Relaxed) + 1;
+                if n % REATTACH_EVERY == 0 {
+                    let _ = self.compact();
+                }
+                return;
+            }
             let line = Json::obj([("key", Json::from(key)), ("result", result.clone())]);
-            {
+            let appended = (|| -> std::io::Result<()> {
+                if let Some(e) = injected_io_fault() {
+                    return Err(e);
+                }
                 let mut f = disk.file.lock().expect("cache file poisoned");
-                // A failed append degrades to memory-only; not fatal.
-                let _ = writeln!(f, "{}", line.to_compact());
-                let _ = f.flush();
+                writeln!(f, "{}", line.to_compact())?;
+                f.flush()
+            })();
+            if appended.is_err() {
+                // A failed append (ENOSPC, short write) degrades to
+                // memory-only; never fatal, never propagated.
+                disk.note_error();
+                return;
             }
             let lines = disk.lines.fetch_add(1, Ordering::Relaxed) + 1;
             // Auto-compact once evictions have left the file mostly dead
@@ -298,6 +361,26 @@ impl ResultCache {
         let Some(disk) = &self.disk else {
             return Ok((0, 0));
         };
+        let res = self.compact_inner(disk);
+        match &res {
+            Ok(_) => {
+                // A full successful rewrite is also the degraded-mode
+                // recovery path: the file now holds every retained entry,
+                // so the disk tier is healthy again.
+                disk.degraded.store(false, Ordering::Relaxed);
+                disk.degraded_puts.store(0, Ordering::Relaxed);
+            }
+            Err(_) => {
+                // Count and degrade, but let the (ignored-by-internal-
+                // callers) error through so the on-demand `cache --compact`
+                // op can still report what happened.
+                disk.note_error();
+            }
+        }
+        res
+    }
+
+    fn compact_inner(&self, disk: &Disk) -> std::io::Result<(u64, u64)> {
         // Lock order everywhere: mem before disk.
         let mem = self.mem.lock().expect("cache poisoned");
         let mut file = disk.file.lock().expect("cache file poisoned");
@@ -305,6 +388,9 @@ impl ResultCache {
         let tmp_path = disk.path.with_extension("jsonl.tmp");
         let mut after = 0u64;
         {
+            if let Some(e) = injected_io_fault() {
+                return Err(e);
+            }
             let tmp = File::create(&tmp_path)?;
             let mut w = BufWriter::new(tmp);
             for key in mem.lru.values() {
@@ -385,6 +471,23 @@ impl ResultCache {
         self.disk
             .as_ref()
             .map(|d| d.lines.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Whether the disk tier is detached after an I/O error (memory-only
+    /// degraded mode). Always false for caches opened without a
+    /// directory — they have no tier to lose.
+    pub fn degraded(&self) -> bool {
+        self.disk
+            .as_ref()
+            .is_some_and(|d| d.degraded.load(Ordering::Relaxed))
+    }
+
+    /// Disk I/O errors absorbed so far (failed appends and compactions).
+    pub fn disk_errors(&self) -> u64 {
+        self.disk
+            .as_ref()
+            .map(|d| d.disk_errors.load(Ordering::Relaxed))
             .unwrap_or(0)
     }
 }

@@ -1,9 +1,12 @@
-//! A tiny blocking client for the serve protocol.
+//! A tiny blocking client for the serve protocol, plus a retrying
+//! wrapper with bounded exponential backoff for transient failures.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use chipmunk_trace::json::Json;
+use chipmunk_trace::rng::Xoshiro256;
 
 /// One connection to a chipmunk-serve daemon.
 ///
@@ -106,4 +109,212 @@ impl Client {
             ("mode", Json::from(if abort { "abort" } else { "drain" })),
         ]))
     }
+}
+
+/// Bounded exponential backoff with full jitter.
+///
+/// Attempt `k` sleeps a uniform draw from `[0, min(cap, base·2^k)]` —
+/// full jitter, so a burst of clients bounced by the same `busy` window
+/// does not reconverge on the server in lockstep.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (total attempts = this + 1).
+    pub max_retries: u32,
+    /// Backoff ceiling for the first retry.
+    pub base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub cap: Duration,
+    /// Seed for the jitter stream. Two clients with different seeds fan
+    /// out; one seed reproduces one schedule exactly.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(2),
+            seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `attempt` (0-based).
+    pub fn backoff(&self, attempt: u32, rng: &mut Xoshiro256) -> Duration {
+        let ceiling = self
+            .base
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.cap);
+        let nanos = ceiling.as_nanos().min(u128::from(u64::MAX)) as u64;
+        if nanos == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(rng.gen_u64_below(nanos + 1))
+    }
+}
+
+/// Is this I/O failure worth retrying? Connection churn (a reset socket,
+/// a server mid-restart, a `busy` bounce surfaced as an error) is; a
+/// protocol violation or a hard local failure is not.
+fn transient_io(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::UnexpectedEof
+    )
+}
+
+/// Is this *response* a transient server condition (retry after backoff)
+/// rather than a verdict about the program?
+fn retryable_response(resp: &Json) -> bool {
+    resp.get("ok").and_then(Json::as_bool) == Some(false)
+        && matches!(
+            resp.get("error").and_then(Json::as_str),
+            Some("busy") | Some("queue_full")
+        )
+}
+
+/// A compile client that retries transient failures — `busy` bounces,
+/// `queue_full` backpressure, and connection resets — with bounded
+/// exponential backoff and full jitter, reconnecting as needed.
+///
+/// Retrying a compile is safe by construction: compiles are idempotent
+/// under the content-addressed result cache, so a job whose response was
+/// lost to a reset is re-requested and (usually) served from cache.
+/// Errors that are verdicts about the program (`parse`, `infeasible`,
+/// `timeout`, …) are returned immediately, never retried.
+pub struct RetryingClient {
+    addr: String,
+    policy: RetryPolicy,
+    rng: Xoshiro256,
+    conn: Option<Client>,
+    retries: u64,
+}
+
+impl RetryingClient {
+    /// Create a client for `addr` (connects lazily on first use).
+    pub fn new(addr: &str, policy: RetryPolicy) -> RetryingClient {
+        let rng = Xoshiro256::seed_from_u64(policy.seed);
+        RetryingClient {
+            addr: addr.to_string(),
+            policy,
+            rng,
+            conn: None,
+            retries: 0,
+        }
+    }
+
+    /// Retries performed so far (for reporting).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    fn ensure(&mut self) -> std::io::Result<&mut Client> {
+        if self.conn.is_none() {
+            self.conn = Some(Client::connect(self.addr.as_str())?);
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    /// Submit one program, retrying transient failures. Returns the
+    /// terminal response (which may still be `busy`/`queue_full` if every
+    /// retry was exhausted) or the last I/O error.
+    pub fn compile(&mut self, program: &str, options: &Json) -> std::io::Result<Json> {
+        let mut v = self.pipeline(std::slice::from_ref(&program.to_string()), options)?;
+        Ok(v.pop().unwrap_or(Json::Null))
+    }
+
+    /// Pipeline a batch of programs over one connection, retrying
+    /// transient failures per job. Jobs are tagged with their index as
+    /// the request `id`; the returned vector is in input order, one
+    /// terminal response per program. After a connection reset, only the
+    /// still-unanswered jobs are resubmitted.
+    pub fn pipeline(&mut self, programs: &[String], options: &Json) -> std::io::Result<Vec<Json>> {
+        let mut answers: Vec<Option<Json>> = (0..programs.len()).map(|_| None).collect();
+        let mut attempt = 0u32;
+        loop {
+            let pending: Vec<usize> = answers
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| a.is_none())
+                .map(|(i, _)| i)
+                .collect();
+            if pending.is_empty() {
+                break;
+            }
+            let pass = pipeline_pass(self.ensure(), &pending, programs, options, &mut answers);
+            // A transient response is only terminal once retries run out;
+            // otherwise clear it so the next pass resubmits that job.
+            let mut need_retry = false;
+            if attempt < self.policy.max_retries {
+                for slot in answers.iter_mut() {
+                    if slot.as_ref().is_some_and(retryable_response) {
+                        *slot = None;
+                        need_retry = true;
+                    }
+                }
+            }
+            match pass {
+                Ok(()) if !need_retry => break,
+                Ok(()) => {}
+                Err(e) => {
+                    self.conn = None;
+                    if !transient_io(&e) || attempt >= self.policy.max_retries {
+                        return Err(e);
+                    }
+                }
+            }
+            let delay = self.policy.backoff(attempt, &mut self.rng);
+            self.retries += 1;
+            attempt += 1;
+            std::thread::sleep(delay);
+        }
+        Ok(answers
+            .into_iter()
+            .map(|a| a.unwrap_or(Json::Null))
+            .collect())
+    }
+}
+
+/// One send-all/receive-all pass over a (re)connected socket. Fills
+/// `answers` as responses arrive; any I/O error aborts the pass and the
+/// caller decides whether to reconnect and go again.
+fn pipeline_pass(
+    conn: std::io::Result<&mut Client>,
+    pending: &[usize],
+    programs: &[String],
+    options: &Json,
+    answers: &mut [Option<Json>],
+) -> std::io::Result<()> {
+    let c = conn?;
+    for &i in pending {
+        c.send_compile(Json::from(i as u64), &programs[i], options.clone())?;
+    }
+    let mut outstanding = pending.len();
+    while outstanding > 0 {
+        let resp = c.recv()?;
+        let id = resp.get("id").and_then(Json::as_u64);
+        let Some(i) = id.map(|v| v as usize) else {
+            // An id-less error line is connection-scoped — `busy` is the
+            // one the server sends before closing. Surface it as a
+            // transient I/O error so the caller reconnects after backoff.
+            if resp.get("error").and_then(Json::as_str) == Some("busy") {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionReset,
+                    "server busy; connection closed",
+                ));
+            }
+            continue;
+        };
+        if i < answers.len() && answers[i].is_none() {
+            answers[i] = Some(resp);
+            outstanding -= 1;
+        }
+    }
+    Ok(())
 }

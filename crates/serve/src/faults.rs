@@ -1,0 +1,398 @@
+//! Deterministic fault injection for the serve stack.
+//!
+//! Production code never fails on demand, which makes fault-handling
+//! paths the least-tested code in the tree. This module lets tests (and
+//! brave operators) inject faults at precise, reproducible points:
+//!
+//! * **compile panics** — a worker's compile call panics mid-job,
+//! * **worker deaths** — a worker thread dies *outside* its panic
+//!   isolation, exercising the supervisor/respawn path,
+//! * **cache I/O errors** — the disk tier's writes fail as if the disk
+//!   were full, exercising degraded mode,
+//! * **solver stalls** — an artificial delay before a compile, for
+//!   building up queue depth under test,
+//! * **connection resets** — a connection's socket is torn down just
+//!   before a response write, exercising client retry.
+//!
+//! # Plan syntax
+//!
+//! A plan is a `;`-separated list of clauses:
+//!
+//! ```text
+//! seed=42;panic@0,3;cache_io@1;reset%0.05;stall@2;stall_ms=20
+//! ```
+//!
+//! * `<kind>@i,j,...` — fire at those 0-based *occurrence indices* of the
+//!   kind's injection site (the 0th, 3rd, ... time the site is reached).
+//! * `<kind>%p` — additionally fire each occurrence with probability `p`,
+//!   drawn from a [`Xoshiro256`] stream seeded by `seed` (default 0).
+//! * `stall_ms=N` — duration of an injected stall (default 50 ms).
+//! * Kinds: `panic`, `worker_death`, `cache_io`, `stall`, `reset`.
+//!
+//! Plans are installed from the `CHIPMUNK_FAULTS` environment variable at
+//! server start ([`init_from_env`], which prints the active plan and seed
+//! to stderr so any failure is reproducible), or programmatically with
+//! [`install`]. With no plan installed the only cost at each injection
+//! site is one load of an atomic bool ([`armed`]); release builds with
+//! the env var unset pay a single predictable branch.
+//!
+//! The plan is process-global: occurrence counters are shared across
+//! threads, so concurrent tests that install plans must serialize.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use chipmunk_trace::rng::Xoshiro256;
+
+/// The kinds of fault that can be injected. Each kind has one injection
+/// site in the serve stack and its own occurrence counter.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultKind {
+    /// Panic inside a worker's (isolated) compile call.
+    CompilePanic,
+    /// Kill a worker thread outside its panic isolation.
+    WorkerDeath,
+    /// Fail a disk write/rename in the result cache.
+    CacheIo,
+    /// Sleep for `stall_ms` before starting a compile.
+    SolverStall,
+    /// Tear down a connection's socket before a response write.
+    ConnReset,
+}
+
+const NUM_KINDS: usize = 5;
+
+impl FaultKind {
+    fn index(self) -> usize {
+        match self {
+            FaultKind::CompilePanic => 0,
+            FaultKind::WorkerDeath => 1,
+            FaultKind::CacheIo => 2,
+            FaultKind::SolverStall => 3,
+            FaultKind::ConnReset => 4,
+        }
+    }
+
+    fn from_name(s: &str) -> Option<FaultKind> {
+        Some(match s {
+            "panic" => FaultKind::CompilePanic,
+            "worker_death" => FaultKind::WorkerDeath,
+            "cache_io" => FaultKind::CacheIo,
+            "stall" => FaultKind::SolverStall,
+            "reset" => FaultKind::ConnReset,
+            _ => return None,
+        })
+    }
+}
+
+struct Plan {
+    seed: u64,
+    /// Sorted explicit occurrence indices, per kind.
+    explicit: [Vec<u64>; NUM_KINDS],
+    /// Per-occurrence firing probability, per kind (0.0 = never).
+    prob: [f64; NUM_KINDS],
+    stall: Duration,
+    rng: Xoshiro256,
+    spec: String,
+}
+
+struct State {
+    plan: Option<Plan>,
+}
+
+/// Fast-path switch: false means no plan is installed and every
+/// injection site reduces to this single load.
+static ARMED: AtomicBool = AtomicBool::new(false);
+static STATE: Mutex<State> = Mutex::new(State { plan: None });
+/// Occurrence counters live outside the mutex so `fired` can bump them
+/// without blocking when the probability path is unused.
+static COUNTERS: [AtomicU64; NUM_KINDS] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+static ENV_INIT: AtomicBool = AtomicBool::new(false);
+
+/// Returns true if a fault plan is installed. This is the only cost paid
+/// at injection sites when fault injection is off.
+#[inline]
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Record one occurrence of `kind`'s injection site and report whether
+/// the installed plan says this occurrence should fault. Always false
+/// when no plan is installed ([`armed`] is the cheap pre-check).
+pub fn fired(kind: FaultKind) -> bool {
+    if !armed() {
+        return false;
+    }
+    let k = kind.index();
+    let occurrence = COUNTERS[k].fetch_add(1, Ordering::Relaxed);
+    let mut st = match STATE.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    let Some(plan) = st.plan.as_mut() else {
+        return false;
+    };
+    if plan.explicit[k].binary_search(&occurrence).is_ok() {
+        return true;
+    }
+    let p = plan.prob[k];
+    p > 0.0 && plan.rng.gen_bool(p)
+}
+
+/// Duration of an injected solver stall under the current plan.
+pub fn stall_duration() -> Duration {
+    let st = match STATE.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    st.plan
+        .as_ref()
+        .map_or(Duration::from_millis(50), |p| p.stall)
+}
+
+/// Parse `spec` and install it as the process-wide fault plan, resetting
+/// all occurrence counters. See the module docs for the syntax.
+pub fn install(spec: &str) -> Result<(), String> {
+    let plan = parse_plan(spec)?;
+    let mut st = match STATE.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    for c in &COUNTERS {
+        c.store(0, Ordering::Relaxed);
+    }
+    st.plan = Some(plan);
+    ARMED.store(true, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Remove any installed fault plan and reset occurrence counters. After
+/// this, every injection site is a single never-taken branch again.
+pub fn disarm() {
+    let mut st = match STATE.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    ARMED.store(false, Ordering::Relaxed);
+    st.plan = None;
+    for c in &COUNTERS {
+        c.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Install a plan from the `CHIPMUNK_FAULTS` environment variable, if
+/// set. Called once at server start; later calls are no-ops. Prints the
+/// active plan (including the seed) to stderr so a failure observed
+/// under an injected schedule can be reproduced exactly.
+pub fn init_from_env() {
+    if ENV_INIT.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    let Ok(spec) = std::env::var("CHIPMUNK_FAULTS") else {
+        return;
+    };
+    if spec.trim().is_empty() {
+        return;
+    }
+    match install(&spec) {
+        Ok(()) => {
+            let seed = STATE
+                .lock()
+                .map(|st| st.plan.as_ref().map_or(0, |p| p.seed))
+                .unwrap_or(0);
+            eprintln!(
+                "chipmunk-serve: fault injection armed: CHIPMUNK_FAULTS={spec} (seed={seed})"
+            );
+        }
+        Err(e) => {
+            eprintln!("chipmunk-serve: ignoring invalid CHIPMUNK_FAULTS={spec}: {e}");
+        }
+    }
+}
+
+/// The spec string of the installed plan, if any. Lets a test harness
+/// echo the schedule it is running under on failure.
+pub fn active_spec() -> Option<String> {
+    let st = match STATE.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    st.plan.as_ref().map(|p| p.spec.clone())
+}
+
+fn parse_plan(spec: &str) -> Result<Plan, String> {
+    let mut seed = 0u64;
+    let mut explicit: [Vec<u64>; NUM_KINDS] = Default::default();
+    let mut prob = [0.0f64; NUM_KINDS];
+    let mut stall = Duration::from_millis(50);
+    for clause in spec.split(';') {
+        let clause = clause.trim();
+        if clause.is_empty() {
+            continue;
+        }
+        if let Some(v) = clause.strip_prefix("seed=") {
+            seed = v
+                .parse()
+                .map_err(|_| format!("bad seed in clause `{clause}`"))?;
+        } else if let Some(v) = clause.strip_prefix("stall_ms=") {
+            let ms: u64 = v
+                .parse()
+                .map_err(|_| format!("bad stall_ms in clause `{clause}`"))?;
+            stall = Duration::from_millis(ms);
+        } else if let Some((name, idxs)) = clause.split_once('@') {
+            let kind = FaultKind::from_name(name)
+                .ok_or_else(|| format!("unknown fault kind `{name}` in clause `{clause}`"))?;
+            for part in idxs.split(',') {
+                let i: u64 = part
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad occurrence index `{part}` in clause `{clause}`"))?;
+                explicit[kind.index()].push(i);
+            }
+        } else if let Some((name, p)) = clause.split_once('%') {
+            let kind = FaultKind::from_name(name)
+                .ok_or_else(|| format!("unknown fault kind `{name}` in clause `{clause}`"))?;
+            let p: f64 = p
+                .parse()
+                .map_err(|_| format!("bad probability in clause `{clause}`"))?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("probability out of [0,1] in clause `{clause}`"));
+            }
+            prob[kind.index()] = p;
+        } else {
+            return Err(format!("unrecognized clause `{clause}`"));
+        }
+    }
+    for idxs in &mut explicit {
+        idxs.sort_unstable();
+        idxs.dedup();
+    }
+    Ok(Plan {
+        seed,
+        explicit,
+        prob,
+        stall,
+        rng: Xoshiro256::seed_from_u64(seed),
+        spec: spec.to_string(),
+    })
+}
+
+/// Extract a short human-readable message from a panic payload, as
+/// returned by `catch_unwind`, truncated to a bounded length so a huge
+/// formatted panic cannot bloat an error response.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    const MAX: usize = 200;
+    let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    };
+    if msg.len() > MAX {
+        let mut cut = MAX;
+        while !msg.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        format!("{}…", &msg[..cut])
+    } else {
+        msg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fault state is process-global; tests that install plans must hold
+    /// this lock. Integration tests use their own copy per binary.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        match TEST_LOCK.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    #[test]
+    fn disarmed_fires_nothing() {
+        let _g = lock();
+        disarm();
+        assert!(!armed());
+        assert!(!fired(FaultKind::CompilePanic));
+        assert!(!fired(FaultKind::CacheIo));
+    }
+
+    #[test]
+    fn explicit_indices_fire_exactly_once_each() {
+        let _g = lock();
+        install("panic@0,2").unwrap();
+        assert!(fired(FaultKind::CompilePanic)); // occurrence 0
+        assert!(!fired(FaultKind::CompilePanic)); // 1
+        assert!(fired(FaultKind::CompilePanic)); // 2
+        assert!(!fired(FaultKind::CompilePanic)); // 3
+                                                  // Other kinds are untouched by the panic clause.
+        assert!(!fired(FaultKind::ConnReset));
+        disarm();
+    }
+
+    #[test]
+    fn probability_schedule_is_reproducible_from_seed() {
+        let _g = lock();
+        let run = || {
+            install("seed=99;cache_io%0.5").unwrap();
+            let v: Vec<bool> = (0..32).map(|_| fired(FaultKind::CacheIo)).collect();
+            disarm();
+            v
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&x| x), "p=0.5 over 32 draws should fire");
+        assert!(a.iter().any(|&x| !x));
+    }
+
+    #[test]
+    fn stall_duration_comes_from_plan() {
+        let _g = lock();
+        install("stall@0;stall_ms=7").unwrap();
+        assert_eq!(stall_duration(), Duration::from_millis(7));
+        disarm();
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        let _g = lock();
+        for bad in [
+            "frobnicate@1",
+            "panic@x",
+            "seed=no",
+            "panic%1.5",
+            "stall_ms=ten",
+            "justnoise",
+        ] {
+            assert!(parse_plan(bad).is_err(), "spec `{bad}` should be rejected");
+        }
+    }
+
+    #[test]
+    fn panic_message_truncates_and_handles_payload_types() {
+        let long = "x".repeat(500);
+        let payload: Box<dyn std::any::Any + Send> = Box::new(long);
+        let msg = panic_message(payload.as_ref());
+        assert!(msg.len() < 250);
+        assert!(msg.ends_with('…'));
+        let payload: Box<dyn std::any::Any + Send> = Box::new("short");
+        assert_eq!(panic_message(payload.as_ref()), "short");
+        let payload: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert_eq!(panic_message(payload.as_ref()), "non-string panic payload");
+    }
+}

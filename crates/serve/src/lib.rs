@@ -22,6 +22,12 @@
 //!   carry optional client-chosen `id`s, and each connection is handled by
 //!   a reader/writer thread pair, so one socket can pipeline many compiles
 //!   and receive responses in completion order.
+//! * a **fault-tolerant compile path**: worker panics are isolated into
+//!   structured `internal` errors, a dispatch-time watchdog respawns dead
+//!   workers, the disk cache tier degrades to memory-only instead of
+//!   failing, clients retry transient errors with jittered backoff
+//!   ([`client::RetryingClient`]), and the whole stack is testable under a
+//!   seeded deterministic fault schedule ([`faults`]).
 //!
 //! The whole path is instrumented with `chipmunk-trace`: queue depth and
 //! wait time, cache hits/misses, and per-job synthesis time all land in
@@ -43,12 +49,13 @@
 
 pub mod cache;
 pub mod client;
+pub mod faults;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 
 pub use cache::ResultCache;
-pub use client::Client;
+pub use client::{Client, RetryPolicy, RetryingClient};
 pub use protocol::{CacheAction, Incoming, JobOptions, Request};
 pub use queue::{Bounded, PushError};
 pub use server::{start, ServerConfig, ServerHandle};

@@ -33,13 +33,23 @@
 //! `bad_request`, `too_large`, `infeasible`, `timeout`, `queue_full`,
 //! `busy` (connection limit reached — sent once on accept, then the
 //! connection closes), `io` (a cache maintenance action hit the disk),
+//! `internal` (the compiler panicked or its worker died mid-job; the
+//! worker pool has been respawned and the compile is safe to retry),
 //! `shutting_down`.
+//!
+//! **Untrusted input.** Everything in this module runs on raw client
+//! bytes, so the whole non-test file is compiled under
+//! `deny(clippy::unwrap_used)` / `expect_used` / `panic`: malformed input
+//! must flow out as a typed `parse`/`bad_request` response, never unwind
+//! a connection thread.
 //!
 //! A compile success's `result` object carries `fields` and `states`
 //! name arrays naming the indices of `field_to_container` — always in the
 //! *requester's* first-use order, even when the result is served from
 //! cache on behalf of a differently-numbered equivalent program (see
 //! [`remap_result`]).
+
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
 use chipmunk::{CodegenError, CodegenSuccess, CompilerOptions};
 use chipmunk_pisa::{stateful::library, StatefulAluSpec, StatelessAluSpec};
@@ -311,6 +321,7 @@ pub fn codegen_error_code(e: &CodegenError) -> &'static str {
         CodegenError::TooLarge(_) => "too_large",
         CodegenError::Infeasible => "infeasible",
         CodegenError::Timeout => "timeout",
+        CodegenError::Internal(_) => "internal",
     }
 }
 
@@ -420,6 +431,7 @@ pub fn remap_result(cached: &Json, fields: &[String], states: &[String]) -> Opti
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
 

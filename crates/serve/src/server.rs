@@ -34,7 +34,7 @@ use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -43,6 +43,7 @@ use chipmunk_lang::{parse, Program};
 use chipmunk_trace::json::Json;
 
 use crate::cache::ResultCache;
+use crate::faults::{self, FaultKind};
 use crate::protocol::{
     codegen_error_code, error_response, parse_line, remap_result, result_doc, with_id, CacheAction,
     Incoming, Request,
@@ -95,9 +96,9 @@ impl Default for ServerConfig {
 }
 
 /// Job-flow counters. Conservation invariant: once the server quiesces,
-/// `submitted == completed + failed + drained` — every queued job is
-/// answered exactly once (a worker serving a queued twin from cache
-/// counts as `completed`, and also bumps `served_cached`).
+/// `submitted == completed + failed + drained + panicked` — every queued
+/// job is answered exactly once (a worker serving a queued twin from
+/// cache counts as `completed`, and also bumps `served_cached`).
 #[derive(Default)]
 struct Stats {
     submitted: AtomicU64,
@@ -105,6 +106,13 @@ struct Stats {
     failed: AtomicU64,
     /// Queued jobs failed by abortive shutdown instead of running.
     drained: AtomicU64,
+    /// Jobs answered with an `internal` error because the compile call
+    /// panicked (isolated) or the worker running them died (its
+    /// [`ReplyHandle`] answered on drop).
+    panicked: AtomicU64,
+    /// Worker threads respawned by the dispatch-time watchdog after a
+    /// pool member died.
+    workers_respawned: AtomicU64,
     /// Responses served from the result cache: the reader's fast path
     /// plus the worker's after-the-wait re-check. Fast-path serves never
     /// count as `submitted` (they are not queued).
@@ -120,16 +128,44 @@ struct Stats {
 /// channel. Consuming `send` ties the request `id` to the response and
 /// releases the connection's in-flight slot, so the reader's idle-timeout
 /// check sees the reply strictly after it is on the channel.
+///
+/// Dropping a handle unanswered — the job vanished with a dying worker,
+/// or was discarded with the queue — is itself an answer: the client gets
+/// a structured `internal` error and the job counts as `panicked`, so no
+/// client ever waits forever and the conservation invariant survives
+/// worker deaths.
 struct ReplyHandle {
     tx: mpsc::Sender<Json>,
     pending: Arc<AtomicUsize>,
+    stats: Arc<Stats>,
     id: Option<Json>,
+    answered: bool,
 }
 
 impl ReplyHandle {
-    fn send(self, response: Json) {
-        let _ = self.tx.send(with_id(response, self.id));
+    fn send(mut self, response: Json) {
+        self.deliver(response);
+    }
+
+    fn deliver(&mut self, response: Json) {
+        if self.answered {
+            return;
+        }
+        self.answered = true;
+        let _ = self.tx.send(with_id(response, self.id.take()));
         self.pending.fetch_sub(1, Ordering::Release);
+    }
+}
+
+impl Drop for ReplyHandle {
+    fn drop(&mut self) {
+        if !self.answered {
+            self.stats.panicked.fetch_add(1, Ordering::Relaxed);
+            self.deliver(error_response(
+                "internal",
+                "worker died while running this job; the pool has been respawned — safe to retry",
+            ));
+        }
     }
 }
 
@@ -148,7 +184,7 @@ struct Job {
 struct Shared {
     queue: Bounded<Job>,
     cache: ResultCache,
-    stats: Stats,
+    stats: Arc<Stats>,
     stopping: AtomicBool,
     abort: Arc<AtomicBool>,
     in_flight: AtomicUsize,
@@ -156,7 +192,73 @@ struct Shared {
     max_conns: usize,
     idle_timeout: Option<Duration>,
     workers: usize,
+    /// Workers currently alive (incremented before spawn, decremented by
+    /// each worker's [`WorkerGuard`] even when it dies by panic). The
+    /// dispatch-time watchdog compares this against `workers`.
+    live_workers: AtomicUsize,
+    /// Monotonic worker name counter, so respawned threads are
+    /// distinguishable in traces from the ones they replace.
+    next_worker: AtomicUsize,
+    /// Join handles for every worker ever spawned (initial pool +
+    /// respawns). Drained by [`ServerHandle::join`].
+    worker_handles: Mutex<Vec<JoinHandle<()>>>,
     addr: SocketAddr,
+}
+
+/// Decrements the live-worker count when a worker exits — normally or by
+/// unwinding — so the watchdog sees the true pool size.
+struct WorkerGuard(Arc<Shared>);
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        self.0.live_workers.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+fn lock_handles(shared: &Shared) -> std::sync::MutexGuard<'_, Vec<JoinHandle<()>>> {
+    match shared.worker_handles.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Spawn one worker thread. The live count is reserved *before* the
+/// thread starts so two concurrent watchdog checks cannot both spawn for
+/// the same deficit.
+fn spawn_worker(shared: &Arc<Shared>, handles: &mut Vec<JoinHandle<()>>) {
+    let idx = shared.next_worker.fetch_add(1, Ordering::Relaxed);
+    shared.live_workers.fetch_add(1, Ordering::AcqRel);
+    let sh = shared.clone();
+    let spawned = std::thread::Builder::new()
+        .name(format!("chipmunk-worker-{idx}"))
+        .spawn(move || {
+            let _guard = WorkerGuard(sh.clone());
+            worker_loop(&sh);
+        });
+    match spawned {
+        Ok(h) => handles.push(h),
+        Err(_) => {
+            shared.live_workers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+/// Watchdog, run on every job dispatch: if the pool is below its
+/// configured size (a worker died), respawn the missing workers. Cheap
+/// when healthy — one atomic load.
+fn ensure_workers(shared: &Arc<Shared>) {
+    if shared.workers == 0 || shared.live_workers.load(Ordering::Acquire) >= shared.workers {
+        return;
+    }
+    let mut handles = lock_handles(shared);
+    while shared.live_workers.load(Ordering::Acquire) < shared.workers {
+        spawn_worker(shared, &mut handles);
+        shared
+            .stats
+            .workers_respawned
+            .fetch_add(1, Ordering::Relaxed);
+        chipmunk_trace::counter_add!("serve.worker.respawned", 1);
+    }
 }
 
 /// Decrements the live-connection count when the last thread of a
@@ -174,7 +276,6 @@ impl Drop for ConnGuard {
 pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: JoinHandle<()>,
-    workers: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -188,23 +289,32 @@ impl ServerHandle {
         begin_shutdown(&self.shared, abort);
     }
 
-    /// Block until the accept loop and every worker have exited.
+    /// Block until the accept loop and every worker have exited. Workers
+    /// respawned by the watchdog are joined too — the handle list is
+    /// drained until it stays empty.
     pub fn join(self) {
         let _ = self.accept.join();
-        for w in self.workers {
-            let _ = w.join();
+        loop {
+            let handles = std::mem::take(&mut *lock_handles(&self.shared));
+            if handles.is_empty() {
+                break;
+            }
+            for w in handles {
+                let _ = w.join();
+            }
         }
     }
 }
 
 /// Bind, spawn the worker pool and the accept loop, and return immediately.
 pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
+    faults::init_from_env();
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let shared = Arc::new(Shared {
         queue: Bounded::new(config.queue_capacity),
         cache: ResultCache::open_bounded(config.cache_dir.as_deref(), config.cache_max_entries)?,
-        stats: Stats::default(),
+        stats: Arc::new(Stats::default()),
         stopping: AtomicBool::new(false),
         abort: Arc::new(AtomicBool::new(false)),
         in_flight: AtomicUsize::new(0),
@@ -212,17 +322,17 @@ pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
         max_conns: config.max_connections,
         idle_timeout: config.idle_timeout,
         workers: config.workers,
+        live_workers: AtomicUsize::new(0),
+        next_worker: AtomicUsize::new(0),
+        worker_handles: Mutex::new(Vec::new()),
         addr,
     });
-    let workers = (0..config.workers)
-        .map(|i| {
-            let shared = shared.clone();
-            std::thread::Builder::new()
-                .name(format!("chipmunk-worker-{i}"))
-                .spawn(move || worker_loop(&shared))
-                .expect("spawn worker")
-        })
-        .collect();
+    {
+        let mut handles = lock_handles(&shared);
+        for _ in 0..config.workers {
+            spawn_worker(&shared, &mut handles);
+        }
+    }
     let accept = {
         let shared = shared.clone();
         std::thread::Builder::new()
@@ -230,11 +340,7 @@ pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
             .spawn(move || accept_loop(listener, &shared))
             .expect("spawn accept loop")
     };
-    Ok(ServerHandle {
-        shared,
-        accept,
-        workers,
-    })
+    Ok(ServerHandle { shared, accept })
 }
 
 fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
@@ -318,6 +424,15 @@ fn handle_connection(stream: TcpStream, guard: ConnGuard) {
             let _guard = guard;
             let mut writer = writer;
             while let Ok(doc) = rx.recv() {
+                if faults::armed() && faults::fired(FaultKind::ConnReset) {
+                    // Simulate the connection dying just before this
+                    // response hit the wire: tear the socket down (the
+                    // reader's next read fails too) and drain like a real
+                    // write failure.
+                    let _ = writer.shutdown(std::net::Shutdown::Both);
+                    for _ in rx.iter() {}
+                    break;
+                }
                 if write_line(&mut writer, &doc).is_err() {
                     // Client gone: stop writing, but keep draining so
                     // worker sends land somewhere until their handles drop.
@@ -424,6 +539,10 @@ fn start_compile(
     let answer = |resp: Json, id: Option<Json>| {
         let _ = tx.send(with_id(resp, id));
     };
+    // Watchdog: every compile request checks the pool, not just the ones
+    // that reach the queue — otherwise a stream of cache hits would never
+    // replace a dead worker, and the first miss would find a shrunken pool.
+    ensure_workers(shared);
     let program = match parse(source) {
         Ok(p) => p,
         Err(e) => return answer(error_response("parse", &format!("program: {e}")), id),
@@ -463,7 +582,9 @@ fn start_compile(
         reply: ReplyHandle {
             tx: tx.clone(),
             pending: pending.clone(),
+            stats: shared.stats.clone(),
             id,
+            answered: false,
         },
         enqueued: Instant::now(),
     };
@@ -490,68 +611,105 @@ fn start_compile(
 
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
-        let wait_ms = job.enqueued.elapsed().as_millis() as u64;
-        shared
-            .stats
-            .wait_ms_total
-            .fetch_add(wait_ms, Ordering::Relaxed);
-        chipmunk_trace::histogram_record!("serve.queue.wait_ms", wait_ms);
-        if shared.abort.load(Ordering::Relaxed) {
-            // Popped after the abort drain: still a drained job, so the
-            // conservation invariant holds.
-            shared.stats.drained.fetch_add(1, Ordering::Relaxed);
-            job.reply
-                .send(error_response("shutting_down", "job aborted by shutdown"));
-            continue;
+        if faults::armed() && faults::fired(FaultKind::WorkerDeath) {
+            // Deliberately *outside* the isolation below: exercises the
+            // real worker-death path — ReplyHandle::drop answers the job,
+            // WorkerGuard fixes the live count, the watchdog respawns.
+            panic!("injected fault: worker death");
         }
-        // A twin of this job may have been compiled while it queued.
-        if let Some(result) = shared
-            .cache
-            .peek(&job.key)
-            .and_then(|cached| remap_result(&cached, &job.fields, &job.states))
-        {
-            shared.stats.completed.fetch_add(1, Ordering::Relaxed);
-            shared.stats.served_cached.fetch_add(1, Ordering::Relaxed);
-            job.reply
-                .send(success_response(&job.key, true, 0, wait_ms, result));
-            continue;
-        }
-        shared.in_flight.fetch_add(1, Ordering::Relaxed);
-        let mut sp = chipmunk_trace::span!("serve.job", key = job.key.as_str(), wait_ms = wait_ms,);
-        let started = Instant::now();
-        let res = compile_with_cancel(&job.program, &job.opts, Some(shared.abort.clone()));
-        let synth_ms = started.elapsed().as_millis() as u64;
-        shared.in_flight.fetch_sub(1, Ordering::Relaxed);
-        chipmunk_trace::histogram_record!("serve.job.synth_ms", synth_ms);
-        shared
-            .stats
-            .synth_ms_total
-            .fetch_add(synth_ms, Ordering::Relaxed);
-        shared
-            .stats
-            .synth_ms_max
-            .fetch_max(synth_ms, Ordering::Relaxed);
-        let response = match res {
-            Ok(out) => {
-                shared.stats.completed.fetch_add(1, Ordering::Relaxed);
-                sp.record("result", "ok");
-                let result = result_doc(&out, &job.fields, &job.states);
-                shared.cache.put(&job.key, &result);
-                success_response(&job.key, false, synth_ms, wait_ms, result)
-            }
-            Err(e) => {
-                shared.stats.failed.fetch_add(1, Ordering::Relaxed);
-                let code = if shared.abort.load(Ordering::Relaxed) {
-                    "shutting_down"
-                } else {
-                    codegen_error_code(&e)
-                };
-                sp.record("result", code);
-                error_response(code, &e.to_string())
-            }
-        };
-        job.reply.send(response);
+        // Panic isolation for the whole job: whatever escapes run_job
+        // (the compile call has its own message-preserving layer inside)
+        // is absorbed here so the worker survives; an unanswered job is
+        // answered by its ReplyHandle on drop.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(shared, job)));
     }
+}
+
+fn run_job(shared: &Arc<Shared>, job: Job) {
+    let wait_ms = job.enqueued.elapsed().as_millis() as u64;
+    shared
+        .stats
+        .wait_ms_total
+        .fetch_add(wait_ms, Ordering::Relaxed);
+    chipmunk_trace::histogram_record!("serve.queue.wait_ms", wait_ms);
+    if shared.abort.load(Ordering::Relaxed) {
+        // Popped after the abort drain: still a drained job, so the
+        // conservation invariant holds.
+        shared.stats.drained.fetch_add(1, Ordering::Relaxed);
+        job.reply
+            .send(error_response("shutting_down", "job aborted by shutdown"));
+        return;
+    }
+    // A twin of this job may have been compiled while it queued.
+    if let Some(result) = shared
+        .cache
+        .peek(&job.key)
+        .and_then(|cached| remap_result(&cached, &job.fields, &job.states))
+    {
+        shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+        shared.stats.served_cached.fetch_add(1, Ordering::Relaxed);
+        job.reply
+            .send(success_response(&job.key, true, 0, wait_ms, result));
+        return;
+    }
+    if faults::armed() && faults::fired(FaultKind::SolverStall) {
+        std::thread::sleep(faults::stall_duration());
+    }
+    shared.in_flight.fetch_add(1, Ordering::Relaxed);
+    let mut sp = chipmunk_trace::span!("serve.job", key = job.key.as_str(), wait_ms = wait_ms,);
+    let started = Instant::now();
+    // Message-preserving panic isolation around the compile itself: a
+    // panicking synthesis pass becomes a structured `internal` response
+    // carrying the (truncated) panic text.
+    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if faults::armed() && faults::fired(FaultKind::CompilePanic) {
+            panic!("injected fault: compile panic");
+        }
+        compile_with_cancel(&job.program, &job.opts, Some(shared.abort.clone()))
+    }));
+    let synth_ms = started.elapsed().as_millis() as u64;
+    shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+    chipmunk_trace::histogram_record!("serve.job.synth_ms", synth_ms);
+    shared
+        .stats
+        .synth_ms_total
+        .fetch_add(synth_ms, Ordering::Relaxed);
+    shared
+        .stats
+        .synth_ms_max
+        .fetch_max(synth_ms, Ordering::Relaxed);
+    let response = match res {
+        Ok(Ok(out)) => {
+            shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+            sp.record("result", "ok");
+            let result = result_doc(&out, &job.fields, &job.states);
+            shared.cache.put(&job.key, &result);
+            success_response(&job.key, false, synth_ms, wait_ms, result)
+        }
+        Ok(Err(e)) => {
+            shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+            let code = if shared.abort.load(Ordering::Relaxed) {
+                "shutting_down"
+            } else {
+                codegen_error_code(&e)
+            };
+            sp.record("result", code);
+            error_response(code, &e.to_string())
+        }
+        Err(payload) => {
+            shared.stats.panicked.fetch_add(1, Ordering::Relaxed);
+            chipmunk_trace::counter_add!("serve.job.panicked", 1);
+            sp.record("result", "internal");
+            error_response(
+                "internal",
+                &format!(
+                    "compiler panicked: {} — safe to retry",
+                    faults::panic_message(payload.as_ref())
+                ),
+            )
+        }
+    };
+    job.reply.send(response);
 }
 
 fn success_response(key: &str, cached: bool, synth_ms: u64, wait_ms: u64, result: Json) -> Json {
@@ -580,6 +738,10 @@ fn status_response(shared: &Shared) -> Json {
         ("queue_capacity", Json::from(shared.queue.capacity())),
         ("workers", Json::from(shared.workers)),
         (
+            "live_workers",
+            Json::from(shared.live_workers.load(Ordering::Relaxed)),
+        ),
+        (
             "in_flight",
             Json::from(shared.in_flight.load(Ordering::Relaxed)),
         ),
@@ -600,6 +762,11 @@ fn stats_response(shared: &Shared) -> Json {
         ("completed", Json::from(s.completed.load(Ordering::Relaxed))),
         ("failed", Json::from(s.failed.load(Ordering::Relaxed))),
         ("drained", Json::from(s.drained.load(Ordering::Relaxed))),
+        ("panicked", Json::from(s.panicked.load(Ordering::Relaxed))),
+        (
+            "workers_respawned",
+            Json::from(s.workers_respawned.load(Ordering::Relaxed)),
+        ),
         (
             "served_cached",
             Json::from(s.served_cached.load(Ordering::Relaxed)),
@@ -618,6 +785,8 @@ fn stats_response(shared: &Shared) -> Json {
         ("evictions", Json::from(shared.cache.evictions())),
         ("disk_lines", Json::from(shared.cache.disk_lines())),
         ("compactions", Json::from(shared.cache.compactions())),
+        ("degraded", Json::Bool(shared.cache.degraded())),
+        ("disk_errors", Json::from(shared.cache.disk_errors())),
         ("queue_depth", Json::from(shared.queue.depth())),
         (
             "synth_ms_total",
@@ -649,6 +818,8 @@ fn cache_response(shared: &Shared, action: CacheAction) -> Json {
             ("evictions", Json::from(cache.evictions())),
             ("disk_lines", Json::from(cache.disk_lines())),
             ("compactions", Json::from(cache.compactions())),
+            ("degraded", Json::Bool(cache.degraded())),
+            ("disk_errors", Json::from(cache.disk_errors())),
         ]),
         CacheAction::Compact => match cache.compact() {
             Ok((before, after)) => Json::obj([

@@ -1,0 +1,452 @@
+//! Chaos and fault-injection tests: seeded fault schedules against a real
+//! server, asserting the pool survives panics and worker deaths, the cache
+//! degrades and re-attaches, clients retry through resets, and the job
+//! conservation invariant (`submitted == completed + failed + drained +
+//! panicked`) holds under load.
+//!
+//! Fault state is process-global (`chipmunk_serve::faults`), so this suite
+//! lives in its own test binary and every test serializes on [`FAULT_LOCK`].
+//! Each test prints its fault plan with `eprintln!` so a failure in CI shows
+//! the exact seed/schedule to reproduce it with.
+
+use chipmunk_serve::{
+    faults, server, Client, ResultCache, RetryPolicy, RetryingClient, ServerConfig,
+};
+use chipmunk_trace::json::Json;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Serializes tests: fault plans and their occurrence counters are global.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    // A previous test's failed assert poisons the lock; the fault state it
+    // guards is re-installed by each test, so the poison carries no meaning.
+    FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Disarms fault injection when dropped, even if the test panics, so one
+/// failure does not leak an armed schedule into the next test.
+struct Disarm;
+
+impl Drop for Disarm {
+    fn drop(&mut self) {
+        faults::disarm();
+    }
+}
+
+/// Install `spec` and print it, returning the disarm guard.
+fn arm(spec: &str) -> Disarm {
+    eprintln!("fault plan (reproduce with CHIPMUNK_FAULTS): {spec}");
+    faults::install(spec).expect("fault spec parses");
+    Disarm
+}
+
+/// Small widths so a debug-build CEGIS run finishes in well under a second.
+fn fast_options() -> Json {
+    Json::obj([
+        ("imm", Json::from(3u64)),
+        ("width", Json::from(6u64)),
+        ("screen_width", Json::from(3u64)),
+        ("synth_input_bits", Json::from(3u64)),
+        ("num_initial_inputs", Json::from(3u64)),
+        ("max_iters", Json::from(64u64)),
+        ("seed", Json::from(42u64)),
+        ("max_stages", Json::from(2u64)),
+        ("timeout_ms", Json::from(60_000u64)),
+    ])
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("chipmunk-serve-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn ok(resp: &Json) -> bool {
+    resp.get("ok").and_then(Json::as_bool) == Some(true)
+}
+
+fn u64_field(resp: &Json, key: &str) -> u64 {
+    resp.get(key)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("missing u64 field {key:?} in {resp}"))
+}
+
+/// `submitted == completed + failed + drained + panicked` from a stats doc.
+fn assert_conservation(stats: &Json) {
+    let submitted = u64_field(stats, "submitted");
+    let completed = u64_field(stats, "completed");
+    let failed = u64_field(stats, "failed");
+    let drained = u64_field(stats, "drained");
+    let panicked = u64_field(stats, "panicked");
+    assert_eq!(
+        submitted,
+        completed + failed + drained + panicked,
+        "job conservation violated: {stats}"
+    );
+}
+
+/// Acceptance: an injected compile panic yields a structured `internal`
+/// error, bumps `panicked`, leaves the pool at full strength (the worker
+/// survived — no respawn needed), and the same daemon then completes 100
+/// further jobs, with conservation intact.
+#[test]
+fn injected_compile_panic_yields_internal_error_and_pool_survives() {
+    let _l = lock();
+    let _d = arm("seed=7;panic@0");
+    let dir = tmpdir("acceptance");
+    let handle = server::start(&ServerConfig {
+        workers: 2,
+        queue_capacity: 16,
+        cache_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let mut client = Client::connect(handle.local_addr()).expect("client connects");
+
+    // First fresh compile hits the injected panic inside the worker's
+    // isolation layer: the client gets a structured verdict, not a hang.
+    let victim = "pkt.out = pkt.a + pkt.b;";
+    let resp = client.compile(victim, fast_options()).unwrap();
+    assert!(!ok(&resp), "panicked job must not report ok: {resp}");
+    assert_eq!(resp.get("error").and_then(Json::as_str), Some("internal"));
+    let msg = resp.get("message").and_then(Json::as_str).unwrap();
+    assert!(
+        msg.contains("injected fault: compile panic"),
+        "panic text not preserved: {msg}"
+    );
+    assert!(msg.contains("safe to retry"), "missing retry hint: {msg}");
+
+    let stats = client.stats().unwrap();
+    assert_eq!(u64_field(&stats, "panicked"), 1);
+    assert_eq!(u64_field(&stats, "workers_respawned"), 0);
+    let status = client.status().unwrap();
+    assert_eq!(u64_field(&status, "live_workers"), 2, "worker must survive");
+
+    // Fault exhausted (only occurrence 0 panics): the very same program now
+    // compiles — a panicked job really is safe to retry.
+    faults::disarm();
+    let retried = client.compile(victim, fast_options()).unwrap();
+    assert!(ok(&retried), "retry of panicked job failed: {retried}");
+
+    // 99 more jobs on the same daemon (10 distinct sources, then repeats
+    // exercising the cache fast path).
+    for i in 1..100 {
+        let prog = format!("pkt.x = pkt.a{};", i % 10);
+        let resp = client.compile(&prog, fast_options()).unwrap();
+        assert!(ok(&resp), "job {i} failed after panic recovery: {resp}");
+    }
+
+    // `submitted` counts queued jobs only (admission-time cache hits are
+    // answered without entering the queue), so assert the shape rather
+    // than an exact count: exactly one panic, no failures, and every other
+    // queued job completed.
+    let stats = client.stats().unwrap();
+    assert_eq!(u64_field(&stats, "panicked"), 1);
+    assert_eq!(u64_field(&stats, "failed"), 0);
+    assert_eq!(
+        u64_field(&stats, "completed"),
+        u64_field(&stats, "submitted") - 1,
+        "all queued jobs except the panicked one must complete: {stats}"
+    );
+    assert_conservation(&stats);
+    let status = client.status().unwrap();
+    assert_eq!(u64_field(&status, "live_workers"), 2);
+
+    let ack = client.shutdown(false).unwrap();
+    assert!(ok(&ack));
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A worker that dies outside the isolation layer still answers its job
+/// (via the reply handle's drop), and the watchdog respawns the pool on the
+/// next dispatch.
+#[test]
+fn worker_death_answers_the_job_and_pool_respawns() {
+    let _l = lock();
+    let _d = arm("seed=11;worker_death@0");
+    let handle = server::start(&ServerConfig {
+        workers: 1,
+        queue_capacity: 8,
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let mut client = Client::connect(handle.local_addr()).expect("client connects");
+
+    let resp = client.compile("pkt.x = pkt.a;", fast_options()).unwrap();
+    assert!(!ok(&resp), "dead worker's job must not report ok: {resp}");
+    assert_eq!(resp.get("error").and_then(Json::as_str), Some("internal"));
+    let msg = resp.get("message").and_then(Json::as_str).unwrap();
+    assert!(msg.contains("worker died"), "unexpected message: {msg}");
+
+    // Wait until the dead worker's guard has decremented the live count —
+    // the client's response races the thread's final unwind.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let status = client.status().unwrap();
+        if u64_field(&status, "live_workers") == 0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "worker never unwound: {status}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // The next dispatch trips the watchdog: a fresh worker is spawned and
+    // runs the job to completion.
+    faults::disarm();
+    let resp = client.compile("pkt.x = pkt.a;", fast_options()).unwrap();
+    assert!(ok(&resp), "job after respawn failed: {resp}");
+
+    let stats = client.stats().unwrap();
+    assert_eq!(u64_field(&stats, "panicked"), 1);
+    assert!(u64_field(&stats, "workers_respawned") >= 1);
+    assert_conservation(&stats);
+    let status = client.status().unwrap();
+    assert_eq!(u64_field(&status, "live_workers"), 1);
+
+    let ack = client.shutdown(false).unwrap();
+    assert!(ok(&ack));
+    handle.join();
+}
+
+/// A failed append degrades the cache to memory-only (nothing lost, nothing
+/// propagated); the periodic compaction probe re-attaches the disk tier with
+/// the full retained set — including everything put while degraded.
+#[test]
+fn cache_degrades_on_disk_error_and_reattaches() {
+    let _l = lock();
+    let _d = arm("seed=3;cache_io@0");
+    let dir = tmpdir("degrade");
+    let cache = ResultCache::open(Some(dir.as_path())).expect("cache opens");
+
+    let result = Json::obj([("pipeline", Json::from("p"))]);
+    cache.put("k0", &result);
+    assert!(cache.degraded(), "failed append must degrade the disk tier");
+    assert!(cache.disk_errors() >= 1);
+    assert_eq!(
+        cache.get("k0"),
+        Some(result.clone()),
+        "tier 1 keeps the entry"
+    );
+
+    // Disk healthy again (fault exhausted); the 16th degraded put triggers
+    // the re-attach probe, whose full rewrite recovers the tier.
+    faults::disarm();
+    for i in 1..=chipmunk_serve::cache::REATTACH_EVERY {
+        cache.put(&format!("k{i}"), &result);
+    }
+    assert!(!cache.degraded(), "re-attach probe should have recovered");
+
+    // Everything put while degraded made it to disk: a fresh process sees
+    // the complete retained set.
+    drop(cache);
+    let reopened = ResultCache::open(Some(dir.as_path())).expect("cache reopens");
+    assert_eq!(
+        reopened.len() as u64,
+        chipmunk_serve::cache::REATTACH_EVERY + 1
+    );
+    for i in 0..=chipmunk_serve::cache::REATTACH_EVERY {
+        assert_eq!(
+            reopened.get(&format!("k{i}")),
+            Some(result.clone()),
+            "k{i} lost"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A kill mid-compaction (stale temp file, or an I/O error during the
+/// rewrite) never corrupts the committed file: reopening sees every entry,
+/// and the garbage temp file is not adopted.
+#[test]
+fn cache_kill_mid_compaction_reopens_cleanly() {
+    let _l = lock();
+    let dir = tmpdir("midcompact");
+    let result = Json::obj([("pipeline", Json::from("p"))]);
+    {
+        let cache = ResultCache::open(Some(dir.as_path())).expect("cache opens");
+        cache.put("a", &result);
+        cache.put("b", &result);
+    }
+    // Simulate a crash between writing the temp file and the rename.
+    std::fs::write(dir.join("results.jsonl.tmp"), b"GARBAGE {not json").unwrap();
+    let cache = ResultCache::open(Some(dir.as_path())).expect("reopen after crash");
+    assert_eq!(
+        cache.len(),
+        2,
+        "committed entries survive a torn compaction"
+    );
+    assert_eq!(cache.get("a"), Some(result.clone()));
+    assert_eq!(cache.get("b"), Some(result.clone()));
+
+    // An I/O error *during* compaction: the error surfaces to the explicit
+    // caller, the tier degrades, and the committed file is untouched.
+    let _d = arm("seed=13;cache_io@0");
+    assert!(
+        cache.compact().is_err(),
+        "injected compaction fault must surface"
+    );
+    assert!(cache.degraded());
+    faults::disarm();
+    drop(cache);
+    let reopened = ResultCache::open(Some(dir.as_path())).expect("cache reopens");
+    assert_eq!(reopened.len(), 2, "failed compaction must not lose entries");
+    assert_eq!(reopened.get("a"), Some(result.clone()));
+    assert_eq!(reopened.get("b"), Some(result));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The retrying client rides out a connection reset mid-pipeline: it
+/// reconnects, resubmits only the unanswered jobs, and returns a terminal
+/// response for every program.
+#[test]
+fn pipeline_retries_through_connection_reset() {
+    let _l = lock();
+    let _d = arm("seed=5;reset@0");
+    let dir = tmpdir("reset");
+    let handle = server::start(&ServerConfig {
+        workers: 2,
+        queue_capacity: 16,
+        cache_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = handle.local_addr().to_string();
+
+    let programs: Vec<String> = (0..4).map(|i| format!("pkt.p{i} = pkt.a;")).collect();
+    let mut client = RetryingClient::new(
+        &addr,
+        RetryPolicy {
+            max_retries: 6,
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(20),
+            seed: 1,
+        },
+    );
+    let answers = client.pipeline(&programs, &fast_options()).unwrap();
+    assert_eq!(answers.len(), programs.len());
+    for (i, resp) in answers.iter().enumerate() {
+        assert!(
+            ok(resp),
+            "program {i} has no ok response after retry: {resp}"
+        );
+    }
+    assert!(
+        client.retries() >= 1,
+        "the injected reset must cost a retry"
+    );
+
+    faults::disarm();
+    let mut control = Client::connect(handle.local_addr()).expect("control connects");
+    let stats = control.stats().unwrap();
+    assert_conservation(&stats);
+    let ack = control.shutdown(false).unwrap();
+    assert!(ok(&ack));
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Chaos load: a seeded schedule mixing compile panics, a worker death,
+/// cache disk errors, probabilistic connection resets, and a solver stall,
+/// under concurrent retrying clients. The server stays up, every client gets
+/// a terminal response for every job, the pool returns to full strength, and
+/// job conservation holds.
+#[test]
+fn chaos_load_conserves_jobs_and_server_survives() {
+    let _l = lock();
+    let _d = arm("seed=1234;panic@2;worker_death@5;cache_io@0;reset%0.08;stall@3;stall_ms=10");
+    let dir = tmpdir("chaosload");
+    let handle = server::start(&ServerConfig {
+        workers: 3,
+        queue_capacity: 32,
+        cache_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = handle.local_addr().to_string();
+
+    // Structurally distinct programs so the load mixes fresh compiles with
+    // cache traffic rather than collapsing onto one key.
+    let sources = [
+        "pkt.x = pkt.a;",
+        "pkt.x = pkt.a + pkt.b;",
+        "state s; s = s + 1; pkt.out = s;",
+        "pkt.x = pkt.a + 1;",
+        "pkt.x = pkt.a + 2;",
+        "pkt.x = pkt.b + pkt.a; pkt.y = pkt.a;",
+    ];
+    let threads: Vec<_> = (0..4u64)
+        .map(|t| {
+            let addr = addr.clone();
+            let programs: Vec<String> = (0..6)
+                .map(|i| sources[(t as usize + i) % sources.len()].to_string())
+                .collect();
+            std::thread::spawn(move || {
+                let mut client = RetryingClient::new(
+                    &addr,
+                    RetryPolicy {
+                        max_retries: 10,
+                        base: Duration::from_millis(2),
+                        cap: Duration::from_millis(20),
+                        seed: 0xC0FFEE + t,
+                    },
+                );
+                let answers = client
+                    .pipeline(&programs, &fast_options())
+                    .expect("client must get terminal responses despite chaos");
+                assert_eq!(answers.len(), programs.len());
+                for resp in &answers {
+                    assert!(
+                        resp.get("ok").and_then(Json::as_bool).is_some(),
+                        "non-terminal response: {resp}"
+                    );
+                }
+                answers.iter().filter(|r| !ok(r)).count()
+            })
+        })
+        .collect();
+    let mut not_ok = 0usize;
+    for t in threads {
+        not_ok += t.join().expect("client thread must not die");
+    }
+    // Failures are allowed (a job caught by the panic or worker-death fault
+    // answers `internal`), but they are structured verdicts, counted above.
+    eprintln!("chaos load: {not_ok} of 24 jobs answered with a structured error");
+
+    // Quiet phase: disarm and nudge the watchdog until the pool is back to
+    // full strength (respawn happens on dispatch, and the dead worker's
+    // unwind races our control requests).
+    faults::disarm();
+    let mut control = Client::connect(handle.local_addr()).expect("control connects");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let nudge = control.compile(sources[0], fast_options()).unwrap();
+        assert!(
+            nudge.get("ok").and_then(Json::as_bool).is_some(),
+            "non-terminal nudge response: {nudge}"
+        );
+        let status = control.status().unwrap();
+        assert!(ok(&status), "server must stay up: {status}");
+        assert_eq!(status.get("state").and_then(Json::as_str), Some("running"));
+        if u64_field(&status, "live_workers") == 3 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "pool never recovered: {status}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let stats = control.stats().unwrap();
+    assert_conservation(&stats);
+    assert!(
+        u64_field(&stats, "disk_errors") >= 1,
+        "cache fault must be counted"
+    );
+    assert!(stats.get("degraded").and_then(Json::as_bool).is_some());
+
+    let ack = control.shutdown(false).unwrap();
+    assert!(ok(&ack));
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -155,7 +155,7 @@ fn interpreter_matches_domino_tac() {
         let inp = random_input(&mut rng);
         let interp = Interpreter::new(&prog, WIDTH);
         let want = interp.exec(&inp);
-        let tac = chipmunk_suite::domino::tac::lower(&prog);
+        let tac = chipmunk_suite::domino::tac::lower(&prog).unwrap();
         let mask = (1u64 << WIDTH) - 1;
         let (fo, so) = chipmunk_suite::domino::tac::eval_tac(&tac, &inp.fields, &inp.states, mask);
         assert_eq!(fo, want.fields, "case {case}:\n{prog}");
