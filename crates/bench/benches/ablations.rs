@@ -30,6 +30,7 @@ fn cegis_opts(width: u8, screen: Option<u8>) -> CegisOptions {
         deadline: None,
         seed: 13,
         domain_width: None,
+        budget: chipmunk_sat::ResourceBudget::UNLIMITED,
     }
 }
 

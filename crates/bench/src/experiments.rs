@@ -235,9 +235,8 @@ fn run_chipmunk(b: &Benchmark, prog: &Program, cfg: &ExperimentConfig) -> Compil
             synth_input_bits: 5,
             num_initial_inputs: 4,
             max_iters: 256,
-            deadline: None,
             seed: cfg.seed ^ 0xc0ffee,
-            domain_width: None,
+            ..CegisOptions::default()
         },
         timeout: Some(Duration::from_secs(cfg.timeout_secs)),
         parallel: false,

@@ -7,7 +7,7 @@
 
 use std::time::Instant;
 
-use chipmunk_sat::{SolveResult, Solver};
+use chipmunk_sat::{ResourceBudget, SolveResult, Solver};
 
 use crate::blast::{mk_true, Blaster};
 use crate::circuit::{Circuit, InputId, TermId};
@@ -66,13 +66,28 @@ pub fn check_equiv_many(
     pairs: &[(TermId, TermId)],
     deadline: Option<Instant>,
 ) -> Result<Option<Counterexample>, TimedOut> {
+    check_equiv_many_budgeted(c, pairs, deadline, ResourceBudget::UNLIMITED)
+}
+
+/// [`check_equiv_many`] under hard solver resource ceilings.
+///
+/// The budget bounds the underlying SAT solve *and* the bit-blasting
+/// itself: a clause-byte ceiling stops the CNF from growing past it, and
+/// any tripped ceiling is reported as [`TimedOut`] — the same graceful
+/// give-up as a wall-clock deadline, never unbounded growth.
+pub fn check_equiv_many_budgeted(
+    c: &Circuit,
+    pairs: &[(TermId, TermId)],
+    deadline: Option<Instant>,
+    budget: ResourceBudget,
+) -> Result<Option<Counterexample>, TimedOut> {
     let mut sp = chipmunk_trace::span!(
         "bv.check_equiv",
         pairs = pairs.len(),
         terms = c.num_nodes(),
         width = c.width(),
     );
-    let res = check_equiv_many_impl(c, pairs, deadline);
+    let res = check_equiv_many_impl(c, pairs, deadline, budget);
     if chipmunk_trace::enabled() {
         sp.record(
             "result",
@@ -91,6 +106,7 @@ fn check_equiv_many_impl(
     c: &Circuit,
     pairs: &[(TermId, TermId)],
     deadline: Option<Instant>,
+    budget: ResourceBudget,
 ) -> Result<Option<Counterexample>, TimedOut> {
     let mut circuit = c.clone();
     let diffs: Vec<TermId> = pairs
@@ -121,6 +137,7 @@ fn check_equiv_many_impl(
 
     let mut solver = Solver::new();
     solver.set_deadline(deadline);
+    solver.set_budget(budget);
     let tru = mk_true(&mut solver);
     let mut blaster = Blaster::new(&mut solver, tru);
     blaster.assert_any(&circuit, &nontrivial);
@@ -271,6 +288,41 @@ mod tests {
             &[(p1, p3)],
             Some(Instant::now() - std::time::Duration::from_millis(1)),
         );
+        assert_eq!(res, Err(TimedOut));
+    }
+
+    #[test]
+    fn clause_byte_budget_stops_blasting() {
+        // A wide multiplier blasts to thousands of clauses; a tiny byte
+        // ceiling must stop the growth and report TimedOut, not OOM.
+        let mut c = Circuit::new(16);
+        let x = c.input("x");
+        let y = c.input("y");
+        let z = c.input("z");
+        let p1 = c.binop(BvOp::Mul, x, y);
+        let p3 = c.binop(BvOp::Mul, x, z);
+        let budget = ResourceBudget {
+            clause_bytes: Some(256),
+            ..ResourceBudget::UNLIMITED
+        };
+        let res = check_equiv_many_budgeted(&c, &[(p1, p3)], None, budget);
+        assert_eq!(res, Err(TimedOut));
+    }
+
+    #[test]
+    fn conflict_budget_is_graceful() {
+        let mut c = Circuit::new(14);
+        let x = c.input("x");
+        let y = c.input("y");
+        let z = c.input("z");
+        let p1 = c.binop(BvOp::Mul, x, y);
+        let p3 = c.binop(BvOp::Mul, x, z);
+        let budget = ResourceBudget {
+            conflicts: Some(1),
+            propagations: Some(1),
+            ..ResourceBudget::UNLIMITED
+        };
+        let res = check_equiv_many_budgeted(&c, &[(p1, p3)], None, budget);
         assert_eq!(res, Err(TimedOut));
     }
 }

@@ -46,4 +46,6 @@ mod equiv;
 
 pub use blast::{mk_true, Binding, Blaster};
 pub use circuit::{BvOp, Circuit, InputId, TermId};
-pub use equiv::{check_equiv, check_equiv_many, Counterexample, TimedOut};
+pub use equiv::{
+    check_equiv, check_equiv_many, check_equiv_many_budgeted, Counterexample, TimedOut,
+};

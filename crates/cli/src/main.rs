@@ -119,6 +119,23 @@ fn template(name: &str, imm: u8) -> Result<StatefulAluSpec, String> {
     })
 }
 
+/// The `--budget-*` solver resource ceilings shared by `compile`, `run`,
+/// and `submit`. `0` (the default) means unlimited; a tripped ceiling
+/// surfaces as a `timeout`-class error instead of unbounded solving.
+fn budget_from_args(args: &Args) -> Result<chipmunk::ResourceBudget, String> {
+    let ceiling = |name: &str| -> Result<Option<u64>, String> {
+        Ok(match args.num::<u64>(name, 0)? {
+            0 => None,
+            n => Some(n),
+        })
+    };
+    Ok(chipmunk::ResourceBudget {
+        conflicts: ceiling("budget-conflicts")?,
+        propagations: ceiling("budget-propagations")?,
+        clause_bytes: ceiling("budget-bytes")?,
+    })
+}
+
 fn load(path: &str) -> Result<Program, String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     parse(&src).map_err(|e| format!("{path}:{e}"))
@@ -194,6 +211,7 @@ fn cmd_compile(args: &Args) -> Result<(), String> {
     )?);
     opts.stateless = StatelessAluSpec::banzai(imm);
     opts.cegis.verify_width = args.num("width", 10)?;
+    opts.cegis.budget = budget_from_args(args)?;
     opts.max_stages = args.num("max-stages", 4)?;
     opts.timeout = Some(Duration::from_secs(args.num("timeout", 300)?));
     let out = compile(&prog, &opts);
@@ -264,6 +282,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             0 => None,
             secs => Some(Duration::from_secs(secs)),
         },
+        journal_dir: args.get("journal-dir").map(std::path::PathBuf::from),
     };
     let handle =
         chipmunk_serve::start(&config).map_err(|e| format!("bind {}: {e}", config.addr))?;
@@ -308,6 +327,16 @@ fn submit_options(args: &Args) -> Result<Json, String> {
             .parse()
             .map_err(|_| format!("--slots: bad value `{slots}`"))?;
         options.push(("slots", Json::from(n)));
+    }
+    let budget = budget_from_args(args)?;
+    for (key, ceiling) in [
+        ("budget_conflicts", budget.conflicts),
+        ("budget_propagations", budget.propagations),
+        ("budget_bytes", budget.clause_bytes),
+    ] {
+        if let Some(n) = ceiling {
+            options.push((key, Json::from(n)));
+        }
     }
     Ok(Json::obj(options))
 }
@@ -625,6 +654,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         imm,
     )?);
     opts.cegis.verify_width = args.num("width", 10)?;
+    opts.cegis.budget = budget_from_args(args)?;
     opts.timeout = Some(Duration::from_secs(args.num("timeout", 300)?));
     let out = compile(&prog, &opts).map_err(|e| e.to_string())?;
     let mut hashfree = prog.clone();

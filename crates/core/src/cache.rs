@@ -180,6 +180,14 @@ mod tests {
         let mut budgeted = opts.clone();
         budgeted.timeout = Some(std::time::Duration::from_secs(5));
         budgeted.parallel = true;
+        // Solver resource ceilings are budget knobs too: a config
+        // synthesized under a tight conflict or memory budget is equally
+        // valid under a loose one, so they must not fragment the cache.
+        budgeted.cegis.budget = chipmunk_sat::ResourceBudget {
+            conflicts: Some(10_000),
+            propagations: Some(1_000_000),
+            clause_bytes: Some(1 << 20),
+        };
         assert_eq!(cache_key(&prog, &opts), cache_key(&prog, &budgeted));
     }
 }

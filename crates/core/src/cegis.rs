@@ -28,7 +28,7 @@ use chipmunk_bv::{Binding, Blaster, BvOp, Circuit, TermId};
 use chipmunk_lang::spec::compile_spec;
 use chipmunk_lang::{Interpreter, PacketState, Program};
 use chipmunk_pisa::Pipeline;
-use chipmunk_sat::{Lit, SolveResult, Solver};
+use chipmunk_sat::{Lit, ResourceBudget, SolveResult, Solver};
 
 use crate::sketch::{DecodedConfig, Sketch};
 
@@ -60,6 +60,11 @@ pub struct CegisOptions {
     /// [`crate::approx::compile_approximate`]. `None` (the default)
     /// demands exact equivalence over the full verification width.
     pub domain_width: Option<u8>,
+    /// Hard resource ceilings for every SAT solve the run performs
+    /// (synthesis and verification alike). A tripped ceiling surfaces as
+    /// [`SynthesisError::Timeout`], exactly like a wall-clock deadline —
+    /// the run gives up gracefully instead of growing without bound.
+    pub budget: ResourceBudget,
 }
 
 impl Default for CegisOptions {
@@ -73,6 +78,7 @@ impl Default for CegisOptions {
             deadline: None,
             seed: 0xc0ffee,
             domain_width: None,
+            budget: ResourceBudget::UNLIMITED,
         }
     }
 }
@@ -104,18 +110,28 @@ pub struct Synthesized {
     pub decoded: DecodedConfig,
     /// Raw hole values, aligned with [`Sketch::holes`].
     pub hole_values: Vec<u64>,
+    /// The counterexample inputs the verifier fed back during the run —
+    /// the inputs the program is known to be sensitive to. Certification
+    /// replays exactly these (plus a random sweep) against the final
+    /// configuration.
+    pub counterexamples: Vec<PacketState>,
     /// Work counters.
     pub stats: CegisStats,
 }
 
 /// Why synthesis did not produce a configuration.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum SynthesisError {
     /// No hole assignment satisfies all accumulated test inputs: the
     /// program does not fit this grid.
     Infeasible,
-    /// The deadline or iteration cap was exhausted.
+    /// The deadline, iteration cap, or a resource budget was exhausted.
     Timeout,
+    /// The options are self-inconsistent (e.g. a `verify_width` narrower
+    /// than the sketch's widest hole, or outside `1..=64`). Returned as a
+    /// typed error rather than panicking because options can come from
+    /// untrusted serve requests.
+    InvalidOptions(String),
 }
 
 impl std::fmt::Display for SynthesisError {
@@ -123,6 +139,7 @@ impl std::fmt::Display for SynthesisError {
         match self {
             SynthesisError::Infeasible => write!(f, "sketch is infeasible for this grid"),
             SynthesisError::Timeout => write!(f, "synthesis timed out"),
+            SynthesisError::InvalidOptions(why) => write!(f, "invalid options: {why}"),
         }
     }
 }
@@ -152,12 +169,20 @@ pub fn synthesize_with_cancel(
     cancel: Option<Arc<AtomicBool>>,
 ) -> Result<Synthesized, SynthesisError> {
     let w = opts.verify_width;
-    assert!(
-        w >= sketch.max_hole_bits(),
-        "verify_width {w} is narrower than the sketch's widest hole ({} bits); \
-         selector codes would truncate",
-        sketch.max_hole_bits()
-    );
+    // Typed validation instead of asserts: options arrive from untrusted
+    // serve requests, so a bad combination must not crash the process.
+    if w == 0 || w > 64 {
+        return Err(SynthesisError::InvalidOptions(format!(
+            "verify_width {w} is outside the supported range 1..=64"
+        )));
+    }
+    if w < sketch.max_hole_bits() {
+        return Err(SynthesisError::InvalidOptions(format!(
+            "verify_width {w} is narrower than the sketch's widest hole ({} bits); \
+             selector codes would truncate",
+            sketch.max_hole_bits()
+        )));
+    }
     let run_start = Instant::now();
     let num_fields = prog.field_names().len();
     let num_states = prog.state_names().len();
@@ -192,6 +217,7 @@ pub fn synthesize_with_cancel(
     // --- Incremental synthesis solver with shared hole literals.
     let mut solver = Solver::new();
     solver.set_cancel_flag(cancel.clone());
+    solver.set_budget(opts.budget);
     let tru = chipmunk_bv::mk_true(&mut solver);
     let hole_bits: Vec<Vec<Lit>> = {
         let mut b = Blaster::new(&mut solver, tru);
@@ -262,6 +288,7 @@ pub fn synthesize_with_cancel(
     }
 
     // --- The CEGIS loop.
+    let mut cexes: Vec<PacketState> = Vec::new();
     for iter in 0..opts.max_iters {
         stats.iterations += 1;
         if cancel
@@ -318,13 +345,15 @@ pub fn synthesize_with_cancel(
         if let Some(sw) = opts.screen_width {
             let sw = sw.max(sketch.max_hole_bits());
             if sw < w {
-                if let Some(cex) = verify_at(
+                if let Some(cex) = verify_at_inner(
                     prog,
                     sketch,
                     &hole_values,
                     sw,
                     opts.domain_width,
                     opts.deadline,
+                    cancel.clone(),
+                    opts.budget,
                 )? {
                     // Only sound to feed back if it also distinguishes at
                     // the full width.
@@ -337,19 +366,22 @@ pub fn synthesize_with_cancel(
                         drop(verify_sp);
                         chipmunk_trace::event!("cegis.cex", iter = iter, provenance = "screen");
                         add_input(&mut solver, &cex);
+                        cexes.push(cex);
                         continue;
                     }
                 }
             }
         }
         // Full-width verification (the paper's Z3 role).
-        let cex = verify_at(
+        let cex = verify_at_inner(
             prog,
             sketch,
             &hole_values,
             w,
             opts.domain_width,
             opts.deadline,
+            cancel.clone(),
+            opts.budget,
         )?;
         stats.verify_time += t1.elapsed();
         match cex {
@@ -366,6 +398,7 @@ pub fn synthesize_with_cancel(
                 return Ok(Synthesized {
                     decoded,
                     hole_values,
+                    counterexamples: cexes,
                     stats,
                 });
             }
@@ -376,6 +409,7 @@ pub fn synthesize_with_cancel(
                 drop(verify_sp);
                 chipmunk_trace::event!("cegis.cex", iter = iter, provenance = "full");
                 add_input(&mut solver, &cex);
+                cexes.push(cex);
             }
         }
     }
@@ -403,6 +437,7 @@ pub fn verify_at(
         domain_width,
         deadline,
         None,
+        ResourceBudget::UNLIMITED,
     )
 }
 
@@ -415,6 +450,7 @@ fn verify_at_inner(
     domain_width: Option<u8>,
     deadline: Option<Instant>,
     cancel: Option<Arc<AtomicBool>>,
+    budget: ResourceBudget,
 ) -> Result<Option<PacketState>, SynthesisError> {
     let mut circuit = Circuit::new(width);
     let hole_terms: Vec<TermId> = sketch
@@ -458,6 +494,7 @@ fn verify_at_inner(
     let mut solver = Solver::new();
     solver.set_deadline(deadline);
     solver.set_cancel_flag(cancel);
+    solver.set_budget(budget);
     let tru = chipmunk_bv::mk_true(&mut solver);
     let mut b = Blaster::new(&mut solver, tru);
     for (i, &t) in hole_terms.iter().enumerate() {
@@ -600,6 +637,7 @@ mod tests {
             deadline: None,
             seed: 42,
             domain_width: None,
+            budget: ResourceBudget::UNLIMITED,
         }
     }
 
@@ -699,6 +737,62 @@ mod tests {
         };
         let err = synthesize(&prog, &sketch, &opts).unwrap_err();
         assert_eq!(err, SynthesisError::Timeout);
+    }
+
+    #[test]
+    fn narrow_verify_width_is_a_typed_error() {
+        // Regression: this used to be a reachable assert!, which a serve
+        // request with a small `width` could use to kill a worker.
+        let prog = chipmunk_lang::parse("pkt.x = pkt.x + 1;").unwrap();
+        let g = GridSpec::new(1, 1, library::raw(2), 2);
+        let sketch = Sketch::new(g, 1, 0, SketchOptions::default()).unwrap();
+        let opts = CegisOptions {
+            verify_width: 1,
+            ..fast_opts()
+        };
+        let err = synthesize(&prog, &sketch, &opts).unwrap_err();
+        assert!(
+            matches!(err, SynthesisError::InvalidOptions(_)),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_verify_width_is_a_typed_error() {
+        let prog = chipmunk_lang::parse("pkt.x = pkt.x + 1;").unwrap();
+        let g = GridSpec::new(1, 1, library::raw(2), 2);
+        let sketch = Sketch::new(g, 1, 0, SketchOptions::default()).unwrap();
+        for w in [0u8, 65, 255] {
+            let opts = CegisOptions {
+                verify_width: w,
+                ..fast_opts()
+            };
+            let err = synthesize(&prog, &sketch, &opts).unwrap_err();
+            assert!(
+                matches!(err, SynthesisError::InvalidOptions(_)),
+                "width {w}: got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_resource_budget_yields_timeout() {
+        let prog = chipmunk_lang::parse("state s; s = s + pkt.x;").unwrap();
+        let g = GridSpec::new(2, 2, library::nested_ifs(3), 3);
+        let sketch = Sketch::new(g, 1, 1, SketchOptions::default()).unwrap();
+        let opts = CegisOptions {
+            budget: ResourceBudget {
+                conflicts: Some(1),
+                propagations: Some(1),
+                ..ResourceBudget::UNLIMITED
+            },
+            ..fast_opts()
+        };
+        let err = synthesize(&prog, &sketch, &opts).unwrap_err();
+        assert_eq!(err, SynthesisError::Timeout);
+        // Deterministic: the same tiny budget gives the same outcome.
+        let err2 = synthesize(&prog, &sketch, &opts).unwrap_err();
+        assert_eq!(err, err2);
     }
 
     #[test]

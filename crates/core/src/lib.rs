@@ -39,11 +39,17 @@
 pub mod approx;
 pub mod cache;
 pub mod cegis;
+pub mod certify;
 mod search;
 pub mod sketch;
 
 pub use approx::{compile_approximate, ApproxOptions, ApproxOutcome};
 pub use cache::{cache_key, canonical_text, layout_names};
 pub use cegis::{CegisOptions, CegisStats, SynthesisError, Synthesized};
+pub use certify::{certify_config, certify_success, CertifyReport, CertifyRequest};
 pub use search::{compile, compile_with_cancel, CodegenError, CodegenSuccess, CompilerOptions};
 pub use sketch::{DecodedConfig, HoleDecl, Sketch, SketchOptions, SketchOutputs};
+
+// The budget type appears in `CegisOptions`; re-export it so downstream
+// crates can fill it without a direct chipmunk-sat dependency.
+pub use chipmunk_sat::ResourceBudget;

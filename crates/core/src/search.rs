@@ -68,9 +68,8 @@ impl CompilerOptions {
             synth_input_bits: 3,
             num_initial_inputs: 3,
             max_iters: 64,
-            deadline: None,
             seed: 42,
-            domain_width: None,
+            ..CegisOptions::default()
         };
         o
     }
@@ -93,6 +92,10 @@ pub struct CodegenSuccess {
     pub elapsed: Duration,
     /// Grid depths attempted (sequential mode: failures before success).
     pub stages_tried: usize,
+    /// The CEGIS counterexamples that shaped this result — replayed by
+    /// [`crate::certify`] whenever the configuration is re-checked (e.g.
+    /// after a cache hit in the serving layer).
+    pub counterexamples: Vec<chipmunk_lang::PacketState>,
 }
 
 /// Why compilation failed.
@@ -111,6 +114,14 @@ pub enum CodegenError {
     /// thread, so the serving layer can answer the client and keep the
     /// worker alive.
     Internal(String),
+    /// The options were self-contradictory (e.g. a verification width
+    /// narrower than the sketch's widest hole) — caller error, reported
+    /// before any solving starts.
+    InvalidOptions(String),
+    /// The synthesized configuration failed independent certification
+    /// against the program spec — a compiler or cache defect caught at
+    /// the last line of defense, never shipped to the caller.
+    Uncertified(String),
 }
 
 impl std::fmt::Display for CodegenError {
@@ -120,6 +131,10 @@ impl std::fmt::Display for CodegenError {
             CodegenError::Infeasible => write!(f, "no grid up to max_stages fits the program"),
             CodegenError::Timeout => write!(f, "compilation timed out"),
             CodegenError::Internal(m) => write!(f, "internal compiler error: {m}"),
+            CodegenError::InvalidOptions(m) => write!(f, "invalid options: {m}"),
+            CodegenError::Uncertified(m) => {
+                write!(f, "result failed certification: {m}")
+            }
         }
     }
 }
@@ -195,6 +210,7 @@ pub fn compile_with_cancel(
                     Ok(_) => "ok",
                     Err(SynthesisError::Infeasible) => "infeasible",
                     Err(SynthesisError::Timeout) => "timeout",
+                    Err(SynthesisError::InvalidOptions(_)) => "invalid_options",
                 },
             );
         }
@@ -202,7 +218,8 @@ pub fn compile_with_cancel(
     };
 
     if opts.parallel {
-        let res = compile_parallel(&attempt, opts.max_stages, start, cancel);
+        let res = compile_parallel(&attempt, opts.max_stages, start, cancel)
+            .and_then(|s| certified(&prog, opts, s));
         match &res {
             Ok(s) => {
                 search_sp.record("result", "ok");
@@ -215,6 +232,8 @@ pub fn compile_with_cancel(
                     CodegenError::Infeasible => "infeasible",
                     CodegenError::Timeout => "timeout",
                     CodegenError::Internal(_) => "internal",
+                    CodegenError::InvalidOptions(_) => "invalid_options",
+                    CodegenError::Uncertified(_) => "uncertified",
                 },
             ),
         }
@@ -233,9 +252,7 @@ pub fn compile_with_cancel(
         match attempt(stages, cancel.clone()) {
             Ok((synthesized, grid)) => {
                 let resources = resources_of(&grid, &synthesized.decoded.pipeline);
-                search_sp.record("result", "ok");
-                search_sp.record("stages", stages as u64);
-                return Ok(CodegenSuccess {
+                let success = CodegenSuccess {
                     decoded: synthesized.decoded,
                     hole_values: synthesized.hole_values,
                     grid,
@@ -243,9 +260,27 @@ pub fn compile_with_cancel(
                     stats: synthesized.stats,
                     elapsed: start.elapsed(),
                     stages_tried: stages,
-                });
+                    counterexamples: synthesized.counterexamples,
+                };
+                return match certified(&prog, opts, success) {
+                    Ok(s) => {
+                        search_sp.record("result", "ok");
+                        search_sp.record("stages", stages as u64);
+                        Ok(s)
+                    }
+                    Err(e) => {
+                        search_sp.record("result", "uncertified");
+                        Err(e)
+                    }
+                };
             }
             Err(SynthesisError::Infeasible) => continue,
+            Err(SynthesisError::InvalidOptions(m)) => {
+                // Deterministic caller error: every depth would report the
+                // same thing, so fail fast with the typed reason.
+                search_sp.record("result", "invalid_options");
+                return Err(CodegenError::InvalidOptions(m));
+            }
             Err(SynthesisError::Timeout) => {
                 saw_timeout = true;
                 if deadline.is_some_and(|d| Instant::now() >= d) {
@@ -345,12 +380,18 @@ fn compile_parallel(
     let externally_cancelled = cancel.as_ref().is_some_and(|c| c.load(Ordering::Relaxed));
     let mut saw_timeout = false;
     let mut panicked: Option<(usize, String)> = None;
+    let mut invalid: Option<String> = None;
     let mut best: Option<(usize, Synthesized, GridSpec)> = None;
     for (stages, res) in results {
         match res {
             Ok(Ok((s, g))) => {
                 if best.is_none() {
                     best = Some((stages, s, g));
+                }
+            }
+            Ok(Err(SynthesisError::InvalidOptions(m))) => {
+                if invalid.is_none() {
+                    invalid = Some(m);
                 }
             }
             Ok(Err(SynthesisError::Timeout)) => {
@@ -383,11 +424,15 @@ fn compile_parallel(
                 stats: synthesized.stats,
                 elapsed: start.elapsed(),
                 stages_tried: stages,
+                counterexamples: synthesized.counterexamples,
             })
         }
-        // A panicked depth trumps Infeasible: with that depth undecided,
-        // infeasibility up to max_stages is unproven. Timeout/cancel keep
-        // their meaning — the caller's budget ran out either way.
+        // Bad options are deterministic across depths and describe a caller
+        // mistake, so they trump every other diagnostic. A panicked depth
+        // trumps Infeasible: with that depth undecided, infeasibility up to
+        // max_stages is unproven. Timeout/cancel keep their meaning — the
+        // caller's budget ran out either way.
+        None if invalid.is_some() => Err(CodegenError::InvalidOptions(invalid.unwrap())),
         None if saw_timeout || externally_cancelled => Err(CodegenError::Timeout),
         None => match panicked {
             Some((stages, msg)) => Err(CodegenError::Internal(format!(
@@ -395,6 +440,20 @@ fn compile_parallel(
             ))),
             None => Err(CodegenError::Infeasible),
         },
+    }
+}
+
+/// Run independent certification on a fresh compile result, turning a
+/// failure into [`CodegenError::Uncertified`]. Every result [`compile`]
+/// returns has passed this gate.
+fn certified(
+    prog: &Program,
+    opts: &CompilerOptions,
+    success: CodegenSuccess,
+) -> Result<CodegenSuccess, CodegenError> {
+    match crate::certify::certify_success(prog, opts, &success) {
+        Ok(_) => Ok(success),
+        Err(why) => Err(CodegenError::Uncertified(why)),
     }
 }
 

@@ -24,6 +24,42 @@ pub enum SolveResult {
     Unknown,
 }
 
+/// Hard resource ceilings for the solver (`None` = unlimited).
+///
+/// `conflicts` and `propagations` bound the work of a single `solve`
+/// call; `clause_bytes` bounds the live bytes held by clause literal
+/// arrays (original + learnt) across the solver's whole lifetime.
+/// Tripping any ceiling makes `solve` return [`SolveResult::Unknown`]
+/// instead of growing past it: an original clause that would overflow
+/// the byte ceiling is *dropped* (which only weakens the formula, so a
+/// later `Unsat` stays sound, while `Sat` is downgraded to `Unknown`),
+/// and a learnt clause that would overflow first triggers a database
+/// reduction and, if still over, ends the solve.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct ResourceBudget {
+    /// Max conflicts per `solve` call.
+    pub conflicts: Option<u64>,
+    /// Max unit propagations per `solve` call (checked between
+    /// propagation rounds, so a single round may overshoot slightly).
+    pub propagations: Option<u64>,
+    /// Max live bytes of clause literal storage (original + learnt).
+    pub clause_bytes: Option<u64>,
+}
+
+impl ResourceBudget {
+    /// No ceilings at all.
+    pub const UNLIMITED: ResourceBudget = ResourceBudget {
+        conflicts: None,
+        propagations: None,
+        clause_bytes: None,
+    };
+
+    /// Does this budget impose any ceiling?
+    pub fn is_limited(&self) -> bool {
+        self.conflicts.is_some() || self.propagations.is_some() || self.clause_bytes.is_some()
+    }
+}
+
 /// Counters describing the work a solver has performed.
 #[derive(Clone, Copy, Default, Debug)]
 pub struct SolverStats {
@@ -91,7 +127,9 @@ pub struct Solver {
     ok: bool,
     model: Vec<LBool>,
 
-    conflict_budget: Option<u64>,
+    budget: ResourceBudget,
+    clause_bytes: u64,
+    budget_exceeded: bool,
     deadline: Option<Instant>,
     cancel: Option<Arc<AtomicBool>>,
 
@@ -128,7 +166,9 @@ impl Solver {
             analyze_clear: Vec::new(),
             ok: true,
             model: Vec::new(),
-            conflict_budget: None,
+            budget: ResourceBudget::UNLIMITED,
+            clause_bytes: 0,
+            budget_exceeded: false,
             deadline: None,
             cancel: None,
             stats: SolverStats::default(),
@@ -171,9 +211,30 @@ impl Solver {
 
     /// Limit the number of conflicts a single `solve` call may spend
     /// (`None` = unlimited). When exhausted, `solve` returns
-    /// [`SolveResult::Unknown`].
+    /// [`SolveResult::Unknown`]. Shorthand for setting
+    /// [`ResourceBudget::conflicts`] via [`Solver::set_budget`].
     pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
-        self.conflict_budget = budget;
+        self.budget.conflicts = budget;
+    }
+
+    /// Install hard resource ceilings (see [`ResourceBudget`]). Tripping
+    /// any of them makes `solve` return [`SolveResult::Unknown`].
+    pub fn set_budget(&mut self, budget: ResourceBudget) {
+        self.budget = budget;
+    }
+
+    /// Live bytes of clause literal storage (original + learnt), the
+    /// quantity bounded by [`ResourceBudget::clause_bytes`].
+    pub fn clause_bytes(&self) -> u64 {
+        self.clause_bytes
+    }
+
+    /// Has any resource ceiling been tripped? Sticky once a clause has
+    /// been dropped by the byte ceiling, because the clause database is
+    /// permanently weakened from then on (`Sat` can no longer be
+    /// trusted; `Unsat` still can).
+    pub fn budget_exceeded(&self) -> bool {
+        self.budget_exceeded
     }
 
     /// Give `solve` a wall-clock deadline (`None` = unlimited). The deadline
@@ -238,10 +299,29 @@ impl Solver {
                 self.ok
             }
             _ => {
+                if self.bytes_over_budget(Self::bytes_of(&simplified)) {
+                    // Dropping the clause only weakens the formula, so
+                    // `Unsat` stays sound; `solve` reports `Unknown`
+                    // instead of `Sat` from now on.
+                    self.budget_exceeded = true;
+                    return true;
+                }
                 self.attach_clause(simplified, false, 0);
                 true
             }
         }
+    }
+
+    #[inline]
+    fn bytes_of(lits: &[Lit]) -> u64 {
+        std::mem::size_of_val(lits) as u64
+    }
+
+    #[inline]
+    fn bytes_over_budget(&self, extra: u64) -> bool {
+        self.budget
+            .clause_bytes
+            .is_some_and(|cap| self.clause_bytes + extra > cap)
     }
 
     /// Solve under the given assumption literals.
@@ -292,9 +372,15 @@ impl Solver {
         if !self.ok {
             return SolveResult::Unsat;
         }
+        if self.budget_exceeded {
+            // The byte ceiling already forced a clause to be dropped, so
+            // any model found now would only satisfy the weakened formula.
+            return SolveResult::Unknown;
+        }
         self.model.clear();
         self.max_learnts = (self.clause_count_hint() as f64 * 0.3).max(2000.0);
         let budget_start = self.stats.conflicts;
+        let prop_start = self.stats.propagations;
 
         let mut restart_idx: u64 = 1;
         loop {
@@ -309,7 +395,7 @@ impl Solver {
                 }
             }
             let conflict_limit = 64 * luby(restart_idx);
-            match self.search(conflict_limit, assumptions, budget_start) {
+            match self.search(conflict_limit, assumptions, budget_start, prop_start) {
                 Some(res) => {
                     self.cancel_until(0);
                     return res;
@@ -361,6 +447,7 @@ impl Solver {
 
     fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> u32 {
         debug_assert!(lits.len() >= 2);
+        self.clause_bytes += Self::bytes_of(&lits);
         let idx = self.clauses.len() as u32;
         let w0 = Watcher {
             clause: idx,
@@ -678,6 +765,11 @@ impl Solver {
         let to_delete = cand.len() / 2;
         for &i in cand.iter().take(to_delete) {
             self.clauses[i].deleted = true;
+            // Free the literal storage so the byte ceiling tracks real
+            // allocation; propagation checks `deleted` before touching
+            // `lits`, and deleted clauses are never reasons.
+            self.clause_bytes -= Self::bytes_of(&self.clauses[i].lits);
+            self.clauses[i].lits = Vec::new();
             self.num_learnts -= 1;
             self.stats.deleted += 1;
         }
@@ -692,11 +784,23 @@ impl Solver {
     /// Search for up to `conflict_limit` conflicts.
     ///
     /// `Some(result)` ends the solve; `None` requests a restart.
+    /// Is a per-solve work ceiling (conflicts or propagations) exhausted?
+    fn work_over_budget(&self, budget_start: u64, prop_start: u64) -> bool {
+        self.budget
+            .conflicts
+            .is_some_and(|b| self.stats.conflicts - budget_start >= b)
+            || self
+                .budget
+                .propagations
+                .is_some_and(|b| self.stats.propagations - prop_start >= b)
+    }
+
     fn search(
         &mut self,
         conflict_limit: u64,
         assumptions: &[Lit],
         budget_start: u64,
+        prop_start: u64,
     ) -> Option<SolveResult> {
         let mut conflicts_here: u64 = 0;
         loop {
@@ -716,6 +820,19 @@ impl Solver {
                 if learnt.len() == 1 {
                     self.unchecked_enqueue(learnt[0], REASON_NONE);
                 } else {
+                    let bytes = Self::bytes_of(&learnt);
+                    if self.bytes_over_budget(bytes) {
+                        // Try to make room before giving up; a learnt
+                        // clause cannot be silently dropped (it is about
+                        // to drive the backjump), so still-over is fatal.
+                        self.reduce_db();
+                        if self.bytes_over_budget(bytes) {
+                            // Not sticky: a learnt clause is implied, so
+                            // skipping it leaves the formula intact and a
+                            // roomier budget can retry later.
+                            return Some(SolveResult::Unknown);
+                        }
+                    }
                     let lbd = self.compute_lbd(&learnt);
                     let l0 = learnt[0];
                     let idx = self.attach_clause(learnt, true, lbd);
@@ -725,10 +842,8 @@ impl Solver {
                 self.decay_var_activity();
                 self.decay_clause_activity();
 
-                if let Some(budget) = self.conflict_budget {
-                    if self.stats.conflicts - budget_start >= budget {
-                        return Some(SolveResult::Unknown);
-                    }
+                if self.work_over_budget(budget_start, prop_start) {
+                    return Some(SolveResult::Unknown);
                 }
                 if conflicts_here.is_multiple_of(1024) {
                     if self.cancelled() {
@@ -744,7 +859,11 @@ impl Solver {
                     return None; // restart
                 }
             } else {
-                // No conflict.
+                // No conflict. The propagation ceiling must be polled here
+                // too: a conflict-free solve would otherwise never see it.
+                if self.work_over_budget(budget_start, prop_start) {
+                    return Some(SolveResult::Unknown);
+                }
                 if self.num_learnts as f64 > self.max_learnts {
                     self.reduce_db();
                 }
@@ -962,6 +1081,99 @@ mod tests {
         assert_eq!(s.solve(&[]), SolveResult::Unknown);
         s.set_conflict_budget(None);
         assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    fn php(s: &mut Solver, pigeons: usize, holes: usize) {
+        let p = |i: usize, j: usize| Lit::pos(Var((i * holes + j) as u32));
+        for i in 0..pigeons {
+            s.add_clause((0..holes).map(|j| p(i, j)));
+        }
+        for j in 0..holes {
+            for i1 in 0..pigeons {
+                for i2 in (i1 + 1)..pigeons {
+                    s.add_clause([!p(i1, j), !p(i2, j)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn propagation_budget_returns_unknown() {
+        // An unrooted implication chain: nothing propagates at add time
+        // (every clause stays binary), so the first in-solve decision's
+        // own trail pop is what exhausts a budget of 1.
+        let mut s = solver_with_vars(64);
+        for i in 1..64 {
+            s.add_clause([lit(-i), lit(i + 1)]);
+        }
+        s.set_budget(ResourceBudget {
+            propagations: Some(1),
+            ..ResourceBudget::UNLIMITED
+        });
+        assert_eq!(s.solve(&[]), SolveResult::Unknown);
+        s.set_budget(ResourceBudget::UNLIMITED);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn clause_byte_budget_caps_learnts() {
+        // A hard instance under a byte ceiling big enough for the original
+        // clauses but too small for the learnt database it wants to grow.
+        let mut s = solver_with_vars(8 * 7);
+        php(&mut s, 8, 7);
+        let original = s.clause_bytes();
+        assert!(original > 0);
+        let cap = original + 64;
+        s.set_budget(ResourceBudget {
+            clause_bytes: Some(cap),
+            ..ResourceBudget::UNLIMITED
+        });
+        assert_eq!(s.solve(&[]), SolveResult::Unknown);
+        // The ceiling was never observably crossed.
+        assert!(s.clause_bytes() <= cap, "{} > {cap}", s.clause_bytes());
+        // Learnt overflow is not sticky: with the ceiling lifted the same
+        // solver finishes the proof.
+        s.set_budget(ResourceBudget::UNLIMITED);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn clause_byte_budget_drops_original_clauses_soundly() {
+        let mut s = solver_with_vars(8);
+        s.set_budget(ResourceBudget {
+            clause_bytes: Some(16),
+            ..ResourceBudget::UNLIMITED
+        });
+        for i in 0..4i32 {
+            // Ternary clauses, 12 bytes each: the second overflows.
+            let b = i * 2 % 8;
+            s.add_clause([lit(b / 2 + 1), lit(b / 2 + 2), lit(-(b / 2 + 3))]);
+        }
+        assert!(s.budget_exceeded());
+        assert!(s.clause_bytes() <= 16);
+        // A weakened database can prove Unsat but never report Sat.
+        assert_eq!(s.solve(&[]), SolveResult::Unknown);
+        s.add_clause([lit(1)]);
+        assert!(!s.add_clause([lit(-1)]));
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn budget_results_are_deterministic() {
+        let run = || {
+            let mut s = solver_with_vars(8 * 7);
+            php(&mut s, 8, 7);
+            s.set_budget(ResourceBudget {
+                conflicts: Some(7),
+                ..ResourceBudget::UNLIMITED
+            });
+            let r = s.solve(&[]);
+            (r, s.stats().conflicts)
+        };
+        let (r1, c1) = run();
+        let (r2, c2) = run();
+        assert_eq!(r1, SolveResult::Unknown);
+        assert_eq!((r1, c1), (r2, c2));
     }
 
     #[test]

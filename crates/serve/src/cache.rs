@@ -428,6 +428,29 @@ impl ResultCache {
         Ok(dropped)
     }
 
+    /// Quarantine: drop one entry from **both** tiers. Used when a cached
+    /// result fails certification — the entry must not be served again,
+    /// even after a restart, so the disk tier is compacted down to the
+    /// retained set (best-effort: a failing disk degrades the tier as
+    /// usual, and the entry is still gone from memory, which is the tier
+    /// lookups read). Returns whether the key was present.
+    pub fn remove(&self, key: &str) -> bool {
+        let removed = {
+            let mut mem = self.mem.lock().expect("cache poisoned");
+            match mem.map.remove(key) {
+                Some(entry) => {
+                    mem.lru.remove(&entry.tick);
+                    true
+                }
+                None => false,
+            }
+        };
+        if removed {
+            let _ = self.compact();
+        }
+        removed
+    }
+
     /// Number of cached results.
     pub fn len(&self) -> usize {
         self.mem.lock().expect("cache poisoned").map.len()
@@ -714,6 +737,38 @@ mod tests {
         }
         let c = ResultCache::open(Some(&dir)).unwrap();
         assert!(c.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remove_quarantines_from_both_tiers() {
+        let dir = tmpdir("quarantine");
+        {
+            let c = ResultCache::open(Some(&dir)).unwrap();
+            c.put("good", &doc(1));
+            c.put("bad", &doc(2));
+            assert!(c.remove("bad"), "present key must report removed");
+            assert!(!c.remove("bad"), "second remove is a no-op");
+            assert!(!c.remove("ghost"), "unknown key is a no-op");
+            assert_eq!(c.len(), 1);
+            assert!(c.get("bad").is_none());
+            assert!(c.get("good").is_some());
+            // The disk tier forgot it too (compacted to the retained set).
+            assert_eq!(c.disk_lines(), 1);
+        }
+        // …so a restart cannot resurrect the quarantined entry.
+        let c = ResultCache::open(Some(&dir)).unwrap();
+        assert!(c.get("bad").is_none());
+        assert!(c.get("good").is_some());
+        // LRU index stays coherent after the removal: filling past a
+        // bound still evicts cleanly.
+        let bounded = ResultCache::open_bounded(None, Some(2)).unwrap();
+        bounded.put("a", &doc(1));
+        bounded.put("b", &doc(2));
+        assert!(bounded.remove("a"));
+        bounded.put("c", &doc(3));
+        bounded.put("d", &doc(4));
+        assert_eq!(bounded.len(), 2);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

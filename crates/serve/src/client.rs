@@ -73,6 +73,19 @@ impl Client {
         ]))
     }
 
+    /// Poll for a compile-shaped request's result without enqueueing a
+    /// job: `found:true` with the certified result document when the
+    /// cache has it, `found:false` otherwise. This is how a client
+    /// collects a result recompiled by the journal replay after a daemon
+    /// crash.
+    pub fn poll(&mut self, program: &str, options: Json) -> std::io::Result<Json> {
+        self.request(&Json::obj([
+            ("op", Json::from("poll")),
+            ("program", Json::from(program)),
+            ("options", options),
+        ]))
+    }
+
     /// Queue a compile request tagged with `id` without waiting; pair
     /// with [`recv`](Client::recv) and match responses by the echoed id.
     pub fn send_compile(&mut self, id: Json, program: &str, options: Json) -> std::io::Result<()> {
@@ -317,4 +330,87 @@ fn pipeline_pass(
         }
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_never_exceeds_the_cap() {
+        let policy = RetryPolicy {
+            max_retries: 32,
+            base: Duration::from_millis(50),
+            cap: Duration::from_millis(400),
+            seed: 7,
+        };
+        let mut rng = Xoshiro256::seed_from_u64(policy.seed);
+        for attempt in 0..64 {
+            let d = policy.backoff(attempt, &mut rng);
+            assert!(
+                d <= policy.cap,
+                "attempt {attempt}: backoff {d:?} exceeds cap {:?}",
+                policy.cap
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_jitters_within_the_exponential_ceiling() {
+        let policy = RetryPolicy::default();
+        // Early attempts: the ceiling is base·2^k, below the cap.
+        for attempt in 0..5u32 {
+            let ceiling = policy.base * 2u32.pow(attempt);
+            let mut rng = Xoshiro256::seed_from_u64(99 + u64::from(attempt));
+            let mut seen_nonzero = false;
+            for _ in 0..200 {
+                let d = policy.backoff(attempt, &mut rng);
+                assert!(
+                    d <= ceiling,
+                    "attempt {attempt}: {d:?} above ceiling {ceiling:?}"
+                );
+                seen_nonzero |= d > Duration::ZERO;
+            }
+            // Full jitter is uniform on [0, ceiling]: 200 draws that are
+            // all zero would mean the jitter is broken, not unlucky.
+            assert!(seen_nonzero, "attempt {attempt}: jitter stuck at zero");
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_for_a_fixed_seed() {
+        let policy = RetryPolicy::default();
+        let schedule = |seed: u64| -> Vec<Duration> {
+            let mut rng = Xoshiro256::seed_from_u64(seed);
+            (0..10).map(|k| policy.backoff(k, &mut rng)).collect()
+        };
+        assert_eq!(schedule(42), schedule(42), "same seed, same schedule");
+        assert_ne!(
+            schedule(42),
+            schedule(43),
+            "different seeds must fan out (same schedule is astronomically unlikely)"
+        );
+    }
+
+    #[test]
+    fn zero_ceiling_backoff_is_zero() {
+        let policy = RetryPolicy {
+            max_retries: 1,
+            base: Duration::ZERO,
+            cap: Duration::ZERO,
+            seed: 1,
+        };
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        assert_eq!(policy.backoff(0, &mut rng), Duration::ZERO);
+        assert_eq!(policy.backoff(31, &mut rng), Duration::ZERO);
+    }
+
+    #[test]
+    fn huge_attempt_counts_saturate_instead_of_overflowing() {
+        let policy = RetryPolicy::default();
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        // 2^attempt would overflow u32 far before 10_000; min(16) clamps.
+        let d = policy.backoff(10_000, &mut rng);
+        assert!(d <= policy.cap);
+    }
 }

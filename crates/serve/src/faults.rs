@@ -12,7 +12,10 @@
 //! * **solver stalls** — an artificial delay before a compile, for
 //!   building up queue depth under test,
 //! * **connection resets** — a connection's socket is torn down just
-//!   before a response write, exercising client retry.
+//!   before a response write, exercising client retry,
+//! * **cache corruption** — a cached result document is bit-flipped just
+//!   before it would be served, exercising result certification and
+//!   cache quarantine.
 //!
 //! # Plan syntax
 //!
@@ -27,7 +30,8 @@
 //! * `<kind>%p` — additionally fire each occurrence with probability `p`,
 //!   drawn from a [`Xoshiro256`] stream seeded by `seed` (default 0).
 //! * `stall_ms=N` — duration of an injected stall (default 50 ms).
-//! * Kinds: `panic`, `worker_death`, `cache_io`, `stall`, `reset`.
+//! * Kinds: `panic`, `worker_death`, `cache_io`, `stall`, `reset`,
+//!   `corrupt`.
 //!
 //! Plans are installed from the `CHIPMUNK_FAULTS` environment variable at
 //! server start ([`init_from_env`], which prints the active plan and seed
@@ -59,9 +63,11 @@ pub enum FaultKind {
     SolverStall,
     /// Tear down a connection's socket before a response write.
     ConnReset,
+    /// Bit-flip a cached result document before it is served.
+    CacheCorrupt,
 }
 
-const NUM_KINDS: usize = 5;
+const NUM_KINDS: usize = 6;
 
 impl FaultKind {
     fn index(self) -> usize {
@@ -71,6 +77,7 @@ impl FaultKind {
             FaultKind::CacheIo => 2,
             FaultKind::SolverStall => 3,
             FaultKind::ConnReset => 4,
+            FaultKind::CacheCorrupt => 5,
         }
     }
 
@@ -81,6 +88,7 @@ impl FaultKind {
             "cache_io" => FaultKind::CacheIo,
             "stall" => FaultKind::SolverStall,
             "reset" => FaultKind::ConnReset,
+            "corrupt" => FaultKind::CacheCorrupt,
             _ => return None,
         })
     }
@@ -108,6 +116,7 @@ static STATE: Mutex<State> = Mutex::new(State { plan: None });
 /// Occurrence counters live outside the mutex so `fired` can bump them
 /// without blocking when the probability path is unused.
 static COUNTERS: [AtomicU64; NUM_KINDS] = [
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
@@ -157,6 +166,69 @@ pub fn stall_duration() -> Duration {
         .map_or(Duration::from_millis(50), |p| p.stall)
 }
 
+/// Deterministically bit-flip one value of a cached result document — the
+/// payload of a fired [`FaultKind::CacheCorrupt`]. Prefers a
+/// `field_to_container` entry (XOR 1 mis-wires a field into a different
+/// PHV container, the nastiest silent corruption) and falls back to the
+/// first integer found anywhere; a document with no integers comes back
+/// unchanged. Never panics: it runs on the serving path.
+pub fn corrupt_doc(doc: &chipmunk_trace::json::Json) -> chipmunk_trace::json::Json {
+    use chipmunk_trace::json::Json;
+    fn flip_first_int(doc: &Json) -> (Json, bool) {
+        match doc {
+            Json::U64(v) => (Json::U64(v ^ 1), true),
+            Json::I64(v) => (Json::I64(v ^ 1), true),
+            Json::Arr(items) => {
+                let mut out = Vec::with_capacity(items.len());
+                let mut flipped = false;
+                for it in items {
+                    if flipped {
+                        out.push(it.clone());
+                    } else {
+                        let (v, f) = flip_first_int(it);
+                        out.push(v);
+                        flipped = f;
+                    }
+                }
+                (Json::Arr(out), flipped)
+            }
+            Json::Obj(pairs) => {
+                let mut out = Vec::with_capacity(pairs.len());
+                let mut flipped = false;
+                for (k, v) in pairs {
+                    if flipped {
+                        out.push((k.clone(), v.clone()));
+                    } else {
+                        let (v, f) = flip_first_int(v);
+                        out.push((k.clone(), v));
+                        flipped = f;
+                    }
+                }
+                (Json::Obj(out), flipped)
+            }
+            other => (other.clone(), false),
+        }
+    }
+    if let (Some(f2c), Json::Obj(pairs)) = (doc.get("field_to_container"), doc) {
+        let (flipped, did) = flip_first_int(f2c);
+        if did {
+            return Json::Obj(
+                pairs
+                    .iter()
+                    .map(|(k, v)| {
+                        if k == "field_to_container" {
+                            (k.clone(), flipped.clone())
+                        } else {
+                            (k.clone(), v.clone())
+                        }
+                    })
+                    .collect(),
+            );
+        }
+    }
+    flip_first_int(doc).0
+}
+
 /// Parse `spec` and install it as the process-wide fault plan, resetting
 /// all occurrence counters. See the module docs for the syntax.
 pub fn install(spec: &str) -> Result<(), String> {
@@ -191,8 +263,17 @@ pub fn disarm() {
 /// set. Called once at server start; later calls are no-ops. Prints the
 /// active plan (including the seed) to stderr so a failure observed
 /// under an injected schedule can be reproduced exactly.
+///
+/// The environment is a *fallback*, not an override: if a plan was
+/// already installed programmatically (a test harness arms its own
+/// schedule before starting an in-process server), that plan stands.
+/// Harnesses that want the environment to influence their schedule fold
+/// it in themselves (the chaos suite appends the env's `seed=` clause).
 pub fn init_from_env() {
     if ENV_INIT.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    if armed() {
         return;
     }
     let Ok(spec) = std::env::var("CHIPMUNK_FAULTS") else {
@@ -366,6 +447,39 @@ mod tests {
         install("stall@0;stall_ms=7").unwrap();
         assert_eq!(stall_duration(), Duration::from_millis(7));
         disarm();
+    }
+
+    #[test]
+    fn corrupt_kind_parses_and_fires() {
+        let _g = lock();
+        install("corrupt@0").unwrap();
+        assert!(fired(FaultKind::CacheCorrupt));
+        assert!(!fired(FaultKind::CacheCorrupt));
+        disarm();
+    }
+
+    #[test]
+    fn corrupt_doc_flips_a_field_container_bit() {
+        use chipmunk_trace::json::Json;
+        let doc = Json::obj([
+            ("grid", Json::obj([("stages", Json::from(2u64))])),
+            (
+                "field_to_container",
+                Json::Arr(vec![Json::from(0u64), Json::from(1u64)]),
+            ),
+        ]);
+        let bad = corrupt_doc(&doc);
+        assert_ne!(bad, doc);
+        // The flip lands in the field map, not the untouched sections.
+        assert_eq!(bad.get("grid"), doc.get("grid"));
+        let f2c = bad.get("field_to_container").unwrap().as_arr().unwrap();
+        assert_eq!(f2c[0].as_u64(), Some(1));
+        assert_eq!(f2c[1].as_u64(), Some(1));
+        // Deterministic: the same document corrupts the same way.
+        assert_eq!(corrupt_doc(&doc), bad);
+        // No integers anywhere: unchanged, no panic.
+        let empty = Json::obj([("name", Json::from("x"))]);
+        assert_eq!(corrupt_doc(&empty), empty);
     }
 
     #[test]

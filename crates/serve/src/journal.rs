@@ -1,0 +1,417 @@
+//! A write-ahead job journal: accepted work survives a daemon crash.
+//!
+//! Every compile job the server accepts is appended here **before** it
+//! enters the queue (`accepted` record, fsync'd — write-ahead), and again
+//! when it has been answered (`completed` record). A killed daemon
+//! restarts, replays the journal, and re-enqueues every job that was
+//! accepted but never completed; the recompiled results land in the
+//! result cache, where the original submitter collects them with the
+//! `poll` protocol op.
+//!
+//! Format: `journal.jsonl` in the journal directory, one record per line:
+//!
+//! ```text
+//! {"rec":"accepted","key":"<16 hex>","program":<string>,"options":{…}}
+//! {"rec":"completed","key":"<16 hex>"}
+//! ```
+//!
+//! Records are keyed by the job's content-addressed cache key, so twin
+//! submissions collapse into one pending entry and one replay. A
+//! `completed` record is written for *every* terminal answer — success,
+//! typed failure, even a drain at shutdown — because "pending" means "a
+//! client was promised an answer that was never produced", not "the
+//! compile succeeded". Jobs that die with a worker write no `completed`
+//! record and replay on the next start, which is exactly the at-least-once
+//! retry the client was told is safe.
+//!
+//! Durability discipline matches the result cache: appends go through one
+//! shared handle (`accepted` lines are fsync'd; losing a `completed` line
+//! merely causes one redundant recompile), and compaction — dropping
+//! completed pairs — writes a temp file, fsyncs it, and renames it over
+//! the old one, so a crash mid-compaction keeps the previous journal.
+//! Torn or corrupt lines (a crash mid-append) are skipped on load. I/O
+//! errors never propagate into the serving path: the journal degrades to
+//! a no-op and counts the error.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use chipmunk_trace::json::Json;
+
+use crate::protocol::JobOptions;
+
+/// A journaled job that was accepted but never answered: replay it.
+pub struct PendingJob {
+    /// Content-addressed cache key of the job.
+    pub key: String,
+    /// The submitted program source.
+    pub program: String,
+    /// The submitted compile options.
+    pub options: JobOptions,
+}
+
+struct Inner {
+    file: File,
+    /// Pending `accepted` records by key (the full record document).
+    pending: HashMap<String, Json>,
+    /// Keys in first-accepted order, possibly holding completed stragglers
+    /// (filtered against `pending` when used).
+    order: Vec<String>,
+    /// Lines currently in the file, dead or alive.
+    lines: u64,
+}
+
+/// The write-ahead journal. All operations are crash-tolerant and
+/// serving-path-safe: an I/O error degrades the journal instead of
+/// failing the request that touched it.
+pub struct Journal {
+    inner: Mutex<Inner>,
+    path: PathBuf,
+    /// Journal writes disabled after an I/O error (the in-memory pending
+    /// set still tracks, so a later compaction can recover the file).
+    degraded: AtomicBool,
+    errors: AtomicU64,
+    compactions: AtomicU64,
+}
+
+fn lock(m: &Mutex<Inner>) -> std::sync::MutexGuard<'_, Inner> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+impl Journal {
+    /// Open (or create) `dir/journal.jsonl`, returning the journal plus
+    /// every job accepted by a previous process but never completed, in
+    /// first-accepted order. The file is compacted down to those pending
+    /// records so completed history does not accumulate across restarts.
+    pub fn open(dir: &Path) -> std::io::Result<(Journal, Vec<PendingJob>)> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("journal.jsonl");
+        let mut pending: HashMap<String, Json> = HashMap::new();
+        let mut order: Vec<String> = Vec::new();
+        let mut lines = 0u64;
+        if let Ok(f) = File::open(&path) {
+            for line in BufReader::new(f).lines() {
+                let Ok(line) = line else { break };
+                lines += 1;
+                let Ok(doc) = Json::parse(&line) else {
+                    continue; // torn line from a crash mid-append
+                };
+                let (Some(rec), Some(key)) = (
+                    doc.get("rec").and_then(Json::as_str),
+                    doc.get("key").and_then(Json::as_str),
+                ) else {
+                    continue;
+                };
+                match rec {
+                    "accepted" => {
+                        if !pending.contains_key(key) {
+                            order.push(key.to_string());
+                        }
+                        pending.entry(key.to_string()).or_insert(doc);
+                    }
+                    "completed" => {
+                        pending.remove(key);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let journal = Journal {
+            inner: Mutex::new(Inner {
+                file,
+                pending,
+                order,
+                lines,
+            }),
+            path,
+            degraded: AtomicBool::new(false),
+            errors: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+        };
+        let replay = {
+            let inner = lock(&journal.inner);
+            inner
+                .order
+                .iter()
+                .filter_map(|key| {
+                    let doc = inner.pending.get(key)?;
+                    let program = doc.get("program").and_then(Json::as_str)?.to_string();
+                    let options = match doc.get("options") {
+                        None | Some(Json::Null) => JobOptions::default(),
+                        Some(o) => JobOptions::from_json(o).ok()?,
+                    };
+                    Some(PendingJob {
+                        key: key.clone(),
+                        program,
+                        options,
+                    })
+                })
+                .collect::<Vec<_>>()
+        };
+        // Startup compaction: completed history (and anything corrupt) is
+        // dead weight the next start would re-parse.
+        if lock(&journal.inner).lines > replay.len() as u64 {
+            let _ = journal.compact();
+        }
+        Ok((journal, replay))
+    }
+
+    /// Write-ahead record: `key` was accepted and owes an answer. Fsync'd
+    /// — after this returns, a killed daemon will replay the job.
+    pub fn accepted(&self, key: &str, program: &str, options: &JobOptions) {
+        let doc = Json::obj([
+            ("rec", Json::from("accepted")),
+            ("key", Json::from(key)),
+            ("program", Json::from(program)),
+            ("options", options.to_json()),
+        ]);
+        let mut inner = lock(&self.inner);
+        if !inner.pending.contains_key(key) {
+            let key = key.to_string();
+            inner.order.push(key.clone());
+            inner.pending.insert(key, doc.clone());
+        }
+        self.append(&mut inner, &doc, true);
+    }
+
+    /// Terminal record: `key` has been answered (by any outcome).
+    pub fn completed(&self, key: &str) {
+        let doc = Json::obj([("rec", Json::from("completed")), ("key", Json::from(key))]);
+        let mut inner = lock(&self.inner);
+        if inner.pending.remove(key).is_none() {
+            return; // unknown or already-completed key: nothing owed
+        }
+        self.append(&mut inner, &doc, false);
+        // Once completed pairs dominate the file, fold them away.
+        if inner.lines > 2 * inner.pending.len() as u64 + 16 {
+            drop(inner);
+            let _ = self.compact();
+        }
+    }
+
+    fn append(&self, inner: &mut Inner, doc: &Json, sync: bool) {
+        if self.degraded.load(Ordering::Relaxed) {
+            return;
+        }
+        let res = (|| -> std::io::Result<()> {
+            writeln!(inner.file, "{}", doc.to_compact())?;
+            inner.file.flush()?;
+            if sync {
+                inner.file.sync_data()?;
+            }
+            Ok(())
+        })();
+        match res {
+            Ok(()) => inner.lines += 1,
+            Err(_) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                self.degraded.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Rewrite the journal down to its pending records (temp + fsync +
+    /// rename, crash-safe). Also the degraded-mode recovery path: a full
+    /// successful rewrite re-attaches the file.
+    pub fn compact(&self) -> std::io::Result<()> {
+        let mut inner = lock(&self.inner);
+        let tmp_path = self.path.with_extension("jsonl.tmp");
+        let mut written = 0u64;
+        let res = (|| -> std::io::Result<()> {
+            let tmp = File::create(&tmp_path)?;
+            let mut w = BufWriter::new(tmp);
+            for key in &inner.order {
+                if let Some(doc) = inner.pending.get(key) {
+                    writeln!(w, "{}", doc.to_compact())?;
+                    written += 1;
+                }
+            }
+            w.flush()?;
+            w.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+            std::fs::rename(&tmp_path, &self.path)?;
+            Ok(())
+        })();
+        match res {
+            Ok(()) => {
+                inner.file = OpenOptions::new().append(true).open(&self.path)?;
+                inner.lines = written;
+                let pending: Vec<String> = inner
+                    .order
+                    .iter()
+                    .filter(|k| inner.pending.contains_key(*k))
+                    .cloned()
+                    .collect();
+                inner.order = pending;
+                self.degraded.store(false, Ordering::Relaxed);
+                self.compactions.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                self.degraded.store(true, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Jobs currently owed an answer.
+    pub fn pending_len(&self) -> usize {
+        lock(&self.inner).pending.len()
+    }
+
+    /// Lines currently in the journal file (pending + not-yet-compacted
+    /// history).
+    pub fn lines(&self) -> u64 {
+        lock(&self.inner).lines
+    }
+
+    /// I/O errors absorbed so far.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Whether writes are currently disabled after an I/O error.
+    pub fn degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Completed compaction passes.
+    pub fn compactions(&self) -> u64 {
+        self.compactions.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "chipmunk-serve-journal-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn opts_with_width(w: u8) -> JobOptions {
+        JobOptions {
+            width: Some(w),
+            ..JobOptions::default()
+        }
+    }
+
+    #[test]
+    fn unfinished_jobs_replay_in_accept_order() {
+        let dir = tmpdir("replay");
+        {
+            let (j, replay) = Journal::open(&dir).unwrap();
+            assert!(replay.is_empty());
+            j.accepted("k1", "pkt.a = pkt.b;", &opts_with_width(6));
+            j.accepted("k2", "pkt.c = pkt.d;", &opts_with_width(7));
+            j.accepted("k3", "pkt.e = pkt.f;", &JobOptions::default());
+            j.completed("k2");
+        }
+        let (j, replay) = Journal::open(&dir).unwrap();
+        let keys: Vec<&str> = replay.iter().map(|p| p.key.as_str()).collect();
+        assert_eq!(keys, ["k1", "k3"]);
+        assert_eq!(replay[0].program, "pkt.a = pkt.b;");
+        assert_eq!(replay[0].options.width, Some(6));
+        assert_eq!(replay[1].options.width, None);
+        // Startup compaction dropped the completed pair.
+        assert_eq!(j.lines(), 2);
+        assert_eq!(j.pending_len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_accepts_replay_once() {
+        let dir = tmpdir("dup");
+        {
+            let (j, _) = Journal::open(&dir).unwrap();
+            j.accepted("k", "pkt.a = pkt.b;", &JobOptions::default());
+            j.accepted("k", "pkt.a = pkt.b;", &JobOptions::default());
+        }
+        let (_, replay) = Journal::open(&dir).unwrap();
+        assert_eq!(replay.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_lines_and_stray_completions_are_tolerated() {
+        let dir = tmpdir("torn");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("journal.jsonl"),
+            concat!(
+                "{\"rec\":\"completed\",\"key\":\"ghost\"}\n",
+                "{\"rec\":\"accepted\",\"key\":\"k1\",\"program\":\"pkt.a = pkt.b;\"}\n",
+                "{\"rec\":\"accepted\",\"key\":\"k2\",\"prog", // torn mid-append
+            ),
+        )
+        .unwrap();
+        let (j, replay) = Journal::open(&dir).unwrap();
+        assert_eq!(replay.len(), 1);
+        assert_eq!(replay[0].key, "k1");
+        // Journal still accepts new records after the damage.
+        j.accepted("k3", "pkt.x = pkt.y;", &JobOptions::default());
+        assert_eq!(j.pending_len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn completion_heavy_journals_self_compact() {
+        let dir = tmpdir("selfcompact");
+        let (j, _) = Journal::open(&dir).unwrap();
+        for i in 0..40 {
+            let key = format!("k{i}");
+            j.accepted(&key, "pkt.a = pkt.b;", &JobOptions::default());
+            j.completed(&key);
+        }
+        assert!(j.compactions() >= 1);
+        assert!(j.lines() <= 18, "journal unbounded: {} lines", j.lines());
+        assert_eq!(j.pending_len(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn options_round_trip_through_the_journal() {
+        let dir = tmpdir("opts");
+        let opts = JobOptions {
+            template: Some("raw".into()),
+            imm: Some(3),
+            width: Some(8),
+            max_stages: Some(2),
+            timeout_ms: Some(5000),
+            parallel: Some(true),
+            budget_conflicts: Some(1000),
+            budget_propagations: Some(2000),
+            budget_bytes: Some(1 << 20),
+            ..JobOptions::default()
+        };
+        {
+            let (j, _) = Journal::open(&dir).unwrap();
+            j.accepted("k", "pkt.a = pkt.b;", &opts);
+        }
+        let (_, replay) = Journal::open(&dir).unwrap();
+        let got = &replay[0].options;
+        assert_eq!(got.template, opts.template);
+        assert_eq!(got.imm, opts.imm);
+        assert_eq!(got.width, opts.width);
+        assert_eq!(got.max_stages, opts.max_stages);
+        assert_eq!(got.timeout_ms, opts.timeout_ms);
+        assert_eq!(got.parallel, opts.parallel);
+        assert_eq!(got.budget_conflicts, opts.budget_conflicts);
+        assert_eq!(got.budget_propagations, opts.budget_propagations);
+        assert_eq!(got.budget_bytes, opts.budget_bytes);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -28,6 +28,16 @@
 //!   failing, clients retry transient errors with jittered backoff
 //!   ([`client::RetryingClient`]), and the whole stack is testable under a
 //!   seeded deterministic fault schedule ([`faults`]).
+//! * **certified results**: every result document served — fresh,
+//!   cache-hit, name-remapped, or polled — is independently re-checked
+//!   against the submitted program by differential execution in the
+//!   hardware simulator before it leaves the daemon; a failing document
+//!   is quarantined from both cache tiers and the compile retried from
+//!   scratch ([`chipmunk::certify_config`]).
+//! * a **write-ahead job journal** ([`journal`]): accepted jobs are
+//!   fsync'd to disk before they enter the queue, so a killed daemon
+//!   replays unfinished work on restart and clients collect the recovered
+//!   results with the `poll` op.
 //!
 //! The whole path is instrumented with `chipmunk-trace`: queue depth and
 //! wait time, cache hits/misses, and per-job synthesis time all land in
@@ -50,12 +60,14 @@
 pub mod cache;
 pub mod client;
 pub mod faults;
+pub mod journal;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 
 pub use cache::ResultCache;
 pub use client::{Client, RetryPolicy, RetryingClient};
+pub use journal::{Journal, PendingJob};
 pub use protocol::{CacheAction, Incoming, JobOptions, Request};
 pub use queue::{Bounded, PushError};
 pub use server::{start, ServerConfig, ServerHandle};

@@ -5,8 +5,9 @@
 //! single line):
 //!
 //! ```text
-//! request  := compile | status | stats | cache | shutdown
+//! request  := compile | poll | status | stats | cache | shutdown
 //! compile  := {"op":"compile","id":<scalar>?,"program":<string>,"options":<options>?}
+//! poll     := {"op":"poll","id":<scalar>?,"program":<string>,"options":<options>?}
 //! status   := {"op":"status","id":<scalar>?}
 //! stats    := {"op":"stats","id":<scalar>?}
 //! cache    := {"op":"cache","id":<scalar>?,"action":"stats"|"compact"|"clear"?}
@@ -15,8 +16,15 @@
 //!              "screen_width":<int>?,"synth_input_bits":<int>?,
 //!              "num_initial_inputs":<int>?,"max_iters":<int>?,"seed":<int>?,
 //!              "max_stages":<int>?,"slots":<int>?,"timeout_ms":<int>?,
-//!              "parallel":<bool>?}
+//!              "parallel":<bool>?,"budget_conflicts":<int>?,
+//!              "budget_propagations":<int>?,"budget_bytes":<int>?}
 //! ```
+//!
+//! `poll` is a compile-shaped lookup that never enqueues work: it answers
+//! `{"ok":true,"found":true,…}` with the (certified) cached result for the
+//! same program+options, or `{"ok":true,"found":false}`. Clients use it to
+//! collect results of jobs the daemon recovered from its journal after a
+//! crash, without risking a duplicate compile.
 //!
 //! **Pipelining and ordering.** A request may carry a client-chosen `id`
 //! (any JSON scalar — string or number), echoed verbatim as the `id`
@@ -35,7 +43,15 @@
 //! connection closes), `io` (a cache maintenance action hit the disk),
 //! `internal` (the compiler panicked or its worker died mid-job; the
 //! worker pool has been respawned and the compile is safe to retry),
-//! `shutting_down`.
+//! `uncertified` (a synthesized configuration failed the independent
+//! certification check and was withheld — a compiler defect surfaced as
+//! data), `shutting_down`.
+//!
+//! The three `budget_*` options are hard solver resource ceilings
+//! (conflicts, unit propagations, learnt-clause/arena bytes); a job that
+//! trips one fails with the `timeout` code, exactly like a wall-clock
+//! deadline, and is excluded from the cache key (budgets bound the
+//! *work*, not the meaning of the answer).
 //!
 //! **Untrusted input.** Everything in this module runs on raw client
 //! bytes, so the whole non-test file is compiled under
@@ -51,8 +67,9 @@
 
 #![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
-use chipmunk::{CodegenError, CodegenSuccess, CompilerOptions};
-use chipmunk_pisa::{stateful::library, StatefulAluSpec, StatelessAluSpec};
+use chipmunk::{CodegenError, CodegenSuccess, CompilerOptions, ResourceBudget};
+use chipmunk_lang::PacketState;
+use chipmunk_pisa::{stateful::library, PipelineConfig, StatefulAluSpec, StatelessAluSpec};
 use chipmunk_trace::json::Json;
 
 /// A decoded client request.
@@ -60,6 +77,14 @@ use chipmunk_trace::json::Json;
 pub enum Request {
     /// Compile a packet transaction (source text) under the given options.
     Compile {
+        /// Domino-dialect source of the program.
+        program: String,
+        /// Knobs; anything omitted takes the server default.
+        options: JobOptions,
+    },
+    /// Cache-only lookup for the same program+options — answers from the
+    /// result cache (certified) or reports `found: false`; never compiles.
+    Poll {
         /// Domino-dialect source of the program.
         program: String,
         /// Knobs; anything omitted takes the server default.
@@ -169,6 +194,12 @@ pub struct JobOptions {
     pub timeout_ms: Option<u64>,
     /// Run the grid-depth sweep on parallel threads.
     pub parallel: Option<bool>,
+    /// Hard ceiling on SAT conflicts per solver run.
+    pub budget_conflicts: Option<u64>,
+    /// Hard ceiling on unit propagations per solver run.
+    pub budget_propagations: Option<u64>,
+    /// Hard ceiling on clause-arena bytes per solver.
+    pub budget_bytes: Option<u64>,
 }
 
 fn alu_template(name: &str, imm: u8) -> Result<StatefulAluSpec, String> {
@@ -223,7 +254,45 @@ impl JobOptions {
             slots: get_num(obj, "slots")?,
             timeout_ms: get_num(obj, "timeout_ms")?,
             parallel,
+            budget_conflicts: get_num(obj, "budget_conflicts")?,
+            budget_propagations: get_num(obj, "budget_propagations")?,
+            budget_bytes: get_num(obj, "budget_bytes")?,
         })
+    }
+
+    /// Serialize back to the wire `options` object (only the fields that
+    /// are set) — the inverse of [`JobOptions::from_json`], used by the
+    /// job journal to make accepted jobs replayable across a restart.
+    pub fn to_json(&self) -> Json {
+        let mut pairs: Vec<(String, Json)> = Vec::new();
+        let mut num = |k: &str, v: Option<u64>| {
+            if let Some(v) = v {
+                pairs.push((k.to_string(), Json::from(v)));
+            }
+        };
+        num("imm", self.imm.map(u64::from));
+        num("width", self.width.map(u64::from));
+        num("screen_width", self.screen_width.map(u64::from));
+        num("synth_input_bits", self.synth_input_bits.map(u64::from));
+        num(
+            "num_initial_inputs",
+            self.num_initial_inputs.map(|v| v as u64),
+        );
+        num("max_iters", self.max_iters.map(|v| v as u64));
+        num("seed", self.seed);
+        num("max_stages", self.max_stages.map(|v| v as u64));
+        num("slots", self.slots.map(|v| v as u64));
+        num("timeout_ms", self.timeout_ms);
+        num("budget_conflicts", self.budget_conflicts);
+        num("budget_propagations", self.budget_propagations);
+        num("budget_bytes", self.budget_bytes);
+        if let Some(t) = &self.template {
+            pairs.push(("template".to_string(), Json::from(t.as_str())));
+        }
+        if let Some(p) = self.parallel {
+            pairs.push(("parallel".to_string(), Json::Bool(p)));
+        }
+        Json::Obj(pairs)
     }
 
     /// Materialize full [`CompilerOptions`], filling gaps with the same
@@ -249,6 +318,11 @@ impl JobOptions {
         if let Some(s) = self.seed {
             opts.cegis.seed = s;
         }
+        opts.cegis.budget = ResourceBudget {
+            conflicts: self.budget_conflicts,
+            propagations: self.budget_propagations,
+            clause_bytes: self.budget_bytes,
+        };
         opts.max_stages = self.max_stages.unwrap_or(4);
         opts.slots = self.slots;
         opts.timeout = Some(std::time::Duration::from_millis(
@@ -271,17 +345,21 @@ fn decode_request(doc: &Json) -> Result<Request, String> {
         .and_then(Json::as_str)
         .ok_or("missing `op` field")?;
     match op {
-        "compile" => {
+        "compile" | "poll" => {
             let program = doc
                 .get("program")
                 .and_then(Json::as_str)
-                .ok_or("compile needs a `program` string")?
+                .ok_or_else(|| format!("{op} needs a `program` string"))?
                 .to_string();
             let options = match doc.get("options") {
                 None | Some(Json::Null) => JobOptions::default(),
                 Some(o) => JobOptions::from_json(o)?,
             };
-            Ok(Request::Compile { program, options })
+            Ok(if op == "poll" {
+                Request::Poll { program, options }
+            } else {
+                Request::Compile { program, options }
+            })
         }
         "status" => Ok(Request::Status),
         "stats" => Ok(Request::Stats),
@@ -322,6 +400,8 @@ pub fn codegen_error_code(e: &CodegenError) -> &'static str {
         CodegenError::Infeasible => "infeasible",
         CodegenError::Timeout => "timeout",
         CodegenError::Internal(_) => "internal",
+        CodegenError::InvalidOptions(_) => "bad_request",
+        CodegenError::Uncertified(_) => "uncertified",
     }
 }
 
@@ -335,6 +415,7 @@ pub fn codegen_error_code(e: &CodegenError) -> &'static str {
 /// ([`remap_result`]).
 pub fn result_doc(out: &CodegenSuccess, fields: &[String], states: &[String]) -> Json {
     let names = |ns: &[String]| Json::Arr(ns.iter().map(|n| Json::from(n.as_str())).collect());
+    let nums = |vs: &[u64]| Json::Arr(vs.iter().map(|&v| Json::from(v)).collect());
     Json::obj([
         (
             "grid",
@@ -357,6 +438,19 @@ pub fn result_doc(out: &CodegenSuccess, fields: &[String], states: &[String]) ->
             ),
         ),
         ("pipeline", out.decoded.pipeline.to_json()),
+        // The CEGIS counterexamples that shaped this result, in the same
+        // field/state index order as the name lists above. Certification
+        // replays them on every later serve of this entry — they are the
+        // inputs the program is known to be sensitive to.
+        (
+            "counterexamples",
+            Json::Arr(
+                out.counterexamples
+                    .iter()
+                    .map(|c| Json::obj([("fields", nums(&c.fields)), ("states", nums(&c.states))]))
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -405,13 +499,12 @@ pub fn remap_result(cached: &Json, fields: &[String], states: &[String]) -> Opti
     if f2c.len() != cached_fields.len() {
         return None;
     }
-    let remapped: Vec<Json> = fields
+    // requester index -> producer index, by name.
+    let perm: Vec<usize> = fields
         .iter()
-        .map(|name| {
-            let producer_idx = cached_fields.iter().position(|c| c == name)?;
-            Some(Json::from(f2c[producer_idx]))
-        })
+        .map(|name| cached_fields.iter().position(|c| c == name))
         .collect::<Option<_>>()?;
+    let remapped: Vec<Json> = perm.iter().map(|&p| Json::from(f2c[p])).collect();
     let Json::Obj(pairs) = cached else {
         return None;
     };
@@ -422,12 +515,112 @@ pub fn remap_result(cached: &Json, fields: &[String], states: &[String]) -> Opti
                 let v = match k.as_str() {
                     "fields" => Json::Arr(fields.iter().map(|n| Json::from(n.as_str())).collect()),
                     "field_to_container" => Json::Arr(remapped.clone()),
+                    // Counterexample inputs are per-field values in the
+                    // producer's index space; permute them like the field
+                    // map (states cannot be reordered between key-equal
+                    // programs). A malformed list becomes empty rather
+                    // than being served producer-ordered — certification
+                    // still runs its random sweep.
+                    "counterexamples" => {
+                        Json::Arr(remap_counterexamples(v, &perm).unwrap_or_default())
+                    }
                     _ => v.clone(),
                 };
                 (k.clone(), v)
             })
             .collect(),
     ))
+}
+
+/// Permute each counterexample's `fields` array into the requester's
+/// index space (`perm[i]` = producer index of the requester's field `i`).
+fn remap_counterexamples(v: &Json, perm: &[usize]) -> Option<Vec<Json>> {
+    v.as_arr()?
+        .iter()
+        .map(|cex| {
+            let fields = cex.get("fields")?.as_arr()?;
+            if fields.len() != perm.len() {
+                return None;
+            }
+            let permuted: Vec<Json> = perm.iter().map(|&p| fields[p].clone()).collect();
+            Some(Json::obj([
+                ("fields", Json::Arr(permuted)),
+                (
+                    "states",
+                    cex.get("states").cloned().unwrap_or(Json::Arr(vec![])),
+                ),
+            ]))
+        })
+        .collect()
+}
+
+/// A result document decoded back into the pieces certification needs.
+/// Everything here came over the wire or off disk, so decoding is fully
+/// defensive: any missing or ill-typed piece is an `Err`, never a panic.
+pub struct WireResult {
+    /// Grid depth the configuration targets.
+    pub stages: usize,
+    /// PHV containers / ALUs per stage.
+    pub slots: usize,
+    /// Container index per program field, requester index order.
+    pub field_to_container: Vec<usize>,
+    /// The hardware configuration.
+    pub pipeline: PipelineConfig,
+    /// Recorded CEGIS counterexamples (empty for legacy entries).
+    pub counterexamples: Vec<PacketState>,
+}
+
+/// Decode a [`result_doc`]-shaped document (fresh, cached, or remapped)
+/// for re-certification before it is served.
+pub fn decode_result(doc: &Json) -> Result<WireResult, String> {
+    let grid = doc.get("grid").ok_or("result has no `grid`")?;
+    let dim = |k: &str| -> Result<usize, String> {
+        grid.get(k)
+            .and_then(Json::as_u64)
+            .and_then(|v| usize::try_from(v).ok())
+            .ok_or_else(|| format!("grid has no usable `{k}`"))
+    };
+    let stages = dim("stages")?;
+    let slots = dim("slots")?;
+    let field_to_container = doc
+        .get("field_to_container")
+        .and_then(Json::as_arr)
+        .ok_or("result has no `field_to_container` array")?
+        .iter()
+        .map(|v| v.as_u64().and_then(|c| usize::try_from(c).ok()))
+        .collect::<Option<Vec<_>>>()
+        .ok_or("`field_to_container` holds a non-index value")?;
+    let pipeline =
+        PipelineConfig::from_json(doc.get("pipeline").ok_or("result has no `pipeline`")?)
+            .map_err(|e| format!("bad pipeline document: {e}"))?;
+    let vals = |cex: &Json, k: &str| -> Result<Vec<u64>, String> {
+        cex.get(k)
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("counterexample has no `{k}` array"))?
+            .iter()
+            .map(Json::as_u64)
+            .collect::<Option<Vec<_>>>()
+            .ok_or_else(|| format!("counterexample `{k}` holds a non-integer"))
+    };
+    let counterexamples = match doc.get("counterexamples").and_then(Json::as_arr) {
+        None => Vec::new(), // legacy entry: the random sweep still runs
+        Some(arr) => arr
+            .iter()
+            .map(|cex| {
+                Ok(PacketState {
+                    fields: vals(cex, "fields")?,
+                    states: vals(cex, "states")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+    };
+    Ok(WireResult {
+        stages,
+        slots,
+        field_to_container,
+        pipeline,
+        counterexamples,
+    })
 }
 
 #[cfg(test)]
@@ -618,5 +811,170 @@ mod tests {
             ..JobOptions::default()
         };
         assert!(o.to_compiler_options().is_err());
+    }
+
+    /// Tiny deterministic generator for the property tests below.
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 33
+        }
+
+        fn below(&mut self, n: usize) -> usize {
+            (self.next() % n.max(1) as u64) as usize
+        }
+
+        /// Fisher–Yates permutation of `0..n`.
+        fn permutation(&mut self, n: usize) -> Vec<usize> {
+            let mut p: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                p.swap(i, self.below(i + 1));
+            }
+            p
+        }
+    }
+
+    /// A producer-side result document with `k` fields, a random field
+    /// map, and random counterexamples — the parts remapping touches.
+    fn random_doc(rng: &mut Lcg, field_names: &[String], cexes: usize) -> Json {
+        let k = field_names.len();
+        let spare = rng.below(3);
+        let f2c = rng.permutation(k.max(1) + spare); // slots ≥ fields
+        let cex = |rng: &mut Lcg| {
+            Json::obj([
+                (
+                    "fields",
+                    Json::Arr((0..k).map(|_| Json::from(rng.next() % 64)).collect()),
+                ),
+                ("states", Json::Arr(vec![Json::from(rng.next() % 64)])),
+            ])
+        };
+        Json::obj([
+            ("grid", Json::obj([("stages", Json::from(1u64))])),
+            (
+                "fields",
+                Json::Arr(field_names.iter().map(|n| Json::from(n.as_str())).collect()),
+            ),
+            ("states", Json::Arr(vec![Json::from("s")])),
+            (
+                "field_to_container",
+                Json::Arr(f2c.iter().take(k).map(|&c| Json::from(c)).collect()),
+            ),
+            ("pipeline", Json::obj([("stages", Json::Arr(vec![]))])),
+            (
+                "counterexamples",
+                Json::Arr((0..cexes).map(|_| cex(rng)).collect()),
+            ),
+        ])
+    }
+
+    fn u64s(doc: &Json, key: &str) -> Vec<u64> {
+        doc.get(key)
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_u64().unwrap())
+            .collect()
+    }
+
+    /// Property: for a random field permutation, remapping producer →
+    /// requester → producer is the identity, the permuted field map and
+    /// counterexamples satisfy `out[i] == orig[perm[i]]`, and states are
+    /// never reordered.
+    #[test]
+    fn remap_round_trips_under_random_permutations() {
+        let mut rng = Lcg(0x5eed_2026_0807);
+        for case in 0..200 {
+            let k = 1 + rng.below(7);
+            let producer: Vec<String> = (0..k).map(|i| format!("f{i}")).collect();
+            let cexes = rng.below(4);
+            let doc = random_doc(&mut rng, &producer, cexes);
+            // perm[i] = producer index of the requester's field i.
+            let perm = rng.permutation(k);
+            let requester: Vec<String> = perm.iter().map(|&p| producer[p].clone()).collect();
+            let states = vec!["s".to_string()];
+
+            let out = remap_result(&doc, &requester, &states)
+                .unwrap_or_else(|| panic!("case {case}: equivalent doc must remap"));
+            // Field map: requester's field i lands in the container the
+            // producer assigned to the same-named field.
+            let f2c_in = u64s(&doc, "field_to_container");
+            let f2c_out = u64s(&out, "field_to_container");
+            for i in 0..k {
+                assert_eq!(f2c_out[i], f2c_in[perm[i]], "case {case} field {i}");
+            }
+            // Counterexamples: per-field values follow the same
+            // permutation; state values are untouched.
+            let cex_in = doc.get("counterexamples").unwrap().as_arr().unwrap();
+            let cex_out = out.get("counterexamples").unwrap().as_arr().unwrap();
+            assert_eq!(cex_in.len(), cex_out.len(), "case {case}");
+            for (a, b) in cex_in.iter().zip(cex_out) {
+                let (fa, fb) = (u64s(a, "fields"), u64s(b, "fields"));
+                for i in 0..k {
+                    assert_eq!(fb[i], fa[perm[i]], "case {case} cex field {i}");
+                }
+                assert_eq!(u64s(a, "states"), u64s(b, "states"), "case {case}");
+            }
+            // Round trip: remapping back to the producer's ordering
+            // reproduces the original document exactly.
+            let back = remap_result(&out, &producer, &states)
+                .unwrap_or_else(|| panic!("case {case}: round trip must remap"));
+            assert_eq!(back, doc, "case {case}: round trip is not the identity");
+        }
+    }
+
+    /// Property: a requester whose name set differs (renamed, missing, or
+    /// extra field) is a miss, never a mis-remap.
+    #[test]
+    fn remap_refuses_random_non_equivalent_name_sets() {
+        let mut rng = Lcg(0xbad_5eed);
+        for case in 0..100 {
+            let k = 2 + rng.below(6);
+            let producer: Vec<String> = (0..k).map(|i| format!("f{i}")).collect();
+            let doc = random_doc(&mut rng, &producer, 1);
+            let states = vec!["s".to_string()];
+            let mut requester = producer.clone();
+            match case % 3 {
+                0 => requester[rng.below(k)] = "zz".to_string(), // renamed
+                1 => {
+                    requester.truncate(k - 1); // missing
+                }
+                _ => requester.push("extra".to_string()), // extra
+            }
+            assert!(
+                remap_result(&doc, &requester, &states).is_none(),
+                "case {case}: non-equivalent names must miss"
+            );
+        }
+    }
+
+    /// A malformed counterexample list (wrong arity) degrades to an empty
+    /// list on remap — never served producer-ordered.
+    #[test]
+    fn malformed_counterexamples_degrade_to_empty_on_remap() {
+        let producer = names(&["a", "b"]);
+        let mut doc = random_doc(&mut Lcg(1), &producer, 0);
+        if let Json::Obj(pairs) = &mut doc {
+            for (k, v) in pairs.iter_mut() {
+                if k == "counterexamples" {
+                    *v = Json::Arr(vec![Json::obj([
+                        ("fields", Json::Arr(vec![Json::from(1u64)])), // arity 1 != 2
+                        ("states", Json::Arr(vec![])),
+                    ])]);
+                }
+            }
+        }
+        let out = remap_result(&doc, &names(&["b", "a"]), &names(&["s"])).unwrap();
+        assert_eq!(
+            out.get("counterexamples"),
+            Some(&Json::Arr(vec![])),
+            "malformed counterexamples must be dropped: {out}"
+        );
     }
 }

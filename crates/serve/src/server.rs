@@ -38,17 +38,26 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use chipmunk::{cache_key, compile_with_cancel, layout_names, CompilerOptions};
+use chipmunk::{
+    cache_key, certify_config, compile_with_cancel, layout_names, CertifyRequest, CompilerOptions,
+};
 use chipmunk_lang::{parse, Program};
+use chipmunk_pisa::GridSpec;
 use chipmunk_trace::json::Json;
 
 use crate::cache::ResultCache;
 use crate::faults::{self, FaultKind};
+use crate::journal::Journal;
 use crate::protocol::{
-    codegen_error_code, error_response, parse_line, remap_result, result_doc, with_id, CacheAction,
-    Incoming, Request,
+    codegen_error_code, decode_result, error_response, parse_line, remap_result, result_doc,
+    with_id, CacheAction, Incoming, JobOptions, Request,
 };
 use crate::queue::{Bounded, PushError};
+
+/// Salt mixed into the job's CEGIS seed for the serve-side certification
+/// sweep, so it draws inputs independent of both the synthesis-side
+/// initial samples and the in-compiler certification pass.
+const SERVE_CERT_SEED_SALT: u64 = 0x5e1e_c7ab_1e0b_5e55;
 
 /// Server construction knobs.
 #[derive(Clone, Debug)]
@@ -76,6 +85,12 @@ pub struct ServerConfig {
     /// wait forever). Does not bound compilation itself — a client
     /// silently waiting for its pipelined jobs is not idle.
     pub idle_timeout: Option<Duration>,
+    /// Directory for the write-ahead job journal (`None` = no journal).
+    /// With a journal, accepted jobs survive a daemon kill: on restart,
+    /// jobs that were accepted but never answered are replayed into the
+    /// queue, their results land in the cache, and clients collect them
+    /// with the `poll` op. Stats report them as `recovered`.
+    pub journal_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -91,6 +106,7 @@ impl Default for ServerConfig {
             cache_max_entries: None,
             max_connections: 64,
             idle_timeout: Some(Duration::from_secs(60)),
+            journal_dir: None,
         }
     }
 }
@@ -122,6 +138,18 @@ struct Stats {
     synth_ms_total: AtomicU64,
     synth_ms_max: AtomicU64,
     wait_ms_total: AtomicU64,
+    /// Journal-replayed jobs re-queued (or already answered in cache) at
+    /// startup. Replayed jobs also count as `submitted` when they enter
+    /// the queue, so the conservation invariant covers them.
+    recovered: AtomicU64,
+    /// Result documents that passed the serve-side certification check
+    /// before leaving the daemon (fresh, cache-hit, and polled).
+    certified: AtomicU64,
+    /// Result documents that failed certification (each one is also
+    /// quarantined if it came from the cache).
+    uncertified: AtomicU64,
+    /// Cache entries removed from both tiers after failing certification.
+    quarantined: AtomicU64,
 }
 
 /// Where a job's single response goes: the owning connection's reply
@@ -138,6 +166,9 @@ struct ReplyHandle {
     tx: mpsc::Sender<Json>,
     pending: Arc<AtomicUsize>,
     stats: Arc<Stats>,
+    /// Responses handed to connection writers but not yet flushed
+    /// ([`Shared::unwritten`]); [`ServerHandle::join`] waits on it.
+    unwritten: Arc<AtomicUsize>,
     id: Option<Json>,
     answered: bool,
 }
@@ -152,8 +183,20 @@ impl ReplyHandle {
             return;
         }
         self.answered = true;
-        let _ = self.tx.send(with_id(response, self.id.take()));
+        queue_response(&self.unwritten, &self.tx, with_id(response, self.id.take()));
         self.pending.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Hand a response to a connection's writer thread, keeping the global
+/// unflushed count exact: the count rises before the send so a racing
+/// [`ServerHandle::join`] can never observe zero while a response is in
+/// a channel, and falls back immediately if the writer is already gone
+/// (the send fails and nothing will ever be flushed).
+fn queue_response(unwritten: &AtomicUsize, tx: &mpsc::Sender<Json>, doc: Json) {
+    unwritten.fetch_add(1, Ordering::AcqRel);
+    if tx.send(doc).is_err() {
+        unwritten.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -184,6 +227,7 @@ struct Job {
 struct Shared {
     queue: Bounded<Job>,
     cache: ResultCache,
+    journal: Option<Journal>,
     stats: Arc<Stats>,
     stopping: AtomicBool,
     abort: Arc<AtomicBool>,
@@ -202,6 +246,13 @@ struct Shared {
     /// Join handles for every worker ever spawned (initial pool +
     /// respawns). Drained by [`ServerHandle::join`].
     worker_handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Responses queued to connection writer threads but not yet written
+    /// to (or abandoned with) their sockets. Connection writers are
+    /// detached, so [`ServerHandle::join`] waits on this count — without
+    /// it the process can exit between a shutdown ack entering the reply
+    /// channel and the writer flushing it, and the client sees a bare
+    /// connection reset instead of the ack.
+    unwritten: Arc<AtomicUsize>,
     addr: SocketAddr,
 }
 
@@ -303,6 +354,17 @@ impl ServerHandle {
                 let _ = w.join();
             }
         }
+        // Connection writer threads are detached, so joining the accept
+        // loop and workers does not prove the last responses reached their
+        // sockets — in particular the shutdown ack, which is queued just
+        // before teardown begins. Wait (bounded: a wedged socket must not
+        // pin the process) for the unflushed count to settle so a caller
+        // that exits right after `join` never eats an already-produced
+        // response.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while self.shared.unwritten.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
     }
 }
 
@@ -311,9 +373,17 @@ pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
     faults::init_from_env();
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
+    let (journal, replay) = match &config.journal_dir {
+        Some(dir) => {
+            let (j, replay) = Journal::open(dir)?;
+            (Some(j), replay)
+        }
+        None => (None, Vec::new()),
+    };
     let shared = Arc::new(Shared {
         queue: Bounded::new(config.queue_capacity),
         cache: ResultCache::open_bounded(config.cache_dir.as_deref(), config.cache_max_entries)?,
+        journal,
         stats: Arc::new(Stats::default()),
         stopping: AtomicBool::new(false),
         abort: Arc::new(AtomicBool::new(false)),
@@ -325,6 +395,7 @@ pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
         live_workers: AtomicUsize::new(0),
         next_worker: AtomicUsize::new(0),
         worker_handles: Mutex::new(Vec::new()),
+        unwritten: Arc::new(AtomicUsize::new(0)),
         addr,
     });
     {
@@ -333,6 +404,7 @@ pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
             spawn_worker(&shared, &mut handles);
         }
     }
+    replay_journal(&shared, replay);
     let accept = {
         let shared = shared.clone();
         std::thread::Builder::new()
@@ -341,6 +413,83 @@ pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
             .expect("spawn accept loop")
     };
     Ok(ServerHandle { shared, accept })
+}
+
+/// Re-queue every journaled job a previous process accepted but never
+/// answered. Replayed jobs carry a *discard* reply handle (their client
+/// is gone — the receiver half of a fresh channel is dropped immediately),
+/// so the compile runs for its cache side effect; the original submitter
+/// collects the result with the `poll` op. Each replayed job counts as
+/// `recovered`, and as `submitted` when it enters the queue, so the
+/// conservation invariant keeps holding: a worker answers it as usual.
+fn replay_journal(shared: &Arc<Shared>, replay: Vec<crate::journal::PendingJob>) {
+    for pending in replay {
+        let Some(journal) = &shared.journal else {
+            return;
+        };
+        let Ok(program) = parse(&pending.program) else {
+            // Unparseable journal record: nothing can be owed for it.
+            journal.completed(&pending.key);
+            continue;
+        };
+        let Ok(opts) = pending.options.to_compiler_options() else {
+            journal.completed(&pending.key);
+            continue;
+        };
+        let key = cache_key(&program, &opts);
+        shared.stats.recovered.fetch_add(1, Ordering::Relaxed);
+        chipmunk_trace::counter_add!("serve.journal.recovered", 1);
+        if shared.cache.peek(&key).is_some() {
+            // Answered before the crash (or by a twin): the poll op will
+            // find it — nothing left to recompute.
+            journal.completed(&pending.key);
+            continue;
+        }
+        let (fields, states) = layout_names(&program);
+        let (tx, _rx) = mpsc::channel::<Json>();
+        let job = Job {
+            program,
+            opts,
+            key,
+            fields,
+            states,
+            reply: ReplyHandle {
+                tx,
+                pending: Arc::new(AtomicUsize::new(1)),
+                stats: shared.stats.clone(),
+                unwritten: shared.unwritten.clone(),
+                id: None,
+                answered: false,
+            },
+            enqueued: Instant::now(),
+        };
+        match shared.queue.try_push(job) {
+            Ok(()) => {
+                shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(PushError::Full(job)) | Err(PushError::Closed(job)) => {
+                // Queue can't take it now: leave the journal record
+                // pending so the *next* restart retries, and answer the
+                // discard handle so it does not count as panicked.
+                shared.stats.recovered.fetch_sub(1, Ordering::Relaxed);
+                job.reply.send(error_response(
+                    "queue_full",
+                    "replay deferred to next start",
+                ));
+            }
+        }
+    }
+}
+
+/// Mark `key` answered in the journal (no-op without one). Called on
+/// every terminal answer for a queued job — success, typed failure,
+/// drain — but *not* when a worker dies mid-job: that job's journal
+/// record stays pending and replays on the next start, which is exactly
+/// the at-least-once retry the `internal` error promises the client.
+fn journal_done(shared: &Shared, key: &str) {
+    if let Some(journal) = &shared.journal {
+        journal.completed(key);
+    }
 }
 
 fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
@@ -394,8 +543,12 @@ fn begin_shutdown(shared: &Arc<Shared>, abort: bool) {
             .drained
             .fetch_add(drained.len() as u64, Ordering::Relaxed);
         for job in drained {
+            // An abort drain is a deliberate answer ("shutting_down"), not
+            // a crash: complete the journal record so the job does not
+            // replay on the next start against the operator's intent.
             job.reply
                 .send(error_response("shutting_down", "job aborted by shutdown"));
+            journal_done(shared, &job.key);
         }
     }
     shared.queue.close();
@@ -418,25 +571,36 @@ fn handle_connection(stream: TcpStream, guard: ConnGuard) {
     // the socket (workers may still be finishing this connection's jobs
     // after the reader sees EOF), so the slot frees only when every
     // accepted job has been answered or dropped.
+    let unwritten = shared.unwritten.clone();
     let spawned = std::thread::Builder::new()
         .name("chipmunk-conn-write".to_string())
         .spawn(move || {
             let _guard = guard;
             let mut writer = writer;
+            // Every message consumed from the channel — written, failed to
+            // write, or drained after a failure — settles one unit of the
+            // global unflushed count that `queue_response` raised.
             while let Ok(doc) = rx.recv() {
                 if faults::armed() && faults::fired(FaultKind::ConnReset) {
                     // Simulate the connection dying just before this
                     // response hit the wire: tear the socket down (the
                     // reader's next read fails too) and drain like a real
                     // write failure.
+                    unwritten.fetch_sub(1, Ordering::AcqRel);
                     let _ = writer.shutdown(std::net::Shutdown::Both);
-                    for _ in rx.iter() {}
+                    for _ in rx.iter() {
+                        unwritten.fetch_sub(1, Ordering::AcqRel);
+                    }
                     break;
                 }
-                if write_line(&mut writer, &doc).is_err() {
+                let written = write_line(&mut writer, &doc);
+                unwritten.fetch_sub(1, Ordering::AcqRel);
+                if written.is_err() {
                     // Client gone: stop writing, but keep draining so
                     // worker sends land somewhere until their handles drop.
-                    for _ in rx.iter() {}
+                    for _ in rx.iter() {
+                        unwritten.fetch_sub(1, Ordering::AcqRel);
+                    }
                     break;
                 }
             }
@@ -512,7 +676,7 @@ fn handle_line(
             // the client sees the ack even as the server tears down.
             let mode = if abort { "abort" } else { "drain" };
             let ack = Json::obj([("ok", Json::Bool(true)), ("stopping", Json::from(mode))]);
-            let _ = tx.send(with_id(ack, id));
+            queue_response(&shared.unwritten, tx, with_id(ack, id));
             begin_shutdown(shared, abort);
             return;
         }
@@ -520,8 +684,83 @@ fn handle_line(
             start_compile(shared, &program, &options, tx, pending, id);
             return;
         }
+        Ok(Request::Poll { program, options }) => poll_response(shared, &program, &options),
     };
-    let _ = tx.send(with_id(response, id));
+    queue_response(&shared.unwritten, tx, with_id(response, id));
+}
+
+/// Serve-side certification: re-check a result *document* (cache hit,
+/// name-remapped twin, or freshly encoded) against the submitted program
+/// by differential execution before it leaves the daemon. The grid is
+/// reconstructed from the document's shape plus the requester's ALU
+/// specs — sound because those specs are part of the cache key. Runs
+/// under panic isolation: certification is the last line of defense
+/// against corrupted documents, so even a panic in the decoder must
+/// become a typed refusal, not a dead reader thread.
+fn certify_wire(program: &Program, opts: &CompilerOptions, doc: &Json) -> Result<(), String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let wire = decode_result(doc)?;
+        let grid = GridSpec {
+            stages: wire.stages,
+            slots: wire.slots,
+            stateless: opts.stateless.clone(),
+            stateful: opts.stateful.clone(),
+        };
+        certify_config(
+            program,
+            &CertifyRequest {
+                grid: &grid,
+                pipeline: &wire.pipeline,
+                field_to_container: &wire.field_to_container,
+                counterexamples: &wire.counterexamples,
+                width: opts.cegis.verify_width,
+                domain_width: opts.cegis.domain_width,
+                samples: chipmunk::certify::DEFAULT_SAMPLES,
+                seed: opts.cegis.seed ^ SERVE_CERT_SEED_SALT,
+            },
+        )
+        .map(|_| ())
+    }))
+    .unwrap_or_else(|_| Err("certification panicked on this document".to_string()))
+}
+
+/// Apply the `corrupt` fault (bit-flip a cached document before it is
+/// served) when armed — the chaos hook certification must catch.
+fn maybe_corrupt(doc: Json) -> Json {
+    if faults::armed() && faults::fired(FaultKind::CacheCorrupt) {
+        faults::corrupt_doc(&doc)
+    } else {
+        doc
+    }
+}
+
+/// Certify a cache-served document; on failure, quarantine the entry
+/// from both cache tiers and count it. Returns whether the document may
+/// be served.
+fn certify_served(
+    shared: &Arc<Shared>,
+    program: &Program,
+    opts: &CompilerOptions,
+    key: &str,
+    doc: &Json,
+) -> bool {
+    match certify_wire(program, opts, doc) {
+        Ok(()) => {
+            shared.stats.certified.fetch_add(1, Ordering::Relaxed);
+            true
+        }
+        Err(why) => {
+            shared.stats.uncertified.fetch_add(1, Ordering::Relaxed);
+            chipmunk_trace::counter_add!("serve.certify.failed", 1);
+            if shared.cache.remove(key) {
+                shared.stats.quarantined.fetch_add(1, Ordering::Relaxed);
+                chipmunk_trace::counter_add!("serve.cache.quarantined", 1);
+            }
+            let mut sp = chipmunk_trace::span!("serve.quarantine", key = key);
+            sp.record("reason", why.as_str());
+            false
+        }
+    }
 }
 
 /// The reader-side half of a compile: parse, check the cache, enqueue.
@@ -537,7 +776,7 @@ fn start_compile(
     id: Option<Json>,
 ) {
     let answer = |resp: Json, id: Option<Json>| {
-        let _ = tx.send(with_id(resp, id));
+        queue_response(&shared.unwritten, tx, with_id(resp, id));
     };
     // Watchdog: every compile request checks the pool, not just the ones
     // that reach the queue — otherwise a stream of cache hits would never
@@ -561,8 +800,13 @@ fn start_compile(
         .cache
         .get_adapted(&key, |cached| remap_result(&cached, &fields, &states))
     {
-        shared.stats.served_cached.fetch_add(1, Ordering::Relaxed);
-        return answer(success_response(&key, true, 0, 0, result), id);
+        let result = maybe_corrupt(result);
+        if certify_served(shared, &program, &opts, &key, &result) {
+            shared.stats.served_cached.fetch_add(1, Ordering::Relaxed);
+            return answer(success_response(&key, true, 0, 0, result), id);
+        }
+        // Certification failed: the entry is quarantined, and the request
+        // falls through to the queue — one retry, compiled from scratch.
     }
     if shared.stopping.load(Ordering::Relaxed) {
         return answer(
@@ -583,11 +827,17 @@ fn start_compile(
             tx: tx.clone(),
             pending: pending.clone(),
             stats: shared.stats.clone(),
+            unwritten: shared.unwritten.clone(),
             id,
             answered: false,
         },
         enqueued: Instant::now(),
     };
+    // Write-ahead: the journal must know about the job before the queue
+    // does, or a crash between the two loses it.
+    if let Some(journal) = &shared.journal {
+        journal.accepted(&job.key, source, options);
+    }
     match shared.queue.try_push(job) {
         Ok(()) => {
             shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
@@ -601,12 +851,56 @@ fn start_compile(
                 "queue_full",
                 &format!("queue at capacity ({capacity}); retry later"),
             ));
+            // A refusal is a terminal answer: nothing is owed, so the
+            // write-ahead record completes immediately.
+            journal_done(shared, &job.key);
         }
         Err(PushError::Closed(job)) => {
             job.reply
                 .send(error_response("shutting_down", "server is shutting down"));
+            journal_done(shared, &job.key);
         }
     }
+}
+
+/// The `poll` op: a cache-only lookup for a compile-shaped request.
+/// Never enqueues — the response is `found:false` when the result is not
+/// (yet) available. This is how a client whose daemon was killed collects
+/// the answer after the journal replay recompiles it. Polled results go
+/// through the same certification gate as every other served document.
+fn poll_response(shared: &Arc<Shared>, source: &str, options: &JobOptions) -> Json {
+    let program = match parse(source) {
+        Ok(p) => p,
+        Err(e) => return error_response("parse", &format!("program: {e}")),
+    };
+    let opts = match options.to_compiler_options() {
+        Ok(o) => o,
+        Err(e) => return error_response("bad_request", &e),
+    };
+    let key = cache_key(&program, &opts);
+    let (fields, states) = layout_names(&program);
+    if let Some(result) = shared
+        .cache
+        .get_adapted(&key, |cached| remap_result(&cached, &fields, &states))
+    {
+        let result = maybe_corrupt(result);
+        if certify_served(shared, &program, &opts, &key, &result) {
+            shared.stats.served_cached.fetch_add(1, Ordering::Relaxed);
+            return Json::obj([
+                ("ok", Json::Bool(true)),
+                ("found", Json::Bool(true)),
+                ("key", Json::from(key.as_str())),
+                ("cached", Json::Bool(true)),
+                ("result", result),
+            ]);
+        }
+        // Quarantined: report not-found so the client resubmits.
+    }
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("found", Json::Bool(false)),
+        ("key", Json::from(key.as_str())),
+    ])
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
@@ -638,18 +932,24 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
         shared.stats.drained.fetch_add(1, Ordering::Relaxed);
         job.reply
             .send(error_response("shutting_down", "job aborted by shutdown"));
+        journal_done(shared, &job.key);
         return;
     }
-    // A twin of this job may have been compiled while it queued.
+    // A twin of this job may have been compiled while it queued. Like
+    // every cache serve, the hit is certified first; a corrupt entry is
+    // quarantined and this worker falls through to compile from scratch.
     if let Some(result) = shared
         .cache
         .peek(&job.key)
         .and_then(|cached| remap_result(&cached, &job.fields, &job.states))
+        .map(maybe_corrupt)
+        .filter(|doc| certify_served(shared, &job.program, &job.opts, &job.key, doc))
     {
         shared.stats.completed.fetch_add(1, Ordering::Relaxed);
         shared.stats.served_cached.fetch_add(1, Ordering::Relaxed);
         job.reply
             .send(success_response(&job.key, true, 0, wait_ms, result));
+        journal_done(shared, &job.key);
         return;
     }
     if faults::armed() && faults::fired(FaultKind::SolverStall) {
@@ -680,11 +980,29 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
         .fetch_max(synth_ms, Ordering::Relaxed);
     let response = match res {
         Ok(Ok(out)) => {
-            shared.stats.completed.fetch_add(1, Ordering::Relaxed);
-            sp.record("result", "ok");
+            // `compile` certified the in-memory result; certifying the
+            // *encoded* document additionally covers the wire/cache
+            // serialization path, so what enters the cache is exactly
+            // what was proven.
             let result = result_doc(&out, &job.fields, &job.states);
-            shared.cache.put(&job.key, &result);
-            success_response(&job.key, false, synth_ms, wait_ms, result)
+            match certify_wire(&job.program, &job.opts, &result) {
+                Ok(()) => {
+                    shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                    shared.stats.certified.fetch_add(1, Ordering::Relaxed);
+                    sp.record("result", "ok");
+                    shared.cache.put(&job.key, &result);
+                    success_response(&job.key, false, synth_ms, wait_ms, result)
+                }
+                Err(why) => {
+                    shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                    shared.stats.uncertified.fetch_add(1, Ordering::Relaxed);
+                    sp.record("result", "uncertified");
+                    error_response(
+                        "uncertified",
+                        &format!("result failed certification: {why}"),
+                    )
+                }
+            }
         }
         Ok(Err(e)) => {
             shared.stats.failed.fetch_add(1, Ordering::Relaxed);
@@ -710,6 +1028,11 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
         }
     };
     job.reply.send(response);
+    // Completed strictly after the answer is on the reply channel: a
+    // crash between the two replays an already-answered job (harmless
+    // recompute into the cache) instead of silently dropping an
+    // unanswered one.
+    journal_done(shared, &job.key);
 }
 
 fn success_response(key: &str, cached: bool, synth_ms: u64, wait_ms: u64, result: Json) -> Json {
@@ -799,6 +1122,32 @@ fn stats_response(shared: &Shared) -> Json {
         (
             "wait_ms_total",
             Json::from(s.wait_ms_total.load(Ordering::Relaxed)),
+        ),
+        ("recovered", Json::from(s.recovered.load(Ordering::Relaxed))),
+        ("certified", Json::from(s.certified.load(Ordering::Relaxed))),
+        (
+            "uncertified",
+            Json::from(s.uncertified.load(Ordering::Relaxed)),
+        ),
+        (
+            "quarantined",
+            Json::from(s.quarantined.load(Ordering::Relaxed)),
+        ),
+        (
+            "journal_pending",
+            shared
+                .journal
+                .as_ref()
+                .map(|j| Json::from(j.pending_len()))
+                .unwrap_or(Json::Null),
+        ),
+        (
+            "journal_errors",
+            shared
+                .journal
+                .as_ref()
+                .map(|j| Json::from(j.errors()))
+                .unwrap_or(Json::Null),
         ),
     ])
 }

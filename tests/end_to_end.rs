@@ -30,6 +30,7 @@ fn fast_chipmunk_opts(b: &chipmunk_suite::bench::Benchmark) -> CompilerOptions {
             deadline: None,
             seed: 99,
             domain_width: None,
+            budget: chipmunk_suite::sat::ResourceBudget::UNLIMITED,
         },
         timeout: Some(std::time::Duration::from_secs(240)),
         parallel: false,
