@@ -8,11 +8,13 @@
 //! chipmunkc superopt <file> [--imm N] [--width W] [--max-len L] [--full-alu] [--trace OUT.jsonl]
 //! chipmunkc run      <file> [--template T] [--packets N] [--width W] [--trace CSV]
 //! chipmunkc trace-report <file.jsonl>
-//! chipmunkc serve    [--addr H:P] [--workers N] [--queue-cap N] [--cache-dir DIR] [--cache-max-entries N] [--max-conns N] [--idle-timeout S] [--trace OUT.jsonl]
-//! chipmunkc submit   <file> [--addr H:P] [--template T] [--imm N] [--width W] [--max-stages K] [--timeout S] [--parallel] [--json]
-//! chipmunkc submit   --batch <file>... [--addr H:P] [shared compile flags] [--json]
+//! chipmunkc serve    [--addr H:P] [--workers N] [--queue-cap N] [--cache-dir DIR] [--cache-max-entries N] [--max-conns N] [--idle-timeout S] [--metrics-addr H:P] [--slow-ms N] [--trace OUT.jsonl]
+//! chipmunkc submit   <file> [--addr H:P] [--template T] [--imm N] [--width W] [--max-stages K] [--timeout S] [--parallel] [--trace ID] [--json]
+//! chipmunkc submit   --batch <file>... [--addr H:P] [shared compile flags] [--progress] [--json]
 //! chipmunkc submit   --status | --stats | --shutdown | --shutdown-now [--addr H:P]
 //! chipmunkc cache    [--stats | --compact | --clear] [--addr H:P]
+//! chipmunkc trace    --job <trace-id> [--addr H:P] [--json]
+//! chipmunkc top      [--addr H:P] [--watch SECS] [--json]
 //! ```
 //!
 //! `compile --trace OUT.jsonl` records a structured execution trace of the
@@ -29,10 +31,20 @@
 //! `submit --batch` pipelines every listed file over one connection —
 //! each request carries an `id`, responses stream back in completion
 //! order, and the results are reassembled into input order — so a whole
-//! mutation suite costs one round of connection setup. `cache` inspects
-//! or maintains the running server's result cache (`--compact` rewrites
-//! `results.jsonl` down to the retained entries; `--clear` empties both
-//! tiers).
+//! mutation suite costs one round of connection setup (`--progress`
+//! prints a running done/cached/failed tally to stderr). `cache`
+//! inspects or maintains the running server's result cache (`--compact`
+//! rewrites `results.jsonl` down to the retained entries; `--clear`
+//! empties both tiers).
+//!
+//! The daemon's telemetry plane: `serve --metrics-addr H:P` exposes
+//! Prometheus text exposition at `/metrics`; `serve --slow-ms N` dumps
+//! the span tree of any job slower than N ms to stderr. `submit --trace
+//! ID` tags a submission with a caller-chosen trace id (the server
+//! assigns one otherwise — every response carries it back); `trace
+//! --job ID` prints that job's buffered span tree from the daemon, and
+//! `top` renders live latency percentiles, outcome counts, cache hit
+//! rate, and solver totals (`--watch SECS` refreshes in a loop).
 //!
 //! `<file>` holds a packet transaction in the Domino dialect. Templates:
 //! `raw`, `pred_raw`, `if_else_raw` (default), `sub`, `nested_ifs`.
@@ -73,6 +85,7 @@ impl Args {
                         | "batch"
                         | "compact"
                         | "clear"
+                        | "progress"
                 ) {
                     flags.push((name.to_string(), String::new()));
                 } else {
@@ -142,7 +155,7 @@ fn load(path: &str) -> Result<Program, String> {
 }
 
 fn usage() -> String {
-    "usage: chipmunkc <compile|domino|repair|mutate|superopt|run|trace-report|serve|submit|cache> <file> [options]\n\
+    "usage: chipmunkc <compile|domino|repair|mutate|superopt|run|trace-report|serve|submit|cache|trace|top> <file> [options]\n\
      see `chipmunkc help` or the crate docs for options"
         .to_string()
 }
@@ -174,6 +187,8 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&args),
         "submit" => cmd_submit(&args),
         "cache" => cmd_cache(&args),
+        "trace" => cmd_trace(&args),
+        "top" => cmd_top(&args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -283,6 +298,12 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             secs => Some(Duration::from_secs(secs)),
         },
         journal_dir: args.get("journal-dir").map(std::path::PathBuf::from),
+        metrics_addr: args.get("metrics-addr").map(str::to_string),
+        // 0 = never; anything else dumps span trees of slower jobs.
+        slow_ms: match args.num("slow-ms", 0u64)? {
+            0 => None,
+            ms => Some(ms),
+        },
     };
     let handle =
         chipmunk_serve::start(&config).map_err(|e| format!("bind {}: {e}", config.addr))?;
@@ -297,6 +318,10 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             .map(|p| p.display().to_string())
             .unwrap_or_else(|| "in-memory".to_string()),
     );
+    // Separate line: restart supervisors parse the `listening on` prefix.
+    if let Some(metrics) = handle.metrics_addr() {
+        eprintln!("chipmunk-serve metrics on http://{metrics}/metrics");
+    }
     handle.join();
     chipmunk_trace::flush();
     eprintln!("chipmunk-serve stopped");
@@ -384,9 +409,25 @@ fn cmd_submit_batch(args: &Args, addr: &str) -> Result<(), String> {
     }
     if !programs.is_empty() {
         let mut client = chipmunk_serve::RetryingClient::new(addr, retry_policy(args)?);
-        let responses = client
-            .pipeline(&programs, &options)
-            .map_err(|e| format!("{addr}: {e} (is `chipmunkc serve` running?)"))?;
+        let responses = if args.has("progress") {
+            client.pipeline_with_progress(&programs, &options, |p| {
+                eprintln!(
+                    "progress: {}/{} done ({} cached, {} failed{})",
+                    p.done,
+                    p.total,
+                    p.cached,
+                    p.failed,
+                    if p.retries > 0 {
+                        format!(", {} retried", p.retries)
+                    } else {
+                        String::new()
+                    },
+                );
+            })
+        } else {
+            client.pipeline(&programs, &options)
+        }
+        .map_err(|e| format!("{addr}: {e} (is `chipmunkc serve` running?)"))?;
         if client.retries() > 0 {
             eprintln!("(retried {} transient failure(s))", client.retries());
         }
@@ -489,14 +530,25 @@ fn cmd_submit(args: &Args) -> Result<(), String> {
         let path = file_arg(args)?;
         let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         let options = submit_options(args)?;
-        let mut client = chipmunk_serve::RetryingClient::new(addr, retry_policy(args)?);
-        let resp = client
-            .compile(&source, &options)
-            .map_err(|e| format!("{addr}: {e} (is `chipmunkc serve` running?)"))?;
-        if client.retries() > 0 {
-            eprintln!("(retried {} transient failure(s))", client.retries());
+        if let Some(trace_id) = args.get("trace") {
+            // A caller-chosen trace id pins one submission to one server
+            // span tree, so retrying under the same id would conflate
+            // attempts — this path submits exactly once.
+            let mut client = chipmunk_serve::Client::connect(addr)
+                .map_err(|e| format!("connect {addr}: {e} (is `chipmunkc serve` running?)"))?;
+            client
+                .compile_traced(&source, options, Some(trace_id))
+                .map_err(|e| format!("{addr}: {e}"))?
+        } else {
+            let mut client = chipmunk_serve::RetryingClient::new(addr, retry_policy(args)?);
+            let resp = client
+                .compile(&source, &options)
+                .map_err(|e| format!("{addr}: {e} (is `chipmunkc serve` running?)"))?;
+            if client.retries() > 0 {
+                eprintln!("(retried {} transient failure(s))", client.retries());
+            }
+            resp
         }
-        resp
     };
     if response.get("ok").and_then(Json::as_bool) != Some(true) {
         return Err(format!(
@@ -513,17 +565,204 @@ fn cmd_submit(args: &Args) -> Result<(), String> {
     }
     if let Some(cached) = response.get("cached").and_then(Json::as_bool) {
         eprintln!(
-            "{} in {} ms (queued {} ms), key {}",
+            "{} in {} ms (queued {} ms), key {}, trace {}",
             if cached { "cache hit" } else { "compiled" },
             response.get("synth_ms").and_then(Json::as_u64).unwrap_or(0),
             response.get("wait_ms").and_then(Json::as_u64).unwrap_or(0),
             response.get("key").and_then(Json::as_str).unwrap_or("?"),
+            response.get("trace").and_then(Json::as_str).unwrap_or("?"),
         );
     }
     if args.has("json") || response.get("cached").is_none() {
         println!("{}", response.to_pretty());
     }
     Ok(())
+}
+
+/// Render one span-tree node as an indented line plus its events, then
+/// recurse into its children. `fields` are the open-time annotations,
+/// `close_fields` (after `=>`) the ones recorded at close; a node with
+/// no `dur_us` is still open (or its close expired from the ring).
+fn render_span_tree(node: &Json, depth: usize) {
+    let pad = "  ".repeat(depth);
+    let name = node.get("span").and_then(Json::as_str).unwrap_or("?");
+    let dur = match node.get("dur_us").and_then(Json::as_u64) {
+        Some(us) => format!("{:.1} ms", us as f64 / 1000.0),
+        None => "open".to_string(),
+    };
+    let mut line = format!("{pad}{name} [{dur}]");
+    if let Some(f) = node.get("fields") {
+        line.push(' ');
+        line.push_str(&f.to_compact());
+    }
+    if let Some(f) = node.get("close_fields") {
+        line.push_str(" => ");
+        line.push_str(&f.to_compact());
+    }
+    println!("{line}");
+    if let Some(Json::Arr(events)) = node.get("events") {
+        for ev in events {
+            println!(
+                "{pad}  · {} {}",
+                ev.get("span").and_then(Json::as_str).unwrap_or("?"),
+                ev.get("fields").map(Json::to_compact).unwrap_or_default(),
+            );
+        }
+    }
+    if let Some(Json::Arr(children)) = node.get("children") {
+        for child in children {
+            render_span_tree(child, depth + 1);
+        }
+    }
+}
+
+/// `chipmunkc trace --job <trace-id>`: fetch the buffered span tree for
+/// one job from the daemon's trace ring and print it indented (or raw
+/// with `--json`).
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    let addr = args.get("addr").unwrap_or(SERVE_ADDR);
+    let trace_id = args
+        .get("job")
+        .ok_or_else(|| "trace needs --job <trace-id>".to_string())?;
+    let mut client = chipmunk_serve::Client::connect(addr)
+        .map_err(|e| format!("connect {addr}: {e} (is `chipmunkc serve` running?)"))?;
+    let response = client.trace(trace_id).map_err(|e| format!("{addr}: {e}"))?;
+    if response.get("ok").and_then(Json::as_bool) != Some(true) {
+        return Err(format!(
+            "server: {} ({})",
+            response
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap_or("request failed"),
+            response
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown"),
+        ));
+    }
+    if response.get("found").and_then(Json::as_bool) != Some(true) {
+        return Err(format!(
+            "no buffered spans for trace id `{trace_id}` (expired from the ring, or never seen)"
+        ));
+    }
+    let tree = response
+        .get("tree")
+        .ok_or_else(|| "server sent no span tree".to_string())?;
+    if args.has("json") {
+        println!("{}", tree.to_pretty());
+    } else {
+        println!("trace {trace_id}");
+        render_span_tree(tree, 0);
+    }
+    Ok(())
+}
+
+/// One `top` frame: latency percentiles per stage, outcome counts,
+/// cache hit rate, solver totals, and the daemon's queue state.
+fn render_top(resp: &Json) {
+    let count = |doc: &Json, key: &str| doc.get(key).and_then(Json::as_u64).unwrap_or(0);
+    println!(
+        "jobs: {} submitted, {} completed, {} failed, {} served from cache",
+        count(resp, "submitted"),
+        count(resp, "completed"),
+        count(resp, "failed"),
+        count(resp, "served_cached"),
+    );
+    let hit_rate = match resp.get("cache_hit_rate").and_then(Json::as_f64) {
+        Some(r) => format!("{:.1}%", r * 100.0),
+        None => "n/a".to_string(),
+    };
+    println!(
+        "queue: {} deep, {} in flight; cache hit rate {}",
+        count(resp, "queue_depth"),
+        count(resp, "in_flight"),
+        hit_rate,
+    );
+    if let Some(outcomes) = resp.get("outcomes") {
+        println!(
+            "outcomes: fresh={} cached={} remapped={} failed={}",
+            count(outcomes, "fresh"),
+            count(outcomes, "cached"),
+            count(outcomes, "remapped"),
+            count(outcomes, "failed"),
+        );
+    }
+    println!(
+        "{:<12} {:>8} {:>10} {:>10} {:>10}",
+        "latency", "count", "p50", "p95", "p99"
+    );
+    let ms = |summary: &Json, key: &str| match summary.get(key).and_then(Json::as_u64) {
+        Some(us) => format!("{:.1} ms", us as f64 / 1000.0),
+        None => "-".to_string(),
+    };
+    for stage in ["queue_wait", "compile", "certify", "remap", "e2e"] {
+        match resp.get("stages").and_then(|s| s.get(stage)) {
+            Some(summary) if !matches!(summary, Json::Null) => println!(
+                "{:<12} {:>8} {:>10} {:>10} {:>10}",
+                stage,
+                count(summary, "count"),
+                ms(summary, "p50_us"),
+                ms(summary, "p95_us"),
+                ms(summary, "p99_us"),
+            ),
+            _ => println!("{stage:<12} {:>8} {:>10} {:>10} {:>10}", 0, "-", "-", "-"),
+        }
+    }
+    if let Some(solver) = resp.get("solver") {
+        println!(
+            "solver: {} conflicts, {} propagations, {} clause bytes, {} budget trips",
+            count(solver, "conflicts"),
+            count(solver, "propagations"),
+            count(solver, "clause_bytes"),
+            count(solver, "budget_trips"),
+        );
+    }
+    match resp.get("metrics_addr").and_then(Json::as_str) {
+        Some(addr) => println!("metrics: http://{addr}/metrics"),
+        None => println!("metrics: disabled"),
+    }
+    println!(
+        "trace ring: {} span record(s) buffered, {} dropped",
+        count(resp, "trace_buffered"),
+        count(resp, "trace_dropped"),
+    );
+}
+
+/// `chipmunkc top`: render the daemon's `telemetry` op — latency SLO
+/// percentiles, outcome counts, cache hit rate, and solver totals.
+/// `--watch SECS` reconnects and redraws in a loop.
+fn cmd_top(args: &Args) -> Result<(), String> {
+    let addr = args.get("addr").unwrap_or(SERVE_ADDR);
+    let watch: u64 = args.num("watch", 0)?;
+    loop {
+        let mut client = chipmunk_serve::Client::connect(addr)
+            .map_err(|e| format!("connect {addr}: {e} (is `chipmunkc serve` running?)"))?;
+        let response = client.telemetry().map_err(|e| format!("{addr}: {e}"))?;
+        if response.get("ok").and_then(Json::as_bool) != Some(true) {
+            return Err(format!(
+                "server: {} ({})",
+                response
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("request failed"),
+                response
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown"),
+            ));
+        }
+        if args.has("json") {
+            println!("{}", response.to_pretty());
+        } else {
+            println!("chipmunk-serve @ {addr}");
+            render_top(&response);
+        }
+        if watch == 0 {
+            return Ok(());
+        }
+        println!();
+        std::thread::sleep(Duration::from_secs(watch));
+    }
 }
 
 fn cmd_trace_report(args: &Args) -> Result<(), String> {

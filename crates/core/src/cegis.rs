@@ -101,6 +101,14 @@ pub struct CegisStats {
     pub total_time: Duration,
     /// Conflicts spent by the synthesis solver.
     pub synth_conflicts: u64,
+    /// Unit propagations performed by the synthesis solver.
+    pub synth_propagations: u64,
+    /// Live clause-literal bytes held by the synthesis solver at the end
+    /// of the run (original + learnt), the quantity bounded by
+    /// `ResourceBudget::clause_bytes`.
+    pub clause_bytes: u64,
+    /// Resource-budget ceilings tripped by the synthesis solver.
+    pub budget_trips: u64,
 }
 
 /// A successful synthesis result.
@@ -321,7 +329,11 @@ pub fn synthesize_with_cancel(
         }
         drop(synth_sp);
         stats.synth_time += t0.elapsed();
-        stats.synth_conflicts = solver.stats().conflicts;
+        let solver_stats = solver.stats();
+        stats.synth_conflicts = solver_stats.conflicts;
+        stats.synth_propagations = solver_stats.propagations;
+        stats.budget_trips = solver_stats.budget_trips;
+        stats.clause_bytes = solver.clause_bytes();
         let hole_values: Vec<u64> = match res {
             SolveResult::Unsat => return Err(SynthesisError::Infeasible),
             SolveResult::Unknown => {

@@ -75,6 +75,10 @@ pub struct SolverStats {
     pub learnts: u64,
     /// Number of learnt clauses deleted by database reduction.
     pub deleted: u64,
+    /// Number of times a [`ResourceBudget`] ceiling ended or weakened a
+    /// solve (conflict/propagation ceilings hit, or a clause dropped or
+    /// refused by the byte ceiling).
+    pub budget_trips: u64,
 }
 
 const REASON_NONE: u32 = u32::MAX;
@@ -304,6 +308,7 @@ impl Solver {
                     // `Unsat` stays sound; `solve` reports `Unknown`
                     // instead of `Sat` from now on.
                     self.budget_exceeded = true;
+                    self.stats.budget_trips += 1;
                     return true;
                 }
                 self.attach_clause(simplified, false, 0);
@@ -364,6 +369,10 @@ impl Solver {
                 d(self.stats.propagations, before.propagations)
             );
             chipmunk_trace::counter_add!("sat.solves", 1);
+            chipmunk_trace::counter_add!(
+                "sat.budget_trips",
+                d(self.stats.budget_trips, before.budget_trips)
+            );
         }
         res
     }
@@ -830,6 +839,7 @@ impl Solver {
                             // Not sticky: a learnt clause is implied, so
                             // skipping it leaves the formula intact and a
                             // roomier budget can retry later.
+                            self.stats.budget_trips += 1;
                             return Some(SolveResult::Unknown);
                         }
                     }
@@ -843,6 +853,7 @@ impl Solver {
                 self.decay_clause_activity();
 
                 if self.work_over_budget(budget_start, prop_start) {
+                    self.stats.budget_trips += 1;
                     return Some(SolveResult::Unknown);
                 }
                 if conflicts_here.is_multiple_of(1024) {
@@ -862,6 +873,7 @@ impl Solver {
                 // No conflict. The propagation ceiling must be polled here
                 // too: a conflict-free solve would otherwise never see it.
                 if self.work_over_budget(budget_start, prop_start) {
+                    self.stats.budget_trips += 1;
                     return Some(SolveResult::Unknown);
                 }
                 if self.num_learnts as f64 > self.max_learnts {

@@ -66,11 +66,42 @@ impl Client {
     /// Submit a program for compilation. `options` is the request's
     /// `options` object (pass `Json::Obj(vec![])` for server defaults).
     pub fn compile(&mut self, program: &str, options: Json) -> std::io::Result<Json> {
-        self.request(&Json::obj([
+        self.compile_traced(program, options, None)
+    }
+
+    /// Submit a program with a client-chosen trace id. The server echoes
+    /// it on the response, stamps it on the job's span tree (query with
+    /// [`trace`](Client::trace)), and journals it with the job.
+    pub fn compile_traced(
+        &mut self,
+        program: &str,
+        options: Json,
+        trace: Option<&str>,
+    ) -> std::io::Result<Json> {
+        let mut pairs = vec![
             ("op", Json::from("compile")),
             ("program", Json::from(program)),
             ("options", options),
+        ];
+        if let Some(trace) = trace {
+            pairs.push(("trace", Json::from(trace)));
+        }
+        self.request(&Json::obj(pairs))
+    }
+
+    /// Fetch the buffered span tree for a job's trace id (`found:false`
+    /// when the server's ring buffer no longer holds it).
+    pub fn trace(&mut self, trace_id: &str) -> std::io::Result<Json> {
+        self.request(&Json::obj([
+            ("op", Json::from("trace")),
+            ("trace", Json::from(trace_id)),
         ]))
+    }
+
+    /// Fetch the live telemetry summary: per-stage latency percentiles,
+    /// per-outcome job counts, cache hit rate, and solver gauges.
+    pub fn telemetry(&mut self) -> std::io::Result<Json> {
+        self.request(&Json::obj([("op", Json::from("telemetry"))]))
     }
 
     /// Poll for a compile-shaped request's result without enqueueing a
@@ -248,8 +279,21 @@ impl RetryingClient {
     /// terminal response per program. After a connection reset, only the
     /// still-unanswered jobs are resubmitted.
     pub fn pipeline(&mut self, programs: &[String], options: &Json) -> std::io::Result<Vec<Json>> {
+        self.pipeline_with_progress(programs, options, |_| {})
+    }
+
+    /// [`pipeline`](RetryingClient::pipeline), reporting progress after
+    /// every pass: the callback sees the terminal-answer tally so far
+    /// (jobs cleared for retry are not counted until they settle).
+    pub fn pipeline_with_progress(
+        &mut self,
+        programs: &[String],
+        options: &Json,
+        mut progress: impl FnMut(BatchProgress),
+    ) -> std::io::Result<Vec<Json>> {
         let mut answers: Vec<Option<Json>> = (0..programs.len()).map(|_| None).collect();
         let mut attempt = 0u32;
+        let mut reported = usize::MAX;
         loop {
             let pending: Vec<usize> = answers
                 .iter()
@@ -272,6 +316,11 @@ impl RetryingClient {
                     }
                 }
             }
+            let snapshot = BatchProgress::tally(&answers, self.retries);
+            if snapshot.done != reported {
+                reported = snapshot.done;
+                progress(snapshot);
+            }
             match pass {
                 Ok(()) if !need_retry => break,
                 Ok(()) => {}
@@ -291,6 +340,48 @@ impl RetryingClient {
             .into_iter()
             .map(|a| a.unwrap_or(Json::Null))
             .collect())
+    }
+}
+
+/// A snapshot of a pipelined batch, handed to the progress callback of
+/// [`RetryingClient::pipeline_with_progress`] after each pass.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchProgress {
+    /// Jobs with a terminal answer.
+    pub done: usize,
+    /// Jobs in the batch.
+    pub total: usize,
+    /// Terminal successes served from the cache.
+    pub cached: usize,
+    /// Terminal failures.
+    pub failed: usize,
+    /// Transport retries performed so far.
+    pub retries: u64,
+}
+
+impl BatchProgress {
+    fn tally(answers: &[Option<Json>], retries: u64) -> BatchProgress {
+        let mut done = 0;
+        let mut cached = 0;
+        let mut failed = 0;
+        for a in answers.iter().flatten() {
+            done += 1;
+            match a.get("ok").and_then(Json::as_bool) {
+                Some(true) => {
+                    if a.get("cached").and_then(Json::as_bool) == Some(true) {
+                        cached += 1;
+                    }
+                }
+                _ => failed += 1,
+            }
+        }
+        BatchProgress {
+            done,
+            total: answers.len(),
+            cached,
+            failed,
+            retries,
+        }
     }
 }
 

@@ -15,7 +15,10 @@
 //!   before a response write, exercising client retry,
 //! * **cache corruption** — a cached result document is bit-flipped just
 //!   before it would be served, exercising result certification and
-//!   cache quarantine.
+//!   cache quarantine,
+//! * **metrics I/O errors** — the telemetry HTTP listener drops a scrape
+//!   connection, proving a broken metrics socket degrades to stats-only
+//!   without touching compile traffic.
 //!
 //! # Plan syntax
 //!
@@ -31,7 +34,7 @@
 //!   drawn from a [`Xoshiro256`] stream seeded by `seed` (default 0).
 //! * `stall_ms=N` — duration of an injected stall (default 50 ms).
 //! * Kinds: `panic`, `worker_death`, `cache_io`, `stall`, `reset`,
-//!   `corrupt`.
+//!   `corrupt`, `metrics_io`.
 //!
 //! Plans are installed from the `CHIPMUNK_FAULTS` environment variable at
 //! server start ([`init_from_env`], which prints the active plan and seed
@@ -65,9 +68,11 @@ pub enum FaultKind {
     ConnReset,
     /// Bit-flip a cached result document before it is served.
     CacheCorrupt,
+    /// Drop a metrics-endpoint scrape connection before the response.
+    MetricsIo,
 }
 
-const NUM_KINDS: usize = 6;
+const NUM_KINDS: usize = 7;
 
 impl FaultKind {
     fn index(self) -> usize {
@@ -78,6 +83,7 @@ impl FaultKind {
             FaultKind::SolverStall => 3,
             FaultKind::ConnReset => 4,
             FaultKind::CacheCorrupt => 5,
+            FaultKind::MetricsIo => 6,
         }
     }
 
@@ -89,6 +95,7 @@ impl FaultKind {
             "stall" => FaultKind::SolverStall,
             "reset" => FaultKind::ConnReset,
             "corrupt" => FaultKind::CacheCorrupt,
+            "metrics_io" => FaultKind::MetricsIo,
             _ => return None,
         })
     }
@@ -116,6 +123,7 @@ static STATE: Mutex<State> = Mutex::new(State { plan: None });
 /// Occurrence counters live outside the mutex so `fired` can bump them
 /// without blocking when the probability path is unused.
 static COUNTERS: [AtomicU64; NUM_KINDS] = [
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
@@ -455,6 +463,17 @@ mod tests {
         install("corrupt@0").unwrap();
         assert!(fired(FaultKind::CacheCorrupt));
         assert!(!fired(FaultKind::CacheCorrupt));
+        disarm();
+    }
+
+    #[test]
+    fn metrics_io_kind_parses_and_fires() {
+        let _g = lock();
+        install("metrics_io@0").unwrap();
+        assert!(fired(FaultKind::MetricsIo));
+        assert!(!fired(FaultKind::MetricsIo));
+        // Independent of the compile-path kinds.
+        assert!(!fired(FaultKind::CompilePanic));
         disarm();
     }
 

@@ -11,9 +11,15 @@
 //! Format: `journal.jsonl` in the journal directory, one record per line:
 //!
 //! ```text
-//! {"rec":"accepted","key":"<16 hex>","program":<string>,"options":{…}}
-//! {"rec":"completed","key":"<16 hex>"}
+//! {"rec":"accepted","key":"<16 hex>","program":<string>,"options":{…},"trace":<string>?}
+//! {"rec":"completed","key":"<16 hex>","trace":<string>?}
 //! ```
+//!
+//! The `trace` field is the job's trace id (client-supplied or
+//! server-assigned). It rides both records so a job can be correlated
+//! with its telemetry across a crash: the replayed job keeps the original
+//! trace id, and the `completed` record written by the *next* daemon
+//! still names it.
 //!
 //! Records are keyed by the job's content-addressed cache key, so twin
 //! submissions collapse into one pending entry and one replay. A
@@ -52,6 +58,8 @@ pub struct PendingJob {
     pub program: String,
     /// The submitted compile options.
     pub options: JobOptions,
+    /// Trace id of the original submission, if one was journaled.
+    pub trace: Option<String>,
 }
 
 struct Inner {
@@ -152,6 +160,7 @@ impl Journal {
                         key: key.clone(),
                         program,
                         options,
+                        trace: doc.get("trace").and_then(Json::as_str).map(str::to_string),
                     })
                 })
                 .collect::<Vec<_>>()
@@ -165,14 +174,21 @@ impl Journal {
     }
 
     /// Write-ahead record: `key` was accepted and owes an answer. Fsync'd
-    /// — after this returns, a killed daemon will replay the job.
-    pub fn accepted(&self, key: &str, program: &str, options: &JobOptions) {
-        let doc = Json::obj([
-            ("rec", Json::from("accepted")),
-            ("key", Json::from(key)),
-            ("program", Json::from(program)),
-            ("options", options.to_json()),
-        ]);
+    /// — after this returns, a killed daemon will replay the job. The
+    /// trace id (when given) rides the record so the replayed job keeps
+    /// its correlation across the restart; for twin submissions sharing a
+    /// key, the first accept's trace id wins.
+    pub fn accepted(&self, key: &str, program: &str, options: &JobOptions, trace: Option<&str>) {
+        let mut pairs = vec![
+            ("rec".to_string(), Json::from("accepted")),
+            ("key".to_string(), Json::from(key)),
+            ("program".to_string(), Json::from(program)),
+            ("options".to_string(), options.to_json()),
+        ];
+        if let Some(t) = trace {
+            pairs.push(("trace".to_string(), Json::from(t)));
+        }
+        let doc = Json::Obj(pairs);
         let mut inner = lock(&self.inner);
         if !inner.pending.contains_key(key) {
             let key = key.to_string();
@@ -182,13 +198,21 @@ impl Journal {
         self.append(&mut inner, &doc, true);
     }
 
-    /// Terminal record: `key` has been answered (by any outcome).
+    /// Terminal record: `key` has been answered (by any outcome). The
+    /// record echoes the trace id journaled by the matching `accepted`.
     pub fn completed(&self, key: &str) {
-        let doc = Json::obj([("rec", Json::from("completed")), ("key", Json::from(key))]);
         let mut inner = lock(&self.inner);
-        if inner.pending.remove(key).is_none() {
+        let Some(accepted) = inner.pending.remove(key) else {
             return; // unknown or already-completed key: nothing owed
+        };
+        let mut pairs = vec![
+            ("rec".to_string(), Json::from("completed")),
+            ("key".to_string(), Json::from(key)),
+        ];
+        if let Some(t) = accepted.get("trace").and_then(Json::as_str) {
+            pairs.push(("trace".to_string(), Json::from(t)));
         }
+        let doc = Json::Obj(pairs);
         self.append(&mut inner, &doc, false);
         // Once completed pairs dominate the file, fold them away.
         if inner.lines > 2 * inner.pending.len() as u64 + 16 {
@@ -315,9 +339,9 @@ mod tests {
         {
             let (j, replay) = Journal::open(&dir).unwrap();
             assert!(replay.is_empty());
-            j.accepted("k1", "pkt.a = pkt.b;", &opts_with_width(6));
-            j.accepted("k2", "pkt.c = pkt.d;", &opts_with_width(7));
-            j.accepted("k3", "pkt.e = pkt.f;", &JobOptions::default());
+            j.accepted("k1", "pkt.a = pkt.b;", &opts_with_width(6), Some("t-abc"));
+            j.accepted("k2", "pkt.c = pkt.d;", &opts_with_width(7), None);
+            j.accepted("k3", "pkt.e = pkt.f;", &JobOptions::default(), None);
             j.completed("k2");
         }
         let (j, replay) = Journal::open(&dir).unwrap();
@@ -325,7 +349,9 @@ mod tests {
         assert_eq!(keys, ["k1", "k3"]);
         assert_eq!(replay[0].program, "pkt.a = pkt.b;");
         assert_eq!(replay[0].options.width, Some(6));
+        assert_eq!(replay[0].trace.as_deref(), Some("t-abc"));
         assert_eq!(replay[1].options.width, None);
+        assert_eq!(replay[1].trace, None);
         // Startup compaction dropped the completed pair.
         assert_eq!(j.lines(), 2);
         assert_eq!(j.pending_len(), 2);
@@ -337,8 +363,8 @@ mod tests {
         let dir = tmpdir("dup");
         {
             let (j, _) = Journal::open(&dir).unwrap();
-            j.accepted("k", "pkt.a = pkt.b;", &JobOptions::default());
-            j.accepted("k", "pkt.a = pkt.b;", &JobOptions::default());
+            j.accepted("k", "pkt.a = pkt.b;", &JobOptions::default(), None);
+            j.accepted("k", "pkt.a = pkt.b;", &JobOptions::default(), None);
         }
         let (_, replay) = Journal::open(&dir).unwrap();
         assert_eq!(replay.len(), 1);
@@ -362,7 +388,7 @@ mod tests {
         assert_eq!(replay.len(), 1);
         assert_eq!(replay[0].key, "k1");
         // Journal still accepts new records after the damage.
-        j.accepted("k3", "pkt.x = pkt.y;", &JobOptions::default());
+        j.accepted("k3", "pkt.x = pkt.y;", &JobOptions::default(), None);
         assert_eq!(j.pending_len(), 2);
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -373,12 +399,36 @@ mod tests {
         let (j, _) = Journal::open(&dir).unwrap();
         for i in 0..40 {
             let key = format!("k{i}");
-            j.accepted(&key, "pkt.a = pkt.b;", &JobOptions::default());
+            j.accepted(&key, "pkt.a = pkt.b;", &JobOptions::default(), None);
             j.completed(&key);
         }
         assert!(j.compactions() >= 1);
         assert!(j.lines() <= 18, "journal unbounded: {} lines", j.lines());
         assert_eq!(j.pending_len(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn completed_records_echo_the_accepted_trace_id() {
+        let dir = tmpdir("traceecho");
+        {
+            let (j, _) = Journal::open(&dir).unwrap();
+            j.accepted("k1", "pkt.a = pkt.b;", &JobOptions::default(), Some("t-1"));
+            // Twin submission: the first accept's trace id wins.
+            j.accepted("k1", "pkt.a = pkt.b;", &JobOptions::default(), Some("t-2"));
+            j.completed("k1");
+        }
+        let text = std::fs::read_to_string(dir.join("journal.jsonl")).unwrap();
+        let completed: Vec<Json> = text
+            .lines()
+            .filter_map(|l| Json::parse(l).ok())
+            .filter(|d| d.get("rec").and_then(Json::as_str) == Some("completed"))
+            .collect();
+        assert_eq!(completed.len(), 1);
+        assert_eq!(
+            completed[0].get("trace").and_then(Json::as_str),
+            Some("t-1")
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -399,7 +449,7 @@ mod tests {
         };
         {
             let (j, _) = Journal::open(&dir).unwrap();
-            j.accepted("k", "pkt.a = pkt.b;", &opts);
+            j.accepted("k", "pkt.a = pkt.b;", &opts, None);
         }
         let (_, replay) = Journal::open(&dir).unwrap();
         let got = &replay[0].options;

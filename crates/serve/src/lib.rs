@@ -39,6 +39,18 @@
 //!   replays unfinished work on restart and clients collect the recovered
 //!   results with the `poll` op.
 //!
+//! * a **live telemetry plane** ([`metrics`], [`trace_store`]): every
+//!   accepted job carries a trace id (client-supplied or server-assigned)
+//!   that is echoed in responses, journaled with both journal records,
+//!   and stamped on the job's `serve.job` span so the nested `cegis.*` /
+//!   `sat.*` spans correlate end to end — across a kill-restart replay.
+//!   Recent spans are ring-buffered in memory and queryable with the
+//!   `trace` protocol op; latency SLO histograms (queue wait, compile,
+//!   certify, remap, end-to-end — labeled by outcome and spec family)
+//!   and solver-cost gauges are served as Prometheus text exposition
+//!   from an optional HTTP endpoint and summarized by the `telemetry`
+//!   protocol op.
+//!
 //! The whole path is instrumented with `chipmunk-trace`: queue depth and
 //! wait time, cache hits/misses, and per-job synthesis time all land in
 //! the same JSONL trace stream as the underlying CEGIS spans.
@@ -61,13 +73,17 @@ pub mod cache;
 pub mod client;
 pub mod faults;
 pub mod journal;
+pub mod metrics;
 pub mod protocol;
 pub mod queue;
 pub mod server;
+pub mod trace_store;
 
 pub use cache::ResultCache;
-pub use client::{Client, RetryPolicy, RetryingClient};
+pub use client::{BatchProgress, Client, RetryPolicy, RetryingClient};
 pub use journal::{Journal, PendingJob};
+pub use metrics::{Family, Outcome, Stage, Telemetry};
 pub use protocol::{CacheAction, Incoming, JobOptions, Request};
 pub use queue::{Bounded, PushError};
 pub use server::{start, ServerConfig, ServerHandle};
+pub use trace_store::TraceStore;

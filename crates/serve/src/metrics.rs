@@ -1,0 +1,621 @@
+//! Daemon telemetry: rolling latency histograms, solver gauges, and a
+//! zero-dependency Prometheus text-exposition endpoint.
+//!
+//! The daemon records one sample per job into a fixed grid of
+//! log-bucketed histograms — stage × outcome × spec family — using the
+//! same power-of-two bucketing as [`chipmunk_trace::metrics`], so
+//! percentile estimates here carry the same guarantee: monotone in `p`
+//! and within one bucket of the exact sample quantile.
+//!
+//! Labels:
+//!
+//! - **stage** — which part of a job's life the sample times:
+//!   `queue_wait` (accepted → popped by a worker), `compile` (the
+//!   synthesis call), `certify` (serve-side certification of the outgoing
+//!   document), `remap` (name-remapping a cached document onto the
+//!   requester's layout), `e2e` (accepted → answer queued).
+//! - **outcome** — `fresh` (compiled by a worker), `cached` (served from
+//!   the cache with the requester's own layout), `remapped` (served from
+//!   a twin's cache entry under different field names), `failed` (any
+//!   error answer).
+//! - **family** — `stateless` (the program touches packet fields only) or
+//!   `stateful` (it reads or writes register state).
+//!
+//! The exposition endpoint is a deliberately tiny hand-rolled HTTP/1.1
+//! listener (`GET /metrics` → `text/plain; version=0.0.4`); everything
+//! else is 404. It runs on its own thread, degrades to stats-only when
+//! the socket cannot be bound (the daemon keeps serving — losing
+//! observability must never cost availability), and is exercised under
+//! fault injection by the `metrics_io` chaos kind.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use chipmunk_trace::json::Json;
+use chipmunk_trace::metrics::percentile_of;
+
+use crate::faults::{self, FaultKind};
+
+/// Number of log2 buckets, matching `chipmunk_trace::metrics::Histogram`:
+/// bucket 0 holds zero, bucket `b` holds values with `b` significant bits.
+const NUM_BUCKETS: usize = 65;
+
+/// The quantiles every summary exposes.
+pub const QUANTILES: [(f64, &str); 3] = [(50.0, "0.5"), (95.0, "0.95"), (99.0, "0.99")];
+
+/// Which part of a job's life a latency sample times.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Stage {
+    /// Accepted (journaled/enqueued) until a worker pops the job.
+    QueueWait,
+    /// The synthesis call itself.
+    Compile,
+    /// Serve-side certification of an outgoing document.
+    Certify,
+    /// Name-remapping a cached document onto the requester's layout.
+    Remap,
+    /// Accepted until the answer is queued to the connection writer.
+    EndToEnd,
+}
+
+/// All stages, in exposition order.
+pub const STAGES: [Stage; 5] = [
+    Stage::QueueWait,
+    Stage::Compile,
+    Stage::Certify,
+    Stage::Remap,
+    Stage::EndToEnd,
+];
+
+impl Stage {
+    /// The `stage` label value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::QueueWait => "queue_wait",
+            Stage::Compile => "compile",
+            Stage::Certify => "certify",
+            Stage::Remap => "remap",
+            Stage::EndToEnd => "e2e",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::QueueWait => 0,
+            Stage::Compile => 1,
+            Stage::Certify => 2,
+            Stage::Remap => 3,
+            Stage::EndToEnd => 4,
+        }
+    }
+}
+
+/// How the job was answered.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// Compiled from scratch by a worker.
+    Fresh,
+    /// Served from the cache with the requester's own field layout.
+    Cached,
+    /// Served from a twin's cache entry under different field names.
+    Remapped,
+    /// Any error answer (uncertified, typed failure, panic).
+    Failed,
+}
+
+/// All outcomes, in exposition order.
+pub const OUTCOMES: [Outcome; 4] = [
+    Outcome::Fresh,
+    Outcome::Cached,
+    Outcome::Remapped,
+    Outcome::Failed,
+];
+
+impl Outcome {
+    /// The `outcome` label value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Outcome::Fresh => "fresh",
+            Outcome::Cached => "cached",
+            Outcome::Remapped => "remapped",
+            Outcome::Failed => "failed",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Outcome::Fresh => 0,
+            Outcome::Cached => 1,
+            Outcome::Remapped => 2,
+            Outcome::Failed => 3,
+        }
+    }
+}
+
+/// Whether the submitted program touches register state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Family {
+    /// Packet fields only.
+    Stateless,
+    /// Reads or writes stateful registers.
+    Stateful,
+}
+
+/// Both families, in exposition order.
+pub const FAMILIES: [Family; 2] = [Family::Stateless, Family::Stateful];
+
+impl Family {
+    /// The `family` label value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Family::Stateless => "stateless",
+            Family::Stateful => "stateful",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Family::Stateless => 0,
+            Family::Stateful => 1,
+        }
+    }
+}
+
+/// One labeled histogram cell: log2 buckets plus an exact sum, all
+/// lock-free (a scrape may tear between buckets and sum, which is the
+/// usual Prometheus contract for concurrently updated summaries).
+struct Cell {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Cell {
+    const fn new() -> Cell {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Cell {
+            buckets: [ZERO; NUM_BUCKETS],
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, v: u64) {
+        let bucket = (64 - v.leading_zeros()) as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> ([u64; NUM_BUCKETS], u64) {
+        let mut b = [0u64; NUM_BUCKETS];
+        for (slot, bucket) in b.iter_mut().zip(self.buckets.iter()) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        (b, self.sum.load(Ordering::Relaxed))
+    }
+}
+
+/// The daemon's rolling telemetry: latency histograms per
+/// (stage, outcome, family) plus cumulative solver-cost gauges.
+pub struct Telemetry {
+    cells: Vec<Cell>, // indexed stage * 8 + outcome * 2 + family
+    /// SAT conflicts across all fresh compiles.
+    pub solver_conflicts: AtomicU64,
+    /// SAT propagations across all fresh compiles.
+    pub solver_propagations: AtomicU64,
+    /// Learnt-clause bytes held at the end of each fresh compile, summed.
+    pub solver_clause_bytes: AtomicU64,
+    /// Solver resource-budget ceilings hit across all fresh compiles.
+    pub solver_budget_trips: AtomicU64,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new()
+    }
+}
+
+impl Telemetry {
+    /// An empty telemetry grid.
+    pub fn new() -> Telemetry {
+        Telemetry {
+            cells: (0..STAGES.len() * OUTCOMES.len() * FAMILIES.len())
+                .map(|_| Cell::new())
+                .collect(),
+            solver_conflicts: AtomicU64::new(0),
+            solver_propagations: AtomicU64::new(0),
+            solver_clause_bytes: AtomicU64::new(0),
+            solver_budget_trips: AtomicU64::new(0),
+        }
+    }
+
+    fn cell(&self, stage: Stage, outcome: Outcome, family: Family) -> &Cell {
+        &self.cells[stage.index() * (OUTCOMES.len() * FAMILIES.len())
+            + outcome.index() * FAMILIES.len()
+            + family.index()]
+    }
+
+    /// Record one latency sample, in microseconds.
+    pub fn record(&self, stage: Stage, outcome: Outcome, family: Family, micros: u64) {
+        self.cell(stage, outcome, family).record(micros);
+    }
+
+    /// Fold one fresh compile's solver cost into the gauges.
+    pub fn record_solver(&self, conflicts: u64, propagations: u64, clause_bytes: u64, trips: u64) {
+        self.solver_conflicts
+            .fetch_add(conflicts, Ordering::Relaxed);
+        self.solver_propagations
+            .fetch_add(propagations, Ordering::Relaxed);
+        self.solver_clause_bytes
+            .fetch_add(clause_bytes, Ordering::Relaxed);
+        self.solver_budget_trips.fetch_add(trips, Ordering::Relaxed);
+    }
+
+    /// Merge every (outcome, family) cell of `stage` into one bucket
+    /// vector (log2 buckets merge by addition). Returns
+    /// `(buckets, sum, count)`.
+    pub fn stage_merged(&self, stage: Stage) -> ([u64; NUM_BUCKETS], u64, u64) {
+        let mut buckets = [0u64; NUM_BUCKETS];
+        let mut sum = 0u64;
+        for outcome in OUTCOMES {
+            for family in FAMILIES {
+                let (b, s) = self.cell(stage, outcome, family).snapshot();
+                for (acc, v) in buckets.iter_mut().zip(b.iter()) {
+                    *acc += v;
+                }
+                sum = sum.saturating_add(s);
+            }
+        }
+        let count = buckets.iter().sum();
+        (buckets, sum, count)
+    }
+
+    /// Samples recorded for one (stage, outcome) pair across families.
+    pub fn count(&self, stage: Stage, outcome: Outcome) -> u64 {
+        FAMILIES
+            .iter()
+            .map(|&f| {
+                self.cell(stage, outcome, f)
+                    .snapshot()
+                    .0
+                    .iter()
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// The stage percentiles as a JSON object (`p50_us`/`p95_us`/`p99_us`
+    /// upper-bound estimates plus `count` and `sum_us`), for the
+    /// `telemetry` protocol op. `Json::Null` when the stage is empty.
+    pub fn stage_summary(&self, stage: Stage) -> Json {
+        let (buckets, sum, count) = self.stage_merged(stage);
+        if count == 0 {
+            return Json::Null;
+        }
+        let q = |p: f64| Json::from(percentile_of(&buckets, p).unwrap_or(0));
+        Json::obj([
+            ("count", Json::from(count)),
+            ("sum_us", Json::from(sum)),
+            ("p50_us", q(50.0)),
+            ("p95_us", q(95.0)),
+            ("p99_us", q(99.0)),
+        ])
+    }
+}
+
+/// Escape a Prometheus label value: backslash, double quote, newline.
+pub fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the full text exposition (format version 0.0.4): the latency
+/// summaries (empty cells are skipped), the solver gauges, and the
+/// caller-supplied counters and gauges (serve stats, cache hit rate).
+/// Output order is deterministic — fixed iteration order, no maps.
+pub fn render_exposition(
+    telemetry: &Telemetry,
+    counters: &[(&str, u64)],
+    gauges: &[(&str, f64)],
+) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("# HELP chipmunk_serve_latency_us Per-stage job latency in microseconds.\n");
+    out.push_str("# TYPE chipmunk_serve_latency_us summary\n");
+    for stage in STAGES {
+        for outcome in OUTCOMES {
+            for family in FAMILIES {
+                let (buckets, sum) = telemetry.cell(stage, outcome, family).snapshot();
+                let count: u64 = buckets.iter().sum();
+                if count == 0 {
+                    continue;
+                }
+                let labels = format!(
+                    "stage=\"{}\",outcome=\"{}\",family=\"{}\"",
+                    escape_label(stage.as_str()),
+                    escape_label(outcome.as_str()),
+                    escape_label(family.as_str()),
+                );
+                for (p, q) in QUANTILES {
+                    let est = percentile_of(&buckets, p).unwrap_or(0);
+                    out.push_str(&format!(
+                        "chipmunk_serve_latency_us{{{labels},quantile=\"{q}\"}} {est}\n"
+                    ));
+                }
+                out.push_str(&format!(
+                    "chipmunk_serve_latency_us_sum{{{labels}}} {sum}\n"
+                ));
+                out.push_str(&format!(
+                    "chipmunk_serve_latency_us_count{{{labels}}} {count}\n"
+                ));
+            }
+        }
+    }
+    let solver: [(&str, &AtomicU64); 4] = [
+        ("conflicts", &telemetry.solver_conflicts),
+        ("propagations", &telemetry.solver_propagations),
+        ("clause_bytes", &telemetry.solver_clause_bytes),
+        ("budget_trips", &telemetry.solver_budget_trips),
+    ];
+    for (name, v) in solver {
+        out.push_str(&format!(
+            "# TYPE chipmunk_serve_solver_{name}_total counter\n\
+             chipmunk_serve_solver_{name}_total {}\n",
+            v.load(Ordering::Relaxed)
+        ));
+    }
+    for (name, v) in counters {
+        out.push_str(&format!(
+            "# TYPE chipmunk_serve_{name}_total counter\nchipmunk_serve_{name}_total {v}\n"
+        ));
+    }
+    for (name, v) in gauges {
+        out.push_str(&format!(
+            "# TYPE chipmunk_serve_{name} gauge\nchipmunk_serve_{name} {v}\n"
+        ));
+    }
+    out
+}
+
+/// A bucket-merged summary block for ad-hoc renderers (the `top` CLI).
+/// Returns `(p50, p95, p99)` upper-bound estimates, or `None` when empty.
+pub fn merged_percentiles(buckets: &[u64]) -> Option<(u64, u64, u64)> {
+    Some((
+        percentile_of(buckets, 50.0)?,
+        percentile_of(buckets, 95.0)?,
+        percentile_of(buckets, 99.0)?,
+    ))
+}
+
+/// The running metrics endpoint: its bound address plus the thread to
+/// join. Created by [`serve_exposition`].
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: JoinHandle<()>,
+}
+
+impl MetricsServer {
+    /// The actual bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Ask the listener thread to exit and wake it out of `accept`.
+    pub fn begin_shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Block until the listener thread has exited ([`begin_shutdown`]
+    /// first, or this blocks on the next `accept`).
+    ///
+    /// [`begin_shutdown`]: MetricsServer::begin_shutdown
+    pub fn join(self) {
+        let _ = self.handle.join();
+    }
+}
+
+/// Bind `addr` and serve `GET /metrics` from `render` on a dedicated
+/// thread. A bind failure is returned to the caller, who degrades to
+/// stats-only; the `metrics_io` fault kind injects one here so chaos
+/// tests can prove that degradation. Per-connection I/O errors just drop
+/// that connection.
+pub fn serve_exposition(
+    addr: &str,
+    render: Arc<dyn Fn() -> String + Send + Sync>,
+) -> std::io::Result<MetricsServer> {
+    if faults::armed() && faults::fired(FaultKind::MetricsIo) {
+        return Err(std::io::Error::other(
+            "injected fault: metrics socket broken",
+        ));
+    }
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = stop.clone();
+    let handle = std::thread::Builder::new()
+        .name("chipmunk-metrics".to_string())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let _ = serve_one(stream, &render);
+            }
+        })?;
+    Ok(MetricsServer {
+        addr: bound,
+        stop,
+        handle,
+    })
+}
+
+/// Answer one HTTP connection: read the request head, route on the
+/// request line. Kept synchronous on the listener thread — a scrape is a
+/// few kilobytes and the endpoint is not in any serving path.
+fn serve_one(
+    mut stream: TcpStream,
+    render: &Arc<dyn Fn() -> String + Send + Sync>,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(2)))?;
+    let mut head = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < 8192 {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&chunk[..n]);
+    }
+    let request_line = head
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .unwrap_or(b"");
+    let request_line = String::from_utf8_lossy(request_line);
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, content_type, body) =
+        if method == "GET" && path.split('?').next() == Some("/metrics") {
+            (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                render(),
+            )
+        } else {
+            (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found: try GET /metrics\n".to_string(),
+            )
+        };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chipmunk_trace::metrics::bucket_upper_bound;
+
+    #[test]
+    fn label_escaping_covers_the_three_special_characters() {
+        assert_eq!(escape_label("plain"), "plain");
+        assert_eq!(escape_label("a\\b"), "a\\\\b");
+        assert_eq!(escape_label("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(escape_label("line\nbreak"), "line\\nbreak");
+    }
+
+    /// Golden exposition: a fixed set of samples renders to an exact,
+    /// byte-stable document. Guards both the format and the deterministic
+    /// output order the CI scrape check relies on.
+    #[test]
+    fn exposition_format_is_byte_stable() {
+        let t = Telemetry::new();
+        // Three e2e/fresh/stateless samples in distinct buckets.
+        t.record(Stage::EndToEnd, Outcome::Fresh, Family::Stateless, 100);
+        t.record(Stage::EndToEnd, Outcome::Fresh, Family::Stateless, 200);
+        t.record(Stage::EndToEnd, Outcome::Fresh, Family::Stateless, 3000);
+        // One cached/stateful queue-wait sample.
+        t.record(Stage::QueueWait, Outcome::Cached, Family::Stateful, 7);
+        t.record_solver(5, 40, 1024, 1);
+        let text = render_exposition(&t, &[("submitted", 4)], &[("cache_hit_rate", 0.25)]);
+        let expected = "\
+# HELP chipmunk_serve_latency_us Per-stage job latency in microseconds.
+# TYPE chipmunk_serve_latency_us summary
+chipmunk_serve_latency_us{stage=\"queue_wait\",outcome=\"cached\",family=\"stateful\",quantile=\"0.5\"} 7
+chipmunk_serve_latency_us{stage=\"queue_wait\",outcome=\"cached\",family=\"stateful\",quantile=\"0.95\"} 7
+chipmunk_serve_latency_us{stage=\"queue_wait\",outcome=\"cached\",family=\"stateful\",quantile=\"0.99\"} 7
+chipmunk_serve_latency_us_sum{stage=\"queue_wait\",outcome=\"cached\",family=\"stateful\"} 7
+chipmunk_serve_latency_us_count{stage=\"queue_wait\",outcome=\"cached\",family=\"stateful\"} 1
+chipmunk_serve_latency_us{stage=\"e2e\",outcome=\"fresh\",family=\"stateless\",quantile=\"0.5\"} 255
+chipmunk_serve_latency_us{stage=\"e2e\",outcome=\"fresh\",family=\"stateless\",quantile=\"0.95\"} 4095
+chipmunk_serve_latency_us{stage=\"e2e\",outcome=\"fresh\",family=\"stateless\",quantile=\"0.99\"} 4095
+chipmunk_serve_latency_us_sum{stage=\"e2e\",outcome=\"fresh\",family=\"stateless\"} 3300
+chipmunk_serve_latency_us_count{stage=\"e2e\",outcome=\"fresh\",family=\"stateless\"} 3
+# TYPE chipmunk_serve_solver_conflicts_total counter
+chipmunk_serve_solver_conflicts_total 5
+# TYPE chipmunk_serve_solver_propagations_total counter
+chipmunk_serve_solver_propagations_total 40
+# TYPE chipmunk_serve_solver_clause_bytes_total counter
+chipmunk_serve_solver_clause_bytes_total 1024
+# TYPE chipmunk_serve_solver_budget_trips_total counter
+chipmunk_serve_solver_budget_trips_total 1
+# TYPE chipmunk_serve_submitted_total counter
+chipmunk_serve_submitted_total 4
+# TYPE chipmunk_serve_cache_hit_rate gauge
+chipmunk_serve_cache_hit_rate 0.25
+";
+        assert_eq!(text, expected);
+    }
+
+    /// `bucket_upper_bound` (re-exported through the trace crate) and the
+    /// merged-percentile helpers agree with single-cell snapshots.
+    #[test]
+    fn stage_merge_sums_cells_and_preserves_percentile_bounds() {
+        let t = Telemetry::new();
+        for v in [1u64, 2, 4, 8, 1000] {
+            t.record(Stage::Compile, Outcome::Fresh, Family::Stateless, v);
+            t.record(Stage::Compile, Outcome::Failed, Family::Stateful, v);
+        }
+        let (buckets, sum, count) = t.stage_merged(Stage::Compile);
+        assert_eq!(count, 10);
+        assert_eq!(sum, 2030);
+        let (p50, p95, p99) = merged_percentiles(&buckets).unwrap();
+        assert!(p50 <= p95 && p95 <= p99);
+        // The p99 estimate is the upper bound of the bucket holding 1000.
+        assert_eq!(p99, bucket_upper_bound(10));
+        assert_eq!(t.count(Stage::Compile, Outcome::Fresh), 5);
+        assert_eq!(t.count(Stage::Compile, Outcome::Failed), 5);
+        assert_eq!(t.count(Stage::Compile, Outcome::Cached), 0);
+    }
+
+    #[test]
+    fn stage_summary_reports_counts_and_is_null_when_empty() {
+        let t = Telemetry::new();
+        assert_eq!(t.stage_summary(Stage::Remap), Json::Null);
+        t.record(Stage::Remap, Outcome::Remapped, Family::Stateless, 12);
+        let s = t.stage_summary(Stage::Remap);
+        assert_eq!(s.get("count").and_then(Json::as_u64), Some(1));
+        assert_eq!(s.get("sum_us").and_then(Json::as_u64), Some(12));
+        assert_eq!(s.get("p50_us").and_then(Json::as_u64), Some(15));
+    }
+
+    #[test]
+    fn http_listener_serves_metrics_and_404s_everything_else() {
+        let render: Arc<dyn Fn() -> String + Send + Sync> =
+            Arc::new(|| "chipmunk_serve_up 1\n".to_string());
+        let server = serve_exposition("127.0.0.1:0", render).unwrap();
+        let addr = server.addr();
+        let get = |path: &str| -> String {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+                .unwrap();
+            let mut out = String::new();
+            s.read_to_string(&mut out).unwrap();
+            out
+        };
+        let ok = get("/metrics");
+        assert!(ok.starts_with("HTTP/1.1 200 OK\r\n"), "{ok}");
+        assert!(ok.contains("text/plain; version=0.0.4"));
+        assert!(ok.ends_with("chipmunk_serve_up 1\n"));
+        let missing = get("/other");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        server.begin_shutdown();
+        server.join();
+    }
+}

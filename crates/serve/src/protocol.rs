@@ -6,12 +6,16 @@
 //!
 //! ```text
 //! request  := compile | poll | status | stats | cache | shutdown
-//! compile  := {"op":"compile","id":<scalar>?,"program":<string>,"options":<options>?}
+//!           | trace | telemetry
+//! compile  := {"op":"compile","id":<scalar>?,"trace":<string>?,
+//!              "program":<string>,"options":<options>?}
 //! poll     := {"op":"poll","id":<scalar>?,"program":<string>,"options":<options>?}
 //! status   := {"op":"status","id":<scalar>?}
 //! stats    := {"op":"stats","id":<scalar>?}
 //! cache    := {"op":"cache","id":<scalar>?,"action":"stats"|"compact"|"clear"?}
 //! shutdown := {"op":"shutdown","id":<scalar>?,"mode":"drain"|"abort"?}
+//! trace    := {"op":"trace","id":<scalar>?,"trace":<string>}
+//! telemetry:= {"op":"telemetry","id":<scalar>?}
 //! options  := {"template":<string>?,"imm":<int>?,"width":<int>?,
 //!              "screen_width":<int>?,"synth_input_bits":<int>?,
 //!              "num_initial_inputs":<int>?,"max_iters":<int>?,"seed":<int>?,
@@ -19,6 +23,16 @@
 //!              "parallel":<bool>?,"budget_conflicts":<int>?,
 //!              "budget_propagations":<int>?,"budget_bytes":<int>?}
 //! ```
+//!
+//! **Trace propagation.** A compile may carry a client-chosen `trace`
+//! string (≤ 128 chars); the daemon assigns one otherwise. The id is
+//! echoed as the `trace` field of every response for that job, recorded
+//! in the job journal's `accepted`/`completed` records, and attached to
+//! the job's `serve.job` span, under which the per-job `cegis.*`/`sat.*`
+//! spans nest. The `trace` op looks a recent job's full span tree up by
+//! that id from the daemon's in-memory ring buffer; `telemetry` returns
+//! rolling latency percentiles (queue wait, compile, certify, remap,
+//! end-to-end), cache hit rate, and cumulative solver gauges.
 //!
 //! `poll` is a compile-shaped lookup that never enqueues work: it answers
 //! `{"ok":true,"found":true,…}` with the (certified) cached result for the
@@ -81,6 +95,8 @@ pub enum Request {
         program: String,
         /// Knobs; anything omitted takes the server default.
         options: JobOptions,
+        /// Client-supplied trace id; the server assigns one when absent.
+        trace: Option<String>,
     },
     /// Cache-only lookup for the same program+options — answers from the
     /// result cache (certified) or reports `found: false`; never compiles.
@@ -105,6 +121,13 @@ pub enum Request {
         /// Cancel in-flight work instead of draining.
         abort: bool,
     },
+    /// Look up the span tree of a recent job by its trace id.
+    Trace {
+        /// The trace id to look up (as echoed in a compile response).
+        trace: String,
+    },
+    /// Rolling latency percentiles, cache hit rate, and solver gauges.
+    Telemetry,
 }
 
 /// The maintenance verb of a `cache` request.
@@ -358,7 +381,11 @@ fn decode_request(doc: &Json) -> Result<Request, String> {
             Ok(if op == "poll" {
                 Request::Poll { program, options }
             } else {
-                Request::Compile { program, options }
+                Request::Compile {
+                    program,
+                    options,
+                    trace: decode_trace_id(doc)?,
+                }
             })
         }
         "status" => Ok(Request::Status),
@@ -380,7 +407,47 @@ fn decode_request(doc: &Json) -> Result<Request, String> {
             };
             Ok(Request::Shutdown { abort })
         }
+        "trace" => {
+            let trace =
+                decode_trace_id(doc)?.ok_or("trace needs a `trace` id string".to_string())?;
+            Ok(Request::Trace { trace })
+        }
+        "telemetry" => Ok(Request::Telemetry),
         other => Err(format!("unknown op `{other}`")),
+    }
+}
+
+/// Longest trace id accepted from a client; longer ids are a
+/// `bad_request`, so a hostile client cannot bloat the journal or the
+/// span store with megabyte correlation tokens.
+pub const MAX_TRACE_ID_LEN: usize = 128;
+
+fn decode_trace_id(doc: &Json) -> Result<Option<String>, String> {
+    match doc.get("trace") {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => {
+            let s = v.as_str().ok_or("`trace` must be a string")?;
+            if s.is_empty() {
+                return Err("`trace` must be non-empty".to_string());
+            }
+            if s.len() > MAX_TRACE_ID_LEN {
+                return Err(format!("`trace` longer than {MAX_TRACE_ID_LEN} bytes"));
+            }
+            Ok(Some(s.to_string()))
+        }
+    }
+}
+
+/// Echo a job's trace id as a leading field of a response object (the
+/// `id` echo from [`with_id`] still ends up first — the server applies
+/// `with_trace` before `with_id`).
+pub fn with_trace(response: Json, trace: &str) -> Json {
+    match response {
+        Json::Obj(mut pairs) => {
+            pairs.insert(0, ("trace".to_string(), Json::from(trace)));
+            Json::Obj(pairs)
+        }
+        other => other,
     }
 }
 
@@ -450,6 +517,26 @@ pub fn result_doc(out: &CodegenSuccess, fields: &[String], states: &[String]) ->
                     .map(|c| Json::obj([("fields", nums(&c.fields)), ("states", nums(&c.states))]))
                     .collect(),
             ),
+        ),
+        // Work gauges of the synthesis run that *produced* this document.
+        // They travel with the cache entry, so a cached or remapped serve
+        // reports what the result originally cost, not zero.
+        (
+            "stats",
+            Json::obj([
+                ("iterations", Json::from(out.stats.iterations as u64)),
+                (
+                    "counterexamples",
+                    Json::from(out.stats.counterexamples as u64),
+                ),
+                ("synth_conflicts", Json::from(out.stats.synth_conflicts)),
+                (
+                    "synth_propagations",
+                    Json::from(out.stats.synth_propagations),
+                ),
+                ("clause_bytes", Json::from(out.stats.clause_bytes)),
+                ("budget_trips", Json::from(out.stats.budget_trips)),
+            ]),
         ),
     ])
 }
@@ -632,8 +719,13 @@ mod tests {
     fn parses_a_full_compile_request() {
         let line = r#"{"op":"compile","program":"pkt.x = pkt.a;","options":{"template":"raw","imm":3,"width":6,"max_stages":2,"timeout_ms":5000,"parallel":true}}"#;
         match parse_request(line).unwrap() {
-            Request::Compile { program, options } => {
+            Request::Compile {
+                program,
+                options,
+                trace,
+            } => {
                 assert_eq!(program, "pkt.x = pkt.a;");
+                assert_eq!(trace, None);
                 assert_eq!(options.template.as_deref(), Some("raw"));
                 let co = options.to_compiler_options().unwrap();
                 assert_eq!(co.cegis.verify_width, 6);
@@ -677,9 +769,41 @@ mod tests {
             r#"{"op":"shutdown","mode":"later"}"#,
             r#"{"op":"cache","action":"defrost"}"#,
             r#"{"op":"status","id":[1,2]}"#,
+            r#"{"op":"compile","program":"x","trace":7}"#,
+            r#"{"op":"compile","program":"x","trace":""}"#,
+            r#"{"op":"trace"}"#,
+            r#"{"op":"trace","trace":42}"#,
         ] {
             assert!(parse_request(bad).is_err(), "accepted: {bad}");
         }
+    }
+
+    #[test]
+    fn trace_ids_parse_echo_and_bound() {
+        // A compile may carry a trace id; the new ops decode too.
+        match parse_request(r#"{"op":"compile","program":"x","trace":"t-1"}"#).unwrap() {
+            Request::Compile { trace, .. } => assert_eq!(trace.as_deref(), Some("t-1")),
+            other => panic!("wrong request: {other:?}"),
+        }
+        match parse_request(r#"{"op":"trace","trace":"t-1"}"#).unwrap() {
+            Request::Trace { trace } => assert_eq!(trace, "t-1"),
+            other => panic!("wrong request: {other:?}"),
+        }
+        assert!(matches!(
+            parse_request(r#"{"op":"telemetry"}"#).unwrap(),
+            Request::Telemetry
+        ));
+        // Oversized ids are rejected, not truncated.
+        let long = format!(
+            r#"{{"op":"compile","program":"x","trace":"{}"}}"#,
+            "a".repeat(MAX_TRACE_ID_LEN + 1)
+        );
+        assert!(parse_request(&long).is_err());
+        // with_trace prepends the echo; with_id applied after still wins
+        // the first position.
+        let resp = with_trace(Json::obj([("ok", Json::Bool(true))]), "t-9");
+        let resp = with_id(resp, Some(Json::from(3u64)));
+        assert_eq!(resp.to_compact(), r#"{"id":3,"trace":"t-9","ok":true}"#);
     }
 
     #[test]

@@ -48,11 +48,13 @@ use chipmunk_trace::json::Json;
 use crate::cache::ResultCache;
 use crate::faults::{self, FaultKind};
 use crate::journal::Journal;
+use crate::metrics::{self, Family, MetricsServer, Outcome, Stage, Telemetry, OUTCOMES, STAGES};
 use crate::protocol::{
     codegen_error_code, decode_result, error_response, parse_line, remap_result, result_doc,
-    with_id, CacheAction, Incoming, JobOptions, Request,
+    with_id, with_trace, CacheAction, Incoming, JobOptions, Request,
 };
 use crate::queue::{Bounded, PushError};
+use crate::trace_store::TraceStore;
 
 /// Salt mixed into the job's CEGIS seed for the serve-side certification
 /// sweep, so it draws inputs independent of both the synthesis-side
@@ -91,6 +93,14 @@ pub struct ServerConfig {
     /// queue, their results land in the cache, and clients collect them
     /// with the `poll` op. Stats report them as `recovered`.
     pub journal_dir: Option<PathBuf>,
+    /// Bind address for the Prometheus text-exposition endpoint (`None`
+    /// consults the `CHIPMUNK_METRICS_ADDR` environment variable; empty /
+    /// unset = no endpoint). A bind failure degrades to stats-only — the
+    /// daemon logs it and keeps serving.
+    pub metrics_addr: Option<String>,
+    /// Slow-job threshold in milliseconds: a job whose end-to-end time
+    /// meets it has its span tree dumped to stderr (`None` = never).
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -107,6 +117,8 @@ impl Default for ServerConfig {
             max_connections: 64,
             idle_timeout: Some(Duration::from_secs(60)),
             journal_dir: None,
+            metrics_addr: None,
+            slow_ms: None,
         }
     }
 }
@@ -150,6 +162,9 @@ struct Stats {
     uncertified: AtomicU64,
     /// Cache entries removed from both tiers after failing certification.
     quarantined: AtomicU64,
+    /// The configured metrics endpoint failed to bind and the daemon is
+    /// running stats-only (the `metrics_io` degradation).
+    metrics_degraded: AtomicBool,
 }
 
 /// Where a job's single response goes: the owning connection's reply
@@ -170,6 +185,9 @@ struct ReplyHandle {
     /// ([`Shared::unwritten`]); [`ServerHandle::join`] waits on it.
     unwritten: Arc<AtomicUsize>,
     id: Option<Json>,
+    /// The job's trace id, echoed on whatever response answers it —
+    /// including the `internal` error a dropped handle synthesizes.
+    trace: Option<String>,
     answered: bool,
 }
 
@@ -183,6 +201,10 @@ impl ReplyHandle {
             return;
         }
         self.answered = true;
+        let response = match self.trace.take() {
+            Some(trace) => with_trace(response, &trace),
+            None => response,
+        };
         queue_response(&self.unwritten, &self.tx, with_id(response, self.id.take()));
         self.pending.fetch_sub(1, Ordering::Release);
     }
@@ -220,6 +242,12 @@ struct Job {
     /// `compile` will use) — cached results are remapped through these.
     fields: Vec<String>,
     states: Vec<String>,
+    /// The job's trace id: client-supplied, server-assigned, or (for a
+    /// replayed job) recovered from the journal. Stamped on the
+    /// `serve.job` span so nested compile spans correlate with it.
+    trace: String,
+    /// Spec family label for the latency histograms.
+    family: Family,
     reply: ReplyHandle,
     enqueued: Instant,
 }
@@ -254,6 +282,17 @@ struct Shared {
     /// connection reset instead of the ack.
     unwritten: Arc<AtomicUsize>,
     addr: SocketAddr,
+    /// Rolling latency histograms and solver gauges.
+    telemetry: Arc<Telemetry>,
+    /// Ring buffer of recent trace records, fed by a tee.
+    trace_store: Arc<TraceStore>,
+    /// The running exposition endpoint, if one bound. Shut down first,
+    /// joined by [`ServerHandle::join`].
+    metrics: Mutex<Option<MetricsServer>>,
+    /// Sequence for server-assigned trace ids.
+    next_trace: AtomicU64,
+    /// Slow-job threshold in milliseconds (`None` = never dump).
+    slow_ms: Option<u64>,
 }
 
 /// Decrements the live-worker count when a worker exits — normally or by
@@ -327,12 +366,21 @@ impl Drop for ConnGuard {
 pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: JoinHandle<()>,
+    /// Token of the trace tee feeding [`Shared::trace_store`]; removed on
+    /// join so a later server in the same process does not feed it.
+    tee_token: u64,
 }
 
 impl ServerHandle {
     /// The actual bound address (resolves port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.shared.addr
+    }
+
+    /// The bound metrics-endpoint address, or `None` when the endpoint is
+    /// disabled or degraded to stats-only after a bind failure.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        lock_metrics(&self.shared).as_ref().map(MetricsServer::addr)
     }
 
     /// Trigger shutdown programmatically (same as a `shutdown` request).
@@ -365,6 +413,18 @@ impl ServerHandle {
         while self.shared.unwritten.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(1));
         }
+        if let Some(metrics) = lock_metrics(&self.shared).take() {
+            metrics.begin_shutdown();
+            metrics.join();
+        }
+        chipmunk_trace::remove_tee(self.tee_token);
+    }
+}
+
+fn lock_metrics(shared: &Shared) -> std::sync::MutexGuard<'_, Option<MetricsServer>> {
+    match shared.metrics.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
     }
 }
 
@@ -397,7 +457,17 @@ pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
         worker_handles: Mutex::new(Vec::new()),
         unwritten: Arc::new(AtomicUsize::new(0)),
         addr,
+        telemetry: Arc::new(Telemetry::new()),
+        trace_store: TraceStore::new(crate::trace_store::DEFAULT_CAPACITY),
+        metrics: Mutex::new(None),
+        next_trace: AtomicU64::new(1),
+        slow_ms: config.slow_ms,
     });
+    // The trace store sees the live record stream from here on: the
+    // `trace` op, the slow-job log, and kill-restart correlation all read
+    // from it. The tee is removed when the handle is joined.
+    let tee_token = shared.trace_store.install();
+    start_metrics_endpoint(&shared, config);
     {
         let mut handles = lock_handles(&shared);
         for _ in 0..config.workers {
@@ -412,7 +482,44 @@ pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
             .spawn(move || accept_loop(listener, &shared))
             .expect("spawn accept loop")
     };
-    Ok(ServerHandle { shared, accept })
+    Ok(ServerHandle {
+        shared,
+        accept,
+        tee_token,
+    })
+}
+
+/// Bind and start the exposition endpoint when one is configured (flag
+/// first, then the `CHIPMUNK_METRICS_ADDR` environment variable). A bind
+/// failure — including an injected `metrics_io` fault — is a logged
+/// degradation to stats-only, never a startup error: losing observability
+/// must not cost availability. The render closure holds a weak reference
+/// so the endpoint does not keep a dead server's telemetry alive.
+fn start_metrics_endpoint(shared: &Arc<Shared>, config: &ServerConfig) {
+    let addr = config
+        .metrics_addr
+        .clone()
+        .or_else(|| std::env::var("CHIPMUNK_METRICS_ADDR").ok())
+        .filter(|a| !a.is_empty());
+    let Some(addr) = addr else { return };
+    let weak = Arc::downgrade(shared);
+    let render: Arc<dyn Fn() -> String + Send + Sync> = Arc::new(move || {
+        weak.upgrade()
+            .map(|shared| render_exposition(&shared))
+            .unwrap_or_default()
+    });
+    match metrics::serve_exposition(&addr, render) {
+        Ok(server) => {
+            *lock_metrics(shared) = Some(server);
+        }
+        Err(e) => {
+            shared.stats.metrics_degraded.store(true, Ordering::Relaxed);
+            eprintln!(
+                "chipmunk-serve: metrics endpoint on {addr} unavailable ({e}); \
+                 continuing stats-only"
+            );
+        }
+    }
 }
 
 /// Re-queue every journaled job a previous process accepted but never
@@ -446,6 +553,14 @@ fn replay_journal(shared: &Arc<Shared>, replay: Vec<crate::journal::PendingJob>)
             continue;
         }
         let (fields, states) = layout_names(&program);
+        let family = family_of(&states);
+        // The replayed job keeps its original trace id (when the journal
+        // recorded one), so telemetry from the recompile correlates with
+        // the pre-crash submission.
+        let trace = pending
+            .trace
+            .clone()
+            .unwrap_or_else(|| next_trace_id(shared));
         let (tx, _rx) = mpsc::channel::<Json>();
         let job = Job {
             program,
@@ -453,12 +568,15 @@ fn replay_journal(shared: &Arc<Shared>, replay: Vec<crate::journal::PendingJob>)
             key,
             fields,
             states,
+            trace,
+            family,
             reply: ReplyHandle {
                 tx,
                 pending: Arc::new(AtomicUsize::new(1)),
                 stats: shared.stats.clone(),
                 unwritten: shared.unwritten.clone(),
                 id: None,
+                trace: None,
                 answered: false,
             },
             enqueued: Instant::now(),
@@ -552,6 +670,9 @@ fn begin_shutdown(shared: &Arc<Shared>, abort: bool) {
         }
     }
     shared.queue.close();
+    if let Some(metrics) = &*lock_metrics(shared) {
+        metrics.begin_shutdown();
+    }
     // Wake the accept loop out of `accept()` with a throwaway connection.
     let _ = TcpStream::connect(shared.addr);
 }
@@ -666,6 +787,18 @@ fn handle_line(
         return;
     }
     let Incoming { id, request } = parse_line(line);
+    let op = match &request {
+        Err(_) => "invalid",
+        Ok(Request::Status) => "status",
+        Ok(Request::Stats) => "stats",
+        Ok(Request::Cache { .. }) => "cache",
+        Ok(Request::Shutdown { .. }) => "shutdown",
+        Ok(Request::Compile { .. }) => "compile",
+        Ok(Request::Poll { .. }) => "poll",
+        Ok(Request::Trace { .. }) => "trace",
+        Ok(Request::Telemetry) => "telemetry",
+    };
+    chipmunk_trace::event!("serve.request", op = op);
     let response = match request {
         Err(e) => error_response("parse", &e),
         Ok(Request::Status) => status_response(shared),
@@ -680,13 +813,56 @@ fn handle_line(
             begin_shutdown(shared, abort);
             return;
         }
-        Ok(Request::Compile { program, options }) => {
-            start_compile(shared, &program, &options, tx, pending, id);
+        Ok(Request::Compile {
+            program,
+            options,
+            trace,
+        }) => {
+            start_compile(shared, &program, &options, trace, tx, pending, id);
             return;
         }
         Ok(Request::Poll { program, options }) => poll_response(shared, &program, &options),
+        Ok(Request::Trace { trace }) => trace_response(shared, &trace),
+        Ok(Request::Telemetry) => telemetry_response(shared),
     };
     queue_response(&shared.unwritten, tx, with_id(response, id));
+}
+
+/// Mint a server-assigned trace id: the daemon's pid plus a process-wide
+/// sequence, so ids stay unique across a kill-restart pair sharing a
+/// journal.
+fn next_trace_id(shared: &Shared) -> String {
+    format!(
+        "{:08x}-{:04x}",
+        std::process::id(),
+        shared.next_trace.fetch_add(1, Ordering::Relaxed)
+    )
+}
+
+/// Spec family label: does the program touch stateful registers?
+fn family_of(states: &[String]) -> Family {
+    if states.is_empty() {
+        Family::Stateless
+    } else {
+        Family::Stateful
+    }
+}
+
+/// Whether a cached document's name layout differs from the requester's —
+/// i.e. serving it required an actual name remap (outcome `remapped`)
+/// rather than a verbatim cache read (outcome `cached`).
+fn layout_differs(cached: &Json, fields: &[String], states: &[String]) -> bool {
+    let differs = |key: &str, want: &[String]| match cached.get(key) {
+        Some(Json::Arr(names)) => {
+            names.len() != want.len()
+                || names
+                    .iter()
+                    .zip(want)
+                    .any(|(n, w)| n.as_str() != Some(w.as_str()))
+        }
+        _ => true,
+    };
+    differs("fields", fields) || differs("states", states)
 }
 
 /// Serve-side certification: re-check a result *document* (cache hit,
@@ -771,12 +947,17 @@ fn start_compile(
     shared: &Arc<Shared>,
     source: &str,
     options: &crate::protocol::JobOptions,
+    client_trace: Option<String>,
     tx: &mpsc::Sender<Json>,
     pending: &Arc<AtomicUsize>,
     id: Option<Json>,
 ) {
+    let accepted = Instant::now();
+    // Every compile request gets a trace id — the client's when supplied,
+    // a minted one otherwise — echoed on whatever response answers it.
+    let trace = client_trace.unwrap_or_else(|| next_trace_id(shared));
     let answer = |resp: Json, id: Option<Json>| {
-        queue_response(&shared.unwritten, tx, with_id(resp, id));
+        queue_response(&shared.unwritten, tx, with_id(with_trace(resp, &trace), id));
     };
     // Watchdog: every compile request checks the pool, not just the ones
     // that reach the queue — otherwise a stream of cache hits would never
@@ -796,13 +977,36 @@ fn start_compile(
     // from whoever populated the entry, so hits are remapped by name (an
     // entry that cannot be remapped counts as a miss and recompiles).
     let (fields, states) = layout_names(&program);
-    if let Some(result) = shared
-        .cache
-        .get_adapted(&key, |cached| remap_result(&cached, &fields, &states))
-    {
+    let family = family_of(&states);
+    let mut remapped = false;
+    let mut remap_us = 0u64;
+    if let Some(result) = shared.cache.get_adapted(&key, |cached| {
+        let remap_started = Instant::now();
+        remapped = layout_differs(&cached, &fields, &states);
+        let result = remap_result(&cached, &fields, &states);
+        remap_us = remap_started.elapsed().as_micros() as u64;
+        result
+    }) {
         let result = maybe_corrupt(result);
-        if certify_served(shared, &program, &opts, &key, &result) {
+        let certify_started = Instant::now();
+        let served = certify_served(shared, &program, &opts, &key, &result);
+        let certify_us = certify_started.elapsed().as_micros() as u64;
+        if served {
             shared.stats.served_cached.fetch_add(1, Ordering::Relaxed);
+            let outcome = if remapped {
+                Outcome::Remapped
+            } else {
+                Outcome::Cached
+            };
+            let t = &shared.telemetry;
+            t.record(Stage::Remap, outcome, family, remap_us);
+            t.record(Stage::Certify, outcome, family, certify_us);
+            t.record(
+                Stage::EndToEnd,
+                outcome,
+                family,
+                accepted.elapsed().as_micros() as u64,
+            );
             return answer(success_response(&key, true, 0, 0, result), id);
         }
         // Certification failed: the entry is quarantined, and the request
@@ -823,20 +1027,24 @@ fn start_compile(
         key,
         fields,
         states,
+        trace: trace.clone(),
+        family,
         reply: ReplyHandle {
             tx: tx.clone(),
             pending: pending.clone(),
             stats: shared.stats.clone(),
             unwritten: shared.unwritten.clone(),
             id,
+            trace: Some(trace.clone()),
             answered: false,
         },
-        enqueued: Instant::now(),
+        enqueued: accepted,
     };
     // Write-ahead: the journal must know about the job before the queue
-    // does, or a crash between the two loses it.
+    // does, or a crash between the two loses it. The trace id rides the
+    // record so a replay keeps the correlation.
     if let Some(journal) = &shared.journal {
-        journal.accepted(&job.key, source, options);
+        journal.accepted(&job.key, source, options, Some(&job.trace));
     }
     match shared.queue.try_push(job) {
         Ok(()) => {
@@ -920,16 +1128,32 @@ fn worker_loop(shared: &Arc<Shared>) {
 }
 
 fn run_job(shared: &Arc<Shared>, job: Job) {
-    let wait_ms = job.enqueued.elapsed().as_millis() as u64;
+    let wait_us = job.enqueued.elapsed().as_micros() as u64;
+    let wait_ms = wait_us / 1000;
     shared
         .stats
         .wait_ms_total
         .fetch_add(wait_ms, Ordering::Relaxed);
     chipmunk_trace::histogram_record!("serve.queue.wait_ms", wait_ms);
+    // One latency sample per stage lands here once the outcome is known.
+    let observe = |outcome: Outcome, compile_us: u64, certify_us: u64, remap_us: u64| {
+        let t = &shared.telemetry;
+        t.record(Stage::QueueWait, outcome, job.family, wait_us);
+        t.record(Stage::Compile, outcome, job.family, compile_us);
+        t.record(Stage::Certify, outcome, job.family, certify_us);
+        t.record(Stage::Remap, outcome, job.family, remap_us);
+        t.record(
+            Stage::EndToEnd,
+            outcome,
+            job.family,
+            job.enqueued.elapsed().as_micros() as u64,
+        );
+    };
     if shared.abort.load(Ordering::Relaxed) {
         // Popped after the abort drain: still a drained job, so the
         // conservation invariant holds.
         shared.stats.drained.fetch_add(1, Ordering::Relaxed);
+        observe(Outcome::Failed, 0, 0, 0);
         job.reply
             .send(error_response("shutting_down", "job aborted by shutdown"));
         journal_done(shared, &job.key);
@@ -938,15 +1162,35 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
     // A twin of this job may have been compiled while it queued. Like
     // every cache serve, the hit is certified first; a corrupt entry is
     // quarantined and this worker falls through to compile from scratch.
+    let mut twin_remapped = false;
+    let mut remap_us = 0u64;
+    let mut certify_us = 0u64;
     if let Some(result) = shared
         .cache
         .peek(&job.key)
-        .and_then(|cached| remap_result(&cached, &job.fields, &job.states))
+        .and_then(|cached| {
+            let remap_started = Instant::now();
+            twin_remapped = layout_differs(&cached, &job.fields, &job.states);
+            let result = remap_result(&cached, &job.fields, &job.states);
+            remap_us = remap_started.elapsed().as_micros() as u64;
+            result
+        })
         .map(maybe_corrupt)
-        .filter(|doc| certify_served(shared, &job.program, &job.opts, &job.key, doc))
+        .filter(|doc| {
+            let certify_started = Instant::now();
+            let served = certify_served(shared, &job.program, &job.opts, &job.key, doc);
+            certify_us = certify_started.elapsed().as_micros() as u64;
+            served
+        })
     {
         shared.stats.completed.fetch_add(1, Ordering::Relaxed);
         shared.stats.served_cached.fetch_add(1, Ordering::Relaxed);
+        let outcome = if twin_remapped {
+            Outcome::Remapped
+        } else {
+            Outcome::Cached
+        };
+        observe(outcome, 0, certify_us, remap_us);
         job.reply
             .send(success_response(&job.key, true, 0, wait_ms, result));
         journal_done(shared, &job.key);
@@ -956,7 +1200,15 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
         std::thread::sleep(faults::stall_duration());
     }
     shared.in_flight.fetch_add(1, Ordering::Relaxed);
-    let mut sp = chipmunk_trace::span!("serve.job", key = job.key.as_str(), wait_ms = wait_ms,);
+    // The job span carries the trace id, so every `cegis.*` / `sat.*`
+    // span the compile emits on this thread nests under a span that names
+    // it — the `trace` op and the slow-job log key off that field.
+    let mut sp = chipmunk_trace::span!(
+        "serve.job",
+        key = job.key.as_str(),
+        trace = job.trace.as_str(),
+        family = job.family.as_str(),
+    );
     let started = Instant::now();
     // Message-preserving panic isolation around the compile itself: a
     // panicking synthesis pass becomes a structured `internal` response
@@ -967,7 +1219,8 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
         }
         compile_with_cancel(&job.program, &job.opts, Some(shared.abort.clone()))
     }));
-    let synth_ms = started.elapsed().as_millis() as u64;
+    let compile_us = started.elapsed().as_micros() as u64;
+    let synth_ms = compile_us / 1000;
     shared.in_flight.fetch_sub(1, Ordering::Relaxed);
     chipmunk_trace::histogram_record!("serve.job.synth_ms", synth_ms);
     shared
@@ -978,28 +1231,50 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
         .stats
         .synth_ms_max
         .fetch_max(synth_ms, Ordering::Relaxed);
-    let response = match res {
+    // Queue-wait vs compile split as numeric close fields, so
+    // `trace-report` can aggregate them per span.
+    sp.record("wait_ms", wait_ms);
+    sp.record("synth_ms", synth_ms);
+    let mut fresh_certify_us = 0u64;
+    let (response, outcome) = match res {
         Ok(Ok(out)) => {
+            // The producing run's solver cost feeds the gauges whether or
+            // not certification accepts the document — the work was done.
+            shared.telemetry.record_solver(
+                out.stats.synth_conflicts,
+                out.stats.synth_propagations,
+                out.stats.clause_bytes,
+                out.stats.budget_trips,
+            );
             // `compile` certified the in-memory result; certifying the
             // *encoded* document additionally covers the wire/cache
             // serialization path, so what enters the cache is exactly
             // what was proven.
             let result = result_doc(&out, &job.fields, &job.states);
-            match certify_wire(&job.program, &job.opts, &result) {
+            let certify_started = Instant::now();
+            let certified = certify_wire(&job.program, &job.opts, &result);
+            fresh_certify_us = certify_started.elapsed().as_micros() as u64;
+            match certified {
                 Ok(()) => {
                     shared.stats.completed.fetch_add(1, Ordering::Relaxed);
                     shared.stats.certified.fetch_add(1, Ordering::Relaxed);
                     sp.record("result", "ok");
                     shared.cache.put(&job.key, &result);
-                    success_response(&job.key, false, synth_ms, wait_ms, result)
+                    (
+                        success_response(&job.key, false, synth_ms, wait_ms, result),
+                        Outcome::Fresh,
+                    )
                 }
                 Err(why) => {
                     shared.stats.failed.fetch_add(1, Ordering::Relaxed);
                     shared.stats.uncertified.fetch_add(1, Ordering::Relaxed);
                     sp.record("result", "uncertified");
-                    error_response(
-                        "uncertified",
-                        &format!("result failed certification: {why}"),
+                    (
+                        error_response(
+                            "uncertified",
+                            &format!("result failed certification: {why}"),
+                        ),
+                        Outcome::Failed,
                     )
                 }
             }
@@ -1012,27 +1287,50 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
                 codegen_error_code(&e)
             };
             sp.record("result", code);
-            error_response(code, &e.to_string())
+            (error_response(code, &e.to_string()), Outcome::Failed)
         }
         Err(payload) => {
             shared.stats.panicked.fetch_add(1, Ordering::Relaxed);
             chipmunk_trace::counter_add!("serve.job.panicked", 1);
             sp.record("result", "internal");
-            error_response(
-                "internal",
-                &format!(
-                    "compiler panicked: {} — safe to retry",
-                    faults::panic_message(payload.as_ref())
+            (
+                error_response(
+                    "internal",
+                    &format!(
+                        "compiler panicked: {} — safe to retry",
+                        faults::panic_message(payload.as_ref())
+                    ),
                 ),
+                Outcome::Failed,
             )
         }
     };
+    // Close the job span before the telemetry sample and the slow-job
+    // check: the dumped tree then includes the root's duration.
+    drop(sp);
+    observe(outcome, compile_us, fresh_certify_us, 0);
+    let e2e_us = job.enqueued.elapsed().as_micros() as u64;
     job.reply.send(response);
     // Completed strictly after the answer is on the reply channel: a
     // crash between the two replays an already-answered job (harmless
     // recompute into the cache) instead of silently dropping an
     // unanswered one.
     journal_done(shared, &job.key);
+    if let Some(slow_ms) = shared.slow_ms {
+        if e2e_us / 1000 >= slow_ms {
+            let tree = shared
+                .trace_store
+                .job_tree(&job.trace)
+                .map(|t| t.to_compact())
+                .unwrap_or_else(|| "null".to_string());
+            eprintln!(
+                "chipmunk-serve: slow job key={} trace={} e2e_ms={} (threshold {slow_ms}ms) spans={tree}",
+                job.key,
+                job.trace,
+                e2e_us / 1000,
+            );
+        }
+    }
 }
 
 fn success_response(key: &str, cached: bool, synth_ms: u64, wait_ms: u64, result: Json) -> Json {
@@ -1134,6 +1432,10 @@ fn stats_response(shared: &Shared) -> Json {
             Json::from(s.quarantined.load(Ordering::Relaxed)),
         ),
         (
+            "metrics_degraded",
+            Json::Bool(s.metrics_degraded.load(Ordering::Relaxed)),
+        ),
+        (
             "journal_pending",
             shared
                 .journal
@@ -1150,6 +1452,136 @@ fn stats_response(shared: &Shared) -> Json {
                 .unwrap_or(Json::Null),
         ),
     ])
+}
+
+/// The `trace` op: the buffered span tree for a job's trace id.
+/// `found:false` when the ring no longer (or never) holds it.
+fn trace_response(shared: &Shared, trace: &str) -> Json {
+    match shared.trace_store.job_tree(trace) {
+        Some(tree) => Json::obj([
+            ("ok", Json::Bool(true)),
+            ("found", Json::Bool(true)),
+            ("trace", Json::from(trace)),
+            ("tree", tree),
+        ]),
+        None => Json::obj([
+            ("ok", Json::Bool(true)),
+            ("found", Json::Bool(false)),
+            ("trace", Json::from(trace)),
+        ]),
+    }
+}
+
+/// Cache hit rate over every lookup so far, `Json::Null` before the
+/// first one.
+fn cache_hit_rate(shared: &Shared) -> Json {
+    let hits = shared.cache.hits();
+    let lookups = hits + shared.cache.misses();
+    if lookups == 0 {
+        Json::Null
+    } else {
+        Json::from(hits as f64 / lookups as f64)
+    }
+}
+
+/// The `telemetry` op: per-stage latency summaries (merged across
+/// outcomes and families), per-outcome job counts, cache hit rate, and
+/// solver gauges — everything `chipmunkc top` renders, in one response.
+fn telemetry_response(shared: &Shared) -> Json {
+    let t = &shared.telemetry;
+    let stages = Json::obj(STAGES.map(|s| (s.as_str(), t.stage_summary(s))));
+    let outcomes =
+        Json::obj(OUTCOMES.map(|o| (o.as_str(), Json::from(t.count(Stage::EndToEnd, o)))));
+    let s = &shared.stats;
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("stages", stages),
+        ("outcomes", outcomes),
+        ("cache_hit_rate", cache_hit_rate(shared)),
+        (
+            "solver",
+            Json::obj([
+                (
+                    "conflicts",
+                    Json::from(t.solver_conflicts.load(Ordering::Relaxed)),
+                ),
+                (
+                    "propagations",
+                    Json::from(t.solver_propagations.load(Ordering::Relaxed)),
+                ),
+                (
+                    "clause_bytes",
+                    Json::from(t.solver_clause_bytes.load(Ordering::Relaxed)),
+                ),
+                (
+                    "budget_trips",
+                    Json::from(t.solver_budget_trips.load(Ordering::Relaxed)),
+                ),
+            ]),
+        ),
+        ("submitted", Json::from(s.submitted.load(Ordering::Relaxed))),
+        ("completed", Json::from(s.completed.load(Ordering::Relaxed))),
+        ("failed", Json::from(s.failed.load(Ordering::Relaxed))),
+        (
+            "served_cached",
+            Json::from(s.served_cached.load(Ordering::Relaxed)),
+        ),
+        ("queue_depth", Json::from(shared.queue.depth())),
+        (
+            "in_flight",
+            Json::from(shared.in_flight.load(Ordering::Relaxed)),
+        ),
+        (
+            "metrics_addr",
+            lock_metrics(shared)
+                .as_ref()
+                .map(|m| Json::from(m.addr().to_string()))
+                .unwrap_or(Json::Null),
+        ),
+        ("trace_buffered", Json::from(shared.trace_store.len())),
+        ("trace_dropped", Json::from(shared.trace_store.dropped())),
+    ])
+}
+
+/// Render the Prometheus exposition for the scrape endpoint: the
+/// telemetry histograms and solver gauges plus the serve counters.
+fn render_exposition(shared: &Shared) -> String {
+    let s = &shared.stats;
+    let counters: Vec<(&str, u64)> = vec![
+        ("submitted", s.submitted.load(Ordering::Relaxed)),
+        ("completed", s.completed.load(Ordering::Relaxed)),
+        ("failed", s.failed.load(Ordering::Relaxed)),
+        ("drained", s.drained.load(Ordering::Relaxed)),
+        ("panicked", s.panicked.load(Ordering::Relaxed)),
+        ("served_cached", s.served_cached.load(Ordering::Relaxed)),
+        ("rejected_full", s.rejected_full.load(Ordering::Relaxed)),
+        ("rejected_busy", s.rejected_busy.load(Ordering::Relaxed)),
+        ("recovered", s.recovered.load(Ordering::Relaxed)),
+        ("certified", s.certified.load(Ordering::Relaxed)),
+        ("uncertified", s.uncertified.load(Ordering::Relaxed)),
+        ("quarantined", s.quarantined.load(Ordering::Relaxed)),
+        ("cache_hits", shared.cache.hits()),
+        ("cache_misses", shared.cache.misses()),
+        (
+            "workers_respawned",
+            s.workers_respawned.load(Ordering::Relaxed),
+        ),
+    ];
+    let gauges: Vec<(&str, f64)> = vec![
+        (
+            "cache_hit_rate",
+            cache_hit_rate(shared).as_f64().unwrap_or(0.0),
+        ),
+        ("queue_depth", shared.queue.depth() as f64),
+        ("in_flight", shared.in_flight.load(Ordering::Relaxed) as f64),
+        ("connections", shared.conns.load(Ordering::Relaxed) as f64),
+        (
+            "live_workers",
+            shared.live_workers.load(Ordering::Relaxed) as f64,
+        ),
+        ("cache_entries", shared.cache.len() as f64),
+    ];
+    metrics::render_exposition(&shared.telemetry, &counters, &gauges)
 }
 
 fn cache_response(shared: &Shared, action: CacheAction) -> Json {

@@ -1,0 +1,377 @@
+//! An in-memory ring buffer of recent trace records, fed by a
+//! [`chipmunk_trace`] tee.
+//!
+//! The daemon installs one of these at startup so the live record stream
+//! — `serve.job` spans and every `cegis.*` / `sat.*` span nested under
+//! them — is queryable without a JSONL file: the `trace` protocol op
+//! returns the span tree for a job's trace id, and the slow-job log dumps
+//! the same tree to stderr when a job blows the `--slow-ms` threshold.
+//!
+//! The buffer holds the most recent [`DEFAULT_CAPACITY`] records and
+//! drops the oldest beyond that, so memory is bounded regardless of
+//! uptime. A tree query for an old job may therefore come back partial
+//! or empty — the op reports `found:false` rather than failing.
+//!
+//! Tee discipline: the callback runs with the global tee registry lock
+//! held, so it must never trace. It only pushes a clone of the record
+//! into the ring under the store's own mutex.
+
+use std::collections::HashSet;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use chipmunk_trace::json::Json;
+
+/// Default ring capacity, in records. A compile emits a few dozen
+/// records, so this comfortably holds the last few hundred jobs.
+pub const DEFAULT_CAPACITY: usize = 8192;
+
+struct Ring {
+    buf: VecDeque<Json>,
+    cap: usize,
+    dropped: u64,
+}
+
+/// The ring-buffered span store. Create with [`TraceStore::new`], then
+/// [`install`](TraceStore::install) it as a tee.
+pub struct TraceStore {
+    inner: Mutex<Ring>,
+}
+
+fn lock(m: &Mutex<Ring>) -> std::sync::MutexGuard<'_, Ring> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+impl TraceStore {
+    /// An empty store bounded to `capacity` records (0 is clamped to 1).
+    pub fn new(capacity: usize) -> Arc<TraceStore> {
+        Arc::new(TraceStore {
+            inner: Mutex::new(Ring {
+                buf: VecDeque::new(),
+                cap: capacity.max(1),
+                dropped: 0,
+            }),
+        })
+    }
+
+    /// Subscribe this store to the live record stream. Returns the tee
+    /// token; pass it to [`chipmunk_trace::remove_tee`] at shutdown so a
+    /// later server in the same process does not feed a dead store.
+    pub fn install(self: &Arc<TraceStore>) -> u64 {
+        let store = self.clone();
+        chipmunk_trace::add_tee(Arc::new(move |doc: &Json| store.push(doc.clone())))
+    }
+
+    fn push(&self, doc: Json) {
+        let mut ring = lock(&self.inner);
+        if ring.buf.len() == ring.cap {
+            ring.buf.pop_front();
+            ring.dropped += 1;
+        }
+        ring.buf.push_back(doc);
+    }
+
+    /// Records currently held (oldest first).
+    pub fn records(&self) -> Vec<Json> {
+        lock(&self.inner).buf.iter().cloned().collect()
+    }
+
+    /// Records currently buffered.
+    pub fn len(&self) -> usize {
+        lock(&self.inner).buf.len()
+    }
+
+    /// Whether the ring holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records evicted so far by the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        lock(&self.inner).dropped
+    }
+
+    /// The span tree of the most recent `serve.job` span whose `trace`
+    /// field equals `trace_id`: the job span plus every descendant span
+    /// and event still in the ring, each node shaped as
+    /// `{"span","id"?,"fields"?,"dur_us"?,"events"?,"children"?}`.
+    /// `None` when no such span is buffered (expired or never seen).
+    pub fn job_tree(&self, trace_id: &str) -> Option<Json> {
+        let records = self.records();
+        // Latest matching open record wins: a replayed job reuses its
+        // original trace id, and the caller wants the live incarnation.
+        let root_idx = records.iter().rposition(|r| {
+            r.get("kind").and_then(Json::as_str) == Some("open")
+                && r.get("span").and_then(Json::as_str) == Some("serve.job")
+                && r.get("fields")
+                    .and_then(|f| f.get("trace"))
+                    .and_then(Json::as_str)
+                    == Some(trace_id)
+        })?;
+        let root_id = records[root_idx].get("id").and_then(Json::as_u64)?;
+        build_tree(&records[root_idx..], root_id)
+    }
+}
+
+/// Assemble the span tree rooted at `root_id` from `records` (which must
+/// start at the root's open record). One forward pass collects the
+/// descendant id set via parent links, pairs closes with opens for
+/// durations and close fields, and attaches events to their parent span.
+fn build_tree(records: &[Json], root_id: u64) -> Option<Json> {
+    struct Node {
+        id: u64,
+        parent: Option<u64>,
+        doc: Vec<(&'static str, Json)>,
+        events: Vec<Json>,
+        children: Vec<Node>,
+    }
+
+    let mut member: HashSet<u64> = HashSet::from([root_id]);
+    let mut open: Vec<Node> = Vec::new(); // depth-first stack of open spans per the record order
+    let mut done: Vec<Node> = Vec::new();
+
+    fn attach(done: &mut Vec<Node>, open: &mut [Node], node: Node) {
+        // A finished span nests under the innermost still-open ancestor;
+        // with none left it is a root-level result.
+        match open
+            .iter_mut()
+            .rev()
+            .find(|candidate| Some(candidate.id) == node.parent)
+        {
+            Some(parent) => parent.children.push(node),
+            None => done.push(node),
+        }
+    }
+
+    for r in records {
+        let kind = r.get("kind").and_then(Json::as_str).unwrap_or("");
+        let span = r.get("span").and_then(Json::as_str).unwrap_or("");
+        let id = r.get("id").and_then(Json::as_u64);
+        let parent = r.get("parent").and_then(Json::as_u64);
+        match kind {
+            "open" => {
+                let Some(id) = id else { continue };
+                let in_tree = id == root_id || parent.is_some_and(|p| member.contains(&p));
+                if !in_tree {
+                    continue;
+                }
+                member.insert(id);
+                let mut doc = vec![("span", Json::from(span)), ("id", Json::U64(id))];
+                if let Some(f) = r.get("fields") {
+                    doc.push(("fields", f.clone()));
+                }
+                open.push(Node {
+                    id,
+                    parent,
+                    doc,
+                    events: Vec::new(),
+                    children: Vec::new(),
+                });
+            }
+            "close" => {
+                let Some(id) = id else { continue };
+                if !member.contains(&id) {
+                    continue;
+                }
+                let Some(pos) = open.iter().rposition(|n| n.id == id) else {
+                    continue;
+                };
+                // Everything opened above it that never closed (a panic
+                // unwound past the guard) folds up as unclosed children.
+                while open.len() > pos + 1 {
+                    let orphan = open.pop().expect("len checked");
+                    attach(&mut done, &mut open, orphan);
+                }
+                let mut node = open.pop().expect("position found");
+                if let Some(d) = r.get("dur_us") {
+                    node.doc.push(("dur_us", d.clone()));
+                }
+                if let Some(f) = r.get("fields") {
+                    node.doc.push(("close_fields", f.clone()));
+                }
+                attach(&mut done, &mut open, node);
+                if id == root_id {
+                    break;
+                }
+            }
+            "event" => {
+                let Some(p) = parent else { continue };
+                if !member.contains(&p) {
+                    continue;
+                }
+                let mut ev = vec![("span", Json::from(span))];
+                if let Some(f) = r.get("fields") {
+                    ev.push(("fields", f.clone()));
+                }
+                if let Some(owner) = open.iter_mut().rev().find(|n| n.id == p) {
+                    owner.events.push(Json::obj(ev));
+                }
+            }
+            _ => {}
+        }
+    }
+    // Root never closed (job still running, or the close fell out of the
+    // ring): whatever is still open collapses into the tree.
+    while let Some(node) = open.pop() {
+        attach(&mut done, &mut open, node);
+    }
+
+    fn render(node: Node) -> Json {
+        let mut doc = node.doc;
+        if !node.events.is_empty() {
+            doc.push(("events", Json::Arr(node.events)));
+        }
+        if !node.children.is_empty() {
+            doc.push((
+                "children",
+                Json::Arr(node.children.into_iter().map(render).collect()),
+            ));
+        }
+        Json::obj(doc)
+    }
+
+    done.into_iter().find(|n| n.id == root_id).map(render)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(kind: &str, span: &str, id: Option<u64>, parent: Option<u64>) -> Json {
+        let mut pairs = vec![
+            ("ts_us", Json::U64(0)),
+            ("kind", Json::from(kind)),
+            ("span", Json::from(span)),
+        ];
+        if let Some(id) = id {
+            pairs.push(("id", Json::U64(id)));
+        }
+        if let Some(p) = parent {
+            pairs.push(("parent", Json::U64(p)));
+        }
+        Json::obj(pairs)
+    }
+
+    fn job_open(id: u64, trace: &str) -> Json {
+        Json::obj([
+            ("ts_us", Json::U64(0)),
+            ("kind", Json::from("open")),
+            ("span", Json::from("serve.job")),
+            ("id", Json::U64(id)),
+            ("fields", Json::obj([("trace", Json::from(trace))])),
+        ])
+    }
+
+    /// Not a correctness test — measures the per-record cost of the tee
+    /// path (emit-shaped doc → clone → ring push) that every span record
+    /// pays while a daemon runs, for the overhead figure in
+    /// EXPERIMENTS.md. Run with:
+    /// `cargo test -p chipmunk-serve --release tee_push_cost -- --ignored --nocapture`
+    #[test]
+    #[ignore = "measurement, not a correctness check"]
+    fn tee_push_cost_per_record() {
+        let store = TraceStore::new(DEFAULT_CAPACITY);
+        let token = store.install();
+        let n = 200_000u32;
+        let start = std::time::Instant::now();
+        for i in 0..n {
+            chipmunk_trace::event!("bench.tick", i = i);
+        }
+        let elapsed = start.elapsed();
+        chipmunk_trace::remove_tee(token);
+        eprintln!(
+            "tee push: {} records in {:?} = {:.0} ns/record",
+            n,
+            elapsed,
+            elapsed.as_nanos() as f64 / f64::from(n)
+        );
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn ring_capacity_is_a_hard_bound() {
+        let store = TraceStore::new(4);
+        for i in 0..10 {
+            store.push(record("event", "e", None, Some(i)));
+        }
+        assert_eq!(store.len(), 4);
+        assert_eq!(store.dropped(), 6);
+        let first = &store.records()[0];
+        assert_eq!(first.get("parent").and_then(Json::as_u64), Some(6));
+    }
+
+    #[test]
+    fn job_tree_collects_descendants_and_durations() {
+        let store = TraceStore::new(64);
+        store.push(job_open(10, "t-1"));
+        store.push(record("open", "cegis.synth", Some(11), Some(10)));
+        store.push(record("event", "cegis.cex", None, Some(11)));
+        store.push(record("close", "cegis.synth", Some(11), None));
+        // An unrelated concurrent span must not leak into the tree.
+        store.push(record("open", "serve.quarantine", Some(90), None));
+        store.push(record("close", "serve.quarantine", Some(90), None));
+        let mut close = record("close", "serve.job", Some(10), None);
+        if let Json::Obj(pairs) = &mut close {
+            pairs.push(("dur_us".to_string(), Json::U64(777)));
+        }
+        store.push(close);
+        let tree = store.job_tree("t-1").expect("tree found");
+        assert_eq!(tree.get("span").and_then(Json::as_str), Some("serve.job"));
+        assert_eq!(tree.get("dur_us").and_then(Json::as_u64), Some(777));
+        let children = match tree.get("children") {
+            Some(Json::Arr(c)) => c,
+            other => panic!("no children: {other:?}"),
+        };
+        assert_eq!(children.len(), 1);
+        assert_eq!(
+            children[0].get("span").and_then(Json::as_str),
+            Some("cegis.synth")
+        );
+        let events = match children[0].get("events") {
+            Some(Json::Arr(e)) => e,
+            other => panic!("no events: {other:?}"),
+        };
+        assert_eq!(
+            events[0].get("span").and_then(Json::as_str),
+            Some("cegis.cex")
+        );
+        assert!(store.job_tree("t-unknown").is_none());
+    }
+
+    #[test]
+    fn latest_incarnation_of_a_trace_id_wins() {
+        let store = TraceStore::new(64);
+        store.push(job_open(1, "t-r"));
+        store.push(record("close", "serve.job", Some(1), None));
+        store.push(job_open(2, "t-r"));
+        store.push(record("open", "cegis.verify", Some(3), Some(2)));
+        let tree = store.job_tree("t-r").expect("tree found");
+        assert_eq!(tree.get("id").and_then(Json::as_u64), Some(2));
+        // Root still open: the in-flight child is present, no dur_us yet.
+        assert!(tree.get("dur_us").is_none());
+        assert!(tree.get("children").is_some());
+    }
+
+    #[test]
+    fn tee_feeds_the_store_from_live_spans() {
+        let store = TraceStore::new(64);
+        let token = store.install();
+        {
+            let mut sp = chipmunk_trace::span!("serve.job", trace = "t-tee");
+            sp.record("result", "ok");
+            let _inner = chipmunk_trace::span!("cegis.synth");
+        }
+        chipmunk_trace::remove_tee(token);
+        let tree = store.job_tree("t-tee").expect("tee captured the spans");
+        assert!(tree.get("children").is_some());
+        assert_eq!(
+            tree.get("close_fields")
+                .and_then(|f| f.get("result"))
+                .and_then(Json::as_str),
+            Some("ok")
+        );
+    }
+}

@@ -542,6 +542,50 @@ fn corrupted_cache_entry_is_quarantined_and_recompiled() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A broken metrics socket (the `metrics_io` fault fires at bind time)
+/// degrades the daemon to stats-only instead of killing it: no metrics
+/// endpoint is advertised, `stats` reports `metrics_degraded: true`, and
+/// compiles keep being served.
+#[test]
+fn broken_metrics_socket_degrades_to_stats_only() {
+    let _l = lock();
+    let _d = arm("seed=9;metrics_io@0");
+    let handle = server::start(&ServerConfig {
+        workers: 1,
+        queue_capacity: 8,
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+        ..ServerConfig::default()
+    })
+    .expect("server must start despite the broken metrics socket");
+    assert!(
+        handle.metrics_addr().is_none(),
+        "a failed bind must not advertise an endpoint"
+    );
+
+    let mut client = Client::connect(handle.local_addr()).expect("client connects");
+    let resp = client.compile("pkt.deg = pkt.a;", fast_options()).unwrap();
+    assert!(ok(&resp), "stats-only daemon must still compile: {resp}");
+
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats.get("metrics_degraded").and_then(Json::as_bool),
+        Some(true),
+        "stats must surface the degradation: {stats}"
+    );
+    // The telemetry op keeps working — only the HTTP exposition is gone.
+    let t = client.telemetry().unwrap();
+    assert!(ok(&t), "telemetry op must survive degradation: {t}");
+    assert!(
+        matches!(t.get("metrics_addr"), Some(Json::Null)),
+        "degraded endpoint must report a null address: {t}"
+    );
+    assert_conservation(&stats);
+
+    let ack = client.shutdown(false).unwrap();
+    assert!(ok(&ack));
+    handle.join();
+}
+
 /// The write-ahead journal: a job accepted by a daemon that goes down
 /// before answering is replayed by the next daemon on the same journal
 /// directory, its result lands in the cache, and the client collects it

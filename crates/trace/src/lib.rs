@@ -23,7 +23,11 @@
 //! * the `CHIPMUNK_TRACE` environment variable — a file path for a JSONL
 //!   sink, or `stderr` / `pretty` for a human-readable stderr sink — or
 //! * an explicit [`init_jsonl`] / [`init_stderr`] call (the CLI's
-//!   `--trace FILE` flag).
+//!   `--trace FILE` flag), or
+//! * an in-process **tee** ([`add_tee`]): a live subscriber that receives
+//!   every record as a JSON document, independently of any sink. The serve
+//!   daemon's ring-buffered span store uses this, so per-job span trees are
+//!   available over the wire without configuring a trace file.
 //!
 //! ## JSONL schema
 //!
@@ -51,7 +55,7 @@ pub mod rng;
 
 use std::cell::RefCell;
 use std::io::Write;
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
@@ -65,6 +69,38 @@ const STATE_JSONL: u8 = 3;
 static STATE: AtomicU8 = AtomicU8::new(STATE_UNINIT);
 static SINK: Mutex<Option<Box<dyn Write + Send>>> = Mutex::new(None);
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A live subscriber to the record stream. Receives every record as the
+/// same JSON document the JSONL sink would write. Callbacks run with the
+/// tee registry locked, so they must be cheap and must not trace.
+pub type TeeFn = dyn Fn(&Json) + Send + Sync;
+
+/// Fast-path switch mirroring the registry: true iff at least one tee is
+/// installed, so [`enabled`] stays one extra relaxed load.
+static TEE_ACTIVE: AtomicBool = AtomicBool::new(false);
+static TEES: Mutex<Vec<(u64, std::sync::Arc<TeeFn>)>> = Mutex::new(Vec::new());
+static NEXT_TEE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Subscribe `f` to the live record stream, independently of any file or
+/// stderr sink (the in-process span store of `chipmunk-serve` uses this to
+/// keep a ring buffer of recent records without forcing a JSONL file).
+/// Returns a token for [`remove_tee`]. While any tee is installed,
+/// [`enabled`] reports true even with no sink configured.
+pub fn add_tee(f: std::sync::Arc<TeeFn>) -> u64 {
+    epoch();
+    let id = NEXT_TEE_ID.fetch_add(1, Ordering::Relaxed);
+    let mut tees = TEES.lock().unwrap_or_else(|e| e.into_inner());
+    tees.push((id, f));
+    TEE_ACTIVE.store(true, Ordering::Relaxed);
+    id
+}
+
+/// Unsubscribe a tee installed by [`add_tee`]. Unknown tokens are ignored.
+pub fn remove_tee(id: u64) {
+    let mut tees = TEES.lock().unwrap_or_else(|e| e.into_inner());
+    tees.retain(|(tid, _)| *tid != id);
+    TEE_ACTIVE.store(!tees.is_empty(), Ordering::Relaxed);
+}
 
 thread_local! {
     static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
@@ -83,10 +119,11 @@ fn now_us() -> u64 {
 /// call reads `CHIPMUNK_TRACE` and installs the corresponding sink.
 #[inline]
 pub fn enabled() -> bool {
-    match STATE.load(Ordering::Relaxed) {
+    let sink_on = match STATE.load(Ordering::Relaxed) {
         STATE_UNINIT => init_from_env(),
         s => s >= STATE_PRETTY,
-    }
+    };
+    sink_on || TEE_ACTIVE.load(Ordering::Relaxed)
 }
 
 #[cold]
@@ -132,14 +169,14 @@ pub fn init_jsonl(path: &str) -> std::io::Result<()> {
 /// capture output in memory). Replaces any active sink.
 pub fn init_jsonl_writer(w: Box<dyn Write + Send>) {
     epoch();
-    *SINK.lock().expect("trace sink") = Some(w);
+    *SINK.lock().unwrap_or_else(|e| e.into_inner()) = Some(w);
     STATE.store(STATE_JSONL, Ordering::Relaxed);
 }
 
 /// Send a human-readable trace to stderr. Replaces any active sink.
 pub fn init_stderr() {
     epoch();
-    *SINK.lock().expect("trace sink") = None; // pretty mode writes stderr directly
+    *SINK.lock().unwrap_or_else(|e| e.into_inner()) = None; // pretty mode writes stderr directly
     STATE.store(STATE_PRETTY, Ordering::Relaxed);
 }
 
@@ -147,7 +184,7 @@ pub fn init_stderr() {
 pub fn disable() {
     flush();
     STATE.store(STATE_DISABLED, Ordering::Relaxed);
-    *SINK.lock().expect("trace sink") = None;
+    *SINK.lock().unwrap_or_else(|e| e.into_inner()) = None;
 }
 
 /// Snapshot all registered counters and histograms into the trace and
@@ -183,7 +220,7 @@ pub fn flush() {
             fields: vec![("buckets", Json::Arr(nonzero))],
         });
     }
-    if let Some(w) = SINK.lock().expect("trace sink").as_mut() {
+    if let Some(w) = SINK.lock().unwrap_or_else(|e| e.into_inner()).as_mut() {
         let _ = w.flush();
     }
 }
@@ -219,9 +256,10 @@ fn emit(r: Record) {
             line.push_str(&format!(" {k}={v}"));
         }
         eprintln!("{line}");
-        return;
+        // Fall through: tees observe the record stream in every mode.
     }
-    if state != STATE_JSONL {
+    let tee = TEE_ACTIVE.load(Ordering::Relaxed);
+    if state != STATE_JSONL && !tee {
         return;
     }
     let mut pairs: Vec<(String, Json)> = vec![
@@ -249,10 +287,19 @@ fn emit(r: Record) {
             ),
         ));
     }
-    let mut line = Json::Obj(pairs).to_compact();
-    line.push('\n');
-    if let Some(w) = SINK.lock().expect("trace sink").as_mut() {
-        let _ = w.write_all(line.as_bytes());
+    let doc = Json::Obj(pairs);
+    if tee {
+        let tees = TEES.lock().unwrap_or_else(|e| e.into_inner());
+        for (_, f) in tees.iter() {
+            f(&doc);
+        }
+    }
+    if state == STATE_JSONL {
+        let mut line = doc.to_compact();
+        line.push('\n');
+        if let Some(w) = SINK.lock().unwrap_or_else(|e| e.into_inner()).as_mut() {
+            let _ = w.write_all(line.as_bytes());
+        }
     }
 }
 
@@ -505,6 +552,87 @@ mod tests {
         assert!(lines
             .iter()
             .all(|l| l.get("span").unwrap().as_str() != Some("ghost")));
+    }
+
+    #[test]
+    fn tracing_survives_a_panic_while_emitting() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // A writer that panics on its first write poisons SINK's mutex if
+        // the panic unwinds through `emit`. Tracing must keep working for
+        // every later record instead of aborting the process on
+        // `expect("trace sink")`.
+        struct PanicOnce {
+            fired: bool,
+            inner: Capture,
+        }
+        impl Write for PanicOnce {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if !self.fired {
+                    self.fired = true;
+                    panic!("injected sink failure");
+                }
+                self.inner.write(buf)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                self.inner.flush()
+            }
+        }
+        let cap = Capture::default();
+        init_jsonl_writer(Box::new(PanicOnce {
+            fired: false,
+            inner: cap.clone(),
+        }));
+        let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            event!("poison.trigger");
+        }));
+        assert!(poisoned.is_err(), "first write must panic");
+        // The lock is now poisoned; emitting and flushing must recover.
+        event!("poison.survivor");
+        flush();
+        disable();
+        let bytes = cap.0.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        let text = String::from_utf8(bytes).expect("utf-8");
+        assert!(
+            text.contains("poison.survivor"),
+            "post-panic records must reach the sink: {text}"
+        );
+    }
+
+    #[test]
+    fn tees_observe_records_without_a_sink() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        disable();
+        let seen: Arc<StdMutex<Vec<Json>>> = Arc::default();
+        let seen2 = seen.clone();
+        let id = add_tee(Arc::new(move |doc: &Json| {
+            seen2
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(doc.clone());
+        }));
+        assert!(enabled(), "an installed tee must enable tracing");
+        {
+            let _sp = span!("tee.span", n = 3u64);
+            event!("tee.event");
+        }
+        remove_tee(id);
+        assert!(!enabled(), "removing the last tee disables tracing again");
+        event!("tee.after"); // must not reach the removed tee
+        let records = seen.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        let names: Vec<String> = records
+            .iter()
+            .filter_map(|r| r.get("span").and_then(Json::as_str).map(str::to_string))
+            .collect();
+        assert_eq!(names, ["tee.span", "tee.event", "tee.span"], "{records:?}");
+        let open = &records[0];
+        let close = &records[2];
+        assert_eq!(open.get("kind").and_then(Json::as_str), Some("open"));
+        assert_eq!(close.get("kind").and_then(Json::as_str), Some("close"));
+        assert_eq!(
+            open.get("id").and_then(Json::as_u64),
+            close.get("id").and_then(Json::as_u64)
+        );
+        assert!(close.get("dur_us").and_then(Json::as_u64).is_some());
     }
 
     #[test]

@@ -76,6 +76,50 @@ impl Histogram {
     pub fn count(&self) -> u64 {
         self.snapshot().iter().sum()
     }
+
+    /// Estimate the `p`-th percentile (`0 < p <= 100`) of the recorded
+    /// samples. See [`percentile_of`] for the estimation rule; returns
+    /// `None` for an empty histogram.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        percentile_of(&self.snapshot(), p)
+    }
+}
+
+/// The largest sample value a bucket can hold: bucket `b` counts samples
+/// of bit length `b`, so its inclusive upper bound is `2^b - 1` (bucket 0
+/// holds only the value 0, and the last bucket saturates at `u64::MAX`).
+pub fn bucket_upper_bound(b: usize) -> u64 {
+    match b {
+        0 => 0,
+        1..=63 => (1u64 << b) - 1,
+        _ => u64::MAX,
+    }
+}
+
+/// Estimate the `p`-th percentile from a bucket snapshot (as produced by
+/// [`Histogram::snapshot`]).
+///
+/// The estimate uses the nearest-rank rule — rank `⌈p/100 · n⌉`, clamped
+/// to at least 1 — walks the cumulative counts to the bucket containing
+/// that rank, and reports the bucket's upper bound. The estimate is
+/// therefore monotone in `p` and always lands in the same power-of-two
+/// bucket as the exact nearest-rank quantile: a bounded, predictable
+/// error in exchange for constant memory.
+pub fn percentile_of(buckets: &[u64], p: f64) -> Option<u64> {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0 * total as f64).ceil() as u64).max(1);
+    let mut cum = 0u64;
+    for (b, &c) in buckets.iter().enumerate() {
+        cum += c;
+        if cum >= rank {
+            return Some(bucket_upper_bound(b));
+        }
+    }
+    Some(u64::MAX)
 }
 
 impl Default for Histogram {
@@ -90,7 +134,7 @@ static HISTOGRAMS: Mutex<Vec<(&'static str, &'static Histogram)>> = Mutex::new(V
 /// Register a counter for inclusion in snapshots. Idempotent per name;
 /// the macro layer guarantees one registration per call site.
 pub fn register_counter(name: &'static str, c: &'static Counter) {
-    let mut v = COUNTERS.lock().expect("metrics registry");
+    let mut v = COUNTERS.lock().unwrap_or_else(|e| e.into_inner());
     if !v.iter().any(|(n, _)| *n == name) {
         v.push((name, c));
     }
@@ -98,7 +142,7 @@ pub fn register_counter(name: &'static str, c: &'static Counter) {
 
 /// Register a histogram for inclusion in snapshots.
 pub fn register_histogram(name: &'static str, h: &'static Histogram) {
-    let mut v = HISTOGRAMS.lock().expect("metrics registry");
+    let mut v = HISTOGRAMS.lock().unwrap_or_else(|e| e.into_inner());
     if !v.iter().any(|(n, _)| *n == name) {
         v.push((name, h));
     }
@@ -108,7 +152,7 @@ pub fn register_histogram(name: &'static str, h: &'static Histogram) {
 pub fn counter_snapshot() -> Vec<(&'static str, u64)> {
     let mut out: Vec<(&'static str, u64)> = COUNTERS
         .lock()
-        .expect("metrics registry")
+        .unwrap_or_else(|e| e.into_inner())
         .iter()
         .map(|(n, c)| (*n, c.get()))
         .collect();
@@ -120,7 +164,7 @@ pub fn counter_snapshot() -> Vec<(&'static str, u64)> {
 pub fn histogram_snapshot() -> Vec<(&'static str, Vec<u64>)> {
     let mut out: Vec<(&'static str, Vec<u64>)> = HISTOGRAMS
         .lock()
-        .expect("metrics registry")
+        .unwrap_or_else(|e| e.into_inner())
         .iter()
         .map(|(n, h)| (*n, h.snapshot()))
         .collect();
@@ -190,6 +234,71 @@ mod tests {
         assert_eq!(snap[2], 2);
         assert_eq!(snap[41], 1);
         assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn percentiles_on_known_samples() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(50.0), None, "empty histogram has no p50");
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        // rank(p50) = 3 → sample 3 → bucket 2 → upper bound 3.
+        assert_eq!(h.percentile(50.0), Some(3));
+        // rank(p99) = 5 → sample 1000 → bucket 10 → upper bound 1023.
+        assert_eq!(h.percentile(99.0), Some(1023));
+        assert_eq!(h.percentile(0.0), Some(1), "p0 clamps to rank 1");
+    }
+
+    #[test]
+    fn bucket_upper_bounds_bracket_their_samples() {
+        for v in [0u64, 1, 2, 3, 4, 255, 256, 1 << 40, u64::MAX] {
+            let b = (64 - v.leading_zeros()) as usize;
+            assert!(v <= bucket_upper_bound(b), "v={v} bucket={b}");
+            if b > 0 {
+                assert!(v > bucket_upper_bound(b - 1), "v={v} bucket={b}");
+            }
+        }
+    }
+
+    /// Property: on random inputs the bucketed estimate is monotone in `p`
+    /// and lands within one bucket boundary of the exact nearest-rank
+    /// quantile (same power-of-two bucket, never below the exact value).
+    #[test]
+    fn percentile_estimates_are_monotone_and_bucket_accurate() {
+        let mut rng = crate::rng::Xoshiro256::seed_from_u64(0x5105_0902);
+        for case in 0..200 {
+            let n = 1 + (rng.next_u64() % 500) as usize;
+            // Mix of magnitudes so many buckets are exercised.
+            let shift = rng.next_u64() % 48;
+            let samples: Vec<u64> = (0..n).map(|_| rng.next_u64() >> shift).collect();
+            let h = Histogram::new();
+            for &v in &samples {
+                h.record(v);
+            }
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            let ps = [1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0];
+            let mut prev = 0u64;
+            for &p in &ps {
+                let est = h.percentile(p).expect("non-empty");
+                assert!(
+                    est >= prev,
+                    "case {case}: estimate not monotone at p{p}: {est} < {prev}"
+                );
+                prev = est;
+                let rank = ((p / 100.0 * n as f64).ceil() as usize).max(1);
+                let exact = sorted[rank - 1];
+                let exact_bucket = (64 - exact.leading_zeros()) as usize;
+                assert_eq!(
+                    est,
+                    bucket_upper_bound(exact_bucket),
+                    "case {case}: p{p} estimate {est} strays from the bucket \
+                     of the exact quantile {exact} (n={n})"
+                );
+                assert!(est >= exact, "case {case}: estimate below exact");
+            }
+        }
     }
 
     #[test]

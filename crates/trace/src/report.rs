@@ -28,6 +28,9 @@ pub struct Report {
     pub spans: BTreeMap<String, SpanAgg>,
     /// Point-event counts keyed by event name.
     pub events: BTreeMap<String, u64>,
+    /// Daemon request counts by protocol op, from `serve.request` events
+    /// (empty for traces without a serve side).
+    pub serve_requests: BTreeMap<String, u64>,
     /// Final counter values (last snapshot wins).
     pub counters: BTreeMap<String, u64>,
     /// Histogram bucket lists `(bit_length, count)` (last snapshot wins).
@@ -80,6 +83,14 @@ pub fn summarize(text: &str) -> Report {
             }
             "event" => {
                 *rep.events.entry(span.to_string()).or_insert(0) += 1;
+                if span == "serve.request" {
+                    let op = v
+                        .get("fields")
+                        .and_then(|f| f.get("op"))
+                        .and_then(Json::as_str)
+                        .unwrap_or("?");
+                    *rep.serve_requests.entry(op.to_string()).or_insert(0) += 1;
+                }
             }
             "counter" => {
                 let val = v
@@ -152,6 +163,38 @@ impl Report {
             let _ = writeln!(out, "\nevents:");
             for (name, n) in &self.events {
                 let _ = writeln!(out, "  {name:<40} {n:>8}");
+            }
+        }
+        // Serve-side view: per-op request counts, and how each answered
+        // job's wall time split between waiting in the queue and actually
+        // compiling (summed from the serve.job close fields).
+        let serve_jobs = self.spans.get("serve.job");
+        if !self.serve_requests.is_empty() || serve_jobs.is_some() {
+            let _ = writeln!(out, "\nserve:");
+            if !self.serve_requests.is_empty() {
+                let ops = self
+                    .serve_requests
+                    .iter()
+                    .map(|(op, n)| format!("{op}={n}"))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                let _ = writeln!(out, "  requests: {ops}");
+            }
+            if let Some(jobs) = serve_jobs {
+                let wait_ms = jobs.work.get("wait_ms").copied().unwrap_or(0);
+                let synth_ms = jobs.work.get("synth_ms").copied().unwrap_or(0);
+                let wall = wait_ms + synth_ms;
+                let share = if wall == 0 {
+                    0.0
+                } else {
+                    wait_ms as f64 * 100.0 / wall as f64
+                };
+                let _ = writeln!(
+                    out,
+                    "  jobs: {} compiled; queue-wait {wait_ms}ms vs compile {synth_ms}ms \
+                     (wait share {share:.1}%)",
+                    jobs.count
+                );
             }
         }
         if !self.counters.is_empty() {
@@ -230,6 +273,35 @@ mod tests {
         assert!(run_pos < synth_pos, "rows sorted by total time:\n{text}");
         assert!(text.contains("conflicts=12"));
         assert!(text.contains("sat.propagations"));
+    }
+
+    #[test]
+    fn serve_section_counts_ops_and_splits_wait_from_compile() {
+        let text = concat!(
+            "{\"ts_us\":1,\"kind\":\"event\",\"span\":\"serve.request\",\"fields\":{\"op\":\"compile\"}}\n",
+            "{\"ts_us\":2,\"kind\":\"event\",\"span\":\"serve.request\",\"fields\":{\"op\":\"compile\"}}\n",
+            "{\"ts_us\":3,\"kind\":\"event\",\"span\":\"serve.request\",\"fields\":{\"op\":\"status\"}}\n",
+            "{\"ts_us\":4,\"kind\":\"open\",\"span\":\"serve.job\",\"id\":1,\"fields\":{\"trace\":\"t-1\"}}\n",
+            "{\"ts_us\":9,\"kind\":\"close\",\"span\":\"serve.job\",\"id\":1,\"dur_us\":5,\
+             \"fields\":{\"wait_ms\":30,\"synth_ms\":90,\"result\":\"ok\"}}\n",
+        );
+        let rep = summarize(text);
+        assert_eq!(rep.serve_requests["compile"], 2);
+        assert_eq!(rep.serve_requests["status"], 1);
+        let rendered = rep.render();
+        assert!(
+            rendered.contains("requests: compile=2 status=1"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("queue-wait 30ms vs compile 90ms (wait share 25.0%)"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn traces_without_a_serve_side_render_no_serve_section() {
+        assert!(!summarize(SAMPLE).render().contains("\nserve:"));
     }
 
     #[test]
