@@ -240,6 +240,7 @@ fn run_chipmunk(b: &Benchmark, prog: &Program, cfg: &ExperimentConfig) -> Compil
         },
         timeout: Some(Duration::from_secs(cfg.timeout_secs)),
         parallel: false,
+        portfolio: false,
     };
     let t0 = Instant::now();
     match chipmunk_compile(prog, &opts) {

@@ -1,7 +1,8 @@
 //! `chipmunkc` — the command-line front end of the chipmunk-rs workspace.
 //!
 //! ```text
-//! chipmunkc compile  <file> [--template T] [--imm N] [--width W] [--max-stages K] [--timeout S] [--json] [--trace OUT.jsonl]
+//! chipmunkc compile  <file> [--template T] [--imm N] [--width W] [--max-stages K] [--timeout S] [--parallel] [--portfolio] [--slots N] [--json] [--trace OUT.jsonl]
+//! chipmunkc plan     <file> [same compile flags] [--explain] [--json]
 //! chipmunkc domino   <file> [--template T] [--imm N] [--width W]
 //! chipmunkc repair   <file> [--template T] [--imm N] [--depth D] [--trace OUT.jsonl]
 //! chipmunkc mutate   <file> [--n N] [--seed S]
@@ -9,7 +10,7 @@
 //! chipmunkc run      <file> [--template T] [--packets N] [--width W] [--trace CSV]
 //! chipmunkc trace-report <file.jsonl>
 //! chipmunkc serve    [--addr H:P] [--workers N] [--queue-cap N] [--cache-dir DIR] [--cache-max-entries N] [--max-conns N] [--idle-timeout S] [--metrics-addr H:P] [--slow-ms N] [--trace OUT.jsonl]
-//! chipmunkc submit   <file> [--addr H:P] [--template T] [--imm N] [--width W] [--max-stages K] [--timeout S] [--parallel] [--trace ID] [--json]
+//! chipmunkc submit   <file> [--addr H:P] [--template T] [--imm N] [--width W] [--max-stages K] [--timeout S] [--parallel] [--portfolio] [--priority P] [--trace ID] [--json]
 //! chipmunkc submit   --batch <file>... [--addr H:P] [shared compile flags] [--progress] [--json]
 //! chipmunkc submit   --status | --stats | --shutdown | --shutdown-now [--addr H:P]
 //! chipmunkc cache    [--stats | --compact | --clear] [--addr H:P]
@@ -36,6 +37,15 @@
 //! inspects or maintains the running server's result cache (`--compact`
 //! rewrites `results.jsonl` down to the retained entries; `--clear`
 //! empties both tiers).
+//!
+//! `plan --explain` prints the compilation schedule that `compile` with
+//! the same flags would execute — one line per synthesis attempt
+//! (depth × strategy × solver budget), the group structure, and the plan
+//! fingerprint the daemon journals for crash-resumable jobs — without
+//! solving anything. `compile --portfolio` / `submit --portfolio` race
+//! the hole-restriction strategies at each depth and keep the first
+//! *certified* winner; `submit --priority P` (0–9) pops ahead of
+//! lower-priority jobs in the daemon's queue.
 //!
 //! The daemon's telemetry plane: `serve --metrics-addr H:P` exposes
 //! Prometheus text exposition at `/metrics`; `serve --slow-ms N` dumps
@@ -78,6 +88,8 @@ impl Args {
                     "json"
                         | "full-alu"
                         | "parallel"
+                        | "portfolio"
+                        | "explain"
                         | "status"
                         | "stats"
                         | "shutdown"
@@ -122,14 +134,37 @@ impl Args {
 }
 
 fn template(name: &str, imm: u8) -> Result<StatefulAluSpec, String> {
-    Ok(match name {
-        "raw" => library::raw(imm),
-        "pred_raw" => library::pred_raw(imm),
-        "if_else_raw" => library::if_else_raw(imm),
-        "sub" => library::sub(imm),
-        "nested_ifs" => library::nested_ifs(imm),
-        other => return Err(format!("unknown template `{other}`")),
-    })
+    library::by_name(name, imm).ok_or_else(|| format!("unknown template `{name}`"))
+}
+
+/// Build [`CompilerOptions`] from the shared compile flags, starting from
+/// [`CompilerOptions::service_defaults`] — the same constructor the serve
+/// protocol decoder fills gaps from, so a local `compile`, a `plan`, and
+/// a daemon `submit` with the same flags resolve to the same options.
+fn compile_options_from_args(args: &Args) -> Result<CompilerOptions, String> {
+    let imm: u8 = args.num("imm", CompilerOptions::SERVICE_IMM_BITS)?;
+    let mut opts = CompilerOptions::service_defaults();
+    opts.stateful = template(
+        args.get("template")
+            .unwrap_or(CompilerOptions::SERVICE_TEMPLATE),
+        imm,
+    )?;
+    opts.stateless = StatelessAluSpec::banzai(imm);
+    opts.cegis.verify_width = args.num("width", CompilerOptions::SERVICE_VERIFY_WIDTH)?;
+    opts.cegis.budget = budget_from_args(args)?;
+    opts.max_stages = args.num("max-stages", CompilerOptions::SERVICE_MAX_STAGES)?;
+    if let Some(slots) = args.get("slots") {
+        let n: usize = slots
+            .parse()
+            .map_err(|_| format!("--slots: bad value `{slots}`"))?;
+        opts.slots = Some(n);
+    }
+    opts.timeout = Some(Duration::from_secs(
+        args.num("timeout", CompilerOptions::SERVICE_TIMEOUT_MS / 1000)?,
+    ));
+    opts.parallel = args.has("parallel");
+    opts.portfolio = args.has("portfolio");
+    Ok(opts)
 }
 
 /// The `--budget-*` solver resource ceilings shared by `compile`, `run`,
@@ -155,7 +190,7 @@ fn load(path: &str) -> Result<Program, String> {
 }
 
 fn usage() -> String {
-    "usage: chipmunkc <compile|domino|repair|mutate|superopt|run|trace-report|serve|submit|cache|trace|top> <file> [options]\n\
+    "usage: chipmunkc <compile|plan|domino|repair|mutate|superopt|run|trace-report|serve|submit|cache|trace|top> <file> [options]\n\
      see `chipmunkc help` or the crate docs for options"
         .to_string()
 }
@@ -178,6 +213,7 @@ fn main() -> ExitCode {
     };
     let res = match cmd.as_str() {
         "compile" => cmd_compile(&args),
+        "plan" => cmd_plan(&args),
         "domino" => cmd_domino(&args),
         "repair" => cmd_repair(&args),
         "mutate" => cmd_mutate(&args),
@@ -219,16 +255,7 @@ fn cmd_compile(args: &Args) -> Result<(), String> {
         chipmunk_trace::init_jsonl(path).map_err(|e| format!("--trace {path}: {e}"))?;
     }
     let prog = load(file_arg(args)?)?;
-    let imm: u8 = args.num("imm", 4)?;
-    let mut opts = CompilerOptions::new(template(
-        args.get("template").unwrap_or("if_else_raw"),
-        imm,
-    )?);
-    opts.stateless = StatelessAluSpec::banzai(imm);
-    opts.cegis.verify_width = args.num("width", 10)?;
-    opts.cegis.budget = budget_from_args(args)?;
-    opts.max_stages = args.num("max-stages", 4)?;
-    opts.timeout = Some(Duration::from_secs(args.num("timeout", 300)?));
+    let opts = compile_options_from_args(args)?;
     let out = compile(&prog, &opts);
     chipmunk_trace::flush();
     let out = out.map_err(|e| e.to_string())?;
@@ -269,6 +296,54 @@ fn cmd_compile(args: &Args) -> Result<(), String> {
             ("pipeline", out.decoded.pipeline.to_json()),
         ]);
         println!("{}", doc.to_pretty());
+    }
+    Ok(())
+}
+
+/// `chipmunkc plan <file> [compile flags] [--explain|--json]` — show the
+/// [`CompilePlan`](chipmunk::plan::CompilePlan) that `compile` with the
+/// same flags would execute, without running any of it. `--explain` (the
+/// default) prints the stable human rendering that golden-plan tests
+/// diff verbatim; `--json` prints the same schedule structurally.
+fn cmd_plan(args: &Args) -> Result<(), String> {
+    let prog = load(file_arg(args)?)?;
+    let opts = compile_options_from_args(args)?;
+    let plan = chipmunk::plan_compilation(&prog, &opts).map_err(|e| e.to_string())?;
+    if args.has("json") {
+        let steps: Vec<Json> = plan
+            .steps
+            .iter()
+            .map(|s| {
+                Json::obj([
+                    ("index", Json::from(s.index)),
+                    ("stages", Json::from(s.stages)),
+                    ("slots", Json::from(s.slots)),
+                    ("strategy", Json::from(s.strategy.name())),
+                    ("group", Json::from(s.group)),
+                ])
+            })
+            .collect();
+        let groups: Vec<Json> = plan
+            .groups
+            .iter()
+            .map(|g| {
+                Json::obj([
+                    ("mode", Json::from(g.mode.name())),
+                    (
+                        "steps",
+                        Json::Arr(g.steps.iter().map(|&i| Json::from(i)).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        let doc = Json::obj([
+            ("fingerprint", Json::from(plan.fingerprint().as_str())),
+            ("steps", Json::Arr(steps)),
+            ("groups", Json::Arr(groups)),
+        ]);
+        println!("{}", doc.to_pretty());
+    } else {
+        print!("{}", plan.explain());
     }
     Ok(())
 }
@@ -329,23 +404,40 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
 }
 
 /// The `options` object shared by single and batch submissions.
+/// The request `options` object for `submit`, built from the same flag
+/// names and [`CompilerOptions`] service-default constants as the local
+/// compile path — the defaults themselves live in one place
+/// ([`CompilerOptions::service_defaults`]), which both this encoder and
+/// the serve protocol decoder resolve against.
 fn submit_options(args: &Args) -> Result<Json, String> {
     let mut options = vec![
-        ("imm", Json::from(args.num::<u8>("imm", 4)?)),
-        ("width", Json::from(args.num::<u8>("width", 10)?)),
+        (
+            "imm",
+            Json::from(args.num::<u8>("imm", CompilerOptions::SERVICE_IMM_BITS)?),
+        ),
+        (
+            "width",
+            Json::from(args.num::<u8>("width", CompilerOptions::SERVICE_VERIFY_WIDTH)?),
+        ),
         (
             "max_stages",
-            Json::from(args.num::<usize>("max-stages", 4)?),
+            Json::from(args.num::<usize>("max-stages", CompilerOptions::SERVICE_MAX_STAGES)?),
         ),
         (
             "timeout_ms",
-            Json::from(args.num::<u64>("timeout", 300)? * 1000),
+            Json::from(
+                args.num::<u64>("timeout", CompilerOptions::SERVICE_TIMEOUT_MS / 1000)? * 1000,
+            ),
         ),
         (
             "template",
-            Json::from(args.get("template").unwrap_or("if_else_raw")),
+            Json::from(
+                args.get("template")
+                    .unwrap_or(CompilerOptions::SERVICE_TEMPLATE),
+            ),
         ),
         ("parallel", Json::Bool(args.has("parallel"))),
+        ("portfolio", Json::Bool(args.has("portfolio"))),
     ];
     if let Some(slots) = args.get("slots") {
         let n: usize = slots
@@ -364,6 +456,19 @@ fn submit_options(args: &Args) -> Result<Json, String> {
         }
     }
     Ok(Json::obj(options))
+}
+
+/// The `--priority` queue level for `submit` (0–9, default 0): higher
+/// levels pop from the daemon's job queue first, FIFO within a level.
+fn priority_from_args(args: &Args) -> Result<u8, String> {
+    let p: u8 = args.num("priority", 0)?;
+    if p > chipmunk_serve::protocol::MAX_PRIORITY {
+        return Err(format!(
+            "--priority must be 0..={}",
+            chipmunk_serve::protocol::MAX_PRIORITY
+        ));
+    }
+    Ok(p)
 }
 
 /// The retry policy for `submit` commands: bounded exponential backoff
@@ -409,6 +514,7 @@ fn cmd_submit_batch(args: &Args, addr: &str) -> Result<(), String> {
     }
     if !programs.is_empty() {
         let mut client = chipmunk_serve::RetryingClient::new(addr, retry_policy(args)?);
+        client.set_priority(priority_from_args(args)?);
         let responses = if args.has("progress") {
             client.pipeline_with_progress(&programs, &options, |p| {
                 eprintln!(
@@ -530,17 +636,20 @@ fn cmd_submit(args: &Args) -> Result<(), String> {
         let path = file_arg(args)?;
         let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         let options = submit_options(args)?;
+        let priority = priority_from_args(args)?;
         if let Some(trace_id) = args.get("trace") {
             // A caller-chosen trace id pins one submission to one server
             // span tree, so retrying under the same id would conflate
             // attempts — this path submits exactly once.
             let mut client = chipmunk_serve::Client::connect(addr)
                 .map_err(|e| format!("connect {addr}: {e} (is `chipmunkc serve` running?)"))?;
+            client.set_priority(priority);
             client
                 .compile_traced(&source, options, Some(trace_id))
                 .map_err(|e| format!("{addr}: {e}"))?
         } else {
             let mut client = chipmunk_serve::RetryingClient::new(addr, retry_policy(args)?);
+            client.set_priority(priority);
             let resp = client
                 .compile(&source, &options)
                 .map_err(|e| format!("{addr}: {e} (is `chipmunkc serve` running?)"))?;
@@ -953,4 +1062,67 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     }
     eprintln!("hardware matched the specification on all {n} packets");
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(words: &[&str]) -> Args {
+        Args::parse(words.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    /// Satellite guarantee of the defaults dedup: a flagless local
+    /// `compile` and a flagless `submit` decoded by the serve protocol
+    /// materialize the *same* `CompilerOptions` — both paths resolve
+    /// against `CompilerOptions::service_defaults`, so a new knob cannot
+    /// silently diverge between the CLI and the daemon.
+    #[test]
+    fn cli_and_protocol_default_options_are_identical() {
+        let local = compile_options_from_args(&argv(&[])).unwrap();
+        let wire = submit_options(&argv(&[])).unwrap();
+        let decoded = chipmunk_serve::JobOptions::from_json(&wire)
+            .unwrap()
+            .to_compiler_options()
+            .unwrap();
+        assert_eq!(format!("{local:?}"), format!("{decoded:?}"));
+        // And both are the service defaults themselves.
+        assert_eq!(
+            format!("{local:?}"),
+            format!("{:?}", CompilerOptions::service_defaults())
+        );
+    }
+
+    /// The shared flags reach both paths identically too.
+    #[test]
+    fn cli_and_protocol_flagged_options_agree() {
+        let flags = [
+            "--imm",
+            "3",
+            "--width",
+            "6",
+            "--max-stages",
+            "2",
+            "--timeout",
+            "5",
+            "--template",
+            "raw",
+            "--portfolio",
+        ];
+        let local = compile_options_from_args(&argv(&flags)).unwrap();
+        let decoded =
+            chipmunk_serve::JobOptions::from_json(&submit_options(&argv(&flags)).unwrap())
+                .unwrap()
+                .to_compiler_options()
+                .unwrap();
+        assert!(local.portfolio && decoded.portfolio);
+        assert_eq!(format!("{local:?}"), format!("{decoded:?}"));
+    }
+
+    #[test]
+    fn priority_flag_is_validated() {
+        assert_eq!(priority_from_args(&argv(&[])).unwrap(), 0);
+        assert_eq!(priority_from_args(&argv(&["--priority", "9"])).unwrap(), 9);
+        assert!(priority_from_args(&argv(&["--priority", "10"])).is_err());
+    }
 }

@@ -135,6 +135,11 @@ pub enum SynthesisError {
     Infeasible,
     /// The deadline, iteration cap, or a resource budget was exhausted.
     Timeout,
+    /// The run observed its cooperative cancellation flag and stopped —
+    /// raced out by a sibling search (portfolio/parallel sweep) or an
+    /// external abort. Distinct from [`SynthesisError::Timeout`] so a
+    /// cancelled racing loser is never attributed as a budget failure.
+    Cancelled,
     /// The options are self-inconsistent (e.g. a `verify_width` narrower
     /// than the sketch's widest hole, or outside `1..=64`). Returned as a
     /// typed error rather than panicking because options can come from
@@ -147,6 +152,7 @@ impl std::fmt::Display for SynthesisError {
         match self {
             SynthesisError::Infeasible => write!(f, "sketch is infeasible for this grid"),
             SynthesisError::Timeout => write!(f, "synthesis timed out"),
+            SynthesisError::Cancelled => write!(f, "synthesis was cancelled"),
             SynthesisError::InvalidOptions(why) => write!(f, "invalid options: {why}"),
         }
     }
@@ -304,7 +310,7 @@ pub fn synthesize_with_cancel(
             .is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed))
         {
             chipmunk_trace::event!("cegis.cancelled", iter = iter);
-            return Err(SynthesisError::Timeout);
+            return Err(SynthesisError::Cancelled);
         }
         if let Some(d) = opts.deadline {
             if Instant::now() >= d {
@@ -337,6 +343,15 @@ pub fn synthesize_with_cancel(
         let hole_values: Vec<u64> = match res {
             SolveResult::Unsat => return Err(SynthesisError::Infeasible),
             SolveResult::Unknown => {
+                // The solver reports Unknown for deadlines, budgets, and
+                // cancellation alike; the raised flag tells them apart.
+                if cancel
+                    .as_ref()
+                    .is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed))
+                {
+                    chipmunk_trace::event!("cegis.cancelled", iter = iter);
+                    return Err(SynthesisError::Cancelled);
+                }
                 chipmunk_trace::event!("cegis.deadline", iter = iter, phase = "synth");
                 return Err(SynthesisError::Timeout);
             }
@@ -505,7 +520,7 @@ fn verify_at_inner(
 
     let mut solver = Solver::new();
     solver.set_deadline(deadline);
-    solver.set_cancel_flag(cancel);
+    solver.set_cancel_flag(cancel.clone());
     solver.set_budget(budget);
     let tru = chipmunk_bv::mk_true(&mut solver);
     let mut b = Blaster::new(&mut solver, tru);
@@ -522,7 +537,16 @@ fn verify_at_inner(
 
     match solver.solve(&[]) {
         SolveResult::Unsat => Ok(None),
-        SolveResult::Unknown => Err(SynthesisError::Timeout),
+        SolveResult::Unknown => {
+            if cancel
+                .as_ref()
+                .is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed))
+            {
+                Err(SynthesisError::Cancelled)
+            } else {
+                Err(SynthesisError::Timeout)
+            }
+        }
         SolveResult::Sat => {
             let dec = Blaster::new(&mut solver, tru);
             let fields = field_bits

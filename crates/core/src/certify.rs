@@ -200,6 +200,31 @@ fn certify_config_impl(prog: &Program, req: &CertifyRequest<'_>) -> Result<Certi
     })
 }
 
+/// Certify raw synthesis output before a [`CodegenSuccess`] is even
+/// assembled — the gate the plan executor applies to every candidate win
+/// (in a strategy race, *inside* the race, so an uncertified candidate
+/// never cancels the other strategies).
+pub(crate) fn certify_synthesized(
+    prog: &Program,
+    opts: &CompilerOptions,
+    grid: &chipmunk_pisa::GridSpec,
+    s: &crate::cegis::Synthesized,
+) -> Result<CertifyReport, String> {
+    certify_config(
+        prog,
+        &CertifyRequest {
+            grid,
+            pipeline: &s.decoded.pipeline,
+            field_to_container: &s.decoded.field_to_container,
+            counterexamples: &s.counterexamples,
+            width: opts.cegis.verify_width,
+            domain_width: opts.cegis.domain_width,
+            samples: DEFAULT_SAMPLES,
+            seed: opts.cegis.seed ^ CERT_SEED_SALT,
+        },
+    )
+}
+
 /// Certify a fresh [`CodegenSuccess`] as produced by
 /// [`crate::compile`], replaying its recorded CEGIS counterexamples.
 pub fn certify_success(

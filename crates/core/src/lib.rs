@@ -47,9 +47,21 @@ pub use approx::{compile_approximate, ApproxOptions, ApproxOutcome};
 pub use cache::{cache_key, canonical_text, layout_names};
 pub use cegis::{CegisOptions, CegisStats, SynthesisError, Synthesized};
 pub use certify::{certify_config, certify_success, CertifyReport, CertifyRequest};
-pub use search::{compile, compile_with_cancel, CodegenError, CodegenSuccess, CompilerOptions};
+pub use search::{
+    compile, compile_with_cancel, compile_with_control, plan_compilation, CodegenError,
+    CodegenSuccess, CompilerOptions, PlanControl,
+};
 pub use sketch::{DecodedConfig, HoleDecl, Sketch, SketchOptions, SketchOutputs};
 
 // The budget type appears in `CegisOptions`; re-export it so downstream
 // crates can fill it without a direct chipmunk-sat dependency.
 pub use chipmunk_sat::ResourceBudget;
+
+/// The compilation-plan data model and executor, re-exported so the
+/// serving layer and CLI can fingerprint, explain, and observe plans
+/// without a direct `chipmunk-plan` dependency.
+pub mod plan {
+    pub use chipmunk_plan::{
+        CompilePlan, PlanGroup, PlanStep, RaceMode, StepOutcome, StepReport, Strategy,
+    };
+}

@@ -5,12 +5,27 @@
 //! 3, … stages and returns the **first** success, which is automatically
 //! the minimal pipeline depth — the reason Chipmunk's Figure 5 stage counts
 //! beat Domino's and show no variance across mutations.
+//!
+//! Since the planner/executor split, this module is a thin adapter: it
+//! resolves the program against the grid (hash elimination, slot
+//! resolution), asks [`chipmunk_plan`] for a [`CompilePlan`] — the same
+//! escalation schedule, reified as data — and executes it with a runner
+//! that maps one [`PlanStep`] to a sketch + CEGIS attempt and a certifier
+//! that gates every win through [`crate::certify`]. Portfolio mode
+//! ([`CompilerOptions::portfolio`]) races hole-restriction strategies per
+//! depth, first certified win cancels the rest.
 
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use chipmunk_lang::Program;
 use chipmunk_pisa::{
     grid::resources_of, GridSpec, ResourceUsage, StatefulAluSpec, StatelessAluSpec,
+};
+use chipmunk_plan::{
+    CompilePlan, ExecControl, ExecError, ExecSuccess, Observer, PlanInputs, PlanStep, StepError,
+    Strategy,
 };
 
 use crate::cegis::{CegisOptions, CegisStats, SynthesisError, Synthesized};
@@ -40,9 +55,26 @@ pub struct CompilerOptions {
     /// shallowest success (the search-space symmetry of §3 makes the runs
     /// independent).
     pub parallel: bool,
+    /// Portfolio search: at each depth, race the hole-restriction
+    /// strategies (opcode-restricted / canonical-allocation / full-ALU) on
+    /// worker threads; the first **certified** win cancels the others. No
+    /// single strategy dominates across benchmarks, so the race wins on
+    /// wall-clock. Takes precedence over `parallel`.
+    pub portfolio: bool,
 }
 
 impl CompilerOptions {
+    /// Immediate-operand bit width shared by the CLI and serve defaults.
+    pub const SERVICE_IMM_BITS: u8 = 4;
+    /// Stateful ALU template name shared by the CLI and serve defaults.
+    pub const SERVICE_TEMPLATE: &'static str = "if_else_raw";
+    /// CEGIS verification width shared by the CLI and serve defaults.
+    pub const SERVICE_VERIFY_WIDTH: u8 = 10;
+    /// Pipeline-depth cap shared by the CLI and serve defaults.
+    pub const SERVICE_MAX_STAGES: usize = 4;
+    /// Wall-clock budget shared by the CLI and serve defaults.
+    pub const SERVICE_TIMEOUT_MS: u64 = 300_000;
+
     /// Paper-like defaults for a given stateful ALU template.
     pub fn new(stateful: StatefulAluSpec) -> Self {
         CompilerOptions {
@@ -54,7 +86,26 @@ impl CompilerOptions {
             cegis: CegisOptions::default(),
             timeout: None,
             parallel: false,
+            portfolio: false,
         }
+    }
+
+    /// The service-facing defaults shared by `chipmunkc compile`,
+    /// `chipmunkc submit`, and the serve protocol decoder. Both front ends
+    /// build from this single constructor so a new knob cannot silently
+    /// diverge between the CLI path and the daemon path.
+    pub fn service_defaults() -> Self {
+        let stateful = chipmunk_pisa::stateful::library::by_name(
+            Self::SERVICE_TEMPLATE,
+            Self::SERVICE_IMM_BITS,
+        )
+        .expect("default template is in the library");
+        let mut o = CompilerOptions::new(stateful);
+        o.stateless = StatelessAluSpec::banzai(Self::SERVICE_IMM_BITS);
+        o.cegis.verify_width = Self::SERVICE_VERIFY_WIDTH;
+        o.max_stages = Self::SERVICE_MAX_STAGES;
+        o.timeout = Some(Duration::from_millis(Self::SERVICE_TIMEOUT_MS));
+        o
     }
 
     /// Small widths and grids for fast unit tests and doctests.
@@ -141,31 +192,19 @@ impl std::fmt::Display for CodegenError {
 
 impl std::error::Error for CodegenError {}
 
-/// Compile a packet transaction to a PISA configuration.
-///
-/// Hash calls are eliminated automatically (each becomes a fresh read-only
-/// metadata field, as delivered by PISA hash units).
-pub fn compile(prog: &Program, opts: &CompilerOptions) -> Result<CodegenSuccess, CodegenError> {
-    compile_with_cancel(prog, opts, None)
+/// The program-dependent plan parameters: hash-eliminated program, its
+/// field/state counts, and the resolved grid width.
+struct ResolvedProgram {
+    prog: Program,
+    num_fields: usize,
+    num_states: usize,
+    slots: usize,
 }
 
-/// [`compile`] with a cooperative cancellation flag. When another thread
-/// sets the flag, the search stops at the next solver checkpoint and
-/// reports [`CodegenError::Timeout`] — the serving layer uses this for
-/// per-job timeouts and abortive shutdown. Works in both sequential and
-/// parallel mode (in parallel mode a monitor fans the external flag out to
-/// every per-depth flag).
-pub fn compile_with_cancel(
+fn resolve_program(
     prog: &Program,
     opts: &CompilerOptions,
-    cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
-) -> Result<CodegenSuccess, CodegenError> {
-    let start = Instant::now();
-    let mut search_sp = chipmunk_trace::span!(
-        "search.compile",
-        max_stages = opts.max_stages,
-        parallel = opts.parallel,
-    );
+) -> Result<ResolvedProgram, CodegenError> {
     let mut prog = prog.clone();
     if prog.stmts().iter().any(|s| s.contains_hash()) {
         chipmunk_lang::passes::eliminate_hashes(&mut prog);
@@ -176,13 +215,187 @@ pub fn compile_with_cancel(
         .slots
         .unwrap_or_else(|| num_fields.max(num_states).max(1));
     if num_fields > slots || num_states > slots {
-        search_sp.record("result", "too_large");
         return Err(CodegenError::TooLarge(format!(
             "{num_fields} fields / {num_states} states exceed {slots} slots"
         )));
     }
+    Ok(ResolvedProgram {
+        prog,
+        num_fields,
+        num_states,
+        slots,
+    })
+}
+
+fn plan_for(resolved: &ResolvedProgram, opts: &CompilerOptions) -> CompilePlan {
+    chipmunk_plan::plan(&PlanInputs {
+        max_stages: opts.max_stages,
+        slots: resolved.slots,
+        parallel: opts.parallel,
+        portfolio: opts.portfolio,
+        budget: opts.cegis.budget,
+        canonical_fields: opts.sketch.canonical_fields,
+    })
+}
+
+/// Produce the [`CompilePlan`] that [`compile`] would execute for this
+/// program, without running it — the `chipmunkc plan --explain` entry
+/// point, and what the serving layer fingerprints for resumable jobs.
+///
+/// Hash calls are eliminated and the grid width resolved exactly as in
+/// [`compile`], so the plan's step shapes match the attempts a real run
+/// would make. Fails with [`CodegenError::TooLarge`] when no grid fits.
+pub fn plan_compilation(
+    prog: &Program,
+    opts: &CompilerOptions,
+) -> Result<CompilePlan, CodegenError> {
+    Ok(plan_for(&resolve_program(prog, opts)?, opts))
+}
+
+/// How one [`PlanStep`]'s strategy specializes the caller's options: the
+/// stateless ALU to sketch with and the sketch canonicalization flag.
+///
+/// The mapping is identity-preserving for the planner's default plans:
+/// `CanonicalAllocation` with `sketch.canonical_fields == true` (and
+/// `FullAlu` with it `false`) reproduce the caller's options byte-for-byte,
+/// which is what makes the default plan behavior-identical to the historic
+/// escalation loop.
+fn strategy_config(
+    opts: &CompilerOptions,
+    strategy: Strategy,
+) -> (StatelessAluSpec, SketchOptions) {
+    match strategy {
+        Strategy::CanonicalAllocation => (
+            opts.stateless.clone(),
+            SketchOptions {
+                canonical_fields: true,
+            },
+        ),
+        Strategy::OpcodeRestricted => (
+            StatelessAluSpec::arith_only(opts.stateless.imm_bits),
+            SketchOptions {
+                canonical_fields: true,
+            },
+        ),
+        Strategy::FullAlu => (
+            opts.stateless.clone(),
+            SketchOptions {
+                canonical_fields: false,
+            },
+        ),
+    }
+}
+
+/// Re-encode every stateless opcode of `pipeline` from `from`'s op list
+/// to `base`'s, by operation identity.
+///
+/// Two spec-relative artifacts must not leak out of a strategy step.
+/// First, the opcode hole is `opcode_bits(from)` wide, so the solver may
+/// legally pick an index past the end of `from.ops`; the ALU clamps such
+/// an index to the last opcode, and that clamp has to be baked in here —
+/// under a wider `base` the raw index would name a real, different
+/// operation. Second, the same operation generally sits at a different
+/// index in each list, so indices are translated op-by-op. Steps whose
+/// spec *is* the base spec are left byte-identical (the default plan's
+/// behavior-equivalence guarantee). An op missing from `base` makes the
+/// candidate unusable on the caller's hardware: the step reports
+/// [`StepError::Infeasible`], which portfolio grouping already treats as
+/// non-authoritative for restricted strategies.
+fn remap_stateless_ops(
+    pipeline: &mut chipmunk_pisa::grid::PipelineConfig,
+    from: &StatelessAluSpec,
+    base: &StatelessAluSpec,
+) -> Result<(), StepError> {
+    if from == base {
+        return Ok(());
+    }
+    for stage in &mut pipeline.stages {
+        for alu in &mut stage.stateless {
+            let clamped = (alu.opcode as usize).min(from.ops.len().saturating_sub(1));
+            let op = from.ops[clamped];
+            let idx = base
+                .ops
+                .iter()
+                .position(|o| *o == op)
+                .ok_or(StepError::Infeasible)?;
+            alu.opcode = idx as u64;
+        }
+    }
+    Ok(())
+}
+
+/// Execution knobs for [`compile_with_control`] beyond the options: the
+/// serving layer's cancellation flag, journal-driven resume offset, and
+/// per-step progress observer.
+#[derive(Default)]
+pub struct PlanControl<'a> {
+    /// Cooperative cancellation: when another thread sets the flag, the
+    /// search stops at the next solver checkpoint.
+    pub cancel: Option<Arc<AtomicBool>>,
+    /// Skip plan steps with `index < resume_from` — they already completed
+    /// (without winning) in a previous run of the same plan.
+    pub resume_from: usize,
+    /// Invoked once per executed step with its outcome; the serving layer
+    /// journals progress and attributes per-strategy metrics here.
+    pub observer: Option<Observer<'a>>,
+}
+
+/// Compile a packet transaction to a PISA configuration.
+///
+/// Hash calls are eliminated automatically (each becomes a fresh read-only
+/// metadata field, as delivered by PISA hash units).
+pub fn compile(prog: &Program, opts: &CompilerOptions) -> Result<CodegenSuccess, CodegenError> {
+    compile_with_control(prog, opts, PlanControl::default())
+}
+
+/// [`compile`] with a cooperative cancellation flag. When another thread
+/// sets the flag, the search stops at the next solver checkpoint and
+/// reports [`CodegenError::Timeout`] — the serving layer uses this for
+/// per-job timeouts and abortive shutdown. Works in every plan mode (in
+/// racing groups a monitor fans the external flag out to every per-step
+/// flag).
+pub fn compile_with_cancel(
+    prog: &Program,
+    opts: &CompilerOptions,
+    cancel: Option<Arc<AtomicBool>>,
+) -> Result<CodegenSuccess, CodegenError> {
+    compile_with_control(
+        prog,
+        opts,
+        PlanControl {
+            cancel,
+            ..PlanControl::default()
+        },
+    )
+}
+
+/// [`compile`] with full plan-execution control: cancellation, resuming a
+/// half-executed plan at its first unfinished step, and a per-step
+/// observer. This is the primitive the serve daemon drives; `compile` and
+/// [`compile_with_cancel`] are thin wrappers.
+pub fn compile_with_control(
+    prog: &Program,
+    opts: &CompilerOptions,
+    ctl: PlanControl<'_>,
+) -> Result<CodegenSuccess, CodegenError> {
+    let start = Instant::now();
+    let mut search_sp = chipmunk_trace::span!(
+        "search.compile",
+        max_stages = opts.max_stages,
+        parallel = opts.parallel,
+        portfolio = opts.portfolio,
+    );
+    let resolved = match resolve_program(prog, opts) {
+        Ok(r) => r,
+        Err(e) => {
+            search_sp.record("result", "too_large");
+            return Err(e);
+        }
+    };
+    let plan = plan_for(&resolved, opts);
+    let prog = &resolved.prog;
     let deadline = opts.timeout.map(|t| start + t);
-    let cegis_opts = CegisOptions {
+    let cegis_base = CegisOptions {
         deadline: match (deadline, opts.cegis.deadline) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
@@ -190,19 +403,34 @@ pub fn compile_with_cancel(
         ..opts.cegis
     };
 
-    let attempt = |stages: usize,
-                   cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>|
-     -> Result<(Synthesized, GridSpec), SynthesisError> {
+    let runner = |step: &PlanStep,
+                  cancel: Option<Arc<AtomicBool>>|
+     -> Result<(Synthesized, GridSpec), StepError> {
+        let (stateless, sketch_opts) = strategy_config(opts, step.strategy);
         let grid = GridSpec {
-            stages,
-            slots,
-            stateless: opts.stateless.clone(),
+            stages: step.stages,
+            slots: step.slots,
+            stateless,
             stateful: opts.stateful.clone(),
         };
-        let mut sp = chipmunk_trace::span!("search.grid", stages = stages, slots = slots);
-        let sketch = Sketch::new(grid.clone(), num_fields, num_states, opts.sketch)
-            .map_err(|_| SynthesisError::Infeasible)?;
-        let res = crate::cegis::synthesize_with_cancel(&prog, &sketch, &cegis_opts, cancel);
+        let mut sp = chipmunk_trace::span!(
+            "search.grid",
+            stages = step.stages,
+            slots = step.slots,
+            strategy = step.strategy.name(),
+        );
+        let sketch = Sketch::new(
+            grid.clone(),
+            resolved.num_fields,
+            resolved.num_states,
+            sketch_opts,
+        )
+        .map_err(|_| StepError::Infeasible)?;
+        let cegis_opts = CegisOptions {
+            budget: step.budget,
+            ..cegis_base
+        };
+        let res = crate::cegis::synthesize_with_cancel(prog, &sketch, &cegis_opts, cancel);
         if chipmunk_trace::enabled() {
             sp.record(
                 "result",
@@ -210,212 +438,61 @@ pub fn compile_with_cancel(
                     Ok(_) => "ok",
                     Err(SynthesisError::Infeasible) => "infeasible",
                     Err(SynthesisError::Timeout) => "timeout",
+                    Err(SynthesisError::Cancelled) => "cancelled",
                     Err(SynthesisError::InvalidOptions(_)) => "invalid_options",
                 },
             );
         }
-        res.map(|s| (s, grid))
+        let mut synthesized = res.map_err(|e| match e {
+            SynthesisError::Infeasible => StepError::Infeasible,
+            SynthesisError::Timeout => StepError::Timeout,
+            SynthesisError::Cancelled => StepError::Cancelled,
+            SynthesisError::InvalidOptions(m) => StepError::InvalidOptions(m),
+        })?;
+        // A winner synthesized under a strategy-restricted ALU must leave
+        // the step encoded against the caller's spec: downstream consumers
+        // (the wire document, the result cache, serve-side recertification)
+        // rebuild the grid from the caller's options and would decode the
+        // restricted spec's opcode indices as different operations.
+        remap_stateless_ops(
+            &mut synthesized.decoded.pipeline,
+            &grid.stateless,
+            &opts.stateless,
+        )?;
+        let grid = GridSpec {
+            stateless: opts.stateless.clone(),
+            ..grid
+        };
+        Ok((synthesized, grid))
+    };
+    let certify = |_step: &PlanStep, candidate: &(Synthesized, GridSpec)| -> Result<(), String> {
+        let (synthesized, grid) = candidate;
+        crate::certify::certify_synthesized(prog, opts, grid, synthesized).map(|_| ())
     };
 
-    if opts.parallel {
-        let res = compile_parallel(&attempt, opts.max_stages, start, cancel)
-            .and_then(|s| certified(&prog, opts, s));
-        match &res {
-            Ok(s) => {
-                search_sp.record("result", "ok");
-                search_sp.record("stages", s.stages_tried as u64);
-            }
-            Err(e) => search_sp.record(
-                "result",
-                match e {
-                    CodegenError::TooLarge(_) => "too_large",
-                    CodegenError::Infeasible => "infeasible",
-                    CodegenError::Timeout => "timeout",
-                    CodegenError::Internal(_) => "internal",
-                    CodegenError::InvalidOptions(_) => "invalid_options",
-                    CodegenError::Uncertified(_) => "uncertified",
-                },
-            ),
-        }
-        return res;
-    }
-
-    let mut saw_timeout = false;
-    for stages in 1..=opts.max_stages {
-        if cancel
-            .as_ref()
-            .is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed))
-        {
-            search_sp.record("result", "timeout");
-            return Err(CodegenError::Timeout);
-        }
-        match attempt(stages, cancel.clone()) {
-            Ok((synthesized, grid)) => {
-                let resources = resources_of(&grid, &synthesized.decoded.pipeline);
-                let success = CodegenSuccess {
-                    decoded: synthesized.decoded,
-                    hole_values: synthesized.hole_values,
-                    grid,
-                    resources,
-                    stats: synthesized.stats,
-                    elapsed: start.elapsed(),
-                    stages_tried: stages,
-                    counterexamples: synthesized.counterexamples,
-                };
-                return match certified(&prog, opts, success) {
-                    Ok(s) => {
-                        search_sp.record("result", "ok");
-                        search_sp.record("stages", stages as u64);
-                        Ok(s)
-                    }
-                    Err(e) => {
-                        search_sp.record("result", "uncertified");
-                        Err(e)
-                    }
-                };
-            }
-            Err(SynthesisError::Infeasible) => continue,
-            Err(SynthesisError::InvalidOptions(m)) => {
-                // Deterministic caller error: every depth would report the
-                // same thing, so fail fast with the typed reason.
-                search_sp.record("result", "invalid_options");
-                return Err(CodegenError::InvalidOptions(m));
-            }
-            Err(SynthesisError::Timeout) => {
-                saw_timeout = true;
-                if deadline.is_some_and(|d| Instant::now() >= d) {
-                    search_sp.record("result", "timeout");
-                    return Err(CodegenError::Timeout);
-                }
-                // Iteration cap without a global deadline: deeper grids may
-                // still succeed, keep going.
-            }
-        }
-    }
-    if saw_timeout {
-        search_sp.record("result", "timeout");
-        Err(CodegenError::Timeout)
-    } else {
-        search_sp.record("result", "infeasible");
-        Err(CodegenError::Infeasible)
-    }
-}
-
-type AttemptResult = Result<(Synthesized, GridSpec), SynthesisError>;
-
-type AttemptFn<'a> = dyn Fn(usize, Option<std::sync::Arc<std::sync::atomic::AtomicBool>>) -> AttemptResult
-    + Sync
-    + 'a;
-
-fn compile_parallel(
-    attempt: &AttemptFn<'_>,
-    max_stages: usize,
-    start: Instant,
-    cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
-) -> Result<CodegenSuccess, CodegenError> {
-    use std::sync::atomic::{AtomicBool, Ordering};
-    use std::sync::Arc;
-
-    // One cancellation flag per depth: a success at depth d stops every
-    // *deeper* search (their answer could not be preferred anyway), while
-    // shallower searches keep running so the result stays minimal.
-    let flags: Vec<Arc<AtomicBool>> = (0..max_stages)
-        .map(|_| Arc::new(AtomicBool::new(false)))
-        .collect();
-    let done = Arc::new(AtomicBool::new(false));
-    // Outer Err = the depth's thread panicked (message); inner result is
-    // the ordinary attempt outcome.
-    let mut results: Vec<(usize, Result<AttemptResult, String>)> = std::thread::scope(|scope| {
-        // The SAT solver polls one flag per run, so an external cancel is
-        // fanned out to every per-depth flag by a small monitor thread.
-        if let Some(external) = cancel.clone() {
-            let flags = flags.clone();
-            let done = done.clone();
-            scope.spawn(move || {
-                while !done.load(Ordering::Relaxed) {
-                    if external.load(Ordering::Relaxed) {
-                        for f in &flags {
-                            f.store(true, Ordering::Relaxed);
-                        }
-                        return;
-                    }
-                    std::thread::sleep(Duration::from_millis(2));
-                }
-            });
-        }
-        let handles: Vec<_> = (1..=max_stages)
-            .map(|stages| {
-                let my_flag = flags[stages - 1].clone();
-                let deeper: Vec<Arc<AtomicBool>> = flags[stages..].to_vec();
-                scope.spawn(move || {
-                    // Isolate panics per depth: one depth blowing up must
-                    // not unwind through `std::thread::scope` and abort the
-                    // whole search (or, in a serve worker, kill the
-                    // worker). A panicked depth is reported as data and
-                    // classified below.
-                    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        attempt(stages, Some(my_flag))
-                    }))
-                    .map_err(|payload| panic_text(payload.as_ref()));
-                    if matches!(res, Ok(Ok(_))) {
-                        for f in &deeper {
-                            f.store(true, Ordering::Relaxed);
-                        }
-                    }
-                    (stages, res)
-                })
-            })
-            .collect();
-        let out = handles
-            .into_iter()
-            .map(|h| h.join().expect("depth threads isolate panics"))
-            .collect();
-        done.store(true, Ordering::Relaxed);
-        out
-    });
-    // Walk shallowest-first so both the chosen success and the failure
-    // classification are deterministic regardless of thread finish order.
-    // (Join order already yields this; the sort pins the invariant.)
-    results.sort_by_key(|(stages, _)| *stages);
-    let externally_cancelled = cancel.as_ref().is_some_and(|c| c.load(Ordering::Relaxed));
-    let mut saw_timeout = false;
-    let mut panicked: Option<(usize, String)> = None;
-    let mut invalid: Option<String> = None;
-    let mut best: Option<(usize, Synthesized, GridSpec)> = None;
-    for (stages, res) in results {
-        match res {
-            Ok(Ok((s, g))) => {
-                if best.is_none() {
-                    best = Some((stages, s, g));
-                }
-            }
-            Ok(Err(SynthesisError::InvalidOptions(m))) => {
-                if invalid.is_none() {
-                    invalid = Some(m);
-                }
-            }
-            Ok(Err(SynthesisError::Timeout)) => {
-                // A depth whose flag was raised reports Timeout as an
-                // artifact of the cancellation, not of budget exhaustion;
-                // counting it would make the diagnostic depend on how far
-                // that thread got before noticing the flag. Cancellation is
-                // only triggered by a shallower success (which wins anyway)
-                // or by the external flag (reported separately below).
-                if !flags[stages - 1].load(Ordering::Relaxed) {
-                    saw_timeout = true;
-                }
-            }
-            Ok(Err(SynthesisError::Infeasible)) => {}
-            Err(msg) => {
-                if panicked.is_none() {
-                    panicked = Some((stages, msg));
-                }
-            }
-        }
-    }
-    match best {
-        Some((stages, synthesized, grid)) => {
+    let res = chipmunk_plan::execute(
+        &plan,
+        runner,
+        certify,
+        ExecControl {
+            cancel: ctl.cancel,
+            deadline,
+            resume_from: ctl.resume_from,
+            observer: ctl.observer,
+            // Auto-detect: racing groups degrade to an ordered sequential
+            // trial when the machine has no spare cores to race on.
+            race_threads: None,
+        },
+    );
+    match res {
+        Ok(ExecSuccess {
+            value: (synthesized, grid),
+            ..
+        }) => {
             let resources = resources_of(&grid, &synthesized.decoded.pipeline);
+            let stages = grid.stages;
+            search_sp.record("result", "ok");
+            search_sp.record("stages", stages as u64);
             Ok(CodegenSuccess {
                 decoded: synthesized.decoded,
                 hole_values: synthesized.hole_values,
@@ -427,54 +504,29 @@ fn compile_parallel(
                 counterexamples: synthesized.counterexamples,
             })
         }
-        // Bad options are deterministic across depths and describe a caller
-        // mistake, so they trump every other diagnostic. A panicked depth
-        // trumps Infeasible: with that depth undecided, infeasibility up to
-        // max_stages is unproven. Timeout/cancel keep their meaning — the
-        // caller's budget ran out either way.
-        None if invalid.is_some() => Err(CodegenError::InvalidOptions(invalid.unwrap())),
-        None if saw_timeout || externally_cancelled => Err(CodegenError::Timeout),
-        None => match panicked {
-            Some((stages, msg)) => Err(CodegenError::Internal(format!(
-                "search thread for depth {stages} panicked: {msg}"
-            ))),
-            None => Err(CodegenError::Infeasible),
-        },
-    }
-}
-
-/// Run independent certification on a fresh compile result, turning a
-/// failure into [`CodegenError::Uncertified`]. Every result [`compile`]
-/// returns has passed this gate.
-fn certified(
-    prog: &Program,
-    opts: &CompilerOptions,
-    success: CodegenSuccess,
-) -> Result<CodegenSuccess, CodegenError> {
-    match crate::certify::certify_success(prog, opts, &success) {
-        Ok(_) => Ok(success),
-        Err(why) => Err(CodegenError::Uncertified(why)),
-    }
-}
-
-/// Short, bounded rendering of a `catch_unwind` payload.
-fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
-    const MAX: usize = 200;
-    let msg = if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    };
-    if msg.len() > MAX {
-        let mut cut = MAX;
-        while !msg.is_char_boundary(cut) {
-            cut -= 1;
+        Err(e) => {
+            let err = match e {
+                ExecError::Infeasible => CodegenError::Infeasible,
+                // External cancellation keeps its historic wire meaning:
+                // the caller's budget ran out either way.
+                ExecError::Timeout | ExecError::Cancelled => CodegenError::Timeout,
+                ExecError::InvalidOptions(m) => CodegenError::InvalidOptions(m),
+                ExecError::Internal(m) => CodegenError::Internal(m),
+                ExecError::Uncertified(m) => CodegenError::Uncertified(m),
+            };
+            search_sp.record(
+                "result",
+                match &err {
+                    CodegenError::TooLarge(_) => "too_large",
+                    CodegenError::Infeasible => "infeasible",
+                    CodegenError::Timeout => "timeout",
+                    CodegenError::Internal(_) => "internal",
+                    CodegenError::InvalidOptions(_) => "invalid_options",
+                    CodegenError::Uncertified(_) => "uncertified",
+                },
+            );
+            Err(err)
         }
-        format!("{}…", &msg[..cut])
-    } else {
-        msg
     }
 }
 
@@ -483,6 +535,7 @@ mod tests {
     use super::*;
     use crate::cegis::validate_decoded;
     use chipmunk_lang::parse;
+    use chipmunk_plan::{RaceMode, StepOutcome};
 
     #[test]
     fn compiles_sampling_minimally() {
@@ -518,35 +571,171 @@ mod tests {
     }
 
     #[test]
-    fn parallel_sweep_isolates_panicking_depth() {
-        // One depth blowing up must neither abort the sweep nor be
-        // reported as Infeasible (that depth is undecided).
-        let attempt: &AttemptFn<'_> = &|stages, _flag| {
-            if stages == 2 {
-                panic!("injected depth-2 panic");
-            }
-            Err(SynthesisError::Infeasible)
+    fn default_plan_mirrors_escalation_loop() {
+        let prog = parse("state s; s = s + pkt.x; pkt.y = s;").unwrap();
+        let opts = CompilerOptions::small_for_tests();
+        let plan = plan_compilation(&prog, &opts).unwrap();
+        assert_eq!(plan.steps.len(), opts.max_stages);
+        assert_eq!(plan.groups.len(), opts.max_stages);
+        for (i, step) in plan.steps.iter().enumerate() {
+            assert_eq!(step.stages, i + 1);
+            assert_eq!(step.strategy, Strategy::CanonicalAllocation);
+            assert_eq!(plan.groups[step.group].mode, RaceMode::Solo);
+        }
+        // The strategy mapping reproduces the caller's options exactly.
+        let (stateless, sketch) = strategy_config(&opts, Strategy::CanonicalAllocation);
+        assert_eq!(stateless, opts.stateless);
+        assert_eq!(sketch.canonical_fields, opts.sketch.canonical_fields);
+    }
+
+    #[test]
+    fn restricted_opcodes_are_remapped_to_the_base_spec() {
+        use chipmunk_pisa::grid::{PipelineConfig, StageConfig, StatelessConfig};
+        let from = StatelessAluSpec::arith_only(4);
+        let base = StatelessAluSpec::banzai(4);
+        let alu = |opcode| StatelessConfig {
+            opcode,
+            imm: 0,
+            mux_a: 0,
+            mux_b: 0,
         };
-        let err = compile_parallel(attempt, 3, Instant::now(), None).unwrap_err();
-        match err {
-            CodegenError::Internal(msg) => {
-                assert!(msg.contains("depth 2"), "msg: {msg}");
-                assert!(msg.contains("injected depth-2 panic"), "msg: {msg}");
-            }
-            other => panic!("expected Internal, got {other:?}"),
+        let mut pipeline = PipelineConfig {
+            stages: vec![StageConfig {
+                // Index 3 names SubImm in both lists; index 7 is past the
+                // end of the 6-op restricted list (a 3-bit hole allows it)
+                // and must clamp to PassA, not decode as banzai's Ne.
+                stateless: vec![alu(3), alu(7)],
+                stateful: vec![],
+                out_mux: vec![],
+            }],
+        };
+        remap_stateless_ops(&mut pipeline, &from, &base).unwrap();
+        assert_eq!(pipeline.stages[0].stateless[0].opcode, 3);
+        assert_eq!(pipeline.stages[0].stateless[1].opcode, 5); // PassA
+                                                               // Identity specs are left untouched, raw indices included.
+        let mut same = PipelineConfig {
+            stages: vec![StageConfig {
+                stateless: vec![alu(31)],
+                stateful: vec![],
+                out_mux: vec![],
+            }],
+        };
+        remap_stateless_ops(&mut same, &base, &base).unwrap();
+        assert_eq!(same.stages[0].stateless[0].opcode, 31);
+        // An op the caller's ALU cannot express voids the candidate.
+        let exotic = StatelessAluSpec {
+            ops: vec![chipmunk_pisa::StatelessOp::Xor],
+            imm_bits: 4,
+        };
+        let mut foreign = PipelineConfig {
+            stages: vec![StageConfig {
+                stateless: vec![alu(0)],
+                stateful: vec![],
+                out_mux: vec![],
+            }],
+        };
+        assert!(matches!(
+            remap_stateless_ops(&mut foreign, &exotic, &from),
+            Err(StepError::Infeasible)
+        ));
+    }
+
+    #[test]
+    fn portfolio_winners_certify_under_the_base_spec() {
+        // End-to-end guard for the opcode-portability bug: a portfolio win
+        // (whatever strategy produced it) must recertify from its public
+        // parts with the *caller's* stateless spec, exactly as the serving
+        // layer does when it rebuilds the grid from request options.
+        let prog = parse("pkt.x = pkt.a;").unwrap();
+        let mut opts = CompilerOptions::small_for_tests();
+        opts.portfolio = true;
+        let out = compile(&prog, &opts).expect("portfolio compile");
+        assert_eq!(out.grid.stateless, opts.stateless);
+        crate::certify::certify_success(&prog, &opts, &out).expect("base-spec certification");
+    }
+
+    #[test]
+    fn portfolio_mode_compiles_and_certifies() {
+        let prog = parse(
+            "state count;
+             if (count == 3) { count = 0; pkt.sample = 1; }
+             else { count = count + 1; pkt.sample = 0; }",
+        )
+        .unwrap();
+        let mut opts = CompilerOptions::small_for_tests();
+        opts.portfolio = true;
+        let plan = plan_compilation(&prog, &opts).unwrap();
+        assert_eq!(plan.steps.len(), 3 * opts.max_stages);
+        assert!(plan
+            .groups
+            .iter()
+            .all(|g| g.mode == RaceMode::Strategies && g.steps.len() == 3));
+        let out = compile(&prog, &opts).expect("portfolio compiles");
+        // Certification is part of winning a strategy race, so any result
+        // returned here passed it; the winner must still be depth-minimal.
+        assert_eq!(out.resources.stages_used, 1);
+    }
+
+    #[test]
+    fn observer_sees_cancelled_losers_not_failures() {
+        use std::sync::Mutex;
+        let prog = parse(
+            "state count;
+             if (count == 3) { count = 0; pkt.sample = 1; }
+             else { count = count + 1; pkt.sample = 0; }",
+        )
+        .unwrap();
+        let mut opts = CompilerOptions::small_for_tests();
+        opts.portfolio = true;
+        let reports: Mutex<Vec<(usize, StepOutcome)>> = Mutex::new(Vec::new());
+        let observer = |r: &chipmunk_plan::StepReport| {
+            reports.lock().unwrap().push((r.step, r.outcome));
+        };
+        let out = compile_with_control(
+            &prog,
+            &opts,
+            PlanControl {
+                observer: Some(&observer),
+                ..PlanControl::default()
+            },
+        )
+        .expect("portfolio compiles");
+        assert_eq!(out.resources.stages_used, 1);
+        let reports = reports.into_inner().unwrap();
+        // Exactly the first group's three steps ran (depth 1 won).
+        assert_eq!(reports.len(), 3);
+        assert!(reports.iter().any(|(_, o)| *o == StepOutcome::Success));
+        // A raced-out loser is attributed as cancelled, never as a
+        // timeout/failure — the stats-attribution contract.
+        for (_, outcome) in &reports {
+            assert!(
+                matches!(
+                    outcome,
+                    StepOutcome::Success | StepOutcome::Cancelled | StepOutcome::Infeasible
+                ),
+                "unexpected outcome {outcome:?}"
+            );
         }
     }
 
     #[test]
-    fn parallel_sweep_panic_does_not_mask_timeout() {
-        let attempt: &AttemptFn<'_> = &|stages, _flag| {
-            if stages == 1 {
-                panic!("injected depth-1 panic");
-            }
-            Err(SynthesisError::Timeout)
-        };
-        let err = compile_parallel(attempt, 2, Instant::now(), None).unwrap_err();
-        assert_eq!(err, CodegenError::Timeout);
+    fn resume_skips_completed_steps() {
+        let prog = parse("state s; s = s + pkt.x; pkt.y = s;").unwrap();
+        let mut opts = CompilerOptions::small_for_tests();
+        opts.max_stages = 3;
+        let full = compile(&prog, &opts).expect("fits");
+        // Resuming past the winning depth must still find a (deeper)
+        // solution, proving skipped steps are really skipped.
+        let resumed = compile_with_control(
+            &prog,
+            &opts,
+            PlanControl {
+                resume_from: full.stages_tried,
+                ..PlanControl::default()
+            },
+        )
+        .expect("resume fits deeper");
+        assert!(resumed.stages_tried > full.stages_tried);
     }
 
     #[test]
@@ -564,6 +753,10 @@ mod tests {
         opts.slots = Some(2);
         assert!(matches!(
             compile(&prog, &opts).unwrap_err(),
+            CodegenError::TooLarge(_)
+        ));
+        assert!(matches!(
+            plan_compilation(&prog, &opts).unwrap_err(),
             CodegenError::TooLarge(_)
         ));
     }
@@ -591,7 +784,7 @@ mod tests {
     #[test]
     fn parallel_failure_diagnostics_match_sequential() {
         // An infeasible program must produce the same diagnostic in both
-        // modes, every run — the parallel sweep must not let thread finish
+        // modes, every run — the racing executor must not let thread finish
         // order (or cancellation artifacts) leak into the error.
         let prog = parse("pkt.z = pkt.x * pkt.y;").unwrap();
         let mut seq = CompilerOptions::small_for_tests();
@@ -606,20 +799,30 @@ mod tests {
     }
 
     #[test]
-    fn external_cancel_stops_both_modes() {
-        use std::sync::atomic::AtomicBool;
-        use std::sync::Arc;
+    fn external_cancel_stops_all_modes() {
         let prog = parse("state s; s = s + pkt.x; pkt.y = s;").unwrap();
         let mut opts = CompilerOptions::small_for_tests();
-        for parallel in [false, true] {
+        for (parallel, portfolio) in [(false, false), (true, false), (false, true)] {
             opts.parallel = parallel;
+            opts.portfolio = portfolio;
             let cancel = Arc::new(AtomicBool::new(true));
             assert_eq!(
                 compile_with_cancel(&prog, &opts, Some(cancel)).unwrap_err(),
                 CodegenError::Timeout,
-                "parallel={parallel}"
+                "parallel={parallel} portfolio={portfolio}"
             );
         }
+    }
+
+    #[test]
+    fn service_defaults_are_stable() {
+        let o = CompilerOptions::service_defaults();
+        assert_eq!(o.stateful.name, "if_else_raw");
+        assert_eq!(o.stateless, StatelessAluSpec::banzai(4));
+        assert_eq!(o.cegis.verify_width, 10);
+        assert_eq!(o.max_stages, 4);
+        assert_eq!(o.timeout, Some(Duration::from_millis(300_000)));
+        assert!(!o.parallel && !o.portfolio);
     }
 
     #[test]

@@ -787,6 +787,21 @@ pub mod library {
             nested_ifs(imm_bits),
         ]
     }
+
+    /// Look a library template up by its canonical name, as used on the
+    /// CLI (`--template`) and the serve wire protocol. Every front end
+    /// should resolve template names through this single table so the
+    /// accepted set cannot diverge between entry points.
+    pub fn by_name(name: &str, imm_bits: u8) -> Option<StatefulAluSpec> {
+        match name {
+            "raw" => Some(raw(imm_bits)),
+            "pred_raw" => Some(pred_raw(imm_bits)),
+            "if_else_raw" => Some(if_else_raw(imm_bits)),
+            "sub" => Some(sub(imm_bits)),
+            "nested_ifs" => Some(nested_ifs(imm_bits)),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,1569 @@
+//! # chipmunk-plan
+//!
+//! Compilation reified as data. The paper's driver is a fixed escalation
+//! loop — try a 1-stage grid, then 2, then 3 — hard-coded in the compiler.
+//! This crate splits that loop into three explicit pieces:
+//!
+//! * a [`CompilePlan`]: an ordered list of [`PlanStep`]s (each a grid depth
+//!   × width × [`Strategy`] with a per-step solver [`ResourceBudget`]),
+//!   partitioned into [`PlanGroup`]s that run one after another;
+//! * a planner ([`plan`]) that produces the plan from the caller's search
+//!   parameters;
+//! * an [`execute`] function that runs the plan: solo groups run inline,
+//!   racing groups run on worker threads where the first acceptable win
+//!   cancels the rest through the solver's cooperative cancellation flags.
+//!   On a machine with no spare parallelism a strategy race degrades to
+//!   an ordered sequential trial of the same steps
+//!   ([`ExecControl::race_threads`]) — same plan, same outcomes, no
+//!   oversubscription.
+//!
+//! The split is what makes portfolio search possible (no single
+//! hole-restriction strategy dominates across benchmarks, so racing them —
+//! the K2 insight — wins on wall-clock), and it makes plans *resumable*:
+//! a [`CompilePlan::fingerprint`] plus a completed-step index journaled by
+//! the serving layer is enough to restart a half-executed plan at its
+//! first unfinished step after a crash.
+//!
+//! This crate knows nothing about sketches or CEGIS: [`execute`] is
+//! generic over a *runner* callback that maps one step to a synthesis
+//! attempt and a *certifier* callback that accepts or rejects a win. The
+//! `chipmunk` core crate supplies both.
+
+#![warn(missing_docs)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+pub use chipmunk_sat::ResourceBudget;
+
+// ---------------------------------------------------------------------------
+// Plan data model
+// ---------------------------------------------------------------------------
+
+/// A hole-restriction strategy for one synthesis attempt. Strategies trade
+/// search-space size against completeness; the ablation data shows none
+/// dominates across programs, which is why racing them pays.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Strategy {
+    /// The caller's stateless ALU with canonical (first-fit) packet-field
+    /// allocation — the symmetry-broken default. Complete: canonical
+    /// allocation only breaks a container-permutation symmetry, it never
+    /// loses solutions.
+    CanonicalAllocation,
+    /// Arithmetic-only stateless opcodes with canonical allocation —
+    /// smaller holes, much faster when the program fits, but *incomplete*:
+    /// an infeasibility verdict under this strategy proves nothing about
+    /// the full ALU.
+    OpcodeRestricted,
+    /// The full stateless ALU with free (one-hot) field allocation — no
+    /// restriction on either axis. Complete, and occasionally faster than
+    /// the canonical encoding on allocation-sensitive programs.
+    FullAlu,
+}
+
+impl Strategy {
+    /// Stable wire/display name (used by `plan --explain`, golden plans,
+    /// the journal, and metrics labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::CanonicalAllocation => "canonical-allocation",
+            Strategy::OpcodeRestricted => "opcode-restricted",
+            Strategy::FullAlu => "full-alu",
+        }
+    }
+
+    /// Can an `Infeasible` verdict under this strategy be trusted as a
+    /// verdict about the grid itself?
+    pub fn is_complete(self) -> bool {
+        !matches!(self, Strategy::OpcodeRestricted)
+    }
+}
+
+/// One synthesis attempt: a grid shape plus the strategy and solver budget
+/// to attack it with.
+#[derive(Clone, Copy, Debug)]
+pub struct PlanStep {
+    /// Position in [`CompilePlan::steps`] — the unit of journaled progress.
+    pub index: usize,
+    /// Grid depth (pipeline stages) of this attempt.
+    pub stages: usize,
+    /// Grid width (PHV containers / ALUs per stage).
+    pub slots: usize,
+    /// Hole-restriction strategy.
+    pub strategy: Strategy,
+    /// Solver resource ceilings for this step.
+    pub budget: ResourceBudget,
+    /// Index of the [`PlanGroup`] this step belongs to.
+    pub group: usize,
+}
+
+/// How the steps of one group are driven.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RaceMode {
+    /// A single step, run inline on the calling thread.
+    Solo,
+    /// Steps at *different depths* race; a success cancels only deeper
+    /// steps (their answer could never be preferred) and the shallowest
+    /// success wins, so the result stays depth-minimal.
+    Depths,
+    /// Steps at the *same depth* with different strategies race; the first
+    /// **certified** win cancels every other step in the group, and so
+    /// does an `Infeasible` verdict from a *complete* strategy — the
+    /// depth is settled either way, so the group never waits out a
+    /// loser's UNSAT proof.
+    Strategies,
+}
+
+impl RaceMode {
+    /// Stable wire/display name (used by `plan --explain` and the plan
+    /// fingerprint).
+    pub fn name(self) -> &'static str {
+        match self {
+            RaceMode::Solo => "solo",
+            RaceMode::Depths => "race-depths",
+            RaceMode::Strategies => "race-strategies",
+        }
+    }
+}
+
+/// A set of steps executed together; groups run in plan order.
+#[derive(Clone, Debug)]
+pub struct PlanGroup {
+    /// Drive mode.
+    pub mode: RaceMode,
+    /// Indices into [`CompilePlan::steps`].
+    pub steps: Vec<usize>,
+}
+
+/// An ordered compilation schedule.
+#[derive(Clone, Debug, Default)]
+pub struct CompilePlan {
+    /// All steps, in execution order (group by group).
+    pub steps: Vec<PlanStep>,
+    /// Group structure over `steps`.
+    pub groups: Vec<PlanGroup>,
+}
+
+impl CompilePlan {
+    /// Deterministic 64-bit fingerprint of the plan structure, rendered as
+    /// 16 hex digits. Two plans with the same fingerprint schedule the
+    /// same attempts in the same order — the property the serving layer's
+    /// journal relies on to resume a half-executed plan after a restart.
+    pub fn fingerprint(&self) -> String {
+        let mut text = String::new();
+        for g in &self.groups {
+            text.push_str(g.mode.name());
+            text.push('[');
+            for &si in &g.steps {
+                let s = &self.steps[si];
+                text.push_str(&format!(
+                    "{}:{}x{}:{}:{};",
+                    s.index,
+                    s.stages,
+                    s.slots,
+                    s.strategy.name(),
+                    budget_text(&s.budget),
+                ));
+            }
+            text.push(']');
+        }
+        format!("{:016x}", fnv1a64(text.as_bytes()))
+    }
+
+    /// Human-readable rendering, the `chipmunkc plan --explain` output.
+    /// The format is stable: golden-plan tests diff it verbatim.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "plan: {} steps in {} groups, fingerprint {}\n",
+            self.steps.len(),
+            self.groups.len(),
+            self.fingerprint()
+        ));
+        for (gi, g) in self.groups.iter().enumerate() {
+            out.push_str(&format!("group {gi} ({})\n", g.mode.name()));
+            for &si in &g.steps {
+                let s = &self.steps[si];
+                out.push_str(&format!(
+                    "  step {}: depth {} x {} slots  strategy {}  budget {}\n",
+                    s.index,
+                    s.stages,
+                    s.slots,
+                    s.strategy.name(),
+                    budget_text(&s.budget),
+                ));
+            }
+        }
+        out
+    }
+}
+
+fn budget_text(b: &ResourceBudget) -> String {
+    if !b.is_limited() {
+        return "unlimited".to_string();
+    }
+    let mut parts = Vec::new();
+    if let Some(c) = b.conflicts {
+        parts.push(format!("conflicts={c}"));
+    }
+    if let Some(p) = b.propagations {
+        parts.push(format!("propagations={p}"));
+    }
+    if let Some(by) = b.clause_bytes {
+        parts.push(format!("bytes={by}"));
+    }
+    parts.join(",")
+}
+
+/// FNV-1a 64-bit — tiny, deterministic, dependency-free.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Planner
+// ---------------------------------------------------------------------------
+
+/// Everything the planner needs to know about a compilation request.
+/// (Deliberately *not* the compiler's option struct: this crate stays
+/// below the sketch/CEGIS layer, so the core crate converts.)
+#[derive(Clone, Copy, Debug)]
+pub struct PlanInputs {
+    /// Largest pipeline depth to schedule.
+    pub max_stages: usize,
+    /// Grid width (already resolved against the program's field/state
+    /// counts by the caller).
+    pub slots: usize,
+    /// Race all depths concurrently (the parallel grid sweep).
+    pub parallel: bool,
+    /// Race strategies within each depth, first certified win takes all.
+    /// Takes precedence over `parallel`.
+    pub portfolio: bool,
+    /// Solver budget applied to every step.
+    pub budget: ResourceBudget,
+    /// Does the caller's sketch use canonical field allocation? Decides
+    /// which strategy reproduces the caller's options exactly in
+    /// non-portfolio plans.
+    pub canonical_fields: bool,
+}
+
+/// Produce the schedule for one compilation.
+///
+/// * Default: one solo step per depth `1..=max_stages`, smallest first —
+///   byte-for-byte the paper's escalation loop.
+/// * `parallel`: the same steps as one depth-racing group.
+/// * `portfolio`: per depth, a strategy-racing group of
+///   opcode-restricted / canonical-allocation / full-ALU; depths still
+///   escalate smallest-first so the result stays depth-minimal.
+pub fn plan(inputs: &PlanInputs) -> CompilePlan {
+    let mut p = CompilePlan::default();
+    let default_strategy = if inputs.canonical_fields {
+        Strategy::CanonicalAllocation
+    } else {
+        Strategy::FullAlu
+    };
+    let push = |p: &mut CompilePlan, stages: usize, strategy: Strategy, group: usize| {
+        let index = p.steps.len();
+        p.steps.push(PlanStep {
+            index,
+            stages,
+            slots: inputs.slots,
+            strategy,
+            budget: inputs.budget,
+            group,
+        });
+        index
+    };
+    if inputs.portfolio {
+        for stages in 1..=inputs.max_stages {
+            let group = p.groups.len();
+            let steps = [
+                Strategy::OpcodeRestricted,
+                Strategy::CanonicalAllocation,
+                Strategy::FullAlu,
+            ]
+            .into_iter()
+            .map(|s| push(&mut p, stages, s, group))
+            .collect();
+            p.groups.push(PlanGroup {
+                mode: RaceMode::Strategies,
+                steps,
+            });
+        }
+    } else if inputs.parallel {
+        let group = p.groups.len();
+        let steps = (1..=inputs.max_stages)
+            .map(|stages| push(&mut p, stages, default_strategy, group))
+            .collect();
+        p.groups.push(PlanGroup {
+            mode: RaceMode::Depths,
+            steps,
+        });
+    } else {
+        for stages in 1..=inputs.max_stages {
+            let group = p.groups.len();
+            let steps = vec![push(&mut p, stages, default_strategy, group)];
+            p.groups.push(PlanGroup {
+                mode: RaceMode::Solo,
+                steps,
+            });
+        }
+    }
+    p
+}
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+/// Why one step did not produce a result (reported by the runner).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StepError {
+    /// Synthesis proved the sketch infeasible for this step's grid (only
+    /// conclusive if the step's strategy [`Strategy::is_complete`]).
+    Infeasible,
+    /// A deadline, iteration cap, or resource budget ran out.
+    Timeout,
+    /// The step observed its cancellation flag and stopped.
+    Cancelled,
+    /// The options are self-inconsistent — deterministic across steps, so
+    /// the whole plan fails fast.
+    InvalidOptions(String),
+}
+
+/// How one executed step ended — fed to the progress observer so the
+/// serving layer can journal completed steps and attribute per-strategy
+/// metrics (a cancelled racing loser must not be recorded as a failure).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StepOutcome {
+    /// The step synthesized a result (it may still lose the race).
+    Success,
+    /// Conclusively infeasible for this step's grid and strategy.
+    Infeasible,
+    /// Budget/deadline exhaustion.
+    Timeout,
+    /// Cancelled — by a racing winner or an external abort.
+    Cancelled,
+    /// Self-inconsistent options.
+    InvalidOptions,
+    /// The step's thread panicked (isolated, reported as data).
+    Panicked,
+    /// The step synthesized a result that failed certification.
+    Uncertified,
+}
+
+impl StepOutcome {
+    /// Stable display name (journal records, metrics labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            StepOutcome::Success => "success",
+            StepOutcome::Infeasible => "infeasible",
+            StepOutcome::Timeout => "timeout",
+            StepOutcome::Cancelled => "cancelled",
+            StepOutcome::InvalidOptions => "invalid_options",
+            StepOutcome::Panicked => "panicked",
+            StepOutcome::Uncertified => "uncertified",
+        }
+    }
+}
+
+/// One completed step, as seen by the progress observer.
+#[derive(Clone, Copy, Debug)]
+pub struct StepReport {
+    /// Index of the step in the plan.
+    pub step: usize,
+    /// Grid depth of the step.
+    pub stages: usize,
+    /// Strategy of the step.
+    pub strategy: Strategy,
+    /// How it ended.
+    pub outcome: StepOutcome,
+    /// Wall time the step ran for.
+    pub elapsed: Duration,
+}
+
+/// Why the whole plan failed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ExecError {
+    /// Every depth was conclusively infeasible.
+    Infeasible,
+    /// Budgets or deadlines ran out before a verdict.
+    Timeout,
+    /// The external cancellation flag stopped the plan.
+    Cancelled,
+    /// Deterministic caller error, reported from the first step.
+    InvalidOptions(String),
+    /// A racing step's thread panicked and no other step decided the
+    /// plan. Carries a bounded panic message.
+    Internal(String),
+    /// A winning step's result failed certification.
+    Uncertified(String),
+}
+
+/// A won plan: the winning step index and the runner's result.
+#[derive(Debug)]
+pub struct ExecSuccess<T> {
+    /// Index into [`CompilePlan::steps`] of the winning step.
+    pub step: usize,
+    /// The runner's result for that step.
+    pub value: T,
+}
+
+/// Observer callback: invoked once per *executed* step, in completion
+/// order, racing steps included.
+pub type Observer<'a> = &'a (dyn Fn(&StepReport) + Sync);
+
+/// Execution knobs.
+#[derive(Default)]
+pub struct ExecControl<'a> {
+    /// External cooperative cancellation (abortive shutdown, per-job
+    /// timeouts). Fanned out to every racing step's flag by a monitor.
+    pub cancel: Option<Arc<AtomicBool>>,
+    /// Wall-clock deadline of the whole plan; a timed-out step past the
+    /// deadline ends the plan instead of escalating.
+    pub deadline: Option<Instant>,
+    /// Skip steps with `index < resume_from` — they already completed
+    /// (without success) in a previous run of the same plan, per the
+    /// serving layer's journal.
+    pub resume_from: usize,
+    /// Progress observer.
+    pub observer: Option<Observer<'a>>,
+    /// OS threads a racing group may occupy; `None` auto-detects the
+    /// machine's available parallelism. With fewer than two threads a
+    /// [`RaceMode::Strategies`] group degrades to an ordered sequential
+    /// trial of the same steps — concurrent racing on one core only
+    /// time-slices competing solvers, making every race run at the sum
+    /// of its members instead of their minimum.
+    pub race_threads: Option<usize>,
+}
+
+impl ExecControl<'_> {
+    fn effective_race_threads(&self) -> usize {
+        self.race_threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    }
+}
+
+/// Run `plan`. `runner` maps one step to a synthesis attempt; `certify`
+/// accepts or rejects a candidate win (its `Err` carries the reason).
+///
+/// Certification placement follows the race mode: solo steps and
+/// depth-races certify the chosen winner once (a failure aborts the
+/// plan — the historical driver behavior), while strategy-races certify
+/// *inside* the race, so only a certified win cancels the other
+/// strategies and an uncertified candidate just drops out.
+pub fn execute<T, R, C>(
+    plan: &CompilePlan,
+    runner: R,
+    certify: C,
+    ctl: ExecControl<'_>,
+) -> Result<ExecSuccess<T>, ExecError>
+where
+    T: Send,
+    R: Fn(&PlanStep, Option<Arc<AtomicBool>>) -> Result<T, StepError> + Sync,
+    C: Fn(&PlanStep, &T) -> Result<(), String> + Sync,
+{
+    let mut saw_timeout = false;
+    let mut panicked: Option<String> = None;
+    for group in &plan.groups {
+        // Resume: a group whose steps all completed in a previous run of
+        // this plan is skipped wholesale (the journal only records steps
+        // that finished *without* winning).
+        if group.steps.iter().all(|&si| si < ctl.resume_from) {
+            continue;
+        }
+        if ctl
+            .cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Relaxed))
+        {
+            return Err(ExecError::Cancelled);
+        }
+        let verdict = match group.mode {
+            RaceMode::Solo => run_solo(plan, group, &runner, &certify, &ctl)?,
+            RaceMode::Depths => run_depth_race(plan, group, &runner, &certify, &ctl)?,
+            RaceMode::Strategies => {
+                if ctl.effective_race_threads() > 1 {
+                    run_strategy_race(plan, group, &runner, &certify, &ctl)?
+                } else {
+                    run_strategy_sequential(plan, group, &runner, &certify, &ctl)?
+                }
+            }
+        };
+        match verdict {
+            GroupVerdict::Won(success) => return Ok(success),
+            GroupVerdict::Infeasible => {}
+            GroupVerdict::Timeout => {
+                saw_timeout = true;
+                if ctl.deadline.is_some_and(|d| Instant::now() >= d) {
+                    return Err(ExecError::Timeout);
+                }
+            }
+            GroupVerdict::Panicked(msg) => {
+                if panicked.is_none() {
+                    panicked = Some(msg);
+                }
+            }
+        }
+    }
+    if saw_timeout {
+        Err(ExecError::Timeout)
+    } else if let Some(msg) = panicked {
+        Err(ExecError::Internal(msg))
+    } else {
+        Err(ExecError::Infeasible)
+    }
+}
+
+enum GroupVerdict<T> {
+    Won(ExecSuccess<T>),
+    /// Conclusively infeasible at this group's depth(s); escalate.
+    Infeasible,
+    /// Undecided for budget/deadline reasons; escalate, but remember.
+    Timeout,
+    /// Undecided because a thread panicked; escalate, but remember.
+    Panicked(String),
+}
+
+fn observe(ctl: &ExecControl<'_>, step: &PlanStep, outcome: StepOutcome, started: Instant) {
+    chipmunk_trace::event!(
+        "plan.step",
+        step = step.index as u64,
+        stages = step.stages as u64,
+        strategy = step.strategy.name(),
+        outcome = outcome.name(),
+    );
+    if let Some(obs) = ctl.observer {
+        obs(&StepReport {
+            step: step.index,
+            stages: step.stages,
+            strategy: step.strategy,
+            outcome,
+            elapsed: started.elapsed(),
+        });
+    }
+}
+
+fn run_solo<T, R, C>(
+    plan: &CompilePlan,
+    group: &PlanGroup,
+    runner: &R,
+    certify: &C,
+    ctl: &ExecControl<'_>,
+) -> Result<GroupVerdict<T>, ExecError>
+where
+    R: Fn(&PlanStep, Option<Arc<AtomicBool>>) -> Result<T, StepError> + Sync,
+    C: Fn(&PlanStep, &T) -> Result<(), String> + Sync,
+{
+    let step = &plan.steps[group.steps[0]];
+    let started = Instant::now();
+    match runner(step, ctl.cancel.clone()) {
+        Ok(value) => match certify(step, &value) {
+            Ok(()) => {
+                observe(ctl, step, StepOutcome::Success, started);
+                Ok(GroupVerdict::Won(ExecSuccess {
+                    step: step.index,
+                    value,
+                }))
+            }
+            Err(why) => {
+                observe(ctl, step, StepOutcome::Uncertified, started);
+                Err(ExecError::Uncertified(why))
+            }
+        },
+        Err(StepError::Infeasible) => {
+            observe(ctl, step, StepOutcome::Infeasible, started);
+            // An infeasibility verdict from an incomplete strategy proves
+            // nothing about the grid; treat it like an exhausted budget so
+            // the final diagnostic stays honest. (Solo plans always use a
+            // complete strategy today, but the executor must not rely on
+            // the planner for soundness.)
+            if step.strategy.is_complete() {
+                Ok(GroupVerdict::Infeasible)
+            } else {
+                Ok(GroupVerdict::Timeout)
+            }
+        }
+        Err(StepError::Timeout) => {
+            observe(ctl, step, StepOutcome::Timeout, started);
+            Ok(GroupVerdict::Timeout)
+        }
+        Err(StepError::Cancelled) => {
+            observe(ctl, step, StepOutcome::Cancelled, started);
+            Err(ExecError::Cancelled)
+        }
+        Err(StepError::InvalidOptions(m)) => {
+            observe(ctl, step, StepOutcome::InvalidOptions, started);
+            Err(ExecError::InvalidOptions(m))
+        }
+    }
+}
+
+/// Race all steps of `group` (distinct depths). A success cancels only
+/// *deeper* steps; the shallowest success wins; the winner is certified
+/// once after the race. Failure diagnostics are deterministic regardless
+/// of thread finish order: invalid-options beats timeout beats panic
+/// beats infeasible, and a cancelled step's Timeout is not counted.
+fn run_depth_race<T, R, C>(
+    plan: &CompilePlan,
+    group: &PlanGroup,
+    runner: &R,
+    certify: &C,
+    ctl: &ExecControl<'_>,
+) -> Result<GroupVerdict<T>, ExecError>
+where
+    T: Send,
+    R: Fn(&PlanStep, Option<Arc<AtomicBool>>) -> Result<T, StepError> + Sync,
+    C: Fn(&PlanStep, &T) -> Result<(), String> + Sync,
+{
+    let n = group.steps.len();
+    let flags: Vec<Arc<AtomicBool>> = (0..n).map(|_| Arc::new(AtomicBool::new(false))).collect();
+    let mut results: Vec<(usize, Result<Result<T, StepError>, String>)> =
+        scope_race(plan, group, runner, ctl, &flags, |pos, res, flags| {
+            // A depth that synthesized cancels every deeper depth.
+            if res.is_ok() {
+                for f in &flags[pos + 1..] {
+                    f.store(true, Ordering::Relaxed);
+                }
+            }
+            None
+        });
+    results.sort_by_key(|(pos, _)| *pos);
+    let externally_cancelled = ctl
+        .cancel
+        .as_ref()
+        .is_some_and(|c| c.load(Ordering::Relaxed));
+    let mut saw_timeout = false;
+    let mut panicked: Option<(usize, String)> = None;
+    let mut invalid: Option<String> = None;
+    let mut incomplete_infeasible = false;
+    let mut best: Option<(usize, T)> = None;
+    for (pos, res) in results {
+        let step = &plan.steps[group.steps[pos]];
+        match res {
+            Ok(Ok(value)) => {
+                if best.is_none() {
+                    best = Some((step.index, value));
+                }
+            }
+            Ok(Err(StepError::InvalidOptions(m))) => {
+                if invalid.is_none() {
+                    invalid = Some(m);
+                }
+            }
+            Ok(Err(StepError::Timeout)) => {
+                // A flagged step's Timeout is a cancellation artifact, not
+                // budget exhaustion (already attributed by the observer).
+                if !flags[pos].load(Ordering::Relaxed) {
+                    saw_timeout = true;
+                }
+            }
+            Ok(Err(StepError::Cancelled)) => {}
+            Ok(Err(StepError::Infeasible)) => {
+                if !step.strategy.is_complete() {
+                    incomplete_infeasible = true;
+                }
+            }
+            Err(msg) => {
+                if panicked.is_none() {
+                    panicked = Some((step.stages, msg));
+                }
+            }
+        }
+    }
+    match best {
+        Some((index, value)) => {
+            let step = &plan.steps[index];
+            match certify(step, &value) {
+                Ok(()) => Ok(GroupVerdict::Won(ExecSuccess { step: index, value })),
+                Err(why) => Err(ExecError::Uncertified(why)),
+            }
+        }
+        None if invalid.is_some() => Err(ExecError::InvalidOptions(invalid.unwrap())),
+        None if externally_cancelled => Err(ExecError::Cancelled),
+        None if saw_timeout => Ok(GroupVerdict::Timeout),
+        None => match panicked {
+            Some((stages, msg)) => Ok(GroupVerdict::Panicked(format!(
+                "search thread for depth {stages} panicked: {msg}"
+            ))),
+            // Every depth decided; if any verdict came from an incomplete
+            // strategy the sweep is inconclusive rather than infeasible.
+            None if incomplete_infeasible => Ok(GroupVerdict::Timeout),
+            None => Ok(GroupVerdict::Infeasible),
+        },
+    }
+}
+
+/// Race all steps of `group` (same depth, distinct strategies). The first
+/// *certified* success cancels every other step; an uncertified candidate
+/// drops out and the race continues. Infeasibility at this depth is only
+/// concluded from a complete strategy's verdict.
+fn run_strategy_race<T, R, C>(
+    plan: &CompilePlan,
+    group: &PlanGroup,
+    runner: &R,
+    certify: &C,
+    ctl: &ExecControl<'_>,
+) -> Result<GroupVerdict<T>, ExecError>
+where
+    T: Send,
+    R: Fn(&PlanStep, Option<Arc<AtomicBool>>) -> Result<T, StepError> + Sync,
+    C: Fn(&PlanStep, &T) -> Result<(), String> + Sync,
+{
+    let n = group.steps.len();
+    let flags: Vec<Arc<AtomicBool>> = (0..n).map(|_| Arc::new(AtomicBool::new(false))).collect();
+    let winner: Mutex<Option<(usize, T)>> = Mutex::new(None);
+    let uncertified: Mutex<Option<String>> = Mutex::new(None);
+    let mut results: Vec<(usize, Result<Result<T, StepError>, String>)> =
+        scope_race(plan, group, runner, ctl, &flags, |pos, res, flags| {
+            // Certify inside the race: only a certified win takes the
+            // group, and it cancels everyone else.
+            let Ok(value) = res else {
+                // An Infeasible verdict from a *complete* strategy settles
+                // the whole depth — no sibling can win a space the
+                // unrestricted (or symmetry-broken-only) encoding proved
+                // empty — so cancel the siblings and let the group
+                // escalate now instead of waiting out their UNSAT proofs.
+                // A sibling that already synthesized a candidate still
+                // certifies and wins: cancellation is cooperative, and a
+                // concrete certified artifact outranks any verdict.
+                if matches!(res, Err(StepError::Infeasible))
+                    && plan.steps[group.steps[pos]].strategy.is_complete()
+                {
+                    for (i, f) in flags.iter().enumerate() {
+                        if i != pos {
+                            f.store(true, Ordering::Relaxed);
+                        }
+                    }
+                }
+                return None;
+            };
+            let step = &plan.steps[group.steps[pos]];
+            match certify(step, value) {
+                Ok(()) => {
+                    let mut w = winner.lock().unwrap_or_else(|e| e.into_inner());
+                    if w.is_none() {
+                        // Move the value out; the placeholder error is
+                        // never classified because the winner returns
+                        // before classification runs.
+                        if let Ok(v) = std::mem::replace(res, Err(StepError::Cancelled)) {
+                            *w = Some((step.index, v));
+                        }
+                        drop(w);
+                        for (i, f) in flags.iter().enumerate() {
+                            if i != pos {
+                                f.store(true, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    // A later certified success that lost the race is
+                    // still a success for attribution purposes.
+                    Some(StepOutcome::Success)
+                }
+                Err(why) => {
+                    let mut u = uncertified.lock().unwrap_or_else(|e| e.into_inner());
+                    if u.is_none() {
+                        *u = Some(why);
+                    }
+                    *res = Err(StepError::Timeout);
+                    Some(StepOutcome::Uncertified)
+                }
+            }
+        });
+    results.sort_by_key(|(pos, _)| *pos);
+    if let Some((index, value)) = winner.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        return Ok(GroupVerdict::Won(ExecSuccess { step: index, value }));
+    }
+    let externally_cancelled = ctl
+        .cancel
+        .as_ref()
+        .is_some_and(|c| c.load(Ordering::Relaxed));
+    let mut invalid: Option<String> = None;
+    let mut complete_infeasible = false;
+    let mut saw_timeout = false;
+    let mut panicked: Option<(usize, String)> = None;
+    for (pos, res) in results {
+        let step = &plan.steps[group.steps[pos]];
+        match res {
+            Ok(Ok(_)) => {}
+            Ok(Err(StepError::InvalidOptions(m))) => {
+                if invalid.is_none() {
+                    invalid = Some(m);
+                }
+            }
+            Ok(Err(StepError::Infeasible)) => {
+                if step.strategy.is_complete() {
+                    complete_infeasible = true;
+                }
+            }
+            Ok(Err(StepError::Timeout)) => {
+                if !flags[pos].load(Ordering::Relaxed) {
+                    saw_timeout = true;
+                }
+            }
+            Ok(Err(StepError::Cancelled)) => {}
+            Err(msg) => {
+                if panicked.is_none() {
+                    panicked = Some((step.stages, msg));
+                }
+            }
+        }
+    }
+    if let Some(m) = invalid {
+        return Err(ExecError::InvalidOptions(m));
+    }
+    if externally_cancelled {
+        return Err(ExecError::Cancelled);
+    }
+    if let Some(why) = uncertified.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        // Candidates synthesized but none certified: surface the defect
+        // instead of silently escalating to a deeper grid.
+        return Err(ExecError::Uncertified(why));
+    }
+    if complete_infeasible {
+        // A complete strategy proved the depth infeasible; racing losers
+        // that timed out do not weaken that verdict.
+        Ok(GroupVerdict::Infeasible)
+    } else if saw_timeout {
+        Ok(GroupVerdict::Timeout)
+    } else if let Some((stages, msg)) = panicked {
+        Ok(GroupVerdict::Panicked(format!(
+            "search thread for depth {stages} panicked: {msg}"
+        )))
+    } else {
+        // Only incomplete strategies reported Infeasible — inconclusive.
+        Ok(GroupVerdict::Timeout)
+    }
+}
+
+/// [`run_strategy_race`] for a machine with no spare parallelism: the
+/// same steps run one at a time, in plan order (the planner puts the
+/// cheapest, most-restricted strategy first), and the group stops early
+/// on exactly the events that cancel siblings in the concurrent race —
+/// a certified win or an authoritative (complete-strategy) infeasibility
+/// verdict. Steps skipped by an early stop are reported `Cancelled`, so
+/// per-strategy attribution and the serve daemon's `portfolio_cancelled`
+/// accounting are mode-independent.
+fn run_strategy_sequential<T, R, C>(
+    plan: &CompilePlan,
+    group: &PlanGroup,
+    runner: &R,
+    certify: &C,
+    ctl: &ExecControl<'_>,
+) -> Result<GroupVerdict<T>, ExecError>
+where
+    T: Send,
+    R: Fn(&PlanStep, Option<Arc<AtomicBool>>) -> Result<T, StepError> + Sync,
+    C: Fn(&PlanStep, &T) -> Result<(), String> + Sync,
+{
+    let mut winner: Option<ExecSuccess<T>> = None;
+    let mut uncertified: Option<String> = None;
+    let mut invalid: Option<String> = None;
+    let mut complete_infeasible = false;
+    let mut saw_timeout = false;
+    let mut panicked: Option<(usize, String)> = None;
+    for &si in &group.steps {
+        let step = &plan.steps[si];
+        if si < ctl.resume_from {
+            continue;
+        }
+        if winner.is_some() || complete_infeasible {
+            // The group is settled; the remaining strategies never run —
+            // the sequential analogue of a cancelled racing loser.
+            observe(ctl, step, StepOutcome::Cancelled, Instant::now());
+            continue;
+        }
+        if ctl
+            .cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Relaxed))
+        {
+            return Err(ExecError::Cancelled);
+        }
+        if ctl.deadline.is_some_and(|d| Instant::now() >= d) {
+            observe(ctl, step, StepOutcome::Timeout, Instant::now());
+            saw_timeout = true;
+            continue;
+        }
+        let started = Instant::now();
+        let res = catch_unwind(AssertUnwindSafe(|| runner(step, ctl.cancel.clone())))
+            .map_err(|payload| panic_text(payload.as_ref()));
+        match res {
+            Ok(Ok(value)) => match certify(step, &value) {
+                Ok(()) => {
+                    observe(ctl, step, StepOutcome::Success, started);
+                    winner = Some(ExecSuccess {
+                        step: step.index,
+                        value,
+                    });
+                }
+                Err(why) => {
+                    // An uncertified candidate drops out and the next
+                    // strategy gets its chance, as in the concurrent race.
+                    observe(ctl, step, StepOutcome::Uncertified, started);
+                    if uncertified.is_none() {
+                        uncertified = Some(why);
+                    }
+                }
+            },
+            Ok(Err(StepError::Infeasible)) => {
+                observe(ctl, step, StepOutcome::Infeasible, started);
+                if step.strategy.is_complete() {
+                    complete_infeasible = true;
+                }
+            }
+            Ok(Err(StepError::Timeout)) => {
+                observe(ctl, step, StepOutcome::Timeout, started);
+                saw_timeout = true;
+            }
+            Ok(Err(StepError::Cancelled)) => {
+                observe(ctl, step, StepOutcome::Cancelled, started);
+                return Err(ExecError::Cancelled);
+            }
+            Ok(Err(StepError::InvalidOptions(m))) => {
+                observe(ctl, step, StepOutcome::InvalidOptions, started);
+                if invalid.is_none() {
+                    invalid = Some(m);
+                }
+            }
+            Err(msg) => {
+                observe(ctl, step, StepOutcome::Panicked, started);
+                if panicked.is_none() {
+                    panicked = Some((step.stages, msg));
+                }
+            }
+        }
+    }
+    if let Some(success) = winner {
+        return Ok(GroupVerdict::Won(success));
+    }
+    if let Some(m) = invalid {
+        return Err(ExecError::InvalidOptions(m));
+    }
+    if let Some(why) = uncertified {
+        // Candidates synthesized but none certified: surface the defect
+        // instead of silently escalating to a deeper grid.
+        return Err(ExecError::Uncertified(why));
+    }
+    if complete_infeasible {
+        Ok(GroupVerdict::Infeasible)
+    } else if saw_timeout {
+        Ok(GroupVerdict::Timeout)
+    } else if let Some((stages, msg)) = panicked {
+        Ok(GroupVerdict::Panicked(format!(
+            "search thread for depth {stages} panicked: {msg}"
+        )))
+    } else {
+        // Only incomplete strategies reported Infeasible — inconclusive.
+        Ok(GroupVerdict::Timeout)
+    }
+}
+
+/// Shared racing scaffold: one scoped thread per step with panic
+/// isolation, an external-cancel monitor fanning out to per-step flags,
+/// per-step observer reports, and a `coordinate` hook invoked (under no
+/// lock) right after each step completes so the race mode can implement
+/// its cancellation policy. `coordinate` may rewrite the step's result
+/// and return an outcome override for the observer report.
+fn scope_race<'p, T, R>(
+    plan: &'p CompilePlan,
+    group: &'p PlanGroup,
+    runner: &R,
+    ctl: &ExecControl<'_>,
+    flags: &[Arc<AtomicBool>],
+    coordinate: impl Fn(usize, &mut Result<T, StepError>, &[Arc<AtomicBool>]) -> Option<StepOutcome>
+        + Sync,
+) -> Vec<(usize, Result<Result<T, StepError>, String>)>
+where
+    T: Send,
+    R: Fn(&PlanStep, Option<Arc<AtomicBool>>) -> Result<T, StepError> + Sync,
+{
+    let done = Arc::new(AtomicBool::new(false));
+    let out = std::thread::scope(|scope| {
+        if let Some(external) = ctl.cancel.clone() {
+            let flags = flags.to_vec();
+            let done = done.clone();
+            scope.spawn(move || {
+                while !done.load(Ordering::Relaxed) {
+                    if external.load(Ordering::Relaxed) {
+                        for f in &flags {
+                            f.store(true, Ordering::Relaxed);
+                        }
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            });
+        }
+        let coordinate = &coordinate;
+        let handles: Vec<_> = group
+            .steps
+            .iter()
+            .enumerate()
+            .map(|(pos, &si)| {
+                let step = &plan.steps[si];
+                let my_flag = flags[pos].clone();
+                let ctl_observer = ctl.observer;
+                scope.spawn(move || {
+                    let started = Instant::now();
+                    let mut res = catch_unwind(AssertUnwindSafe(|| runner(step, Some(my_flag))))
+                        .map_err(|payload| panic_text(payload.as_ref()));
+                    let outcome = match &mut res {
+                        Ok(inner) => coordinate(pos, inner, flags).unwrap_or(match inner {
+                            Ok(_) => StepOutcome::Success,
+                            Err(StepError::Infeasible) => StepOutcome::Infeasible,
+                            Err(StepError::Timeout) => {
+                                if flags[pos].load(Ordering::Relaxed) {
+                                    StepOutcome::Cancelled
+                                } else {
+                                    StepOutcome::Timeout
+                                }
+                            }
+                            Err(StepError::Cancelled) => StepOutcome::Cancelled,
+                            Err(StepError::InvalidOptions(_)) => StepOutcome::InvalidOptions,
+                        }),
+                        Err(_) => StepOutcome::Panicked,
+                    };
+                    chipmunk_trace::event!(
+                        "plan.step",
+                        step = step.index as u64,
+                        stages = step.stages as u64,
+                        strategy = step.strategy.name(),
+                        outcome = outcome.name(),
+                    );
+                    if let Some(obs) = ctl_observer {
+                        obs(&StepReport {
+                            step: step.index,
+                            stages: step.stages,
+                            strategy: step.strategy,
+                            outcome,
+                            elapsed: started.elapsed(),
+                        });
+                    }
+                    (pos, res)
+                })
+            })
+            .collect();
+        let out: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.join().expect("step threads isolate panics"))
+            .collect();
+        done.store(true, Ordering::Relaxed);
+        out
+    });
+    out
+}
+
+/// Short, bounded rendering of a `catch_unwind` payload.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    const MAX: usize = 200;
+    let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    };
+    if msg.len() > MAX {
+        let mut cut = MAX;
+        while !msg.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        format!("{}…", &msg[..cut])
+    } else {
+        msg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(max_stages: usize) -> PlanInputs {
+        PlanInputs {
+            max_stages,
+            slots: 3,
+            parallel: false,
+            portfolio: false,
+            budget: ResourceBudget::UNLIMITED,
+            canonical_fields: true,
+        }
+    }
+
+    fn ok_at<'a>(
+        depth: usize,
+    ) -> impl Fn(&PlanStep, Option<Arc<AtomicBool>>) -> Result<usize, StepError> + Sync + 'a {
+        move |step, _| {
+            if step.stages == depth {
+                Ok(step.index)
+            } else {
+                Err(StepError::Infeasible)
+            }
+        }
+    }
+
+    fn certify_all(_: &PlanStep, _: &usize) -> Result<(), String> {
+        Ok(())
+    }
+
+    #[test]
+    fn default_plan_is_the_escalation_loop() {
+        let p = plan(&inputs(4));
+        assert_eq!(p.steps.len(), 4);
+        assert_eq!(p.groups.len(), 4);
+        for (i, s) in p.steps.iter().enumerate() {
+            assert_eq!(s.index, i);
+            assert_eq!(s.stages, i + 1);
+            assert_eq!(s.strategy, Strategy::CanonicalAllocation);
+            assert_eq!(p.groups[s.group].mode, RaceMode::Solo);
+        }
+    }
+
+    #[test]
+    fn parallel_plan_is_one_depth_race() {
+        let p = plan(&PlanInputs {
+            parallel: true,
+            ..inputs(3)
+        });
+        assert_eq!(p.groups.len(), 1);
+        assert_eq!(p.groups[0].mode, RaceMode::Depths);
+        assert_eq!(p.groups[0].steps.len(), 3);
+    }
+
+    #[test]
+    fn portfolio_plan_races_strategies_per_depth() {
+        let p = plan(&PlanInputs {
+            portfolio: true,
+            parallel: true, // portfolio takes precedence
+            ..inputs(2)
+        });
+        assert_eq!(p.groups.len(), 2);
+        for g in &p.groups {
+            assert_eq!(g.mode, RaceMode::Strategies);
+            assert_eq!(g.steps.len(), 3);
+            let depths: Vec<usize> = g.steps.iter().map(|&i| p.steps[i].stages).collect();
+            assert!(depths.windows(2).all(|w| w[0] == w[1]));
+        }
+        // One incomplete + two complete strategies per depth.
+        let complete = p.groups[0]
+            .steps
+            .iter()
+            .filter(|&&i| p.steps[i].strategy.is_complete())
+            .count();
+        assert_eq!(complete, 2);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminating() {
+        let a = plan(&inputs(3));
+        let b = plan(&inputs(3));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = plan(&inputs(4));
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let d = plan(&PlanInputs {
+            portfolio: true,
+            ..inputs(3)
+        });
+        assert_ne!(a.fingerprint(), d.fingerprint());
+        assert_eq!(a.fingerprint().len(), 16);
+    }
+
+    #[test]
+    fn explain_mentions_every_step() {
+        let p = plan(&PlanInputs {
+            portfolio: true,
+            ..inputs(2)
+        });
+        let text = p.explain();
+        assert!(text.contains(&p.fingerprint()));
+        for s in &p.steps {
+            assert!(text.contains(&format!("step {}:", s.index)), "{text}");
+        }
+        assert!(text.contains("opcode-restricted"));
+        assert!(text.contains("full-alu"));
+    }
+
+    #[test]
+    fn solo_escalation_returns_first_feasible_depth() {
+        let p = plan(&inputs(4));
+        let won = execute(&p, ok_at(3), certify_all, ExecControl::default()).expect("wins");
+        assert_eq!(p.steps[won.step].stages, 3);
+    }
+
+    #[test]
+    fn depth_race_prefers_shallowest_success() {
+        let p = plan(&PlanInputs {
+            parallel: true,
+            ..inputs(4)
+        });
+        let runner = |step: &PlanStep, _: Option<Arc<AtomicBool>>| {
+            if step.stages >= 2 {
+                Ok(step.index)
+            } else {
+                Err(StepError::Infeasible)
+            }
+        };
+        let won = execute(&p, runner, certify_all, ExecControl::default()).expect("wins");
+        assert_eq!(p.steps[won.step].stages, 2);
+    }
+
+    #[test]
+    fn strategy_race_first_certified_win_cancels_losers() {
+        let p = plan(&PlanInputs {
+            portfolio: true,
+            ..inputs(1)
+        });
+        let runner = |step: &PlanStep, flag: Option<Arc<AtomicBool>>| {
+            match step.strategy {
+                // The restricted strategy wins instantly.
+                Strategy::OpcodeRestricted => Ok(step.index),
+                // The others grind until cancelled.
+                _ => {
+                    let flag = flag.expect("racing steps get a flag");
+                    for _ in 0..5000 {
+                        if flag.load(Ordering::Relaxed) {
+                            return Err(StepError::Cancelled);
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(StepError::Timeout)
+                }
+            }
+        };
+        let reports: Mutex<Vec<StepReport>> = Mutex::new(Vec::new());
+        let obs = |r: &StepReport| reports.lock().unwrap().push(*r);
+        let won = execute(
+            &p,
+            runner,
+            certify_all,
+            ExecControl {
+                observer: Some(&obs),
+                race_threads: Some(3),
+                ..ExecControl::default()
+            },
+        )
+        .expect("wins");
+        assert_eq!(p.steps[won.step].strategy, Strategy::OpcodeRestricted);
+        let reports = reports.into_inner().unwrap();
+        assert_eq!(reports.len(), 3);
+        let cancelled = reports
+            .iter()
+            .filter(|r| r.outcome == StepOutcome::Cancelled)
+            .count();
+        assert_eq!(cancelled, 2, "losers must be attributed as cancelled");
+    }
+
+    #[test]
+    fn uncertified_strategy_win_drops_out_and_race_continues() {
+        let p = plan(&PlanInputs {
+            portfolio: true,
+            ..inputs(1)
+        });
+        // Restricted synthesizes a bogus result fast; canonical is right.
+        // (Full-ALU must not report Infeasible here: a complete strategy's
+        // infeasibility cancels the race — covered by its own test below.)
+        let runner = |step: &PlanStep, flag: Option<Arc<AtomicBool>>| match step.strategy {
+            Strategy::OpcodeRestricted => Ok(step.index),
+            Strategy::CanonicalAllocation => {
+                std::thread::sleep(Duration::from_millis(30));
+                if flag.is_some_and(|f| f.load(Ordering::Relaxed)) {
+                    return Err(StepError::Cancelled);
+                }
+                Ok(step.index)
+            }
+            Strategy::FullAlu => Err(StepError::Timeout),
+        };
+        let certify = |step: &PlanStep, _: &usize| {
+            if step.strategy == Strategy::OpcodeRestricted {
+                Err("bogus".to_string())
+            } else {
+                Ok(())
+            }
+        };
+        let won = execute(
+            &p,
+            runner,
+            certify,
+            ExecControl {
+                race_threads: Some(3),
+                ..ExecControl::default()
+            },
+        )
+        .expect("canonical wins");
+        assert_eq!(p.steps[won.step].strategy, Strategy::CanonicalAllocation);
+    }
+
+    #[test]
+    fn incomplete_infeasibility_does_not_prove_the_depth_infeasible() {
+        let p = plan(&PlanInputs {
+            portfolio: true,
+            ..inputs(1)
+        });
+        // Restricted says infeasible; complete strategies time out.
+        let runner = |step: &PlanStep, _: Option<Arc<AtomicBool>>| match step.strategy {
+            Strategy::OpcodeRestricted => Err(StepError::Infeasible),
+            _ => Err(StepError::Timeout),
+        };
+        for race_threads in [Some(3), Some(1)] {
+            let err = execute(
+                &p,
+                runner,
+                certify_all,
+                ExecControl {
+                    race_threads,
+                    ..ExecControl::default()
+                },
+            )
+            .unwrap_err();
+            assert_eq!(err, ExecError::Timeout, "race_threads {race_threads:?}");
+        }
+    }
+
+    #[test]
+    fn complete_infeasibility_cancels_racing_siblings_early() {
+        let p = plan(&PlanInputs {
+            portfolio: true,
+            ..inputs(1)
+        });
+        // Canonical proves the depth infeasible instantly; the siblings
+        // would grind for 5 s. The group must not wait them out: the
+        // authoritative verdict cancels them, and the plan fails
+        // Infeasible in far less than their natural runtime.
+        let runner = |step: &PlanStep, flag: Option<Arc<AtomicBool>>| match step.strategy {
+            Strategy::CanonicalAllocation => Err::<usize, StepError>(StepError::Infeasible),
+            _ => {
+                let flag = flag.expect("racing steps get a flag");
+                for _ in 0..5000 {
+                    if flag.load(Ordering::Relaxed) {
+                        return Err(StepError::Cancelled);
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(StepError::Timeout)
+            }
+        };
+        let reports: Mutex<Vec<StepReport>> = Mutex::new(Vec::new());
+        let obs = |r: &StepReport| reports.lock().unwrap().push(*r);
+        let t0 = Instant::now();
+        let err = execute(
+            &p,
+            runner,
+            certify_all,
+            ExecControl {
+                observer: Some(&obs),
+                race_threads: Some(3),
+                ..ExecControl::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, ExecError::Infeasible);
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "siblings were waited out instead of cancelled"
+        );
+        let reports = reports.into_inner().unwrap();
+        let cancelled = reports
+            .iter()
+            .filter(|r| r.outcome == StepOutcome::Cancelled)
+            .count();
+        assert_eq!(
+            cancelled, 2,
+            "both siblings must be attributed as cancelled"
+        );
+    }
+
+    #[test]
+    fn complete_infeasibility_escalates_then_reports_infeasible() {
+        let p = plan(&PlanInputs {
+            portfolio: true,
+            ..inputs(2)
+        });
+        let runner = |_: &PlanStep, _: Option<Arc<AtomicBool>>| {
+            Err::<usize, StepError>(StepError::Infeasible)
+        };
+        for race_threads in [Some(3), Some(1)] {
+            let err = execute(
+                &p,
+                runner,
+                certify_all,
+                ExecControl {
+                    race_threads,
+                    ..ExecControl::default()
+                },
+            )
+            .unwrap_err();
+            assert_eq!(err, ExecError::Infeasible, "race_threads {race_threads:?}");
+        }
+    }
+
+    #[test]
+    fn sequential_portfolio_stops_at_the_first_win() {
+        let p = plan(&PlanInputs {
+            portfolio: true,
+            ..inputs(1)
+        });
+        // One core: the group must try strategies one at a time in plan
+        // order and never invoke a sibling once the group is settled.
+        let ran: Mutex<Vec<Strategy>> = Mutex::new(Vec::new());
+        let runner = |step: &PlanStep, _: Option<Arc<AtomicBool>>| {
+            ran.lock().unwrap().push(step.strategy);
+            match step.strategy {
+                Strategy::OpcodeRestricted => Ok(step.index),
+                _ => panic!("sibling ran after the group was settled"),
+            }
+        };
+        let reports: Mutex<Vec<StepReport>> = Mutex::new(Vec::new());
+        let obs = |r: &StepReport| reports.lock().unwrap().push(*r);
+        let won = execute(
+            &p,
+            runner,
+            certify_all,
+            ExecControl {
+                observer: Some(&obs),
+                race_threads: Some(1),
+                ..ExecControl::default()
+            },
+        )
+        .expect("wins");
+        assert_eq!(p.steps[won.step].strategy, Strategy::OpcodeRestricted);
+        assert_eq!(*ran.lock().unwrap(), vec![Strategy::OpcodeRestricted]);
+        // Attribution is mode-independent: the unrun siblings are
+        // reported cancelled, exactly like concurrent racing losers.
+        let reports = reports.into_inner().unwrap();
+        assert_eq!(reports.len(), 3);
+        let cancelled = reports
+            .iter()
+            .filter(|r| r.outcome == StepOutcome::Cancelled)
+            .count();
+        assert_eq!(cancelled, 2);
+    }
+
+    #[test]
+    fn sequential_portfolio_skips_siblings_after_authoritative_infeasible() {
+        let p = plan(&PlanInputs {
+            portfolio: true,
+            ..inputs(1)
+        });
+        // Restricted can't decide (incomplete), canonical proves the
+        // depth infeasible; full-ALU must never run.
+        let runner = |step: &PlanStep, _: Option<Arc<AtomicBool>>| match step.strategy {
+            Strategy::OpcodeRestricted => Err::<usize, StepError>(StepError::Infeasible),
+            Strategy::CanonicalAllocation => Err(StepError::Infeasible),
+            Strategy::FullAlu => panic!("full-ALU ran after an authoritative verdict"),
+        };
+        let reports: Mutex<Vec<StepReport>> = Mutex::new(Vec::new());
+        let obs = |r: &StepReport| reports.lock().unwrap().push(*r);
+        let err = execute(
+            &p,
+            runner,
+            certify_all,
+            ExecControl {
+                observer: Some(&obs),
+                race_threads: Some(1),
+                ..ExecControl::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, ExecError::Infeasible);
+        let reports = reports.into_inner().unwrap();
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[2].strategy, Strategy::FullAlu);
+        assert_eq!(reports[2].outcome, StepOutcome::Cancelled);
+    }
+
+    #[test]
+    fn external_cancel_stops_the_plan() {
+        let p = plan(&inputs(3));
+        let cancel = Arc::new(AtomicBool::new(true));
+        let err = execute(
+            &p,
+            ok_at(1),
+            certify_all,
+            ExecControl {
+                cancel: Some(cancel),
+                ..ExecControl::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, ExecError::Cancelled);
+    }
+
+    #[test]
+    fn resume_skips_completed_groups() {
+        let p = plan(&inputs(4));
+        let ran: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        let runner = |step: &PlanStep, _: Option<Arc<AtomicBool>>| {
+            ran.lock().unwrap().push(step.index);
+            if step.stages == 4 {
+                Ok(step.index)
+            } else {
+                Err(StepError::Infeasible)
+            }
+        };
+        let won = execute(
+            &p,
+            runner,
+            certify_all,
+            ExecControl {
+                resume_from: 2,
+                ..ExecControl::default()
+            },
+        )
+        .expect("wins");
+        assert_eq!(p.steps[won.step].stages, 4);
+        assert_eq!(*ran.lock().unwrap(), vec![2, 3], "steps 0 and 1 skipped");
+    }
+
+    #[test]
+    fn panicked_racing_step_is_reported_not_masked() {
+        let p = plan(&PlanInputs {
+            parallel: true,
+            ..inputs(3)
+        });
+        let runner = |step: &PlanStep, _: Option<Arc<AtomicBool>>| -> Result<usize, StepError> {
+            if step.stages == 2 {
+                panic!("injected depth-2 panic");
+            }
+            Err(StepError::Infeasible)
+        };
+        let err = execute(&p, runner, certify_all, ExecControl::default()).unwrap_err();
+        match err {
+            ExecError::Internal(msg) => {
+                assert!(msg.contains("depth 2"), "{msg}");
+                assert!(msg.contains("injected depth-2 panic"), "{msg}");
+            }
+            other => panic!("expected Internal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panic_does_not_mask_timeout_in_depth_race() {
+        let p = plan(&PlanInputs {
+            parallel: true,
+            ..inputs(2)
+        });
+        let runner = |step: &PlanStep, _: Option<Arc<AtomicBool>>| -> Result<usize, StepError> {
+            if step.stages == 1 {
+                panic!("injected depth-1 panic");
+            }
+            Err(StepError::Timeout)
+        };
+        let err = execute(&p, runner, certify_all, ExecControl::default()).unwrap_err();
+        assert_eq!(err, ExecError::Timeout);
+    }
+
+    #[test]
+    fn solo_uncertified_win_fails_the_plan() {
+        let p = plan(&inputs(2));
+        let certify = |_: &PlanStep, _: &usize| Err("diverges".to_string());
+        let err = execute(&p, ok_at(1), certify, ExecControl::default()).unwrap_err();
+        assert_eq!(err, ExecError::Uncertified("diverges".to_string()));
+    }
+}

@@ -1,0 +1,112 @@
+//! Cancellation-latency regression tests: a racing portfolio loser whose
+//! flag has been raised must stop promptly instead of holding a worker
+//! hostage. The solver polls its cancellation flag at the top of every
+//! restart (the first restart's conflict limit is 64) and every 1024
+//! conflicts inside a search, so the number of conflicts burned *after*
+//! the flag goes up is bounded — these tests pin that contract.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use chipmunk_sat::{Lit, ResourceBudget, SolveResult, Solver, Var};
+
+/// The pigeonhole principle PHP(pigeons, holes) with `pigeons > holes`:
+/// UNSAT, and famously exponential for resolution-based solvers — a
+/// reliable source of "this will not finish any time soon" instances.
+fn pigeonhole(pigeons: usize, holes: usize) -> Solver {
+    let mut s = Solver::new();
+    let x: Vec<Vec<Var>> = (0..pigeons)
+        .map(|_| (0..holes).map(|_| s.new_var()).collect())
+        .collect();
+    // Every pigeon sits in some hole.
+    for p in 0..pigeons {
+        s.add_clause((0..holes).map(|h| Lit::new(x[p][h], true)));
+    }
+    // No two pigeons share a hole.
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in p1 + 1..pigeons {
+                s.add_clause([Lit::new(x[p1][h], false), Lit::new(x[p2][h], false)]);
+            }
+        }
+    }
+    s
+}
+
+/// The instance used below really is hard: a generous conflict budget is
+/// exhausted without a verdict. (If this ever starts solving inside the
+/// budget, the latency assertions below would be vacuous — fail loudly
+/// instead.)
+#[test]
+fn pigeonhole_outlives_conflict_budget() {
+    let mut s = pigeonhole(10, 9);
+    s.set_budget(ResourceBudget {
+        conflicts: Some(1_500),
+        ..ResourceBudget::UNLIMITED
+    });
+    assert_eq!(s.solve(&[]), SolveResult::Unknown);
+    let st = s.stats();
+    assert_eq!(st.budget_trips, 1, "budget should have tripped");
+    assert!(st.conflicts >= 1_500, "conflicts: {}", st.conflicts);
+}
+
+/// A pre-raised flag is observed at the entry checkpoint: the solve
+/// returns Unknown without burning a single conflict, and without the
+/// budget backstop ever firing — zero-latency cancellation for a loser
+/// that was cancelled before its next solve call.
+#[test]
+fn raised_flag_stops_solve_before_any_conflicts() {
+    let mut s = pigeonhole(10, 9);
+    let flag = Arc::new(AtomicBool::new(true));
+    s.set_cancel_flag(Some(flag));
+    s.set_budget(ResourceBudget {
+        conflicts: Some(5_000),
+        ..ResourceBudget::UNLIMITED
+    });
+    assert_eq!(s.solve(&[]), SolveResult::Unknown);
+    let st = s.stats();
+    assert_eq!(st.conflicts, 0, "cancelled solve burned conflicts");
+    assert_eq!(st.budget_trips, 0, "budget fired instead of cancellation");
+}
+
+/// A flag raised mid-flight is observed within the poll interval. The
+/// solver checks every 1024 in-search conflicts, so the time from raise
+/// to return is bounded by what ~1024 conflicts cost — milliseconds, not
+/// the hours the full pigeonhole refutation would take. The budget here
+/// is only a backstop so a broken cancellation path fails the elapsed
+/// assertion instead of hanging the suite.
+#[test]
+fn mid_flight_cancellation_is_prompt() {
+    let mut s = pigeonhole(10, 9);
+    let flag = Arc::new(AtomicBool::new(false));
+    s.set_cancel_flag(Some(flag.clone()));
+    s.set_budget(ResourceBudget {
+        conflicts: Some(2_000_000),
+        ..ResourceBudget::UNLIMITED
+    });
+    let raised_at: Arc<std::sync::Mutex<Option<Instant>>> = Arc::new(std::sync::Mutex::new(None));
+    let raiser = {
+        let flag = flag.clone();
+        let raised_at = raised_at.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(100));
+            *raised_at.lock().unwrap() = Some(Instant::now());
+            flag.store(true, Ordering::Relaxed);
+        })
+    };
+    let res = s.solve(&[]);
+    let returned_at = Instant::now();
+    raiser.join().unwrap();
+    assert_eq!(res, SolveResult::Unknown);
+    let st = s.stats();
+    assert_eq!(st.budget_trips, 0, "backstop budget fired — flag ignored");
+    let raised = raised_at.lock().unwrap().expect("raiser ran");
+    let latency = returned_at.saturating_duration_since(raised);
+    // ~1024 conflicts of latency; 10s is orders of magnitude of slack on
+    // the slowest CI machine while still far below a full refutation.
+    assert!(
+        latency < Duration::from_secs(10),
+        "cancellation latency {latency:?}"
+    );
+}

@@ -18,6 +18,7 @@ use chipmunk_trace::rng::Xoshiro256;
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    priority: u8,
 }
 
 impl Client {
@@ -28,7 +29,14 @@ impl Client {
         Ok(Client {
             reader: BufReader::new(stream),
             writer,
+            priority: 0,
         })
+    }
+
+    /// Queue priority (0–9) stamped on every subsequent compile request;
+    /// 0 (the default) omits the field and takes the server default.
+    pub fn set_priority(&mut self, priority: u8) {
+        self.priority = priority;
     }
 
     /// Write one request line without waiting for the response.
@@ -86,6 +94,9 @@ impl Client {
         if let Some(trace) = trace {
             pairs.push(("trace", Json::from(trace)));
         }
+        if self.priority > 0 {
+            pairs.push(("priority", Json::from(self.priority)));
+        }
         self.request(&Json::obj(pairs))
     }
 
@@ -120,12 +131,16 @@ impl Client {
     /// Queue a compile request tagged with `id` without waiting; pair
     /// with [`recv`](Client::recv) and match responses by the echoed id.
     pub fn send_compile(&mut self, id: Json, program: &str, options: Json) -> std::io::Result<()> {
-        self.send(&Json::obj([
+        let mut pairs = vec![
             ("op", Json::from("compile")),
             ("id", id),
             ("program", Json::from(program)),
             ("options", options),
-        ]))
+        ];
+        if self.priority > 0 {
+            pairs.push(("priority", Json::from(self.priority)));
+        }
+        self.send(&Json::obj(pairs))
     }
 
     /// Probe liveness and queue occupancy.
@@ -238,6 +253,7 @@ pub struct RetryingClient {
     rng: Xoshiro256,
     conn: Option<Client>,
     retries: u64,
+    priority: u8,
 }
 
 impl RetryingClient {
@@ -250,6 +266,7 @@ impl RetryingClient {
             rng,
             conn: None,
             retries: 0,
+            priority: 0,
         }
     }
 
@@ -258,9 +275,20 @@ impl RetryingClient {
         self.retries
     }
 
+    /// Queue priority (0–9) for every subsequent compile, surviving
+    /// reconnects; 0 (the default) takes the server default.
+    pub fn set_priority(&mut self, priority: u8) {
+        self.priority = priority;
+        if let Some(c) = self.conn.as_mut() {
+            c.set_priority(priority);
+        }
+    }
+
     fn ensure(&mut self) -> std::io::Result<&mut Client> {
         if self.conn.is_none() {
-            self.conn = Some(Client::connect(self.addr.as_str())?);
+            let mut c = Client::connect(self.addr.as_str())?;
+            c.set_priority(self.priority);
+            self.conn = Some(c);
         }
         Ok(self.conn.as_mut().expect("just connected"))
     }

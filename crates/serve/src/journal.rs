@@ -11,7 +11,9 @@
 //! Format: `journal.jsonl` in the journal directory, one record per line:
 //!
 //! ```text
-//! {"rec":"accepted","key":"<16 hex>","program":<string>,"options":{…},"trace":<string>?}
+//! {"rec":"accepted","key":"<16 hex>","program":<string>,"options":{…},
+//!  "trace":<string>?,"priority":<int>?,"plan":"<16 hex>"?}
+//! {"rec":"step","key":"<16 hex>","plan":"<16 hex>","step":<int>}
 //! {"rec":"completed","key":"<16 hex>","trace":<string>?}
 //! ```
 //!
@@ -19,7 +21,20 @@
 //! server-assigned). It rides both records so a job can be correlated
 //! with its telemetry across a crash: the replayed job keeps the original
 //! trace id, and the `completed` record written by the *next* daemon
-//! still names it.
+//! still names it. `priority` rides the accepted record so a replayed
+//! job keeps its queue position class.
+//!
+//! **Plan progress.** `plan` on the accepted record is the fingerprint of
+//! the job's [`CompilePlan`](chipmunk::plan::CompilePlan); each `step`
+//! record marks one plan step that finished *without producing the
+//! answer* (the winning step writes `completed` instead). On replay, the
+//! contiguous prefix of journaled steps becomes
+//! [`PendingJob::resume_from`], so a kill-restart resumes a half-executed
+//! plan at its first unfinished step instead of redoing solved depths —
+//! but only when the replaying daemon re-derives the *same* fingerprint
+//! (the server checks; a planner change restarts the plan from step 0).
+//! Step records are flushed but not fsync'd: losing one merely repeats a
+//! step, the same at-least-once discipline as `completed`.
 //!
 //! Records are keyed by the job's content-addressed cache key, so twin
 //! submissions collapse into one pending entry and one replay. A
@@ -60,12 +75,43 @@ pub struct PendingJob {
     pub options: JobOptions,
     /// Trace id of the original submission, if one was journaled.
     pub trace: Option<String>,
+    /// Queue priority of the original submission (0 when not journaled).
+    pub priority: u8,
+    /// Fingerprint of the plan the previous daemon was executing.
+    pub plan: Option<String>,
+    /// First plan step not journaled as finished — where to resume,
+    /// *provided* the replaying daemon re-derives the same `plan`
+    /// fingerprint.
+    pub resume_from: usize,
+}
+
+/// Journaled per-plan progress of one pending job.
+#[derive(Default)]
+struct StepProgress {
+    /// Completed (non-winning) step indices, deduplicated.
+    done: std::collections::BTreeSet<usize>,
+}
+
+impl StepProgress {
+    /// Length of the contiguous completed prefix `0..n` — the safe
+    /// resume offset (a hole means that step never finished; everything
+    /// after it must re-run because groups execute in order).
+    fn resume_from(&self) -> usize {
+        let mut n = 0;
+        while self.done.contains(&n) {
+            n += 1;
+        }
+        n
+    }
 }
 
 struct Inner {
     file: File,
     /// Pending `accepted` records by key (the full record document).
     pending: HashMap<String, Json>,
+    /// Per-key plan progress (only meaningful while the key is pending;
+    /// keyed by (job key → plan fingerprint, finished steps)).
+    steps: HashMap<String, (String, StepProgress)>,
     /// Keys in first-accepted order, possibly holding completed stragglers
     /// (filtered against `pending` when used).
     order: Vec<String>,
@@ -102,6 +148,7 @@ impl Journal {
         std::fs::create_dir_all(dir)?;
         let path = dir.join("journal.jsonl");
         let mut pending: HashMap<String, Json> = HashMap::new();
+        let mut steps: HashMap<String, (String, StepProgress)> = HashMap::new();
         let mut order: Vec<String> = Vec::new();
         let mut lines = 0u64;
         if let Ok(f) = File::open(&path) {
@@ -124,18 +171,43 @@ impl Journal {
                         }
                         pending.entry(key.to_string()).or_insert(doc);
                     }
+                    "step" => {
+                        let (Some(plan), Some(step)) = (
+                            doc.get("plan").and_then(Json::as_str),
+                            doc.get("step")
+                                .and_then(Json::as_u64)
+                                .and_then(|v| usize::try_from(v).ok()),
+                        ) else {
+                            continue;
+                        };
+                        // Progress only counts against the plan it was
+                        // made under; a fingerprint change voids it.
+                        let entry = steps
+                            .entry(key.to_string())
+                            .or_insert_with(|| (plan.to_string(), StepProgress::default()));
+                        if entry.0 == plan {
+                            entry.1.done.insert(step);
+                        }
+                    }
                     "completed" => {
                         pending.remove(key);
+                        steps.remove(key);
                     }
                     _ => {}
                 }
             }
         }
+        steps.retain(|k, _| pending.contains_key(k));
+        // A completed-then-reaccepted key appears in `order` once per
+        // accept; replay must see it once.
+        let mut seen = std::collections::HashSet::new();
+        order.retain(|k| seen.insert(k.clone()));
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
         let journal = Journal {
             inner: Mutex::new(Inner {
                 file,
                 pending,
+                steps,
                 order,
                 lines,
             }),
@@ -156,18 +228,44 @@ impl Journal {
                         None | Some(Json::Null) => JobOptions::default(),
                         Some(o) => JobOptions::from_json(o).ok()?,
                     };
+                    let journaled_plan = doc.get("plan").and_then(Json::as_str);
+                    let (plan, resume_from) = match (journaled_plan, inner.steps.get(key)) {
+                        // Progress is only trusted when the step records'
+                        // fingerprint matches the accepted record's.
+                        (Some(p), Some((sp, prog))) if p == sp => {
+                            (Some(p.to_string()), prog.resume_from())
+                        }
+                        (p, _) => (p.map(str::to_string), 0),
+                    };
                     Some(PendingJob {
                         key: key.clone(),
                         program,
                         options,
                         trace: doc.get("trace").and_then(Json::as_str).map(str::to_string),
+                        priority: doc
+                            .get("priority")
+                            .and_then(Json::as_u64)
+                            .and_then(|v| u8::try_from(v).ok())
+                            .unwrap_or(0),
+                        plan,
+                        resume_from,
                     })
                 })
                 .collect::<Vec<_>>()
         };
         // Startup compaction: completed history (and anything corrupt) is
-        // dead weight the next start would re-parse.
-        if lock(&journal.inner).lines > replay.len() as u64 {
+        // dead weight the next start would re-parse. Live lines are the
+        // pending accepted records plus their surviving step records.
+        let live = {
+            let inner = lock(&journal.inner);
+            inner.pending.len() as u64
+                + inner
+                    .steps
+                    .values()
+                    .map(|(_, p)| p.done.len() as u64)
+                    .sum::<u64>()
+        };
+        if lock(&journal.inner).lines > live {
             let _ = journal.compact();
         }
         Ok((journal, replay))
@@ -177,8 +275,18 @@ impl Journal {
     /// — after this returns, a killed daemon will replay the job. The
     /// trace id (when given) rides the record so the replayed job keeps
     /// its correlation across the restart; for twin submissions sharing a
-    /// key, the first accept's trace id wins.
-    pub fn accepted(&self, key: &str, program: &str, options: &JobOptions, trace: Option<&str>) {
+    /// key, the first accept's trace id wins. `priority` keeps the job's
+    /// queue class across a restart; `plan` is the compile-plan
+    /// fingerprint later `step` records will be checked against.
+    pub fn accepted(
+        &self,
+        key: &str,
+        program: &str,
+        options: &JobOptions,
+        trace: Option<&str>,
+        priority: u8,
+        plan: Option<&str>,
+    ) {
         let mut pairs = vec![
             ("rec".to_string(), Json::from("accepted")),
             ("key".to_string(), Json::from(key)),
@@ -187,6 +295,12 @@ impl Journal {
         ];
         if let Some(t) = trace {
             pairs.push(("trace".to_string(), Json::from(t)));
+        }
+        if priority > 0 {
+            pairs.push(("priority".to_string(), Json::from(u64::from(priority))));
+        }
+        if let Some(p) = plan {
+            pairs.push(("plan".to_string(), Json::from(p)));
         }
         let doc = Json::Obj(pairs);
         let mut inner = lock(&self.inner);
@@ -198,6 +312,36 @@ impl Journal {
         self.append(&mut inner, &doc, true);
     }
 
+    /// Progress record: plan step `step` of the plan fingerprinted `plan`
+    /// finished without producing the answer. Flushed but not fsync'd —
+    /// losing one repeats a step, which is safe. Ignored for keys that are
+    /// not pending or whose journaled fingerprint disagrees (a replan
+    /// voids old progress).
+    pub fn step(&self, key: &str, plan: &str, step: usize) {
+        let mut inner = lock(&self.inner);
+        if !inner.pending.contains_key(key) {
+            return;
+        }
+        let entry = inner
+            .steps
+            .entry(key.to_string())
+            .or_insert_with(|| (plan.to_string(), StepProgress::default()));
+        if entry.0 != plan {
+            // New plan for the same key: previous progress is void.
+            *entry = (plan.to_string(), StepProgress::default());
+        }
+        if !entry.1.done.insert(step) {
+            return; // already journaled
+        }
+        let doc = Json::Obj(vec![
+            ("rec".to_string(), Json::from("step")),
+            ("key".to_string(), Json::from(key)),
+            ("plan".to_string(), Json::from(plan)),
+            ("step".to_string(), Json::from(step as u64)),
+        ]);
+        self.append(&mut inner, &doc, false);
+    }
+
     /// Terminal record: `key` has been answered (by any outcome). The
     /// record echoes the trace id journaled by the matching `accepted`.
     pub fn completed(&self, key: &str) {
@@ -205,6 +349,7 @@ impl Journal {
         let Some(accepted) = inner.pending.remove(key) else {
             return; // unknown or already-completed key: nothing owed
         };
+        inner.steps.remove(key);
         let mut pairs = vec![
             ("rec".to_string(), Json::from("completed")),
             ("key".to_string(), Json::from(key)),
@@ -256,6 +401,20 @@ impl Journal {
                 if let Some(doc) = inner.pending.get(key) {
                     writeln!(w, "{}", doc.to_compact())?;
                     written += 1;
+                    // Plan progress survives compaction so a later crash
+                    // still resumes mid-plan.
+                    if let Some((plan, prog)) = inner.steps.get(key) {
+                        for &step in &prog.done {
+                            let doc = Json::Obj(vec![
+                                ("rec".to_string(), Json::from("step")),
+                                ("key".to_string(), Json::from(key.as_str())),
+                                ("plan".to_string(), Json::from(plan.as_str())),
+                                ("step".to_string(), Json::from(step as u64)),
+                            ]);
+                            writeln!(w, "{}", doc.to_compact())?;
+                            written += 1;
+                        }
+                    }
                 }
             }
             w.flush()?;
@@ -339,9 +498,23 @@ mod tests {
         {
             let (j, replay) = Journal::open(&dir).unwrap();
             assert!(replay.is_empty());
-            j.accepted("k1", "pkt.a = pkt.b;", &opts_with_width(6), Some("t-abc"));
-            j.accepted("k2", "pkt.c = pkt.d;", &opts_with_width(7), None);
-            j.accepted("k3", "pkt.e = pkt.f;", &JobOptions::default(), None);
+            j.accepted(
+                "k1",
+                "pkt.a = pkt.b;",
+                &opts_with_width(6),
+                Some("t-abc"),
+                0,
+                None,
+            );
+            j.accepted("k2", "pkt.c = pkt.d;", &opts_with_width(7), None, 0, None);
+            j.accepted(
+                "k3",
+                "pkt.e = pkt.f;",
+                &JobOptions::default(),
+                None,
+                0,
+                None,
+            );
             j.completed("k2");
         }
         let (j, replay) = Journal::open(&dir).unwrap();
@@ -363,8 +536,8 @@ mod tests {
         let dir = tmpdir("dup");
         {
             let (j, _) = Journal::open(&dir).unwrap();
-            j.accepted("k", "pkt.a = pkt.b;", &JobOptions::default(), None);
-            j.accepted("k", "pkt.a = pkt.b;", &JobOptions::default(), None);
+            j.accepted("k", "pkt.a = pkt.b;", &JobOptions::default(), None, 0, None);
+            j.accepted("k", "pkt.a = pkt.b;", &JobOptions::default(), None, 0, None);
         }
         let (_, replay) = Journal::open(&dir).unwrap();
         assert_eq!(replay.len(), 1);
@@ -388,7 +561,14 @@ mod tests {
         assert_eq!(replay.len(), 1);
         assert_eq!(replay[0].key, "k1");
         // Journal still accepts new records after the damage.
-        j.accepted("k3", "pkt.x = pkt.y;", &JobOptions::default(), None);
+        j.accepted(
+            "k3",
+            "pkt.x = pkt.y;",
+            &JobOptions::default(),
+            None,
+            0,
+            None,
+        );
         assert_eq!(j.pending_len(), 2);
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -399,7 +579,14 @@ mod tests {
         let (j, _) = Journal::open(&dir).unwrap();
         for i in 0..40 {
             let key = format!("k{i}");
-            j.accepted(&key, "pkt.a = pkt.b;", &JobOptions::default(), None);
+            j.accepted(
+                &key,
+                "pkt.a = pkt.b;",
+                &JobOptions::default(),
+                None,
+                0,
+                None,
+            );
             j.completed(&key);
         }
         assert!(j.compactions() >= 1);
@@ -413,9 +600,23 @@ mod tests {
         let dir = tmpdir("traceecho");
         {
             let (j, _) = Journal::open(&dir).unwrap();
-            j.accepted("k1", "pkt.a = pkt.b;", &JobOptions::default(), Some("t-1"));
+            j.accepted(
+                "k1",
+                "pkt.a = pkt.b;",
+                &JobOptions::default(),
+                Some("t-1"),
+                3,
+                None,
+            );
             // Twin submission: the first accept's trace id wins.
-            j.accepted("k1", "pkt.a = pkt.b;", &JobOptions::default(), Some("t-2"));
+            j.accepted(
+                "k1",
+                "pkt.a = pkt.b;",
+                &JobOptions::default(),
+                Some("t-2"),
+                0,
+                None,
+            );
             j.completed("k1");
         }
         let text = std::fs::read_to_string(dir.join("journal.jsonl")).unwrap();
@@ -449,7 +650,7 @@ mod tests {
         };
         {
             let (j, _) = Journal::open(&dir).unwrap();
-            j.accepted("k", "pkt.a = pkt.b;", &opts, None);
+            j.accepted("k", "pkt.a = pkt.b;", &opts, None, 0, None);
         }
         let (_, replay) = Journal::open(&dir).unwrap();
         let got = &replay[0].options;
@@ -462,6 +663,165 @@ mod tests {
         assert_eq!(got.budget_conflicts, opts.budget_conflicts);
         assert_eq!(got.budget_propagations, opts.budget_propagations);
         assert_eq!(got.budget_bytes, opts.budget_bytes);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn priority_and_plan_ride_the_accepted_record() {
+        let dir = tmpdir("prio");
+        {
+            let (j, _) = Journal::open(&dir).unwrap();
+            j.accepted(
+                "k",
+                "pkt.a = pkt.b;",
+                &JobOptions::default(),
+                Some("t-p"),
+                7,
+                Some("deadbeefdeadbeef"),
+            );
+        }
+        let (_, replay) = Journal::open(&dir).unwrap();
+        assert_eq!(replay.len(), 1);
+        assert_eq!(replay[0].priority, 7);
+        assert_eq!(replay[0].plan.as_deref(), Some("deadbeefdeadbeef"));
+        assert_eq!(replay[0].resume_from, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journaled_steps_become_the_resume_offset() {
+        let dir = tmpdir("resume");
+        let fp = "0123456789abcdef";
+        {
+            let (j, _) = Journal::open(&dir).unwrap();
+            j.accepted(
+                "k",
+                "pkt.a = pkt.b;",
+                &JobOptions::default(),
+                None,
+                0,
+                Some(fp),
+            );
+            j.step("k", fp, 0);
+            j.step("k", fp, 1);
+            j.step("k", fp, 1); // duplicate: journaled once
+        }
+        let (_, replay) = Journal::open(&dir).unwrap();
+        assert_eq!(replay[0].resume_from, 2, "contiguous prefix 0..2 done");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_hole_in_the_step_sequence_stops_the_resume_prefix() {
+        let dir = tmpdir("hole");
+        let fp = "0123456789abcdef";
+        {
+            let (j, _) = Journal::open(&dir).unwrap();
+            j.accepted(
+                "k",
+                "pkt.a = pkt.b;",
+                &JobOptions::default(),
+                None,
+                0,
+                Some(fp),
+            );
+            j.step("k", fp, 0);
+            j.step("k", fp, 2); // step 1 never finished
+        }
+        let (_, replay) = Journal::open(&dir).unwrap();
+        assert_eq!(replay[0].resume_from, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_plan_fingerprint_voids_journaled_progress() {
+        let dir = tmpdir("fpmismatch");
+        {
+            let (j, _) = Journal::open(&dir).unwrap();
+            j.accepted(
+                "k",
+                "pkt.a = pkt.b;",
+                &JobOptions::default(),
+                None,
+                0,
+                Some("aaaaaaaaaaaaaaaa"),
+            );
+            // Step records from some other plan (e.g. a planner change
+            // between accept and crash): must not be trusted.
+            j.step("k", "bbbbbbbbbbbbbbbb", 0);
+            j.step("k", "bbbbbbbbbbbbbbbb", 1);
+        }
+        let (_, replay) = Journal::open(&dir).unwrap();
+        assert_eq!(replay[0].resume_from, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn step_progress_survives_compaction() {
+        let dir = tmpdir("stepcompact");
+        let fp = "0123456789abcdef";
+        {
+            let (j, _) = Journal::open(&dir).unwrap();
+            j.accepted(
+                "k",
+                "pkt.a = pkt.b;",
+                &JobOptions::default(),
+                None,
+                0,
+                Some(fp),
+            );
+            j.step("k", fp, 0);
+            // Force churn so a compaction definitely runs.
+            for i in 0..40 {
+                let key = format!("churn{i}");
+                j.accepted(
+                    &key,
+                    "pkt.c = pkt.d;",
+                    &JobOptions::default(),
+                    None,
+                    0,
+                    None,
+                );
+                j.completed(&key);
+            }
+            assert!(j.compactions() >= 1);
+        }
+        let (_, replay) = Journal::open(&dir).unwrap();
+        assert_eq!(replay.len(), 1);
+        assert_eq!(replay[0].resume_from, 1, "step lost in compaction");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn completion_clears_step_progress() {
+        let dir = tmpdir("stepclear");
+        let fp = "0123456789abcdef";
+        {
+            let (j, _) = Journal::open(&dir).unwrap();
+            j.accepted(
+                "k",
+                "pkt.a = pkt.b;",
+                &JobOptions::default(),
+                None,
+                0,
+                Some(fp),
+            );
+            j.step("k", fp, 0);
+            j.completed("k");
+            // Re-accept the same key: old progress must not leak into the
+            // fresh job.
+            j.accepted(
+                "k",
+                "pkt.a = pkt.b;",
+                &JobOptions::default(),
+                None,
+                0,
+                Some(fp),
+            );
+        }
+        let (_, replay) = Journal::open(&dir).unwrap();
+        assert_eq!(replay.len(), 1);
+        assert_eq!(replay[0].resume_from, 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

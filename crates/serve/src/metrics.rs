@@ -17,9 +17,14 @@
 //! - **outcome** — `fresh` (compiled by a worker), `cached` (served from
 //!   the cache with the requester's own layout), `remapped` (served from
 //!   a twin's cache entry under different field names), `failed` (any
-//!   error answer).
+//!   error answer), `cancelled` (a portfolio loser stopped because a
+//!   sibling strategy won — per plan step, never a job answer).
 //! - **family** — `stateless` (the program touches packet fields only) or
 //!   `stateful` (it reads or writes register state).
+//! - **strategy** — which synthesis strategy produced the sample:
+//!   `canonical` (canonical allocation), `restricted` (opcode-restricted
+//!   ALU), `full` (full ALU), or `na` when no single strategy applies
+//!   (queue wait, cache serves, failures without a winner).
 //!
 //! The exposition endpoint is a deliberately tiny hand-rolled HTTP/1.1
 //! listener (`GET /metrics` → `text/plain; version=0.0.4`); everything
@@ -104,14 +109,20 @@ pub enum Outcome {
     Remapped,
     /// Any error answer (uncertified, typed failure, panic).
     Failed,
+    /// A racing portfolio step stopped because a sibling won. Recorded
+    /// per cancelled *step*, never as a job answer — a loser is spent
+    /// search, not a failure, and must not pollute the failure latency
+    /// distribution.
+    Cancelled,
 }
 
 /// All outcomes, in exposition order.
-pub const OUTCOMES: [Outcome; 4] = [
+pub const OUTCOMES: [Outcome; 5] = [
     Outcome::Fresh,
     Outcome::Cached,
     Outcome::Remapped,
     Outcome::Failed,
+    Outcome::Cancelled,
 ];
 
 impl Outcome {
@@ -122,6 +133,7 @@ impl Outcome {
             Outcome::Cached => "cached",
             Outcome::Remapped => "remapped",
             Outcome::Failed => "failed",
+            Outcome::Cancelled => "cancelled",
         }
     }
 
@@ -131,6 +143,7 @@ impl Outcome {
             Outcome::Cached => 1,
             Outcome::Remapped => 2,
             Outcome::Failed => 3,
+            Outcome::Cancelled => 4,
         }
     }
 }
@@ -160,6 +173,46 @@ impl Family {
         match self {
             Family::Stateless => 0,
             Family::Stateful => 1,
+        }
+    }
+}
+
+/// Which synthesis strategy a latency sample is attributed to. Mirrors
+/// `chipmunk::plan::Strategy` (the conversion lives in the server, so the
+/// metrics module stays self-contained), plus `Na` for samples no single
+/// strategy produced.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Strat {
+    /// Canonical field-to-container allocation.
+    Canonical,
+    /// Opcode-restricted (arithmetic-only) ALU grammar.
+    Restricted,
+    /// The full ALU grammar with free allocation.
+    Full,
+    /// No single strategy applies (queue wait, cache serves, failures).
+    Na,
+}
+
+/// All strategy labels, in exposition order.
+pub const STRATS: [Strat; 4] = [Strat::Canonical, Strat::Restricted, Strat::Full, Strat::Na];
+
+impl Strat {
+    /// The `strategy` label value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Strat::Canonical => "canonical",
+            Strat::Restricted => "restricted",
+            Strat::Full => "full",
+            Strat::Na => "na",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Strat::Canonical => 0,
+            Strat::Restricted => 1,
+            Strat::Full => 2,
+            Strat::Na => 3,
         }
     }
 }
@@ -198,9 +251,9 @@ impl Cell {
 }
 
 /// The daemon's rolling telemetry: latency histograms per
-/// (stage, outcome, family) plus cumulative solver-cost gauges.
+/// (stage, outcome, family, strategy) plus cumulative solver-cost gauges.
 pub struct Telemetry {
-    cells: Vec<Cell>, // indexed stage * 8 + outcome * 2 + family
+    cells: Vec<Cell>, // row-major over (stage, outcome, family, strategy)
     /// SAT conflicts across all fresh compiles.
     pub solver_conflicts: AtomicU64,
     /// SAT propagations across all fresh compiles.
@@ -221,7 +274,7 @@ impl Telemetry {
     /// An empty telemetry grid.
     pub fn new() -> Telemetry {
         Telemetry {
-            cells: (0..STAGES.len() * OUTCOMES.len() * FAMILIES.len())
+            cells: (0..STAGES.len() * OUTCOMES.len() * FAMILIES.len() * STRATS.len())
                 .map(|_| Cell::new())
                 .collect(),
             solver_conflicts: AtomicU64::new(0),
@@ -231,15 +284,29 @@ impl Telemetry {
         }
     }
 
-    fn cell(&self, stage: Stage, outcome: Outcome, family: Family) -> &Cell {
-        &self.cells[stage.index() * (OUTCOMES.len() * FAMILIES.len())
-            + outcome.index() * FAMILIES.len()
-            + family.index()]
+    fn cell(&self, stage: Stage, outcome: Outcome, family: Family, strat: Strat) -> &Cell {
+        &self.cells[stage.index() * (OUTCOMES.len() * FAMILIES.len() * STRATS.len())
+            + outcome.index() * (FAMILIES.len() * STRATS.len())
+            + family.index() * STRATS.len()
+            + strat.index()]
     }
 
-    /// Record one latency sample, in microseconds.
+    /// Record one latency sample, in microseconds, with no strategy
+    /// attribution (`strategy="na"`).
     pub fn record(&self, stage: Stage, outcome: Outcome, family: Family, micros: u64) {
-        self.cell(stage, outcome, family).record(micros);
+        self.record_strat(stage, outcome, family, Strat::Na, micros);
+    }
+
+    /// Record one strategy-attributed latency sample, in microseconds.
+    pub fn record_strat(
+        &self,
+        stage: Stage,
+        outcome: Outcome,
+        family: Family,
+        strat: Strat,
+        micros: u64,
+    ) {
+        self.cell(stage, outcome, family, strat).record(micros);
     }
 
     /// Fold one fresh compile's solver cost into the gauges.
@@ -253,37 +320,42 @@ impl Telemetry {
         self.solver_budget_trips.fetch_add(trips, Ordering::Relaxed);
     }
 
-    /// Merge every (outcome, family) cell of `stage` into one bucket
-    /// vector (log2 buckets merge by addition). Returns
+    /// Merge every (outcome, family, strategy) cell of `stage` into one
+    /// bucket vector (log2 buckets merge by addition). Returns
     /// `(buckets, sum, count)`.
     pub fn stage_merged(&self, stage: Stage) -> ([u64; NUM_BUCKETS], u64, u64) {
         let mut buckets = [0u64; NUM_BUCKETS];
         let mut sum = 0u64;
         for outcome in OUTCOMES {
             for family in FAMILIES {
-                let (b, s) = self.cell(stage, outcome, family).snapshot();
-                for (acc, v) in buckets.iter_mut().zip(b.iter()) {
-                    *acc += v;
+                for strat in STRATS {
+                    let (b, s) = self.cell(stage, outcome, family, strat).snapshot();
+                    for (acc, v) in buckets.iter_mut().zip(b.iter()) {
+                        *acc += v;
+                    }
+                    sum = sum.saturating_add(s);
                 }
-                sum = sum.saturating_add(s);
             }
         }
         let count = buckets.iter().sum();
         (buckets, sum, count)
     }
 
-    /// Samples recorded for one (stage, outcome) pair across families.
+    /// Samples recorded for one (stage, outcome) pair across families and
+    /// strategies.
     pub fn count(&self, stage: Stage, outcome: Outcome) -> u64 {
-        FAMILIES
-            .iter()
-            .map(|&f| {
-                self.cell(stage, outcome, f)
+        let mut n = 0u64;
+        for family in FAMILIES {
+            for strat in STRATS {
+                n += self
+                    .cell(stage, outcome, family, strat)
                     .snapshot()
                     .0
                     .iter()
-                    .sum::<u64>()
-            })
-            .sum()
+                    .sum::<u64>();
+            }
+        }
+        n
     }
 
     /// The stage percentiles as a JSON object (`p50_us`/`p95_us`/`p99_us`
@@ -334,29 +406,32 @@ pub fn render_exposition(
     for stage in STAGES {
         for outcome in OUTCOMES {
             for family in FAMILIES {
-                let (buckets, sum) = telemetry.cell(stage, outcome, family).snapshot();
-                let count: u64 = buckets.iter().sum();
-                if count == 0 {
-                    continue;
-                }
-                let labels = format!(
-                    "stage=\"{}\",outcome=\"{}\",family=\"{}\"",
-                    escape_label(stage.as_str()),
-                    escape_label(outcome.as_str()),
-                    escape_label(family.as_str()),
-                );
-                for (p, q) in QUANTILES {
-                    let est = percentile_of(&buckets, p).unwrap_or(0);
+                for strat in STRATS {
+                    let (buckets, sum) = telemetry.cell(stage, outcome, family, strat).snapshot();
+                    let count: u64 = buckets.iter().sum();
+                    if count == 0 {
+                        continue;
+                    }
+                    let labels = format!(
+                        "stage=\"{}\",outcome=\"{}\",family=\"{}\",strategy=\"{}\"",
+                        escape_label(stage.as_str()),
+                        escape_label(outcome.as_str()),
+                        escape_label(family.as_str()),
+                        escape_label(strat.as_str()),
+                    );
+                    for (p, q) in QUANTILES {
+                        let est = percentile_of(&buckets, p).unwrap_or(0);
+                        out.push_str(&format!(
+                            "chipmunk_serve_latency_us{{{labels},quantile=\"{q}\"}} {est}\n"
+                        ));
+                    }
                     out.push_str(&format!(
-                        "chipmunk_serve_latency_us{{{labels},quantile=\"{q}\"}} {est}\n"
+                        "chipmunk_serve_latency_us_sum{{{labels}}} {sum}\n"
+                    ));
+                    out.push_str(&format!(
+                        "chipmunk_serve_latency_us_count{{{labels}}} {count}\n"
                     ));
                 }
-                out.push_str(&format!(
-                    "chipmunk_serve_latency_us_sum{{{labels}}} {sum}\n"
-                ));
-                out.push_str(&format!(
-                    "chipmunk_serve_latency_us_count{{{labels}}} {count}\n"
-                ));
             }
         }
     }
@@ -532,21 +607,34 @@ mod tests {
         t.record(Stage::EndToEnd, Outcome::Fresh, Family::Stateless, 3000);
         // One cached/stateful queue-wait sample.
         t.record(Stage::QueueWait, Outcome::Cached, Family::Stateful, 7);
+        // One cancelled portfolio loser, attributed to its strategy.
+        t.record_strat(
+            Stage::Compile,
+            Outcome::Cancelled,
+            Family::Stateless,
+            Strat::Restricted,
+            50,
+        );
         t.record_solver(5, 40, 1024, 1);
         let text = render_exposition(&t, &[("submitted", 4)], &[("cache_hit_rate", 0.25)]);
         let expected = "\
 # HELP chipmunk_serve_latency_us Per-stage job latency in microseconds.
 # TYPE chipmunk_serve_latency_us summary
-chipmunk_serve_latency_us{stage=\"queue_wait\",outcome=\"cached\",family=\"stateful\",quantile=\"0.5\"} 7
-chipmunk_serve_latency_us{stage=\"queue_wait\",outcome=\"cached\",family=\"stateful\",quantile=\"0.95\"} 7
-chipmunk_serve_latency_us{stage=\"queue_wait\",outcome=\"cached\",family=\"stateful\",quantile=\"0.99\"} 7
-chipmunk_serve_latency_us_sum{stage=\"queue_wait\",outcome=\"cached\",family=\"stateful\"} 7
-chipmunk_serve_latency_us_count{stage=\"queue_wait\",outcome=\"cached\",family=\"stateful\"} 1
-chipmunk_serve_latency_us{stage=\"e2e\",outcome=\"fresh\",family=\"stateless\",quantile=\"0.5\"} 255
-chipmunk_serve_latency_us{stage=\"e2e\",outcome=\"fresh\",family=\"stateless\",quantile=\"0.95\"} 4095
-chipmunk_serve_latency_us{stage=\"e2e\",outcome=\"fresh\",family=\"stateless\",quantile=\"0.99\"} 4095
-chipmunk_serve_latency_us_sum{stage=\"e2e\",outcome=\"fresh\",family=\"stateless\"} 3300
-chipmunk_serve_latency_us_count{stage=\"e2e\",outcome=\"fresh\",family=\"stateless\"} 3
+chipmunk_serve_latency_us{stage=\"queue_wait\",outcome=\"cached\",family=\"stateful\",strategy=\"na\",quantile=\"0.5\"} 7
+chipmunk_serve_latency_us{stage=\"queue_wait\",outcome=\"cached\",family=\"stateful\",strategy=\"na\",quantile=\"0.95\"} 7
+chipmunk_serve_latency_us{stage=\"queue_wait\",outcome=\"cached\",family=\"stateful\",strategy=\"na\",quantile=\"0.99\"} 7
+chipmunk_serve_latency_us_sum{stage=\"queue_wait\",outcome=\"cached\",family=\"stateful\",strategy=\"na\"} 7
+chipmunk_serve_latency_us_count{stage=\"queue_wait\",outcome=\"cached\",family=\"stateful\",strategy=\"na\"} 1
+chipmunk_serve_latency_us{stage=\"compile\",outcome=\"cancelled\",family=\"stateless\",strategy=\"restricted\",quantile=\"0.5\"} 63
+chipmunk_serve_latency_us{stage=\"compile\",outcome=\"cancelled\",family=\"stateless\",strategy=\"restricted\",quantile=\"0.95\"} 63
+chipmunk_serve_latency_us{stage=\"compile\",outcome=\"cancelled\",family=\"stateless\",strategy=\"restricted\",quantile=\"0.99\"} 63
+chipmunk_serve_latency_us_sum{stage=\"compile\",outcome=\"cancelled\",family=\"stateless\",strategy=\"restricted\"} 50
+chipmunk_serve_latency_us_count{stage=\"compile\",outcome=\"cancelled\",family=\"stateless\",strategy=\"restricted\"} 1
+chipmunk_serve_latency_us{stage=\"e2e\",outcome=\"fresh\",family=\"stateless\",strategy=\"na\",quantile=\"0.5\"} 255
+chipmunk_serve_latency_us{stage=\"e2e\",outcome=\"fresh\",family=\"stateless\",strategy=\"na\",quantile=\"0.95\"} 4095
+chipmunk_serve_latency_us{stage=\"e2e\",outcome=\"fresh\",family=\"stateless\",strategy=\"na\",quantile=\"0.99\"} 4095
+chipmunk_serve_latency_us_sum{stage=\"e2e\",outcome=\"fresh\",family=\"stateless\",strategy=\"na\"} 3300
+chipmunk_serve_latency_us_count{stage=\"e2e\",outcome=\"fresh\",family=\"stateless\",strategy=\"na\"} 3
 # TYPE chipmunk_serve_solver_conflicts_total counter
 chipmunk_serve_solver_conflicts_total 5
 # TYPE chipmunk_serve_solver_propagations_total counter
@@ -593,6 +681,22 @@ chipmunk_serve_cache_hit_rate 0.25
         assert_eq!(s.get("count").and_then(Json::as_u64), Some(1));
         assert_eq!(s.get("sum_us").and_then(Json::as_u64), Some(12));
         assert_eq!(s.get("p50_us").and_then(Json::as_u64), Some(15));
+    }
+
+    /// Satellite of the portfolio work: a cancelled racing loser is its
+    /// own outcome — it must never be counted among failures.
+    #[test]
+    fn cancelled_samples_are_distinct_from_failures() {
+        let t = Telemetry::new();
+        t.record_strat(
+            Stage::Compile,
+            Outcome::Cancelled,
+            Family::Stateless,
+            Strat::Full,
+            10,
+        );
+        assert_eq!(t.count(Stage::Compile, Outcome::Failed), 0);
+        assert_eq!(t.count(Stage::Compile, Outcome::Cancelled), 1);
     }
 
     #[test]

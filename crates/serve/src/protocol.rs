@@ -8,6 +8,7 @@
 //! request  := compile | poll | status | stats | cache | shutdown
 //!           | trace | telemetry
 //! compile  := {"op":"compile","id":<scalar>?,"trace":<string>?,
+//!              "priority":<int 0..=9>?,
 //!              "program":<string>,"options":<options>?}
 //! poll     := {"op":"poll","id":<scalar>?,"program":<string>,"options":<options>?}
 //! status   := {"op":"status","id":<scalar>?}
@@ -20,9 +21,16 @@
 //!              "screen_width":<int>?,"synth_input_bits":<int>?,
 //!              "num_initial_inputs":<int>?,"max_iters":<int>?,"seed":<int>?,
 //!              "max_stages":<int>?,"slots":<int>?,"timeout_ms":<int>?,
-//!              "parallel":<bool>?,"budget_conflicts":<int>?,
+//!              "parallel":<bool>?,"portfolio":<bool>?,
+//!              "budget_conflicts":<int>?,
 //!              "budget_propagations":<int>?,"budget_bytes":<int>?}
 //! ```
+//!
+//! **Priorities.** A compile may carry a `priority` (0–9, default 0):
+//! the job queue pops the highest level first, FIFO within a level. The
+//! priority rides in the journal's `accepted` record so replayed jobs
+//! keep their place, but it is *not* part of the cache key — it changes
+//! when a job runs, never what it means.
 //!
 //! **Trace propagation.** A compile may carry a client-chosen `trace`
 //! string (≤ 128 chars); the daemon assigns one otherwise. The id is
@@ -97,6 +105,8 @@ pub enum Request {
         options: JobOptions,
         /// Client-supplied trace id; the server assigns one when absent.
         trace: Option<String>,
+        /// Queue priority (0–9, default 0); higher pops first.
+        priority: u8,
     },
     /// Cache-only lookup for the same program+options — answers from the
     /// result cache (certified) or reports `found: false`; never compiles.
@@ -217,6 +227,9 @@ pub struct JobOptions {
     pub timeout_ms: Option<u64>,
     /// Run the grid-depth sweep on parallel threads.
     pub parallel: Option<bool>,
+    /// Race hole-restriction strategies per depth; the first certified
+    /// win cancels the rest. Takes precedence over `parallel`.
+    pub portfolio: Option<bool>,
     /// Hard ceiling on SAT conflicts per solver run.
     pub budget_conflicts: Option<u64>,
     /// Hard ceiling on unit propagations per solver run.
@@ -226,14 +239,7 @@ pub struct JobOptions {
 }
 
 fn alu_template(name: &str, imm: u8) -> Result<StatefulAluSpec, String> {
-    Ok(match name {
-        "raw" => library::raw(imm),
-        "pred_raw" => library::pred_raw(imm),
-        "if_else_raw" => library::if_else_raw(imm),
-        "sub" => library::sub(imm),
-        "nested_ifs" => library::nested_ifs(imm),
-        other => return Err(format!("unknown template `{other}`")),
-    })
+    library::by_name(name, imm).ok_or_else(|| format!("unknown template `{name}`"))
 }
 
 fn get_num<T: TryFrom<u64>>(obj: &Json, key: &str) -> Result<Option<T>, String> {
@@ -264,6 +270,10 @@ impl JobOptions {
             None | Some(Json::Null) => None,
             Some(v) => Some(v.as_bool().ok_or("`parallel` must be a bool")?),
         };
+        let portfolio = match obj.get("portfolio") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(v.as_bool().ok_or("`portfolio` must be a bool")?),
+        };
         Ok(JobOptions {
             template,
             imm: get_num(obj, "imm")?,
@@ -277,6 +287,7 @@ impl JobOptions {
             slots: get_num(obj, "slots")?,
             timeout_ms: get_num(obj, "timeout_ms")?,
             parallel,
+            portfolio,
             budget_conflicts: get_num(obj, "budget_conflicts")?,
             budget_propagations: get_num(obj, "budget_propagations")?,
             budget_bytes: get_num(obj, "budget_bytes")?,
@@ -315,17 +326,27 @@ impl JobOptions {
         if let Some(p) = self.parallel {
             pairs.push(("parallel".to_string(), Json::Bool(p)));
         }
+        if let Some(p) = self.portfolio {
+            pairs.push(("portfolio".to_string(), Json::Bool(p)));
+        }
         Json::Obj(pairs)
     }
 
-    /// Materialize full [`CompilerOptions`], filling gaps with the same
-    /// defaults as `chipmunkc compile`.
+    /// Materialize full [`CompilerOptions`], filling gaps from
+    /// [`CompilerOptions::service_defaults`] — the single constructor the
+    /// CLI builds from too, so the two paths cannot diverge.
     pub fn to_compiler_options(&self) -> Result<CompilerOptions, String> {
-        let imm = self.imm.unwrap_or(4);
-        let template = self.template.as_deref().unwrap_or("if_else_raw");
-        let mut opts = CompilerOptions::new(alu_template(template, imm)?);
+        let imm = self.imm.unwrap_or(CompilerOptions::SERVICE_IMM_BITS);
+        let template = self
+            .template
+            .as_deref()
+            .unwrap_or(CompilerOptions::SERVICE_TEMPLATE);
+        let mut opts = CompilerOptions::service_defaults();
+        opts.stateful = alu_template(template, imm)?;
         opts.stateless = StatelessAluSpec::banzai(imm);
-        opts.cegis.verify_width = self.width.unwrap_or(10);
+        if let Some(w) = self.width {
+            opts.cegis.verify_width = w;
+        }
         if let Some(w) = self.screen_width {
             opts.cegis.screen_width = Some(w);
         }
@@ -346,12 +367,15 @@ impl JobOptions {
             propagations: self.budget_propagations,
             clause_bytes: self.budget_bytes,
         };
-        opts.max_stages = self.max_stages.unwrap_or(4);
+        if let Some(m) = self.max_stages {
+            opts.max_stages = m;
+        }
         opts.slots = self.slots;
-        opts.timeout = Some(std::time::Duration::from_millis(
-            self.timeout_ms.unwrap_or(300_000),
-        ));
+        if let Some(t) = self.timeout_ms {
+            opts.timeout = Some(std::time::Duration::from_millis(t));
+        }
         opts.parallel = self.parallel.unwrap_or(false);
+        opts.portfolio = self.portfolio.unwrap_or(false);
         Ok(opts)
     }
 }
@@ -385,6 +409,7 @@ fn decode_request(doc: &Json) -> Result<Request, String> {
                     program,
                     options,
                     trace: decode_trace_id(doc)?,
+                    priority: decode_priority(doc)?,
                 }
             })
         }
@@ -415,6 +440,17 @@ fn decode_request(doc: &Json) -> Result<Request, String> {
         "telemetry" => Ok(Request::Telemetry),
         other => Err(format!("unknown op `{other}`")),
     }
+}
+
+/// Highest queue priority a client may request.
+pub const MAX_PRIORITY: u8 = 9;
+
+fn decode_priority(doc: &Json) -> Result<u8, String> {
+    let p: u8 = get_num(doc, "priority")?.unwrap_or(0);
+    if p > MAX_PRIORITY {
+        return Err(format!("`priority` must be 0..={MAX_PRIORITY}"));
+    }
+    Ok(p)
 }
 
 /// Longest trace id accepted from a client; longer ids are a
@@ -723,9 +759,11 @@ mod tests {
                 program,
                 options,
                 trace,
+                priority,
             } => {
                 assert_eq!(program, "pkt.x = pkt.a;");
                 assert_eq!(trace, None);
+                assert_eq!(priority, 0);
                 assert_eq!(options.template.as_deref(), Some("raw"));
                 let co = options.to_compiler_options().unwrap();
                 assert_eq!(co.cegis.verify_width, 6);
@@ -735,6 +773,43 @@ mod tests {
             }
             other => panic!("wrong request: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_priority_and_portfolio() {
+        let line = r#"{"op":"compile","program":"pkt.x = pkt.a;","priority":7,"options":{"portfolio":true}}"#;
+        match parse_request(line).unwrap() {
+            Request::Compile {
+                options, priority, ..
+            } => {
+                assert_eq!(priority, 7);
+                assert_eq!(options.portfolio, Some(true));
+                let co = options.to_compiler_options().unwrap();
+                assert!(co.portfolio);
+                // portfolio survives the journal round trip.
+                let back = JobOptions::from_json(&options.to_json()).unwrap();
+                assert_eq!(back.portfolio, Some(true));
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+        // Out-of-range or ill-typed priorities are bad requests.
+        for bad in [
+            r#"{"op":"compile","program":"x","priority":10}"#,
+            r#"{"op":"compile","program":"x","priority":-1}"#,
+            r#"{"op":"compile","program":"x","priority":"high"}"#,
+            r#"{"op":"compile","program":"x","options":{"portfolio":3}}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn defaults_match_the_shared_service_constructor() {
+        // A bare options object must materialize exactly the shared
+        // service defaults — the anti-divergence contract.
+        let co = JobOptions::default().to_compiler_options().unwrap();
+        let want = CompilerOptions::service_defaults();
+        assert_eq!(format!("{co:?}"), format!("{want:?}"));
     }
 
     #[test]

@@ -1,7 +1,7 @@
-//! A bounded MPMC job queue with explicit backpressure.
+//! A bounded MPMC priority job queue with explicit backpressure.
 //!
 //! `std::sync::mpsc` has no bounded multi-consumer variant, so the queue is
-//! the classic `Mutex<VecDeque>` + `Condvar` pair. Two properties matter
+//! the classic `Mutex<heap>` + `Condvar` pair. Three properties matter
 //! for the server:
 //!
 //! * **Backpressure is a value, not a wait.** [`Bounded::try_push`] never
@@ -12,8 +12,13 @@
 //!   lets consumers drain what is already queued; [`Bounded::pop`] returns
 //!   `None` only once the queue is both closed and empty, which is the
 //!   worker-thread exit condition.
+//! * **Priorities are strict, FIFO within a level.** [`Bounded::pop`]
+//!   always returns the highest-priority item; ties break by arrival
+//!   order (a monotone sequence number), so two equal-priority jobs keep
+//!   the old FIFO behavior and priority-0 traffic cannot be reordered by
+//!   the heap's internal layout.
 
-use std::collections::VecDeque;
+use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 
@@ -26,12 +31,40 @@ pub enum PushError<T> {
     Closed(T),
 }
 
+struct Entry<T> {
+    priority: i32,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first; among equals, the *older*
+        // (smaller seq) item is greater so FIFO order is preserved.
+        self.priority
+            .cmp(&other.priority)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
 struct Inner<T> {
-    items: VecDeque<T>,
+    items: BinaryHeap<Entry<T>>,
+    next_seq: u64,
     closed: bool,
 }
 
-/// A bounded multi-producer multi-consumer FIFO.
+/// A bounded multi-producer multi-consumer priority queue.
 pub struct Bounded<T> {
     inner: Mutex<Inner<T>>,
     nonempty: Condvar,
@@ -44,7 +77,8 @@ impl<T> Bounded<T> {
     pub fn new(capacity: usize) -> Bounded<T> {
         Bounded {
             inner: Mutex::new(Inner {
-                items: VecDeque::new(),
+                items: BinaryHeap::new(),
+                next_seq: 0,
                 closed: false,
             }),
             nonempty: Condvar::new(),
@@ -53,8 +87,16 @@ impl<T> Bounded<T> {
         }
     }
 
-    /// Enqueue without blocking. Fails with the item when full or closed.
+    /// Enqueue at the default priority (0) without blocking. Fails with
+    /// the item when full or closed.
     pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        self.try_push_with_priority(item, 0)
+    }
+
+    /// Enqueue at an explicit priority without blocking. Higher values
+    /// pop first; equal values pop in arrival order. Fails with the item
+    /// when full or closed.
+    pub fn try_push_with_priority(&self, item: T, priority: i32) -> Result<(), PushError<T>> {
         let mut g = self.inner.lock().expect("queue poisoned");
         if g.closed {
             return Err(PushError::Closed(item));
@@ -62,19 +104,26 @@ impl<T> Bounded<T> {
         if g.items.len() >= self.capacity {
             return Err(PushError::Full(item));
         }
-        g.items.push_back(item);
+        let seq = g.next_seq;
+        g.next_seq += 1;
+        g.items.push(Entry {
+            priority,
+            seq,
+            item,
+        });
         drop(g);
         self.nonempty.notify_one();
         Ok(())
     }
 
-    /// Dequeue, blocking while the queue is empty but open. Returns `None`
-    /// once the queue is closed **and** drained — the consumer exit signal.
+    /// Dequeue the highest-priority item, blocking while the queue is
+    /// empty but open. Returns `None` once the queue is closed **and**
+    /// drained — the consumer exit signal.
     pub fn pop(&self) -> Option<T> {
         let mut g = self.inner.lock().expect("queue poisoned");
         loop {
-            if let Some(item) = g.items.pop_front() {
-                return Some(item);
+            if let Some(entry) = g.items.pop() {
+                return Some(entry.item);
             }
             if g.closed {
                 return None;
@@ -89,12 +138,16 @@ impl<T> Bounded<T> {
         }
     }
 
-    /// Remove every queued item at once without closing the queue. Used by
-    /// abortive shutdown to answer queued jobs with an error instead of
-    /// compiling them.
+    /// Remove every queued item at once without closing the queue,
+    /// highest priority first. Used by abortive shutdown to answer queued
+    /// jobs with an error instead of compiling them.
     pub fn drain_now(&self) -> Vec<T> {
         let mut g = self.inner.lock().expect("queue poisoned");
-        g.items.drain(..).collect()
+        let mut out = Vec::with_capacity(g.items.len());
+        while let Some(entry) = g.items.pop() {
+            out.push(entry.item);
+        }
+        out
     }
 
     /// Refuse all future pushes and wake every blocked consumer.
@@ -145,6 +198,41 @@ mod tests {
         for i in 0..4 {
             assert_eq!(q.pop(), Some(i));
         }
+    }
+
+    #[test]
+    fn higher_priority_pops_first_fifo_within_level() {
+        let q = Bounded::new(8);
+        q.try_push_with_priority("low-1", 0).unwrap();
+        q.try_push_with_priority("high-1", 5).unwrap();
+        q.try_push_with_priority("low-2", 0).unwrap();
+        q.try_push_with_priority("high-2", 5).unwrap();
+        q.try_push_with_priority("mid-1", 3).unwrap();
+        assert_eq!(q.pop(), Some("high-1"));
+        assert_eq!(q.pop(), Some("high-2"));
+        assert_eq!(q.pop(), Some("mid-1"));
+        assert_eq!(q.pop(), Some("low-1"));
+        assert_eq!(q.pop(), Some("low-2"));
+    }
+
+    #[test]
+    fn negative_priority_yields_to_default() {
+        let q = Bounded::new(4);
+        q.try_push_with_priority("bulk", -2).unwrap();
+        q.try_push("normal").unwrap();
+        assert_eq!(q.pop(), Some("normal"));
+        assert_eq!(q.pop(), Some("bulk"));
+    }
+
+    #[test]
+    fn drain_now_returns_priority_order() {
+        let q = Bounded::new(4);
+        q.try_push_with_priority(1, 0).unwrap();
+        q.try_push_with_priority(2, 9).unwrap();
+        q.try_push_with_priority(3, 4).unwrap();
+        assert_eq!(q.drain_now(), vec![2, 3, 1]);
+        assert_eq!(q.depth(), 0);
+        assert!(!q.is_closed());
     }
 
     #[test]

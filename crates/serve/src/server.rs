@@ -38,8 +38,10 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use chipmunk::plan::{StepOutcome, Strategy};
 use chipmunk::{
-    cache_key, certify_config, compile_with_cancel, layout_names, CertifyRequest, CompilerOptions,
+    cache_key, certify_config, compile_with_control, layout_names, plan_compilation,
+    CertifyRequest, CompilerOptions, PlanControl,
 };
 use chipmunk_lang::{parse, Program};
 use chipmunk_pisa::GridSpec;
@@ -48,7 +50,9 @@ use chipmunk_trace::json::Json;
 use crate::cache::ResultCache;
 use crate::faults::{self, FaultKind};
 use crate::journal::Journal;
-use crate::metrics::{self, Family, MetricsServer, Outcome, Stage, Telemetry, OUTCOMES, STAGES};
+use crate::metrics::{
+    self, Family, MetricsServer, Outcome, Stage, Strat, Telemetry, OUTCOMES, STAGES,
+};
 use crate::protocol::{
     codegen_error_code, decode_result, error_response, parse_line, remap_result, result_doc,
     with_id, with_trace, CacheAction, Incoming, JobOptions, Request,
@@ -162,6 +166,9 @@ struct Stats {
     uncertified: AtomicU64,
     /// Cache entries removed from both tiers after failing certification.
     quarantined: AtomicU64,
+    /// Racing portfolio steps cancelled because a sibling strategy won.
+    /// Spent search, not failures — kept out of `failed` by construction.
+    portfolio_cancelled: AtomicU64,
     /// The configured metrics endpoint failed to bind and the daemon is
     /// running stats-only (the `metrics_io` degradation).
     metrics_degraded: AtomicBool,
@@ -248,6 +255,12 @@ struct Job {
     trace: String,
     /// Spec family label for the latency histograms.
     family: Family,
+    /// Fingerprint of the job's compile plan (None when planning failed —
+    /// the worker will surface the same error).
+    plan_fp: Option<String>,
+    /// First plan step to execute: 0 for fresh jobs; for a replayed job,
+    /// the journaled progress of the *same* (fingerprint-checked) plan.
+    resume_from: usize,
     reply: ReplyHandle,
     enqueued: Instant,
 }
@@ -561,6 +574,24 @@ fn replay_journal(shared: &Arc<Shared>, replay: Vec<crate::journal::PendingJob>)
             .trace
             .clone()
             .unwrap_or_else(|| next_trace_id(shared));
+        // Journaled plan progress is honored only when this daemon derives
+        // the *same* plan fingerprint the previous one journaled — a
+        // planner (or options) change restarts the plan from step 0.
+        let plan_fp = plan_compilation(&program, &opts)
+            .ok()
+            .map(|p| p.fingerprint());
+        let resume_from = match (&plan_fp, &pending.plan) {
+            (Some(derived), Some(journaled)) if derived == journaled => pending.resume_from,
+            _ => 0,
+        };
+        if resume_from > 0 {
+            chipmunk_trace::event!(
+                "serve.journal.resume",
+                key = pending.key.as_str(),
+                step = resume_from as u64,
+            );
+        }
+        let priority = pending.priority;
         let (tx, _rx) = mpsc::channel::<Json>();
         let job = Job {
             program,
@@ -570,6 +601,8 @@ fn replay_journal(shared: &Arc<Shared>, replay: Vec<crate::journal::PendingJob>)
             states,
             trace,
             family,
+            plan_fp,
+            resume_from,
             reply: ReplyHandle {
                 tx,
                 pending: Arc::new(AtomicUsize::new(1)),
@@ -581,7 +614,10 @@ fn replay_journal(shared: &Arc<Shared>, replay: Vec<crate::journal::PendingJob>)
             },
             enqueued: Instant::now(),
         };
-        match shared.queue.try_push(job) {
+        match shared
+            .queue
+            .try_push_with_priority(job, i32::from(priority))
+        {
             Ok(()) => {
                 shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
             }
@@ -817,8 +853,9 @@ fn handle_line(
             program,
             options,
             trace,
+            priority,
         }) => {
-            start_compile(shared, &program, &options, trace, tx, pending, id);
+            start_compile(shared, &program, &options, trace, priority, tx, pending, id);
             return;
         }
         Ok(Request::Poll { program, options }) => poll_response(shared, &program, &options),
@@ -943,11 +980,13 @@ fn certify_served(
 /// Fast paths (cache hit, bad request, backpressure) answer immediately
 /// through the reply channel; an enqueued job answers later through its
 /// [`ReplyHandle`] when a worker finishes it.
+#[allow(clippy::too_many_arguments)]
 fn start_compile(
     shared: &Arc<Shared>,
     source: &str,
     options: &crate::protocol::JobOptions,
     client_trace: Option<String>,
+    priority: u8,
     tx: &mpsc::Sender<Json>,
     pending: &Arc<AtomicUsize>,
     id: Option<Json>,
@@ -1021,6 +1060,12 @@ fn start_compile(
     // Reserve the in-flight slot before the push: the matching decrement
     // runs in `ReplyHandle::send`, on whichever path answers the job.
     pending.fetch_add(1, Ordering::AcqRel);
+    // The plan fingerprint is journaled with the accept so a restarted
+    // daemon can check journaled step progress against the plan *it*
+    // derives before resuming mid-plan.
+    let plan_fp = plan_compilation(&program, &opts)
+        .ok()
+        .map(|p| p.fingerprint());
     let job = Job {
         program,
         opts,
@@ -1029,6 +1074,8 @@ fn start_compile(
         states,
         trace: trace.clone(),
         family,
+        plan_fp,
+        resume_from: 0,
         reply: ReplyHandle {
             tx: tx.clone(),
             pending: pending.clone(),
@@ -1044,9 +1091,19 @@ fn start_compile(
     // does, or a crash between the two loses it. The trace id rides the
     // record so a replay keeps the correlation.
     if let Some(journal) = &shared.journal {
-        journal.accepted(&job.key, source, options, Some(&job.trace));
+        journal.accepted(
+            &job.key,
+            source,
+            options,
+            Some(&job.trace),
+            priority,
+            job.plan_fp.as_deref(),
+        );
     }
-    match shared.queue.try_push(job) {
+    match shared
+        .queue
+        .try_push_with_priority(job, i32::from(priority))
+    {
         Ok(()) => {
             shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
             chipmunk_trace::histogram_record!("serve.queue.depth", shared.queue.depth() as u64);
@@ -1135,25 +1192,27 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
         .wait_ms_total
         .fetch_add(wait_ms, Ordering::Relaxed);
     chipmunk_trace::histogram_record!("serve.queue.wait_ms", wait_ms);
-    // One latency sample per stage lands here once the outcome is known.
-    let observe = |outcome: Outcome, compile_us: u64, certify_us: u64, remap_us: u64| {
-        let t = &shared.telemetry;
-        t.record(Stage::QueueWait, outcome, job.family, wait_us);
-        t.record(Stage::Compile, outcome, job.family, compile_us);
-        t.record(Stage::Certify, outcome, job.family, certify_us);
-        t.record(Stage::Remap, outcome, job.family, remap_us);
-        t.record(
-            Stage::EndToEnd,
-            outcome,
-            job.family,
-            job.enqueued.elapsed().as_micros() as u64,
-        );
-    };
+    // One latency sample per stage lands here once the outcome is known;
+    // the compile sample carries the winning strategy's label.
+    let observe =
+        |outcome: Outcome, strat: Strat, compile_us: u64, certify_us: u64, remap_us: u64| {
+            let t = &shared.telemetry;
+            t.record(Stage::QueueWait, outcome, job.family, wait_us);
+            t.record_strat(Stage::Compile, outcome, job.family, strat, compile_us);
+            t.record(Stage::Certify, outcome, job.family, certify_us);
+            t.record(Stage::Remap, outcome, job.family, remap_us);
+            t.record(
+                Stage::EndToEnd,
+                outcome,
+                job.family,
+                job.enqueued.elapsed().as_micros() as u64,
+            );
+        };
     if shared.abort.load(Ordering::Relaxed) {
         // Popped after the abort drain: still a drained job, so the
         // conservation invariant holds.
         shared.stats.drained.fetch_add(1, Ordering::Relaxed);
-        observe(Outcome::Failed, 0, 0, 0);
+        observe(Outcome::Failed, Strat::Na, 0, 0, 0);
         job.reply
             .send(error_response("shutting_down", "job aborted by shutdown"));
         journal_done(shared, &job.key);
@@ -1190,7 +1249,7 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
         } else {
             Outcome::Cached
         };
-        observe(outcome, 0, certify_us, remap_us);
+        observe(outcome, Strat::Na, 0, certify_us, remap_us);
         job.reply
             .send(success_response(&job.key, true, 0, wait_ms, result));
         journal_done(shared, &job.key);
@@ -1210,6 +1269,48 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
         family = job.family.as_str(),
     );
     let started = Instant::now();
+    // The plan observer runs on this thread once per executed step. It
+    // journals finished (non-winning) steps so a kill-restart resumes
+    // mid-plan, counts cancelled portfolio losers separately from
+    // failures, and remembers the winning strategy for the compile-stage
+    // latency label.
+    let win_strat = AtomicUsize::new(3); // STRATS index of Strat::Na
+    let observer = |report: &chipmunk::plan::StepReport| {
+        let (strat, idx) = match report.strategy {
+            Strategy::CanonicalAllocation => (Strat::Canonical, 0),
+            Strategy::OpcodeRestricted => (Strat::Restricted, 1),
+            Strategy::FullAlu => (Strat::Full, 2),
+        };
+        match report.outcome {
+            StepOutcome::Success => {
+                win_strat.store(idx, Ordering::Relaxed);
+            }
+            StepOutcome::Cancelled => {
+                // A racing loser another strategy beat: spent search, not
+                // a failure — it gets its own outcome label and counter.
+                shared
+                    .stats
+                    .portfolio_cancelled
+                    .fetch_add(1, Ordering::Relaxed);
+                chipmunk_trace::counter_add!("serve.portfolio.cancelled", 1);
+                shared.telemetry.record_strat(
+                    Stage::Compile,
+                    Outcome::Cancelled,
+                    job.family,
+                    strat,
+                    report.elapsed.as_micros() as u64,
+                );
+            }
+            StepOutcome::Infeasible | StepOutcome::Timeout => {
+                // Finished without winning: journal it so a restart
+                // resumes at the first unfinished step.
+                if let (Some(journal), Some(fp)) = (&shared.journal, job.plan_fp.as_deref()) {
+                    journal.step(&job.key, fp, report.step);
+                }
+            }
+            _ => {}
+        }
+    };
     // Message-preserving panic isolation around the compile itself: a
     // panicking synthesis pass becomes a structured `internal` response
     // carrying the (truncated) panic text.
@@ -1217,7 +1318,15 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
         if faults::armed() && faults::fired(FaultKind::CompilePanic) {
             panic!("injected fault: compile panic");
         }
-        compile_with_cancel(&job.program, &job.opts, Some(shared.abort.clone()))
+        compile_with_control(
+            &job.program,
+            &job.opts,
+            PlanControl {
+                cancel: Some(shared.abort.clone()),
+                resume_from: job.resume_from,
+                observer: Some(&observer),
+            },
+        )
     }));
     let compile_us = started.elapsed().as_micros() as u64;
     let synth_ms = compile_us / 1000;
@@ -1308,7 +1417,13 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
     // Close the job span before the telemetry sample and the slow-job
     // check: the dumped tree then includes the root's duration.
     drop(sp);
-    observe(outcome, compile_us, fresh_certify_us, 0);
+    let win = match win_strat.load(Ordering::Relaxed) {
+        0 => Strat::Canonical,
+        1 => Strat::Restricted,
+        2 => Strat::Full,
+        _ => Strat::Na,
+    };
+    observe(outcome, win, compile_us, fresh_certify_us, 0);
     let e2e_us = job.enqueued.elapsed().as_micros() as u64;
     job.reply.send(response);
     // Completed strictly after the answer is on the reply channel: a
@@ -1430,6 +1545,10 @@ fn stats_response(shared: &Shared) -> Json {
         (
             "quarantined",
             Json::from(s.quarantined.load(Ordering::Relaxed)),
+        ),
+        (
+            "portfolio_cancelled",
+            Json::from(s.portfolio_cancelled.load(Ordering::Relaxed)),
         ),
         (
             "metrics_degraded",
@@ -1560,6 +1679,10 @@ fn render_exposition(shared: &Shared) -> String {
         ("certified", s.certified.load(Ordering::Relaxed)),
         ("uncertified", s.uncertified.load(Ordering::Relaxed)),
         ("quarantined", s.quarantined.load(Ordering::Relaxed)),
+        (
+            "portfolio_cancelled",
+            s.portfolio_cancelled.load(Ordering::Relaxed),
+        ),
         ("cache_hits", shared.cache.hits()),
         ("cache_misses", shared.cache.misses()),
         (

@@ -586,6 +586,80 @@ fn broken_metrics_socket_degrades_to_stats_only() {
     handle.join();
 }
 
+/// Portfolio racing under an armed fault schedule: jobs compiled with
+/// `portfolio: true` race one step per strategy, and the losers a winner
+/// cancels are **not** failures — they appear in `portfolio_cancelled`
+/// while `failed` stays at zero, and the job-level conservation law
+/// (`submitted == completed + failed + drained + panicked`) is untouched
+/// by any number of per-step cancellations. One injected compile panic
+/// rides along to prove the two accounting planes stay separate.
+#[test]
+fn portfolio_losers_are_cancelled_not_failed_and_jobs_conserve() {
+    let _l = lock();
+    let _d = arm("seed=21;panic@1");
+    let dir = tmpdir("portfolio");
+    let handle = server::start(&ServerConfig {
+        workers: 2,
+        queue_capacity: 16,
+        cache_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let mut client = Client::connect(handle.local_addr()).expect("client connects");
+
+    let portfolio_options = || {
+        let Json::Obj(mut pairs) = fast_options() else {
+            unreachable!("fast_options returns an object")
+        };
+        pairs.push(("portfolio".to_string(), Json::Bool(true)));
+        Json::Obj(pairs)
+    };
+    let sources = [
+        "pkt.x = pkt.a;",
+        "pkt.x = pkt.a + pkt.b;",
+        "pkt.x = pkt.a + 1;",
+        "pkt.y = pkt.b; pkt.x = pkt.a;",
+    ];
+    let mut internal = 0usize;
+    for (i, src) in sources.iter().enumerate() {
+        let resp = client.compile(src, portfolio_options()).unwrap();
+        if ok(&resp) {
+            assert!(
+                resp.get("result").and_then(|r| r.get("pipeline")).is_some(),
+                "portfolio winner missing pipeline: {resp}"
+            );
+        } else {
+            // Only the injected panic may fail a job here — and it is
+            // accounted as `panicked`, never as a cancelled-loser artifact.
+            assert_eq!(
+                resp.get("error").and_then(Json::as_str),
+                Some("internal"),
+                "job {i} failed for an unexpected reason: {resp}"
+            );
+            internal += 1;
+        }
+    }
+    assert_eq!(internal, 1, "exactly the injected panic should fail");
+
+    faults::disarm();
+    let stats = client.stats().unwrap();
+    // Cancelled racing losers are spent search inside a *completed* job:
+    // they never surface as job-level failures.
+    assert_eq!(u64_field(&stats, "failed"), 0, "stats: {stats}");
+    assert_eq!(u64_field(&stats, "panicked"), 1, "stats: {stats}");
+    // The counter exists and is consistent: each completed portfolio job
+    // raced three strategies per depth, so losers can only have been
+    // cancelled or finished on their own — never failed the job.
+    let cancelled = u64_field(&stats, "portfolio_cancelled");
+    eprintln!("portfolio chaos: {cancelled} racing losers cancelled");
+    assert_conservation(&stats);
+
+    let ack = client.shutdown(false).unwrap();
+    assert!(ok(&ack));
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The write-ahead journal: a job accepted by a daemon that goes down
 /// before answering is replayed by the next daemon on the same journal
 /// directory, its result lands in the cache, and the client collects it

@@ -34,6 +34,7 @@ fn fast_chipmunk_opts(b: &chipmunk_suite::bench::Benchmark) -> CompilerOptions {
         },
         timeout: Some(std::time::Duration::from_secs(240)),
         parallel: false,
+        portfolio: false,
     }
 }
 
