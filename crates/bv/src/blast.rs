@@ -46,6 +46,20 @@ pub fn mk_true(solver: &mut Solver) -> Lit {
     l
 }
 
+/// Assumption literals pinning `bits` (LSB first) to `value`: bit `i` of
+/// `value` selects each literal's polarity. Bits beyond `bits.len()` are
+/// ignored, so a value decoded from these very literals round-trips
+/// exactly. Feed the result to [`Solver::solve`] to check one concrete
+/// assignment against a formula whose inputs were realized as free
+/// literals — the incremental-verification idiom, where the formula is
+/// blasted once and each candidate costs only an assumption vector.
+pub fn assumption_lits(bits: &[Lit], value: u64) -> Vec<Lit> {
+    bits.iter()
+        .enumerate()
+        .map(|(i, &l)| if (value >> i) & 1 == 1 { l } else { !l })
+        .collect()
+}
+
 /// One instantiation of circuit terms into a SAT solver.
 pub struct Blaster<'s> {
     solver: &'s mut Solver,
@@ -591,6 +605,50 @@ mod tests {
         assert_eq!(solver.solve(&[]), SolveResult::Sat);
         let b = Blaster::new(&mut solver, tru);
         assert_eq!(b.decode(&hole_bits).unwrap(), 4);
+    }
+
+    #[test]
+    fn assumption_lits_pin_free_bits() {
+        // Verify-under-assumptions: blast `x + 1 != y` once with x free,
+        // then check candidates for x by pinning its bits. x=4 leaves the
+        // miter satisfiable (pick y != 5); asserting y = x + 1 as a
+        // constraint makes every candidate unsat — and the solver stays
+        // reusable between the two phases.
+        let mut solver = Solver::new();
+        let tru = mk_true(&mut solver);
+        let mut c = Circuit::new(4);
+        let x = c.input("x");
+        let y = c.input("y");
+        let one = c.constant(1);
+        let s = c.binop(BvOp::Add, x, one);
+        let ne = c.binop(BvOp::Ne, s, y);
+
+        let mut b = Blaster::new(&mut solver, tru);
+        let x_bits = b.fresh_bits(4);
+        b.bind(c.input_id(x), Binding::Bits(x_bits.clone()));
+        b.assert_term(&c, ne);
+        let y_bits = b.blast(&c, y);
+        drop(b);
+
+        assert_eq!(solver.solve(&assumption_lits(&x_bits, 4)), SolveResult::Sat);
+        let dec = Blaster::new(&mut solver, tru);
+        assert_eq!(dec.decode(&x_bits).unwrap(), 4);
+        assert_ne!(dec.decode(&y_bits).unwrap(), 5);
+
+        // Now force y == x + 1: no candidate can distinguish any more.
+        let eq = c.binop(BvOp::Eq, s, y);
+        let mut b = Blaster::new(&mut solver, tru);
+        b.bind(c.input_id(x), Binding::Bits(x_bits.clone()));
+        b.bind(c.input_id(y), Binding::Bits(y_bits.clone()));
+        b.assert_term(&c, eq);
+        drop(b);
+        for v in [0u64, 4, 9, 15] {
+            assert_eq!(
+                solver.solve(&assumption_lits(&x_bits, v)),
+                SolveResult::Unsat,
+                "x={v}"
+            );
+        }
     }
 
     #[test]

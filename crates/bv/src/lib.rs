@@ -44,7 +44,7 @@ mod blast;
 mod circuit;
 mod equiv;
 
-pub use blast::{mk_true, Binding, Blaster};
+pub use blast::{assumption_lits, mk_true, Binding, Blaster};
 pub use circuit::{BvOp, Circuit, InputId, TermId};
 pub use equiv::{
     check_equiv, check_equiv_many, check_equiv_many_budgeted, Counterexample, TimedOut,

@@ -825,6 +825,11 @@ fn render_top(resp: &Json) {
             count(solver, "clause_bytes"),
             count(solver, "budget_trips"),
         );
+        println!(
+            "verify: {} conflicts, {} propagations",
+            count(solver, "verify_conflicts"),
+            count(solver, "verify_propagations"),
+        );
     }
     match resp.get("metrics_addr").and_then(Json::as_str) {
         Some(addr) => println!("metrics: http://{addr}/metrics"),

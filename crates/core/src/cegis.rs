@@ -21,14 +21,14 @@
 //!    this grid.
 
 use std::sync::atomic::AtomicBool;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use chipmunk_bv::{Binding, Blaster, BvOp, Circuit, TermId};
 use chipmunk_lang::spec::compile_spec;
 use chipmunk_lang::{Interpreter, PacketState, Program};
 use chipmunk_pisa::Pipeline;
-use chipmunk_sat::{Lit, ResourceBudget, SolveResult, Solver};
+use chipmunk_sat::{BudgetAccount, Lit, ResourceBudget, SolveResult, Solver};
 
 use crate::sketch::{DecodedConfig, Sketch};
 
@@ -60,8 +60,12 @@ pub struct CegisOptions {
     /// [`crate::approx::compile_approximate`]. `None` (the default)
     /// demands exact equivalence over the full verification width.
     pub domain_width: Option<u8>,
-    /// Hard resource ceilings for every SAT solve the run performs
-    /// (synthesis and verification alike). A tripped ceiling surfaces as
+    /// Hard resource ceilings on the SAT work the *whole job* performs:
+    /// synthesis and verification solves debit one shared
+    /// [`BudgetAccount`], so the conflict/propagation ceilings bound the
+    /// cumulative spend across every solve rather than re-arming per
+    /// solver (`clause_bytes` stays per-solver — it bounds live memory,
+    /// not accumulated work). A tripped ceiling surfaces as
     /// [`SynthesisError::Timeout`], exactly like a wall-clock deadline —
     /// the run gives up gracefully instead of growing without bound.
     pub budget: ResourceBudget,
@@ -103,11 +107,18 @@ pub struct CegisStats {
     pub synth_conflicts: u64,
     /// Unit propagations performed by the synthesis solver.
     pub synth_propagations: u64,
+    /// Conflicts spent by the verification solvers (screening + full
+    /// width). Historically omitted, which made the telemetry plane
+    /// under-report solver work.
+    pub verify_conflicts: u64,
+    /// Unit propagations performed by the verification solvers.
+    pub verify_propagations: u64,
     /// Live clause-literal bytes held by the synthesis solver at the end
     /// of the run (original + learnt), the quantity bounded by
     /// `ResourceBudget::clause_bytes`.
     pub clause_bytes: u64,
-    /// Resource-budget ceilings tripped by the synthesis solver.
+    /// Resource-budget ceilings tripped across the run — synthesis and
+    /// verification solvers alike.
     pub budget_trips: u64,
 }
 
@@ -172,16 +183,60 @@ pub fn synthesize(
     synthesize_with_cancel(prog, sketch, opts, None)
 }
 
+/// Shared context a CEGIS run participates in beyond its own options:
+/// cooperative cancellation, the job-wide solver-budget ledger, and the
+/// cross-step counterexample pool. All fields default to "standalone run".
+#[derive(Clone, Default)]
+pub struct SynthControl {
+    /// Cooperative cancellation flag: when another thread sets it, the run
+    /// stops at the next solver checkpoint with
+    /// [`SynthesisError::Cancelled`].
+    pub cancel: Option<Arc<AtomicBool>>,
+    /// Job-wide [`BudgetAccount`] shared by every solver this run creates
+    /// — and, when a compile job passes the same account to each plan
+    /// step, by the whole escalation. `None` creates a private account, so
+    /// a standalone run is its own job.
+    pub account: Option<Arc<BudgetAccount>>,
+    /// Counterexample pool shared across plan steps: its contents join the
+    /// initial test inputs, and every counterexample this run discovers is
+    /// pushed back — even if the run later fails. A failed shallow depth
+    /// thereby hands the hard inputs it paid for to the deeper retries
+    /// (and to racing siblings).
+    pub cex_pool: Option<Arc<Mutex<Vec<PacketState>>>>,
+}
+
 /// [`synthesize`] with a cooperative cancellation flag: when another
 /// thread sets it, the run stops at the next solver checkpoint and reports
-/// [`SynthesisError::Timeout`]. Used by the parallel grid-depth sweep so a
-/// shallow success can stop the deeper (often much slower) searches.
+/// [`SynthesisError::Cancelled`]. Used by the parallel grid-depth sweep so
+/// a shallow success can stop the deeper (often much slower) searches.
 pub fn synthesize_with_cancel(
     prog: &Program,
     sketch: &Sketch,
     opts: &CegisOptions,
     cancel: Option<Arc<AtomicBool>>,
 ) -> Result<Synthesized, SynthesisError> {
+    synthesize_with_control(
+        prog,
+        sketch,
+        opts,
+        SynthControl {
+            cancel,
+            ..SynthControl::default()
+        },
+    )
+}
+
+/// [`synthesize`] with full run control: cancellation, a shared job-wide
+/// budget account, and the cross-step counterexample pool. This is the
+/// primitive the plan executor drives; the other entry points are thin
+/// wrappers.
+pub fn synthesize_with_control(
+    prog: &Program,
+    sketch: &Sketch,
+    opts: &CegisOptions,
+    ctl: SynthControl,
+) -> Result<Synthesized, SynthesisError> {
+    let cancel = ctl.cancel.clone();
     let w = opts.verify_width;
     // Typed validation instead of asserts: options arrive from untrusted
     // serve requests, so a bad combination must not crash the process.
@@ -228,10 +283,18 @@ pub fn synthesize_with_cancel(
         .collect();
     let sk_out = sketch.symbolic(&mut circuit, &hole_terms, &field_terms, &state_terms);
 
-    // --- Incremental synthesis solver with shared hole literals.
+    // --- Incremental synthesis solver with shared hole literals. Every
+    // solver in this run (synthesis, screening, full-width verification)
+    // debits the same job-wide account, so `opts.budget` is a cumulative
+    // ceiling rather than a per-solver one.
+    let account = ctl
+        .account
+        .clone()
+        .unwrap_or_else(|| Arc::new(BudgetAccount::new()));
     let mut solver = Solver::new();
     solver.set_cancel_flag(cancel.clone());
     solver.set_budget(opts.budget);
+    solver.set_budget_account(Some(account.clone()));
     let tru = chipmunk_bv::mk_true(&mut solver);
     let hole_bits: Vec<Vec<Lit>> = {
         let mut b = Blaster::new(&mut solver, tru);
@@ -297,9 +360,44 @@ pub fn synthesize_with_cancel(
             states: (0..num_states).map(|_| rng.next() & small_mask).collect(),
         });
     }
+    // Counterexamples inherited from earlier plan steps (failed shallower
+    // depths, racing siblings): known-hard inputs for this program, valid
+    // at any depth/strategy because they constrain the spec side only.
+    if let Some(pool) = &ctl.cex_pool {
+        for cex in pool.lock().unwrap().iter() {
+            if cex.fields.len() == num_fields
+                && cex.states.len() == num_states
+                && !initial.contains(cex)
+            {
+                initial.push(cex.clone());
+            }
+        }
+    }
     for inp in &initial {
         add_input(&mut solver, inp);
     }
+
+    // --- Verification instances, one per width, persistent across
+    // iterations (the miter is blasted once; each candidate is checked by
+    // solving under assumptions that pin the hole bits). The env var
+    // CHIPMUNK_FRESH_VERIFY=1 restores the legacy rebuild-per-iteration
+    // path — the differential suite exercises both.
+    let fresh = fresh_verify_requested();
+    let mut full_verifier = Verifier::with_mode(prog, sketch, w, opts.domain_width, !fresh);
+    full_verifier.set_budget(opts.budget);
+    full_verifier.set_budget_account(Some(account.clone()));
+    // The screen width is raised to the widest hole so selector codes
+    // survive; if that reaches the full width, screening is pointless.
+    let mut screen_verifier = opts
+        .screen_width
+        .map(|sw| sw.max(sketch.max_hole_bits()))
+        .filter(|&sw| sw < w)
+        .map(|sw| {
+            let mut v = Verifier::with_mode(prog, sketch, sw, opts.domain_width, !fresh);
+            v.set_budget(opts.budget);
+            v.set_budget_account(Some(account.clone()));
+            v
+        });
 
     // --- The CEGIS loop.
     let mut cexes: Vec<PacketState> = Vec::new();
@@ -335,11 +433,12 @@ pub fn synthesize_with_cancel(
         }
         drop(synth_sp);
         stats.synth_time += t0.elapsed();
-        let solver_stats = solver.stats();
-        stats.synth_conflicts = solver_stats.conflicts;
-        stats.synth_propagations = solver_stats.propagations;
-        stats.budget_trips = solver_stats.budget_trips;
-        stats.clause_bytes = solver.clause_bytes();
+        fold_solver_stats(
+            &mut stats,
+            &solver,
+            screen_verifier.as_ref(),
+            &full_verifier,
+        );
         let hole_values: Vec<u64> = match res {
             SolveResult::Unsat => return Err(SynthesisError::Infeasible),
             SolveResult::Unknown => {
@@ -365,53 +464,44 @@ pub fn synthesize_with_cancel(
         };
 
         // Screening verification at a small width (cheap), if enabled.
-        // The screen width is raised to the widest hole so selector codes
-        // survive; if that reaches the full width, screening is pointless.
         let t1 = Instant::now();
         let mut verify_sp = chipmunk_trace::span!("cegis.verify", iter = iter);
-        if let Some(sw) = opts.screen_width {
-            let sw = sw.max(sketch.max_hole_bits());
-            if sw < w {
-                if let Some(cex) = verify_at_inner(
-                    prog,
-                    sketch,
-                    &hole_values,
-                    sw,
-                    opts.domain_width,
-                    opts.deadline,
-                    cancel.clone(),
-                    opts.budget,
-                )? {
-                    // Only sound to feed back if it also distinguishes at
-                    // the full width.
-                    if distinguishes_at(prog, sketch, &hole_values, &cex, w) {
-                        stats.verify_time += t1.elapsed();
-                        stats.counterexamples += 1;
-                        stats.screen_counterexamples += 1;
-                        verify_sp.record("result", "cex");
-                        verify_sp.record("provenance", "screen");
-                        drop(verify_sp);
-                        chipmunk_trace::event!("cegis.cex", iter = iter, provenance = "screen");
-                        add_input(&mut solver, &cex);
-                        cexes.push(cex);
-                        continue;
-                    }
+        if let Some(sv) = screen_verifier.as_mut() {
+            let screen_res = sv.check(prog, sketch, &hole_values, opts.deadline, cancel.clone());
+            if let Some(cex) = screen_res? {
+                // Only sound to feed back if it also distinguishes at
+                // the full width.
+                if distinguishes_at(prog, sketch, &hole_values, &cex, w) {
+                    stats.verify_time += t1.elapsed();
+                    stats.counterexamples += 1;
+                    stats.screen_counterexamples += 1;
+                    fold_solver_stats(
+                        &mut stats,
+                        &solver,
+                        screen_verifier.as_ref(),
+                        &full_verifier,
+                    );
+                    verify_sp.record("result", "cex");
+                    verify_sp.record("provenance", "screen");
+                    drop(verify_sp);
+                    chipmunk_trace::event!("cegis.cex", iter = iter, provenance = "screen");
+                    add_input(&mut solver, &cex);
+                    share_cex(&ctl, &cex);
+                    cexes.push(cex);
+                    continue;
                 }
             }
         }
         // Full-width verification (the paper's Z3 role).
-        let cex = verify_at_inner(
-            prog,
-            sketch,
-            &hole_values,
-            w,
-            opts.domain_width,
-            opts.deadline,
-            cancel.clone(),
-            opts.budget,
-        )?;
+        let cex = full_verifier.check(prog, sketch, &hole_values, opts.deadline, cancel.clone());
         stats.verify_time += t1.elapsed();
-        match cex {
+        fold_solver_stats(
+            &mut stats,
+            &solver,
+            screen_verifier.as_ref(),
+            &full_verifier,
+        );
+        match cex? {
             None => {
                 verify_sp.record("result", "equiv");
                 drop(verify_sp);
@@ -436,6 +526,7 @@ pub fn synthesize_with_cancel(
                 drop(verify_sp);
                 chipmunk_trace::event!("cegis.cex", iter = iter, provenance = "full");
                 add_input(&mut solver, &cex);
+                share_cex(&ctl, &cex);
                 cexes.push(cex);
             }
         }
@@ -444,10 +535,56 @@ pub fn synthesize_with_cancel(
     Err(SynthesisError::Timeout)
 }
 
+/// Has the legacy rebuild-per-iteration verification path been requested
+/// via the `CHIPMUNK_FRESH_VERIFY=1` kill switch?
+fn fresh_verify_requested() -> bool {
+    std::env::var_os("CHIPMUNK_FRESH_VERIFY").is_some_and(|v| v == "1")
+}
+
+/// Deposit a counterexample into the shared cross-step pool (if any), so
+/// later plan steps inherit it even when this run ultimately fails.
+fn share_cex(ctl: &SynthControl, cex: &PacketState) {
+    if let Some(pool) = &ctl.cex_pool {
+        let mut pool = pool.lock().unwrap();
+        if !pool.contains(cex) {
+            pool.push(cex.clone());
+        }
+    }
+}
+
+/// Fold the current solver work counters into `stats`: synthesis counters
+/// from the persistent synthesis solver, verification counters summed over
+/// the per-width verification instances, budget trips over all of them.
+fn fold_solver_stats(
+    stats: &mut CegisStats,
+    synth: &Solver,
+    screen: Option<&Verifier>,
+    full: &Verifier,
+) {
+    let ss = synth.stats();
+    stats.synth_conflicts = ss.conflicts;
+    stats.synth_propagations = ss.propagations;
+    stats.clause_bytes = synth.clause_bytes();
+    let (mut vc, mut vp, mut vt) = full.work();
+    if let Some(s) = screen {
+        let (c, p, t) = s.work();
+        vc += c;
+        vp += p;
+        vt += t;
+    }
+    stats.verify_conflicts = vc;
+    stats.verify_propagations = vp;
+    stats.budget_trips = ss.budget_trips + vt;
+}
+
 /// Check a candidate hole assignment against the program at `width`;
 /// `Ok(Some(input))` is a distinguishing input. When `domain_width` is
 /// set, only inputs with every field and state below `2^domain_width` are
 /// quantified over (approximate synthesis, §5.2).
+///
+/// This is the from-scratch path: the miter is blasted into a fresh
+/// solver for this one query. Loops that check many candidates should
+/// hold a persistent [`Verifier`] instead.
 pub fn verify_at(
     prog: &Program,
     sketch: &Sketch,
@@ -456,29 +593,27 @@ pub fn verify_at(
     domain_width: Option<u8>,
     deadline: Option<Instant>,
 ) -> Result<Option<PacketState>, SynthesisError> {
-    verify_at_inner(
+    Verifier::with_mode(prog, sketch, width, domain_width, false).check(
         prog,
         sketch,
         hole_values,
-        width,
-        domain_width,
         deadline,
         None,
-        ResourceBudget::UNLIMITED,
     )
 }
 
-#[allow(clippy::too_many_arguments)]
-fn verify_at_inner(
-    prog: &Program,
-    sketch: &Sketch,
-    hole_values: &[u64],
-    width: u8,
-    domain_width: Option<u8>,
-    deadline: Option<Instant>,
-    cancel: Option<Arc<AtomicBool>>,
-    budget: ResourceBudget,
-) -> Result<Option<PacketState>, SynthesisError> {
+/// The sketch-vs-spec miter circuit at one width, plus the terms needed to
+/// bind holes and decode counterexamples from a model.
+struct Miter {
+    circuit: Circuit,
+    hole_terms: Vec<TermId>,
+    field_terms: Vec<TermId>,
+    state_terms: Vec<TermId>,
+    diffs: Vec<TermId>,
+    domain_constraints: Vec<TermId>,
+}
+
+fn build_miter(prog: &Program, sketch: &Sketch, width: u8, domain_width: Option<u8>) -> Miter {
     let mut circuit = Circuit::new(width);
     let hole_terms: Vec<TermId> = sketch
         .holes()
@@ -517,54 +652,251 @@ fn verify_at_inner(
             }
         }
     }
-
-    let mut solver = Solver::new();
-    solver.set_deadline(deadline);
-    solver.set_cancel_flag(cancel.clone());
-    solver.set_budget(budget);
-    let tru = chipmunk_bv::mk_true(&mut solver);
-    let mut b = Blaster::new(&mut solver, tru);
-    for (i, &t) in hole_terms.iter().enumerate() {
-        b.bind(circuit.input_id(t), Binding::Const(hole_values[i]));
+    Miter {
+        circuit,
+        hole_terms,
+        field_terms,
+        state_terms,
+        diffs,
+        domain_constraints,
     }
-    b.assert_any(&circuit, &diffs);
-    for &dc in &domain_constraints {
-        b.assert_term(&circuit, dc);
-    }
-    // Realize all program inputs so the counterexample is total.
-    let field_bits: Vec<Vec<Lit>> = field_terms.iter().map(|&t| b.blast(&circuit, t)).collect();
-    let state_bits: Vec<Vec<Lit>> = state_terms.iter().map(|&t| b.blast(&circuit, t)).collect();
+}
 
-    match solver.solve(&[]) {
-        SolveResult::Unsat => Ok(None),
-        SolveResult::Unknown => {
-            if cancel
-                .as_ref()
-                .is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed))
-            {
-                Err(SynthesisError::Cancelled)
-            } else {
-                Err(SynthesisError::Timeout)
+/// The persistent, incremental half of a [`Verifier`]: the miter blasted
+/// once with the holes realized as *free* literals, so each candidate is a
+/// `solve` under assumptions and learned clauses, VSIDS activity, and
+/// saved phases survive across CEGIS iterations.
+struct PersistentMiter {
+    solver: Solver,
+    tru: Lit,
+    hole_bits: Vec<Vec<Lit>>,
+    field_bits: Vec<Vec<Lit>>,
+    state_bits: Vec<Vec<Lit>>,
+}
+
+/// A verification instance at one width.
+///
+/// In the default incremental mode the sketch-vs-spec miter is built and
+/// bit-blasted once, with hole inputs left as free literals;
+/// [`Verifier::check`] then pins the hole bits to a candidate's decoded
+/// values with solver assumptions, so successive queries share one solver
+/// and its learned state. The legacy mode (`CHIPMUNK_FRESH_VERIFY=1`, or
+/// [`verify_at`]) rebuilds the miter into a fresh solver per query with
+/// holes bound as constants.
+///
+/// Either way the verifier accumulates its solver work, honors a
+/// [`ResourceBudget`] and an optional job-wide [`BudgetAccount`], and
+/// returns `Ok(None)` for equivalence or `Ok(Some(cex))` with a
+/// distinguishing input.
+pub struct Verifier {
+    width: u8,
+    domain_width: Option<u8>,
+    budget: ResourceBudget,
+    account: Option<Arc<BudgetAccount>>,
+    /// `Some` in incremental mode, `None` in rebuild-per-query mode.
+    inc: Option<PersistentMiter>,
+    conflicts: u64,
+    propagations: u64,
+    budget_trips: u64,
+}
+
+impl Verifier {
+    /// A persistent incremental verifier for `prog`/`sketch` at `width`.
+    /// The miter is blasted now; each [`Verifier::check`] is one
+    /// assumption-pinned solve on the same solver.
+    pub fn new(prog: &Program, sketch: &Sketch, width: u8, domain_width: Option<u8>) -> Verifier {
+        Verifier::with_mode(prog, sketch, width, domain_width, true)
+    }
+
+    pub(crate) fn with_mode(
+        prog: &Program,
+        sketch: &Sketch,
+        width: u8,
+        domain_width: Option<u8>,
+        incremental: bool,
+    ) -> Verifier {
+        let inc = incremental.then(|| {
+            let m = build_miter(prog, sketch, width, domain_width);
+            let mut solver = Solver::new();
+            let tru = chipmunk_bv::mk_true(&mut solver);
+            let mut b = Blaster::new(&mut solver, tru);
+            // Holes stay free: `fresh_hole_bits` allocates each hole at its
+            // declared width and `bind_holes` zero-pads to the circuit
+            // width, mirroring the synthesis encoding — so a decoded hole
+            // value always fits its assumption vector.
+            let hole_bits = sketch.fresh_hole_bits(&mut b);
+            sketch.bind_holes(&m.circuit, &m.hole_terms, &hole_bits, &mut b);
+            b.assert_any(&m.circuit, &m.diffs);
+            for &dc in &m.domain_constraints {
+                b.assert_term(&m.circuit, dc);
             }
+            // Realize all program inputs so counterexamples are total.
+            let field_bits: Vec<Vec<Lit>> = m
+                .field_terms
+                .iter()
+                .map(|&t| b.blast(&m.circuit, t))
+                .collect();
+            let state_bits: Vec<Vec<Lit>> = m
+                .state_terms
+                .iter()
+                .map(|&t| b.blast(&m.circuit, t))
+                .collect();
+            drop(b);
+            PersistentMiter {
+                solver,
+                tru,
+                hole_bits,
+                field_bits,
+                state_bits,
+            }
+        });
+        Verifier {
+            width,
+            domain_width,
+            budget: ResourceBudget::UNLIMITED,
+            account: None,
+            inc,
+            conflicts: 0,
+            propagations: 0,
+            budget_trips: 0,
         }
-        SolveResult::Sat => {
-            let dec = Blaster::new(&mut solver, tru);
-            let fields = field_bits
-                .iter()
-                .map(|bits| dec.decode(bits).expect("total model"))
-                .collect();
-            let states = state_bits
-                .iter()
-                .map(|bits| dec.decode(bits).expect("total model"))
-                .collect();
-            Ok(Some(PacketState { fields, states }))
+    }
+
+    /// Install hard resource ceilings for subsequent checks.
+    pub fn set_budget(&mut self, budget: ResourceBudget) {
+        self.budget = budget;
+    }
+
+    /// Install the shared job-wide budget ledger debited by every check.
+    pub fn set_budget_account(&mut self, account: Option<Arc<BudgetAccount>>) {
+        self.account = account;
+    }
+
+    /// Accumulated solver work across all checks:
+    /// `(conflicts, propagations, budget_trips)`.
+    pub fn work(&self) -> (u64, u64, u64) {
+        (self.conflicts, self.propagations, self.budget_trips)
+    }
+
+    /// Check one candidate hole assignment. `Ok(None)` means the candidate
+    /// is equivalent to the spec at this width (within the domain, if
+    /// restricted); `Ok(Some(input))` is a distinguishing input.
+    pub fn check(
+        &mut self,
+        prog: &Program,
+        sketch: &Sketch,
+        hole_values: &[u64],
+        deadline: Option<Instant>,
+        cancel: Option<Arc<AtomicBool>>,
+    ) -> Result<Option<PacketState>, SynthesisError> {
+        match &mut self.inc {
+            Some(pm) => {
+                pm.solver.set_deadline(deadline);
+                pm.solver.set_cancel_flag(cancel.clone());
+                pm.solver.set_budget(self.budget);
+                pm.solver.set_budget_account(self.account.clone());
+                let mut assumptions = Vec::new();
+                for (bits, &v) in pm.hole_bits.iter().zip(hole_values) {
+                    assumptions.extend(chipmunk_bv::assumption_lits(bits, v));
+                }
+                let before = pm.solver.stats();
+                let res = pm.solver.solve(&assumptions);
+                let after = pm.solver.stats();
+                self.conflicts += after.conflicts - before.conflicts;
+                self.propagations += after.propagations - before.propagations;
+                self.budget_trips += after.budget_trips - before.budget_trips;
+                match res {
+                    SolveResult::Unsat => Ok(None),
+                    SolveResult::Unknown => Err(interrupt_error(&cancel)),
+                    SolveResult::Sat => {
+                        let dec = Blaster::new(&mut pm.solver, pm.tru);
+                        let fields = pm
+                            .field_bits
+                            .iter()
+                            .map(|bits| dec.decode(bits).expect("total model"))
+                            .collect();
+                        let states = pm
+                            .state_bits
+                            .iter()
+                            .map(|bits| dec.decode(bits).expect("total model"))
+                            .collect();
+                        Ok(Some(PacketState { fields, states }))
+                    }
+                }
+            }
+            None => {
+                // Legacy path: rebuild the miter into a fresh solver, with
+                // holes collapsed to constants at blast time.
+                let m = build_miter(prog, sketch, self.width, self.domain_width);
+                let mut solver = Solver::new();
+                solver.set_deadline(deadline);
+                solver.set_cancel_flag(cancel.clone());
+                solver.set_budget(self.budget);
+                solver.set_budget_account(self.account.clone());
+                let tru = chipmunk_bv::mk_true(&mut solver);
+                let mut b = Blaster::new(&mut solver, tru);
+                for (i, &t) in m.hole_terms.iter().enumerate() {
+                    b.bind(m.circuit.input_id(t), Binding::Const(hole_values[i]));
+                }
+                b.assert_any(&m.circuit, &m.diffs);
+                for &dc in &m.domain_constraints {
+                    b.assert_term(&m.circuit, dc);
+                }
+                let field_bits: Vec<Vec<Lit>> = m
+                    .field_terms
+                    .iter()
+                    .map(|&t| b.blast(&m.circuit, t))
+                    .collect();
+                let state_bits: Vec<Vec<Lit>> = m
+                    .state_terms
+                    .iter()
+                    .map(|&t| b.blast(&m.circuit, t))
+                    .collect();
+                drop(b);
+                let res = solver.solve(&[]);
+                let st = solver.stats();
+                self.conflicts += st.conflicts;
+                self.propagations += st.propagations;
+                self.budget_trips += st.budget_trips;
+                match res {
+                    SolveResult::Unsat => Ok(None),
+                    SolveResult::Unknown => Err(interrupt_error(&cancel)),
+                    SolveResult::Sat => {
+                        let dec = Blaster::new(&mut solver, tru);
+                        let fields = field_bits
+                            .iter()
+                            .map(|bits| dec.decode(bits).expect("total model"))
+                            .collect();
+                        let states = state_bits
+                            .iter()
+                            .map(|bits| dec.decode(bits).expect("total model"))
+                            .collect();
+                        Ok(Some(PacketState { fields, states }))
+                    }
+                }
+            }
         }
     }
 }
 
+/// The solver reports Unknown for deadlines, budgets, and cancellation
+/// alike; the raised flag tells them apart.
+fn interrupt_error(cancel: &Option<Arc<AtomicBool>>) -> SynthesisError {
+    if cancel
+        .as_ref()
+        .is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed))
+    {
+        SynthesisError::Cancelled
+    } else {
+        SynthesisError::Timeout
+    }
+}
+
 /// Does `input` distinguish the candidate from the spec at `width`?
-/// (Concrete execution — used to validate screening counterexamples.)
-fn distinguishes_at(
+/// (Concrete execution — used to validate screening counterexamples, and
+/// by the differential suites to check that a verifier-returned
+/// counterexample is genuine rather than merely plausible.)
+pub fn distinguishes_at(
     prog: &Program,
     sketch: &Sketch,
     hole_values: &[u64],
@@ -829,6 +1161,159 @@ mod tests {
         // Deterministic: the same tiny budget gives the same outcome.
         let err2 = synthesize(&prog, &sketch, &opts).unwrap_err();
         assert_eq!(err, err2);
+    }
+
+    #[test]
+    fn job_budget_is_cumulative_across_all_solves() {
+        // Regression for the per-solver budget bug: verification solvers
+        // used to re-arm the full ceiling on every iteration, so a run
+        // could overspend its "hard" budget by ~iterations×. With the
+        // job-wide account, total spend across every solve the run
+        // performs (synthesis + screening + full-width verification)
+        // never exceeds the configured ceiling.
+        let prog = chipmunk_lang::parse("state s; s = s + pkt.x;").unwrap();
+        let g = GridSpec::new(2, 2, library::nested_ifs(3), 3);
+        let sketch = Sketch::new(g, 1, 1, SketchOptions::default()).unwrap();
+        let opts = CegisOptions {
+            budget: ResourceBudget {
+                conflicts: Some(5),
+                propagations: Some(20_000),
+                ..ResourceBudget::UNLIMITED
+            },
+            ..fast_opts()
+        };
+        let account = Arc::new(BudgetAccount::new());
+        let err = synthesize_with_control(
+            &prog,
+            &sketch,
+            &opts,
+            SynthControl {
+                account: Some(account.clone()),
+                ..SynthControl::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, SynthesisError::Timeout);
+        assert!(
+            account.conflicts() <= 5,
+            "job spent {} conflicts against a 5-conflict ceiling",
+            account.conflicts()
+        );
+        assert!(
+            account.propagations() <= 20_000,
+            "job spent {} propagations against a 20k ceiling",
+            account.propagations()
+        );
+    }
+
+    #[test]
+    fn stats_report_verification_work() {
+        let g = GridSpec::new(2, 2, library::if_else_raw(3), 3);
+        let out = synth_ok(
+            "state count;
+             if (count == 5) { count = 0; pkt.sample = 1; }
+             else { count = count + 1; pkt.sample = 0; }",
+            g,
+            &fast_opts(),
+        );
+        // Every run ends with at least one full-width verification solve,
+        // and the verifier always propagates its assumption/unit clauses.
+        assert!(out.stats.verify_propagations > 0);
+        assert!(out.stats.synth_propagations > 0);
+    }
+
+    #[test]
+    fn incremental_verifier_agrees_with_rebuild() {
+        // The persistent assumption-pinned verifier and the from-scratch
+        // rebuild must return the same verdict for any candidate — and
+        // any counterexample either returns must concretely distinguish.
+        let prog = chipmunk_lang::parse("pkt.x = pkt.x + 1;").unwrap();
+        let g = GridSpec::new(1, 1, library::raw(2), 2);
+        let sketch = Sketch::new(g, 1, 0, SketchOptions::default()).unwrap();
+        let opts = fast_opts();
+        let w = opts.verify_width;
+        let out = synthesize(&prog, &sketch, &opts).expect("synthesis succeeds");
+
+        let mut inc = Verifier::new(&prog, &sketch, w, None);
+        assert_eq!(
+            inc.check(&prog, &sketch, &out.hole_values, None, None)
+                .unwrap(),
+            None,
+            "winner must verify incrementally"
+        );
+        assert_eq!(
+            verify_at(&prog, &sketch, &out.hole_values, w, None, None).unwrap(),
+            None,
+            "winner must verify from scratch"
+        );
+
+        // Seeded single-bit perturbations of the winner: verdicts agree,
+        // and the persistent instance stays sound across mixed SAT/UNSAT
+        // queries (the incremental hazard this suite guards).
+        let mut rng = SplitMix64(0xfeed);
+        for round in 0..16 {
+            let mut hv = out.hole_values.clone();
+            let i = (rng.next() as usize) % hv.len();
+            let bits = sketch.holes()[i].bits.max(1);
+            hv[i] ^= 1 << (rng.next() % bits as u64);
+            let fresh = verify_at(&prog, &sketch, &hv, w, None, None).unwrap();
+            let pinned = inc.check(&prog, &sketch, &hv, None, None).unwrap();
+            assert_eq!(
+                fresh.is_none(),
+                pinned.is_none(),
+                "round {round}: verdicts diverge for {hv:?} (fresh {fresh:?}, pinned {pinned:?})"
+            );
+            for cex in [fresh, pinned].into_iter().flatten() {
+                assert!(
+                    distinguishes_at(&prog, &sketch, &hv, &cex, w),
+                    "round {round}: {cex:?} does not distinguish {hv:?}"
+                );
+            }
+        }
+        // Re-check the winner after all that: still equivalent.
+        assert_eq!(
+            inc.check(&prog, &sketch, &out.hole_values, None, None)
+                .unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn cex_pool_seeds_and_collects() {
+        let src = "state count;
+                   if (count == 5) { count = 0; pkt.sample = 1; }
+                   else { count = count + 1; pkt.sample = 0; }";
+        let prog = chipmunk_lang::parse(src).unwrap();
+        let g = GridSpec::new(2, 2, library::if_else_raw(3), 3);
+        let sketch = Sketch::new(g, 1, 1, SketchOptions::default()).unwrap();
+        let pool = Arc::new(Mutex::new(Vec::new()));
+        let ctl = |pool: &Arc<Mutex<Vec<PacketState>>>| SynthControl {
+            cex_pool: Some(pool.clone()),
+            ..SynthControl::default()
+        };
+        let out1 = synthesize_with_control(&prog, &sketch, &fast_opts(), ctl(&pool))
+            .expect("first run succeeds");
+        assert_eq!(
+            pool.lock().unwrap().len(),
+            out1.counterexamples.len(),
+            "every discovered counterexample lands in the pool"
+        );
+        // A second run seeded with the pool starts from the hard inputs
+        // the first run paid for, so it never feeds one of them back as a
+        // fresh counterexample again.
+        let out2 = synthesize_with_control(&prog, &sketch, &fast_opts(), ctl(&pool))
+            .expect("seeded run succeeds");
+        assert_eq!(
+            validate_decoded(&prog, &sketch, &out2.decoded, 6, 300, 5),
+            None
+        );
+        for cex in &out2.counterexamples {
+            assert!(
+                !out1.counterexamples.contains(cex),
+                "pool-seeded run rediscovered {cex:?}"
+            );
+        }
+        assert!(out2.stats.iterations <= out1.stats.iterations);
     }
 
     #[test]

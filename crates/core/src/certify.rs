@@ -204,19 +204,34 @@ fn certify_config_impl(prog: &Program, req: &CertifyRequest<'_>) -> Result<Certi
 /// assembled — the gate the plan executor applies to every candidate win
 /// (in a strategy race, *inside* the race, so an uncertified candidate
 /// never cancels the other strategies).
+///
+/// `extra_inputs` are additional known-hard inputs to replay beyond the
+/// run's own counterexamples — the plan executor passes the job's
+/// cross-step counterexample pool, so a winner is also checked against
+/// every input any earlier (failed) step was sensitive to.
 pub(crate) fn certify_synthesized(
     prog: &Program,
     opts: &CompilerOptions,
     grid: &chipmunk_pisa::GridSpec,
     s: &crate::cegis::Synthesized,
+    extra_inputs: &[PacketState],
 ) -> Result<CertifyReport, String> {
+    let mut replay = s.counterexamples.clone();
+    for inp in extra_inputs {
+        if inp.fields.len() == prog.field_names().len()
+            && inp.states.len() == prog.state_names().len()
+            && !replay.contains(inp)
+        {
+            replay.push(inp.clone());
+        }
+    }
     certify_config(
         prog,
         &CertifyRequest {
             grid,
             pipeline: &s.decoded.pipeline,
             field_to_container: &s.decoded.field_to_container,
-            counterexamples: &s.counterexamples,
+            counterexamples: &replay,
             width: opts.cegis.verify_width,
             domain_width: opts.cegis.domain_width,
             samples: DEFAULT_SAMPLES,

@@ -45,7 +45,7 @@ pub mod sketch;
 
 pub use approx::{compile_approximate, ApproxOptions, ApproxOutcome};
 pub use cache::{cache_key, canonical_text, layout_names};
-pub use cegis::{CegisOptions, CegisStats, SynthesisError, Synthesized};
+pub use cegis::{CegisOptions, CegisStats, SynthControl, SynthesisError, Synthesized, Verifier};
 pub use certify::{certify_config, certify_success, CertifyReport, CertifyRequest};
 pub use search::{
     compile, compile_with_cancel, compile_with_control, plan_compilation, CodegenError,
@@ -55,7 +55,7 @@ pub use sketch::{DecodedConfig, HoleDecl, Sketch, SketchOptions, SketchOutputs};
 
 // The budget type appears in `CegisOptions`; re-export it so downstream
 // crates can fill it without a direct chipmunk-sat dependency.
-pub use chipmunk_sat::ResourceBudget;
+pub use chipmunk_sat::{BudgetAccount, ResourceBudget};
 
 /// The compilation-plan data model and executor, re-exported so the
 /// serving layer and CLI can fingerprint, explain, and observe plans

@@ -402,6 +402,14 @@ pub fn compile_with_control(
         },
         ..opts.cegis
     };
+    // Job-wide solver accounting: every plan step's synthesis and
+    // verification solvers debit this one ledger, so the caller's budget
+    // ceilings bound the whole compile, not each solver separately.
+    let account = Arc::new(chipmunk_sat::BudgetAccount::new());
+    // Cross-step counterexample pool: hard inputs discovered at a failed
+    // depth/strategy seed the next step's initial test set, so escalation
+    // and racing inherit the work already paid for.
+    let cex_pool = Arc::new(std::sync::Mutex::new(Vec::new()));
 
     let runner = |step: &PlanStep,
                   cancel: Option<Arc<AtomicBool>>|
@@ -430,7 +438,16 @@ pub fn compile_with_control(
             budget: step.budget,
             ..cegis_base
         };
-        let res = crate::cegis::synthesize_with_cancel(prog, &sketch, &cegis_opts, cancel);
+        let res = crate::cegis::synthesize_with_control(
+            prog,
+            &sketch,
+            &cegis_opts,
+            crate::cegis::SynthControl {
+                cancel,
+                account: Some(account.clone()),
+                cex_pool: Some(cex_pool.clone()),
+            },
+        );
         if chipmunk_trace::enabled() {
             sp.record(
                 "result",
@@ -467,7 +484,10 @@ pub fn compile_with_control(
     };
     let certify = |_step: &PlanStep, candidate: &(Synthesized, GridSpec)| -> Result<(), String> {
         let (synthesized, grid) = candidate;
-        crate::certify::certify_synthesized(prog, opts, grid, synthesized).map(|_| ())
+        // Replay the whole job's counterexample pool, not just this run's:
+        // a winner must also survive the inputs earlier steps paid for.
+        let pool = cex_pool.lock().unwrap().clone();
+        crate::certify::certify_synthesized(prog, opts, grid, synthesized, &pool).map(|_| ())
     };
 
     let res = chipmunk_plan::execute(

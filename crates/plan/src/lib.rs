@@ -93,7 +93,11 @@ pub struct PlanStep {
     pub slots: usize,
     /// Hole-restriction strategy.
     pub strategy: Strategy,
-    /// Solver resource ceilings for this step.
+    /// Solver resource ceilings for this step. The conflict and
+    /// propagation ceilings are *job-wide* in practice: the executor's
+    /// caller threads one shared `BudgetAccount` through every step of a
+    /// compile, so a step inherits whatever the earlier steps already
+    /// spent rather than re-arming the full ceiling.
     pub budget: ResourceBudget,
     /// Index of the [`PlanGroup`] this step belongs to.
     pub group: usize,
@@ -625,7 +629,7 @@ where
 {
     let n = group.steps.len();
     let flags: Vec<Arc<AtomicBool>> = (0..n).map(|_| Arc::new(AtomicBool::new(false))).collect();
-    let mut results: Vec<(usize, Result<Result<T, StepError>, String>)> =
+    let mut results: Vec<RaceResult<T>> =
         scope_race(plan, group, runner, ctl, &flags, |pos, res, flags| {
             // A depth that synthesized cancels every deeper depth.
             if res.is_ok() {
@@ -721,7 +725,7 @@ where
     let flags: Vec<Arc<AtomicBool>> = (0..n).map(|_| Arc::new(AtomicBool::new(false))).collect();
     let winner: Mutex<Option<(usize, T)>> = Mutex::new(None);
     let uncertified: Mutex<Option<String>> = Mutex::new(None);
-    let mut results: Vec<(usize, Result<Result<T, StepError>, String>)> =
+    let mut results: Vec<RaceResult<T>> =
         scope_race(plan, group, runner, ctl, &flags, |pos, res, flags| {
             // Certify inside the race: only a certified win takes the
             // group, and it cancels everyone else.
@@ -966,6 +970,10 @@ where
     }
 }
 
+/// One raced step's result: its position in the group, and either the
+/// runner's verdict or (outer `Err`) a panic message from its thread.
+type RaceResult<T> = (usize, Result<Result<T, StepError>, String>);
+
 /// Shared racing scaffold: one scoped thread per step with panic
 /// isolation, an external-cancel monitor fanning out to per-step flags,
 /// per-step observer reports, and a `coordinate` hook invoked (under no
@@ -980,7 +988,7 @@ fn scope_race<'p, T, R>(
     flags: &[Arc<AtomicBool>],
     coordinate: impl Fn(usize, &mut Result<T, StepError>, &[Arc<AtomicBool>]) -> Option<StepOutcome>
         + Sync,
-) -> Vec<(usize, Result<Result<T, StepError>, String>)>
+) -> Vec<RaceResult<T>>
 where
     T: Send,
     R: Fn(&PlanStep, Option<Arc<AtomicBool>>) -> Result<T, StepError> + Sync,

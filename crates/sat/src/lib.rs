@@ -44,7 +44,7 @@ mod luby;
 mod solver;
 
 pub use dimacs::{parse_dimacs, Cnf, DimacsError};
-pub use solver::{ResourceBudget, SolveResult, Solver, SolverStats};
+pub use solver::{BudgetAccount, ResourceBudget, SolveResult, Solver, SolverStats};
 
 /// A propositional variable, identified by a dense index starting at 0.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]

@@ -5,7 +5,7 @@
 //! first-UIP conflict analysis, VSIDS decision ordering, phase saving, Luby
 //! restarts, and LBD-driven learnt-clause database reduction.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -27,8 +27,12 @@ pub enum SolveResult {
 /// Hard resource ceilings for the solver (`None` = unlimited).
 ///
 /// `conflicts` and `propagations` bound the work of a single `solve`
-/// call; `clause_bytes` bounds the live bytes held by clause literal
-/// arrays (original + learnt) across the solver's whole lifetime.
+/// call — or, when a shared [`BudgetAccount`] is installed with
+/// [`Solver::set_budget_account`], the *cumulative* work of every solve
+/// charged to that account, so a job that spreads its search over many
+/// solvers still answers to one ledger. `clause_bytes` bounds the live
+/// bytes held by clause literal arrays (original + learnt) across the
+/// solver's whole lifetime.
 /// Tripping any ceiling makes `solve` return [`SolveResult::Unknown`]
 /// instead of growing past it: an original clause that would overflow
 /// the byte ceiling is *dropped* (which only weakens the formula, so a
@@ -37,10 +41,13 @@ pub enum SolveResult {
 /// reduction and, if still over, ends the solve.
 #[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
 pub struct ResourceBudget {
-    /// Max conflicts per `solve` call.
+    /// Max conflicts per `solve` call (cumulative across solves when a
+    /// [`BudgetAccount`] is installed). Checked after every conflict, so
+    /// the spend never exceeds the ceiling.
     pub conflicts: Option<u64>,
-    /// Max unit propagations per `solve` call (checked between
-    /// propagation rounds, so a single round may overshoot slightly).
+    /// Max unit propagations per `solve` call (cumulative across solves
+    /// when a [`BudgetAccount`] is installed). Checked before every trail
+    /// pop, so the spend never exceeds the ceiling.
     pub propagations: Option<u64>,
     /// Max live bytes of clause literal storage (original + learnt).
     pub clause_bytes: Option<u64>,
@@ -57,6 +64,50 @@ impl ResourceBudget {
     /// Does this budget impose any ceiling?
     pub fn is_limited(&self) -> bool {
         self.conflicts.is_some() || self.propagations.is_some() || self.clause_bytes.is_some()
+    }
+}
+
+/// A shared, job-wide ledger of solver work.
+///
+/// Every [`Solver`] that has the account installed (see
+/// [`Solver::set_budget_account`]) snapshots the ledger when a `solve`
+/// starts, counts its own spend on top of that snapshot against the
+/// [`ResourceBudget`] work ceilings, and charges its spend back when the
+/// solve returns. A job that runs many solves — the CEGIS loop runs one
+/// synthesis solve plus up to two verification solves per iteration —
+/// therefore debits one cumulative budget instead of re-arming a fresh
+/// ceiling per solver.
+///
+/// Charging uses relaxed atomics: exact for sequential jobs; concurrent
+/// racing siblings sharing an account each see the ledger as of their own
+/// solve start, so overshoot is bounded by the in-flight solves' remaining
+/// allowances rather than unbounded re-arming.
+#[derive(Debug, Default)]
+pub struct BudgetAccount {
+    conflicts: AtomicU64,
+    propagations: AtomicU64,
+}
+
+impl BudgetAccount {
+    /// A fresh, empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total conflicts charged so far.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts.load(Ordering::Relaxed)
+    }
+
+    /// Total unit propagations charged so far.
+    pub fn propagations(&self) -> u64 {
+        self.propagations.load(Ordering::Relaxed)
+    }
+
+    /// Debit one solve's work.
+    pub fn charge(&self, conflicts: u64, propagations: u64) {
+        self.conflicts.fetch_add(conflicts, Ordering::Relaxed);
+        self.propagations.fetch_add(propagations, Ordering::Relaxed);
     }
 }
 
@@ -137,6 +188,16 @@ pub struct Solver {
     deadline: Option<Instant>,
     cancel: Option<Arc<AtomicBool>>,
 
+    account: Option<Arc<BudgetAccount>>,
+    // Ledger snapshot taken when the current solve started: work ceilings
+    // compare against `snapshot + this solve's own spend`.
+    acct_conf_base: u64,
+    acct_prop_base: u64,
+    // Absolute `stats.propagations` value at which propagation must stop
+    // (u64::MAX outside a solve or when unlimited) — makes the
+    // propagation ceiling exact instead of per-round approximate.
+    prop_limit: u64,
+
     stats: SolverStats,
 }
 
@@ -175,6 +236,10 @@ impl Solver {
             budget_exceeded: false,
             deadline: None,
             cancel: None,
+            account: None,
+            acct_conf_base: 0,
+            acct_prop_base: 0,
+            prop_limit: u64::MAX,
             stats: SolverStats::default(),
         }
     }
@@ -225,6 +290,16 @@ impl Solver {
     /// any of them makes `solve` return [`SolveResult::Unknown`].
     pub fn set_budget(&mut self, budget: ResourceBudget) {
         self.budget = budget;
+    }
+
+    /// Install a shared job-wide [`BudgetAccount`]. Every subsequent
+    /// `solve` compares the [`ResourceBudget`] work ceilings against the
+    /// account's cumulative spend plus its own, and charges its spend back
+    /// to the account when it returns — so several solvers (or repeated
+    /// solves) answer to one cumulative budget instead of each re-arming
+    /// the full ceiling.
+    pub fn set_budget_account(&mut self, account: Option<Arc<BudgetAccount>>) {
+        self.account = account;
     }
 
     /// Live bytes of clause literal storage (original + learnt), the
@@ -343,6 +418,15 @@ impl Solver {
         );
         let before = self.stats;
         let res = self.solve_impl(assumptions);
+        // The limit is only meaningful inside a solve; clause additions
+        // between solves must propagate unhindered.
+        self.prop_limit = u64::MAX;
+        if let Some(acct) = &self.account {
+            acct.charge(
+                self.stats.conflicts - before.conflicts,
+                self.stats.propagations - before.propagations,
+            );
+        }
         if chipmunk_trace::enabled() {
             let d = |a: u64, b: u64| a.saturating_sub(b);
             sp.record(
@@ -390,6 +474,19 @@ impl Solver {
         self.max_learnts = (self.clause_count_hint() as f64 * 0.3).max(2000.0);
         let budget_start = self.stats.conflicts;
         let prop_start = self.stats.propagations;
+        (self.acct_conf_base, self.acct_prop_base) = match &self.account {
+            Some(a) => (a.conflicts(), a.propagations()),
+            None => (0, 0),
+        };
+        self.prop_limit = match self.budget.propagations {
+            Some(b) => prop_start.saturating_add(b.saturating_sub(self.acct_prop_base)),
+            None => u64::MAX,
+        };
+        if self.work_over_budget(budget_start, prop_start) {
+            // The job-wide ledger is already exhausted: spend nothing.
+            self.stats.budget_trips += 1;
+            return SolveResult::Unknown;
+        }
 
         let mut restart_idx: u64 = 1;
         loop {
@@ -494,6 +591,13 @@ impl Solver {
     /// Unit propagation. Returns the index of a conflicting clause, if any.
     fn propagate(&mut self) -> Option<u32> {
         while self.qhead < self.trail.len() {
+            if self.stats.propagations >= self.prop_limit {
+                // Propagation ceiling reached mid-round: stop without
+                // advancing `qhead` (the queue stays intact for a later,
+                // roomier solve). `search` re-checks the budget before
+                // deciding, so this can never leak a spurious model.
+                return None;
+            }
             let p = self.trail[self.qhead];
             self.qhead += 1;
             self.stats.propagations += 1;
@@ -793,15 +897,17 @@ impl Solver {
     /// Search for up to `conflict_limit` conflicts.
     ///
     /// `Some(result)` ends the solve; `None` requests a restart.
-    /// Is a per-solve work ceiling (conflicts or propagations) exhausted?
+    /// Is a work ceiling (conflicts or propagations) exhausted? Counts
+    /// this solve's own spend on top of the job-wide account snapshot, so
+    /// a fresh solver cannot re-arm a ceiling its job already spent.
     fn work_over_budget(&self, budget_start: u64, prop_start: u64) -> bool {
         self.budget
             .conflicts
-            .is_some_and(|b| self.stats.conflicts - budget_start >= b)
+            .is_some_and(|b| self.acct_conf_base + (self.stats.conflicts - budget_start) >= b)
             || self
                 .budget
                 .propagations
-                .is_some_and(|b| self.stats.propagations - prop_start >= b)
+                .is_some_and(|b| self.acct_prop_base + (self.stats.propagations - prop_start) >= b)
     }
 
     fn search(
@@ -1186,6 +1292,79 @@ mod tests {
         let (r2, c2) = run();
         assert_eq!(r1, SolveResult::Unknown);
         assert_eq!((r1, c1), (r2, c2));
+    }
+
+    #[test]
+    fn budget_account_is_cumulative_across_solvers() {
+        // Job-wide accounting: two fresh solvers on the same hard instance
+        // share one ledger under a 20-conflict ceiling. Without the
+        // account each solve would re-arm the full ceiling (the historic
+        // per-solver bug); with it, the pair's total spend stays within
+        // the single ceiling — the second solve finds the ledger exhausted
+        // and spends nothing.
+        let account = Arc::new(BudgetAccount::new());
+        let budget = ResourceBudget {
+            conflicts: Some(20),
+            ..ResourceBudget::UNLIMITED
+        };
+        for _ in 0..2 {
+            let mut s = solver_with_vars(8 * 7);
+            php(&mut s, 8, 7);
+            s.set_budget(budget);
+            s.set_budget_account(Some(account.clone()));
+            assert_eq!(s.solve(&[]), SolveResult::Unknown);
+        }
+        assert!(account.conflicts() > 0);
+        assert!(
+            account.conflicts() <= 20,
+            "job spent {} conflicts against a 20-conflict ceiling",
+            account.conflicts()
+        );
+    }
+
+    #[test]
+    fn propagation_spend_is_exact_under_account() {
+        // The ceiling stops *before* the pop that would cross it, so even
+        // trail-heavy propagation rounds cannot overshoot the ledger.
+        let account = Arc::new(BudgetAccount::new());
+        let budget = ResourceBudget {
+            propagations: Some(100),
+            ..ResourceBudget::UNLIMITED
+        };
+        for _ in 0..3 {
+            // A 128-variable implication chain needs ~128 pops to finish,
+            // so the first solve must hit the 100-pop ceiling mid-chain.
+            let mut s = solver_with_vars(128);
+            for i in 1..128 {
+                s.add_clause([lit(-i), lit(i + 1)]);
+            }
+            s.set_budget(budget);
+            s.set_budget_account(Some(account.clone()));
+            assert_eq!(s.solve(&[]), SolveResult::Unknown);
+        }
+        assert!(account.propagations() > 0);
+        assert!(
+            account.propagations() <= 100,
+            "job spent {} propagations against a 100-pop ceiling",
+            account.propagations()
+        );
+    }
+
+    #[test]
+    fn account_without_ceiling_only_keeps_score() {
+        // An account with an unlimited budget never blocks; it just
+        // accumulates totals across solvers.
+        let account = Arc::new(BudgetAccount::new());
+        let mut total = 0u64;
+        for _ in 0..2 {
+            let mut s = solver_with_vars(6 * 5);
+            php(&mut s, 6, 5);
+            s.set_budget_account(Some(account.clone()));
+            assert_eq!(s.solve(&[]), SolveResult::Unsat);
+            total += s.stats().conflicts;
+        }
+        assert_eq!(account.conflicts(), total);
+        assert!(account.propagations() > 0);
     }
 
     #[test]

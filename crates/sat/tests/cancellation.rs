@@ -14,6 +14,7 @@ use chipmunk_sat::{Lit, ResourceBudget, SolveResult, Solver, Var};
 /// The pigeonhole principle PHP(pigeons, holes) with `pigeons > holes`:
 /// UNSAT, and famously exponential for resolution-based solvers — a
 /// reliable source of "this will not finish any time soon" instances.
+#[allow(clippy::needless_range_loop)] // x[p][h] mirrors the math notation
 fn pigeonhole(pigeons: usize, holes: usize) -> Solver {
     let mut s = Solver::new();
     let x: Vec<Vec<Var>> = (0..pigeons)

@@ -254,10 +254,14 @@ impl Cell {
 /// (stage, outcome, family, strategy) plus cumulative solver-cost gauges.
 pub struct Telemetry {
     cells: Vec<Cell>, // row-major over (stage, outcome, family, strategy)
-    /// SAT conflicts across all fresh compiles.
+    /// Synthesis-solver SAT conflicts across all fresh compiles.
     pub solver_conflicts: AtomicU64,
-    /// SAT propagations across all fresh compiles.
+    /// Synthesis-solver SAT propagations across all fresh compiles.
     pub solver_propagations: AtomicU64,
+    /// Verification-solver SAT conflicts across all fresh compiles.
+    pub solver_verify_conflicts: AtomicU64,
+    /// Verification-solver SAT propagations across all fresh compiles.
+    pub solver_verify_propagations: AtomicU64,
     /// Learnt-clause bytes held at the end of each fresh compile, summed.
     pub solver_clause_bytes: AtomicU64,
     /// Solver resource-budget ceilings hit across all fresh compiles.
@@ -279,6 +283,8 @@ impl Telemetry {
                 .collect(),
             solver_conflicts: AtomicU64::new(0),
             solver_propagations: AtomicU64::new(0),
+            solver_verify_conflicts: AtomicU64::new(0),
+            solver_verify_propagations: AtomicU64::new(0),
             solver_clause_bytes: AtomicU64::new(0),
             solver_budget_trips: AtomicU64::new(0),
         }
@@ -309,12 +315,26 @@ impl Telemetry {
         self.cell(stage, outcome, family, strat).record(micros);
     }
 
-    /// Fold one fresh compile's solver cost into the gauges.
-    pub fn record_solver(&self, conflicts: u64, propagations: u64, clause_bytes: u64, trips: u64) {
+    /// Fold one fresh compile's solver cost into the gauges, split into
+    /// synthesis-side and verification-side SAT work.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_solver(
+        &self,
+        conflicts: u64,
+        propagations: u64,
+        verify_conflicts: u64,
+        verify_propagations: u64,
+        clause_bytes: u64,
+        trips: u64,
+    ) {
         self.solver_conflicts
             .fetch_add(conflicts, Ordering::Relaxed);
         self.solver_propagations
             .fetch_add(propagations, Ordering::Relaxed);
+        self.solver_verify_conflicts
+            .fetch_add(verify_conflicts, Ordering::Relaxed);
+        self.solver_verify_propagations
+            .fetch_add(verify_propagations, Ordering::Relaxed);
         self.solver_clause_bytes
             .fetch_add(clause_bytes, Ordering::Relaxed);
         self.solver_budget_trips.fetch_add(trips, Ordering::Relaxed);
@@ -435,9 +455,11 @@ pub fn render_exposition(
             }
         }
     }
-    let solver: [(&str, &AtomicU64); 4] = [
+    let solver: [(&str, &AtomicU64); 6] = [
         ("conflicts", &telemetry.solver_conflicts),
         ("propagations", &telemetry.solver_propagations),
+        ("verify_conflicts", &telemetry.solver_verify_conflicts),
+        ("verify_propagations", &telemetry.solver_verify_propagations),
         ("clause_bytes", &telemetry.solver_clause_bytes),
         ("budget_trips", &telemetry.solver_budget_trips),
     ];
@@ -615,7 +637,7 @@ mod tests {
             Strat::Restricted,
             50,
         );
-        t.record_solver(5, 40, 1024, 1);
+        t.record_solver(5, 40, 2, 9, 1024, 1);
         let text = render_exposition(&t, &[("submitted", 4)], &[("cache_hit_rate", 0.25)]);
         let expected = "\
 # HELP chipmunk_serve_latency_us Per-stage job latency in microseconds.
@@ -639,6 +661,10 @@ chipmunk_serve_latency_us_count{stage=\"e2e\",outcome=\"fresh\",family=\"statele
 chipmunk_serve_solver_conflicts_total 5
 # TYPE chipmunk_serve_solver_propagations_total counter
 chipmunk_serve_solver_propagations_total 40
+# TYPE chipmunk_serve_solver_verify_conflicts_total counter
+chipmunk_serve_solver_verify_conflicts_total 2
+# TYPE chipmunk_serve_solver_verify_propagations_total counter
+chipmunk_serve_solver_verify_propagations_total 9
 # TYPE chipmunk_serve_solver_clause_bytes_total counter
 chipmunk_serve_solver_clause_bytes_total 1024
 # TYPE chipmunk_serve_solver_budget_trips_total counter

@@ -570,6 +570,11 @@ pub fn result_doc(out: &CodegenSuccess, fields: &[String], states: &[String]) ->
                     "synth_propagations",
                     Json::from(out.stats.synth_propagations),
                 ),
+                ("verify_conflicts", Json::from(out.stats.verify_conflicts)),
+                (
+                    "verify_propagations",
+                    Json::from(out.stats.verify_propagations),
+                ),
                 ("clause_bytes", Json::from(out.stats.clause_bytes)),
                 ("budget_trips", Json::from(out.stats.budget_trips)),
             ]),

@@ -1352,6 +1352,8 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
             shared.telemetry.record_solver(
                 out.stats.synth_conflicts,
                 out.stats.synth_propagations,
+                out.stats.verify_conflicts,
+                out.stats.verify_propagations,
                 out.stats.clause_bytes,
                 out.stats.budget_trips,
             );
@@ -1627,6 +1629,14 @@ fn telemetry_response(shared: &Shared) -> Json {
                 (
                     "propagations",
                     Json::from(t.solver_propagations.load(Ordering::Relaxed)),
+                ),
+                (
+                    "verify_conflicts",
+                    Json::from(t.solver_verify_conflicts.load(Ordering::Relaxed)),
+                ),
+                (
+                    "verify_propagations",
+                    Json::from(t.solver_verify_propagations.load(Ordering::Relaxed)),
                 ),
                 (
                     "clause_bytes",
