@@ -1,7 +1,8 @@
 //! `chipmunkc` — the command-line front end of the chipmunk-rs workspace.
 //!
 //! ```text
-//! chipmunkc compile  <file> [--template T] [--imm N] [--width W] [--max-stages K] [--timeout S] [--parallel] [--portfolio] [--slots N] [--json] [--trace OUT.jsonl]
+//! chipmunkc compile  <file> [--template T] [--imm N] [--width W] [--max-stages K] [--timeout S] [--parallel] [--portfolio] [--slots N] [--json] [--check-proofs] [--trace OUT.jsonl]
+//! chipmunkc check-proof <file>
 //! chipmunkc plan     <file> [same compile flags] [--explain] [--json]
 //! chipmunkc domino   <file> [--template T] [--imm N] [--width W]
 //! chipmunkc repair   <file> [--template T] [--imm N] [--depth D] [--trace OUT.jsonl]
@@ -98,6 +99,7 @@ impl Args {
                         | "compact"
                         | "clear"
                         | "progress"
+                        | "check-proofs"
                 ) {
                     flags.push((name.to_string(), String::new()));
                 } else {
@@ -190,7 +192,7 @@ fn load(path: &str) -> Result<Program, String> {
 }
 
 fn usage() -> String {
-    "usage: chipmunkc <compile|plan|domino|repair|mutate|superopt|run|trace-report|serve|submit|cache|trace|top> <file> [options]\n\
+    "usage: chipmunkc <compile|plan|domino|repair|mutate|superopt|run|trace-report|serve|submit|cache|trace|top|check-proof> <file> [options]\n\
      see `chipmunkc help` or the crate docs for options"
         .to_string()
 }
@@ -225,6 +227,7 @@ fn main() -> ExitCode {
         "cache" => cmd_cache(&args),
         "trace" => cmd_trace(&args),
         "top" => cmd_top(&args),
+        "check-proof" => cmd_check_proof(&args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -258,7 +261,13 @@ fn cmd_compile(args: &Args) -> Result<(), String> {
     let opts = compile_options_from_args(args)?;
     let out = compile(&prog, &opts);
     chipmunk_trace::flush();
-    let out = out.map_err(|e| e.to_string())?;
+    let out = match out {
+        Ok(out) => out,
+        Err(chipmunk::CodegenError::Infeasible(cert)) => {
+            return Err(report_infeasible(&cert, args.has("check-proofs")));
+        }
+        Err(e) => return Err(e.to_string()),
+    };
     eprintln!(
         "compiled in {:.2?}: {} stage(s), max {} ALU(s)/stage, {} total ALU(s)",
         out.elapsed,
@@ -298,6 +307,66 @@ fn cmd_compile(args: &Args) -> Result<(), String> {
         println!("{}", doc.to_pretty());
     }
     Ok(())
+}
+
+/// Render an infeasible verdict for the terminal. With `check` (the
+/// `--check-proofs` flag) the shipped DRAT certificate is re-validated
+/// by the in-process checker before the verdict is reported, and a
+/// missing or invalid proof becomes a loud error of its own — the mode
+/// CI runs so every "cannot fit in k stages" stays trustworthy.
+fn report_infeasible(cert: &chipmunk::InfeasibleCert, check: bool) -> String {
+    let message = chipmunk::CodegenError::Infeasible(cert.clone()).to_string();
+    if !check {
+        return message;
+    }
+    let Some(text) = &cert.proof else {
+        let why = cert.reason.as_deref().unwrap_or("no proof text retained");
+        return format!("--check-proofs: no proof to re-check ({why}); verdict was: {message}");
+    };
+    let parsed = match chipmunk::Certificate::parse(text) {
+        Ok(c) => c,
+        Err(e) => return format!("--check-proofs: shipped proof does not parse: {e}"),
+    };
+    match parsed.check(&chipmunk::CheckBudget::default()) {
+        chipmunk::CheckOutcome::Valid => {
+            eprintln!(
+                "proof: {} lemma(s), {} byte(s), re-checked valid",
+                parsed.num_lemmas(),
+                text.len()
+            );
+            message
+        }
+        chipmunk::CheckOutcome::Invalid(why) => {
+            format!("--check-proofs: shipped proof did NOT validate: {why}")
+        }
+        chipmunk::CheckOutcome::OutOfBudget => {
+            "--check-proofs: proof re-check ran out of budget".to_string()
+        }
+    }
+}
+
+/// `chipmunkc check-proof <file>` — parse a DRAT certificate (the
+/// `proof` field of an infeasible response, saved to a file) and run the
+/// in-repo checker over it. Exits 0 iff the certificate is valid.
+fn cmd_check_proof(args: &Args) -> Result<(), String> {
+    let path = file_arg(args)?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let cert = chipmunk::Certificate::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    match cert.check(&chipmunk::CheckBudget::default()) {
+        chipmunk::CheckOutcome::Valid => {
+            println!(
+                "{path}: valid UNSAT certificate ({} clause(s), {} hypothesis(es), {} lemma(s))",
+                cert.clauses.len(),
+                cert.hypotheses.len(),
+                cert.num_lemmas()
+            );
+            Ok(())
+        }
+        chipmunk::CheckOutcome::Invalid(why) => Err(format!("{path}: INVALID certificate: {why}")),
+        chipmunk::CheckOutcome::OutOfBudget => {
+            Err(format!("{path}: proof check ran out of budget"))
+        }
+    }
 }
 
 /// `chipmunkc plan <file> [compile flags] [--explain|--json]` — show the

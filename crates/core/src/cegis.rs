@@ -28,9 +28,27 @@ use chipmunk_bv::{Binding, Blaster, BvOp, Circuit, TermId};
 use chipmunk_lang::spec::compile_spec;
 use chipmunk_lang::{Interpreter, PacketState, Program};
 use chipmunk_pisa::Pipeline;
-use chipmunk_sat::{BudgetAccount, Lit, ResourceBudget, SolveResult, Solver};
+use chipmunk_sat::{
+    BudgetAccount, Certificate, CheckBudget, CheckOutcome, Lit, ResourceBudget, SolveResult, Solver,
+};
 
 use crate::sketch::{DecodedConfig, Sketch};
+
+/// Hard byte budget for the synthesis solver's DRAT proof log. Overflow
+/// degrades to an explicitly-flagged unchecked verdict — never a panic,
+/// never silent. Overridable via `CHIPMUNK_PROOF_BYTES` (`0` disables
+/// proof logging entirely, e.g. for overhead measurements).
+const DEFAULT_PROOF_BYTES: u64 = 64 << 20;
+
+/// Propagation ceiling for one DRAT-checker pass, layered under the
+/// job-wide [`BudgetAccount`] so certification cannot blow an SLO even on
+/// an otherwise-unlimited job.
+const CHECK_PROPAGATION_LIMIT: u64 = 200_000_000;
+
+/// Largest proof transcript shipped inside an [`InfeasibleCert`] (and
+/// hence over the serve wire). Bigger proofs are still checked locally;
+/// only the text is withheld.
+const PROOF_TEXT_MAX_BYTES: usize = 4 << 20;
 
 /// Options for one CEGIS run.
 #[derive(Clone, Copy, Debug)]
@@ -138,12 +156,78 @@ pub struct Synthesized {
     pub stats: CegisStats,
 }
 
+/// How trustworthy an [`SynthesisError::Infeasible`] verdict is, and why.
+///
+/// The terminal UNSAT behind every Infeasible is certified by pulling a
+/// DRAT [`Certificate`] off the synthesis solver and validating it with
+/// the in-repo checker. The degrade ladder (DESIGN §16) is:
+///
+/// 1. **certified** — the proof validated; `proof` carries the transcript
+///    (when small enough to ship).
+/// 2. **quarantined** — the incremental proof failed its check, so the
+///    verdict itself was impeached and re-derived by one from-scratch
+///    solve (`fresh_resolve`), whose own proof is then checked.
+/// 3. **unchecked** — no certificate exists (byte-budget overflow sets
+///    `truncated`; logging disabled) or the check ran out of budget;
+///    `reason` says which. Explicitly flagged, never silent.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct InfeasibleCert {
+    /// The DRAT certificate for the terminal UNSAT was validated by
+    /// [`Certificate::check`].
+    pub certified: bool,
+    /// The first (incremental) certificate failed its check; the verdict
+    /// was quarantined and re-derived from scratch.
+    pub quarantined: bool,
+    /// The verdict comes from a fresh from-scratch solve rather than the
+    /// incremental synthesis solver (quarantine retry, or the
+    /// `CHIPMUNK_FRESH_INFEASIBLE=1` kill switch).
+    pub fresh_resolve: bool,
+    /// Proof logging overflowed its byte budget, so no certificate
+    /// exists for this solve.
+    pub truncated: bool,
+    /// Lemmas (learnt-clause additions) in the certificate.
+    pub lemmas: u64,
+    /// Bytes of proof log the solver retained.
+    pub proof_bytes: u64,
+    /// Why the verdict is unchecked, when it is.
+    pub reason: Option<String>,
+    /// The DRAT certificate text ([`Certificate::to_text`]), present when
+    /// validated and at most [`PROOF_TEXT_MAX_BYTES`] long.
+    pub proof: Option<String>,
+}
+
+impl InfeasibleCert {
+    /// An unchecked verdict carrying only an explanation — used by layers
+    /// that lost the original certificate (e.g. crossing a panic boundary
+    /// or a wire protocol) but must keep the flag explicit.
+    pub fn unchecked(reason: impl Into<String>) -> InfeasibleCert {
+        InfeasibleCert {
+            reason: Some(reason.into()),
+            ..InfeasibleCert::default()
+        }
+    }
+}
+
+/// How one certification attempt ended (internal to the degrade ladder).
+enum CertifyOutcome {
+    /// Proof validated; the verdict is trustworthy.
+    Certified,
+    /// No certificate existed (logging disabled or byte budget tripped).
+    NoProof,
+    /// The certificate failed validation — the verdict is impeached.
+    CheckFailed,
+    /// The checker ran out of its propagation budget.
+    CheckOutOfBudget,
+}
+
 /// Why synthesis did not produce a configuration.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum SynthesisError {
     /// No hole assignment satisfies all accumulated test inputs: the
-    /// program does not fit this grid.
-    Infeasible,
+    /// program does not fit this grid. Carries the certification status
+    /// of the UNSAT verdict — complete-strategy depth decisions must only
+    /// trust it when `certified` is set.
+    Infeasible(InfeasibleCert),
     /// The deadline, iteration cap, or a resource budget was exhausted.
     Timeout,
     /// The run observed its cooperative cancellation flag and stopped —
@@ -161,7 +245,15 @@ pub enum SynthesisError {
 impl std::fmt::Display for SynthesisError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SynthesisError::Infeasible => write!(f, "sketch is infeasible for this grid"),
+            SynthesisError::Infeasible(cert) => write!(
+                f,
+                "sketch is infeasible for this grid ({})",
+                if cert.certified {
+                    "proof-certified"
+                } else {
+                    "unchecked"
+                }
+            ),
             SynthesisError::Timeout => write!(f, "synthesis timed out"),
             SynthesisError::Cancelled => write!(f, "synthesis was cancelled"),
             SynthesisError::InvalidOptions(why) => write!(f, "invalid options: {why}"),
@@ -291,34 +383,11 @@ pub fn synthesize_with_control(
         .account
         .clone()
         .unwrap_or_else(|| Arc::new(BudgetAccount::new()));
-    let mut solver = Solver::new();
-    solver.set_cancel_flag(cancel.clone());
-    solver.set_budget(opts.budget);
-    solver.set_budget_account(Some(account.clone()));
-    let tru = chipmunk_bv::mk_true(&mut solver);
-    let hole_bits: Vec<Vec<Lit>> = {
-        let mut b = Blaster::new(&mut solver, tru);
-        sketch.fresh_hole_bits(&mut b)
-    };
-    // Allocation constraints involve only holes: assert once.
-    if !sk_out.constraints.is_empty() {
-        let mut b = Blaster::new(&mut solver, tru);
-        sketch.bind_holes(&circuit, &hole_terms, &hole_bits, &mut b);
-        // Fields/states are irrelevant to the constraints; bind to zero so
-        // the blaster never allocates fresh input literals here.
-        for &t in field_terms.iter().chain(state_terms.iter()) {
-            b.bind(circuit.input_id(t), Binding::Const(0));
-        }
-        for &ct in &sk_out.constraints {
-            b.assert_term(&circuit, ct);
-        }
-    }
-
     let mut stats = CegisStats::default();
-    let add_input = |solver: &mut Solver, inp: &PacketState| {
+    let add_input = |solver: &mut Solver, tru: Lit, hole_bits: &[Vec<Lit>], inp: &PacketState| {
         let want = interp.exec(inp);
         let mut b = Blaster::new(solver, tru);
-        sketch.bind_holes(&circuit, &hole_terms, &hole_bits, &mut b);
+        sketch.bind_holes(&circuit, &hole_terms, hole_bits, &mut b);
         for (i, &t) in field_terms.iter().enumerate() {
             b.bind(circuit.input_id(t), Binding::Const(inp.fields[i]));
         }
@@ -337,6 +406,46 @@ pub fn synthesize_with_control(
                 }
             }
         }
+    };
+
+    // --- Build one synthesis solver over a set of test inputs: the
+    // incremental instance with shared hole literals, plus a DRAT proof
+    // log so a terminal UNSAT can be certified. Packaged as a closure
+    // because the certification ladder may need to reconstruct an
+    // *identical but independent* instance for a from-scratch re-solve
+    // (fresh literal numbering, fresh proof log). Every solver debits the
+    // same job-wide account, so `opts.budget` stays a cumulative ceiling.
+    let build_synth = |inputs: &[PacketState]| -> (Solver, Lit, Vec<Vec<Lit>>) {
+        let mut solver = Solver::new();
+        let proof_limit = proof_byte_limit();
+        if proof_limit > 0 {
+            solver.enable_proof(proof_limit);
+        }
+        solver.set_cancel_flag(cancel.clone());
+        solver.set_budget(opts.budget);
+        solver.set_budget_account(Some(account.clone()));
+        let tru = chipmunk_bv::mk_true(&mut solver);
+        let hole_bits: Vec<Vec<Lit>> = {
+            let mut b = Blaster::new(&mut solver, tru);
+            sketch.fresh_hole_bits(&mut b)
+        };
+        // Allocation constraints involve only holes: assert once.
+        if !sk_out.constraints.is_empty() {
+            let mut b = Blaster::new(&mut solver, tru);
+            sketch.bind_holes(&circuit, &hole_terms, &hole_bits, &mut b);
+            // Fields/states are irrelevant to the constraints; bind to
+            // zero so the blaster never allocates fresh input literals.
+            for &t in field_terms.iter().chain(state_terms.iter()) {
+                b.bind(circuit.input_id(t), Binding::Const(0));
+            }
+            for &ct in &sk_out.constraints {
+                b.assert_term(&circuit, ct);
+            }
+        }
+        for inp in inputs {
+            add_input(&mut solver, tru, &hole_bits, inp);
+        }
+        (solver, tru, hole_bits)
     };
 
     // --- Initial test inputs: all-zeros plus seeded random small values.
@@ -373,9 +482,7 @@ pub fn synthesize_with_control(
             }
         }
     }
-    for inp in &initial {
-        add_input(&mut solver, inp);
-    }
+    let (mut solver, tru, hole_bits) = build_synth(&initial);
 
     // --- Verification instances, one per width, persistent across
     // iterations (the miter is blasted once; each candidate is checked by
@@ -440,7 +547,75 @@ pub fn synthesize_with_control(
             &full_verifier,
         );
         let hole_values: Vec<u64> = match res {
-            SolveResult::Unsat => return Err(SynthesisError::Infeasible),
+            SolveResult::Unsat => {
+                // The terminal UNSAT justifies Infeasible; certify it so
+                // "does not fit" is as trustworthy as "here is a config".
+                let mut info = InfeasibleCert::default();
+                // From-scratch re-derivation: rebuild the whole instance
+                // (own solver, literals, proof log) over every input
+                // accumulated so far, solve once, certify that.
+                let fresh_certify = |info: &mut InfeasibleCert| -> Option<SynthesisError> {
+                    info.fresh_resolve = true;
+                    let mut all_inputs = initial.clone();
+                    all_inputs.extend(cexes.iter().cloned());
+                    let (mut fs, _tru, _bits) = build_synth(&all_inputs);
+                    fs.set_deadline(opts.deadline);
+                    match fs.solve(&[]) {
+                        SolveResult::Unsat => {
+                            certify_unsat_solver(&fs, &account, false, info);
+                            None
+                        }
+                        SolveResult::Unknown => {
+                            if cancel
+                                .as_ref()
+                                .is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed))
+                            {
+                                return Some(SynthesisError::Cancelled);
+                            }
+                            info.reason =
+                                Some("fresh re-solve exhausted its deadline or budget".to_string());
+                            None
+                        }
+                        SolveResult::Sat => {
+                            // Soundness alarm: the from-scratch solve
+                            // disagrees with the incremental verdict.
+                            // Surface loudly, never certify.
+                            chipmunk_trace::event!("cegis.infeasible_disagreement", iter = iter);
+                            info.reason = Some(
+                                "fresh re-solve found the instance satisfiable; \
+                                 incremental verdict not trusted"
+                                    .to_string(),
+                            );
+                            None
+                        }
+                    }
+                };
+                if fresh_infeasible_requested() {
+                    // Kill switch: never trust the incremental solve.
+                    if let Some(e) = fresh_certify(&mut info) {
+                        return Err(e);
+                    }
+                } else {
+                    let first = certify_unsat_solver(&solver, &account, true, &mut info);
+                    if matches!(first, CertifyOutcome::CheckFailed) {
+                        // An invalid proof impeaches the verdict itself:
+                        // quarantine and retry once from scratch.
+                        info.quarantined = true;
+                        chipmunk_trace::event!("cegis.infeasible_quarantined", iter = iter);
+                        if let Some(e) = fresh_certify(&mut info) {
+                            return Err(e);
+                        }
+                    }
+                }
+                chipmunk_trace::event!(
+                    "cegis.infeasible",
+                    certified = info.certified,
+                    quarantined = info.quarantined,
+                    fresh = info.fresh_resolve,
+                    lemmas = info.lemmas,
+                );
+                return Err(SynthesisError::Infeasible(info));
+            }
             SolveResult::Unknown => {
                 // The solver reports Unknown for deadlines, budgets, and
                 // cancellation alike; the raised flag tells them apart.
@@ -485,7 +660,7 @@ pub fn synthesize_with_control(
                     verify_sp.record("provenance", "screen");
                     drop(verify_sp);
                     chipmunk_trace::event!("cegis.cex", iter = iter, provenance = "screen");
-                    add_input(&mut solver, &cex);
+                    add_input(&mut solver, tru, &hole_bits, &cex);
                     share_cex(&ctl, &cex);
                     cexes.push(cex);
                     continue;
@@ -525,7 +700,7 @@ pub fn synthesize_with_control(
                 verify_sp.record("provenance", "full");
                 drop(verify_sp);
                 chipmunk_trace::event!("cegis.cex", iter = iter, provenance = "full");
-                add_input(&mut solver, &cex);
+                add_input(&mut solver, tru, &hole_bits, &cex);
                 share_cex(&ctl, &cex);
                 cexes.push(cex);
             }
@@ -539,6 +714,98 @@ pub fn synthesize_with_control(
 /// via the `CHIPMUNK_FRESH_VERIFY=1` kill switch?
 fn fresh_verify_requested() -> bool {
     std::env::var_os("CHIPMUNK_FRESH_VERIFY").is_some_and(|v| v == "1")
+}
+
+/// Kill switch mirroring `CHIPMUNK_FRESH_VERIFY`: with
+/// `CHIPMUNK_FRESH_INFEASIBLE=1`, every Infeasible verdict is re-derived
+/// by a from-scratch solve before being certified — the incremental
+/// solver's own proof is never trusted.
+fn fresh_infeasible_requested() -> bool {
+    std::env::var_os("CHIPMUNK_FRESH_INFEASIBLE").is_some_and(|v| v == "1")
+}
+
+/// Test hook (`CHIPMUNK_CORRUPT_INFEASIBLE_PROOF=1`): deliberately damage
+/// the incremental path's certificate before checking it, so the
+/// quarantine-and-re-solve ladder can be exercised end to end. Never
+/// applied to fresh re-solve certificates.
+fn corrupt_infeasible_proof_requested() -> bool {
+    std::env::var_os("CHIPMUNK_CORRUPT_INFEASIBLE_PROOF").is_some_and(|v| v == "1")
+}
+
+/// Byte budget for the synthesis solver's proof log
+/// (`CHIPMUNK_PROOF_BYTES` override; `0` disables logging).
+fn proof_byte_limit() -> u64 {
+    std::env::var("CHIPMUNK_PROOF_BYTES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_PROOF_BYTES)
+}
+
+/// Damage a certificate in a way the checker must catch: flip one literal
+/// of the first lemma, or, for a search-free proof, append a deletion of
+/// a clause that was never added.
+fn corrupt_certificate(cert: &mut Certificate) {
+    for step in &mut cert.steps {
+        if let chipmunk_sat::ProofStep::Add(lits) = step {
+            if let Some(l) = lits.first_mut() {
+                *l = !*l;
+                return;
+            }
+        }
+    }
+    cert.steps.push(chipmunk_sat::ProofStep::Delete(Vec::new()));
+}
+
+/// Pull the DRAT certificate off an UNSAT solver and validate it,
+/// recording the outcome into `info`. `corruptible` arms the
+/// [`corrupt_infeasible_proof_requested`] test hook (incremental path
+/// only). Checker work is charged to the job-wide `account` and capped by
+/// [`CHECK_PROPAGATION_LIMIT`].
+fn certify_unsat_solver(
+    solver: &Solver,
+    account: &Arc<BudgetAccount>,
+    corruptible: bool,
+    info: &mut InfeasibleCert,
+) -> CertifyOutcome {
+    info.truncated = solver.proof_truncated();
+    info.proof_bytes = solver.proof_bytes();
+    let Some(mut cert) = solver.certificate() else {
+        info.reason = Some(if info.truncated {
+            "proof log overflowed its byte budget".to_string()
+        } else {
+            "proof logging disabled".to_string()
+        });
+        return CertifyOutcome::NoProof;
+    };
+    if corruptible && corrupt_infeasible_proof_requested() {
+        corrupt_certificate(&mut cert);
+    }
+    info.lemmas = cert.num_lemmas() as u64;
+    let budget = CheckBudget {
+        propagations: Some(CHECK_PROPAGATION_LIMIT),
+        account: Some(account.clone()),
+    };
+    match cert.check(&budget) {
+        CheckOutcome::Valid => {
+            info.certified = true;
+            info.reason = None;
+            let text = cert.to_text();
+            if text.len() <= PROOF_TEXT_MAX_BYTES {
+                info.proof = Some(text);
+            }
+            CertifyOutcome::Certified
+        }
+        CheckOutcome::Invalid(why) => {
+            info.certified = false;
+            info.reason = Some(format!("proof check failed: {why}"));
+            CertifyOutcome::CheckFailed
+        }
+        CheckOutcome::OutOfBudget => {
+            info.certified = false;
+            info.reason = Some("proof check exhausted its propagation budget".to_string());
+            CertifyOutcome::CheckOutOfBudget
+        }
+    }
 }
 
 /// Deposit a counterexample into the shared cross-step pool (if any), so
@@ -698,6 +965,7 @@ pub struct Verifier {
     conflicts: u64,
     propagations: u64,
     budget_trips: u64,
+    last_core: Vec<Lit>,
 }
 
 impl Verifier {
@@ -759,6 +1027,7 @@ impl Verifier {
             conflicts: 0,
             propagations: 0,
             budget_trips: 0,
+            last_core: Vec::new(),
         }
     }
 
@@ -778,6 +1047,17 @@ impl Verifier {
         (self.conflicts, self.propagations, self.budget_trips)
     }
 
+    /// The failed-assumption core behind the most recent equivalence
+    /// verdict (`Ok(None)` from an incremental [`Verifier::check`]): the
+    /// subset of pinned hole-bit assumptions the solver actually needed
+    /// to prove no distinguishing input exists. Makes the verdict
+    /// self-describing — hole bits absent from the core did not matter.
+    /// Empty after a counterexample, a rebuild-mode check, or before any
+    /// check has run.
+    pub fn last_core(&self) -> &[Lit] {
+        &self.last_core
+    }
+
     /// Check one candidate hole assignment. `Ok(None)` means the candidate
     /// is equivalent to the spec at this width (within the domain, if
     /// restricted); `Ok(Some(input))` is a distinguishing input.
@@ -789,6 +1069,7 @@ impl Verifier {
         deadline: Option<Instant>,
         cancel: Option<Arc<AtomicBool>>,
     ) -> Result<Option<PacketState>, SynthesisError> {
+        self.last_core.clear();
         match &mut self.inc {
             Some(pm) => {
                 pm.solver.set_deadline(deadline);
@@ -806,7 +1087,10 @@ impl Verifier {
                 self.propagations += after.propagations - before.propagations;
                 self.budget_trips += after.budget_trips - before.budget_trips;
                 match res {
-                    SolveResult::Unsat => Ok(None),
+                    SolveResult::Unsat => {
+                        self.last_core = pm.solver.failed_assumptions().to_vec();
+                        Ok(None)
+                    }
                     SolveResult::Unknown => Err(interrupt_error(&cancel)),
                     SolveResult::Sat => {
                         let dec = Blaster::new(&mut pm.solver, pm.tru);
@@ -1091,7 +1375,106 @@ mod tests {
         let g = GridSpec::new(1, 3, library::raw(2), 2);
         let sketch = Sketch::new(g, 3, 0, SketchOptions::default()).unwrap();
         let err = synthesize(&prog, &sketch, &fast_opts()).unwrap_err();
-        assert_eq!(err, SynthesisError::Infeasible);
+        assert!(matches!(err, SynthesisError::Infeasible(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn infeasible_verdict_is_proof_certified() {
+        // The default path must ship a DRAT certificate that the in-repo
+        // checker validates — independently re-checked here from the
+        // transcript text, exactly as a downstream consumer would.
+        let prog = chipmunk_lang::parse("pkt.z = pkt.x * pkt.y;").unwrap();
+        let g = GridSpec::new(1, 3, library::raw(2), 2);
+        let sketch = Sketch::new(g, 3, 0, SketchOptions::default()).unwrap();
+        let err = synthesize(&prog, &sketch, &fast_opts()).unwrap_err();
+        let SynthesisError::Infeasible(cert) = err else {
+            panic!("expected Infeasible, got {err:?}");
+        };
+        assert!(
+            cert.certified,
+            "incremental infeasibility must certify: {:?}",
+            cert.reason
+        );
+        assert!(!cert.quarantined);
+        assert!(!cert.fresh_resolve);
+        assert!(!cert.truncated);
+        assert!(cert.proof_bytes > 0);
+        let text = cert.proof.expect("certified verdicts ship the proof");
+        let parsed = Certificate::parse(&text).expect("transcript parses");
+        assert!(
+            parsed.check(&CheckBudget::default()).is_valid(),
+            "shipped transcript must re-validate"
+        );
+    }
+
+    #[test]
+    fn budget_tripped_synthesis_is_timeout_never_infeasible() {
+        // Regression (satellite of the certified-infeasibility work): a
+        // budget-tripped solve reports Unknown, which must surface as
+        // Timeout, never Infeasible — even with proof logging active. The
+        // propagation ceiling is 1, so any solve that actually *searches*
+        // trips before concluding anything. The instances therefore must
+        // not be refutable at clause-addition time: the 1-stage `raw` mul
+        // grid from `infeasible_when_grid_too_weak` is disqualified — its
+        // contradiction surfaces through level-zero unit propagation
+        // while clauses are added, before any budget is consulted, and
+        // that free UNSAT is legitimately certified regardless of budget.
+        let budget = ResourceBudget {
+            conflicts: Some(1),
+            propagations: Some(1),
+            ..ResourceBudget::UNLIMITED
+        };
+        let opts = CegisOptions {
+            budget,
+            ..fast_opts()
+        };
+        // A feasible instance: synthesis has to search for a candidate,
+        // trips the ledger, and must not claim anything.
+        let prog = chipmunk_lang::parse("pkt.x = pkt.x + pkt.y;").unwrap();
+        let g = GridSpec::new(1, 2, library::raw(2), 2);
+        let sketch = Sketch::new(g, 2, 0, SketchOptions::default()).unwrap();
+        let err = synthesize(&prog, &sketch, &opts).unwrap_err();
+        assert_eq!(err, SynthesisError::Timeout, "feasible instance");
+        // A genuinely infeasible instance whose refutation needs real
+        // search (mul on a two-stage predicated grid takes thousands of
+        // conflicts unbudgeted): the ledger runs dry mid-way, and the
+        // starved solve must degrade to Timeout, not to a bogus verdict.
+        let prog = chipmunk_lang::parse("pkt.z = pkt.x * pkt.y;").unwrap();
+        let g = GridSpec::new(2, 3, library::if_else_raw(3), 3);
+        let sketch = Sketch::new(g, 3, 0, SketchOptions::default()).unwrap();
+        let err = synthesize(&prog, &sketch, &opts).unwrap_err();
+        assert_eq!(err, SynthesisError::Timeout, "infeasible instance");
+    }
+
+    #[test]
+    fn incremental_equivalence_verdicts_carry_a_core() {
+        let prog = chipmunk_lang::parse("pkt.x = pkt.x + 1;").unwrap();
+        let g = GridSpec::new(1, 1, library::raw(2), 2);
+        let sketch = Sketch::new(g, 1, 0, SketchOptions::default()).unwrap();
+        let opts = fast_opts();
+        let out = synthesize(&prog, &sketch, &opts).expect("synthesis succeeds");
+        let mut inc = Verifier::new(&prog, &sketch, opts.verify_width, None);
+        assert_eq!(
+            inc.check(&prog, &sketch, &out.hole_values, None, None)
+                .unwrap(),
+            None
+        );
+        // Equivalence was proved under pinned-hole assumptions, so the
+        // failed-assumption core names the hole bits that mattered.
+        assert!(
+            !inc.last_core().is_empty(),
+            "equivalence verdict should be self-describing"
+        );
+        // A counterexample verdict has no core.
+        let mut bad = out.hole_values.clone();
+        bad[0] ^= 1;
+        if inc
+            .check(&prog, &sketch, &bad, None, None)
+            .unwrap()
+            .is_some()
+        {
+            assert!(inc.last_core().is_empty());
+        }
     }
 
     #[test]

@@ -45,7 +45,9 @@ pub mod sketch;
 
 pub use approx::{compile_approximate, ApproxOptions, ApproxOutcome};
 pub use cache::{cache_key, canonical_text, layout_names};
-pub use cegis::{CegisOptions, CegisStats, SynthControl, SynthesisError, Synthesized, Verifier};
+pub use cegis::{
+    CegisOptions, CegisStats, InfeasibleCert, SynthControl, SynthesisError, Synthesized, Verifier,
+};
 pub use certify::{certify_config, certify_success, CertifyReport, CertifyRequest};
 pub use search::{
     compile, compile_with_cancel, compile_with_control, plan_compilation, CodegenError,
@@ -54,8 +56,10 @@ pub use search::{
 pub use sketch::{DecodedConfig, HoleDecl, Sketch, SketchOptions, SketchOutputs};
 
 // The budget type appears in `CegisOptions`; re-export it so downstream
-// crates can fill it without a direct chipmunk-sat dependency.
-pub use chipmunk_sat::{BudgetAccount, ResourceBudget};
+// crates can fill it without a direct chipmunk-sat dependency. The DRAT
+// certificate types ride along so the serving layer and CLI can re-check
+// a shipped proof without one either.
+pub use chipmunk_sat::{BudgetAccount, Certificate, CheckBudget, CheckOutcome, ResourceBudget};
 
 /// The compilation-plan data model and executor, re-exported so the
 /// serving layer and CLI can fingerprint, explain, and observe plans

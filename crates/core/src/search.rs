@@ -28,7 +28,7 @@ use chipmunk_plan::{
     Strategy,
 };
 
-use crate::cegis::{CegisOptions, CegisStats, SynthesisError, Synthesized};
+use crate::cegis::{CegisOptions, CegisStats, InfeasibleCert, SynthesisError, Synthesized};
 use crate::sketch::{DecodedConfig, Sketch, SketchOptions};
 
 /// Options for a full compilation.
@@ -156,8 +156,9 @@ pub enum CodegenError {
     /// the slot count).
     TooLarge(String),
     /// Synthesis proved the program infeasible for every grid depth up to
-    /// `max_stages`.
-    Infeasible,
+    /// `max_stages`. Carries the certification record of the deepest
+    /// depth's UNSAT — the verdict that pins the "does not fit" claim.
+    Infeasible(InfeasibleCert),
     /// The time budget or iteration caps were exhausted before a decision.
     Timeout,
     /// A search thread panicked. Carries the (truncated) panic message.
@@ -179,7 +180,15 @@ impl std::fmt::Display for CodegenError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CodegenError::TooLarge(m) => write!(f, "program too large: {m}"),
-            CodegenError::Infeasible => write!(f, "no grid up to max_stages fits the program"),
+            CodegenError::Infeasible(cert) => write!(
+                f,
+                "no grid up to max_stages fits the program ({})",
+                if cert.certified {
+                    "proof-certified"
+                } else {
+                    "unchecked"
+                }
+            ),
             CodegenError::Timeout => write!(f, "compilation timed out"),
             CodegenError::Internal(m) => write!(f, "internal compiler error: {m}"),
             CodegenError::InvalidOptions(m) => write!(f, "invalid options: {m}"),
@@ -317,7 +326,9 @@ fn remap_stateless_ops(
                 .ops
                 .iter()
                 .position(|o| *o == op)
-                .ok_or(StepError::Infeasible)?;
+                // Not a proof-backed verdict — the candidate just cannot
+                // run on the caller's hardware — so never authoritative.
+                .ok_or(StepError::Infeasible { certified: false })?;
             alu.opcode = idx as u64;
         }
     }
@@ -410,6 +421,11 @@ pub fn compile_with_control(
     // depth/strategy seed the next step's initial test set, so escalation
     // and racing inherit the work already paid for.
     let cex_pool = Arc::new(std::sync::Mutex::new(Vec::new()));
+    // The plan executor's StepError carries only a `certified` bit; the
+    // full certification record of the *deepest* infeasible depth is
+    // parked here so a final Infeasible can ship its proof to the caller.
+    let infeasible_cert: std::sync::Mutex<Option<(usize, InfeasibleCert)>> =
+        std::sync::Mutex::new(None);
 
     let runner = |step: &PlanStep,
                   cancel: Option<Arc<AtomicBool>>|
@@ -433,7 +449,22 @@ pub fn compile_with_control(
             resolved.num_states,
             sketch_opts,
         )
-        .map_err(|_| StepError::Infeasible)?;
+        // Structural: the sketch cannot even be constructed on this grid.
+        // Deterministic and solver-free, so it needs no SAT proof to be
+        // authoritative — but the certification record says so explicitly.
+        .map_err(|_| {
+            let cert = InfeasibleCert {
+                certified: true,
+                reason: Some("structural: sketch cannot be constructed on this grid".to_string()),
+                ..InfeasibleCert::default()
+            };
+            let mut slot = infeasible_cert.lock().unwrap_or_else(|p| p.into_inner());
+            match &*slot {
+                Some((stages, _)) if *stages >= step.stages => {}
+                _ => *slot = Some((step.stages, cert)),
+            }
+            StepError::Infeasible { certified: true }
+        })?;
         let cegis_opts = CegisOptions {
             budget: step.budget,
             ..cegis_base
@@ -453,7 +484,7 @@ pub fn compile_with_control(
                 "result",
                 match &res {
                     Ok(_) => "ok",
-                    Err(SynthesisError::Infeasible) => "infeasible",
+                    Err(SynthesisError::Infeasible(_)) => "infeasible",
                     Err(SynthesisError::Timeout) => "timeout",
                     Err(SynthesisError::Cancelled) => "cancelled",
                     Err(SynthesisError::InvalidOptions(_)) => "invalid_options",
@@ -461,7 +492,15 @@ pub fn compile_with_control(
             );
         }
         let mut synthesized = res.map_err(|e| match e {
-            SynthesisError::Infeasible => StepError::Infeasible,
+            SynthesisError::Infeasible(cert) => {
+                let certified = cert.certified;
+                let mut slot = infeasible_cert.lock().unwrap_or_else(|p| p.into_inner());
+                match &*slot {
+                    Some((stages, _)) if *stages >= step.stages => {}
+                    _ => *slot = Some((step.stages, cert)),
+                }
+                StepError::Infeasible { certified }
+            }
             SynthesisError::Timeout => StepError::Timeout,
             SynthesisError::Cancelled => StepError::Cancelled,
             SynthesisError::InvalidOptions(m) => StepError::InvalidOptions(m),
@@ -526,7 +565,17 @@ pub fn compile_with_control(
         }
         Err(e) => {
             let err = match e {
-                ExecError::Infeasible => CodegenError::Infeasible,
+                ExecError::Infeasible => {
+                    let cert = infeasible_cert
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .take()
+                        .map(|(_, c)| c)
+                        .unwrap_or_else(|| {
+                            InfeasibleCert::unchecked("no certification record retained")
+                        });
+                    CodegenError::Infeasible(cert)
+                }
                 // External cancellation keeps its historic wire meaning:
                 // the caller's budget ran out either way.
                 ExecError::Timeout | ExecError::Cancelled => CodegenError::Timeout,
@@ -538,7 +587,7 @@ pub fn compile_with_control(
                 "result",
                 match &err {
                     CodegenError::TooLarge(_) => "too_large",
-                    CodegenError::Infeasible => "infeasible",
+                    CodegenError::Infeasible(_) => "infeasible",
                     CodegenError::Timeout => "timeout",
                     CodegenError::Internal(_) => "internal",
                     CodegenError::InvalidOptions(_) => "invalid_options",
@@ -656,7 +705,7 @@ mod tests {
         };
         assert!(matches!(
             remap_stateless_ops(&mut foreign, &exotic, &from),
-            Err(StepError::Infeasible)
+            Err(StepError::Infeasible { certified: false })
         ));
     }
 
@@ -763,7 +812,18 @@ mod tests {
         let prog = parse("pkt.z = pkt.x * pkt.y;").unwrap();
         let mut opts = CompilerOptions::small_for_tests();
         opts.max_stages = 2;
-        assert_eq!(compile(&prog, &opts).unwrap_err(), CodegenError::Infeasible);
+        let err = compile(&prog, &opts).unwrap_err();
+        let CodegenError::Infeasible(cert) = err else {
+            panic!("expected Infeasible, got {err:?}");
+        };
+        // End-to-end: the driver-level verdict carries a validated proof
+        // for the deepest depth, and it re-validates from the transcript.
+        assert!(cert.certified, "unchecked: {:?}", cert.reason);
+        let text = cert.proof.expect("certified verdicts ship the proof");
+        let parsed = chipmunk_sat::Certificate::parse(&text).expect("parses");
+        assert!(parsed
+            .check(&chipmunk_sat::CheckBudget::default())
+            .is_valid());
     }
 
     #[test]
@@ -810,11 +870,22 @@ mod tests {
         let mut seq = CompilerOptions::small_for_tests();
         seq.max_stages = 2;
         let expected = compile(&prog, &seq).unwrap_err();
-        assert_eq!(expected, CodegenError::Infeasible);
+        // Proof transcripts legitimately differ run to run (thread finish
+        // order shapes the counterexample pool and hence the refutation),
+        // so the determinism contract is on the verdict and its
+        // certification status, not the proof bytes.
+        let CodegenError::Infeasible(seq_cert) = &expected else {
+            panic!("expected Infeasible, got {expected:?}");
+        };
+        assert!(seq_cert.certified);
         let mut par = seq.clone();
         par.parallel = true;
         for run in 0..4 {
-            assert_eq!(compile(&prog, &par).unwrap_err(), expected, "run {run}");
+            let err = compile(&prog, &par).unwrap_err();
+            let CodegenError::Infeasible(cert) = &err else {
+                panic!("run {run}: expected Infeasible, got {err:?}");
+            };
+            assert!(cert.certified, "run {run}: unchecked: {:?}", cert.reason);
         }
     }
 

@@ -330,9 +330,21 @@ pub fn plan(inputs: &PlanInputs) -> CompilePlan {
 /// Why one step did not produce a result (reported by the runner).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum StepError {
-    /// Synthesis proved the sketch infeasible for this step's grid (only
-    /// conclusive if the step's strategy [`Strategy::is_complete`]).
-    Infeasible,
+    /// Synthesis proved the sketch infeasible for this step's grid. The
+    /// verdict is meaningful only from a [`Strategy::is_complete`]
+    /// strategy; `certified` records whether the solver's UNSAT came
+    /// with a proof the in-repo DRAT checker validated. Certification is
+    /// *authority*, not admissibility: only a certified verdict settles
+    /// a depth early — cancelling racing siblings or skipping remaining
+    /// sequential strategies — and only a certified verdict outranks a
+    /// sibling's timeout. An uncertified one merely classifies the group
+    /// once every sibling has drained decisively, and reaches the caller
+    /// explicitly flagged unchecked (the degrade ladder's contract:
+    /// never silent, never a masqueraded timeout).
+    Infeasible {
+        /// The UNSAT behind this verdict carries a validated proof.
+        certified: bool,
+    },
     /// A deadline, iteration cap, or resource budget ran out.
     Timeout,
     /// The step observed its cancellation flag and stopped.
@@ -582,13 +594,19 @@ where
                 Err(ExecError::Uncertified(why))
             }
         },
-        Err(StepError::Infeasible) => {
+        Err(StepError::Infeasible { certified }) => {
             observe(ctl, step, StepOutcome::Infeasible, started);
             // An infeasibility verdict from an incomplete strategy proves
             // nothing about the grid; treat it like an exhausted budget so
             // the final diagnostic stays honest. (Solo plans always use a
             // complete strategy today, but the executor must not rely on
-            // the planner for soundness.)
+            // the planner for soundness.) A complete strategy's verdict
+            // stands whether or not its proof certified: with no siblings
+            // to cancel there is no authority question, and the caller
+            // receives the certification record explicitly flagged — an
+            // operator who disables proof logging degrades to an unchecked
+            // verdict, never a masqueraded timeout.
+            let _ = certified;
             if step.strategy.is_complete() {
                 Ok(GroupVerdict::Infeasible)
             } else {
@@ -670,7 +688,13 @@ where
                 }
             }
             Ok(Err(StepError::Cancelled)) => {}
-            Ok(Err(StepError::Infeasible)) => {
+            Ok(Err(StepError::Infeasible { certified: _ })) => {
+                // Certification is not consulted here: a depth race never
+                // lets infeasibility cancel work (only successes cancel
+                // deeper steps), and `saw_timeout` already outranks the
+                // infeasible classification below, so an unchecked verdict
+                // can only ever stand when every depth drained decisively
+                // — where it surfaces explicitly flagged, not erased.
                 if !step.strategy.is_complete() {
                     incomplete_infeasible = true;
                 }
@@ -698,7 +722,8 @@ where
                 "search thread for depth {stages} panicked: {msg}"
             ))),
             // Every depth decided; if any verdict came from an incomplete
-            // strategy the sweep is inconclusive rather than infeasible.
+            // strategy — or without a checked proof — the sweep is
+            // inconclusive rather than infeasible.
             None if incomplete_infeasible => Ok(GroupVerdict::Timeout),
             None => Ok(GroupVerdict::Infeasible),
         },
@@ -730,15 +755,17 @@ where
             // Certify inside the race: only a certified win takes the
             // group, and it cancels everyone else.
             let Ok(value) = res else {
-                // An Infeasible verdict from a *complete* strategy settles
-                // the whole depth — no sibling can win a space the
-                // unrestricted (or symmetry-broken-only) encoding proved
-                // empty — so cancel the siblings and let the group
-                // escalate now instead of waiting out their UNSAT proofs.
-                // A sibling that already synthesized a candidate still
-                // certifies and wins: cancellation is cooperative, and a
-                // concrete certified artifact outranks any verdict.
-                if matches!(res, Err(StepError::Infeasible))
+                // A *proof-certified* Infeasible verdict from a *complete*
+                // strategy settles the whole depth — no sibling can win a
+                // space the unrestricted (or symmetry-broken-only)
+                // encoding proved empty — so cancel the siblings and let
+                // the group escalate now instead of waiting out their
+                // UNSAT proofs. An unchecked verdict has no such
+                // authority: the sibling races continue. A sibling that
+                // already synthesized a candidate still certifies and
+                // wins: cancellation is cooperative, and a concrete
+                // certified artifact outranks any verdict.
+                if matches!(res, Err(StepError::Infeasible { certified: true }))
                     && plan.steps[group.steps[pos]].strategy.is_complete()
                 {
                     for (i, f) in flags.iter().enumerate() {
@@ -791,6 +818,7 @@ where
         .is_some_and(|c| c.load(Ordering::Relaxed));
     let mut invalid: Option<String> = None;
     let mut complete_infeasible = false;
+    let mut unproven_infeasible = false;
     let mut saw_timeout = false;
     let mut panicked: Option<(usize, String)> = None;
     for (pos, res) in results {
@@ -802,9 +830,13 @@ where
                     invalid = Some(m);
                 }
             }
-            Ok(Err(StepError::Infeasible)) => {
+            Ok(Err(StepError::Infeasible { certified })) => {
                 if step.strategy.is_complete() {
-                    complete_infeasible = true;
+                    if certified {
+                        complete_infeasible = true;
+                    } else {
+                        unproven_infeasible = true;
+                    }
                 }
             }
             Ok(Err(StepError::Timeout)) => {
@@ -832,8 +864,8 @@ where
         return Err(ExecError::Uncertified(why));
     }
     if complete_infeasible {
-        // A complete strategy proved the depth infeasible; racing losers
-        // that timed out do not weaken that verdict.
+        // A complete strategy *proved* the depth infeasible; racing losers
+        // that timed out do not weaken that checked verdict.
         Ok(GroupVerdict::Infeasible)
     } else if saw_timeout {
         Ok(GroupVerdict::Timeout)
@@ -841,6 +873,13 @@ where
         Ok(GroupVerdict::Panicked(format!(
             "search thread for depth {stages} panicked: {msg}"
         )))
+    } else if unproven_infeasible {
+        // A complete strategy's UNSAT without a checked proof never
+        // cancels siblings or outranks their timeouts (see above), but
+        // once every sibling drained decisively it is the honest
+        // classification — the caller's record is explicitly flagged
+        // unchecked rather than the verdict being erased.
+        Ok(GroupVerdict::Infeasible)
     } else {
         // Only incomplete strategies reported Infeasible — inconclusive.
         Ok(GroupVerdict::Timeout)
@@ -871,6 +910,7 @@ where
     let mut uncertified: Option<String> = None;
     let mut invalid: Option<String> = None;
     let mut complete_infeasible = false;
+    let mut unproven_infeasible = false;
     let mut saw_timeout = false;
     let mut panicked: Option<(usize, String)> = None;
     for &si in &group.steps {
@@ -880,7 +920,10 @@ where
         }
         if winner.is_some() || complete_infeasible {
             // The group is settled; the remaining strategies never run —
-            // the sequential analogue of a cancelled racing loser.
+            // the sequential analogue of a cancelled racing loser. Only a
+            // *proof-checked* infeasibility settles like this: an
+            // unchecked verdict has no authority to skip siblings, who
+            // may yet synthesize a config and disprove the claim.
             observe(ctl, step, StepOutcome::Cancelled, Instant::now());
             continue;
         }
@@ -917,10 +960,14 @@ where
                     }
                 }
             },
-            Ok(Err(StepError::Infeasible)) => {
+            Ok(Err(StepError::Infeasible { certified })) => {
                 observe(ctl, step, StepOutcome::Infeasible, started);
                 if step.strategy.is_complete() {
-                    complete_infeasible = true;
+                    if certified {
+                        complete_infeasible = true;
+                    } else {
+                        unproven_infeasible = true;
+                    }
                 }
             }
             Ok(Err(StepError::Timeout)) => {
@@ -964,6 +1011,12 @@ where
         Ok(GroupVerdict::Panicked(format!(
             "search thread for depth {stages} panicked: {msg}"
         )))
+    } else if unproven_infeasible {
+        // Every strategy ran to a decisive end and a complete one said
+        // UNSAT, just without a checked proof: classify infeasible with
+        // the record explicitly flagged, exactly as the concurrent race
+        // does.
+        Ok(GroupVerdict::Infeasible)
     } else {
         // Only incomplete strategies reported Infeasible — inconclusive.
         Ok(GroupVerdict::Timeout)
@@ -1026,7 +1079,7 @@ where
                     let outcome = match &mut res {
                         Ok(inner) => coordinate(pos, inner, flags).unwrap_or(match inner {
                             Ok(_) => StepOutcome::Success,
-                            Err(StepError::Infeasible) => StepOutcome::Infeasible,
+                            Err(StepError::Infeasible { .. }) => StepOutcome::Infeasible,
                             Err(StepError::Timeout) => {
                                 if flags[pos].load(Ordering::Relaxed) {
                                     StepOutcome::Cancelled
@@ -1112,7 +1165,7 @@ mod tests {
             if step.stages == depth {
                 Ok(step.index)
             } else {
-                Err(StepError::Infeasible)
+                Err(StepError::Infeasible { certified: true })
             }
         }
     }
@@ -1215,7 +1268,7 @@ mod tests {
             if step.stages >= 2 {
                 Ok(step.index)
             } else {
-                Err(StepError::Infeasible)
+                Err(StepError::Infeasible { certified: true })
             }
         };
         let won = execute(&p, runner, certify_all, ExecControl::default()).expect("wins");
@@ -1316,7 +1369,7 @@ mod tests {
         });
         // Restricted says infeasible; complete strategies time out.
         let runner = |step: &PlanStep, _: Option<Arc<AtomicBool>>| match step.strategy {
-            Strategy::OpcodeRestricted => Err(StepError::Infeasible),
+            Strategy::OpcodeRestricted => Err(StepError::Infeasible { certified: true }),
             _ => Err(StepError::Timeout),
         };
         for race_threads in [Some(3), Some(1)] {
@@ -1345,7 +1398,9 @@ mod tests {
         // authoritative verdict cancels them, and the plan fails
         // Infeasible in far less than their natural runtime.
         let runner = |step: &PlanStep, flag: Option<Arc<AtomicBool>>| match step.strategy {
-            Strategy::CanonicalAllocation => Err::<usize, StepError>(StepError::Infeasible),
+            Strategy::CanonicalAllocation => {
+                Err::<usize, StepError>(StepError::Infeasible { certified: true })
+            }
             _ => {
                 let flag = flag.expect("racing steps get a flag");
                 for _ in 0..5000 {
@@ -1394,7 +1449,7 @@ mod tests {
             ..inputs(2)
         });
         let runner = |_: &PlanStep, _: Option<Arc<AtomicBool>>| {
-            Err::<usize, StepError>(StepError::Infeasible)
+            Err::<usize, StepError>(StepError::Infeasible { certified: true })
         };
         for race_threads in [Some(3), Some(1)] {
             let err = execute(
@@ -1462,8 +1517,10 @@ mod tests {
         // Restricted can't decide (incomplete), canonical proves the
         // depth infeasible; full-ALU must never run.
         let runner = |step: &PlanStep, _: Option<Arc<AtomicBool>>| match step.strategy {
-            Strategy::OpcodeRestricted => Err::<usize, StepError>(StepError::Infeasible),
-            Strategy::CanonicalAllocation => Err(StepError::Infeasible),
+            Strategy::OpcodeRestricted => {
+                Err::<usize, StepError>(StepError::Infeasible { certified: true })
+            }
+            Strategy::CanonicalAllocation => Err(StepError::Infeasible { certified: true }),
             Strategy::FullAlu => panic!("full-ALU ran after an authoritative verdict"),
         };
         let reports: Mutex<Vec<StepReport>> = Mutex::new(Vec::new());
@@ -1484,6 +1541,142 @@ mod tests {
         assert_eq!(reports.len(), 3);
         assert_eq!(reports[2].strategy, Strategy::FullAlu);
         assert_eq!(reports[2].outcome, StepOutcome::Cancelled);
+    }
+
+    #[test]
+    fn uncertified_infeasibility_still_surfaces_as_infeasible_when_all_drain() {
+        // Degrade-ladder contract: when every step ends in an UNSAT that
+        // merely lacks a validated proof (proof logging disabled, log
+        // truncated, checker out of budget) and nothing timed out, the
+        // classification is still Infeasible in every mode — the caller
+        // receives the record explicitly flagged unchecked rather than a
+        // masqueraded Timeout, which would make disabling proof logging
+        // erase the verdict class entirely.
+        let runner = |_: &PlanStep, _: Option<Arc<AtomicBool>>| {
+            Err::<usize, StepError>(StepError::Infeasible { certified: false })
+        };
+        let plans = [
+            plan(&inputs(2)),
+            plan(&PlanInputs {
+                parallel: true,
+                ..inputs(2)
+            }),
+            plan(&PlanInputs {
+                portfolio: true,
+                ..inputs(2)
+            }),
+        ];
+        for p in &plans {
+            for race_threads in [Some(3), Some(1)] {
+                let err = execute(
+                    p,
+                    runner,
+                    certify_all,
+                    ExecControl {
+                        race_threads,
+                        ..ExecControl::default()
+                    },
+                )
+                .unwrap_err();
+                assert_eq!(err, ExecError::Infeasible, "race_threads {race_threads:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn uncertified_infeasibility_never_outranks_a_sibling_timeout() {
+        // The authority half of the certification bit: a *checked* UNSAT
+        // from a complete strategy outranks racing losers' timeouts; an
+        // unchecked one does not — the depth stays inconclusive.
+        for (certified, want) in [(true, ExecError::Infeasible), (false, ExecError::Timeout)] {
+            let p = plan(&PlanInputs {
+                portfolio: true,
+                ..inputs(1)
+            });
+            let runner = |step: &PlanStep, _: Option<Arc<AtomicBool>>| match step.strategy {
+                Strategy::CanonicalAllocation => {
+                    Err::<usize, StepError>(StepError::Infeasible { certified })
+                }
+                _ => Err(StepError::Timeout),
+            };
+            for race_threads in [Some(3), Some(1)] {
+                let err = execute(
+                    &p,
+                    runner,
+                    certify_all,
+                    ExecControl {
+                        race_threads,
+                        ..ExecControl::default()
+                    },
+                )
+                .unwrap_err();
+                assert_eq!(
+                    err, want,
+                    "certified {certified} race_threads {race_threads:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_portfolio_runs_every_sibling_after_unchecked_infeasible() {
+        // The sequential analogue of "no cancellation authority": after
+        // canonical's *unchecked* UNSAT, the remaining strategy must still
+        // run (and may win, disproving the claim) — contrast with
+        // `sequential_portfolio_skips_siblings_after_authoritative_infeasible`.
+        let p = plan(&PlanInputs {
+            portfolio: true,
+            ..inputs(1)
+        });
+        let runner = |step: &PlanStep, _: Option<Arc<AtomicBool>>| match step.strategy {
+            Strategy::CanonicalAllocation => Err(StepError::Infeasible { certified: false }),
+            Strategy::FullAlu => Ok(step.index),
+            Strategy::OpcodeRestricted => Err(StepError::Infeasible { certified: false }),
+        };
+        let won = execute(
+            &p,
+            runner,
+            certify_all,
+            ExecControl {
+                race_threads: Some(1),
+                ..ExecControl::default()
+            },
+        )
+        .expect("full-ALU must get its turn and win");
+        assert_eq!(p.steps[won.step].strategy, Strategy::FullAlu);
+    }
+
+    #[test]
+    fn uncertified_infeasibility_does_not_cancel_racing_siblings() {
+        let p = plan(&PlanInputs {
+            portfolio: true,
+            ..inputs(1)
+        });
+        // Canonical (a complete strategy) reports an *unchecked*
+        // infeasibility instantly; full-ALU keeps racing and wins. A
+        // certified verdict would have cancelled it.
+        let runner = |step: &PlanStep, flag: Option<Arc<AtomicBool>>| match step.strategy {
+            Strategy::CanonicalAllocation => Err(StepError::Infeasible { certified: false }),
+            Strategy::FullAlu => {
+                std::thread::sleep(Duration::from_millis(50));
+                if flag.is_some_and(|f| f.load(Ordering::Relaxed)) {
+                    return Err(StepError::Cancelled);
+                }
+                Ok(step.index)
+            }
+            Strategy::OpcodeRestricted => Err(StepError::Timeout),
+        };
+        let won = execute(
+            &p,
+            runner,
+            certify_all,
+            ExecControl {
+                race_threads: Some(3),
+                ..ExecControl::default()
+            },
+        )
+        .expect("full-ALU wins despite the unchecked verdict");
+        assert_eq!(p.steps[won.step].strategy, Strategy::FullAlu);
     }
 
     #[test]
@@ -1512,7 +1705,7 @@ mod tests {
             if step.stages == 4 {
                 Ok(step.index)
             } else {
-                Err(StepError::Infeasible)
+                Err(StepError::Infeasible { certified: true })
             }
         };
         let won = execute(
@@ -1539,7 +1732,7 @@ mod tests {
             if step.stages == 2 {
                 panic!("injected depth-2 panic");
             }
-            Err(StepError::Infeasible)
+            Err(StepError::Infeasible { certified: true })
         };
         let err = execute(&p, runner, certify_all, ExecControl::default()).unwrap_err();
         match err {

@@ -39,11 +39,13 @@
 #![warn(missing_docs)]
 
 pub mod dimacs;
+pub mod drat;
 mod heap;
 mod luby;
 mod solver;
 
 pub use dimacs::{parse_dimacs, Cnf, DimacsError};
+pub use drat::{Certificate, CheckBudget, CheckOutcome, ProofStep};
 pub use solver::{BudgetAccount, ResourceBudget, SolveResult, Solver, SolverStats};
 
 /// A propositional variable, identified by a dense index starting at 0.

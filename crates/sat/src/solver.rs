@@ -9,6 +9,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use crate::drat::{Certificate, ProofStep};
 use crate::heap::ActivityHeap;
 use crate::luby::luby;
 use crate::{LBool, Lit, Var};
@@ -134,6 +135,72 @@ pub struct SolverStats {
 
 const REASON_NONE: u32 = u32::MAX;
 
+/// Bounded in-memory DRAT proof log: the original clauses exactly as the
+/// caller added them (pre level-0 simplification) plus every learnt clause
+/// and deletion in derivation order. A hard byte budget keeps a pathological
+/// solve from turning the log into a memory bomb — overflowing marks the
+/// log `truncated` and frees it, which downstream layers surface as an
+/// explicitly unchecked verdict (never a panic, never silent).
+#[derive(Debug)]
+struct ProofLog {
+    originals: Vec<Vec<Lit>>,
+    steps: Vec<ProofStep>,
+    bytes: u64,
+    limit: u64,
+    truncated: bool,
+}
+
+/// Approximate heap overhead of one logged clause beyond its literals.
+const PROOF_CLAUSE_OVERHEAD: u64 = 24;
+
+impl ProofLog {
+    fn new(limit: u64) -> ProofLog {
+        ProofLog {
+            originals: Vec::new(),
+            steps: Vec::new(),
+            bytes: 0,
+            limit,
+            truncated: false,
+        }
+    }
+
+    /// Reserve space for a clause of `lits`; on overflow the log degrades
+    /// to the truncated state and drops what it held.
+    fn charge(&mut self, lits: &[Lit]) -> bool {
+        if self.truncated {
+            return false;
+        }
+        let b = std::mem::size_of_val(lits) as u64 + PROOF_CLAUSE_OVERHEAD;
+        if self.bytes + b > self.limit {
+            self.truncated = true;
+            // A partial log proves nothing; return the memory now.
+            self.originals = Vec::new();
+            self.steps = Vec::new();
+            return false;
+        }
+        self.bytes += b;
+        true
+    }
+
+    fn log_original(&mut self, lits: &[Lit]) {
+        if self.charge(lits) {
+            self.originals.push(lits.to_vec());
+        }
+    }
+
+    fn log_add(&mut self, lits: &[Lit]) {
+        if self.charge(lits) {
+            self.steps.push(ProofStep::Add(lits.to_vec()));
+        }
+    }
+
+    fn log_delete(&mut self, lits: Vec<Lit>) {
+        if self.charge(&lits) {
+            self.steps.push(ProofStep::Delete(lits));
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Clause {
     lits: Vec<Lit>,
@@ -198,6 +265,12 @@ pub struct Solver {
     // propagation ceiling exact instead of per-round approximate.
     prop_limit: u64,
 
+    // DRAT proof log; `None` until `enable_proof` installs one.
+    proof: Option<ProofLog>,
+    // Failed-assumption core of the most recent UNSAT-under-assumptions
+    // solve (empty when the UNSAT needed no assumptions).
+    conflict_core: Vec<Lit>,
+
     stats: SolverStats,
 }
 
@@ -240,8 +313,68 @@ impl Solver {
             acct_conf_base: 0,
             acct_prop_base: 0,
             prop_limit: u64::MAX,
+            proof: None,
+            conflict_core: Vec::new(),
             stats: SolverStats::default(),
         }
+    }
+
+    /// Start logging a DRAT proof, bounded by `limit_bytes` of clause
+    /// storage. Call before adding clauses for a faithful original-CNF
+    /// section; if the database is non-empty the current level-0 facts and
+    /// live clauses are snapshotted as the originals (sound — every learnt
+    /// clause is implied). Overflowing the byte budget degrades the log to
+    /// a flagged truncated state (see [`Solver::proof_truncated`]) instead
+    /// of panicking or growing without bound.
+    pub fn enable_proof(&mut self, limit_bytes: u64) {
+        let mut log = ProofLog::new(limit_bytes);
+        for &l in &self.trail {
+            log.log_original(std::slice::from_ref(&l));
+        }
+        for c in self.clauses.iter().filter(|c| !c.deleted) {
+            log.log_original(&c.lits);
+        }
+        self.proof = Some(log);
+    }
+
+    /// Is a DRAT proof log installed?
+    pub fn proof_enabled(&self) -> bool {
+        self.proof.is_some()
+    }
+
+    /// Did the proof log overflow its byte budget? A truncated log yields
+    /// no certificate — the verdict must be reported as unchecked.
+    pub fn proof_truncated(&self) -> bool {
+        self.proof.as_ref().is_some_and(|p| p.truncated)
+    }
+
+    /// Bytes currently held by the proof log.
+    pub fn proof_bytes(&self) -> u64 {
+        self.proof.as_ref().map_or(0, |p| p.bytes)
+    }
+
+    /// The failed-assumption core of the most recent UNSAT result: a
+    /// subset of the assumptions passed to [`Solver::solve`] sufficient
+    /// for unsatisfiability (empty when the formula is UNSAT outright).
+    pub fn failed_assumptions(&self) -> &[Lit] {
+        &self.conflict_core
+    }
+
+    /// Build the unsatisfiability certificate for the most recent UNSAT
+    /// result: the logged original CNF, the failed-assumption core as unit
+    /// hypotheses, and the learnt-clause derivation. `None` when proof
+    /// logging is disabled or the log overflowed its byte budget.
+    pub fn certificate(&self) -> Option<Certificate> {
+        let p = self.proof.as_ref()?;
+        if p.truncated {
+            return None;
+        }
+        Some(Certificate {
+            num_vars: self.num_vars() as u32,
+            clauses: p.originals.clone(),
+            hypotheses: self.conflict_core.clone(),
+            steps: p.steps.clone(),
+        })
     }
 
     /// Allocate a fresh variable.
@@ -349,6 +482,13 @@ impl Solver {
         let mut lits: Vec<Lit> = lits.into_iter().collect();
         lits.sort_unstable();
         lits.dedup();
+        // The proof logs the clause exactly as asserted, *before* the
+        // level-0 simplification below: the checker re-derives every
+        // simplification by its own unit propagation, so the certificate
+        // stays honest about the formula the caller actually gave us.
+        if let Some(p) = self.proof.as_mut() {
+            p.log_original(&lits);
+        }
         // Tautology / level-0 simplification.
         let mut simplified = Vec::with_capacity(lits.len());
         for (i, &l) in lits.iter().enumerate() {
@@ -462,6 +602,7 @@ impl Solver {
     }
 
     fn solve_impl(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.conflict_core.clear();
         if !self.ok {
             return SolveResult::Unsat;
         }
@@ -816,6 +957,50 @@ impl Solver {
         true
     }
 
+    /// Compute the failed-assumption core for the falsified assumption
+    /// `a` (MiniSat's `analyzeFinal`): walk the trail top-down from the
+    /// literals in `¬a`'s reason cone; every decision encountered is an
+    /// assumption (the assumption loop precedes branching, so when an
+    /// assumption is found false all decisions on the trail are earlier
+    /// assumptions) and joins the core. The returned subset of the
+    /// assumptions — `a` included — is sufficient for unsatisfiability,
+    /// and by construction the formula plus the core refutes itself by
+    /// unit propagation alone, which is exactly the hypothesis rule the
+    /// DRAT checker applies.
+    fn analyze_final(&mut self, a: Lit, assumptions: &[Lit]) -> Vec<Lit> {
+        let mut core = vec![a];
+        if self.decision_level() == 0 {
+            // `¬a` is a level-0 fact: the formula alone refutes `a`.
+            return core;
+        }
+        self.seen[a.var().index()] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let x = self.trail[i];
+            let xi = x.var().index();
+            if !self.seen[xi] {
+                continue;
+            }
+            let r = self.reason[xi];
+            if r == REASON_NONE {
+                debug_assert!(
+                    assumptions.contains(&x),
+                    "decision {x:?} in the final conflict cone is not an assumption"
+                );
+                core.push(x);
+            } else {
+                for k in 1..self.clauses[r as usize].lits.len() {
+                    let q = self.clauses[r as usize].lits[k];
+                    if self.level[q.var().index()] > 0 {
+                        self.seen[q.var().index()] = true;
+                    }
+                }
+            }
+            self.seen[xi] = false;
+        }
+        self.seen[a.var().index()] = false;
+        core
+    }
+
     fn compute_lbd(&self, lits: &[Lit]) -> u32 {
         let mut levels: Vec<u32> = lits.iter().map(|l| self.level[l.var().index()]).collect();
         levels.sort_unstable();
@@ -880,9 +1065,13 @@ impl Solver {
             self.clauses[i].deleted = true;
             // Free the literal storage so the byte ceiling tracks real
             // allocation; propagation checks `deleted` before touching
-            // `lits`, and deleted clauses are never reasons.
-            self.clause_bytes -= Self::bytes_of(&self.clauses[i].lits);
-            self.clauses[i].lits = Vec::new();
+            // `lits`, and deleted clauses are never reasons. The proof
+            // logs the deletion first, while the literals still exist.
+            let lits = std::mem::take(&mut self.clauses[i].lits);
+            self.clause_bytes -= Self::bytes_of(&lits);
+            if let Some(p) = self.proof.as_mut() {
+                p.log_delete(lits);
+            }
             self.num_learnts -= 1;
             self.stats.deleted += 1;
         }
@@ -933,6 +1122,9 @@ impl Solver {
                 // it, so plain backtracking is still sound; we simply cancel.
                 self.cancel_until(bt);
                 if learnt.len() == 1 {
+                    if let Some(p) = self.proof.as_mut() {
+                        p.log_add(&learnt);
+                    }
                     self.unchecked_enqueue(learnt[0], REASON_NONE);
                 } else {
                     let bytes = Self::bytes_of(&learnt);
@@ -951,6 +1143,9 @@ impl Solver {
                     }
                     let lbd = self.compute_lbd(&learnt);
                     let l0 = learnt[0];
+                    if let Some(p) = self.proof.as_mut() {
+                        p.log_add(&learnt);
+                    }
                     let idx = self.attach_clause(learnt, true, lbd);
                     self.bump_clause(idx as usize);
                     self.unchecked_enqueue(l0, idx);
@@ -990,7 +1185,10 @@ impl Solver {
                 for &a in assumptions {
                     match self.lit_value(a) {
                         LBool::True => continue,
-                        LBool::False => return Some(SolveResult::Unsat),
+                        LBool::False => {
+                            self.conflict_core = self.analyze_final(a, assumptions);
+                            return Some(SolveResult::Unsat);
+                        }
                         LBool::Undef => {
                             next_decision = Some(a);
                             break;
@@ -1402,6 +1600,147 @@ mod tests {
                 "clause {c:?} not satisfied"
             );
         }
+    }
+
+    #[test]
+    fn failed_assumption_core_excludes_irrelevant_assumptions() {
+        // (a | b) under assumptions [!c, !a, !b]: !c plays no part.
+        let mut s = solver_with_vars(3);
+        s.add_clause([lit(1), lit(2)]);
+        assert_eq!(s.solve(&[lit(-3), lit(-1), lit(-2)]), SolveResult::Unsat);
+        let core: Vec<Lit> = s.failed_assumptions().to_vec();
+        assert!(
+            !core.contains(&lit(-3)),
+            "irrelevant assumption in core: {core:?}"
+        );
+        assert!(
+            core.contains(&lit(-1)) && core.contains(&lit(-2)),
+            "{core:?}"
+        );
+        // The core alone is already unsatisfiable.
+        assert_eq!(s.solve(&core), SolveResult::Unsat);
+        // And the solver stays reusable without assumptions.
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn contradictory_assumptions_core_is_the_pair() {
+        let mut s = solver_with_vars(2);
+        s.add_clause([lit(1), lit(2)]);
+        assert_eq!(s.solve(&[lit(1), lit(-1)]), SolveResult::Unsat);
+        let core = s.failed_assumptions();
+        assert!(
+            core.contains(&lit(1)) && core.contains(&lit(-1)),
+            "{core:?}"
+        );
+    }
+
+    #[test]
+    fn unconditional_unsat_has_empty_core() {
+        let mut s = solver_with_vars(3);
+        for (a, b) in [(1, 2), (2, 3), (3, 1)] {
+            s.add_clause([lit(a), lit(b)]);
+            s.add_clause([lit(-a), lit(-b)]);
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        assert!(s.failed_assumptions().is_empty());
+    }
+
+    #[test]
+    fn php_certificate_validates_and_roundtrips() {
+        use crate::drat::{Certificate, CheckBudget, CheckOutcome};
+        let mut s = solver_with_vars(6 * 5);
+        s.enable_proof(1 << 20);
+        php(&mut s, 6, 5);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        let cert = s.certificate().expect("proof fits its budget");
+        assert!(cert.num_lemmas() > 0);
+        assert!(cert.hypotheses.is_empty());
+        assert_eq!(cert.check(&CheckBudget::default()), CheckOutcome::Valid);
+        let parsed = Certificate::parse(&cert.to_text()).expect("roundtrip parses");
+        assert_eq!(parsed, cert);
+    }
+
+    #[test]
+    fn assumption_certificate_carries_the_core_as_hypotheses() {
+        use crate::drat::{CheckBudget, CheckOutcome};
+        let mut s = solver_with_vars(3);
+        s.enable_proof(1 << 20);
+        s.add_clause([lit(1), lit(2)]);
+        assert_eq!(s.solve(&[lit(-3), lit(-1), lit(-2)]), SolveResult::Unsat);
+        let cert = s.certificate().expect("proof fits");
+        assert_eq!(cert.hypotheses, s.failed_assumptions().to_vec());
+        assert!(!cert.hypotheses.contains(&lit(-3)));
+        assert_eq!(cert.check(&CheckBudget::default()), CheckOutcome::Valid);
+    }
+
+    #[test]
+    fn certificate_covers_incremental_solves() {
+        use crate::drat::{CheckBudget, CheckOutcome};
+        // SAT solve first (learnt clauses from it join the log), then the
+        // formula is strengthened to UNSAT: the certificate must cover the
+        // clause database accumulated across both solves.
+        let mut s = solver_with_vars(6 * 5);
+        s.enable_proof(1 << 20);
+        php(&mut s, 5, 5);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        let p = |i: usize, j: usize| Lit::pos(Var((i * 5 + j) as u32));
+        s.add_clause((0..5).map(|j| p(5, j)));
+        for j in 0..5 {
+            for i in 0..5 {
+                s.add_clause([!p(i, j), !p(5, j)]);
+            }
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        let cert = s.certificate().expect("proof fits");
+        assert_eq!(cert.check(&CheckBudget::default()), CheckOutcome::Valid);
+    }
+
+    #[test]
+    fn proof_byte_budget_degrades_to_truncated() {
+        let mut s = solver_with_vars(6 * 5);
+        s.enable_proof(128);
+        php(&mut s, 6, 5);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        assert!(s.proof_truncated());
+        assert!(s.certificate().is_none());
+        // The verdict itself is unaffected — only the certificate is lost.
+        assert!(s.proof_enabled());
+    }
+
+    #[test]
+    fn budget_tripped_solve_is_unknown_never_unsat() {
+        use crate::drat::{CheckBudget, CheckOutcome};
+        // The satellite invariant at the sat level: a budget trip must
+        // surface as Unknown, not as a (certificate-less) Unsat — and
+        // once the ceiling is lifted the same solver still proves UNSAT
+        // with a checkable certificate.
+        let mut s = solver_with_vars(8 * 7);
+        s.enable_proof(1 << 22);
+        php(&mut s, 8, 7);
+        s.set_budget(ResourceBudget {
+            conflicts: Some(5),
+            ..ResourceBudget::UNLIMITED
+        });
+        assert_eq!(s.solve(&[]), SolveResult::Unknown);
+        s.set_budget(ResourceBudget::UNLIMITED);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        let cert = s.certificate().expect("proof fits");
+        assert_eq!(cert.check(&CheckBudget::default()), CheckOutcome::Valid);
+    }
+
+    #[test]
+    fn enable_proof_snapshots_existing_database() {
+        use crate::drat::{CheckBudget, CheckOutcome};
+        let mut s = solver_with_vars(2);
+        s.add_clause([lit(1), lit(2)]);
+        s.add_clause([lit(-1), lit(2)]);
+        s.enable_proof(1 << 16);
+        s.add_clause([lit(-2)]);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        let cert = s.certificate().expect("proof fits");
+        assert_eq!(cert.clauses.len(), 3);
+        assert_eq!(cert.check(&CheckBudget::default()), CheckOutcome::Valid);
     }
 
     #[test]

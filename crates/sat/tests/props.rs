@@ -97,6 +97,210 @@ fn assumptions_match_brute_force() {
     }
 }
 
+// ---------------------------------------------------------------------
+// DRAT certificate properties (seeded, like everything above).
+// ---------------------------------------------------------------------
+
+use chipmunk_sat::{Certificate, CheckBudget, CheckOutcome, ProofStep};
+
+const PROOF_LIMIT: u64 = 1 << 22;
+
+/// Random CNF with wider (mostly ternary) clauses near the 3-SAT
+/// unsatisfiability threshold: unit propagation alone is weak on these,
+/// which is exactly what makes mutated proofs detectable.
+fn random_cnf3(rng: &mut Xoshiro256, num_vars: usize) -> Vec<Vec<(usize, bool)>> {
+    let num_clauses = rng.gen_range(30, 48);
+    (0..num_clauses)
+        .map(|_| {
+            let len = 2 + rng.gen_usize(2); // 2 or 3
+            (0..len)
+                .map(|_| (rng.gen_usize(num_vars), rng.gen_bool(0.5)))
+                .collect()
+        })
+        .collect()
+}
+
+fn build_proved(num_vars: usize, cnf: &[Vec<(usize, bool)>]) -> (Solver, Vec<Var>) {
+    let mut s = Solver::new();
+    s.enable_proof(PROOF_LIMIT);
+    let vars: Vec<Var> = (0..num_vars).map(|_| s.new_var()).collect();
+    for c in cnf {
+        s.add_clause(c.iter().map(|&(v, pol)| Lit::new(vars[v], pol)));
+    }
+    (s, vars)
+}
+
+fn sorted_key(lits: &[Lit]) -> Vec<Lit> {
+    let mut k = lits.to_vec();
+    k.sort_unstable();
+    k.dedup();
+    k
+}
+
+/// Every certificate from a random UNSAT instance validates, survives a
+/// text round-trip, and degrades predictably under mutation: stripping
+/// the whole derivation is always rejected (the originals alone never
+/// refute by propagation once the solver had to search), single flipped
+/// literals and dropped lemmas are rejected often (never mishandled), and
+/// a deletion reordered ahead of its addition is always rejected.
+#[test]
+fn random_unsat_certificates_validate_and_mutations_are_rejected() {
+    let mut rng = Xoshiro256::seed_from_u64(0x5a7_0004);
+    let unlimited = CheckBudget::default();
+    let mut unsat_cases = 0u32;
+    let mut flip_rejections = 0u32;
+    let mut drop_rejections = 0u32;
+    for case in 0..300 {
+        let cnf = random_cnf3(&mut rng, 8);
+        if brute_force_sat(8, &cnf, &[]) {
+            continue;
+        }
+        unsat_cases += 1;
+        let (mut s, _) = build_proved(8, &cnf);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat, "case {case}");
+        let cert = s.certificate().expect("proof fits its budget");
+        assert_eq!(
+            cert.check(&unlimited),
+            CheckOutcome::Valid,
+            "case {case}: fresh certificate rejected: {cnf:?}"
+        );
+        let roundtrip = Certificate::parse(&cert.to_text()).expect("roundtrip parses");
+        assert_eq!(
+            roundtrip, cert,
+            "case {case}: text roundtrip changed the certificate"
+        );
+
+        let lemmas: Vec<usize> = cert
+            .steps
+            .iter()
+            .enumerate()
+            .filter_map(|(i, st)| matches!(st, ProofStep::Add(_)).then_some(i))
+            .collect();
+        if lemmas.is_empty() {
+            continue;
+        }
+        // Stripping the entire derivation must always be rejected: the
+        // solver had to search, so the originals do not refute by unit
+        // propagation alone.
+        let mut stripped = cert.clone();
+        stripped.steps.clear();
+        assert!(
+            matches!(stripped.check(&unlimited), CheckOutcome::Invalid(_)),
+            "case {case}: originals alone accepted as a proof"
+        );
+
+        // One flipped literal / one dropped lemma: the checker must stay
+        // well-behaved (a verdict, never a panic); rejections counted and
+        // asserted in aggregate below.
+        let pick = lemmas[rng.gen_usize(lemmas.len())];
+        let mut flipped = cert.clone();
+        if let ProofStep::Add(c) = &mut flipped.steps[pick] {
+            if !c.is_empty() {
+                let li = rng.gen_usize(c.len());
+                c[li] = !c[li];
+            }
+        }
+        match flipped.check(&unlimited) {
+            CheckOutcome::Invalid(_) => flip_rejections += 1,
+            CheckOutcome::Valid => {}
+            CheckOutcome::OutOfBudget => panic!("case {case}: unlimited check ran out of budget"),
+        }
+        let mut dropped = cert.clone();
+        dropped.steps.remove(pick);
+        match dropped.check(&unlimited) {
+            CheckOutcome::Invalid(_) => drop_rejections += 1,
+            CheckOutcome::Valid => {}
+            CheckOutcome::OutOfBudget => panic!("case {case}: unlimited check ran out of budget"),
+        }
+
+        // Reordered deletion: add a redundant copy of a lemma and delete
+        // it (valid), then move the deletion ahead of every addition —
+        // the clause is not yet in the database, so the checker must
+        // reject. Skip lemmas that coincide with an original clause.
+        if let ProofStep::Add(lemma) = &cert.steps[lemmas[0]] {
+            let key = sorted_key(lemma);
+            if !lemma.is_empty() && !cert.clauses.iter().any(|c| sorted_key(c) == key) {
+                let mut reordered = cert.clone();
+                reordered.steps.push(ProofStep::Add(lemma.clone()));
+                reordered.steps.push(ProofStep::Delete(lemma.clone()));
+                assert_eq!(
+                    reordered.check(&unlimited),
+                    CheckOutcome::Valid,
+                    "case {case}: redundant add+delete rejected"
+                );
+                let del = reordered.steps.pop().unwrap();
+                reordered.steps.insert(0, del);
+                assert!(
+                    matches!(reordered.check(&unlimited), CheckOutcome::Invalid(_)),
+                    "case {case}: deletion before addition accepted"
+                );
+            }
+        }
+    }
+    assert!(
+        unsat_cases >= 20,
+        "seed produced only {unsat_cases} UNSAT cases"
+    );
+    assert!(
+        flip_rejections >= 1,
+        "no flipped-literal mutation was ever rejected across {unsat_cases} cases"
+    );
+    assert!(
+        drop_rejections >= 1,
+        "no dropped-lemma mutation was ever rejected across {unsat_cases} cases"
+    );
+}
+
+/// Failed-assumption cores are sound: the reported subset of the
+/// assumptions is itself unsatisfiable (checked by brute force and by
+/// re-solving), and the certificate's hypotheses are exactly the core.
+#[test]
+fn failed_assumption_cores_are_sound() {
+    let mut rng = Xoshiro256::seed_from_u64(0x5a7_0005);
+    let unlimited = CheckBudget::default();
+    let mut unsat_cases = 0u32;
+    for case in 0..300 {
+        let cnf = random_cnf(&mut rng, 7);
+        let pols: Vec<bool> = (0..3).map(|_| rng.gen_bool(0.5)).collect();
+        let (mut s, vars) = build_proved(7, &cnf);
+        let assumptions: Vec<Lit> = pols
+            .iter()
+            .enumerate()
+            .map(|(v, &p)| Lit::new(vars[v], p))
+            .collect();
+        if s.solve(&assumptions) != SolveResult::Unsat {
+            continue;
+        }
+        unsat_cases += 1;
+        let core = s.failed_assumptions().to_vec();
+        assert!(
+            core.iter().all(|l| assumptions.contains(l)),
+            "case {case}: core {core:?} not a subset of {assumptions:?}"
+        );
+        let cert = s.certificate().expect("proof fits");
+        assert_eq!(cert.hypotheses, core, "case {case}");
+        assert_eq!(
+            cert.check(&unlimited),
+            CheckOutcome::Valid,
+            "case {case}: assumption certificate rejected"
+        );
+        // The core alone refutes: brute force with just the core fixed.
+        let fixed: Vec<(usize, bool)> = core
+            .iter()
+            .map(|l| (l.var().index(), !l.is_neg()))
+            .collect();
+        assert!(
+            !brute_force_sat(7, &cnf, &fixed),
+            "case {case}: core {core:?} does not refute {cnf:?}"
+        );
+        assert_eq!(s.solve(&core), SolveResult::Unsat, "case {case}");
+    }
+    assert!(
+        unsat_cases >= 10,
+        "seed produced only {unsat_cases} UNSAT cases"
+    );
+}
+
 /// Incremental clause addition behaves as if the formula had been given up
 /// front.
 #[test]

@@ -18,7 +18,11 @@
 //!   cache quarantine,
 //! * **metrics I/O errors** — the telemetry HTTP listener drops a scrape
 //!   connection, proving a broken metrics socket degrades to stats-only
-//!   without touching compile traffic.
+//!   without touching compile traffic,
+//! * **proof I/O errors** — the materialization of an infeasibility
+//!   proof fails as it is attached to a result document, proving a lost
+//!   proof degrades to an explicitly-unchecked verdict instead of a
+//!   crash or a silently-trusted one.
 //!
 //! # Plan syntax
 //!
@@ -34,7 +38,7 @@
 //!   drawn from a [`Xoshiro256`] stream seeded by `seed` (default 0).
 //! * `stall_ms=N` — duration of an injected stall (default 50 ms).
 //! * Kinds: `panic`, `worker_death`, `cache_io`, `stall`, `reset`,
-//!   `corrupt`, `metrics_io`.
+//!   `corrupt`, `metrics_io`, `proof_io`.
 //!
 //! Plans are installed from the `CHIPMUNK_FAULTS` environment variable at
 //! server start ([`init_from_env`], which prints the active plan and seed
@@ -70,9 +74,13 @@ pub enum FaultKind {
     CacheCorrupt,
     /// Drop a metrics-endpoint scrape connection before the response.
     MetricsIo,
+    /// Fail the materialization of an infeasibility proof as it is
+    /// attached to a result document, exercising the degrade to an
+    /// explicitly-unchecked verdict.
+    ProofIo,
 }
 
-const NUM_KINDS: usize = 7;
+const NUM_KINDS: usize = 8;
 
 impl FaultKind {
     fn index(self) -> usize {
@@ -84,6 +92,7 @@ impl FaultKind {
             FaultKind::ConnReset => 4,
             FaultKind::CacheCorrupt => 5,
             FaultKind::MetricsIo => 6,
+            FaultKind::ProofIo => 7,
         }
     }
 
@@ -96,6 +105,7 @@ impl FaultKind {
             "reset" => FaultKind::ConnReset,
             "corrupt" => FaultKind::CacheCorrupt,
             "metrics_io" => FaultKind::MetricsIo,
+            "proof_io" => FaultKind::ProofIo,
             _ => return None,
         })
     }
@@ -123,6 +133,7 @@ static STATE: Mutex<State> = Mutex::new(State { plan: None });
 /// Occurrence counters live outside the mutex so `fired` can bump them
 /// without blocking when the probability path is unused.
 static COUNTERS: [AtomicU64; NUM_KINDS] = [
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
@@ -472,6 +483,17 @@ mod tests {
         install("metrics_io@0").unwrap();
         assert!(fired(FaultKind::MetricsIo));
         assert!(!fired(FaultKind::MetricsIo));
+        // Independent of the compile-path kinds.
+        assert!(!fired(FaultKind::CompilePanic));
+        disarm();
+    }
+
+    #[test]
+    fn proof_io_kind_parses_and_fires() {
+        let _g = lock();
+        install("proof_io@0").unwrap();
+        assert!(fired(FaultKind::ProofIo));
+        assert!(!fired(FaultKind::ProofIo));
         // Independent of the compile-path kinds.
         assert!(!fired(FaultKind::CompilePanic));
         disarm();

@@ -638,7 +638,15 @@ mod tests {
             50,
         );
         t.record_solver(5, 40, 2, 9, 1024, 1);
-        let text = render_exposition(&t, &[("submitted", 4)], &[("cache_hit_rate", 0.25)]);
+        let text = render_exposition(
+            &t,
+            &[
+                ("submitted", 4),
+                ("infeasible_certified", 2),
+                ("infeasible_unchecked", 1),
+            ],
+            &[("cache_hit_rate", 0.25)],
+        );
         let expected = "\
 # HELP chipmunk_serve_latency_us Per-stage job latency in microseconds.
 # TYPE chipmunk_serve_latency_us summary
@@ -671,6 +679,10 @@ chipmunk_serve_solver_clause_bytes_total 1024
 chipmunk_serve_solver_budget_trips_total 1
 # TYPE chipmunk_serve_submitted_total counter
 chipmunk_serve_submitted_total 4
+# TYPE chipmunk_serve_infeasible_certified_total counter
+chipmunk_serve_infeasible_certified_total 2
+# TYPE chipmunk_serve_infeasible_unchecked_total counter
+chipmunk_serve_infeasible_unchecked_total 1
 # TYPE chipmunk_serve_cache_hit_rate gauge
 chipmunk_serve_cache_hit_rate 0.25
 ";

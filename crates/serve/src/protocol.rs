@@ -69,6 +69,13 @@
 //! certification check and was withheld — a compiler defect surfaced as
 //! data), `shutting_down`.
 //!
+//! An `infeasible` failure additionally carries `certified` (true when
+//! the daemon re-checked a DRAT proof of the verdict before serving
+//! it), `quarantined`/`fresh_resolve` (the degrade ladder the verdict
+//! travelled), `proof_lemmas`/`proof_bytes`, a `proof` field holding the
+//! certificate text when one was retained, and `unchecked_reason` when
+//! it was not — see [`infeasible_response`].
+//!
 //! The three `budget_*` options are hard solver resource ceilings
 //! (conflicts, unit propagations, learnt-clause/arena bytes); a job that
 //! trips one fails with the `timeout` code, exactly like a wall-clock
@@ -89,7 +96,7 @@
 
 #![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
-use chipmunk::{CodegenError, CodegenSuccess, CompilerOptions, ResourceBudget};
+use chipmunk::{CodegenError, CodegenSuccess, CompilerOptions, InfeasibleCert, ResourceBudget};
 use chipmunk_lang::PacketState;
 use chipmunk_pisa::{stateful::library, PipelineConfig, StatefulAluSpec, StatelessAluSpec};
 use chipmunk_trace::json::Json;
@@ -496,11 +503,38 @@ pub fn error_response(code: &str, message: &str) -> Json {
     ])
 }
 
+/// Build the failure response for an infeasible verdict, carrying its
+/// certification record. `certified` is the trust bit clients key on:
+/// true means an in-process DRAT checker validated an UNSAT proof of
+/// the deepest depth tried, so "cannot fit in k stages" is as
+/// trustworthy as a shipped configuration. `proof` is the certificate
+/// text when one was retained (re-checkable with `chipmunkc
+/// check-proof`); `unchecked_reason` says why when it was not.
+pub fn infeasible_response(message: &str, cert: &InfeasibleCert) -> Json {
+    let mut pairs: Vec<(String, Json)> = vec![
+        ("ok".to_string(), Json::Bool(false)),
+        ("error".to_string(), Json::from("infeasible")),
+        ("message".to_string(), Json::from(message)),
+        ("certified".to_string(), Json::from(cert.certified)),
+        ("quarantined".to_string(), Json::from(cert.quarantined)),
+        ("fresh_resolve".to_string(), Json::from(cert.fresh_resolve)),
+        ("proof_lemmas".to_string(), Json::from(cert.lemmas)),
+        ("proof_bytes".to_string(), Json::from(cert.proof_bytes)),
+    ];
+    if let Some(reason) = &cert.reason {
+        pairs.push(("unchecked_reason".to_string(), Json::from(reason.as_str())));
+    }
+    if let Some(proof) = &cert.proof {
+        pairs.push(("proof".to_string(), Json::from(proof.as_str())));
+    }
+    Json::Obj(pairs)
+}
+
 /// The error code a [`CodegenError`] maps to on the wire.
 pub fn codegen_error_code(e: &CodegenError) -> &'static str {
     match e {
         CodegenError::TooLarge(_) => "too_large",
-        CodegenError::Infeasible => "infeasible",
+        CodegenError::Infeasible(_) => "infeasible",
         CodegenError::Timeout => "timeout",
         CodegenError::Internal(_) => "internal",
         CodegenError::InvalidOptions(_) => "bad_request",

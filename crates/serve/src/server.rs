@@ -40,8 +40,8 @@ use std::time::{Duration, Instant};
 
 use chipmunk::plan::{StepOutcome, Strategy};
 use chipmunk::{
-    cache_key, certify_config, compile_with_control, layout_names, plan_compilation,
-    CertifyRequest, CompilerOptions, PlanControl,
+    cache_key, certify_config, compile_with_control, layout_names, plan_compilation, Certificate,
+    CertifyRequest, CheckBudget, CodegenError, CompilerOptions, InfeasibleCert, PlanControl,
 };
 use chipmunk_lang::{parse, Program};
 use chipmunk_pisa::GridSpec;
@@ -54,8 +54,8 @@ use crate::metrics::{
     self, Family, MetricsServer, Outcome, Stage, Strat, Telemetry, OUTCOMES, STAGES,
 };
 use crate::protocol::{
-    codegen_error_code, decode_result, error_response, parse_line, remap_result, result_doc,
-    with_id, with_trace, CacheAction, Incoming, JobOptions, Request,
+    codegen_error_code, decode_result, error_response, infeasible_response, parse_line,
+    remap_result, result_doc, with_id, with_trace, CacheAction, Incoming, JobOptions, Request,
 };
 use crate::queue::{Bounded, PushError};
 use crate::trace_store::TraceStore;
@@ -169,6 +169,13 @@ struct Stats {
     /// Racing portfolio steps cancelled because a sibling strategy won.
     /// Spent search, not failures — kept out of `failed` by construction.
     portfolio_cancelled: AtomicU64,
+    /// Infeasible verdicts served with a DRAT proof the daemon itself
+    /// re-checked before the response left the process.
+    infeasible_certified: AtomicU64,
+    /// Infeasible verdicts served explicitly unchecked — the proof was
+    /// truncated, lost to an I/O fault, failed its re-check, or proof
+    /// logging was disabled. Never silent: the response says why.
+    infeasible_unchecked: AtomicU64,
     /// The configured metrics endpoint failed to bind and the daemon is
     /// running stats-only (the `metrics_io` degradation).
     metrics_degraded: AtomicBool,
@@ -937,6 +944,74 @@ fn certify_wire(program: &Program, opts: &CompilerOptions, doc: &Json) -> Result
     .unwrap_or_else(|_| Err("certification panicked on this document".to_string()))
 }
 
+/// How many unit propagations the serve-side proof re-check may spend
+/// before degrading the verdict to unchecked instead of blocking a
+/// worker. Mirrors the compiler-side check budget.
+const RECHECK_PROPAGATION_LIMIT: u64 = 200_000_000;
+
+/// Serve-side proof certification — the infeasibility twin of
+/// [`certify_wire`]: the DRAT certificate text that rides the response
+/// is re-parsed and re-checked in-process before the verdict leaves the
+/// daemon, so a bug between the solver's in-memory proof and its
+/// serialization cannot ship a trusted-but-wrong "cannot fit in k
+/// stages". The `proof_io` fault fires here: losing the proof at
+/// materialization degrades the verdict to explicitly unchecked — never
+/// a panic, never a silently-trusted claim. A verdict that is certified
+/// but carries no proof text (the certificate was too large to ship)
+/// keeps its compiler-side check, which already ran in this process.
+fn recheck_infeasible(shared: &Shared, mut cert: InfeasibleCert) -> InfeasibleCert {
+    fn degrade(cert: &mut InfeasibleCert, why: String) {
+        cert.certified = false;
+        cert.proof = None;
+        cert.reason = Some(why);
+    }
+    if faults::armed() && faults::fired(FaultKind::ProofIo) {
+        chipmunk_trace::counter_add!("serve.proof.io_failed", 1);
+        degrade(
+            &mut cert,
+            "proof I/O fault while materializing the certificate; verdict degraded to unchecked"
+                .to_string(),
+        );
+    } else if cert.certified {
+        if let Some(text) = cert.proof.clone() {
+            let rechecked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let parsed =
+                    Certificate::parse(&text).map_err(|e| format!("proof re-parse failed: {e}"))?;
+                match parsed.check(&CheckBudget {
+                    propagations: Some(RECHECK_PROPAGATION_LIMIT),
+                    account: None,
+                }) {
+                    chipmunk::CheckOutcome::Valid => Ok(()),
+                    chipmunk::CheckOutcome::OutOfBudget => {
+                        Err("proof re-check exhausted its propagation budget".to_string())
+                    }
+                    chipmunk::CheckOutcome::Invalid(why) => {
+                        Err(format!("proof re-check failed: {why}"))
+                    }
+                }
+            }))
+            .unwrap_or_else(|_| Err("proof re-check panicked on this certificate".to_string()));
+            if let Err(why) = rechecked {
+                chipmunk_trace::counter_add!("serve.proof.recheck_failed", 1);
+                degrade(&mut cert, why);
+            }
+        }
+    }
+    if cert.certified {
+        shared
+            .stats
+            .infeasible_certified
+            .fetch_add(1, Ordering::Relaxed);
+    } else {
+        shared
+            .stats
+            .infeasible_unchecked
+            .fetch_add(1, Ordering::Relaxed);
+        chipmunk_trace::counter_add!("serve.proof.unchecked", 1);
+    }
+    cert
+}
+
 /// Apply the `corrupt` fault (bit-flip a cached document before it is
 /// served) when armed — the chaos hook certification must catch.
 fn maybe_corrupt(doc: Json) -> Json {
@@ -1398,7 +1473,16 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
                 codegen_error_code(&e)
             };
             sp.record("result", code);
-            (error_response(code, &e.to_string()), Outcome::Failed)
+            let response = match e {
+                CodegenError::Infeasible(cert) if code == "infeasible" => {
+                    let cert = recheck_infeasible(shared, cert);
+                    let message = CodegenError::Infeasible(cert.clone()).to_string();
+                    sp.record("proof_certified", cert.certified);
+                    infeasible_response(&message, &cert)
+                }
+                e => error_response(code, &e.to_string()),
+            };
+            (response, Outcome::Failed)
         }
         Err(payload) => {
             shared.stats.panicked.fetch_add(1, Ordering::Relaxed);
@@ -1553,6 +1637,14 @@ fn stats_response(shared: &Shared) -> Json {
             Json::from(s.portfolio_cancelled.load(Ordering::Relaxed)),
         ),
         (
+            "infeasible_certified",
+            Json::from(s.infeasible_certified.load(Ordering::Relaxed)),
+        ),
+        (
+            "infeasible_unchecked",
+            Json::from(s.infeasible_unchecked.load(Ordering::Relaxed)),
+        ),
+        (
             "metrics_degraded",
             Json::Bool(s.metrics_degraded.load(Ordering::Relaxed)),
         ),
@@ -1692,6 +1784,14 @@ fn render_exposition(shared: &Shared) -> String {
         (
             "portfolio_cancelled",
             s.portfolio_cancelled.load(Ordering::Relaxed),
+        ),
+        (
+            "infeasible_certified",
+            s.infeasible_certified.load(Ordering::Relaxed),
+        ),
+        (
+            "infeasible_unchecked",
+            s.infeasible_unchecked.load(Ordering::Relaxed),
         ),
         ("cache_hits", shared.cache.hits()),
         ("cache_misses", shared.cache.misses()),

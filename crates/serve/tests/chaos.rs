@@ -586,6 +586,87 @@ fn broken_metrics_socket_degrades_to_stats_only() {
     handle.join();
 }
 
+/// Acceptance for the `proof_io` fault: losing an infeasibility proof at
+/// materialization degrades the verdict to an explicitly-unchecked one —
+/// the response still says `infeasible`, but with `certified:false`, a
+/// reason, and no proof — while the daemon stays intact: the very next
+/// infeasible compile (fault exhausted) ships a checker-validated proof
+/// again, and the job conservation law holds throughout.
+#[test]
+fn proof_io_fault_degrades_to_unchecked_infeasible_and_daemon_survives() {
+    let _l = lock();
+    let _d = arm("seed=13;proof_io@0");
+    let handle = server::start(&ServerConfig {
+        workers: 1,
+        queue_capacity: 8,
+        cache_dir: None,
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let mut client = Client::connect(handle.local_addr()).expect("client connects");
+
+    // Multiplication has no ALU support at this size: infeasible.
+    let degraded = client
+        .compile("pkt.z = pkt.x * pkt.y;", fast_options())
+        .unwrap();
+    assert_eq!(
+        degraded.get("error").and_then(Json::as_str),
+        Some("infeasible"),
+        "the verdict itself must survive the proof fault: {degraded}"
+    );
+    assert_eq!(
+        degraded.get("certified").and_then(Json::as_bool),
+        Some(false),
+        "a lost proof must clear the trust bit: {degraded}"
+    );
+    assert!(
+        degraded.get("proof").is_none(),
+        "a lost proof must not ship: {degraded}"
+    );
+    let reason = degraded
+        .get("unchecked_reason")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("degraded verdict must say why: {degraded}"));
+    assert!(reason.contains("proof I/O"), "reason: {reason}");
+
+    // Fault exhausted: the daemon is intact and the same program (failures
+    // are never cached) now comes back proof-certified.
+    let certified = client
+        .compile("pkt.z = pkt.x * pkt.y;", fast_options())
+        .unwrap();
+    assert_eq!(
+        certified.get("error").and_then(Json::as_str),
+        Some("infeasible")
+    );
+    assert_eq!(
+        certified.get("certified").and_then(Json::as_bool),
+        Some(true),
+        "fault exhausted, proof must certify again: {certified}"
+    );
+    assert!(certified.get("proof").and_then(Json::as_str).is_some());
+
+    // Feasible work still compiles on the same daemon.
+    let alive = client.compile("pkt.x = pkt.a;", fast_options()).unwrap();
+    assert!(ok(&alive), "daemon wedged after proof fault: {alive}");
+
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        u64_field(&stats, "infeasible_unchecked"),
+        1,
+        "stats: {stats}"
+    );
+    assert_eq!(
+        u64_field(&stats, "infeasible_certified"),
+        1,
+        "stats: {stats}"
+    );
+    assert_conservation(&stats);
+
+    let ack = client.shutdown(false).unwrap();
+    assert!(ok(&ack));
+    handle.join();
+}
+
 /// Portfolio racing under an armed fault schedule: jobs compiled with
 /// `portfolio: true` race one step per strategy, and the losers a winner
 /// cancels are **not** failures — they appear in `portfolio_cancelled`

@@ -485,6 +485,15 @@ fn stats_conserve_jobs_across_completion_failure_and_drain() {
     assert_eq!(stats.get("failed").and_then(Json::as_u64), Some(1));
     assert_eq!(stats.get("drained").and_then(Json::as_u64), Some(0));
     assert_eq!(stats.get("served_cached").and_then(Json::as_u64), Some(1));
+    // The one failure was an infeasibility, served proof-certified.
+    assert_eq!(
+        stats.get("infeasible_certified").and_then(Json::as_u64),
+        Some(1)
+    );
+    assert_eq!(
+        stats.get("infeasible_unchecked").and_then(Json::as_u64),
+        Some(0)
+    );
     client.shutdown(false).unwrap();
     handle.join();
 
@@ -695,6 +704,19 @@ fn compile_errors_are_reported_not_fatal() {
         infeasible.get("error").and_then(Json::as_str),
         Some("infeasible")
     );
+    // The verdict is proof-certified and ships a re-checkable DRAT
+    // certificate: "cannot fit" is as trustworthy as a config.
+    assert_eq!(
+        infeasible.get("certified").and_then(Json::as_bool),
+        Some(true),
+        "infeasible verdict not certified: {infeasible}"
+    );
+    let proof = infeasible
+        .get("proof")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("certified verdict shipped no proof: {infeasible}"));
+    let cert = chipmunk::Certificate::parse(proof).unwrap();
+    assert!(cert.check(&chipmunk::CheckBudget::default()).is_valid());
 
     // The connection and server survive all of it.
     let alive = client.compile("pkt.x = pkt.a;", fast_options()).unwrap();
