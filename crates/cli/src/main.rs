@@ -10,8 +10,8 @@
 //! chipmunkc superopt <file> [--imm N] [--width W] [--max-len L] [--full-alu] [--trace OUT.jsonl]
 //! chipmunkc run      <file> [--template T] [--packets N] [--width W] [--trace CSV]
 //! chipmunkc trace-report <file.jsonl>
-//! chipmunkc serve    [--addr H:P] [--workers N] [--queue-cap N] [--cache-dir DIR] [--cache-max-entries N] [--max-conns N] [--idle-timeout S] [--metrics-addr H:P] [--slow-ms N] [--trace OUT.jsonl]
-//! chipmunkc submit   <file> [--addr H:P] [--template T] [--imm N] [--width W] [--max-stages K] [--timeout S] [--parallel] [--portfolio] [--priority P] [--trace ID] [--json]
+//! chipmunkc serve    [--addr H:P] [--workers N] [--queue-cap N] [--cache-dir DIR] [--cache-max-entries N] [--max-conns N] [--idle-timeout S] [--metrics-addr H:P] [--slow-ms N] [--default-deadline-ms N] [--deadline-grace-ms N] [--brownout-p95-ms N] [--shed-below-priority P] [--watchdog-escalate-ms N] [--trace OUT.jsonl]
+//! chipmunkc submit   <file> [--addr H:P] [--template T] [--imm N] [--width W] [--max-stages K] [--timeout S] [--deadline-ms N] [--parallel] [--portfolio] [--priority P] [--trace ID] [--json]
 //! chipmunkc submit   --batch <file>... [--addr H:P] [shared compile flags] [--progress] [--json]
 //! chipmunkc submit   --status | --stats | --shutdown | --shutdown-now [--addr H:P]
 //! chipmunkc cache    [--stats | --compact | --clear] [--addr H:P]
@@ -47,6 +47,17 @@
 //! the hole-restriction strategies at each depth and keep the first
 //! *certified* winner; `submit --priority P` (0–9) pops ahead of
 //! lower-priority jobs in the daemon's queue.
+//!
+//! Overload control: `submit --deadline-ms N` gives the job an
+//! end-to-end deadline the daemon propagates into per-step solver
+//! budgets (and the retrying client will not sleep past); `serve
+//! --default-deadline-ms` applies one to every job that does not bring
+//! its own. `serve --brownout-p95-ms N` degrades service when the
+//! queue-wait p95 crosses N ms — cache hits still serve, but fresh work
+//! below `--shed-below-priority` is refused with `busy` and a
+//! `retry_after_ms` pacing hint. A full queue sheds the youngest
+//! lowest-priority queued job (typed `shed` error) to admit a
+//! higher-priority newcomer.
 //!
 //! The daemon's telemetry plane: `serve --metrics-addr H:P` exposes
 //! Prometheus text exposition at `/metrics`; `serve --slow-ms N` dumps
@@ -448,6 +459,20 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             0 => None,
             ms => Some(ms),
         },
+        // 0 = no default; jobs without their own deadline_ms wait forever.
+        default_deadline_ms: match args.num("default-deadline-ms", 0u64)? {
+            0 => None,
+            ms => Some(ms),
+        },
+        deadline_grace_ms: args.num("deadline-grace-ms", defaults.deadline_grace_ms)?,
+        // 0 = brownout disabled; anything else is the queue-wait p95
+        // threshold (ms) that trips degraded service.
+        brownout_p95_ms: match args.num("brownout-p95-ms", 0u64)? {
+            0 => None,
+            ms => Some(ms),
+        },
+        shed_below_priority: args.num("shed-below-priority", defaults.shed_below_priority)?,
+        watchdog_escalate_ms: args.num("watchdog-escalate-ms", defaults.watchdog_escalate_ms)?,
     };
     let handle =
         chipmunk_serve::start(&config).map_err(|e| format!("bind {}: {e}", config.addr))?;
@@ -514,6 +539,14 @@ fn submit_options(args: &Args) -> Result<Json, String> {
             .map_err(|_| format!("--slots: bad value `{slots}`"))?;
         options.push(("slots", Json::from(n)));
     }
+    // Only sent when asked for: an absent field takes the server's
+    // `--default-deadline-ms` (or no deadline at all).
+    if let Some(ms) = args.get("deadline-ms") {
+        let n: u64 = ms
+            .parse()
+            .map_err(|_| format!("--deadline-ms: bad value `{ms}`"))?;
+        options.push(("deadline_ms", Json::from(n)));
+    }
     let budget = budget_from_args(args)?;
     for (key, ceiling) in [
         ("budget_conflicts", budget.conflicts),
@@ -525,6 +558,19 @@ fn submit_options(args: &Args) -> Result<Json, String> {
         }
     }
     Ok(Json::obj(options))
+}
+
+/// The caller-side retry budget matching `--deadline-ms`: once a job
+/// carries an end-to-end deadline, sleeping past it chasing `busy`
+/// bounces is wasted time, so the retrying client gets the same bound.
+fn client_deadline(args: &Args) -> Result<Option<Duration>, String> {
+    match args.get("deadline-ms") {
+        None => Ok(None),
+        Some(ms) => ms
+            .parse::<u64>()
+            .map(|n| Some(Duration::from_millis(n)))
+            .map_err(|_| format!("--deadline-ms: bad value `{ms}`")),
+    }
 }
 
 /// The `--priority` queue level for `submit` (0–9, default 0): higher
@@ -584,6 +630,7 @@ fn cmd_submit_batch(args: &Args, addr: &str) -> Result<(), String> {
     if !programs.is_empty() {
         let mut client = chipmunk_serve::RetryingClient::new(addr, retry_policy(args)?);
         client.set_priority(priority_from_args(args)?);
+        client.set_deadline(client_deadline(args)?);
         let responses = if args.has("progress") {
             client.pipeline_with_progress(&programs, &options, |p| {
                 eprintln!(
@@ -719,6 +766,7 @@ fn cmd_submit(args: &Args) -> Result<(), String> {
         } else {
             let mut client = chipmunk_serve::RetryingClient::new(addr, retry_policy(args)?);
             client.set_priority(priority);
+            client.set_deadline(client_deadline(args)?);
             let resp = client
                 .compile(&source, &options)
                 .map_err(|e| format!("{addr}: {e} (is `chipmunkc serve` running?)"))?;

@@ -405,18 +405,23 @@ pub fn compile_with_control(
     };
     let plan = plan_for(&resolved, opts);
     let prog = &resolved.prog;
-    let deadline = opts.timeout.map(|t| start + t);
+    // One job-wide wall-clock deadline: the sooner of the coarse timeout
+    // and any caller-supplied (wire `deadline_ms`) CEGIS deadline. The
+    // plan executor derives remaining-time budgets from it, and the
+    // budget account pushes it down to every solver's own polling.
+    let deadline = match (opts.timeout.map(|t| start + t), opts.cegis.deadline) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
     let cegis_base = CegisOptions {
-        deadline: match (deadline, opts.cegis.deadline) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        },
+        deadline,
         ..opts.cegis
     };
     // Job-wide solver accounting: every plan step's synthesis and
     // verification solvers debit this one ledger, so the caller's budget
     // ceilings bound the whole compile, not each solver separately.
     let account = Arc::new(chipmunk_sat::BudgetAccount::new());
+    account.set_deadline(deadline);
     // Cross-step counterexample pool: hard inputs discovered at a failed
     // depth/strategy seed the next step's initial test set, so escalation
     // and racing inherit the work already paid for.

@@ -467,6 +467,46 @@ impl ExecControl<'_> {
     }
 }
 
+/// Assumed worst-case solver throughput used to convert remaining
+/// wall-clock into resource ceilings. Deliberately generous — the
+/// wall-clock deadline stays the primary bound; the derived budget only
+/// cuts off a solver so deep in a hard instance that it stopped hitting
+/// the deadline polls (e.g. one monster conflict analysis).
+pub const DEADLINE_CONFLICTS_PER_SEC: u64 = 100_000;
+/// See [`DEADLINE_CONFLICTS_PER_SEC`].
+pub const DEADLINE_PROPAGATIONS_PER_SEC: u64 = 100_000_000;
+/// A live deadline always buys at least this many conflicts, so a job
+/// admitted with milliseconds to spare still makes observable progress
+/// instead of being zero-budgeted into a spurious `Timeout`.
+pub const DEADLINE_MIN_CONFLICTS: u64 = 64;
+/// See [`DEADLINE_MIN_CONFLICTS`].
+pub const DEADLINE_MIN_PROPAGATIONS: u64 = 100_000;
+
+/// Convert the time remaining until a job's deadline into per-step
+/// solver ceilings, min-merged with the explicitly configured budget so
+/// an operator's `--budget-*` caps still hold when they are tighter.
+///
+/// Derivation happens at *execution* time (the runner wrapper in
+/// [`execute`]), never in the planner: plan fingerprints must not
+/// depend on how much of the deadline the queue already consumed, or
+/// crash-recovery replay would see a different plan than it journaled.
+pub fn budget_for_remaining(remaining: Duration, explicit: ResourceBudget) -> ResourceBudget {
+    let millis = u64::try_from(remaining.as_millis()).unwrap_or(u64::MAX);
+    let conflicts =
+        (millis.saturating_mul(DEADLINE_CONFLICTS_PER_SEC) / 1000).max(DEADLINE_MIN_CONFLICTS);
+    let propagations = (millis.saturating_mul(DEADLINE_PROPAGATIONS_PER_SEC) / 1000)
+        .max(DEADLINE_MIN_PROPAGATIONS);
+    ResourceBudget {
+        conflicts: Some(explicit.conflicts.map_or(conflicts, |c| c.min(conflicts))),
+        propagations: Some(
+            explicit
+                .propagations
+                .map_or(propagations, |p| p.min(propagations)),
+        ),
+        clause_bytes: explicit.clause_bytes,
+    }
+}
+
 /// Run `plan`. `runner` maps one step to a synthesis attempt; `certify`
 /// accepts or rejects a candidate win (its `Err` carries the reason).
 ///
@@ -486,6 +526,25 @@ where
     R: Fn(&PlanStep, Option<Arc<AtomicBool>>) -> Result<T, StepError> + Sync,
     C: Fn(&PlanStep, &T) -> Result<(), String> + Sync,
 {
+    // Deadline-aware budget tightening: when the plan has a wall-clock
+    // deadline, every step launch re-derives its solver budget from the
+    // time *remaining at that moment*, so a job never burns conflicts
+    // past its client's patience. Steps launched later in the plan get
+    // proportionally smaller ceilings; explicit budgets still cap.
+    let deadline = ctl.deadline;
+    let runner = |step: &PlanStep, cancel: Option<Arc<AtomicBool>>| -> Result<T, StepError> {
+        match deadline {
+            Some(d) => {
+                let remaining = d.saturating_duration_since(Instant::now());
+                let tightened = PlanStep {
+                    budget: budget_for_remaining(remaining, step.budget),
+                    ..*step
+                };
+                runner(&tightened, cancel)
+            }
+            None => runner(step, cancel),
+        }
+    };
     let mut saw_timeout = false;
     let mut panicked: Option<String> = None;
     for group in &plan.groups {
@@ -1766,5 +1825,93 @@ mod tests {
         let certify = |_: &PlanStep, _: &usize| Err("diverges".to_string());
         let err = execute(&p, ok_at(1), certify, ExecControl::default()).unwrap_err();
         assert_eq!(err, ExecError::Uncertified("diverges".to_string()));
+    }
+
+    /// Tiny xorshift so the property sweep is deterministic without
+    /// pulling in a dependency.
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    #[test]
+    fn deadline_budget_is_monotone_never_zero_and_saturates() {
+        let mut rng = 0x51ab_2026_u64;
+        for _ in 0..500 {
+            let lo_ms = xorshift(&mut rng) % 600_000;
+            let hi_ms = lo_ms + xorshift(&mut rng) % 600_000;
+            let explicit = ResourceBudget {
+                conflicts: xorshift(&mut rng)
+                    .is_multiple_of(2)
+                    .then(|| 1 + xorshift(&mut rng) % 10_000_000),
+                propagations: xorshift(&mut rng)
+                    .is_multiple_of(2)
+                    .then(|| 1 + xorshift(&mut rng) % 1_000_000_000),
+                clause_bytes: xorshift(&mut rng)
+                    .is_multiple_of(2)
+                    .then(|| xorshift(&mut rng)),
+            };
+            let lo = budget_for_remaining(Duration::from_millis(lo_ms), explicit);
+            let hi = budget_for_remaining(Duration::from_millis(hi_ms), explicit);
+
+            // Never zero for a live deadline: even zero remaining time
+            // buys the floor, so a near-expired job still does work and
+            // gets cut by the wall-clock poll, not a zero budget.
+            assert!(lo.conflicts.unwrap() >= 1);
+            assert!(lo.propagations.unwrap() >= 1);
+
+            // Monotone in remaining time.
+            assert!(hi.conflicts.unwrap() >= lo.conflicts.unwrap());
+            assert!(hi.propagations.unwrap() >= lo.propagations.unwrap());
+
+            // Saturates at the explicit ceilings when both are set, and
+            // never invents a clause-bytes cap.
+            for b in [&lo, &hi] {
+                if let Some(c) = explicit.conflicts {
+                    assert!(b.conflicts.unwrap() <= c);
+                }
+                if let Some(p) = explicit.propagations {
+                    assert!(b.propagations.unwrap() <= p);
+                }
+                assert_eq!(b.clause_bytes, explicit.clause_bytes);
+            }
+        }
+        // Large remaining time with no explicit cap reaches exactly the
+        // derived rate product (no overflow, no silent clamping).
+        let wide = budget_for_remaining(Duration::from_secs(300), ResourceBudget::UNLIMITED);
+        assert_eq!(wide.conflicts, Some(300 * DEADLINE_CONFLICTS_PER_SEC));
+        assert_eq!(wide.propagations, Some(300 * DEADLINE_PROPAGATIONS_PER_SEC));
+    }
+
+    #[test]
+    fn executor_tightens_step_budgets_under_a_deadline() {
+        let p = plan(&inputs(1));
+        let seen = Mutex::new(Vec::new());
+        let runner = |step: &PlanStep, _: Option<Arc<AtomicBool>>| -> Result<usize, StepError> {
+            seen.lock().unwrap().push(step.budget);
+            Ok(step.index)
+        };
+        let ctl = ExecControl {
+            deadline: Some(Instant::now() + Duration::from_secs(5)),
+            ..ExecControl::default()
+        };
+        execute(&p, runner, certify_all, ctl).unwrap();
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), 1);
+        // The plan said UNLIMITED, but the executed step carried derived
+        // ceilings bounded by the 5s window.
+        let b = seen[0];
+        assert!(b.conflicts.unwrap() <= 5 * DEADLINE_CONFLICTS_PER_SEC);
+        assert!(b.propagations.unwrap() <= 5 * DEADLINE_PROPAGATIONS_PER_SEC);
+        // No deadline → budget untouched.
+        let seen2 = Mutex::new(Vec::new());
+        let runner2 = |step: &PlanStep, _: Option<Arc<AtomicBool>>| -> Result<usize, StepError> {
+            seen2.lock().unwrap().push(step.budget);
+            Ok(step.index)
+        };
+        execute(&p, runner2, certify_all, ExecControl::default()).unwrap();
+        assert_eq!(seen2.into_inner().unwrap()[0], ResourceBudget::UNLIMITED);
     }
 }

@@ -6,7 +6,7 @@
 //! restarts, and LBD-driven learnt-clause database reduction.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::drat::{Certificate, ProofStep};
@@ -87,6 +87,12 @@ impl ResourceBudget {
 pub struct BudgetAccount {
     conflicts: AtomicU64,
     propagations: AtomicU64,
+    /// Job-wide wall-clock deadline. Every solver with this account
+    /// installed folds it into its own deadline polling at solve start,
+    /// so a caller can bound a whole job's wall time with one store even
+    /// when the job spreads its search over many solvers that never see
+    /// [`Solver::set_deadline`] individually.
+    deadline: Mutex<Option<Instant>>,
 }
 
 impl BudgetAccount {
@@ -109,6 +115,17 @@ impl BudgetAccount {
     pub fn charge(&self, conflicts: u64, propagations: u64) {
         self.conflicts.fetch_add(conflicts, Ordering::Relaxed);
         self.propagations.fetch_add(propagations, Ordering::Relaxed);
+    }
+
+    /// Install (or clear) the job-wide wall-clock deadline shared by every
+    /// solver on this account.
+    pub fn set_deadline(&self, deadline: Option<Instant>) {
+        *self.deadline.lock().unwrap_or_else(|p| p.into_inner()) = deadline;
+    }
+
+    /// The job-wide wall-clock deadline, if one is installed.
+    pub fn deadline(&self) -> Option<Instant> {
+        *self.deadline.lock().unwrap_or_else(|p| p.into_inner())
     }
 }
 
@@ -253,6 +270,10 @@ pub struct Solver {
     clause_bytes: u64,
     budget_exceeded: bool,
     deadline: Option<Instant>,
+    // The deadline actually polled during a solve: `deadline` min-merged
+    // with the account's job-wide deadline, snapshotted at solve start so
+    // the polling sites stay a single comparison.
+    eff_deadline: Option<Instant>,
     cancel: Option<Arc<AtomicBool>>,
 
     account: Option<Arc<BudgetAccount>>,
@@ -308,6 +329,7 @@ impl Solver {
             clause_bytes: 0,
             budget_exceeded: false,
             deadline: None,
+            eff_deadline: None,
             cancel: None,
             account: None,
             acct_conf_base: 0,
@@ -619,6 +641,15 @@ impl Solver {
             Some(a) => (a.conflicts(), a.propagations()),
             None => (0, 0),
         };
+        // The account's job-wide wall clock binds this solve exactly like a
+        // locally-installed deadline; whichever is sooner wins.
+        self.eff_deadline = match (
+            self.deadline,
+            self.account.as_ref().and_then(|a| a.deadline()),
+        ) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
         self.prop_limit = match self.budget.propagations {
             Some(b) => prop_start.saturating_add(b.saturating_sub(self.acct_prop_base)),
             None => u64::MAX,
@@ -635,7 +666,7 @@ impl Solver {
                 self.cancel_until(0);
                 return SolveResult::Unknown;
             }
-            if let Some(deadline) = self.deadline {
+            if let Some(deadline) = self.eff_deadline {
                 if Instant::now() >= deadline {
                     self.cancel_until(0);
                     return SolveResult::Unknown;
@@ -1161,7 +1192,7 @@ impl Solver {
                     if self.cancelled() {
                         return Some(SolveResult::Unknown);
                     }
-                    if let Some(deadline) = self.deadline {
+                    if let Some(deadline) = self.eff_deadline {
                         if Instant::now() >= deadline {
                             return Some(SolveResult::Unknown);
                         }
@@ -1573,6 +1604,25 @@ mod tests {
         assert_eq!(s.solve(&[]), SolveResult::Unknown);
         s.set_deadline(None);
         assert_eq!(s.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn account_deadline_binds_solvers_that_never_saw_set_deadline() {
+        // The job-wide wall clock travels with the BudgetAccount: a solver
+        // that only installed the account is bound by it, and clearing the
+        // account deadline restores the solve.
+        let account = Arc::new(BudgetAccount::new());
+        let mut s = solver_with_vars(2);
+        s.add_clause([lit(1), lit(2)]);
+        s.set_budget_account(Some(account.clone()));
+        account.set_deadline(Some(Instant::now() - std::time::Duration::from_secs(1)));
+        assert_eq!(s.solve(&[]), SolveResult::Unknown);
+        account.set_deadline(None);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        // A locally-sooner deadline still wins over a distant account one.
+        account.set_deadline(Some(Instant::now() + std::time::Duration::from_secs(3600)));
+        s.set_deadline(Some(Instant::now() - std::time::Duration::from_secs(1)));
+        assert_eq!(s.solve(&[]), SolveResult::Unknown);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use chipmunk_trace::json::Json;
 use chipmunk_trace::rng::Xoshiro256;
@@ -229,13 +229,20 @@ fn transient_io(e: &std::io::Error) -> bool {
 }
 
 /// Is this *response* a transient server condition (retry after backoff)
-/// rather than a verdict about the program?
+/// rather than a verdict about the program? `shed` — evicted by a
+/// higher-priority job under saturation — is transient too: the program
+/// was never judged.
 fn retryable_response(resp: &Json) -> bool {
     resp.get("ok").and_then(Json::as_bool) == Some(false)
         && matches!(
             resp.get("error").and_then(Json::as_str),
-            Some("busy") | Some("queue_full")
+            Some("busy") | Some("queue_full") | Some("shed")
         )
+}
+
+/// The server's pacing hint on a brownout/shed refusal, when present.
+fn retry_hint_ms(resp: &Json) -> Option<u64> {
+    resp.get("retry_after_ms").and_then(Json::as_u64)
 }
 
 /// A compile client that retries transient failures — `busy` bounces,
@@ -254,6 +261,10 @@ pub struct RetryingClient {
     conn: Option<Client>,
     retries: u64,
     priority: u8,
+    /// Total wall-clock budget across every retry of a batch; once it
+    /// elapses, transient responses become terminal instead of being
+    /// resubmitted. `None` retries on the policy's count alone.
+    deadline: Option<Duration>,
 }
 
 impl RetryingClient {
@@ -267,7 +278,16 @@ impl RetryingClient {
             conn: None,
             retries: 0,
             priority: 0,
+            deadline: None,
         }
+    }
+
+    /// Bound the total time a batch may spend retrying (backoff sleeps
+    /// included). Pair this with the job-side `deadline_ms` option so a
+    /// caller with an end-to-end deadline never sleeps past it chasing
+    /// `busy` bounces.
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) {
+        self.deadline = deadline;
     }
 
     /// Retries performed so far (for reporting).
@@ -322,6 +342,7 @@ impl RetryingClient {
         let mut answers: Vec<Option<Json>> = (0..programs.len()).map(|_| None).collect();
         let mut attempt = 0u32;
         let mut reported = usize::MAX;
+        let started = Instant::now();
         loop {
             let pending: Vec<usize> = answers
                 .iter()
@@ -333,12 +354,24 @@ impl RetryingClient {
                 break;
             }
             let pass = pipeline_pass(self.ensure(), &pending, programs, options, &mut answers);
+            // Retry budget: the policy's attempt count AND (when set) the
+            // caller's wall-clock deadline must both have room.
+            let budget_left = match self.deadline {
+                Some(dl) => started.elapsed() < dl,
+                None => true,
+            };
             // A transient response is only terminal once retries run out;
-            // otherwise clear it so the next pass resubmits that job.
+            // otherwise clear it so the next pass resubmits that job. The
+            // server's `retry_after_ms` pacing hint (brownout refusals)
+            // stretches the next backoff when it asks for more patience.
             let mut need_retry = false;
-            if attempt < self.policy.max_retries {
+            let mut hint_ms = 0u64;
+            if attempt < self.policy.max_retries && budget_left {
                 for slot in answers.iter_mut() {
                     if slot.as_ref().is_some_and(retryable_response) {
+                        if let Some(ms) = slot.as_ref().and_then(retry_hint_ms) {
+                            hint_ms = hint_ms.max(ms);
+                        }
                         *slot = None;
                         need_retry = true;
                     }
@@ -354,12 +387,20 @@ impl RetryingClient {
                 Ok(()) => {}
                 Err(e) => {
                     self.conn = None;
-                    if !transient_io(&e) || attempt >= self.policy.max_retries {
+                    if !transient_io(&e) || attempt >= self.policy.max_retries || !budget_left {
                         return Err(e);
                     }
                 }
             }
-            let delay = self.policy.backoff(attempt, &mut self.rng);
+            let mut delay = self
+                .policy
+                .backoff(attempt, &mut self.rng)
+                .max(Duration::from_millis(hint_ms));
+            if let Some(dl) = self.deadline {
+                // Never sleep past the caller's deadline: the final
+                // attempt fires just before it rather than after.
+                delay = delay.min(dl.saturating_sub(started.elapsed()));
+            }
             self.retries += 1;
             attempt += 1;
             std::thread::sleep(delay);
@@ -522,6 +563,25 @@ mod tests {
         let mut rng = Xoshiro256::seed_from_u64(1);
         assert_eq!(policy.backoff(0, &mut rng), Duration::ZERO);
         assert_eq!(policy.backoff(31, &mut rng), Duration::ZERO);
+    }
+
+    #[test]
+    fn shed_and_busy_are_retryable_and_carry_the_pacing_hint() {
+        let shed = Json::obj([
+            ("ok", Json::Bool(false)),
+            ("error", Json::from("shed")),
+            ("retry_after_ms", Json::U64(750)),
+        ]);
+        assert!(retryable_response(&shed));
+        assert_eq!(retry_hint_ms(&shed), Some(750));
+        let busy = Json::obj([("ok", Json::Bool(false)), ("error", Json::from("busy"))]);
+        assert!(retryable_response(&busy));
+        assert_eq!(retry_hint_ms(&busy), None, "hint is optional");
+        let expired = Json::obj([("ok", Json::Bool(false)), ("error", Json::from("expired"))]);
+        assert!(
+            !retryable_response(&expired),
+            "an expired deadline is a verdict about this request, not server churn"
+        );
     }
 
     #[test]

@@ -22,7 +22,11 @@
 //! * **proof I/O errors** — the materialization of an infeasibility
 //!   proof fails as it is attached to a result document, proving a lost
 //!   proof degrades to an explicitly-unchecked verdict instead of a
-//!   crash or a silently-trusted one.
+//!   crash or a silently-trusted one,
+//! * **clock stalls** — a compile freezes *ignoring* its cooperative
+//!   cancel flag, simulating a solver stuck inside one monster
+//!   propagation; proves the watchdog escalates past cancellation to
+//!   worker respawn and still answers the client with a typed error.
 //!
 //! # Plan syntax
 //!
@@ -38,7 +42,7 @@
 //!   drawn from a [`Xoshiro256`] stream seeded by `seed` (default 0).
 //! * `stall_ms=N` — duration of an injected stall (default 50 ms).
 //! * Kinds: `panic`, `worker_death`, `cache_io`, `stall`, `reset`,
-//!   `corrupt`, `metrics_io`, `proof_io`.
+//!   `corrupt`, `metrics_io`, `proof_io`, `clock_stall`.
 //!
 //! Plans are installed from the `CHIPMUNK_FAULTS` environment variable at
 //! server start ([`init_from_env`], which prints the active plan and seed
@@ -78,9 +82,16 @@ pub enum FaultKind {
     /// attached to a result document, exercising the degrade to an
     /// explicitly-unchecked verdict.
     ProofIo,
+    /// Freeze a compile for `stall_ms` *ignoring* the cooperative cancel
+    /// flag — a solver stuck inside one monster propagation. Unlike
+    /// [`FaultKind::SolverStall`] (which delays before the compile and
+    /// yields to cancellation), this exercises the watchdog's escalation
+    /// path: cancel doesn't bite, so the worker must be abandoned and
+    /// respawned.
+    ClockStall,
 }
 
-const NUM_KINDS: usize = 8;
+const NUM_KINDS: usize = 9;
 
 impl FaultKind {
     fn index(self) -> usize {
@@ -93,6 +104,7 @@ impl FaultKind {
             FaultKind::CacheCorrupt => 5,
             FaultKind::MetricsIo => 6,
             FaultKind::ProofIo => 7,
+            FaultKind::ClockStall => 8,
         }
     }
 
@@ -106,6 +118,7 @@ impl FaultKind {
             "corrupt" => FaultKind::CacheCorrupt,
             "metrics_io" => FaultKind::MetricsIo,
             "proof_io" => FaultKind::ProofIo,
+            "clock_stall" => FaultKind::ClockStall,
             _ => return None,
         })
     }
@@ -133,6 +146,7 @@ static STATE: Mutex<State> = Mutex::new(State { plan: None });
 /// Occurrence counters live outside the mutex so `fired` can bump them
 /// without blocking when the probability path is unused.
 static COUNTERS: [AtomicU64; NUM_KINDS] = [
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
@@ -496,6 +510,18 @@ mod tests {
         assert!(!fired(FaultKind::ProofIo));
         // Independent of the compile-path kinds.
         assert!(!fired(FaultKind::CompilePanic));
+        disarm();
+    }
+
+    #[test]
+    fn clock_stall_kind_parses_and_fires() {
+        let _g = lock();
+        install("clock_stall@0;stall_ms=5").unwrap();
+        assert!(fired(FaultKind::ClockStall));
+        assert!(!fired(FaultKind::ClockStall));
+        assert_eq!(stall_duration(), Duration::from_millis(5));
+        // Independent of the cancellable pre-compile stall.
+        assert!(!fired(FaultKind::SolverStall));
         disarm();
     }
 

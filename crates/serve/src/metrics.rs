@@ -33,11 +33,13 @@
 //! observability must never cost availability), and is exercised under
 //! fault injection by the `metrics_io` chaos kind.
 
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use chipmunk_trace::json::Json;
 use chipmunk_trace::metrics::percentile_of;
@@ -397,6 +399,89 @@ impl Telemetry {
     }
 }
 
+/// A sliding window of timestamped samples for the brownout detector.
+///
+/// The [`Telemetry`] histograms are *cumulative* — their percentiles can
+/// only converge, never fall back, so a p95 computed from them would
+/// keep the daemon in brownout forever after one bad burst. Brownout
+/// entry/exit must react to *recent* load only, so queue-wait samples
+/// also land here: a fixed-capacity ring where anything older than the
+/// horizon is expired at both record and query time. An idle daemon's
+/// window drains to empty, which the state machine reads as "no
+/// pressure" — the deterministic exit path the soak test relies on.
+pub struct RollingWindow {
+    horizon: Duration,
+    capacity: usize,
+    samples: Mutex<VecDeque<(Instant, u64)>>,
+}
+
+impl RollingWindow {
+    /// A window keeping at most `capacity` samples, each for `horizon`.
+    pub fn new(horizon: Duration, capacity: usize) -> RollingWindow {
+        RollingWindow {
+            horizon,
+            capacity: capacity.max(1),
+            samples: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Record a sample now.
+    pub fn record(&self, value: u64) {
+        self.record_at(Instant::now(), value);
+    }
+
+    /// Record a sample with an explicit timestamp (tests inject synthetic
+    /// clocks; production code uses [`RollingWindow::record`]).
+    pub fn record_at(&self, now: Instant, value: u64) {
+        let mut g = self.samples.lock().unwrap_or_else(|p| p.into_inner());
+        while g
+            .front()
+            .is_some_and(|&(t, _)| now.saturating_duration_since(t) > self.horizon)
+        {
+            g.pop_front();
+        }
+        if g.len() == self.capacity {
+            g.pop_front();
+        }
+        g.push_back((now, value));
+    }
+
+    /// Nearest-rank percentile over the live (unexpired) samples, or
+    /// `None` when the window is empty.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        self.percentile_at(Instant::now(), p)
+    }
+
+    /// [`RollingWindow::percentile`] with an explicit "now".
+    pub fn percentile_at(&self, now: Instant, p: f64) -> Option<u64> {
+        let mut live = self.live_at(now);
+        if live.is_empty() {
+            return None;
+        }
+        live.sort_unstable();
+        let rank = ((p / 100.0) * live.len() as f64).ceil() as usize;
+        Some(live[rank.clamp(1, live.len()) - 1])
+    }
+
+    /// Number of live (unexpired) samples.
+    pub fn len(&self) -> usize {
+        self.live_at(Instant::now()).len()
+    }
+
+    /// Is the window empty of live samples?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn live_at(&self, now: Instant) -> Vec<u64> {
+        let g = self.samples.lock().unwrap_or_else(|p| p.into_inner());
+        g.iter()
+            .filter(|&&(t, _)| now.saturating_duration_since(t) <= self.horizon)
+            .map(|&(_, v)| v)
+            .collect()
+    }
+}
+
 /// Escape a Prometheus label value: backslash, double quote, newline.
 pub fn escape_label(v: &str) -> String {
     let mut out = String::with_capacity(v.len());
@@ -735,6 +820,41 @@ chipmunk_serve_cache_hit_rate 0.25
         );
         assert_eq!(t.count(Stage::Compile, Outcome::Failed), 0);
         assert_eq!(t.count(Stage::Compile, Outcome::Cancelled), 1);
+    }
+
+    #[test]
+    fn rolling_window_percentiles_and_expiry() {
+        let w = RollingWindow::new(Duration::from_secs(5), 100);
+        let t0 = Instant::now();
+        assert_eq!(w.percentile_at(t0, 95.0), None);
+        for v in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            w.record_at(t0, v);
+        }
+        // Nearest-rank: p50 of 10 samples is the 5th, p95 the 10th.
+        assert_eq!(w.percentile_at(t0, 50.0), Some(50));
+        assert_eq!(w.percentile_at(t0, 95.0), Some(100));
+        // Within the horizon the samples are still live...
+        assert_eq!(
+            w.percentile_at(t0 + Duration::from_secs(5), 95.0),
+            Some(100)
+        );
+        // ...one tick past it the window has drained — brownout exit.
+        assert_eq!(w.percentile_at(t0 + Duration::from_secs(6), 95.0), None);
+        // Newer samples push the estimate back up without the old ones.
+        w.record_at(t0 + Duration::from_secs(7), 7);
+        assert_eq!(w.percentile_at(t0 + Duration::from_secs(7), 95.0), Some(7));
+    }
+
+    #[test]
+    fn rolling_window_capacity_evicts_oldest() {
+        let w = RollingWindow::new(Duration::from_secs(60), 3);
+        let t0 = Instant::now();
+        for v in [1u64, 2, 3, 4] {
+            w.record_at(t0, v);
+        }
+        // Capacity 3: the 1 fell out; p0..p100 over {2,3,4}.
+        assert_eq!(w.percentile_at(t0, 1.0), Some(2));
+        assert_eq!(w.percentile_at(t0, 100.0), Some(4));
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //!              "screen_width":<int>?,"synth_input_bits":<int>?,
 //!              "num_initial_inputs":<int>?,"max_iters":<int>?,"seed":<int>?,
 //!              "max_stages":<int>?,"slots":<int>?,"timeout_ms":<int>?,
+//!              "deadline_ms":<int>?,
 //!              "parallel":<bool>?,"portfolio":<bool>?,
 //!              "budget_conflicts":<int>?,
 //!              "budget_propagations":<int>?,"budget_bytes":<int>?}
@@ -67,7 +68,21 @@
 //! worker pool has been respawned and the compile is safe to retry),
 //! `uncertified` (a synthesized configuration failed the independent
 //! certification check and was withheld — a compiler defect surfaced as
-//! data), `shutting_down`.
+//! data), `expired` (the job's deadline elapsed before a worker could
+//! finish — or even start — it), `shed` (the queue evicted this job to
+//! admit a higher-priority one under saturation), `shutting_down`.
+//!
+//! **Deadlines.** A compile may carry `deadline_ms`: the total
+//! wall-clock time the client is willing to wait, measured from
+//! admission and covering queue wait, synthesis, and certification. The
+//! daemon defaults it from `--default-deadline-ms` when absent. Unlike
+//! `timeout_ms` (which bounds only the compile step), the deadline also
+//! expires jobs still in the queue, and the plan executor converts the
+//! *remaining* time into per-step solver budgets. Like `timeout_ms` it
+//! is excluded from the cache key. A `busy` or `queue_full` rejection
+//! issued during brownout may carry `retry_after_ms`, the daemon's
+//! estimate of when capacity will return; retrying clients should wait
+//! at least that long.
 //!
 //! An `infeasible` failure additionally carries `certified` (true when
 //! the daemon re-checked a DRAT proof of the verdict before serving
@@ -232,6 +247,10 @@ pub struct JobOptions {
     pub slots: Option<usize>,
     /// Per-job wall-clock budget in milliseconds.
     pub timeout_ms: Option<u64>,
+    /// Total time the client will wait (queue + compile + certify),
+    /// measured from admission. Server-defaulted when absent; excluded
+    /// from the cache key. See the module doc's **Deadlines** section.
+    pub deadline_ms: Option<u64>,
     /// Run the grid-depth sweep on parallel threads.
     pub parallel: Option<bool>,
     /// Race hole-restriction strategies per depth; the first certified
@@ -293,6 +312,7 @@ impl JobOptions {
             max_stages: get_num(obj, "max_stages")?,
             slots: get_num(obj, "slots")?,
             timeout_ms: get_num(obj, "timeout_ms")?,
+            deadline_ms: get_num(obj, "deadline_ms")?,
             parallel,
             portfolio,
             budget_conflicts: get_num(obj, "budget_conflicts")?,
@@ -324,6 +344,7 @@ impl JobOptions {
         num("max_stages", self.max_stages.map(|v| v as u64));
         num("slots", self.slots.map(|v| v as u64));
         num("timeout_ms", self.timeout_ms);
+        num("deadline_ms", self.deadline_ms);
         num("budget_conflicts", self.budget_conflicts);
         num("budget_propagations", self.budget_propagations);
         num("budget_bytes", self.budget_bytes);
@@ -500,6 +521,18 @@ pub fn error_response(code: &str, message: &str) -> Json {
         ("ok", Json::Bool(false)),
         ("error", Json::from(code)),
         ("message", Json::from(message)),
+    ])
+}
+
+/// Build a failure response carrying a `retry_after_ms` backoff hint —
+/// used by brownout refusals so well-behaved clients pace their retries
+/// to the server's estimate of when capacity frees up.
+pub fn error_response_retry(code: &str, message: &str, retry_after_ms: u64) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(false)),
+        ("error", Json::from(code)),
+        ("message", Json::from(message)),
+        ("retry_after_ms", Json::U64(retry_after_ms)),
     ])
 }
 

@@ -181,6 +181,46 @@ impl<T> Bounded<T> {
         let _g = self.inner.lock().expect("queue poisoned");
         self.waiters.load(Ordering::Relaxed)
     }
+
+    /// Evict and return the lowest-priority queued item, provided its
+    /// priority is strictly below `than`. Among equals the *youngest*
+    /// (largest seq) is evicted — it has waited the least, so shedding it
+    /// wastes the least queue time. Admission control uses this when the
+    /// queue is full and a higher-priority job arrives: the victim is
+    /// answered with a typed `shed` error and the newcomer takes its slot.
+    ///
+    /// Returns `None` (shedding nothing) when the queue is empty or every
+    /// queued item already has priority ≥ `than`.
+    pub fn shed_lowest_below(&self, than: i32) -> Option<T> {
+        let mut g = self.inner.lock().expect("queue poisoned");
+        let victim = g
+            .items
+            .iter()
+            .min_by(|a, b| {
+                a.priority
+                    .cmp(&b.priority)
+                    .then(a.seq.cmp(&b.seq).reverse())
+            })
+            .filter(|e| e.priority < than)
+            .map(|e| e.seq)?;
+        // BinaryHeap has no remove-by-key; rebuild without the victim.
+        // Shedding only happens on the full-queue admission path, where a
+        // linear pass over a bounded heap is noise next to a synthesis job.
+        let drained = std::mem::take(&mut g.items).into_vec();
+        let mut shed = None;
+        g.items = drained
+            .into_iter()
+            .filter_map(|e| {
+                if e.seq == victim {
+                    shed = Some(e.item);
+                    None
+                } else {
+                    Some(e)
+                }
+            })
+            .collect();
+        shed
+    }
 }
 
 #[cfg(test)]
@@ -247,6 +287,42 @@ mod tests {
         // Popping frees a slot.
         assert_eq!(q.pop(), Some("a"));
         q.try_push("c").unwrap();
+    }
+
+    #[test]
+    fn shed_evicts_youngest_lowest_priority_only_when_strictly_below() {
+        let q = Bounded::new(8);
+        q.try_push_with_priority("low-old", 0).unwrap();
+        q.try_push_with_priority("high", 5).unwrap();
+        q.try_push_with_priority("low-young", 0).unwrap();
+        // Victim is the youngest item at the lowest level.
+        assert_eq!(q.shed_lowest_below(3), Some("low-young"));
+        assert_eq!(q.depth(), 2);
+        // Equal priority does not shed (strictly below).
+        assert_eq!(q.shed_lowest_below(0), None);
+        assert_eq!(q.shed_lowest_below(1), Some("low-old"));
+        // Everything left outranks the bar.
+        assert_eq!(q.shed_lowest_below(3), None);
+        assert_eq!(q.pop(), Some("high"));
+    }
+
+    #[test]
+    fn shed_on_empty_queue_is_none() {
+        let q: Bounded<u32> = Bounded::new(2);
+        assert_eq!(q.shed_lowest_below(9), None);
+    }
+
+    #[test]
+    fn shed_preserves_order_of_survivors() {
+        let q = Bounded::new(8);
+        q.try_push_with_priority("a", 2).unwrap();
+        q.try_push_with_priority("b", 1).unwrap();
+        q.try_push_with_priority("c", 2).unwrap();
+        q.try_push_with_priority("d", 1).unwrap();
+        assert_eq!(q.shed_lowest_below(2), Some("d"));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("c"));
+        assert_eq!(q.pop(), Some("b"));
     }
 
     #[test]

@@ -30,6 +30,7 @@
 //! shared cancellation flag — in-flight CEGIS runs stop at the next solver
 //! checkpoint — and fail all still-queued jobs with `shutting_down`.
 
+use std::collections::HashMap;
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
@@ -105,6 +106,27 @@ pub struct ServerConfig {
     /// Slow-job threshold in milliseconds: a job whose end-to-end time
     /// meets it has its span tree dumped to stderr (`None` = never).
     pub slow_ms: Option<u64>,
+    /// Default per-request deadline in milliseconds, applied to compiles
+    /// that carry no `deadline_ms` of their own (`None` = no default —
+    /// jobs without a deadline wait and run as long as they need).
+    pub default_deadline_ms: Option<u64>,
+    /// Slack past a job's deadline before the watchdog hard-cancels it.
+    /// Covers cancellation-poll latency, so an answer landing "just
+    /// after" the deadline is still delivered rather than killed.
+    pub deadline_grace_ms: u64,
+    /// Brownout trigger: when the rolling queue-wait p95 crosses this
+    /// many milliseconds the daemon enters brownout (`None` = brownout
+    /// disabled). Exit uses hysteresis at half the threshold.
+    pub brownout_p95_ms: Option<u64>,
+    /// During brownout, compiles with priority strictly below this get
+    /// cache-hit-only service: a miss is answered `busy` with a
+    /// `retry_after_ms` hint instead of being queued. The default (0)
+    /// never degrades anyone — priorities are non-negative.
+    pub shed_below_priority: i32,
+    /// How long after a watchdog hard-cancel the solver may keep running
+    /// before the watchdog gives up on cooperation: the job is answered
+    /// `expired`, the stuck worker abandoned, and a replacement spawned.
+    pub watchdog_escalate_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -123,14 +145,22 @@ impl Default for ServerConfig {
             journal_dir: None,
             metrics_addr: None,
             slow_ms: None,
+            default_deadline_ms: None,
+            deadline_grace_ms: 1000,
+            brownout_p95_ms: None,
+            shed_below_priority: 0,
+            watchdog_escalate_ms: 2000,
         }
     }
 }
 
 /// Job-flow counters. Conservation invariant: once the server quiesces,
-/// `submitted == completed + failed + drained + panicked` — every queued
-/// job is answered exactly once (a worker serving a queued twin from
-/// cache counts as `completed`, and also bumps `served_cached`).
+/// `submitted == completed + failed + drained + panicked + expired +
+/// shed` — every queued job is answered exactly once (a worker serving a
+/// queued twin from cache counts as `completed`, and also bumps
+/// `served_cached`; a job whose deadline elapsed counts as `expired`; a
+/// job evicted from a full queue for a higher-priority newcomer counts
+/// as `shed`).
 #[derive(Default)]
 struct Stats {
     submitted: AtomicU64,
@@ -179,6 +209,32 @@ struct Stats {
     /// The configured metrics endpoint failed to bind and the daemon is
     /// running stats-only (the `metrics_io` degradation).
     metrics_degraded: AtomicBool,
+    /// Jobs answered with the `expired` error: their deadline elapsed in
+    /// the queue, mid-compile (the solver yielded to the watchdog's
+    /// cancel), or at watchdog escalation.
+    expired: AtomicU64,
+    /// Queued jobs evicted under saturation to admit a higher-priority
+    /// newcomer, answered with the `shed` error.
+    shed: AtomicU64,
+    /// Watchdog hard-cancels: jobs past deadline+grace whose cancel flag
+    /// was raised. Most yield cooperatively and count only here.
+    watchdog_cancelled: AtomicU64,
+    /// Watchdog escalations: the solver ignored its cancel flag past the
+    /// escalation bound, so the job was answered `expired`, its worker
+    /// abandoned, and a replacement spawned.
+    watchdog_escalations: AtomicU64,
+    /// Brownout entries (queue-wait p95 crossed the threshold).
+    brownout_entered: AtomicU64,
+    /// Brownout exits (p95 fell below half the threshold, or the rolling
+    /// window drained).
+    brownout_exited: AtomicU64,
+    /// Compiles refused during brownout (cache-miss, low priority):
+    /// answered `busy` with a `retry_after_ms` hint. Never `submitted`,
+    /// so outside the conservation law by construction.
+    brownout_busy: AtomicU64,
+    /// Worst end-to-end latency (ms) over answered *admitted* jobs —
+    /// the overload soak asserts it never exceeds deadline + grace.
+    e2e_ms_max: AtomicU64,
 }
 
 /// Where a job's single response goes: the owning connection's reply
@@ -268,8 +324,32 @@ struct Job {
     /// First plan step to execute: 0 for fresh jobs; for a replayed job,
     /// the journaled progress of the *same* (fingerprint-checked) plan.
     resume_from: usize,
+    /// Absolute wall-clock deadline (admission time + the request's
+    /// `deadline_ms`, or the server default). `None` = the client waits
+    /// forever. Replayed jobs get a fresh full window from replay time —
+    /// their original client is gone and the compile runs for the cache.
+    deadline: Option<Instant>,
     reply: ReplyHandle,
     enqueued: Instant,
+}
+
+/// One in-flight compile as the watchdog sees it. Registered by the
+/// worker just before the compile call, removed just after. The reply
+/// handle lives in a shared slot so exactly one of {worker, watchdog}
+/// answers: whoever takes it first wins, the other sees `None`.
+struct WatchEntry {
+    key: String,
+    family: Family,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+    /// Per-job cooperative cancel flag, passed to the compile. Raised by
+    /// the watchdog at deadline+grace and fanned to by abortive shutdown.
+    cancel: Arc<AtomicBool>,
+    /// The job's answer-exactly-once handle.
+    reply: Arc<Mutex<Option<ReplyHandle>>>,
+    /// When the watchdog raised `cancel`; escalation triggers once this
+    /// is older than the escalation bound.
+    cancelled_at: Option<Instant>,
 }
 
 struct Shared {
@@ -313,6 +393,33 @@ struct Shared {
     next_trace: AtomicU64,
     /// Slow-job threshold in milliseconds (`None` = never dump).
     slow_ms: Option<u64>,
+    /// Server-wide default for requests that carry no `deadline_ms`.
+    default_deadline_ms: Option<u64>,
+    /// Grace past the deadline before the watchdog hard-cancels.
+    deadline_grace: Duration,
+    /// Queue-wait p95 threshold that trips brownout (`None` = disabled).
+    brownout_p95_ms: Option<u64>,
+    /// During brownout, cache-missing jobs below this priority get `busy`.
+    shed_below_priority: i32,
+    /// How long after a watchdog cancel a solver may keep running before
+    /// the worker is abandoned and respawned.
+    watchdog_escalate: Duration,
+    /// Whether the server is currently degraded (brownout).
+    brownout: AtomicBool,
+    /// Sliding window of recent queue-wait samples (ms), recorded at
+    /// dequeue; its p95 drives the brownout state machine.
+    wait_window: metrics::RollingWindow,
+    /// In-flight compiles visible to the watchdog, keyed by a local id.
+    watch: Mutex<HashMap<u64, WatchEntry>>,
+    /// Sequence for watch-registry ids.
+    next_watch: AtomicU64,
+}
+
+fn lock_watch(shared: &Shared) -> std::sync::MutexGuard<'_, HashMap<u64, WatchEntry>> {
+    match shared.watch.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
 }
 
 /// Decrements the live-worker count when a worker exits — normally or by
@@ -482,6 +589,15 @@ pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
         metrics: Mutex::new(None),
         next_trace: AtomicU64::new(1),
         slow_ms: config.slow_ms,
+        default_deadline_ms: config.default_deadline_ms,
+        deadline_grace: Duration::from_millis(config.deadline_grace_ms),
+        brownout_p95_ms: config.brownout_p95_ms,
+        shed_below_priority: config.shed_below_priority,
+        watchdog_escalate: Duration::from_millis(config.watchdog_escalate_ms),
+        brownout: AtomicBool::new(false),
+        wait_window: metrics::RollingWindow::new(Duration::from_secs(5), 512),
+        watch: Mutex::new(HashMap::new()),
+        next_watch: AtomicU64::new(0),
     });
     // The trace store sees the live record stream from here on: the
     // `trace` op, the slow-job log, and kill-restart correlation all read
@@ -492,6 +608,13 @@ pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
         let mut handles = lock_handles(&shared);
         for _ in 0..config.workers {
             spawn_worker(&shared, &mut handles);
+        }
+        let sh = shared.clone();
+        if let Ok(h) = std::thread::Builder::new()
+            .name("chipmunk-watchdog".to_string())
+            .spawn(move || watchdog_loop(&sh))
+        {
+            handles.push(h);
         }
     }
     replay_journal(&shared, replay);
@@ -619,6 +742,16 @@ fn replay_journal(shared: &Arc<Shared>, replay: Vec<crate::journal::PendingJob>)
                 trace: None,
                 answered: false,
             },
+            // A fresh full deadline window from replay time: the original
+            // client is gone, and the recompile runs to settle the journal
+            // and warm the cache — an already-elapsed window would expire
+            // every replayed job at dequeue and defeat the at-least-once
+            // promise.
+            deadline: pending
+                .options
+                .deadline_ms
+                .or(shared.default_deadline_ms)
+                .map(|ms| Instant::now() + Duration::from_millis(ms)),
             enqueued: Instant::now(),
         };
         match shared
@@ -710,6 +843,12 @@ fn begin_shutdown(shared: &Arc<Shared>, abort: bool) {
             job.reply
                 .send(error_response("shutting_down", "job aborted by shutdown"));
             journal_done(shared, &job.key);
+        }
+        // Fan the abort out to every in-flight compile's per-job cancel
+        // flag — compiles launched before the abort carry their own flag,
+        // not the shared one.
+        for entry in lock_watch(shared).values() {
+            entry.cancel.store(true, Ordering::SeqCst);
         }
     }
     shared.queue.close();
@@ -1126,6 +1265,23 @@ fn start_compile(
         // Certification failed: the entry is quarantined, and the request
         // falls through to the queue — one retry, compiled from scratch.
     }
+    // Brownout gate — after the cache check, so degraded service still
+    // serves hits; cache-missing work below the shed priority is refused
+    // with a pacing hint instead of deepening the backlog.
+    update_brownout(shared);
+    if shared.brownout.load(Ordering::Relaxed) && i32::from(priority) < shared.shed_below_priority {
+        shared.stats.brownout_busy.fetch_add(1, Ordering::Relaxed);
+        shared.stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
+        chipmunk_trace::counter_add!("serve.brownout.busy", 1);
+        return answer(
+            crate::protocol::error_response_retry(
+                "busy",
+                "server is browned out; low-priority work refused",
+                retry_after_estimate(shared),
+            ),
+            id,
+        );
+    }
     if shared.stopping.load(Ordering::Relaxed) {
         return answer(
             error_response("shutting_down", "server is shutting down"),
@@ -1160,6 +1316,10 @@ fn start_compile(
             trace: Some(trace.clone()),
             answered: false,
         },
+        deadline: options
+            .deadline_ms
+            .or(shared.default_deadline_ms)
+            .map(|ms| accepted + Duration::from_millis(ms)),
         enqueued: accepted,
     };
     // Write-ahead: the journal must know about the job before the queue
@@ -1184,6 +1344,34 @@ fn start_compile(
             chipmunk_trace::histogram_record!("serve.queue.depth", shared.queue.depth() as u64);
         }
         Err(PushError::Full(job)) => {
+            // Saturation: before refusing, try to make room by shedding
+            // the youngest queued job of strictly lower priority. The
+            // victim gets a typed `shed` answer (it was admitted, so the
+            // conservation law still accounts for it); the newcomer then
+            // retries the push once.
+            let mut job = job;
+            if let Some(victim) = shared.queue.shed_lowest_below(i32::from(priority)) {
+                shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+                chipmunk_trace::counter_add!("serve.queue.shed", 1);
+                victim.reply.send(crate::protocol::error_response_retry(
+                    "shed",
+                    "evicted by a higher-priority job under saturation",
+                    retry_after_estimate(shared),
+                ));
+                // The victim was counted `submitted` at its own push; it
+                // now settles as `shed`, keeping the ledger balanced.
+                journal_done(shared, &victim.key);
+                match shared
+                    .queue
+                    .try_push_with_priority(job, i32::from(priority))
+                {
+                    Ok(()) => {
+                        shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                    Err(PushError::Full(j)) | Err(PushError::Closed(j)) => job = j,
+                }
+            }
             shared.stats.rejected_full.fetch_add(1, Ordering::Relaxed);
             chipmunk_trace::counter_add!("serve.queue.rejected", 1);
             let capacity = shared.queue.capacity();
@@ -1254,12 +1442,22 @@ fn worker_loop(shared: &Arc<Shared>) {
         // Panic isolation for the whole job: whatever escapes run_job
         // (the compile call has its own message-preserving layer inside)
         // is absorbed here so the worker survives; an unanswered job is
-        // answered by its ReplyHandle on drop.
-        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(shared, job)));
+        // answered by its ReplyHandle on drop. `run_job` returning false
+        // means the watchdog already answered the job and respawned a
+        // replacement — this thread leaves the pool.
+        let keep = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(shared, job)))
+            .unwrap_or(true);
+        if !keep {
+            break;
+        }
     }
 }
 
-fn run_job(shared: &Arc<Shared>, job: Job) {
+/// Run one dequeued job to completion. Returns `false` when the watchdog
+/// escalated past this worker (answered the client and respawned a
+/// replacement) — the caller must then exit the pool.
+fn run_job(shared: &Arc<Shared>, job: Job) -> bool {
+    let mut job = job;
     let wait_us = job.enqueued.elapsed().as_micros() as u64;
     let wait_ms = wait_us / 1000;
     shared
@@ -1267,6 +1465,10 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
         .wait_ms_total
         .fetch_add(wait_ms, Ordering::Relaxed);
     chipmunk_trace::histogram_record!("serve.queue.wait_ms", wait_ms);
+    // Every dequeue feeds the brownout window — it is queue wait, not
+    // service time, that signals the backlog outrunning capacity.
+    shared.wait_window.record(wait_ms);
+    update_brownout(shared);
     // One latency sample per stage lands here once the outcome is known;
     // the compile sample carries the winning strategy's label.
     let observe =
@@ -1291,7 +1493,23 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
         job.reply
             .send(error_response("shutting_down", "job aborted by shutdown"));
         journal_done(shared, &job.key);
-        return;
+        return true;
+    }
+    // Deadline-aware admission at dequeue: a job whose whole window
+    // elapsed in the queue would spend solver time on an answer nobody is
+    // waiting for — refuse it with a typed error before it reaches the
+    // compiler.
+    if job.deadline.map(|d| Instant::now() >= d).unwrap_or(false) {
+        shared.stats.expired.fetch_add(1, Ordering::Relaxed);
+        chipmunk_trace::counter_add!("serve.job.expired", 1);
+        observe(Outcome::Failed, Strat::Na, 0, 0, 0);
+        note_e2e(shared, job.enqueued);
+        job.reply.send(error_response(
+            "expired",
+            "deadline passed while the job queued",
+        ));
+        journal_done(shared, &job.key);
+        return true;
     }
     // A twin of this job may have been compiled while it queued. Like
     // every cache serve, the hit is certified first; a corrupt entry is
@@ -1325,13 +1543,47 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
             Outcome::Cached
         };
         observe(outcome, Strat::Na, 0, certify_us, remap_us);
+        note_e2e(shared, job.enqueued);
         job.reply
             .send(success_response(&job.key, true, 0, wait_ms, result));
         journal_done(shared, &job.key);
-        return;
+        return true;
     }
     if faults::armed() && faults::fired(FaultKind::SolverStall) {
         std::thread::sleep(faults::stall_duration());
+    }
+    // Thread the remaining wall-clock window into the compile: the CEGIS
+    // deadline min-merges with any timeout-derived one inside the
+    // compiler, flows into the shared budget account, and the plan
+    // executor derives remaining-time-aware per-step resource budgets
+    // from it at each step launch.
+    job.opts.cegis.deadline = match (job.opts.cegis.deadline, job.deadline) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
+    // Register with the watchdog before the compile starts. The per-job
+    // cancel flag replaces the global abort flag as the compile's
+    // cooperative cancellation channel; shutdown fans out to it, and the
+    // watchdog raises it at deadline+grace.
+    let cancel = Arc::new(AtomicBool::new(false));
+    let reply_slot = Arc::new(Mutex::new(Some(job.reply)));
+    let watch_id = shared.next_watch.fetch_add(1, Ordering::Relaxed);
+    lock_watch(shared).insert(
+        watch_id,
+        WatchEntry {
+            key: job.key.clone(),
+            family: job.family,
+            enqueued: job.enqueued,
+            deadline: job.deadline,
+            cancel: cancel.clone(),
+            reply: reply_slot.clone(),
+            cancelled_at: None,
+        },
+    );
+    // Close the race with an abortive shutdown whose fan-out ran before
+    // this entry existed.
+    if shared.abort.load(Ordering::SeqCst) {
+        cancel.store(true, Ordering::SeqCst);
     }
     shared.in_flight.fetch_add(1, Ordering::Relaxed);
     // The job span carries the trace id, so every `cegis.*` / `sat.*`
@@ -1393,11 +1645,18 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
         if faults::armed() && faults::fired(FaultKind::CompilePanic) {
             panic!("injected fault: compile panic");
         }
+        if faults::armed() && faults::fired(FaultKind::ClockStall) {
+            // A stall that never observes the cooperative cancel flag —
+            // the shape of a wedged solver. Only the watchdog's
+            // escalation path (answer, abandon worker, respawn) gets the
+            // client an answer before this sleep ends.
+            std::thread::sleep(faults::stall_duration());
+        }
         compile_with_control(
             &job.program,
             &job.opts,
             PlanControl {
-                cancel: Some(shared.abort.clone()),
+                cancel: Some(cancel.clone()),
                 resume_from: job.resume_from,
                 observer: Some(&observer),
             },
@@ -1406,6 +1665,20 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
     let compile_us = started.elapsed().as_micros() as u64;
     let synth_ms = compile_us / 1000;
     shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+    lock_watch(shared).remove(&watch_id);
+    let taken = {
+        let mut slot = reply_slot.lock().unwrap_or_else(|p| p.into_inner());
+        slot.take()
+    };
+    let Some(reply) = taken else {
+        // The watchdog already answered this job `expired` and respawned
+        // a replacement: whatever the overrunning compile produced is
+        // discarded — caching it would hand out a result the proof
+        // pipeline never re-checked against a live client — and this
+        // thread leaves the pool to settle the worker count.
+        drop(sp);
+        return false;
+    };
     chipmunk_trace::histogram_record!("serve.job.synth_ms", synth_ms);
     shared
         .stats
@@ -1466,12 +1739,24 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
             }
         }
         Ok(Err(e)) => {
-            shared.stats.failed.fetch_add(1, Ordering::Relaxed);
             let code = if shared.abort.load(Ordering::Relaxed) {
                 "shutting_down"
+            } else if matches!(e, CodegenError::Timeout)
+                && job.deadline.map(|d| Instant::now() >= d).unwrap_or(false)
+            {
+                // The compile stopped because the propagated deadline ran
+                // out (watchdog cancel or budget exhaustion) — to the
+                // client that is `expired`, not a generic timeout.
+                "expired"
             } else {
                 codegen_error_code(&e)
             };
+            if code == "expired" {
+                shared.stats.expired.fetch_add(1, Ordering::Relaxed);
+                chipmunk_trace::counter_add!("serve.job.expired", 1);
+            } else {
+                shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+            }
             sp.record("result", code);
             let response = match e {
                 CodegenError::Infeasible(cert) if code == "infeasible" => {
@@ -1511,7 +1796,8 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
     };
     observe(outcome, win, compile_us, fresh_certify_us, 0);
     let e2e_us = job.enqueued.elapsed().as_micros() as u64;
-    job.reply.send(response);
+    note_e2e(shared, job.enqueued);
+    reply.send(response);
     // Completed strictly after the answer is on the reply channel: a
     // crash between the two replays an already-answered job (harmless
     // recompute into the cache) instead of silently dropping an
@@ -1531,6 +1817,180 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
                 e2e_us / 1000,
             );
         }
+    }
+    true
+}
+
+/// Track the worst end-to-end latency of any *answered* job (drained
+/// jobs at shutdown are excluded — their latency is the operator's
+/// choice, not the scheduler's). The overload soak asserts this never
+/// exceeds deadline + grace + the escalation bound.
+fn note_e2e(shared: &Shared, enqueued: Instant) {
+    let ms = enqueued.elapsed().as_micros() as u64 / 1000;
+    shared.stats.e2e_ms_max.fetch_max(ms, Ordering::Relaxed);
+}
+
+/// Estimate how long a refused client should wait before retrying:
+/// roughly the backlog drained at the average observed compile rate,
+/// clamped to a sane band.
+fn retry_after_estimate(shared: &Shared) -> u64 {
+    let completed = shared.stats.completed.load(Ordering::Relaxed).max(1);
+    let avg_synth_ms = shared.stats.synth_ms_total.load(Ordering::Relaxed) / completed;
+    let depth = shared.queue.depth() as u64;
+    let workers = shared.workers.max(1) as u64;
+    (depth.saturating_mul(avg_synth_ms.max(1)) / workers).clamp(100, 10_000)
+}
+
+/// Brownout state machine, driven by the queue-wait p95 over a sliding
+/// window. Enter when the p95 crosses the configured threshold; exit
+/// with hysteresis, once the p95 falls to half the threshold (or the
+/// window drains empty). Called from dequeue, admission, and the
+/// watchdog tick, so the state keeps moving even when traffic stops.
+fn update_brownout(shared: &Shared) {
+    let Some(threshold) = shared.brownout_p95_ms else {
+        return;
+    };
+    if shared.brownout.load(Ordering::Relaxed) {
+        let clear = match shared.wait_window.percentile(95.0) {
+            None => true,
+            Some(p95) => p95 <= threshold / 2,
+        };
+        if clear && shared.brownout.swap(false, Ordering::Relaxed) {
+            shared.stats.brownout_exited.fetch_add(1, Ordering::Relaxed);
+            chipmunk_trace::counter_add!("serve.brownout.exited", 1);
+            chipmunk_trace::event!("serve.brownout", state = "exit");
+        }
+    } else {
+        // Require a few samples before tripping: one slow dequeue after
+        // an idle stretch is not overload.
+        let trip = shared.wait_window.len() >= 4
+            && shared
+                .wait_window
+                .percentile(95.0)
+                .map(|p95| p95 >= threshold)
+                .unwrap_or(false);
+        if trip && !shared.brownout.swap(true, Ordering::Relaxed) {
+            shared
+                .stats
+                .brownout_entered
+                .fetch_add(1, Ordering::Relaxed);
+            chipmunk_trace::counter_add!("serve.brownout.entered", 1);
+            chipmunk_trace::event!("serve.brownout", state = "enter");
+        }
+    }
+}
+
+/// The watchdog thread: ticks the brownout state machine and sweeps the
+/// in-flight registry for jobs past deadline + grace. Exits once
+/// shutdown has begun and no queued or in-flight work remains.
+fn watchdog_loop(shared: &Arc<Shared>) {
+    loop {
+        update_brownout(shared);
+        sweep_watchdog(shared);
+        // Exit once shutdown has begun and no compile can still need
+        // escalation: the registry is empty and either the queue is too
+        // or there are no workers to ever dequeue what remains (a
+        // zero-worker daemon closed in drain mode keeps its queue).
+        if shared.stopping.load(Ordering::Relaxed)
+            && lock_watch(shared).is_empty()
+            && (shared.queue.depth() == 0 || shared.workers == 0)
+        {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// One watchdog sweep over the in-flight registry.
+///
+/// Stage 1 (hard cancel): any compile past deadline + grace gets its
+/// cooperative cancel flag raised; the solver notices at its next poll
+/// and unwinds as a timeout, which `run_job` maps to `expired`.
+///
+/// Stage 2 (escalation): if the solver still has not yielded after the
+/// escalation bound, the watchdog takes the job's reply handle — the
+/// worker sees the empty slot when the compile finally returns and
+/// exits the pool — answers the client with a typed `expired` error,
+/// and spawns a replacement worker so capacity is restored immediately.
+fn sweep_watchdog(shared: &Arc<Shared>) {
+    let now = Instant::now();
+    let mut escalate: Vec<WatchEntry> = Vec::new();
+    {
+        let mut watch = lock_watch(shared);
+        let mut ripe = Vec::new();
+        for (&id, entry) in watch.iter_mut() {
+            let Some(deadline) = entry.deadline else {
+                continue;
+            };
+            match entry.cancelled_at {
+                None => {
+                    if now >= deadline + shared.deadline_grace {
+                        entry.cancel.store(true, Ordering::SeqCst);
+                        entry.cancelled_at = Some(now);
+                        shared
+                            .stats
+                            .watchdog_cancelled
+                            .fetch_add(1, Ordering::Relaxed);
+                        chipmunk_trace::counter_add!("serve.watchdog.cancelled", 1);
+                        chipmunk_trace::event!("serve.watchdog.cancel", key = entry.key.as_str(),);
+                    }
+                }
+                Some(at) => {
+                    if now.saturating_duration_since(at) >= shared.watchdog_escalate {
+                        ripe.push(id);
+                    }
+                }
+            }
+        }
+        // Removed under the lock, acted on outside it — spawning threads
+        // and sending replies must not hold the registry.
+        for id in ripe {
+            if let Some(entry) = watch.remove(&id) {
+                escalate.push(entry);
+            }
+        }
+    }
+    for entry in escalate {
+        let taken = {
+            let mut g = entry.reply.lock().unwrap_or_else(|p| p.into_inner());
+            g.take()
+        };
+        // `None` means the worker finished in the race window and already
+        // answered — no escalation needed, nothing to respawn.
+        let Some(reply) = taken else { continue };
+        shared.stats.expired.fetch_add(1, Ordering::Relaxed);
+        shared
+            .stats
+            .watchdog_escalations
+            .fetch_add(1, Ordering::Relaxed);
+        chipmunk_trace::counter_add!("serve.watchdog.escalated", 1);
+        chipmunk_trace::event!("serve.watchdog.escalate", key = entry.key.as_str());
+        shared.telemetry.record(
+            Stage::EndToEnd,
+            Outcome::Failed,
+            entry.family,
+            entry.enqueued.elapsed().as_micros() as u64,
+        );
+        note_e2e(shared, entry.enqueued);
+        // The worker abandoned here exits on its own once the stuck
+        // compile returns; its replacement starts now so capacity does
+        // not wait on the stall clearing. Respawn before answering so a
+        // client reacting to the reply observes the restored pool.
+        {
+            let mut handles = lock_handles(shared);
+            spawn_worker(shared, &mut handles);
+        }
+        shared
+            .stats
+            .workers_respawned
+            .fetch_add(1, Ordering::Relaxed);
+        chipmunk_trace::counter_add!("serve.worker.respawned", 1);
+        reply.send(error_response(
+            "expired",
+            "deadline exceeded and the solver did not yield to cancellation; \
+             worker abandoned and respawned — safe to retry",
+        ));
+        journal_done(shared, &entry.key);
     }
 }
 
@@ -1585,6 +2045,36 @@ fn stats_response(shared: &Shared) -> Json {
         ("failed", Json::from(s.failed.load(Ordering::Relaxed))),
         ("drained", Json::from(s.drained.load(Ordering::Relaxed))),
         ("panicked", Json::from(s.panicked.load(Ordering::Relaxed))),
+        ("expired", Json::from(s.expired.load(Ordering::Relaxed))),
+        ("shed", Json::from(s.shed.load(Ordering::Relaxed))),
+        (
+            "watchdog_cancelled",
+            Json::from(s.watchdog_cancelled.load(Ordering::Relaxed)),
+        ),
+        (
+            "watchdog_escalations",
+            Json::from(s.watchdog_escalations.load(Ordering::Relaxed)),
+        ),
+        (
+            "brownout",
+            Json::Bool(shared.brownout.load(Ordering::Relaxed)),
+        ),
+        (
+            "brownout_entered",
+            Json::from(s.brownout_entered.load(Ordering::Relaxed)),
+        ),
+        (
+            "brownout_exited",
+            Json::from(s.brownout_exited.load(Ordering::Relaxed)),
+        ),
+        (
+            "brownout_busy",
+            Json::from(s.brownout_busy.load(Ordering::Relaxed)),
+        ),
+        (
+            "e2e_ms_max",
+            Json::from(s.e2e_ms_max.load(Ordering::Relaxed)),
+        ),
         (
             "workers_respawned",
             Json::from(s.workers_respawned.load(Ordering::Relaxed)),
@@ -1799,8 +2289,33 @@ fn render_exposition(shared: &Shared) -> String {
             "workers_respawned",
             s.workers_respawned.load(Ordering::Relaxed),
         ),
+        ("expired", s.expired.load(Ordering::Relaxed)),
+        ("shed", s.shed.load(Ordering::Relaxed)),
+        (
+            "watchdog_cancelled",
+            s.watchdog_cancelled.load(Ordering::Relaxed),
+        ),
+        (
+            "watchdog_escalations",
+            s.watchdog_escalations.load(Ordering::Relaxed),
+        ),
+        (
+            "brownout_entered",
+            s.brownout_entered.load(Ordering::Relaxed),
+        ),
+        ("brownout_exited", s.brownout_exited.load(Ordering::Relaxed)),
+        ("brownout_busy", s.brownout_busy.load(Ordering::Relaxed)),
     ];
     let gauges: Vec<(&str, f64)> = vec![
+        (
+            "brownout",
+            if shared.brownout.load(Ordering::Relaxed) {
+                1.0
+            } else {
+                0.0
+            },
+        ),
+        ("e2e_ms_max", s.e2e_ms_max.load(Ordering::Relaxed) as f64),
         (
             "cache_hit_rate",
             cache_hit_rate(shared).as_f64().unwrap_or(0.0),

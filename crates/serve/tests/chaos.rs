@@ -2,7 +2,7 @@
 //! server, asserting the pool survives panics and worker deaths, the cache
 //! degrades and re-attaches, clients retry through resets, and the job
 //! conservation invariant (`submitted == completed + failed + drained +
-//! panicked`) holds under load.
+//! panicked + expired + shed`) holds under load.
 //!
 //! Fault state is process-global (`chipmunk_serve::faults`), so this suite
 //! lives in its own test binary and every test serializes on [`FAULT_LOCK`].
@@ -88,16 +88,19 @@ fn u64_field(resp: &Json, key: &str) -> u64 {
         .unwrap_or_else(|| panic!("missing u64 field {key:?} in {resp}"))
 }
 
-/// `submitted == completed + failed + drained + panicked` from a stats doc.
+/// `submitted == completed + failed + drained + panicked + expired + shed`
+/// from a stats doc.
 fn assert_conservation(stats: &Json) {
     let submitted = u64_field(stats, "submitted");
     let completed = u64_field(stats, "completed");
     let failed = u64_field(stats, "failed");
     let drained = u64_field(stats, "drained");
     let panicked = u64_field(stats, "panicked");
+    let expired = u64_field(stats, "expired");
+    let shed = u64_field(stats, "shed");
     assert_eq!(
         submitted,
-        completed + failed + drained + panicked,
+        completed + failed + drained + panicked + expired + shed,
         "job conservation violated: {stats}"
     );
 }
@@ -671,7 +674,8 @@ fn proof_io_fault_degrades_to_unchecked_infeasible_and_daemon_survives() {
 /// `portfolio: true` race one step per strategy, and the losers a winner
 /// cancels are **not** failures — they appear in `portfolio_cancelled`
 /// while `failed` stays at zero, and the job-level conservation law
-/// (`submitted == completed + failed + drained + panicked`) is untouched
+/// (`submitted == completed + failed + drained + panicked + expired +
+/// shed`) is untouched
 /// by any number of per-step cancellations. One injected compile panic
 /// rides along to prove the two accounting planes stay separate.
 #[test]
@@ -831,4 +835,97 @@ fn journal_replays_unfinished_jobs_into_the_next_daemon() {
     assert!(ok(&ack));
     handle.join();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Acceptance: a worker whose compile ignores cooperative cancellation
+/// (the `clock_stall` fault freezes it while *disregarding* the cancel
+/// flag) is caught by the watchdog. Stage one cancels at
+/// deadline+grace; when the solver still does not yield within the
+/// escalation bound, stage two abandons the worker, answers the client
+/// with a typed `expired` error, and respawns the pool slot — all while
+/// the daemon keeps serving and the abandoned result is never cached.
+#[test]
+fn clock_stall_escalates_to_worker_respawn_with_typed_error() {
+    let _l = lock();
+    // Stall the first compile for 1500 ms, immune to cancellation. With a
+    // 100 ms deadline, 100 ms grace, and a 100 ms escalation bound, the
+    // watchdog cancels at ~200 ms and abandons the worker at ~300 ms —
+    // long before the stall releases.
+    let _d = arm("seed=17;clock_stall@0;stall_ms=1500");
+    let handle = server::start(&ServerConfig {
+        workers: 1,
+        queue_capacity: 8,
+        cache_dir: None,
+        default_deadline_ms: Some(100),
+        deadline_grace_ms: 100,
+        watchdog_escalate_ms: 100,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    let stalled = "pkt.frozen = pkt.a + pkt.b;";
+    let started = Instant::now();
+    let resp = client.compile(stalled, fast_options()).unwrap();
+    assert_eq!(
+        resp.get("error").and_then(Json::as_str),
+        Some("expired"),
+        "watchdog must answer with a typed expired error: {resp}"
+    );
+    let msg = resp.get("message").and_then(Json::as_str).unwrap_or("");
+    assert!(
+        msg.contains("did not yield"),
+        "message must name the escalation: {resp}"
+    );
+    // The client was answered by the watchdog, not by the 1500 ms stall.
+    assert!(
+        started.elapsed() < Duration::from_millis(1200),
+        "watchdog answer took {:?} — escalation did not fire",
+        started.elapsed()
+    );
+
+    let stats = client.stats().unwrap();
+    assert_eq!(u64_field(&stats, "expired"), 1);
+    assert_eq!(u64_field(&stats, "watchdog_cancelled"), 1);
+    assert_eq!(u64_field(&stats, "watchdog_escalations"), 1);
+    assert!(u64_field(&stats, "workers_respawned") >= 1);
+    assert_conservation(&stats);
+
+    // The pool heals: once the stall releases, the abandoned worker
+    // notices its reply was taken and exits, settling back to one live
+    // worker (the respawn).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let status = client.status().unwrap();
+        if u64_field(&status, "live_workers") == 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "pool never settled: {status}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // The abandoned compile's result was discarded, never cached: the
+    // same program (now fault-free — the schedule fired once) compiles
+    // fresh on the respawned worker. An explicit per-request deadline
+    // overrides the daemon's tight 100 ms default, which exists only to
+    // trip the watchdog above.
+    let roomy = {
+        let Json::Obj(mut pairs) = fast_options() else {
+            unreachable!("fast_options returns an object")
+        };
+        pairs.push(("deadline_ms".to_string(), Json::from(60_000u64)));
+        Json::Obj(pairs)
+    };
+    let retry = client.compile(stalled, roomy.clone()).unwrap();
+    assert!(ok(&retry), "post-respawn compile failed: {retry}");
+    assert_eq!(retry.get("cached").and_then(Json::as_bool), Some(false));
+
+    // And the daemon is intact for unrelated work.
+    let other = client.compile("pkt.fine = pkt.c;", roomy).unwrap();
+    assert!(ok(&other), "daemon wedged after escalation: {other}");
+    assert_conservation(&client.stats().unwrap());
+
+    let ack = client.shutdown(false).unwrap();
+    assert!(ok(&ack));
+    handle.join();
 }

@@ -724,3 +724,296 @@ fn compile_errors_are_reported_not_fatal() {
     client.shutdown(false).unwrap();
     handle.join();
 }
+
+/// `fast_options()` plus extra request fields.
+fn options_with(extra: &[(&str, Json)]) -> Json {
+    let Json::Obj(mut pairs) = fast_options() else {
+        unreachable!("fast_options returns an object")
+    };
+    for (k, v) in extra {
+        pairs.retain(|(existing, _)| existing != k);
+        pairs.push(((*k).to_string(), v.clone()));
+    }
+    Json::Obj(pairs)
+}
+
+/// The extended conservation law:
+/// `submitted == completed + failed + drained + panicked + expired + shed`.
+fn assert_conserved(stats: &Json) {
+    let f = |k: &str| {
+        stats
+            .get(k)
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("missing u64 field {k:?} in {stats}"))
+    };
+    assert_eq!(
+        f("submitted"),
+        f("completed") + f("failed") + f("drained") + f("panicked") + f("expired") + f("shed"),
+        "job conservation violated: {stats}"
+    );
+}
+
+/// Tentpole: a job whose deadline elapses while it queues is refused with
+/// a typed `expired` error at dequeue — no solver time is spent on an
+/// answer nobody is waiting for — and the expiry is conserved in stats.
+#[test]
+fn queue_expired_jobs_get_a_typed_error_without_compiling() {
+    let handle = server::start(&ServerConfig {
+        workers: 1,
+        queue_capacity: 8,
+        cache_dir: None,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    // Job 0: a real compile that occupies the only worker for well over a
+    // millisecond. Job 1 rides the same pipelined connection with a 1 ms
+    // deadline, so its whole window elapses behind job 0.
+    client
+        .send_compile(Json::from(0u64), "pkt.x = pkt.a + pkt.b;", fast_options())
+        .unwrap();
+    client
+        .send_compile(
+            Json::from(1u64),
+            "pkt.y = pkt.b + 1;",
+            options_with(&[("deadline_ms", Json::from(1u64))]),
+        )
+        .unwrap();
+    let mut by_id = std::collections::BTreeMap::new();
+    for _ in 0..2 {
+        let resp = client.recv().unwrap();
+        by_id.insert(resp.get("id").and_then(Json::as_u64).unwrap(), resp);
+    }
+    assert!(
+        ok(&by_id[&0]),
+        "the occupying job must succeed: {}",
+        by_id[&0]
+    );
+    assert_eq!(
+        by_id[&1].get("error").and_then(Json::as_str),
+        Some("expired"),
+        "queued-past-deadline job must expire: {}",
+        by_id[&1]
+    );
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get("submitted").and_then(Json::as_u64), Some(2));
+    assert_eq!(stats.get("completed").and_then(Json::as_u64), Some(1));
+    assert_eq!(stats.get("expired").and_then(Json::as_u64), Some(1));
+    assert_eq!(stats.get("failed").and_then(Json::as_u64), Some(0));
+    assert_conserved(&stats);
+
+    // The expired program was never compiled, so a deadline-free
+    // resubmission is a fresh compile, not a cache hit.
+    let retry = client
+        .compile("pkt.y = pkt.b + 1;", fast_options())
+        .unwrap();
+    assert!(ok(&retry), "post-expiry retry failed: {retry}");
+    assert_eq!(retry.get("cached").and_then(Json::as_bool), Some(false));
+
+    client.shutdown(false).unwrap();
+    handle.join();
+}
+
+/// Satellite regression: results that timed out (or expired) are never
+/// admitted into either cache tier. The cache key deliberately excludes
+/// timeouts, deadlines, and budgets, so a poisoned entry from a starved
+/// run would be served to well-resourced twins forever — this pins the
+/// gate shut.
+#[test]
+fn timed_out_results_never_enter_the_cache() {
+    let dir = tmpdir("timeout-cache");
+    let handle = server::start(&ServerConfig {
+        workers: 1,
+        queue_capacity: 8,
+        cache_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    // A 1 ms timeout starves the compile before its first solve.
+    let victim = "state s; s = s + pkt.x; pkt.y = s;";
+    let starved = client
+        .compile(victim, options_with(&[("timeout_ms", Json::from(1u64))]))
+        .unwrap();
+    assert_eq!(
+        starved.get("error").and_then(Json::as_str),
+        Some("timeout"),
+        "starved compile must time out: {starved}"
+    );
+
+    // Nothing entered either tier: the poll op (same key — the key
+    // ignores timeouts) finds no entry, and the entry count is zero.
+    let polled = client.poll(victim, fast_options()).unwrap();
+    assert_eq!(
+        polled.get("found").and_then(Json::as_bool),
+        Some(false),
+        "a timeout left a cache entry behind: {polled}"
+    );
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats.get("cache_entries").and_then(Json::as_u64),
+        Some(0),
+        "cache must be empty after a timeout: {stats}"
+    );
+
+    // The same program with a sane timeout compiles fresh — and only
+    // *that* certified result is cached.
+    let healthy = client.compile(victim, fast_options()).unwrap();
+    assert!(ok(&healthy), "healthy recompile failed: {healthy}");
+    assert_eq!(healthy.get("cached").and_then(Json::as_bool), Some(false));
+    let hit = client.compile(victim, fast_options()).unwrap();
+    assert_eq!(hit.get("cached").and_then(Json::as_bool), Some(true));
+    assert_conserved(&client.stats().unwrap());
+
+    client.shutdown(false).unwrap();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Tentpole: sustained queue wait trips the brownout state machine —
+/// fresh low-priority work is refused `busy` with a `retry_after_ms`
+/// pacing hint while cache hits and high-priority work keep serving.
+#[test]
+fn brownout_refuses_low_priority_work_with_a_pacing_hint() {
+    let handle = server::start(&ServerConfig {
+        workers: 1,
+        queue_capacity: 16,
+        cache_dir: None,
+        // Any sustained wait trips brownout; priorities below 5 shed.
+        brownout_p95_ms: Some(1),
+        shed_below_priority: 5,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut feeder = Client::connect(handle.local_addr()).unwrap();
+    // High priority so the feeder jobs themselves are never refused by
+    // the brownout they cause.
+    feeder.set_priority(5);
+    for i in 0..5u64 {
+        feeder
+            .send_compile(
+                Json::from(i),
+                &format!("pkt.w{i} = pkt.a + pkt.b;"),
+                fast_options(),
+            )
+            .unwrap();
+    }
+    for _ in 0..5 {
+        let resp = feeder.recv().unwrap();
+        assert!(ok(&resp), "feeder job failed: {resp}");
+    }
+
+    // Five dequeues produced five wait samples, four of them the length
+    // of a real compile: the queue-wait p95 is far past 1 ms.
+    let mut low = Client::connect(handle.local_addr()).unwrap();
+    let refused = low.compile("pkt.nope = pkt.a;", fast_options()).unwrap();
+    assert_eq!(
+        refused.get("error").and_then(Json::as_str),
+        Some("busy"),
+        "brownout must refuse fresh low-priority work: {refused}"
+    );
+    let hint = refused
+        .get("retry_after_ms")
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("brownout refusal must carry a pacing hint: {refused}"));
+    assert!((100..=10_000).contains(&hint), "hint out of band: {hint}");
+
+    let stats = low.stats().unwrap();
+    assert_eq!(stats.get("brownout").and_then(Json::as_bool), Some(true));
+    assert!(stats.get("brownout_entered").and_then(Json::as_u64) >= Some(1));
+    assert!(stats.get("brownout_busy").and_then(Json::as_u64) >= Some(1));
+
+    // Degraded, not dark: cache hits still serve at any priority…
+    let hit = low
+        .compile("pkt.w0 = pkt.a + pkt.b;", fast_options())
+        .unwrap();
+    assert!(ok(&hit), "brownout must still serve cache hits: {hit}");
+    assert_eq!(hit.get("cached").and_then(Json::as_bool), Some(true));
+    // …and work at or above the shed priority is still admitted.
+    low.set_priority(5);
+    let admitted = low.compile("pkt.nope = pkt.a;", fast_options()).unwrap();
+    assert!(
+        ok(&admitted),
+        "high-priority work must pass brownout: {admitted}"
+    );
+    assert_conserved(&low.stats().unwrap());
+
+    low.shutdown(false).unwrap();
+    handle.join();
+}
+
+/// Tentpole: a saturated queue sheds the youngest lowest-priority queued
+/// job — typed `shed` answer with a pacing hint — to admit a
+/// higher-priority newcomer, and the ledger conserves both.
+#[test]
+fn saturation_sheds_the_youngest_lowest_priority_job() {
+    let handle = server::start(&ServerConfig {
+        workers: 0,
+        queue_capacity: 2,
+        cache_dir: None,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.local_addr();
+    let mut low = Client::connect(addr).unwrap();
+    low.send_compile(Json::from(0u64), "pkt.x = pkt.a;", fast_options())
+        .unwrap();
+    low.send_compile(Json::from(1u64), "pkt.y = pkt.b;", fast_options())
+        .unwrap();
+    let mut control = Client::connect(addr).unwrap();
+    loop {
+        let status = control.status().unwrap();
+        if status.get("queue_depth").and_then(Json::as_u64) == Some(2) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+
+    // A priority-5 job against the full queue evicts the *youngest* of
+    // the priority-0 entries (id 1) and takes its slot.
+    let mut high = Client::connect(addr).unwrap();
+    high.set_priority(5);
+    high.send_compile(Json::from(9u64), "pkt.z = pkt.c;", fast_options())
+        .unwrap();
+    let shed = low.recv().unwrap();
+    assert_eq!(shed.get("id").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        shed.get("error").and_then(Json::as_str),
+        Some("shed"),
+        "victim must get a typed shed error: {shed}"
+    );
+    assert!(
+        shed.get("retry_after_ms").and_then(Json::as_u64).is_some(),
+        "shed answer must carry a pacing hint: {shed}"
+    );
+
+    // The victim is answered just before the newcomer's retried push is
+    // counted, so poll until the ledger shows all three submissions.
+    let stats = loop {
+        let stats = control.stats().unwrap();
+        if stats.get("submitted").and_then(Json::as_u64) == Some(3) {
+            break stats;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    };
+    assert_eq!(stats.get("shed").and_then(Json::as_u64), Some(1));
+    assert_eq!(stats.get("queue_depth").and_then(Json::as_u64), Some(2));
+
+    // Abort: the two surviving queued jobs (old id 0, new id 9) drain.
+    control.shutdown(true).unwrap();
+    let aborted = low.recv().unwrap();
+    assert_eq!(aborted.get("id").and_then(Json::as_u64), Some(0));
+    assert_eq!(
+        aborted.get("error").and_then(Json::as_str),
+        Some("shutting_down")
+    );
+    let aborted = high.recv().unwrap();
+    assert_eq!(aborted.get("id").and_then(Json::as_u64), Some(9));
+    let stats = control.stats().unwrap();
+    assert_eq!(stats.get("drained").and_then(Json::as_u64), Some(2));
+    assert_conserved(&stats);
+    handle.join();
+}
